@@ -1,0 +1,601 @@
+//! Staircase Join: loop-lifted evaluation of the XPath tree axes.
+//!
+//! Grust, van Keulen and Teubner ("Staircase Join: Teach a Relational DBMS
+//! to Watch its (Axis) Steps", VLDB 2003) evaluate XPath axes on the
+//! pre/size document encoding with three ideas: *pruning* (drop context
+//! nodes whose result is covered by another context node), *partitioning*
+//! (each document region is scanned once), and *skipping* (jump over
+//! subtrees that cannot contain results). Boncz et al. (SIGMOD 2006) showed
+//! the loop-lifted variant computes an axis step for *many* context
+//! sequences (one per for-loop iteration) in a single pass.
+//!
+//! This module implements the loop-lifted step for all tree axes. For the
+//! recursive axes the classic staircase optimizations apply directly on
+//! pre/size:
+//!
+//! * `descendant`: prune contexts contained in an earlier context of the
+//!   same iteration, then emit each pruned context's `pre+1 ..= pre+size`
+//!   range — results stream out in document order, no sort needed;
+//! * `following`: the union over a context sequence collapses to a single
+//!   range `(min(pre+size), end]`;
+//! * `preceding`: collapses to `{v : v.pre + v.size < max(pre)}`.
+//!
+//! The paper's StandOff MergeJoin (in `standoff-core`) is the analogue of
+//! this join for *overlapping* region annotations, where these tree
+//! shortcuts no longer hold.
+
+use standoff_xml::{DocId, Document, NameId, NodeId, NodeKind, NodeRef, Store};
+
+use crate::nodeseq::NodeTable;
+
+/// The XPath tree axes (the four StandOff axes live in `standoff-core`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeAxis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    SelfAxis,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    FollowingSibling,
+    PrecedingSibling,
+    Following,
+    Preceding,
+    Attribute,
+}
+
+impl TreeAxis {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TreeAxis::Child => "child",
+            TreeAxis::Descendant => "descendant",
+            TreeAxis::DescendantOrSelf => "descendant-or-self",
+            TreeAxis::SelfAxis => "self",
+            TreeAxis::Parent => "parent",
+            TreeAxis::Ancestor => "ancestor",
+            TreeAxis::AncestorOrSelf => "ancestor-or-self",
+            TreeAxis::FollowingSibling => "following-sibling",
+            TreeAxis::PrecedingSibling => "preceding-sibling",
+            TreeAxis::Following => "following",
+            TreeAxis::Preceding => "preceding",
+            TreeAxis::Attribute => "attribute",
+        }
+    }
+}
+
+/// Node kind test of a step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KindTest {
+    /// `node()`
+    AnyKind,
+    /// name test or `element()` / `*`
+    Element,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    Pi,
+    /// `document-node()`
+    Document,
+}
+
+/// A node test: kind plus optional name (element name, attribute name, or
+/// PI target depending on the axis).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeTest {
+    pub kind: KindTest,
+    pub name: Option<String>,
+}
+
+impl NodeTest {
+    /// `*` (any element).
+    pub fn any_element() -> Self {
+        NodeTest {
+            kind: KindTest::Element,
+            name: None,
+        }
+    }
+
+    /// `node()`.
+    pub fn any_node() -> Self {
+        NodeTest {
+            kind: KindTest::AnyKind,
+            name: None,
+        }
+    }
+
+    /// Element name test.
+    pub fn named(name: impl Into<String>) -> Self {
+        NodeTest {
+            kind: KindTest::Element,
+            name: Some(name.into()),
+        }
+    }
+}
+
+/// Name test resolved against one document's name table. `NoMatch` means
+/// the name does not occur in the document, so the test can never match —
+/// the step short-circuits to an empty result for that fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ResolvedName {
+    Any,
+    Id(NameId),
+    NoMatch,
+}
+
+fn resolve_name(doc: &Document, test: &NodeTest) -> ResolvedName {
+    match &test.name {
+        None => ResolvedName::Any,
+        Some(n) => match doc.names().get(n) {
+            Some(id) => ResolvedName::Id(id),
+            None => ResolvedName::NoMatch,
+        },
+    }
+}
+
+/// Does the tree node at `pre` match the test?
+#[inline]
+fn matches_tree(doc: &Document, pre: u32, test: &NodeTest, name: ResolvedName) -> bool {
+    let kind = doc.kind(pre);
+    let kind_ok = match test.kind {
+        KindTest::AnyKind => true,
+        KindTest::Element => kind == NodeKind::Element,
+        KindTest::Text => kind == NodeKind::Text,
+        KindTest::Comment => kind == NodeKind::Comment,
+        KindTest::Pi => kind == NodeKind::Pi,
+        KindTest::Document => kind == NodeKind::Document,
+    };
+    if !kind_ok {
+        return false;
+    }
+    match name {
+        ResolvedName::Any => true,
+        ResolvedName::NoMatch => false,
+        // A name test only matches named kinds (elements / PI targets).
+        ResolvedName::Id(id) => {
+            matches!(kind, NodeKind::Element | NodeKind::Pi) && doc.name_id(pre) == id
+        }
+    }
+}
+
+/// Evaluate a loop-lifted tree-axis step: for every iteration in `ctx`,
+/// compute the axis result of its context node sequence. The result is
+/// duplicate-free and in document order per iteration.
+pub fn ll_step(store: &Store, ctx: &NodeTable, axis: TreeAxis, test: &NodeTest) -> NodeTable {
+    let mut ctx = ctx.clone();
+    ctx.normalize(store);
+    let mut out = NodeTable::new();
+    for (iter, nodes) in ctx.groups() {
+        // Nodes are sorted by (doc, order); process per-document runs.
+        let mut k = 0;
+        while k < nodes.len() {
+            let doc_id = nodes[k].doc;
+            let mut j = k;
+            while j < nodes.len() && nodes[j].doc == doc_id {
+                j += 1;
+            }
+            step_fragment(store, doc_id, iter, &nodes[k..j], axis, test, &mut out);
+            k = j;
+        }
+    }
+    out.normalize(store);
+    out
+}
+
+/// Evaluate one axis step for the context nodes of a single iteration and
+/// a single document fragment (`nodes` sorted in document order).
+fn step_fragment(
+    store: &Store,
+    doc_id: DocId,
+    iter: u32,
+    nodes: &[NodeRef],
+    axis: TreeAxis,
+    test: &NodeTest,
+    out: &mut NodeTable,
+) {
+    let doc = store.doc(doc_id);
+    let name = resolve_name(doc, test);
+    if name == ResolvedName::NoMatch && axis != TreeAxis::Attribute {
+        return;
+    }
+    let push_tree = |out: &mut NodeTable, pre: u32| {
+        out.push(iter, NodeRef::tree(doc_id, pre));
+    };
+
+    match axis {
+        TreeAxis::SelfAxis => {
+            for n in nodes {
+                match n.id.pre() {
+                    Some(pre) => {
+                        if matches_tree(doc, pre, test, name) {
+                            push_tree(out, pre);
+                        }
+                    }
+                    None => {
+                        // Attribute self: only node() matches (attributes
+                        // are not the principal node kind of tree axes).
+                        if test.kind == KindTest::AnyKind && test.name.is_none() {
+                            out.push(iter, *n);
+                        }
+                    }
+                }
+            }
+        }
+        TreeAxis::Child => {
+            for n in nodes {
+                if let Some(pre) = n.id.pre() {
+                    for c in doc.children(pre) {
+                        if matches_tree(doc, c, test, name) {
+                            push_tree(out, c);
+                        }
+                    }
+                }
+            }
+        }
+        TreeAxis::Descendant | TreeAxis::DescendantOrSelf => {
+            // Staircase pruning: skip contexts covered by a previous
+            // context of the same iteration, then emit ranges — the output
+            // streams in document order.
+            let or_self = axis == TreeAxis::DescendantOrSelf;
+            let mut covered_end: Option<u32> = None;
+            for n in nodes {
+                let Some(pre) = n.id.pre() else {
+                    // Attribute context: descendant-or-self::node() is the
+                    // attribute itself.
+                    if or_self && test.kind == KindTest::AnyKind && test.name.is_none() {
+                        out.push(iter, *n);
+                    }
+                    continue;
+                };
+                if let Some(end) = covered_end {
+                    if pre <= end {
+                        continue; // pruned: contained in earlier context
+                    }
+                }
+                let end = pre + doc.size(pre);
+                covered_end = Some(end);
+                let start = if or_self { pre } else { pre + 1 };
+                for v in start..=end {
+                    if matches_tree(doc, v, test, name) {
+                        push_tree(out, v);
+                    }
+                }
+            }
+        }
+        TreeAxis::Parent => {
+            for n in nodes {
+                let parent = match n.id.attr_index() {
+                    Some(a) => Some(doc.attr_owner(a)),
+                    None => {
+                        let pre = n.id.pre().unwrap();
+                        if pre == 0 {
+                            None
+                        } else {
+                            Some(doc.parent(pre))
+                        }
+                    }
+                };
+                if let Some(p) = parent {
+                    if matches_tree(doc, p, test, name) {
+                        push_tree(out, p);
+                    }
+                }
+            }
+        }
+        TreeAxis::Ancestor | TreeAxis::AncestorOrSelf => {
+            let or_self = axis == TreeAxis::AncestorOrSelf;
+            // Climbing stops at a pre we have already emitted for this
+            // (iteration, fragment): its ancestors were emitted too.
+            let mut seen = std::collections::HashSet::new();
+            for n in nodes {
+                let mut cur = match n.id.attr_index() {
+                    Some(a) => {
+                        if or_self && test.kind == KindTest::AnyKind && test.name.is_none() {
+                            out.push(iter, *n);
+                        }
+                        Some(doc.attr_owner(a))
+                    }
+                    None => {
+                        let pre = n.id.pre().unwrap();
+                        if or_self {
+                            Some(pre)
+                        } else if pre == 0 {
+                            None
+                        } else {
+                            Some(doc.parent(pre))
+                        }
+                    }
+                };
+                while let Some(pre) = cur {
+                    if !seen.insert(pre) {
+                        break;
+                    }
+                    if matches_tree(doc, pre, test, name) {
+                        push_tree(out, pre);
+                    }
+                    cur = if pre == 0 { None } else { Some(doc.parent(pre)) };
+                }
+            }
+        }
+        TreeAxis::FollowingSibling => {
+            for n in nodes {
+                if let Some(pre) = n.id.pre() {
+                    let mut cur = doc.next_sibling(pre);
+                    while let Some(s) = cur {
+                        if matches_tree(doc, s, test, name) {
+                            push_tree(out, s);
+                        }
+                        cur = doc.next_sibling(s);
+                    }
+                }
+            }
+        }
+        TreeAxis::PrecedingSibling => {
+            for n in nodes {
+                if let Some(pre) = n.id.pre() {
+                    if pre == 0 {
+                        continue;
+                    }
+                    for s in doc.children(doc.parent(pre)) {
+                        if s >= pre {
+                            break;
+                        }
+                        if matches_tree(doc, s, test, name) {
+                            push_tree(out, s);
+                        }
+                    }
+                }
+            }
+        }
+        TreeAxis::Following => {
+            // Union over the context collapses to one range starting after
+            // the earliest subtree end (staircase partitioning).
+            let start = nodes
+                .iter()
+                .map(|n| match n.id.attr_index() {
+                    Some(a) => doc.attr_owner(a) + 1,
+                    None => {
+                        let pre = n.id.pre().unwrap();
+                        pre + doc.size(pre) + 1
+                    }
+                })
+                .min();
+            if let Some(start) = start {
+                let end = doc.node_count() as u32 - 1;
+                for v in start..=end {
+                    if matches_tree(doc, v, test, name) {
+                        push_tree(out, v);
+                    }
+                }
+            }
+        }
+        TreeAxis::Preceding => {
+            // Union collapses to {v : v.pre + v.size < max(ctx pre)}.
+            let cmax = nodes
+                .iter()
+                .map(|n| match n.id.attr_index() {
+                    Some(a) => doc.attr_owner(a),
+                    None => n.id.pre().unwrap(),
+                })
+                .max();
+            if let Some(cmax) = cmax {
+                for v in 1..cmax {
+                    if v + doc.size(v) < cmax && matches_tree(doc, v, test, name) {
+                        push_tree(out, v);
+                    }
+                }
+            }
+        }
+        TreeAxis::Attribute => {
+            // The principal node kind of this axis is attribute: the name
+            // test applies to attribute names.
+            let attr_name = match &test.name {
+                None => ResolvedName::Any,
+                Some(n) => match doc.names().get(n) {
+                    Some(id) => ResolvedName::Id(id),
+                    None => ResolvedName::NoMatch,
+                },
+            };
+            if attr_name == ResolvedName::NoMatch {
+                return;
+            }
+            for n in nodes {
+                if let Some(pre) = n.id.pre() {
+                    for a in doc.attr_range(pre) {
+                        let ok = match attr_name {
+                            ResolvedName::Any => true,
+                            ResolvedName::Id(id) => doc.attr_name_id(a) == id,
+                            ResolvedName::NoMatch => false,
+                        };
+                        if ok {
+                            out.push(iter, NodeRef::new(doc_id, NodeId::attr(a)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use standoff_xml::Store;
+
+    /// `<a><b><c/><d>t</d></b><e/><b><f/></b></a>`
+    /// pre: 0=doc 1=a 2=b 3=c 4=d 5=t 6=e 7=b 8=f
+    fn fixture() -> (Store, DocId) {
+        let mut s = Store::new();
+        let d = s
+            .load("d", "<a><b><c/><d>t</d></b><e/><b><f/></b></a>")
+            .unwrap();
+        (s, d)
+    }
+
+    fn ctx(d: DocId, pres: &[u32]) -> NodeTable {
+        NodeTable::for_single_iter(pres.iter().map(|&p| NodeRef::tree(d, p)).collect())
+    }
+
+    fn pres(t: &NodeTable) -> Vec<u32> {
+        t.nodes().iter().map(|n| n.id.pre().unwrap()).collect()
+    }
+
+    #[test]
+    fn descendant_with_pruning() {
+        let (s, d) = fixture();
+        // Context {a, b#2}: b#2 is inside a, so it is pruned; single scan.
+        let out = ll_step(&s, &ctx(d, &[1, 2]), TreeAxis::Descendant, &NodeTest::any_node());
+        assert_eq!(pres(&out), vec![2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn descendant_name_test() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Descendant, &NodeTest::named("b"));
+        assert_eq!(pres(&out), vec![2, 7]);
+    }
+
+    #[test]
+    fn descendant_or_self() {
+        let (s, d) = fixture();
+        let out = ll_step(
+            &s,
+            &ctx(d, &[2]),
+            TreeAxis::DescendantOrSelf,
+            &NodeTest::any_element(),
+        );
+        assert_eq!(pres(&out), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn child_results_sorted_across_contexts() {
+        let (s, d) = fixture();
+        // Contexts out of document order; results must come back sorted.
+        let out = ll_step(&s, &ctx(d, &[7, 2]), TreeAxis::Child, &NodeTest::any_element());
+        assert_eq!(pres(&out), vec![3, 4, 8]);
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[3, 4]), TreeAxis::Parent, &NodeTest::any_element());
+        assert_eq!(pres(&out), vec![2], "shared parent deduplicated");
+
+        let out = ll_step(&s, &ctx(d, &[5]), TreeAxis::Ancestor, &NodeTest::any_node());
+        assert_eq!(pres(&out), vec![0, 1, 2, 4]);
+
+        let out = ll_step(&s, &ctx(d, &[5, 8]), TreeAxis::Ancestor, &NodeTest::named("b"));
+        assert_eq!(pres(&out), vec![2, 7]);
+    }
+
+    #[test]
+    fn ancestor_or_self_includes_self() {
+        let (s, d) = fixture();
+        let out = ll_step(
+            &s,
+            &ctx(d, &[3]),
+            TreeAxis::AncestorOrSelf,
+            &NodeTest::any_element(),
+        );
+        assert_eq!(pres(&out), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[2]), TreeAxis::FollowingSibling, &NodeTest::any_node());
+        assert_eq!(pres(&out), vec![6, 7]);
+        let out = ll_step(&s, &ctx(d, &[7]), TreeAxis::PrecedingSibling, &NodeTest::any_node());
+        assert_eq!(pres(&out), vec![2, 6]);
+    }
+
+    #[test]
+    fn following_collapses_to_one_range() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[2, 7]), TreeAxis::Following, &NodeTest::any_node());
+        // following(b#1) = {e, b#2, f}; following(b#2) = {} — union from
+        // the earliest subtree end.
+        assert_eq!(pres(&out), vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn preceding_excludes_ancestors() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[8]), TreeAxis::Preceding, &NodeTest::any_node());
+        // Everything before f except its ancestors a, b#2 (and doc).
+        assert_eq!(pres(&out), vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let mut s = Store::new();
+        let d = s.load("d", r#"<a x="1" y="2"><b x="3"/></a>"#).unwrap();
+        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Attribute, &NodeTest::any_node());
+        assert_eq!(out.len(), 2);
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1, 2]),
+            TreeAxis::Attribute,
+            &NodeTest::named("x"),
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.nodes().iter().all(|n| n.id.is_attr()));
+    }
+
+    #[test]
+    fn attribute_parent_is_owner() {
+        let mut s = Store::new();
+        let d = s.load("d", r#"<a><b x="1"/></a>"#).unwrap();
+        let attrs = ll_step(&s, &ctx(d, &[2]), TreeAxis::Attribute, &NodeTest::any_node());
+        let parents = ll_step(&s, &attrs, TreeAxis::Parent, &NodeTest::any_element());
+        assert_eq!(pres(&parents), vec![2]);
+    }
+
+    #[test]
+    fn unknown_name_short_circuits() {
+        let (s, d) = fixture();
+        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Descendant, &NodeTest::named("zzz"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn loop_lifted_iterations_stay_separate() {
+        let (s, d) = fixture();
+        let t = NodeTable::from_columns(
+            vec![0, 1],
+            vec![NodeRef::tree(d, 2), NodeRef::tree(d, 7)],
+        );
+        let out = ll_step(&s, &t, TreeAxis::Descendant, &NodeTest::any_element());
+        assert_eq!(
+            out.group(0)
+                .iter()
+                .map(|n| n.id.pre().unwrap())
+                .collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(
+            out.group(1)
+                .iter()
+                .map(|n| n.id.pre().unwrap())
+                .collect::<Vec<_>>(),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn text_kind_test() {
+        let (s, d) = fixture();
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1]),
+            TreeAxis::Descendant,
+            &NodeTest {
+                kind: KindTest::Text,
+                name: None,
+            },
+        );
+        assert_eq!(pres(&out), vec![5]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Algebraic laws of the loop-lifted sequence tables — the invariants the
+//! evaluator's correctness rests on.
+
+use proptest::prelude::*;
+
+use standoff_algebra::{Item, LlSeq};
+
+fn table_strategy(max_iter: u32) -> impl Strategy<Value = LlSeq> {
+    prop::collection::vec((0..max_iter, any::<i16>()), 0..40).prop_map(|mut rows| {
+        rows.sort_by_key(|r| r.0);
+        LlSeq::from_columns(
+            rows.iter().map(|r| r.0).collect(),
+            rows.iter().map(|r| Item::Integer(r.1 as i64)).collect(),
+        )
+    })
+}
+
+fn as_groups(t: &LlSeq, n: u32) -> Vec<Vec<i64>> {
+    (0..n)
+        .map(|i| {
+            t.group(i)
+                .iter()
+                .map(|x| match x {
+                    Item::Integer(v) => *v,
+                    _ => unreachable!(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+const N: u32 = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// concat is associative and per-iteration (group-wise append).
+    #[test]
+    fn concat_laws(a in table_strategy(N), b in table_strategy(N), c in table_strategy(N)) {
+        let ab_c = a.concat(&b).concat(&c);
+        let a_bc = a.concat(&b.concat(&c));
+        prop_assert_eq!(as_groups(&ab_c, N), as_groups(&a_bc, N));
+
+        // Group-wise definition.
+        let ab = a.concat(&b);
+        for i in 0..N {
+            let mut expected: Vec<i64> = as_groups(&a, N)[i as usize].clone();
+            expected.extend(&as_groups(&b, N)[i as usize]);
+            prop_assert_eq!(&as_groups(&ab, N)[i as usize], &expected);
+        }
+
+        // Empty is the identity.
+        let e = LlSeq::empty();
+        prop_assert_eq!(as_groups(&a.concat(&e), N), as_groups(&a, N));
+        prop_assert_eq!(as_groups(&e.concat(&a), N), as_groups(&a, N));
+    }
+
+    /// restrict followed by unrestrict reproduces exactly the kept
+    /// groups.
+    #[test]
+    fn restrict_unrestrict_inverse(
+        t in table_strategy(N),
+        keep in prop::collection::vec(any::<bool>(), N as usize..=N as usize),
+    ) {
+        let (restricted, mapping) = t.restrict(&keep);
+        let back = restricted.unrestrict(&mapping);
+        for i in 0..N {
+            if keep[i as usize] {
+                prop_assert_eq!(back.group(i), t.group(i));
+            } else {
+                prop_assert!(back.group(i).is_empty());
+            }
+        }
+    }
+
+    /// expand through a composed map equals expanding twice.
+    #[test]
+    fn expand_composes(
+        t in table_strategy(N),
+        m1 in prop::collection::vec(0..N, 0..10),
+        m2_picks in prop::collection::vec(any::<u8>(), 0..10),
+    ) {
+        let mut m1 = m1;
+        m1.sort_unstable();
+        if m1.is_empty() {
+            return Ok(());
+        }
+        let mut m2: Vec<u32> = m2_picks
+            .iter()
+            .map(|&p| p as u32 % m1.len() as u32)
+            .collect();
+        m2.sort_unstable();
+
+        let step = t.expand(&m1).expand(&m2);
+        let composed: Vec<u32> = m2.iter().map(|&k| m1[k as usize]).collect();
+        let direct = t.expand(&composed);
+        prop_assert_eq!(
+            as_groups(&step, m2.len() as u32),
+            as_groups(&direct, m2.len() as u32)
+        );
+    }
+
+    /// count_per_iter counts group sizes, for every iteration of the
+    /// scope including empty ones.
+    #[test]
+    fn count_matches_groups(t in table_strategy(N)) {
+        let counts = t.count_per_iter(N);
+        prop_assert_eq!(counts.len(), N as usize);
+        for i in 0..N {
+            let c = match counts.group(i) {
+                [Item::Integer(c)] => *c,
+                other => return Err(TestCaseError::fail(format!("bad count {other:?}"))),
+            };
+            prop_assert_eq!(c as usize, t.group(i).len());
+        }
+    }
+
+    /// expand with the identity map is the identity (up to the scope
+    /// size).
+    #[test]
+    fn expand_identity(t in table_strategy(N)) {
+        let id: Vec<u32> = (0..N).collect();
+        let e = t.expand(&id);
+        prop_assert_eq!(as_groups(&e, N), as_groups(&t, N));
+    }
+}

@@ -1,0 +1,107 @@
+//! StandOff MergeJoin microbenchmarks and ablations:
+//!
+//! * loop-lifted vs basic (per-iteration) invocation as the iteration
+//!   count grows — the mechanism behind the paper's Q2 blow-up;
+//! * the active-list context-skip optimization (Listing 1 lines 11–18)
+//!   on nested context workloads (`per_annotation = true` disables
+//!   cross-annotation skipping, isolating the optimization's value);
+//! * select-narrow vs select-wide merge cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use standoff_core::join::merge::{
+    basic_select_narrow, ll_select_narrow, ll_select_narrow_heap, ll_select_wide,
+};
+use standoff_core::join::CtxEntry;
+use standoff_core::RegionEntry;
+
+/// Deterministic synthetic workload: `n_ctx` context regions spread over
+/// `iters` iterations, nested in chains of depth ~4, over `n_cand`
+/// candidates.
+fn workload(n_ctx: usize, iters: u32, n_cand: usize) -> (Vec<CtxEntry>, Vec<RegionEntry>) {
+    let mut context = Vec::with_capacity(n_ctx);
+    let mut x = 0i64;
+    for k in 0..n_ctx {
+        // Chains of nested regions: every 4th starts a new chain.
+        let depth = (k % 4) as i64;
+        let base = x - depth * 10;
+        let len = 100 - depth * 20;
+        context.push(CtxEntry {
+            iter: (k as u32) % iters,
+            node: k as u32,
+            start: base.max(0),
+            end: base.max(0) + len,
+        });
+        if k % 4 == 3 {
+            x += 37;
+        }
+    }
+    context.sort_by_key(|c| (c.start, c.end, c.iter));
+    let mut candidates = Vec::with_capacity(n_cand);
+    for k in 0..n_cand {
+        let start = (k as i64 * 13) % (x + 200);
+        candidates.push(RegionEntry {
+            start,
+            end: start + (k as i64 % 40),
+            id: k as u32,
+        });
+    }
+    candidates.sort_by_key(|e| (e.start, e.end));
+    (context, candidates)
+}
+
+fn mergejoin(c: &mut Criterion) {
+    // Loop-lifted vs basic as iteration count grows (context and
+    // candidate sizes fixed): basic re-scans candidates per iteration.
+    let mut group = c.benchmark_group("ll_vs_basic");
+    for iters in [1u32, 16, 256, 1024] {
+        let (context, candidates) = workload(2048, iters, 8192);
+        group.bench_with_input(BenchmarkId::new("loop-lifted", iters), &iters, |b, _| {
+            b.iter(|| ll_select_narrow(&context, &candidates, false, None));
+        });
+        group.bench_with_input(BenchmarkId::new("basic", iters), &iters, |b, _| {
+            b.iter(|| basic_select_narrow(&context, &candidates, false, None));
+        });
+    }
+    group.finish();
+
+    // Context-skip ablation: heavily nested contexts in one iteration.
+    let mut group = c.benchmark_group("context_skip_ablation");
+    let (context, candidates) = workload(4096, 1, 8192);
+    group.bench_function("skip_enabled", |b| {
+        b.iter(|| ll_select_narrow(&context, &candidates, false, None));
+    });
+    group.bench_function("skip_disabled(per_annotation)", |b| {
+        b.iter(|| ll_select_narrow(&context, &candidates, true, None));
+    });
+    group.finish();
+
+    // §5 future work: heap-based vs sorted-list active items. The heap
+    // wins when the active list grows long (many simultaneously-open
+    // long regions); the list wins on shallow workloads.
+    let mut group = c.benchmark_group("active_list_heap_vs_list");
+    for (label, n_ctx) in [("shallow", 512usize), ("deep", 8192usize)] {
+        let (context, candidates) = workload(n_ctx, 4, 8192);
+        group.bench_function(BenchmarkId::new("sorted-list", label), |b| {
+            b.iter(|| ll_select_narrow(&context, &candidates, false, None));
+        });
+        group.bench_function(BenchmarkId::new("heap", label), |b| {
+            b.iter(|| ll_select_narrow_heap(&context, &candidates));
+        });
+    }
+    group.finish();
+
+    // Narrow vs wide merge cores on the same input.
+    let mut group = c.benchmark_group("narrow_vs_wide");
+    let (context, candidates) = workload(2048, 64, 8192);
+    group.bench_function("select-narrow", |b| {
+        b.iter(|| ll_select_narrow(&context, &candidates, false, None));
+    });
+    group.bench_function("select-wide", |b| {
+        b.iter(|| ll_select_wide(&context, &candidates));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mergejoin);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Region-index microbenchmarks (paper §4.3) and the candidate-pushdown
+//! ablation (§3.3(iii)): index construction, candidate-sequence
+//! intersection at varying selectivity, and the effect of pushdown on a
+//! full join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use standoff_core::{
+    evaluate_standoff_join, IterNode, JoinInput, RegionIndex, StandoffAxis, StandoffConfig,
+    StandoffStrategy,
+};
+use standoff_xmark::{generate, standoffify, XmarkConfig};
+
+fn region_index(c: &mut Criterion) {
+    let src = generate(&XmarkConfig::with_scale(0.005));
+    let so = standoffify(&src, 7);
+    let config = StandoffConfig::default();
+
+    c.bench_function("region_index/build", |b| {
+        b.iter(|| RegionIndex::build(&so.doc, &config).unwrap());
+    });
+
+    let index = RegionIndex::build(&so.doc, &config).unwrap();
+
+    // Candidate intersection at different selectivities: a rare element
+    // (person: ~9% of nodes) vs a common wildcard-ish one.
+    let mut group = c.benchmark_group("region_index/candidates_for");
+    for name in ["person", "bidder", "incategory"] {
+        let nodes = so.doc.elements_named(name).to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nodes, |b, nodes| {
+            b.iter(|| index.candidates_for(nodes));
+        });
+    }
+    group.finish();
+
+    // Pushdown ablation: select-narrow from <open_auction> contexts to
+    // <increase> candidates, with and without the candidate restriction.
+    let auctions = so.doc.elements_named("open_auction").to_vec();
+    let context: Vec<IterNode> = auctions
+        .iter()
+        .map(|&node| IterNode { iter: 0, node })
+        .collect();
+    let increases = so.doc.elements_named("increase").to_vec();
+    let mut group = c.benchmark_group("pushdown_ablation");
+    group.bench_function("with_candidates", |b| {
+        b.iter(|| {
+            let input = JoinInput {
+                doc: &so.doc,
+                index: &index,
+                context: &context,
+                candidates: Some(&increases),
+                iter_domain: &[0],
+            };
+            evaluate_standoff_join(
+                StandoffAxis::SelectNarrow,
+                StandoffStrategy::LoopLiftedMergeJoin,
+                &input,
+                None,
+            )
+        });
+    });
+    group.bench_function("without_candidates", |b| {
+        b.iter(|| {
+            let input = JoinInput {
+                doc: &so.doc,
+                index: &index,
+                context: &context,
+                candidates: None,
+                iter_domain: &[0],
+            };
+            evaluate_standoff_join(
+                StandoffAxis::SelectNarrow,
+                StandoffStrategy::LoopLiftedMergeJoin,
+                &input,
+                None,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, region_index);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion form of the §4.6 claim: loop-lifted `select-narrow` vs the
+//! loop-lifted `descendant` Staircase Join on the same logical queries
+//! (paper: select-narrow ≤ ~20% slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use standoff_bench::{prepare_workload, SO_URI, STD_URI};
+use standoff_core::StandoffStrategy;
+use standoff_xmark::queries::XmarkQuery;
+
+fn staircase_vs_standoff(c: &mut Criterion) {
+    let mut w = prepare_workload(0.005);
+    w.engine.set_strategy(StandoffStrategy::LoopLiftedMergeJoin);
+    let mut group = c.benchmark_group("staircase_vs_standoff");
+    group.sample_size(10);
+    for query in XmarkQuery::ALL {
+        let std_q = query.standard(STD_URI);
+        group.bench_function(BenchmarkId::new(query.id(), "descendant-staircase"), |b| {
+            b.iter(|| w.engine.run_and_discard(&std_q).unwrap());
+        });
+        let so_q = query.standoff(SO_URI);
+        group.bench_function(BenchmarkId::new(query.id(), "select-narrow"), |b| {
+            b.iter(|| w.engine.run_and_discard(&so_q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, staircase_vs_standoff);
+criterion_main!(benches);

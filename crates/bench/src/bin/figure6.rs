@@ -1,0 +1,101 @@
+//! Regenerates **Figure 6**: performance of StandOff XMark Q1, Q2, Q6 and
+//! Q7 (seconds, log scale in the paper) across document sizes for the
+//! implementation variants:
+//!
+//! * XQuery Function with Candidate Sequence (§3.2 Alternative 2),
+//! * Basic StandOff MergeJoin (§4.4),
+//! * Loop-Lifted StandOff MergeJoin (§4.5),
+//! * optionally the no-candidate XQuery Function (Alternative 1), which
+//!   the paper reports as DNF on every size (`--include-naive`).
+//!
+//! Usage:
+//! ```text
+//! figure6 [--scales 0.001,0.005,0.01] [--cutoff-secs 60] [--repeats 2]
+//!         [--include-naive] [--markdown]
+//! ```
+//!
+//! The default scale ladder mirrors the paper's ×5/×2 size ratios
+//! (11/55/110/550/1100 MB) at laptop-friendly sizes.
+
+use std::time::Duration;
+
+use standoff_bench::{figure6_variants, prepare_workload, run_panel, DEFAULT_SCALES};
+use standoff_xmark::queries::XmarkQuery;
+
+fn main() {
+    let mut scales: Vec<f64> = DEFAULT_SCALES.to_vec();
+    let mut cutoff = Duration::from_secs(60);
+    let mut repeats = 2usize;
+    let mut include_naive = false;
+    let mut markdown = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--scales" => {
+                k += 1;
+                scales = args[k]
+                    .split(',')
+                    .map(|s| s.parse().expect("bad scale"))
+                    .collect();
+            }
+            "--cutoff-secs" => {
+                k += 1;
+                cutoff = Duration::from_secs_f64(args[k].parse().expect("bad cutoff"));
+            }
+            "--repeats" => {
+                k += 1;
+                repeats = args[k].parse().expect("bad repeats");
+            }
+            "--include-naive" => include_naive = true,
+            "--markdown" => markdown = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        k += 1;
+    }
+
+    eprintln!("# Figure 6 harness");
+    eprintln!("# scales: {scales:?}, cutoff: {cutoff:?}, repeats: {repeats}");
+    eprintln!("# generating workloads...");
+    let mut workloads: Vec<_> = scales
+        .iter()
+        .map(|&s| {
+            let w = prepare_workload(s);
+            eprintln!(
+                "#   scale {s}: standard {:.2} MB, standoff {:.2} MB, {} regions",
+                w.standard_bytes as f64 / 1e6,
+                w.standoff_bytes as f64 / 1e6,
+                w.regions
+            );
+            w
+        })
+        .collect();
+
+    let variants = figure6_variants(include_naive);
+    for query in XmarkQuery::ALL {
+        eprintln!("# running {query}...");
+        let panel = run_panel(&mut workloads, query, &variants, cutoff, repeats);
+        if markdown {
+            println!("{}", panel.to_markdown());
+        } else {
+            println!("== XMark {} (seconds; paper Figure 6 panel) ==", query);
+            print!("{:<44}", "strategy \\ document size");
+            for mb in &panel.sizes_mb {
+                print!("{:>12}", format!("{mb:.2}MB"));
+            }
+            println!();
+            for (variant, cells) in &panel.rows {
+                print!("{:<44}", variant.label());
+                for c in cells {
+                    print!("{:>12}", c.render());
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+}

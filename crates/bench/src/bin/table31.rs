@@ -1,0 +1,34 @@
+//! Regenerates the **§3.1 example table** ("StandOff Joins between U2 and
+//! Shots") from the Figure 1 multimedia document, by actually running the
+//! four axis steps through the engine.
+
+use standoff_core::StandoffAxis;
+use standoff_xquery::Engine;
+
+const FIGURE1: &str = r#"<sample>
+  <video>
+    <shot id="Intro" start="0" end="8"/>
+    <shot id="Interview" start="8" end="64"/>
+    <shot id="Outro" start="64" end="94"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0" end="31"/>
+    <music artist="Bach" start="52" end="94"/>
+  </audio>
+</sample>"#;
+
+fn main() {
+    let mut engine = Engine::new();
+    engine.load_document("sample.xml", FIGURE1).unwrap();
+
+    println!("StandOff Joins between U2 and Shots                     Matches");
+    for axis in StandoffAxis::ALL {
+        let expr = format!("{}(//music[artist=\"U2\"],//shot)", axis.as_str());
+        let query = format!(
+            r#"doc("sample.xml")//music[@artist = "U2"]/{}::shot/@id"#,
+            axis.as_str()
+        );
+        let result = engine.run(&query).unwrap();
+        println!("{:<55} {}", expr, result.as_strings().join(" "));
+    }
+}

@@ -1,0 +1,307 @@
+//! The region index (paper §4.3).
+//!
+//! A per-document index of all area-annotations: a `start|end|id` table
+//! *clustered on start*, where `id` is the annotation node's pre-order
+//! rank (MonetDB/XQuery's node identifier). Non-contiguous areas repeat
+//! the same id in several entries. A second, node-ordered view supports
+//! context-region fetch and the candidate-sequence intersection that the
+//! element-name index feeds into StandOff steps with name tests.
+
+use standoff_xml::{Document, NodeKind};
+
+use crate::config::StandoffConfig;
+use crate::error::StandoffError;
+use crate::region::{Area, Region};
+
+/// One row of the region index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegionEntry {
+    pub start: i64,
+    pub end: i64,
+    /// Pre-order rank of the annotation element.
+    pub id: u32,
+}
+
+/// Per-document region index.
+///
+/// ```
+/// use standoff_core::{RegionIndex, StandoffConfig};
+/// let doc = standoff_xml::parse_document(
+///     r#"<d><a start="0" end="9"/><b start="3" end="5"/></d>"#)?;
+/// let index = RegionIndex::build(&doc, &StandoffConfig::default())?;
+/// assert_eq!(index.len(), 2);
+/// assert_eq!(index.entries()[0].start, 0);     // clustered on start
+/// assert_eq!(index.regions_of(2)[0].end, 9);   // node view: <a> is pre 2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RegionIndex {
+    /// All region entries, sorted by `(start, end, id)` — the clustering
+    /// the merge joins scan.
+    entries: Vec<RegionEntry>,
+    /// Annotated node pre ranks, sorted (document order).
+    node_ids: Vec<u32>,
+    /// CSR offsets into `node_regions`, parallel to `node_ids` (+1).
+    node_offsets: Vec<u32>,
+    /// Regions per node, each node's slice sorted by start.
+    node_regions: Vec<Region>,
+    /// Largest region count of any single annotation (1 ⇒ the fast
+    /// single-region post-processing path applies).
+    max_regions: u32,
+}
+
+impl RegionIndex {
+    /// Build the index for one document under a configuration.
+    pub fn build(doc: &Document, config: &StandoffConfig) -> Result<RegionIndex, StandoffError> {
+        config.validate()?;
+        let mut index = RegionIndex {
+            node_offsets: vec![0],
+            ..Default::default()
+        };
+        for pre in 0..doc.node_count() as u32 {
+            if doc.kind(pre) != NodeKind::Element {
+                continue;
+            }
+            if let Some(area) = config.area_of(doc, pre)? {
+                index.push_area(pre, &area);
+            }
+        }
+        index.entries.sort_by_key(|e| (e.start, e.end, e.id));
+        Ok(index)
+    }
+
+    /// Build directly from `(pre, area)` pairs (synthetic workloads and
+    /// tests). Pairs must be in ascending pre order.
+    pub fn from_areas(pairs: &[(u32, Area)]) -> RegionIndex {
+        let mut index = RegionIndex {
+            node_offsets: vec![0],
+            ..Default::default()
+        };
+        for (pre, area) in pairs {
+            debug_assert!(index.node_ids.last().is_none_or(|&last| last < *pre));
+            index.push_area(*pre, area);
+        }
+        index.entries.sort_by_key(|e| (e.start, e.end, e.id));
+        index
+    }
+
+    fn push_area(&mut self, pre: u32, area: &Area) {
+        for r in area.regions() {
+            self.entries.push(RegionEntry {
+                start: r.start,
+                end: r.end,
+                id: pre,
+            });
+            self.node_regions.push(*r);
+        }
+        self.node_ids.push(pre);
+        self.node_offsets.push(self.node_regions.len() as u32);
+        self.max_regions = self.max_regions.max(area.region_count() as u32);
+    }
+
+    /// All entries, clustered on start.
+    #[inline]
+    pub fn entries(&self) -> &[RegionEntry] {
+        &self.entries
+    }
+
+    /// Number of region entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Annotated node pre ranks in document order.
+    #[inline]
+    pub fn annotated_nodes(&self) -> &[u32] {
+        &self.node_ids
+    }
+
+    /// Largest per-annotation region count.
+    #[inline]
+    pub fn max_regions(&self) -> u32 {
+        self.max_regions
+    }
+
+    /// The regions of the annotation at `pre` (empty slice if `pre` is not
+    /// annotated).
+    pub fn regions_of(&self, pre: u32) -> &[Region] {
+        match self.node_ids.binary_search(&pre) {
+            Ok(k) => {
+                &self.node_regions
+                    [self.node_offsets[k] as usize..self.node_offsets[k + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Region count of the annotation at `pre` (0 if not annotated).
+    pub fn region_count(&self, pre: u32) -> usize {
+        self.regions_of(pre).len()
+    }
+
+    /// The area of the annotation at `pre`, if annotated.
+    pub fn area_of(&self, pre: u32) -> Option<Area> {
+        let rs = self.regions_of(pre);
+        if rs.is_empty() {
+            None
+        } else {
+            Some(Area::try_new(rs.to_vec()).expect("index stores valid areas"))
+        }
+    }
+
+    /// Candidate-sequence intersection (§4.3): restrict the index to the
+    /// given candidate node ids (sorted ascending), *preserving the start
+    /// ordering* of the region index. This is how an element-name test is
+    /// pushed down into a StandOff step.
+    ///
+    /// Adaptive: for selective candidate sets the entries are gathered
+    /// through the node-ordered view and re-sorted (`O(C log C)`); for
+    /// broad sets a single scan of the start-clustered index filters in
+    /// place (`O(E log C)`). The crossover mirrors MonetDB's choice
+    /// between positional gather and scan.
+    pub fn candidates_for(&self, sorted_node_pres: &[u32]) -> Vec<RegionEntry> {
+        debug_assert!(sorted_node_pres.windows(2).all(|w| w[0] < w[1]));
+        let c = sorted_node_pres.len();
+        let gather_cost = c * (usize::BITS - (c | 1).leading_zeros()) as usize;
+        if gather_cost < self.entries.len() {
+            // Gather per node, then restore the start clustering.
+            let mut out: Vec<RegionEntry> = Vec::with_capacity(c);
+            for &pre in sorted_node_pres {
+                for r in self.regions_of(pre) {
+                    out.push(RegionEntry {
+                        start: r.start,
+                        end: r.end,
+                        id: pre,
+                    });
+                }
+            }
+            out.sort_unstable_by_key(|e| (e.start, e.end, e.id));
+            out
+        } else {
+            self.entries
+                .iter()
+                .filter(|e| sorted_node_pres.binary_search(&e.id).is_ok())
+                .copied()
+                .collect()
+        }
+    }
+
+    /// Memory footprint estimate in bytes (used by the bench harness to
+    /// report index sizes alongside document sizes).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<RegionEntry>()
+            + self.node_ids.len() * 4
+            + self.node_offsets.len() * 4
+            + self.node_regions.len() * std::mem::size_of::<Region>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use standoff_xml::parse_document;
+
+    fn figure1_index() -> (standoff_xml::Document, RegionIndex) {
+        let doc = parse_document(
+            r#"<sample>
+                 <video>
+                   <shot id="Intro" start="0" end="8"/>
+                   <shot id="Interview" start="8" end="64"/>
+                   <shot id="Outro" start="64" end="94"/>
+                 </video>
+                 <audio>
+                   <music artist="U2" start="0" end="31"/>
+                   <music artist="Bach" start="52" end="94"/>
+                 </audio>
+               </sample>"#,
+        )
+        .unwrap();
+        let idx = RegionIndex::build(&doc, &StandoffConfig::default()).unwrap();
+        (doc, idx)
+    }
+
+    #[test]
+    fn entries_clustered_on_start() {
+        let (_, idx) = figure1_index();
+        assert_eq!(idx.len(), 5);
+        let starts: Vec<i64> = idx.entries().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![0, 0, 8, 52, 64]);
+        // Ties on start break on (end, id): Intro [0,8] before U2 [0,31].
+        assert_eq!(idx.entries()[0].end, 8);
+        assert_eq!(idx.entries()[1].end, 31);
+    }
+
+    #[test]
+    fn node_view_round_trips() {
+        let (doc, idx) = figure1_index();
+        let intro = doc.elements_named("shot")[0];
+        assert_eq!(idx.regions_of(intro), &[Region::new(0, 8).unwrap()]);
+        assert_eq!(idx.region_count(intro), 1);
+        assert_eq!(idx.area_of(intro).unwrap().bounding(), Region::new(0, 8).unwrap());
+        // The <video> container itself has no regions.
+        let video = doc.elements_named("video")[0];
+        assert_eq!(idx.regions_of(video), &[]);
+        assert_eq!(idx.area_of(video), None);
+    }
+
+    #[test]
+    fn annotated_nodes_in_document_order() {
+        let (_, idx) = figure1_index();
+        let nodes = idx.annotated_nodes();
+        assert_eq!(nodes.len(), 5);
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn candidate_intersection_preserves_start_order() {
+        let (doc, idx) = figure1_index();
+        let shots = doc.elements_named("shot");
+        let cands = idx.candidates_for(shots);
+        assert_eq!(cands.len(), 3);
+        assert!(cands.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(cands.iter().all(|e| shots.contains(&e.id)));
+    }
+
+    #[test]
+    fn non_contiguous_areas_repeat_id() {
+        let doc = parse_document(
+            "<fs><file>\
+               <region><start>0</start><end>9</end></region>\
+               <region><start>100</start><end>199</end></region>\
+             </file></fs>",
+        )
+        .unwrap();
+        let idx = RegionIndex::build(&doc, &StandoffConfig::element_repr()).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.entries()[0].id, idx.entries()[1].id);
+        assert_eq!(idx.max_regions(), 2);
+        assert_eq!(idx.region_count(idx.entries()[0].id), 2);
+    }
+
+    #[test]
+    fn empty_document_empty_index() {
+        let doc = parse_document("<a><b/><c>x</c></a>").unwrap();
+        let idx = RegionIndex::build(&doc, &StandoffConfig::default()).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.max_regions(), 0);
+    }
+
+    #[test]
+    fn from_areas_matches_build() {
+        let (doc, built) = figure1_index();
+        let cfg = StandoffConfig::default();
+        let pairs: Vec<(u32, Area)> = (0..doc.node_count() as u32)
+            .filter(|&p| doc.kind(p) == NodeKind::Element)
+            .filter_map(|p| cfg.area_of(&doc, p).unwrap().map(|a| (p, a)))
+            .collect();
+        let idx = RegionIndex::from_areas(&pairs);
+        assert_eq!(idx.entries(), built.entries());
+        assert_eq!(idx.annotated_nodes(), built.annotated_nodes());
+    }
+}

@@ -1,0 +1,647 @@
+//! The StandOff MergeJoin algorithms (paper §4.4–§4.5, Listing 1).
+//!
+//! Both joins merge a context table (sorted on region start) with the
+//! candidate entries of the region index (clustered on start), keeping a
+//! list of *active* context items sorted descending on their end value.
+//! A context item stays active while it can still produce results
+//! (`ctx.end ≥ current candidate.start` for `select-narrow`). Because
+//! annotation regions — unlike XML tree regions — may overlap arbitrarily,
+//! deletions can happen in the middle of the list ("so it really is a
+//! list", §5); Structural Join and Staircase Join cannot be reused as-is.
+//!
+//! The *loop-lifted* variant (Listing 1) carries an `iter` column through
+//! the merge so that one scan evaluates the step for every iteration of a
+//! for-loop scope. The *basic* variant is the same merge run once per
+//! iteration — the paper's experiments show this re-scanning is what makes
+//! XMark Q2 blow up (Figure 6).
+//!
+//! ### Fidelity notes on Listing 1
+//!
+//! The paper's pseudo-code is reproduced here with three clarifications
+//! that are required for correctness and for the printed Figure 4 trace to
+//! be internally consistent:
+//!
+//! 1. the "skip self-overlapping regions" test (lines 11–18) skips a
+//!    context item iff an **active item of the same iteration** already
+//!    covers it — only then is its contribution a subset of existing
+//!    results (Figure 4's input table lists `c3` under iter 1, but its
+//!    step 4 "skip c3" is only semantics-preserving if `c3` shares iter 2
+//!    with its covering context `c2`; we take the trace as authoritative);
+//! 2. the candidate-analysis loop (lines 26–36) also ends when the active
+//!    list becomes empty — otherwise Figure 4's step 8 (skipping `r3` at
+//!    lines 21–24) could never be reached;
+//! 3. `replace_active_items_with` (line 41) removes active items of the
+//!    same iteration that the new item supersedes (their future results
+//!    are a subset of the new item's) and inserts the new item keeping
+//!    the list sorted descending on `end`.
+
+use crate::index::RegionEntry;
+use crate::join::{CtxEntry, Emission};
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
+
+/// An entry of the active-items list.
+#[derive(Clone, Copy, Debug)]
+struct ActiveItem {
+    iter: u32,
+    node: u32,
+    end: i64,
+    /// Original context row (for trace labels).
+    ctx_idx: u32,
+}
+
+/// Loop-lifted `select-narrow` merge join — Listing 1.
+///
+/// `context` must be sorted ascending on `start`; `candidates` is the
+/// (possibly candidate-intersected) region index, clustered on start.
+/// Produces raw `(iter, ctx_node, candidate)` matches; containment of each
+/// candidate *region* in a context region of the same iteration.
+///
+/// Tracing is monomorphized away when disabled: pass [`NoTrace`] (or use
+/// the `None` convenience of [`crate::evaluate_standoff_join`]).
+pub fn ll_select_narrow(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    per_annotation: bool,
+    trace: Option<&mut dyn TraceSink>,
+) -> Vec<Emission> {
+    match trace {
+        Some(t) => ll_select_narrow_impl(context, candidates, per_annotation, t),
+        None => ll_select_narrow_impl(context, candidates, per_annotation, NoTrace),
+    }
+}
+
+fn ll_select_narrow_impl<T: TraceSink>(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    per_annotation: bool,
+    mut trace: T,
+) -> Vec<Emission> {
+    debug_assert!(context.windows(2).all(|w| w[0].start <= w[1].start));
+    debug_assert!(candidates.windows(2).all(|w| w[0].start <= w[1].start));
+    let mut result = Vec::new();
+    if context.is_empty() || candidates.is_empty() {
+        return result;
+    }
+
+    let mut active: Vec<ActiveItem> = Vec::new();
+    let mut i = 0usize; // iterates over context
+    let mut j = 0usize; // iterates over candidates
+
+    // line 8: seed the list with the first context item.
+    insert_active(&mut active, &context[0], 0, per_annotation, &mut trace, 8);
+
+    while i < context.len() {
+        // lines 11-18: skip context items covered by an active item of
+        // the same iteration — they cannot yield additional results.
+        let mut next_i = i + 1;
+        while next_i < context.len() {
+            let c = &context[next_i];
+            // A context item is covered when an active item of the same
+            // iteration spans it; in per-annotation mode (multi-region ∀∃
+            // post-processing) the evidence must stay attributable, so
+            // only entries of the same annotation may shadow each other.
+            let covered = active.iter().any(|a| {
+                a.iter == c.iter && a.end >= c.end && (!per_annotation || a.node == c.node)
+            });
+            if covered {
+                trace.event(TraceEvent::SkipContext { ctx: next_i as u32 });
+                next_i += 1;
+            } else {
+                break;
+            }
+        }
+        // lines 19-20: if we ran out of context items the next context
+        // starts infinitely far away.
+        let next_start = if next_i < context.len() {
+            context[next_i].start
+        } else {
+            i64::MAX
+        };
+        // lines 21-24: fast-forward over candidates that start before the
+        // current context item (possible after the active list drained).
+        while j < candidates.len() && candidates[j].start < context[i].start {
+            trace.event(TraceEvent::SkipCandidateBefore { cand: j as u32 });
+            j += 1;
+        }
+        // lines 26-36: analyze candidates until the next context item
+        // must enter the list (or the active list drains).
+        while j < candidates.len() && candidates[j].start < next_start {
+            let cand = &candidates[j];
+            // lines 28-31: trim active items that ended before this
+            // candidate starts (list is sorted descending on end, so they
+            // sit at the back).
+            while let Some(last) = active.last() {
+                if last.end < cand.start {
+                    trace.event(TraceEvent::RemoveActive { ctx: last.ctx_idx });
+                    active.pop();
+                } else {
+                    break;
+                }
+            }
+            if active.is_empty() {
+                break; // clarification 2: resume with the next context item
+            }
+            // lines 32-34: all active items with end ≥ cand.end contain
+            // the candidate (their start ≤ cand.start by merge order).
+            let mut emitted = false;
+            for a in &active {
+                if a.end < cand.end {
+                    break; // descending ends: nothing further contains it
+                }
+                result.push(Emission {
+                    iter: a.iter,
+                    ctx_node: a.node,
+                    cand_idx: j as u32,
+                });
+                trace.event(TraceEvent::Emit {
+                    iter: a.iter,
+                    cand: j as u32,
+                });
+                emitted = true;
+            }
+            if !emitted {
+                trace.event(TraceEvent::SkipCandidateNoMatch { cand: j as u32 });
+            }
+            j += 1;
+        }
+        // lines 37-38: all candidates consumed.
+        if j == candidates.len() {
+            trace.event(TraceEvent::Exit);
+            break;
+        }
+        // lines 40-41: move to the next context item and add it.
+        i = next_i;
+        if i < context.len() {
+            insert_active(&mut active, &context[i], i as u32, per_annotation, &mut trace, 41);
+        }
+    }
+    result
+}
+
+/// `replace_active_items_with` (Listing 1 line 41 / line 8): remove
+/// same-iteration items the new context supersedes, then insert keeping
+/// the list sorted descending on `end`.
+fn insert_active<T: TraceSink>(
+    active: &mut Vec<ActiveItem>,
+    c: &CtxEntry,
+    ctx_idx: u32,
+    per_annotation: bool,
+    trace: &mut T,
+    line: u8,
+) {
+    // Same-iteration items with end ≤ new end were added earlier (start ≤
+    // new start), so every future result they produce, the new item
+    // produces too. Deleting them keeps the list short; note this deletes
+    // from the middle — the "list, not stack" remark of §5. In
+    // per-annotation mode only entries of the same annotation may be
+    // superseded (disjoint regions of one area never supersede anyway,
+    // so this retains everything in practice).
+    active.retain(|a| {
+        !(a.iter == c.iter && a.end <= c.end && (!per_annotation || a.node == c.node))
+    });
+    let pos = active.partition_point(|a| a.end >= c.end);
+    active.insert(
+        pos,
+        ActiveItem {
+            iter: c.iter,
+            node: c.node,
+            end: c.end,
+            ctx_idx,
+        },
+    );
+    trace.event(TraceEvent::AddActive { ctx: ctx_idx, line });
+}
+
+/// Loop-lifted `select-wide` merge join: overlap instead of containment.
+///
+/// Structure mirrors `ll_select_narrow`, with the overlap-specific
+/// differences: a context item becomes relevant as soon as it starts at or
+/// before the candidate's **end** (not its start), and emission requires
+/// `active.start ≤ cand.end ∧ active.end ≥ cand.start` — the first half of
+/// which must be checked explicitly because candidate ends are not
+/// monotone in a start-sorted scan.
+pub fn ll_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<Emission> {
+    debug_assert!(context.windows(2).all(|w| w[0].start <= w[1].start));
+    debug_assert!(candidates.windows(2).all(|w| w[0].start <= w[1].start));
+    let mut result = Vec::new();
+    if context.is_empty() || candidates.is_empty() {
+        return result;
+    }
+
+    // Active item for the wide join: needs the start for the explicit
+    // overlap check.
+    struct WideActive {
+        iter: u32,
+        node: u32,
+        start: i64,
+        end: i64,
+    }
+    let mut active: Vec<WideActive> = Vec::new();
+    let mut i = 0usize;
+
+    for (j, cand) in candidates.iter().enumerate() {
+        // Add every context item that starts at or before this
+        // candidate's end: it may overlap this or a later candidate.
+        while i < context.len() && context[i].start <= cand.end {
+            let c = &context[i];
+            // Same-iteration covered contexts cannot add new overlaps.
+            let covered = active
+                .iter()
+                .any(|a| a.iter == c.iter && a.start <= c.start && a.end >= c.end);
+            if !covered {
+                // Supersede same-iter items fully inside the new one.
+                active.retain(|a| !(a.iter == c.iter && a.start >= c.start && a.end <= c.end));
+                let pos = active.partition_point(|a| a.end >= c.end);
+                active.insert(
+                    pos,
+                    WideActive {
+                        iter: c.iter,
+                        node: c.node,
+                        start: c.start,
+                        end: c.end,
+                    },
+                );
+            }
+            i += 1;
+        }
+        // Trim items that ended before this candidate starts; candidate
+        // starts are monotone, so they are dead for all later candidates.
+        while let Some(last) = active.last() {
+            if last.end < cand.start {
+                active.pop();
+            } else {
+                break;
+            }
+        }
+        // Emit all active items that overlap. end ≥ cand.start holds
+        // after the trim; start ≤ cand.end must be tested per item.
+        for a in &active {
+            if a.start <= cand.end {
+                result.push(Emission {
+                    iter: a.iter,
+                    ctx_node: a.node,
+                    cand_idx: j as u32,
+                });
+            }
+        }
+    }
+    result
+}
+
+/// Basic StandOff MergeJoin for `select-narrow` (§4.4): the same merge,
+/// invoked once per iteration — each call re-scans the candidate
+/// sequence, which is exactly the behaviour whose cost Figure 6 exposes
+/// on XMark Q2.
+pub fn basic_select_narrow(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    per_annotation: bool,
+    trace: Option<&mut dyn TraceSink>,
+) -> Vec<Emission> {
+    match trace {
+        Some(t) => basic_select_narrow_impl(context, candidates, per_annotation, t),
+        None => basic_select_narrow_impl(context, candidates, per_annotation, NoTrace),
+    }
+}
+
+fn basic_select_narrow_impl<T: TraceSink>(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    per_annotation: bool,
+    mut trace: T,
+) -> Vec<Emission> {
+    let mut result = Vec::new();
+    for iter in distinct_iterations(context) {
+        // The basic algorithm has no iter column: gather this iteration's
+        // context (still start-sorted — the filter is stable), run the
+        // merge on the single sequence, then re-tag the emissions.
+        let single: Vec<CtxEntry> = context
+            .iter()
+            .filter(|c| c.iter == iter)
+            .map(|c| CtxEntry { iter: 0, ..*c })
+            .collect();
+        let emissions = ll_select_narrow_impl(&single, candidates, per_annotation, &mut trace);
+        result.extend(emissions.into_iter().map(|e| Emission { iter, ..e }));
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Basic StandOff MergeJoin for `select-wide`.
+pub fn basic_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<Emission> {
+    let mut result = Vec::new();
+    for iter in distinct_iterations(context) {
+        let single: Vec<CtxEntry> = context
+            .iter()
+            .filter(|c| c.iter == iter)
+            .map(|c| CtxEntry { iter: 0, ..*c })
+            .collect();
+        let emissions = ll_select_wide(&single, candidates);
+        result.extend(emissions.into_iter().map(|e| Emission { iter, ..e }));
+    }
+    result.sort_unstable();
+    result
+}
+
+/// The distinct iterations present in a context table, ascending. The
+/// basic strategy invokes the merge once per element — the "called for
+/// each iteration" pattern whose repeated index scans Figure 6 exposes.
+fn distinct_iterations(context: &[CtxEntry]) -> Vec<u32> {
+    let mut iters: Vec<u32> = context.iter().map(|c| c.iter).collect();
+    iters.sort_unstable();
+    iters.dedup();
+    iters
+}
+
+/// The paper's §5 future-work variant: "it could be beneficial to
+/// substitute the stack (from which we currently may delete elements in
+/// the middle – so it really is a list) by a heap, in data-distributions
+/// that cause it to grow long."
+///
+/// Active items live in a **min-heap keyed on `end`**: trimming dead
+/// items is `O(log n)` per removal and insertion is `O(log n)` (the
+/// sorted list pays `O(n)` per insert). The trade-offs: the emission scan
+/// loses its sorted-order early exit (it inspects every live item), and
+/// the covered-context skip is dropped (it needed ordered access), so
+/// duplicate emissions can occur — post-processing deduplicates them
+/// anyway. Results are identical to [`ll_select_narrow`] after
+/// finalization; `benches/mergejoin.rs` measures the crossover.
+pub fn ll_select_narrow_heap(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<Emission> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    debug_assert!(context.windows(2).all(|w| w[0].start <= w[1].start));
+    debug_assert!(candidates.windows(2).all(|w| w[0].start <= w[1].start));
+    let mut result = Vec::new();
+    if context.is_empty() || candidates.is_empty() {
+        return result;
+    }
+
+    // Min-heap on end: Reverse<(end, iter, node)>.
+    let mut active: BinaryHeap<Reverse<(i64, u32, u32)>> = BinaryHeap::new();
+    let mut i = 0usize;
+
+    for (j, cand) in candidates.iter().enumerate() {
+        // Add every context item starting at or before this candidate.
+        while i < context.len() && context[i].start <= cand.start {
+            let c = &context[i];
+            active.push(Reverse((c.end, c.iter, c.node)));
+            i += 1;
+        }
+        // Trim items that died before this candidate starts (candidate
+        // starts are monotone, so they are dead for good).
+        while let Some(&Reverse((end, _, _))) = active.peek() {
+            if end < cand.start {
+                active.pop();
+            } else {
+                break;
+            }
+        }
+        // Emit all live items containing the candidate (start ≤
+        // cand.start holds by insertion order; end must reach cand.end).
+        for &Reverse((end, iter, node)) in active.iter() {
+            if end >= cand.end {
+                result.push(Emission {
+                    iter,
+                    ctx_node: node,
+                    cand_idx: j as u32,
+                });
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rows: &[(u32, i64, i64)]) -> Vec<CtxEntry> {
+        let mut v: Vec<CtxEntry> = rows
+            .iter()
+            .enumerate()
+            .map(|(n, &(iter, start, end))| CtxEntry {
+                iter,
+                node: n as u32,
+                start,
+                end,
+            })
+            .collect();
+        v.sort_by_key(|c| (c.start, c.end));
+        v
+    }
+
+    fn cands(rows: &[(i64, i64)]) -> Vec<RegionEntry> {
+        let mut v: Vec<RegionEntry> = rows
+            .iter()
+            .enumerate()
+            .map(|(n, &(start, end))| RegionEntry {
+                start,
+                end,
+                id: 1000 + n as u32,
+            })
+            .collect();
+        v.sort_by_key(|e| (e.start, e.end));
+        v
+    }
+
+    /// (iter, candidate id) pairs, sorted, deduplicated.
+    fn narrow_pairs(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<(u32, u32)> {
+        let mut p: Vec<(u32, u32)> = ll_select_narrow(context, candidates, false, None)
+            .into_iter()
+            .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    fn wide_pairs(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<(u32, u32)> {
+        let mut p: Vec<(u32, u32)> = ll_select_wide(context, candidates)
+            .into_iter()
+            .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    #[test]
+    fn listing1_example_input() {
+        // The Figure 4 input (c3 in iteration 2; see module docs).
+        let context = ctx(&[(1, 0, 15), (2, 12, 35), (2, 20, 30), (1, 55, 80)]);
+        let candidates = cands(&[(5, 10), (22, 45), (40, 60), (65, 70)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(1, 1000), (1, 1003)],
+            "r1 ⊂ c1 (iter 1), r4 ⊂ c4 (iter 1); r2, r3 contained nowhere"
+        );
+    }
+
+    #[test]
+    fn narrow_boundary_containment() {
+        let context = ctx(&[(0, 10, 20)]);
+        let candidates = cands(&[(10, 20), (10, 21), (9, 20), (15, 15)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(0, 1000), (0, 1003)],
+            "exact bounds contained; either side out by one is not"
+        );
+    }
+
+    #[test]
+    fn wide_boundary_overlap() {
+        let context = ctx(&[(0, 10, 20)]);
+        let candidates = cands(&[(0, 9), (0, 10), (20, 30), (21, 30), (0, 100)]);
+        assert_eq!(
+            wide_pairs(&context, &candidates),
+            vec![(0, 1001), (0, 1002), (0, 1004)],
+            "endpoint-sharing overlaps; disjoint neighbours do not"
+        );
+    }
+
+    #[test]
+    fn overlapping_contexts_both_match() {
+        // Overlapping (not nested) same-iter contexts: both must count.
+        let context = ctx(&[(0, 0, 20), (0, 10, 30)]);
+        let candidates = cands(&[(2, 8), (12, 18), (22, 28)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(0, 1000), (0, 1001), (0, 1002)]
+        );
+    }
+
+    #[test]
+    fn nested_same_iter_context_is_skipped_but_results_kept() {
+        // Inner context nested in outer of the SAME iteration: skipping it
+        // must not change results.
+        let context = ctx(&[(0, 0, 100), (0, 10, 20)]);
+        let candidates = cands(&[(12, 18), (50, 60)]);
+        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000), (0, 1001)]);
+    }
+
+    #[test]
+    fn nested_context_different_iters_not_skipped() {
+        // Same geometry, different iterations: iteration 1's inner context
+        // must still produce its own result.
+        let context = ctx(&[(0, 0, 100), (1, 10, 20)]);
+        let candidates = cands(&[(12, 18), (50, 60)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(0, 1000), (0, 1001), (1, 1000)]
+        );
+    }
+
+    #[test]
+    fn iterations_are_independent() {
+        let context = ctx(&[(0, 0, 10), (1, 20, 30)]);
+        let candidates = cands(&[(2, 4), (22, 24)]);
+        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000), (1, 1001)]);
+        assert_eq!(wide_pairs(&context, &candidates), vec![(0, 1000), (1, 1001)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let context = ctx(&[(0, 0, 10)]);
+        let candidates = cands(&[(0, 5)]);
+        assert!(ll_select_narrow(&[], &candidates, false, None).is_empty());
+        assert!(ll_select_narrow(&context, &[], false, None).is_empty());
+        assert!(ll_select_wide(&[], &candidates).is_empty());
+        assert!(ll_select_wide(&context, &[]).is_empty());
+    }
+
+    #[test]
+    fn wide_keeps_long_straddling_context_alive() {
+        // A context spanning far right must still match candidates that
+        // appear after many shorter contexts have been trimmed.
+        let context = ctx(&[(0, 0, 1000), (0, 5, 6), (0, 7, 8)]);
+        let candidates = cands(&[(900, 950)]);
+        assert_eq!(wide_pairs(&context, &candidates), vec![(0, 1000)]);
+        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn wide_context_added_by_candidate_end() {
+        // Candidate [0, 50] overlaps a context starting at 40 — the
+        // context enters the active list because cand.end ≥ ctx.start,
+        // even though cand.start < ctx.start.
+        let context = ctx(&[(0, 40, 60)]);
+        let candidates = cands(&[(0, 50), (0, 30)]);
+        assert_eq!(wide_pairs(&context, &candidates), vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn basic_equals_loop_lifted_on_multi_iter_input() {
+        let context = ctx(&[
+            (0, 0, 50),
+            (1, 10, 60),
+            (2, 5, 25),
+            (0, 40, 90),
+            (1, 70, 80),
+        ]);
+        let candidates = cands(&[(0, 10), (15, 20), (41, 49), (71, 79), (95, 99)]);
+        let mut a: Vec<(u32, u32)> = basic_select_narrow(&context, &candidates, false, None)
+            .into_iter()
+            .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+            .collect();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a, narrow_pairs(&context, &candidates));
+
+        let mut w: Vec<(u32, u32)> = basic_select_wide(&context, &candidates)
+            .into_iter()
+            .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+            .collect();
+        w.sort_unstable();
+        w.dedup();
+        assert_eq!(w, wide_pairs(&context, &candidates));
+    }
+
+    /// Canonical finalize for comparing emission sets across variants.
+    fn pairs(emissions: &[Emission], candidates: &[RegionEntry]) -> Vec<(u32, u32)> {
+        let mut p: Vec<(u32, u32)> = emissions
+            .iter()
+            .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    #[test]
+    fn heap_variant_equals_list_variant() {
+        let context = ctx(&[
+            (0, 0, 100),
+            (1, 5, 80),
+            (0, 10, 20),
+            (2, 15, 90),
+            (1, 30, 40),
+            (0, 50, 120),
+        ]);
+        let candidates = cands(&[(0, 5), (12, 18), (35, 38), (60, 70), (85, 130), (200, 210)]);
+        assert_eq!(
+            pairs(&ll_select_narrow(&context, &candidates, false, None), &candidates),
+            pairs(&ll_select_narrow_heap(&context, &candidates), &candidates)
+        );
+    }
+
+    #[test]
+    fn heap_variant_empty_inputs() {
+        let context = ctx(&[(0, 0, 10)]);
+        let candidates = cands(&[(0, 5)]);
+        assert!(ll_select_narrow_heap(&[], &candidates).is_empty());
+        assert!(ll_select_narrow_heap(&context, &[]).is_empty());
+        assert_eq!(
+            pairs(&ll_select_narrow_heap(&context, &candidates), &candidates),
+            vec![(0, 1000)]
+        );
+    }
+
+    #[test]
+    fn identical_regions_contain_each_other() {
+        let context = ctx(&[(0, 5, 10)]);
+        let candidates = cands(&[(5, 10)]);
+        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000)]);
+        assert_eq!(wide_pairs(&context, &candidates), vec![(0, 1000)]);
+    }
+}

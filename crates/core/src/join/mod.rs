@@ -1,0 +1,342 @@
+//! The four StandOff joins and their evaluation strategies (paper §3–§4).
+//!
+//! All strategies implement the same semantics (§3.1):
+//!
+//! * `select-narrow(S1, S2)` — containment semi-join: annotations of `S2`
+//!   contained in *some* annotation of `S1`;
+//! * `select-wide(S1, S2)` — overlap semi-join;
+//! * `reject-narrow(S1, S2)` — containment anti-join (complement of
+//!   `select-narrow` within `S2`);
+//! * `reject-wide(S1, S2)` — overlap anti-join.
+//!
+//! Like XPath steps, each returns a duplicate-free node sequence in
+//! document order, per iteration of the enclosing for-loop scope.
+//!
+//! The strategies correspond to the paper's implementation alternatives:
+//!
+//! | [`StandoffStrategy`]     | Paper                                  | Cost shape |
+//! |--------------------------|----------------------------------------|------------|
+//! | `NaiveNoCandidates`      | §3.2 Alt. 1 (UDF over `root($q)//*`)   | O(|S1|·|doc|) per iteration |
+//! | `NaiveWithCandidates`    | §3.2 Alt. 2 / Figure 3                 | O(|S1|·|S2|) per iteration |
+//! | `BasicMergeJoin`         | §4.4                                   | one index scan **per iteration** |
+//! | `LoopLiftedMergeJoin`    | §4.5 / Listing 1                       | one index scan **total** |
+
+pub mod merge;
+pub mod naive;
+pub mod post;
+
+use standoff_xml::Document;
+
+use crate::index::{RegionEntry, RegionIndex};
+use crate::trace::TraceSink;
+
+/// The four StandOff joins, proposed as XPath axis steps (§3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StandoffAxis {
+    SelectNarrow,
+    SelectWide,
+    RejectNarrow,
+    RejectWide,
+}
+
+impl StandoffAxis {
+    pub const ALL: [StandoffAxis; 4] = [
+        StandoffAxis::SelectNarrow,
+        StandoffAxis::SelectWide,
+        StandoffAxis::RejectNarrow,
+        StandoffAxis::RejectWide,
+    ];
+
+    /// The axis-step name as it appears in queries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StandoffAxis::SelectNarrow => "select-narrow",
+            StandoffAxis::SelectWide => "select-wide",
+            StandoffAxis::RejectNarrow => "reject-narrow",
+            StandoffAxis::RejectWide => "reject-wide",
+        }
+    }
+
+    /// Parse an axis-step name.
+    pub fn parse(s: &str) -> Option<StandoffAxis> {
+        Some(match s {
+            "select-narrow" => StandoffAxis::SelectNarrow,
+            "select-wide" => StandoffAxis::SelectWide,
+            "reject-narrow" => StandoffAxis::RejectNarrow,
+            "reject-wide" => StandoffAxis::RejectWide,
+            _ => return None,
+        })
+    }
+
+    /// Is this a semi-join (`select-*`) rather than an anti-join?
+    pub fn is_select(self) -> bool {
+        matches!(self, StandoffAxis::SelectNarrow | StandoffAxis::SelectWide)
+    }
+
+    /// Does this axis use containment (`*-narrow`) rather than overlap?
+    pub fn is_narrow(self) -> bool {
+        matches!(self, StandoffAxis::SelectNarrow | StandoffAxis::RejectNarrow)
+    }
+
+    /// The select axis whose complement this reject axis is (identity for
+    /// selects).
+    pub fn select_counterpart(self) -> StandoffAxis {
+        match self {
+            StandoffAxis::RejectNarrow => StandoffAxis::SelectNarrow,
+            StandoffAxis::RejectWide => StandoffAxis::SelectWide,
+            s => s,
+        }
+    }
+}
+
+impl std::fmt::Display for StandoffAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Evaluation strategy for a StandOff join.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StandoffStrategy {
+    /// Quadratic nested loop against *all* document elements — the
+    /// XQuery-function baseline without a candidate sequence (Figure 2).
+    NaiveNoCandidates,
+    /// Quadratic nested loop against the candidate sequence (Figure 3).
+    NaiveWithCandidates,
+    /// Basic StandOff MergeJoin (§4.4): merge join per iteration —
+    /// re-scans the candidate sequence once per for-loop iteration.
+    BasicMergeJoin,
+    /// Loop-lifted StandOff MergeJoin (§4.5, Listing 1): all iterations
+    /// in a single scan.
+    LoopLiftedMergeJoin,
+}
+
+impl StandoffStrategy {
+    pub const ALL: [StandoffStrategy; 4] = [
+        StandoffStrategy::NaiveNoCandidates,
+        StandoffStrategy::NaiveWithCandidates,
+        StandoffStrategy::BasicMergeJoin,
+        StandoffStrategy::LoopLiftedMergeJoin,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StandoffStrategy::NaiveNoCandidates => "naive",
+            StandoffStrategy::NaiveWithCandidates => "naive-candidates",
+            StandoffStrategy::BasicMergeJoin => "basic-mergejoin",
+            StandoffStrategy::LoopLiftedMergeJoin => "loop-lifted-mergejoin",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<StandoffStrategy> {
+        Some(match s {
+            "naive" => StandoffStrategy::NaiveNoCandidates,
+            "naive-candidates" => StandoffStrategy::NaiveWithCandidates,
+            "basic-mergejoin" | "basic" => StandoffStrategy::BasicMergeJoin,
+            "loop-lifted-mergejoin" | "loop-lifted" | "ll" => {
+                StandoffStrategy::LoopLiftedMergeJoin
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for StandoffStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A `(iteration, node)` pair — the join's input and output unit. `node`
+/// is a pre-order rank in the join's document fragment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct IterNode {
+    pub iter: u32,
+    pub node: u32,
+}
+
+/// A context region row fed to the merge joins: the paper's
+/// `iter|start|end` context table (§4.5) plus the annotation node id
+/// needed for multi-region (∀∃) post-processing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CtxEntry {
+    pub iter: u32,
+    pub node: u32,
+    pub start: i64,
+    pub end: i64,
+}
+
+/// A raw match produced by a merge join before post-processing: candidate
+/// entry `cand_idx` (an index into the candidate [`RegionEntry`] slice)
+/// matched context annotation `ctx_node` in iteration `iter`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Emission {
+    pub iter: u32,
+    pub ctx_node: u32,
+    pub cand_idx: u32,
+}
+
+/// Everything a StandOff join evaluation needs for one document fragment.
+///
+/// The paper first partitions the context sequence per XML fragment and
+/// runs the join fragment-by-fragment (§4.4); the query engine performs
+/// that partitioning and builds one `JoinInput` per fragment.
+pub struct JoinInput<'a> {
+    pub doc: &'a Document,
+    pub index: &'a RegionIndex,
+    /// Context `(iter, node)` pairs, grouped by ascending iter, document
+    /// order within each iteration.
+    pub context: &'a [IterNode],
+    /// Candidate node pre ranks (ascending), produced by a pushed-down
+    /// selection such as an element name test; `None` means "no
+    /// restriction" — every annotation in the index is a candidate.
+    pub candidates: Option<&'a [u32]>,
+    /// All iterations of the scope, ascending. Required by the reject
+    /// axes: an iteration whose context selects nothing must still reject
+    /// *all* candidates.
+    pub iter_domain: &'a [u32],
+}
+
+impl<'a> JoinInput<'a> {
+    /// Fetch `[start,end]` rows for all context nodes and sort by start —
+    /// the context-preparation step of §4.4. Context nodes that are not
+    /// area-annotations contribute no rows.
+    pub fn context_entries(&self) -> Vec<CtxEntry> {
+        let mut out = Vec::with_capacity(self.context.len());
+        for &IterNode { iter, node } in self.context {
+            for r in self.index.regions_of(node) {
+                out.push(CtxEntry {
+                    iter,
+                    node,
+                    start: r.start,
+                    end: r.end,
+                });
+            }
+        }
+        out.sort_by_key(|c| (c.start, c.end, c.iter, c.node));
+        out
+    }
+
+    /// The candidate region entries in start order: the full index, or
+    /// its intersection with the candidate node sequence (§4.3).
+    pub fn candidate_entries(&self) -> Vec<RegionEntry> {
+        match self.candidates {
+            None => self.index.entries().to_vec(),
+            Some(nodes) => self.index.candidates_for(nodes),
+        }
+    }
+
+    /// The distinct candidate *annotation* nodes, ascending — the universe
+    /// the reject axes complement against.
+    pub fn candidate_universe(&self) -> Vec<u32> {
+        match self.candidates {
+            None => self.index.annotated_nodes().to_vec(),
+            Some(nodes) => nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.index.region_count(n) > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Evaluate a StandOff join on one document fragment.
+///
+/// Returns `(iter, node)` pairs sorted by `(iter, node)` — duplicate-free
+/// and in document order per iteration, as required of an XPath step.
+pub fn evaluate_standoff_join(
+    axis: StandoffAxis,
+    strategy: StandoffStrategy,
+    input: &JoinInput<'_>,
+    trace: Option<&mut dyn TraceSink>,
+) -> Vec<IterNode> {
+    // All four axes share one selection core; rejects complement it.
+    let select_axis = axis.select_counterpart();
+    let selected: Vec<IterNode> = match strategy {
+        StandoffStrategy::NaiveNoCandidates => naive::naive_select(select_axis, input, false),
+        StandoffStrategy::NaiveWithCandidates => naive::naive_select(select_axis, input, true),
+        StandoffStrategy::BasicMergeJoin => {
+            // §4.4/§4.6: the basic algorithm is invoked once per
+            // iteration, and every invocation re-derives its candidate
+            // sequence from the region index — the "repeated full scans
+            // of the region index" that make XMark Q2 blow up.
+            let ctx = input.context_entries();
+            let per_annotation =
+                select_axis.is_narrow() && input.index.max_regions() > 1;
+            let mut iters: Vec<u32> = ctx.iter().map(|c| c.iter).collect();
+            iters.sort_unstable();
+            iters.dedup();
+            let mut emissions: Vec<Emission> = Vec::new();
+            let mut cands: Vec<crate::index::RegionEntry> = Vec::new();
+            for &iter in &iters {
+                cands = input.candidate_entries(); // re-scanned per iteration
+                let single: Vec<CtxEntry> = ctx
+                    .iter()
+                    .filter(|c| c.iter == iter)
+                    .map(|c| CtxEntry { iter: 0, ..*c })
+                    .collect();
+                let ems = match select_axis {
+                    StandoffAxis::SelectNarrow => {
+                        merge::ll_select_narrow(&single, &cands, per_annotation, None)
+                    }
+                    _ => merge::ll_select_wide(&single, &cands),
+                };
+                emissions.extend(ems.into_iter().map(|e| Emission { iter, ..e }));
+            }
+            emissions.sort_unstable();
+            post::finalize_select(select_axis, &emissions, &cands, input.index)
+        }
+        StandoffStrategy::LoopLiftedMergeJoin => {
+            let ctx = input.context_entries();
+            let cands = input.candidate_entries();
+            // Multi-region containment (∀∃) must attribute every match to
+            // a specific context annotation; see merge.rs.
+            let per_annotation =
+                select_axis.is_narrow() && input.index.max_regions() > 1;
+            let emissions = match select_axis {
+                StandoffAxis::SelectNarrow => {
+                    merge::ll_select_narrow(&ctx, &cands, per_annotation, trace)
+                }
+                _ => merge::ll_select_wide(&ctx, &cands),
+            };
+            post::finalize_select(select_axis, &emissions, &cands, input.index)
+        }
+    };
+    if axis.is_select() {
+        selected
+    } else {
+        post::complement(&selected, &input.candidate_universe(), input.iter_domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_round_trip() {
+        for axis in StandoffAxis::ALL {
+            assert_eq!(StandoffAxis::parse(axis.as_str()), Some(axis));
+        }
+        assert_eq!(StandoffAxis::parse("descendant"), None);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in StandoffStrategy::ALL {
+            assert_eq!(StandoffStrategy::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(StandoffStrategy::parse("ll"), Some(StandoffStrategy::LoopLiftedMergeJoin));
+    }
+
+    #[test]
+    fn axis_classification() {
+        use StandoffAxis::*;
+        assert!(SelectNarrow.is_select() && SelectNarrow.is_narrow());
+        assert!(SelectWide.is_select() && !SelectWide.is_narrow());
+        assert!(!RejectNarrow.is_select() && RejectNarrow.is_narrow());
+        assert!(!RejectWide.is_select() && !RejectWide.is_narrow());
+        assert_eq!(RejectWide.select_counterpart(), SelectWide);
+        assert_eq!(SelectNarrow.select_counterpart(), SelectNarrow);
+    }
+}

@@ -1,0 +1,160 @@
+//! Naive nested-loop baselines — the paper's XQuery-function
+//! implementation alternatives (§3.2, Figures 2 and 3).
+//!
+//! Both compare every context annotation against every candidate, per
+//! iteration — quadratic work that the paper's Figure 6 shows DNF-ing
+//! (without candidates) or trailing the merge joins by one to two orders
+//! of magnitude (with candidates). They double as the test oracle: the
+//! area predicates are applied literally, with no merge-join machinery to
+//! get wrong.
+
+use standoff_xml::NodeKind;
+
+use crate::join::{IterNode, JoinInput, StandoffAxis};
+use crate::region::Area;
+
+/// Nested-loop evaluation of a select join.
+///
+/// `with_candidates = false` models Figure 2 (`for $p in root($q)//*`):
+/// the inner loop visits **every element of the document**, checking each
+/// for region markup, regardless of any candidate restriction. With
+/// `true` it models Figure 3: the inner loop visits the candidate
+/// sequence only.
+pub fn naive_select(
+    axis: StandoffAxis,
+    input: &JoinInput<'_>,
+    with_candidates: bool,
+) -> Vec<IterNode> {
+    debug_assert!(axis.is_select());
+    let narrow = axis.is_narrow();
+
+    // The inner node universe, fetched per the strategy.
+    let inner: Vec<u32> = if with_candidates {
+        input.candidate_universe()
+    } else {
+        // root($q)//* — every element node, annotated or not; the area
+        // check happens (and fails) inside the loop, like the UDF's
+        // predicate on @start/@end.
+        (0..input.doc.node_count() as u32)
+            .filter(|&p| input.doc.kind(p) == NodeKind::Element)
+            .collect()
+    };
+
+    let mut out: Vec<IterNode> = Vec::new();
+    for &IterNode { iter, node } in input.context {
+        let Some(a1) = area_of(input, node) else {
+            continue; // context node is not an area-annotation
+        };
+        for &cand in &inner {
+            let Some(a2) = area_of(input, cand) else {
+                continue;
+            };
+            let matched = if narrow {
+                a1.contains(&a2)
+            } else {
+                a1.overlaps(&a2)
+            };
+            if matched {
+                out.push(IterNode { iter, node: cand });
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn area_of(input: &JoinInput<'_>, pre: u32) -> Option<Area> {
+    let regions = input.index.regions_of(pre);
+    if regions.is_empty() {
+        None
+    } else {
+        Some(Area::try_new(regions.to_vec()).expect("index stores valid areas"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StandoffConfig;
+    use crate::index::RegionIndex;
+    use standoff_xml::parse_document;
+
+    fn figure1() -> (standoff_xml::Document, RegionIndex) {
+        let doc = parse_document(
+            r#"<sample>
+                 <video>
+                   <shot id="Intro" start="0" end="8"/>
+                   <shot id="Interview" start="8" end="64"/>
+                   <shot id="Outro" start="64" end="94"/>
+                 </video>
+                 <audio>
+                   <music artist="U2" start="0" end="31"/>
+                   <music artist="Bach" start="52" end="94"/>
+                 </audio>
+               </sample>"#,
+        )
+        .unwrap();
+        let idx = RegionIndex::build(&doc, &StandoffConfig::default()).unwrap();
+        (doc, idx)
+    }
+
+    fn shot_ids(doc: &standoff_xml::Document, nodes: &[IterNode]) -> Vec<String> {
+        nodes
+            .iter()
+            .map(|n| doc.attribute(n.node, "id").unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn figure1_u2_narrow_and_wide() {
+        let (doc, index) = figure1();
+        let u2 = doc.elements_named("music")[0];
+        let shots = doc.elements_named("shot");
+        let ctx = [IterNode { iter: 0, node: u2 }];
+        let input = JoinInput {
+            doc: &doc,
+            index: &index,
+            context: &ctx,
+            candidates: Some(shots),
+            iter_domain: &[0],
+        };
+        let narrow = naive_select(StandoffAxis::SelectNarrow, &input, true);
+        assert_eq!(shot_ids(&doc, &narrow), vec!["Intro"]);
+        let wide = naive_select(StandoffAxis::SelectWide, &input, true);
+        assert_eq!(shot_ids(&doc, &wide), vec!["Intro", "Interview"]);
+    }
+
+    #[test]
+    fn without_candidates_scans_everything_but_matches_annotated_only() {
+        let (doc, index) = figure1();
+        let u2 = doc.elements_named("music")[0];
+        let ctx = [IterNode { iter: 0, node: u2 }];
+        let input = JoinInput {
+            doc: &doc,
+            index: &index,
+            context: &ctx,
+            candidates: None,
+            iter_domain: &[0],
+        };
+        let wide = naive_select(StandoffAxis::SelectWide, &input, false);
+        // U2 [0,31] overlaps Intro, Interview and itself; <video>/<audio>
+        // have no regions and never match.
+        assert_eq!(wide.len(), 3);
+    }
+
+    #[test]
+    fn unannotated_context_contributes_nothing() {
+        let (doc, index) = figure1();
+        let video = doc.elements_named("video")[0];
+        let ctx = [IterNode { iter: 0, node: video }];
+        let input = JoinInput {
+            doc: &doc,
+            index: &index,
+            context: &ctx,
+            candidates: None,
+            iter_domain: &[0],
+        };
+        assert!(naive_select(StandoffAxis::SelectWide, &input, false).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Post-processing of merge-join emissions (paper §4.5, "some
+//! post-processing (omitted) occurs that maps these into node-ids, unique
+//! and in document order per iter").
+//!
+//! * In the single-region (attribute) mode, a region match *is* an
+//!   annotation match: map entries to node ids, deduplicate, sort.
+//! * In the multi-region (element) mode, `select-narrow`'s ∀∃ semantics
+//!   require every region of a candidate annotation to be contained in
+//!   the *same* context annotation: group emissions by
+//!   `(iter, context annotation, candidate annotation)` and check that
+//!   all candidate regions were matched. (`select-wide` stays ∃∃ — any
+//!   region match selects the annotation.)
+//! * The reject axes are complements of their select counterparts over
+//!   the candidate universe, computed per iteration of the scope.
+
+use crate::index::{RegionEntry, RegionIndex};
+use crate::join::{Emission, IterNode, StandoffAxis};
+
+/// Turn raw emissions into the select-join result: `(iter, node)` pairs,
+/// sorted and duplicate-free (document order per iteration).
+pub fn finalize_select(
+    axis: StandoffAxis,
+    emissions: &[Emission],
+    candidates: &[RegionEntry],
+    index: &RegionIndex,
+) -> Vec<IterNode> {
+    debug_assert!(axis.is_select());
+    // Fast path: every annotation is a single region (always true in the
+    // attribute representation), or overlap semantics (∃∃) — any region
+    // match selects its annotation.
+    if index.max_regions() <= 1 || axis == StandoffAxis::SelectWide {
+        let mut out: Vec<IterNode> = emissions
+            .iter()
+            .map(|e| IterNode {
+                iter: e.iter,
+                node: candidates[e.cand_idx as usize].id,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        return out;
+    }
+
+    // Multi-region containment: a candidate annotation is selected in an
+    // iteration iff SOME context annotation contains ALL of its regions.
+    // Key each emission by (iter, ctx annotation, cand annotation, region
+    // ordinal), deduplicate, then count ordinals per key prefix.
+    let mut keyed: Vec<(u32, u32, u32, u32)> = emissions
+        .iter()
+        .map(|e| {
+            let entry = candidates[e.cand_idx as usize];
+            let ordinal = index
+                .regions_of(entry.id)
+                .binary_search_by_key(&(entry.start, entry.end), |r| (r.start, r.end))
+                .expect("candidate entry comes from the index") as u32;
+            (e.iter, e.ctx_node, entry.id, ordinal)
+        })
+        .collect();
+    keyed.sort_unstable();
+    keyed.dedup();
+
+    let mut out: Vec<IterNode> = Vec::new();
+    let mut k = 0;
+    while k < keyed.len() {
+        let (iter, ctx, cand, _) = keyed[k];
+        let mut run = k;
+        while run < keyed.len() {
+            let (i2, c2, n2, _) = keyed[run];
+            if (i2, c2, n2) != (iter, ctx, cand) {
+                break;
+            }
+            run += 1;
+        }
+        if run - k == index.region_count(cand) {
+            out.push(IterNode { iter, node: cand });
+        }
+        k = run;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Complement a select result against the candidate universe, per
+/// iteration of the scope: the reject axes. `selected` must be sorted;
+/// `universe` ascending node ids; `iter_domain` ascending iterations.
+pub fn complement(selected: &[IterNode], universe: &[u32], iter_domain: &[u32]) -> Vec<IterNode> {
+    debug_assert!(selected.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(universe.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    for &iter in iter_domain {
+        let lo = selected.partition_point(|e| e.iter < iter);
+        let hi = selected.partition_point(|e| e.iter <= iter);
+        let taken = &selected[lo..hi];
+        // Merge-difference: both sides ascending.
+        let mut t = 0;
+        for &node in universe {
+            while t < taken.len() && taken[t].node < node {
+                t += 1;
+            }
+            if t < taken.len() && taken[t].node == node {
+                continue;
+            }
+            out.push(IterNode { iter, node });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Area;
+
+    fn entry(start: i64, end: i64, id: u32) -> RegionEntry {
+        RegionEntry { start, end, id }
+    }
+
+    #[test]
+    fn single_region_select_dedups_and_sorts() {
+        let index = RegionIndex::from_areas(&[
+            (5, Area::single(0, 10).unwrap()),
+            (9, Area::single(20, 30).unwrap()),
+        ]);
+        let cands = vec![entry(0, 10, 5), entry(20, 30, 9)];
+        let emissions = vec![
+            Emission { iter: 1, ctx_node: 2, cand_idx: 1 },
+            Emission { iter: 0, ctx_node: 2, cand_idx: 0 },
+            Emission { iter: 0, ctx_node: 3, cand_idx: 0 }, // duplicate via other ctx
+        ];
+        let out = finalize_select(StandoffAxis::SelectNarrow, &emissions, &cands, &index);
+        assert_eq!(
+            out,
+            vec![
+                IterNode { iter: 0, node: 5 },
+                IterNode { iter: 1, node: 9 }
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_region_narrow_requires_all_regions_in_same_context() {
+        // Candidate annotation 7 has two regions.
+        let index = RegionIndex::from_areas(&[(7, Area::try_new(vec![
+            crate::region::Region::new(0, 10).unwrap(),
+            crate::region::Region::new(20, 30).unwrap(),
+        ])
+        .unwrap())]);
+        let cands = vec![entry(0, 10, 7), entry(20, 30, 7)];
+
+        // Context annotation 100 contains both regions → selected.
+        let both = vec![
+            Emission { iter: 0, ctx_node: 100, cand_idx: 0 },
+            Emission { iter: 0, ctx_node: 100, cand_idx: 1 },
+        ];
+        assert_eq!(
+            finalize_select(StandoffAxis::SelectNarrow, &both, &cands, &index),
+            vec![IterNode { iter: 0, node: 7 }]
+        );
+
+        // Two different contexts each contain one region → NOT selected
+        // (∃a1 must contain all regions of a2).
+        let split = vec![
+            Emission { iter: 0, ctx_node: 100, cand_idx: 0 },
+            Emission { iter: 0, ctx_node: 200, cand_idx: 1 },
+        ];
+        assert!(finalize_select(StandoffAxis::SelectNarrow, &split, &cands, &index).is_empty());
+
+        // Wide stays ∃∃: one region match suffices.
+        let one = vec![Emission { iter: 0, ctx_node: 100, cand_idx: 1 }];
+        assert_eq!(
+            finalize_select(StandoffAxis::SelectWide, &one, &cands, &index),
+            vec![IterNode { iter: 0, node: 7 }]
+        );
+    }
+
+    #[test]
+    fn complement_per_iteration() {
+        let selected = vec![
+            IterNode { iter: 0, node: 2 },
+            IterNode { iter: 2, node: 4 },
+        ];
+        let out = complement(&selected, &[2, 4, 6], &[0, 1, 2]);
+        assert_eq!(
+            out,
+            vec![
+                IterNode { iter: 0, node: 4 },
+                IterNode { iter: 0, node: 6 },
+                IterNode { iter: 1, node: 2 },
+                IterNode { iter: 1, node: 4 },
+                IterNode { iter: 1, node: 6 },
+                IterNode { iter: 2, node: 2 },
+                IterNode { iter: 2, node: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn complement_of_everything_is_empty() {
+        let selected = vec![IterNode { iter: 0, node: 1 }, IterNode { iter: 0, node: 2 }];
+        assert!(complement(&selected, &[1, 2], &[0]).is_empty());
+    }
+
+    #[test]
+    fn complement_with_empty_selection_returns_universe() {
+        let out = complement(&[], &[1, 2], &[5]);
+        assert_eq!(
+            out,
+            vec![IterNode { iter: 5, node: 1 }, IterNode { iter: 5, node: 2 }]
+        );
+    }
+}

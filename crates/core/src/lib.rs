@@ -1,0 +1,37 @@
+//! # standoff-core
+//!
+//! The primary contribution of *Efficient XQuery Support for Stand-Off
+//! Annotation* (Alink et al., XIME-P/SIGMOD 2006), as a reusable library:
+//!
+//! * [`Region`] / [`Area`] — the paper's annotation model (§2): an
+//!   *area-annotation* is an XML element carrying one or more
+//!   non-overlapping, non-touching `[start,end]` regions over an external
+//!   BLOB, with the `contains`/`overlaps` predicates of §3.1;
+//! * [`StandoffConfig`] — the configurable representation (§2): regions as
+//!   `start`/`end` attributes or as `<region>` child elements, with
+//!   application-chosen names (`declare option standoff-*`);
+//! * [`RegionIndex`] — the `start|end|id` index clustered on `start`
+//!   (§4.3), with candidate-sequence intersection;
+//! * [`StandoffAxis`] — the four StandOff joins of §3.1 (`select-narrow`,
+//!   `select-wide`, `reject-narrow`, `reject-wide`);
+//! * [`join`] — the evaluation algorithms of §4 under a common interface:
+//!   the quadratic *naive* baselines (the paper's XQuery-function
+//!   Alternatives 1 and 2), the *Basic StandOff MergeJoin* (§4.4) and the
+//!   *Loop-Lifted StandOff MergeJoin* (§4.5, Listing 1), selected by
+//!   [`StandoffStrategy`];
+//! * [`trace`] — an execution-trace hook that reproduces the paper's
+//!   Figure 4 step-by-step.
+
+pub mod config;
+pub mod error;
+pub mod index;
+pub mod join;
+pub mod region;
+pub mod trace;
+
+pub use config::{RegionRepr, StandoffConfig};
+pub use error::StandoffError;
+pub use index::{RegionEntry, RegionIndex};
+pub use join::{evaluate_standoff_join, IterNode, JoinInput, StandoffAxis, StandoffStrategy};
+pub use region::{Area, Region};
+pub use trace::{NoTrace, TraceEvent, TraceSink, VecTrace};

@@ -1,0 +1,294 @@
+//! Property-based equivalence of the four StandOff join strategies.
+//!
+//! The naive nested-loop join applies the §3.1 predicates literally and
+//! serves as the oracle. The Basic and Loop-Lifted StandOff MergeJoins
+//! must produce identical results on arbitrary region configurations —
+//! overlapping, nested, duplicated, multi-iteration, with and without
+//! candidate restrictions, in both region representations.
+
+use proptest::prelude::*;
+
+use standoff_core::join::merge::{ll_select_narrow, ll_select_narrow_heap};
+use standoff_core::join::CtxEntry;
+use standoff_core::{
+    evaluate_standoff_join, IterNode, JoinInput, RegionEntry, RegionIndex, StandoffAxis,
+    StandoffStrategy,
+};
+use standoff_xml::DocumentBuilder;
+
+/// A generated annotation: node with 1..=3 regions.
+#[derive(Clone, Debug)]
+struct GenAnnotation {
+    regions: Vec<(i64, i64)>,
+}
+
+fn annotation_strategy(max_pos: i64, multi: bool) -> impl Strategy<Value = GenAnnotation> {
+    let max_regions = if multi { 3 } else { 1 };
+    prop::collection::vec((0..max_pos, 0..20i64), 1..=max_regions).prop_map(move |raw| {
+        // Convert (start, len) pairs into disjoint, non-touching regions
+        // by sorting and dropping conflicting ones.
+        let mut regions: Vec<(i64, i64)> = raw
+            .into_iter()
+            .map(|(s, l)| (s, (s + l).min(max_pos + 30)))
+            .collect();
+        regions.sort_unstable();
+        let mut out: Vec<(i64, i64)> = Vec::new();
+        for (s, e) in regions {
+            match out.last() {
+                Some(&(_, pe)) if s <= pe + 1 => {} // would overlap/touch: drop
+                _ => out.push((s, e)),
+            }
+        }
+        GenAnnotation { regions: out }
+    })
+}
+
+/// Build a flat document `<doc><a .../><a .../>...</doc>` whose elements
+/// carry the generated areas, and the matching region index.
+fn build(annotations: &[GenAnnotation], multi: bool) -> (standoff_xml::Document, RegionIndex) {
+    let mut b = DocumentBuilder::new();
+    b.start_element("doc");
+    for a in annotations {
+        b.start_element("a");
+        if multi {
+            for &(s, e) in &a.regions {
+                b.start_element("region");
+                b.start_element("start");
+                b.text(&s.to_string());
+                b.end_element();
+                b.start_element("end");
+                b.text(&e.to_string());
+                b.end_element();
+                b.end_element();
+            }
+        } else {
+            let (s, e) = a.regions[0];
+            b.attribute("start", &s.to_string());
+            b.attribute("end", &e.to_string());
+        }
+        b.end_element();
+    }
+    b.end_element();
+    let doc = b.finish().unwrap();
+    let config = if multi {
+        standoff_core::StandoffConfig::element_repr()
+    } else {
+        standoff_core::StandoffConfig::default()
+    };
+    let index = RegionIndex::build(&doc, &config).unwrap();
+    (doc, index)
+}
+
+fn run_all_strategies(
+    annotations: Vec<GenAnnotation>,
+    ctx_picks: Vec<(u32, usize)>,
+    cand_picks: Option<Vec<usize>>,
+    multi: bool,
+) {
+    if annotations.is_empty() {
+        return;
+    }
+    let (doc, index) = build(&annotations, multi);
+    let nodes = doc.elements_named("a").to_vec();
+
+    // Context: (iter, node) pairs, grouped by iter, doc order within iter.
+    let mut context: Vec<IterNode> = ctx_picks
+        .iter()
+        .map(|&(iter, k)| IterNode {
+            iter: iter % 3,
+            node: nodes[k % nodes.len()],
+        })
+        .collect();
+    context.sort_unstable();
+    context.dedup();
+
+    let candidates: Option<Vec<u32>> = cand_picks.map(|picks| {
+        let mut c: Vec<u32> = picks.iter().map(|&k| nodes[k % nodes.len()]).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    });
+
+    let iter_domain = [0, 1, 2];
+    let input = JoinInput {
+        doc: &doc,
+        index: &index,
+        context: &context,
+        candidates: candidates.as_deref(),
+        iter_domain: &iter_domain,
+    };
+
+    for axis in StandoffAxis::ALL {
+        let oracle = evaluate_standoff_join(axis, StandoffStrategy::NaiveWithCandidates, &input, None);
+        for strategy in [
+            StandoffStrategy::NaiveNoCandidates,
+            StandoffStrategy::BasicMergeJoin,
+            StandoffStrategy::LoopLiftedMergeJoin,
+        ] {
+            // The no-candidates baseline ignores the candidate
+            // restriction by design; only compare when none is set.
+            if strategy == StandoffStrategy::NaiveNoCandidates && candidates.is_some() {
+                continue;
+            }
+            let got = evaluate_standoff_join(axis, strategy, &input, None);
+            assert_eq!(
+                got, oracle,
+                "{axis} under {strategy} diverges from the naive oracle\n\
+                 annotations: {annotations:?}\ncontext: {context:?}\ncandidates: {candidates:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Single-region annotations (attribute representation): all
+    /// strategies agree on all four axes.
+    #[test]
+    fn strategies_agree_single_region(
+        annotations in prop::collection::vec(annotation_strategy(120, false), 1..24),
+        ctx in prop::collection::vec((0u32..3, 0usize..24), 0..12),
+        cands in prop::option::of(prop::collection::vec(0usize..24, 0..16)),
+    ) {
+        run_all_strategies(annotations, ctx, cands, false);
+    }
+
+    /// Multi-region annotations (element representation): the ∀∃
+    /// containment and ∃∃ overlap semantics agree across strategies.
+    #[test]
+    fn strategies_agree_multi_region(
+        annotations in prop::collection::vec(annotation_strategy(80, true), 1..16),
+        ctx in prop::collection::vec((0u32..3, 0usize..16), 0..10),
+        cands in prop::option::of(prop::collection::vec(0usize..16, 0..12)),
+    ) {
+        run_all_strategies(annotations, ctx, cands, true);
+    }
+
+    /// Structural invariants of every result: sorted, duplicate-free,
+    /// rejects are exact complements of selects over the candidate
+    /// universe.
+    #[test]
+    fn rejects_complement_selects(
+        annotations in prop::collection::vec(annotation_strategy(100, false), 1..20),
+        ctx in prop::collection::vec((0u32..2, 0usize..20), 0..10),
+    ) {
+        let (doc, index) = build(&annotations, false);
+        let nodes = doc.elements_named("a").to_vec();
+        let mut context: Vec<IterNode> = ctx
+            .iter()
+            .map(|&(iter, k)| IterNode { iter: iter % 2, node: nodes[k % nodes.len()] })
+            .collect();
+        context.sort_unstable();
+        context.dedup();
+        let iter_domain = [0, 1];
+        let input = JoinInput {
+            doc: &doc,
+            index: &index,
+            context: &context,
+            candidates: None,
+            iter_domain: &iter_domain,
+        };
+        for (sel, rej) in [
+            (StandoffAxis::SelectNarrow, StandoffAxis::RejectNarrow),
+            (StandoffAxis::SelectWide, StandoffAxis::RejectWide),
+        ] {
+            let s = evaluate_standoff_join(sel, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
+            let r = evaluate_standoff_join(rej, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "select sorted+unique");
+            prop_assert!(r.windows(2).all(|w| w[0] < w[1]), "reject sorted+unique");
+            // Per iteration: select ∪ reject = universe, disjoint.
+            let universe = input.candidate_universe();
+            for &iter in &iter_domain {
+                let sel_nodes: Vec<u32> =
+                    s.iter().filter(|e| e.iter == iter).map(|e| e.node).collect();
+                let rej_nodes: Vec<u32> =
+                    r.iter().filter(|e| e.iter == iter).map(|e| e.node).collect();
+                let mut union: Vec<u32> = sel_nodes.iter().chain(&rej_nodes).copied().collect();
+                union.sort_unstable();
+                prop_assert_eq!(&union, &universe, "select ⊎ reject = candidates (iter {})", iter);
+            }
+        }
+    }
+
+    /// The §5 heap-based active list yields the same deduplicated
+    /// matches as the sorted-list implementation of Listing 1.
+    #[test]
+    fn heap_active_list_equals_sorted_list(
+        raw_ctx in prop::collection::vec((0u32..4, 0i64..200, 0i64..60), 0..40),
+        raw_cands in prop::collection::vec((0i64..220, 0i64..50), 0..40),
+    ) {
+        let mut context: Vec<CtxEntry> = raw_ctx
+            .iter()
+            .enumerate()
+            .map(|(k, &(iter, start, len))| CtxEntry {
+                iter,
+                node: k as u32,
+                start,
+                end: start + len,
+            })
+            .collect();
+        context.sort_by_key(|c| (c.start, c.end, c.iter, c.node));
+        let mut candidates: Vec<RegionEntry> = raw_cands
+            .iter()
+            .enumerate()
+            .map(|(k, &(start, len))| RegionEntry {
+                start,
+                end: start + len,
+                id: k as u32,
+            })
+            .collect();
+        candidates.sort_by_key(|e| (e.start, e.end, e.id));
+
+        let dedup = |mut v: Vec<(u32, u32)>| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let list = dedup(
+            ll_select_narrow(&context, &candidates, false, None)
+                .into_iter()
+                .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+                .collect(),
+        );
+        let heap = dedup(
+            ll_select_narrow_heap(&context, &candidates)
+                .into_iter()
+                .map(|e| (e.iter, candidates[e.cand_idx as usize].id))
+                .collect(),
+        );
+        prop_assert_eq!(list, heap);
+    }
+
+    /// Narrow results are always a subset of wide results (containment
+    /// implies overlap).
+    #[test]
+    fn narrow_subset_of_wide(
+        annotations in prop::collection::vec(annotation_strategy(100, true), 1..16),
+        ctx in prop::collection::vec((0u32..2, 0usize..16), 1..8),
+    ) {
+        let (doc, index) = build(&annotations, true);
+        let nodes = doc.elements_named("a").to_vec();
+        let mut context: Vec<IterNode> = ctx
+            .iter()
+            .map(|&(iter, k)| IterNode { iter: iter % 2, node: nodes[k % nodes.len()] })
+            .collect();
+        context.sort_unstable();
+        context.dedup();
+        let iter_domain = [0, 1];
+        let input = JoinInput {
+            doc: &doc,
+            index: &index,
+            context: &context,
+            candidates: None,
+            iter_domain: &iter_domain,
+        };
+        let narrow = evaluate_standoff_join(
+            StandoffAxis::SelectNarrow, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
+        let wide = evaluate_standoff_join(
+            StandoffAxis::SelectWide, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
+        for e in &narrow {
+            prop_assert!(wide.contains(e), "{e:?} selected by narrow but not wide");
+        }
+    }
+}

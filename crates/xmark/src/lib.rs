@@ -1,0 +1,25 @@
+//! # standoff-xmark
+//!
+//! The evaluation workload of the paper (§4.6): the XMark auction
+//! benchmark (Schmidt et al., VLDB 2002), generated from scratch, plus
+//! the paper's *StandOff-ification*:
+//!
+//! * [`generate`] — a deterministic XMark document generator with the
+//!   original element hierarchy (site / regions / categories / catgraph /
+//!   people / open_auctions / closed_auctions) and skewed text, scaled by
+//!   a factor like the original `xmlgen`;
+//! * [`standoffify()`](standoffify::standoffify) — the §4.6 transform: move all character data into a
+//!   separate BLOB, attach `start`/`end` region attributes to every
+//!   element, and permute the element order at a coarse level so that the
+//!   original parent-child relationships are no longer represented by the
+//!   tree (only by the regions);
+//! * [`queries`] — XMark queries Q1, Q2, Q6 and Q7 in their standard and
+//!   StandOff forms (Figure 5 shows the StandOff Q2).
+
+pub mod generator;
+pub mod queries;
+pub mod standoffify;
+mod words;
+
+pub use generator::{generate, serialized_size, XmarkConfig};
+pub use standoffify::{standoffify, StandoffDoc};

@@ -1,0 +1,320 @@
+//! Programmatic document construction.
+//!
+//! The builder appends nodes in document order and computes the pre/size/
+//! level encoding incrementally: `size` is back-patched when an element is
+//! closed. Attribute insertion is only legal directly after
+//! `start_element`, mirroring the shredding order of a streaming parser.
+
+use crate::doc::Document;
+use crate::error::XmlError;
+use crate::name::{NameId, NameTable};
+use crate::node::NodeKind;
+
+/// Incremental builder producing a shredded [`Document`].
+///
+/// ```
+/// use standoff_xml::DocumentBuilder;
+/// let mut b = DocumentBuilder::new();
+/// b.start_element("shot");
+/// b.attribute("id", "Intro");
+/// b.text("opening scene");
+/// b.end_element();
+/// let doc = b.finish().unwrap();
+/// assert_eq!(doc.elements_named("shot").len(), 1);
+/// ```
+pub struct DocumentBuilder {
+    names: NameTable,
+    kind: Vec<NodeKind>,
+    size: Vec<u32>,
+    level: Vec<u16>,
+    parent: Vec<u32>,
+    name: Vec<NameId>,
+    value: Vec<Box<str>>,
+    attr_first: Vec<u32>,
+    attr_owner: Vec<u32>,
+    attr_name: Vec<NameId>,
+    attr_value: Vec<Box<str>>,
+    /// Stack of open element pre ranks (document node at bottom).
+    open: Vec<u32>,
+    /// True while attributes may still be appended to the last element.
+    attrs_open: bool,
+    uri: Option<String>,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    pub fn new() -> Self {
+        let mut b = DocumentBuilder {
+            names: NameTable::new(),
+            kind: Vec::new(),
+            size: Vec::new(),
+            level: Vec::new(),
+            parent: Vec::new(),
+            name: Vec::new(),
+            value: Vec::new(),
+            attr_first: Vec::new(),
+            attr_owner: Vec::new(),
+            attr_name: Vec::new(),
+            attr_value: Vec::new(),
+            open: Vec::new(),
+            attrs_open: false,
+            uri: None,
+        };
+        // Document node at pre 0.
+        b.push_node(NodeKind::Document, NameId::NONE, "");
+        b.open.push(0);
+        b
+    }
+
+    /// Pre-size the columns for an expected node count (bulk loads).
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut b = Self::new();
+        b.kind.reserve(nodes);
+        b.size.reserve(nodes);
+        b.level.reserve(nodes);
+        b.parent.reserve(nodes);
+        b.name.reserve(nodes);
+        b.value.reserve(nodes);
+        b.attr_first.reserve(nodes + 1);
+        b
+    }
+
+    /// Set the URI the finished document will report.
+    pub fn uri(&mut self, uri: impl Into<String>) -> &mut Self {
+        self.uri = Some(uri.into());
+        self
+    }
+
+    fn push_node(&mut self, kind: NodeKind, name: NameId, value: &str) -> u32 {
+        let pre = self.kind.len() as u32;
+        let (parent, level) = match self.open.last() {
+            Some(&p) => (p, self.level[p as usize] + 1),
+            None => (0, 0),
+        };
+        self.kind.push(kind);
+        self.size.push(0);
+        self.level.push(level);
+        self.parent.push(parent);
+        self.name.push(name);
+        self.value.push(value.into());
+        self.attr_first.push(self.attr_name.len() as u32);
+        pre
+    }
+
+    /// Open a new element. Returns its pre rank.
+    pub fn start_element(&mut self, name: &str) -> u32 {
+        let name_id = self.names.intern(name);
+        let pre = self.push_node(NodeKind::Element, name_id, "");
+        self.open.push(pre);
+        self.attrs_open = true;
+        pre
+    }
+
+    /// Add an attribute to the most recently opened element. Must be called
+    /// before any child content is appended.
+    pub fn attribute(&mut self, name: &str, value: &str) -> &mut Self {
+        assert!(
+            self.attrs_open,
+            "attribute() must directly follow start_element()"
+        );
+        let owner = *self.open.last().expect("an element is open");
+        let name_id = self.names.intern(name);
+        self.attr_owner.push(owner);
+        self.attr_name.push(name_id);
+        self.attr_value.push(value.into());
+        self
+    }
+
+    /// Append a text node (empty strings are skipped; adjacent text nodes
+    /// are merged, as the XPath data model requires).
+    pub fn text(&mut self, content: &str) -> &mut Self {
+        if content.is_empty() {
+            return self;
+        }
+        self.attrs_open = false;
+        // Merge with a directly preceding text sibling.
+        if let Some(&last_kind) = self.kind.last() {
+            let last_pre = self.kind.len() as u32 - 1;
+            if last_kind == NodeKind::Text
+                && self.parent[last_pre as usize] == *self.open.last().unwrap()
+            {
+                let merged = format!("{}{}", self.value[last_pre as usize], content);
+                self.value[last_pre as usize] = merged.into();
+                return self;
+            }
+        }
+        self.push_node(NodeKind::Text, NameId::NONE, content);
+        self
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, content: &str) -> &mut Self {
+        self.attrs_open = false;
+        self.push_node(NodeKind::Comment, NameId::NONE, content);
+        self
+    }
+
+    /// Append a processing-instruction node.
+    pub fn pi(&mut self, target: &str, content: &str) -> &mut Self {
+        self.attrs_open = false;
+        let name_id = self.names.intern(target);
+        self.push_node(NodeKind::Pi, name_id, content);
+        self
+    }
+
+    /// Close the most recently opened element, back-patching its size.
+    pub fn end_element(&mut self) -> &mut Self {
+        assert!(self.open.len() > 1, "no element is open");
+        let pre = self.open.pop().unwrap();
+        self.size[pre as usize] = self.kind.len() as u32 - 1 - pre;
+        self.attrs_open = false;
+        self
+    }
+
+    /// Convenience: empty element with attributes.
+    pub fn empty_element(&mut self, name: &str, attrs: &[(&str, &str)]) -> &mut Self {
+        self.start_element(name);
+        for (k, v) in attrs {
+            self.attribute(k, v);
+        }
+        self.end_element()
+    }
+
+    /// Number of tree nodes appended so far (including the document node).
+    pub fn node_count(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Finish the document. Fails if elements are still open or the
+    /// document is empty.
+    pub fn finish(mut self) -> Result<Document, XmlError> {
+        if self.open.len() != 1 {
+            return Err(XmlError::Builder(format!(
+                "{} element(s) still open",
+                self.open.len() - 1
+            )));
+        }
+        if self.kind.len() == 1 {
+            return Err(XmlError::Builder("document has no content".into()));
+        }
+        // Close the document node.
+        self.size[0] = self.kind.len() as u32 - 1;
+        // CSR terminator.
+        self.attr_first.push(self.attr_name.len() as u32);
+        let doc = Document::from_columns(
+            self.uri,
+            self.names,
+            self.kind,
+            self.size,
+            self.level,
+            self.parent,
+            self.name,
+            self.value,
+            self.attr_first,
+            self.attr_owner,
+            self.attr_name,
+            self.attr_value,
+        );
+        debug_assert_eq!(doc.check_invariants(), Ok(()));
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_rejected() {
+        let b = DocumentBuilder::new();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn unclosed_element_is_rejected() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn adjacent_text_nodes_merge() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.text("foo");
+        b.text("bar");
+        b.end_element();
+        let d = b.finish().unwrap();
+        assert_eq!(d.node_count(), 3); // doc, a, text
+        assert_eq!(d.value(2), "foobar");
+    }
+
+    #[test]
+    fn empty_text_is_skipped() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.text("");
+        b.end_element();
+        let d = b.finish().unwrap();
+        assert_eq!(d.node_count(), 2);
+    }
+
+    #[test]
+    fn text_does_not_merge_across_elements() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.text("x");
+        b.start_element("b");
+        b.end_element();
+        b.text("y");
+        b.end_element();
+        let d = b.finish().unwrap();
+        // doc, a, "x", b, "y"
+        assert_eq!(d.node_count(), 5);
+        assert_eq!(d.value(2), "x");
+        assert_eq!(d.value(4), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute() must directly follow")]
+    fn attribute_after_text_panics() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.text("x");
+        b.attribute("k", "v");
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut b = DocumentBuilder::new();
+        for i in 0..100 {
+            b.start_element(&format!("n{i}"));
+        }
+        for _ in 0..100 {
+            b.end_element();
+        }
+        let d = b.finish().unwrap();
+        d.check_invariants().unwrap();
+        assert_eq!(d.level(100), 100);
+        assert_eq!(d.size(1), 99);
+    }
+
+    #[test]
+    fn pi_and_comment_nodes() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.comment("note");
+        b.pi("target", "data");
+        b.end_element();
+        let d = b.finish().unwrap();
+        assert_eq!(d.kind(2), crate::NodeKind::Comment);
+        assert_eq!(d.kind(3), crate::NodeKind::Pi);
+        assert_eq!(d.node_name(crate::NodeId::tree(3)), "target");
+        assert_eq!(d.value(3), "data");
+    }
+}

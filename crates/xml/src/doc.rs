@@ -1,0 +1,536 @@
+//! Shredded columnar document storage with the pre/size/level encoding.
+//!
+//! One row per tree node in pre (document) order. For a node with pre rank
+//! `p`, `size[p]` is its number of descendants, so its subtree occupies pre
+//! ranks `p ..= p + size[p]` — the *region encoding* that Staircase Join and
+//! the StandOff MergeJoin post-processing exploit. Attributes are shredded
+//! into a separate CSR-encoded table keyed by owner pre rank, exactly as in
+//! MonetDB/XQuery.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::name::{NameId, NameTable};
+use crate::node::{NodeId, NodeKind};
+
+/// A single shredded XML document (fragment).
+///
+/// Construct with [`crate::DocumentBuilder`] or [`crate::parse_document`];
+/// this type is immutable after construction (annotation databases in the
+/// paper are bulk-loaded, then queried).
+pub struct Document {
+    uri: Option<String>,
+    names: NameTable,
+    // --- tree node columns, indexed by pre rank ---
+    kind: Vec<NodeKind>,
+    size: Vec<u32>,
+    level: Vec<u16>,
+    parent: Vec<u32>,
+    name: Vec<NameId>,
+    value: Vec<Box<str>>,
+    // --- attribute table (CSR over owner pre rank) ---
+    attr_first: Vec<u32>,
+    attr_owner: Vec<u32>,
+    attr_name: Vec<NameId>,
+    attr_value: Vec<Box<str>>,
+    // --- element name index: name -> pre ranks in document order ---
+    elem_index: HashMap<NameId, Vec<u32>>,
+}
+
+impl Document {
+    /// Internal constructor used by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        uri: Option<String>,
+        names: NameTable,
+        kind: Vec<NodeKind>,
+        size: Vec<u32>,
+        level: Vec<u16>,
+        parent: Vec<u32>,
+        name: Vec<NameId>,
+        value: Vec<Box<str>>,
+        attr_first: Vec<u32>,
+        attr_owner: Vec<u32>,
+        attr_name: Vec<NameId>,
+        attr_value: Vec<Box<str>>,
+    ) -> Self {
+        debug_assert_eq!(attr_first.len(), kind.len() + 1);
+        let mut elem_index: HashMap<NameId, Vec<u32>> = HashMap::new();
+        for (pre, (&k, &n)) in kind.iter().zip(name.iter()).enumerate() {
+            if k == NodeKind::Element {
+                elem_index.entry(n).or_default().push(pre as u32);
+            }
+        }
+        Document {
+            uri,
+            names,
+            kind,
+            size,
+            level,
+            parent,
+            name,
+            value,
+            attr_first,
+            attr_owner,
+            attr_name,
+            attr_value,
+            elem_index,
+        }
+    }
+
+    /// The URI this document was registered under, if any.
+    pub fn uri(&self) -> Option<&str> {
+        self.uri.as_deref()
+    }
+
+    pub(crate) fn set_uri(&mut self, uri: String) {
+        self.uri = Some(uri);
+    }
+
+    /// Number of tree nodes (including the document node at pre 0).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Number of attribute nodes.
+    #[inline]
+    pub fn attr_count(&self) -> usize {
+        self.attr_name.len()
+    }
+
+    /// The document node (root of the fragment).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::tree(0)
+    }
+
+    /// QName table of this document.
+    #[inline]
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Kind of the tree node at `pre`.
+    #[inline]
+    pub fn kind(&self, pre: u32) -> NodeKind {
+        self.kind[pre as usize]
+    }
+
+    /// Subtree size (descendant count) of the tree node at `pre`.
+    #[inline]
+    pub fn size(&self, pre: u32) -> u32 {
+        self.size[pre as usize]
+    }
+
+    /// Depth of the tree node at `pre` (document node has level 0).
+    #[inline]
+    pub fn level(&self, pre: u32) -> u16 {
+        self.level[pre as usize]
+    }
+
+    /// Parent pre rank of the tree node at `pre` (the document node is its
+    /// own parent).
+    #[inline]
+    pub fn parent(&self, pre: u32) -> u32 {
+        self.parent[pre as usize]
+    }
+
+    /// Name id of the tree node at `pre` (`NameId::NONE` for unnamed kinds).
+    #[inline]
+    pub fn name_id(&self, pre: u32) -> NameId {
+        self.name[pre as usize]
+    }
+
+    /// Lexical name of a node (tree or attribute); empty for unnamed nodes.
+    pub fn node_name(&self, id: NodeId) -> String {
+        match id.attr_index() {
+            Some(a) => self.names.lexical(self.attr_name[a as usize]),
+            None => self.names.lexical(self.name[id.pre().expect("tree id") as usize]),
+        }
+    }
+
+    /// Name id of a node (tree or attribute).
+    pub fn node_name_id(&self, id: NodeId) -> NameId {
+        match id.attr_index() {
+            Some(a) => self.attr_name[a as usize],
+            None => self.name[id.pre().expect("tree id") as usize],
+        }
+    }
+
+    /// Kind of a node id; attributes report as `None` (they have no
+    /// [`NodeKind`]; callers branch on [`NodeId::is_attr`] first).
+    pub fn tree_kind(&self, id: NodeId) -> Option<NodeKind> {
+        id.pre().map(|p| self.kind(p))
+    }
+
+    /// Raw value column of the tree node at `pre` (text/comment/PI content).
+    #[inline]
+    pub fn value(&self, pre: u32) -> &str {
+        &self.value[pre as usize]
+    }
+
+    // ----- attributes -----
+
+    /// Attribute-table index range of the element at `pre`.
+    #[inline]
+    pub fn attr_range(&self, pre: u32) -> std::ops::Range<u32> {
+        self.attr_first[pre as usize]..self.attr_first[pre as usize + 1]
+    }
+
+    /// Attribute node ids of the element at `pre`, in attribute order.
+    pub fn attributes(&self, pre: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.attr_range(pre).map(NodeId::attr)
+    }
+
+    /// Owner element pre rank of the attribute with table index `idx`.
+    #[inline]
+    pub fn attr_owner(&self, idx: u32) -> u32 {
+        self.attr_owner[idx as usize]
+    }
+
+    /// Name id of the attribute with table index `idx`.
+    #[inline]
+    pub fn attr_name_id(&self, idx: u32) -> NameId {
+        self.attr_name[idx as usize]
+    }
+
+    /// Value of the attribute with table index `idx`.
+    #[inline]
+    pub fn attr_value(&self, idx: u32) -> &str {
+        &self.attr_value[idx as usize]
+    }
+
+    /// Value of the attribute of element `pre` named `name`, if present.
+    pub fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
+        let name_id = self.names.get(name)?;
+        self.attr_range(pre)
+            .find(|&a| self.attr_name[a as usize] == name_id)
+            .map(|a| &*self.attr_value[a as usize])
+    }
+
+    /// Attribute node id of element `pre` with name id `name_id`.
+    pub fn attribute_by_id(&self, pre: u32, name_id: NameId) -> Option<NodeId> {
+        self.attr_range(pre)
+            .find(|&a| self.attr_name[a as usize] == name_id)
+            .map(NodeId::attr)
+    }
+
+    // ----- navigation -----
+
+    /// First child of the node at `pre`, if any.
+    #[inline]
+    pub fn first_child(&self, pre: u32) -> Option<u32> {
+        if self.size(pre) > 0 {
+            Some(pre + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Next sibling of the node at `pre`, if any.
+    #[inline]
+    pub fn next_sibling(&self, pre: u32) -> Option<u32> {
+        if pre == 0 {
+            return None; // document node
+        }
+        let parent = self.parent(pre);
+        let next = pre + self.size(pre) + 1;
+        if next <= parent + self.size(parent) {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Children of the node at `pre`, in document order.
+    pub fn children(&self, pre: u32) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.first_child(pre),
+            end: pre + self.size(pre),
+        }
+    }
+
+    /// Pre ranks of the subtree rooted at `pre`, *excluding* `pre` itself.
+    #[inline]
+    pub fn descendants(&self, pre: u32) -> std::ops::RangeInclusive<u32> {
+        let s = self.size(pre);
+        if s == 0 {
+            // Empty range (start > end).
+            #[allow(clippy::reversed_empty_ranges)]
+            {
+                1..=0
+            }
+        } else {
+            (pre + 1)..=(pre + s)
+        }
+    }
+
+    /// Does `anc` (pre rank) contain `desc` (pre rank), strictly?
+    #[inline]
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        anc < desc && desc <= anc + self.size(anc)
+    }
+
+    /// Element pre ranks with the given name, in document order. Returns an
+    /// empty slice when the name does not occur — this is the element-name
+    /// index that produces *candidate sequences* for the StandOff joins
+    /// (paper §4.3).
+    pub fn elements_named(&self, name: &str) -> &[u32] {
+        self.names
+            .get(name)
+            .and_then(|id| self.elem_index.get(&id))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All element pre ranks in document order.
+    pub fn all_elements(&self) -> Vec<u32> {
+        (0..self.node_count() as u32)
+            .filter(|&p| self.kind(p) == NodeKind::Element)
+            .collect()
+    }
+
+    // ----- string value -----
+
+    /// The typed-value string of a node per XPath: for elements and the
+    /// document node, the concatenation of all descendant text nodes; for
+    /// text/comment/PI nodes, their content; for attributes, their value.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match id.attr_index() {
+            Some(a) => self.attr_value[a as usize].to_string(),
+            None => {
+                let pre = id.pre().expect("tree id");
+                match self.kind(pre) {
+                    NodeKind::Text | NodeKind::Comment | NodeKind::Pi => {
+                        self.value(pre).to_string()
+                    }
+                    NodeKind::Element | NodeKind::Document => {
+                        let mut out = String::new();
+                        for d in self.descendants(pre) {
+                            if self.kind(d) == NodeKind::Text {
+                                out.push_str(self.value(d));
+                            }
+                        }
+                        out
+                    }
+                }
+            }
+        }
+    }
+
+    /// Document-order sort key for any node id. Attributes order after
+    /// their owner element but before the element's first child, and among
+    /// themselves by attribute-table index.
+    #[inline]
+    pub fn order_key(&self, id: NodeId) -> (u32, u32) {
+        match id.attr_index() {
+            Some(a) => (self.attr_owner[a as usize], 1 + a - self.attr_first[self.attr_owner[a as usize] as usize]),
+            None => (id.pre().expect("tree id"), 0),
+        }
+    }
+
+    /// Validate internal invariants (used by tests and the builder in debug
+    /// builds): sizes nest properly, levels and parents are consistent,
+    /// attribute CSR is monotone.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err("document has no nodes".into());
+        }
+        if self.kind(0) != NodeKind::Document {
+            return Err("pre 0 is not the document node".into());
+        }
+        if self.size(0) as usize != n - 1 {
+            return Err(format!(
+                "document node size {} != node count - 1 ({})",
+                self.size(0),
+                n - 1
+            ));
+        }
+        for pre in 1..n as u32 {
+            let parent = self.parent(pre);
+            if parent >= pre {
+                return Err(format!("node {pre} has parent {parent} >= itself"));
+            }
+            if !self.is_ancestor(parent, pre) {
+                return Err(format!("node {pre} outside parent {parent} region"));
+            }
+            if self.level(pre) != self.level(parent) + 1 {
+                return Err(format!("node {pre} level inconsistent with parent"));
+            }
+            if pre + self.size(pre) > parent + self.size(parent) {
+                return Err(format!("node {pre} subtree leaks out of parent"));
+            }
+        }
+        if self.attr_first.len() != n + 1 {
+            return Err("attr_first length mismatch".into());
+        }
+        for w in self.attr_first.windows(2) {
+            if w[0] > w[1] {
+                return Err("attr_first not monotone".into());
+            }
+        }
+        if *self.attr_first.last().unwrap() as usize != self.attr_name.len() {
+            return Err("attr_first does not cover attribute table".into());
+        }
+        for (i, &owner) in self.attr_owner.iter().enumerate() {
+            let r = self.attr_range(owner);
+            if !(r.start <= i as u32 && (i as u32) < r.end) {
+                return Err(format!("attribute {i} owner CSR mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Document")
+            .field("uri", &self.uri)
+            .field("nodes", &self.node_count())
+            .field("attrs", &self.attr_count())
+            .finish()
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'d> {
+    doc: &'d Document,
+    next: Option<u32>,
+    end: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let cur = self.next?;
+        let following = cur + self.doc.size(cur) + 1;
+        self.next = if following <= self.end {
+            Some(following)
+        } else {
+            None
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DocumentBuilder;
+    use crate::node::{NodeId, NodeKind};
+
+    /// `<a><b x="1"/><c>t<d/></c></a>`
+    fn sample() -> crate::Document {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.start_element("b");
+        b.attribute("x", "1");
+        b.end_element();
+        b.start_element("c");
+        b.text("t");
+        b.start_element("d");
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn invariants_hold() {
+        sample().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pre_size_level_encoding() {
+        let d = sample();
+        // pre: 0=doc 1=a 2=b 3=c 4=t 5=d
+        assert_eq!(d.node_count(), 6);
+        assert_eq!(d.kind(0), NodeKind::Document);
+        assert_eq!(d.kind(1), NodeKind::Element);
+        assert_eq!(d.size(1), 4);
+        assert_eq!(d.size(2), 0);
+        assert_eq!(d.size(3), 2);
+        assert_eq!(d.level(1), 1);
+        assert_eq!(d.level(5), 3);
+        assert_eq!(d.parent(5), 3);
+    }
+
+    #[test]
+    fn children_iteration() {
+        let d = sample();
+        let kids: Vec<u32> = d.children(1).collect();
+        assert_eq!(kids, vec![2, 3]);
+        let kids: Vec<u32> = d.children(3).collect();
+        assert_eq!(kids, vec![4, 5]);
+        assert_eq!(d.children(2).count(), 0);
+    }
+
+    #[test]
+    fn descendants_range() {
+        let d = sample();
+        let desc: Vec<u32> = d.descendants(1).collect();
+        assert_eq!(desc, vec![2, 3, 4, 5]);
+        assert_eq!(d.descendants(5).count(), 0);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let d = sample();
+        assert_eq!(d.next_sibling(2), Some(3));
+        assert_eq!(d.next_sibling(3), None);
+        assert_eq!(d.first_child(3), Some(4));
+        assert_eq!(d.first_child(2), None);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let d = sample();
+        assert_eq!(d.attribute(2, "x"), Some("1"));
+        assert_eq!(d.attribute(2, "y"), None);
+        assert_eq!(d.attribute(3, "x"), None);
+        let attrs: Vec<NodeId> = d.attributes(2).collect();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(d.node_name(attrs[0]), "x");
+        assert_eq!(d.string_value(attrs[0]), "1");
+    }
+
+    #[test]
+    fn string_values() {
+        let d = sample();
+        assert_eq!(d.string_value(NodeId::tree(1)), "t");
+        assert_eq!(d.string_value(NodeId::tree(3)), "t");
+        assert_eq!(d.string_value(NodeId::tree(4)), "t");
+        assert_eq!(d.string_value(NodeId::tree(5)), "");
+    }
+
+    #[test]
+    fn element_name_index() {
+        let d = sample();
+        assert_eq!(d.elements_named("b"), &[2]);
+        assert_eq!(d.elements_named("nope"), &[] as &[u32]);
+        assert_eq!(d.all_elements(), vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn order_keys_interleave_attributes() {
+        let d = sample();
+        let elem_b = d.order_key(NodeId::tree(2));
+        let attr_x = d.order_key(NodeId::attr(0));
+        let elem_c = d.order_key(NodeId::tree(3));
+        assert!(elem_b < attr_x, "attribute sorts after owner");
+        assert!(attr_x < elem_c, "attribute sorts before next element");
+    }
+
+    #[test]
+    fn is_ancestor_is_strict() {
+        let d = sample();
+        assert!(d.is_ancestor(1, 5));
+        assert!(d.is_ancestor(3, 4));
+        assert!(!d.is_ancestor(3, 3));
+        assert!(!d.is_ancestor(5, 3));
+        assert!(!d.is_ancestor(2, 3));
+    }
+}

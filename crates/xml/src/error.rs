@@ -1,0 +1,115 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// An error produced while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending input position.
+    pub line: u32,
+    /// 1-based column (in bytes) of the offending input position.
+    pub column: u32,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, input: &str, offset: usize) -> Self {
+        let (line, column) = line_col(input, offset);
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+            offset,
+        }
+    }
+}
+
+/// Compute 1-based (line, column) for a byte offset.
+fn line_col(input: &str, offset: usize) -> (u32, u32) {
+    let offset = offset.min(input.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for b in input.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from document construction or navigation misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The builder was used out of protocol (e.g. attribute after child).
+    Builder(String),
+    /// A node id does not exist in the addressed document.
+    InvalidNode(String),
+    /// Parse failure (wraps [`ParseError`]).
+    Parse(ParseError),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Builder(m) => write!(f, "builder error: {m}"),
+            XmlError::InvalidNode(m) => write!(f, "invalid node: {m}"),
+            XmlError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<ParseError> for XmlError {
+    fn from(e: ParseError) -> Self {
+        XmlError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_tracks_newlines() {
+        let input = "ab\ncde\nf";
+        assert_eq!(line_col(input, 0), (1, 1));
+        assert_eq!(line_col(input, 1), (1, 2));
+        assert_eq!(line_col(input, 3), (2, 1));
+        assert_eq!(line_col(input, 7), (3, 1));
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::new("unexpected '<'", "abc\nd<", 5);
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 2);
+        let s = e.to_string();
+        assert!(s.contains("line 2"));
+        assert!(s.contains("unexpected '<'"));
+    }
+
+    #[test]
+    fn offset_past_end_is_clamped() {
+        let e = ParseError::new("eof", "ab", 99);
+        assert_eq!((e.line, e.column), (1, 3));
+    }
+}

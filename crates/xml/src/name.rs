@@ -1,0 +1,171 @@
+//! QName interning.
+//!
+//! Element and attribute names are interned per document into a
+//! [`NameTable`]; columns store compact [`NameId`]s. QNames keep their
+//! lexical `prefix:local` form — the engine compares names lexically, which
+//! is sufficient for the paper's workloads (XMark uses no namespaces, and
+//! the `standoff-*` options name attributes/elements lexically).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned name identifier. `NameId::NONE` marks "no name"
+/// (text/comment/document nodes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// Sentinel for nodes without a name.
+    pub const NONE: NameId = NameId(u32::MAX);
+
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == NameId::NONE
+    }
+}
+
+/// A lexical QName: optional prefix plus local part.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QName {
+    pub prefix: Option<Box<str>>,
+    pub local: Box<str>,
+}
+
+impl QName {
+    /// Parse a lexical QName (`local` or `prefix:local`).
+    pub fn parse(s: &str) -> QName {
+        match s.split_once(':') {
+            Some((p, l)) => QName {
+                prefix: Some(p.into()),
+                local: l.into(),
+            },
+            None => QName {
+                prefix: None,
+                local: s.into(),
+            },
+        }
+    }
+
+    /// Local part only, without prefix.
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// Per-document name interning table.
+///
+/// Names are stored once; all columns reference them by [`NameId`]. Lookup
+/// by lexical string is `O(1)` via a hash map, which makes name tests in
+/// path steps a single integer comparison per node.
+#[derive(Default, Clone)]
+pub struct NameTable {
+    names: Vec<QName>,
+    lookup: HashMap<Box<str>, NameId>,
+}
+
+impl NameTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a lexical QName, returning its id (existing or fresh).
+    pub fn intern(&mut self, lexical: &str) -> NameId {
+        if let Some(&id) = self.lookup.get(lexical) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(QName::parse(lexical));
+        self.lookup.insert(lexical.into(), id);
+        id
+    }
+
+    /// Look up a name id without interning. Returns `None` if the name has
+    /// never been seen — callers use that to short-circuit name tests that
+    /// cannot match anything.
+    pub fn get(&self, lexical: &str) -> Option<NameId> {
+        self.lookup.get(lexical).copied()
+    }
+
+    /// Resolve a name id back to its QName.
+    pub fn resolve(&self, id: NameId) -> Option<&QName> {
+        if id.is_none() {
+            None
+        } else {
+            self.names.get(id.0 as usize)
+        }
+    }
+
+    /// Lexical form of a name id ("" for `NameId::NONE`).
+    pub fn lexical(&self, id: NameId) -> String {
+        self.resolve(id).map(|q| q.to_string()).unwrap_or_default()
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("site");
+        let b = t.intern("site");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = NameTable::new();
+        let a = t.intern("start");
+        let b = t.intern("end");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn qname_prefix_parsing() {
+        let q = QName::parse("xs:integer");
+        assert_eq!(q.prefix.as_deref(), Some("xs"));
+        assert_eq!(q.local(), "integer");
+        assert_eq!(q.to_string(), "xs:integer");
+
+        let q = QName::parse("shot");
+        assert_eq!(q.prefix, None);
+        assert_eq!(q.to_string(), "shot");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = NameTable::new();
+        assert_eq!(t.get("missing"), None);
+        t.intern("present");
+        assert!(t.get("present").is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn resolve_none_is_none() {
+        let t = NameTable::new();
+        assert!(t.resolve(NameId::NONE).is_none());
+        assert_eq!(t.lexical(NameId::NONE), "");
+    }
+}

@@ -1,0 +1,180 @@
+//! Node identifiers and kinds.
+//!
+//! A [`NodeId`] identifies a node *within one document*. Tree nodes
+//! (document root, elements, text, comments, processing instructions) are
+//! identified by their pre-order rank; attribute nodes live in a separate
+//! table (as in MonetDB/XQuery) and are identified by their index in that
+//! table, tagged with a high bit. A [`NodeRef`] pairs a `NodeId` with the
+//! [`DocId`] of its document inside a [`crate::Store`].
+
+use std::fmt;
+
+/// Identifier of a document within a [`crate::Store`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DocId(pub u32);
+
+/// Tag bit distinguishing attribute ids from tree-node pre ranks.
+const ATTR_BIT: u32 = 1 << 31;
+
+/// Identifier of a node within one document.
+///
+/// Packed into a single `u32`: tree nodes store their pre-order rank,
+/// attribute nodes store their attribute-table index with the high bit set.
+/// This mirrors MonetDB/XQuery, where attributes are shredded into a
+/// separate table keyed by owner pre rank.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Node id of a tree node with the given pre-order rank.
+    #[inline]
+    pub fn tree(pre: u32) -> Self {
+        debug_assert!(pre & ATTR_BIT == 0, "pre rank too large");
+        NodeId(pre)
+    }
+
+    /// Node id of the attribute with the given attribute-table index.
+    #[inline]
+    pub fn attr(idx: u32) -> Self {
+        debug_assert!(idx & ATTR_BIT == 0, "attribute index too large");
+        NodeId(idx | ATTR_BIT)
+    }
+
+    /// Is this an attribute node?
+    #[inline]
+    pub fn is_attr(self) -> bool {
+        self.0 & ATTR_BIT != 0
+    }
+
+    /// Pre-order rank if this is a tree node.
+    #[inline]
+    pub fn pre(self) -> Option<u32> {
+        if self.is_attr() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Attribute-table index if this is an attribute node.
+    #[inline]
+    pub fn attr_index(self) -> Option<u32> {
+        if self.is_attr() {
+            Some(self.0 & !ATTR_BIT)
+        } else {
+            None
+        }
+    }
+
+    /// Raw packed representation (useful as a map key).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from [`NodeId::raw`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(i) = self.attr_index() {
+            write!(f, "attr#{i}")
+        } else {
+            write!(f, "pre#{}", self.0)
+        }
+    }
+}
+
+/// A node in a document collection: document id plus in-document node id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeRef {
+    pub doc: DocId,
+    pub id: NodeId,
+}
+
+impl NodeRef {
+    #[inline]
+    pub fn new(doc: DocId, id: NodeId) -> Self {
+        NodeRef { doc, id }
+    }
+
+    /// Tree node reference from document id and pre rank.
+    #[inline]
+    pub fn tree(doc: DocId, pre: u32) -> Self {
+        NodeRef {
+            doc,
+            id: NodeId::tree(pre),
+        }
+    }
+}
+
+/// The kind of a tree node.
+///
+/// Attributes are not tree nodes (they live in the attribute table), so
+/// there is no `Attribute` variant here; [`NodeId::is_attr`] distinguishes
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// The document node (always pre rank 0).
+    Document = 0,
+    /// An element node.
+    Element = 1,
+    /// A text node.
+    Text = 2,
+    /// A comment node.
+    Comment = 3,
+    /// A processing instruction node.
+    Pi = 4,
+}
+
+impl NodeKind {
+    /// Short display name used by `EXPLAIN` output and error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::Document => "document",
+            NodeKind::Element => "element",
+            NodeKind::Text => "text",
+            NodeKind::Comment => "comment",
+            NodeKind::Pi => "processing-instruction",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_ids_round_trip() {
+        let id = NodeId::tree(42);
+        assert!(!id.is_attr());
+        assert_eq!(id.pre(), Some(42));
+        assert_eq!(id.attr_index(), None);
+        assert_eq!(NodeId::from_raw(id.raw()), id);
+    }
+
+    #[test]
+    fn attr_ids_round_trip() {
+        let id = NodeId::attr(7);
+        assert!(id.is_attr());
+        assert_eq!(id.pre(), None);
+        assert_eq!(id.attr_index(), Some(7));
+        assert_eq!(NodeId::from_raw(id.raw()), id);
+    }
+
+    #[test]
+    fn tree_and_attr_ids_are_disjoint() {
+        assert_ne!(NodeId::tree(3), NodeId::attr(3));
+    }
+
+    #[test]
+    fn node_kind_names() {
+        assert_eq!(NodeKind::Element.as_str(), "element");
+        assert_eq!(NodeKind::Pi.as_str(), "processing-instruction");
+    }
+}

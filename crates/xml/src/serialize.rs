@@ -1,0 +1,270 @@
+//! Document and subtree serialization.
+//!
+//! Serialization walks the pre/size encoding linearly with an explicit
+//! end-tag stack — no recursion, so arbitrarily deep documents serialize in
+//! `O(n)` without stack growth.
+
+use std::fmt::Write as _;
+
+use crate::doc::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Serialization configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerializeOptions {
+    /// Indent output with two spaces per level and newlines between
+    /// element children. Text content is emitted verbatim either way.
+    pub indent: bool,
+}
+
+/// Serialize a whole document (children of the document node).
+pub fn serialize_document(doc: &Document, options: SerializeOptions) -> String {
+    serialize_node(doc, doc.root(), options)
+}
+
+/// Serialize the subtree rooted at `node`. For the document node this
+/// serializes all its children; for attributes, the `name="value"` form.
+pub fn serialize_node(doc: &Document, node: NodeId, options: SerializeOptions) -> String {
+    let mut out = String::new();
+    if let Some(a) = node.attr_index() {
+        let name = doc.names().lexical(doc.attr_name_id(a));
+        let _ = write!(out, "{name}=\"{}\"", escape_attr(doc.attr_value(a)));
+        return out;
+    }
+    let root_pre = node.pre().expect("tree node");
+    match doc.kind(root_pre) {
+        NodeKind::Document => {
+            for child in doc.children(root_pre) {
+                serialize_subtree(doc, child, options, &mut out);
+                if options.indent {
+                    out.push('\n');
+                }
+            }
+        }
+        _ => serialize_subtree(doc, root_pre, options, &mut out),
+    }
+    out
+}
+
+/// Non-recursive subtree serializer.
+fn serialize_subtree(doc: &Document, root: u32, options: SerializeOptions, out: &mut String) {
+    // Stack of (pre, name) of elements whose end tag is still pending.
+    let mut open: Vec<(u32, String)> = Vec::new();
+    let end = root + doc.size(root);
+    let base_level = doc.level(root);
+    let mut pre = root;
+    while pre <= end {
+        // Close elements whose subtree we have left.
+        while let Some(&(open_pre, _)) = open.last() {
+            if pre > open_pre + doc.size(open_pre) {
+                let (open_pre, name) = open.pop().unwrap();
+                close_tag(doc, open_pre, &name, options, base_level, out);
+            } else {
+                break;
+            }
+        }
+        match doc.kind(pre) {
+            NodeKind::Element => {
+                let name = doc.names().lexical(doc.name_id(pre));
+                if options.indent {
+                    indent(doc, pre, base_level, out);
+                }
+                out.push('<');
+                out.push_str(&name);
+                for a in doc.attr_range(pre) {
+                    let an = doc.names().lexical(doc.attr_name_id(a));
+                    let _ = write!(out, " {an}=\"{}\"", escape_attr(doc.attr_value(a)));
+                }
+                if doc.size(pre) == 0 {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    open.push((pre, name));
+                }
+            }
+            NodeKind::Text => out.push_str(&escape_text(doc.value(pre))),
+            NodeKind::Comment => {
+                if options.indent {
+                    indent(doc, pre, base_level, out);
+                }
+                let _ = write!(out, "<!--{}-->", doc.value(pre));
+            }
+            NodeKind::Pi => {
+                if options.indent {
+                    indent(doc, pre, base_level, out);
+                }
+                let name = doc.names().lexical(doc.name_id(pre));
+                if doc.value(pre).is_empty() {
+                    let _ = write!(out, "<?{name}?>");
+                } else {
+                    let _ = write!(out, "<?{name} {}?>", doc.value(pre));
+                }
+            }
+            NodeKind::Document => {}
+        }
+        pre += 1;
+    }
+    while let Some((open_pre, name)) = open.pop() {
+        close_tag(doc, open_pre, &name, options, base_level, out);
+    }
+}
+
+fn close_tag(
+    doc: &Document,
+    open_pre: u32,
+    name: &str,
+    options: SerializeOptions,
+    base_level: u16,
+    out: &mut String,
+) {
+    // Indent the close tag only if the element has element/comment/PI
+    // children (mixed text content stays inline).
+    if options.indent
+        && doc
+            .children(open_pre)
+            .any(|c| doc.kind(c) != NodeKind::Text)
+    {
+        let _ = write!(
+            out,
+            "\n{:width$}",
+            "",
+            width = ((doc.level(open_pre) - base_level) as usize) * 2
+        );
+    }
+    let _ = write!(out, "</{name}>");
+}
+
+fn indent(doc: &Document, pre: u32, base_level: u16, out: &mut String) {
+    // Only break before a node whose parent has non-text children
+    // (i.e. we're in "element content").
+    if !out.is_empty() && !out.ends_with('\n') {
+        let parent = doc.parent(pre);
+        if doc.kind(parent) != NodeKind::Document
+            && doc.children(parent).any(|c| doc.kind(c) == NodeKind::Text)
+        {
+            return; // mixed content: stay inline
+        }
+        out.push('\n');
+    }
+    if out.ends_with('\n') || out.is_empty() {
+        let _ = write!(
+            out,
+            "{:width$}",
+            "",
+            width = ((doc.level(pre).saturating_sub(base_level)) as usize) * 2
+        );
+    }
+}
+
+/// Escape character data for text content.
+pub fn escape_text(s: &str) -> String {
+    if !s.contains(['<', '>', '&']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape character data for attribute values (double-quoted).
+pub fn escape_attr(s: &str) -> String {
+    if !s.contains(['<', '>', '&', '"']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn round_trip(xml: &str) -> String {
+        let doc = parse_document(xml).unwrap();
+        serialize_document(&doc, SerializeOptions::default())
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        assert_eq!(round_trip("<a><b x=\"1\"/>text</a>"), "<a><b x=\"1\"/>text</a>");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let xml = "<a x=\"&lt;&quot;&amp;\">&lt;body&gt; &amp; soul</a>";
+        let once = round_trip(xml);
+        assert_eq!(round_trip(&once), once, "serialization is stable");
+        let doc = parse_document(&once).unwrap();
+        assert_eq!(doc.attribute(1, "x"), Some("<\"&"));
+        assert_eq!(doc.string_value(crate::NodeId::tree(1)), "<body> & soul");
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse_document("<a><b><c/></b><d/></a>").unwrap();
+        let b_pre = doc.elements_named("b")[0];
+        let s = serialize_node(&doc, crate::NodeId::tree(b_pre), SerializeOptions::default());
+        assert_eq!(s, "<b><c/></b>");
+    }
+
+    #[test]
+    fn attribute_serialization() {
+        let doc = parse_document("<a k=\"v\"/>").unwrap();
+        let attr = doc.attributes(1).next().unwrap();
+        assert_eq!(
+            serialize_node(&doc, attr, SerializeOptions::default()),
+            "k=\"v\""
+        );
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let s = round_trip("<a><!--hi--><?t d?></a>");
+        assert_eq!(s, "<a><!--hi--><?t d?></a>");
+    }
+
+    #[test]
+    fn indent_mode_produces_parseable_output() {
+        let doc = parse_document("<a><b><c/></b><d>txt</d></a>").unwrap();
+        let pretty = serialize_document(&doc, SerializeOptions { indent: true });
+        let re = parse_document(&pretty).unwrap();
+        assert_eq!(re.elements_named("c").len(), 1);
+        assert_eq!(re.string_value(crate::NodeId::tree(re.elements_named("d")[0])), "txt");
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn deep_document_serializes_without_stack_overflow() {
+        let mut xml = String::new();
+        let depth = 50_000;
+        for _ in 0..depth {
+            xml.push_str("<n>");
+        }
+        for _ in 0..depth {
+            xml.push_str("</n>");
+        }
+        let doc = parse_document(&xml).unwrap();
+        let out = serialize_document(&doc, SerializeOptions::default());
+        // The innermost empty element self-closes: 3 bytes shorter.
+        assert_eq!(out.len(), xml.len() - 3);
+        let re = parse_document(&out).unwrap();
+        assert_eq!(re.node_count(), doc.node_count());
+    }
+}

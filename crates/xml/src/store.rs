@@ -1,0 +1,152 @@
+//! Document collections.
+//!
+//! A [`Store`] owns a set of shredded documents, addressed by URI for
+//! `fn:doc(...)` and by [`DocId`] for node references. The paper's XPath-
+//! step semantics ("match only nodes from the same XML fragment", §3.3)
+//! make per-document indices sufficient — the store never builds a global
+//! region index.
+
+use std::collections::HashMap;
+
+use crate::doc::Document;
+use crate::error::ParseError;
+use crate::node::{DocId, NodeId, NodeRef};
+use crate::parser::{parse_with_options, ParseOptions};
+
+/// A collection of documents.
+#[derive(Default)]
+pub struct Store {
+    docs: Vec<Document>,
+    by_uri: HashMap<String, DocId>,
+}
+
+impl Store {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an already-built document under an optional URI.
+    pub fn add(&mut self, mut doc: Document, uri: Option<&str>) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        if let Some(uri) = uri {
+            doc.set_uri(uri.to_string());
+            self.by_uri.insert(uri.to_string(), id);
+        }
+        self.docs.push(doc);
+        id
+    }
+
+    /// Parse and register a document in one step.
+    pub fn load(&mut self, uri: &str, xml: &str) -> Result<DocId, ParseError> {
+        self.load_with_options(uri, xml, ParseOptions::default())
+    }
+
+    /// Parse (with options) and register a document.
+    pub fn load_with_options(
+        &mut self,
+        uri: &str,
+        xml: &str,
+        options: ParseOptions,
+    ) -> Result<DocId, ParseError> {
+        let doc = parse_with_options(xml, options)?;
+        Ok(self.add(doc, Some(uri)))
+    }
+
+    /// Look up a document by URI.
+    pub fn by_uri(&self, uri: &str) -> Option<DocId> {
+        self.by_uri.get(uri).copied()
+    }
+
+    /// Access a document by id. Panics on stale ids (ids are never
+    /// invalidated; a panic indicates a cross-store mixup).
+    #[inline]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Number of documents in the store.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Drop all documents with id ≥ `len` (used to discard documents a
+    /// query constructed). URI registrations pointing at dropped ids are
+    /// removed.
+    pub fn truncate(&mut self, len: usize) {
+        self.docs.truncate(len);
+        self.by_uri.retain(|_, id| (id.0 as usize) < len);
+    }
+
+    /// Consume the store, yielding its documents in id order (used to
+    /// transfer bulk-loaded documents into an engine).
+    pub fn into_docs(self) -> Vec<Document> {
+        self.docs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// All document ids.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// Root node reference of a document.
+    pub fn root(&self, id: DocId) -> NodeRef {
+        NodeRef::new(id, NodeId::tree(0))
+    }
+
+    /// String value of a node reference.
+    pub fn string_value(&self, node: NodeRef) -> String {
+        self.doc(node.doc).string_value(node.id)
+    }
+
+    /// Lexical name of a node reference.
+    pub fn node_name(&self, node: NodeRef) -> String {
+        self.doc(node.doc).node_name(node.id)
+    }
+
+    /// Total document-order key: (doc, in-document order key). Node
+    /// sequences produced by path steps are sorted by this.
+    #[inline]
+    pub fn order_key(&self, node: NodeRef) -> (u32, u32, u32) {
+        let (a, b) = self.doc(node.doc).order_key(node.id);
+        (node.doc.0, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uri_lookup() {
+        let mut s = Store::new();
+        let id = s.load("file:a.xml", "<a/>").unwrap();
+        assert_eq!(s.by_uri("file:a.xml"), Some(id));
+        assert_eq!(s.by_uri("file:missing.xml"), None);
+        assert_eq!(s.doc(id).uri(), Some("file:a.xml"));
+    }
+
+    #[test]
+    fn multiple_documents_are_independent() {
+        let mut s = Store::new();
+        let a = s.load("a", "<x><y/></x>").unwrap();
+        let b = s.load("b", "<x><y/><y/></x>").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.doc(a).elements_named("y").len(), 1);
+        assert_eq!(s.doc(b).elements_named("y").len(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn order_keys_are_totally_ordered_across_docs() {
+        let mut s = Store::new();
+        let a = s.load("a", "<x/>").unwrap();
+        let b = s.load("b", "<x/>").unwrap();
+        let na = NodeRef::tree(a, 1);
+        let nb = NodeRef::tree(b, 1);
+        assert!(s.order_key(na) < s.order_key(nb));
+    }
+}

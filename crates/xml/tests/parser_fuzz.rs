@@ -1,0 +1,81 @@
+//! Parser robustness: arbitrary input must never panic — it either
+//! parses or reports a positioned error. A parsed document always
+//! satisfies the shredding invariants and survives a serialize/reparse
+//! cycle.
+
+use proptest::prelude::*;
+
+use standoff_xml::{parse_document, serialize_document};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No panic on arbitrary UTF-8 junk.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse_document(&input);
+    }
+
+    /// No panic on XML-ish soup assembled from markup fragments.
+    #[test]
+    fn markup_soup_never_panics(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("<?pi".to_string()),
+                Just("?>".to_string()),
+                Just("<!DOCTYPE d [".to_string()),
+                Just("]>".to_string()),
+                Just("\"".to_string()),
+                Just("=".to_string()),
+                Just("<".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = parse_document(&input) {
+            doc.check_invariants().unwrap();
+            // Whatever parsed must serialize and reparse.
+            let xml = serialize_document(&doc, Default::default());
+            let re = parse_document(&xml).unwrap();
+            re.check_invariants().unwrap();
+        }
+    }
+
+    /// Valid element-only skeletons always parse.
+    #[test]
+    fn balanced_skeletons_parse(depth_walk in prop::collection::vec(0u8..3, 1..40)) {
+        let mut xml = String::from("<r>");
+        let mut depth = 0usize;
+        for op in depth_walk {
+            match op {
+                0 => {
+                    xml.push_str("<n>");
+                    depth += 1;
+                }
+                1 if depth > 0 => {
+                    xml.push_str("</n>");
+                    depth -= 1;
+                }
+                _ => xml.push_str("<l/>"),
+            }
+        }
+        for _ in 0..depth {
+            xml.push_str("</n>");
+        }
+        xml.push_str("</r>");
+        let doc = parse_document(&xml).unwrap();
+        doc.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract syntax of the XQuery subset.
+
+use standoff_algebra::{NodeTest, TreeAxis};
+use standoff_core::StandoffAxis;
+
+/// A parsed query: prolog declarations plus the body expression.
+#[derive(Clone, Debug)]
+pub struct Query {
+    pub prolog: Prolog,
+    pub body: Expr,
+}
+
+/// Prolog declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Prolog {
+    /// `declare option name "value"` in document order.
+    pub options: Vec<(String, String)>,
+    /// `declare namespace p = "uri"` / `declare module ...` (recorded,
+    /// names are compared lexically).
+    pub namespaces: Vec<(String, String)>,
+    /// `declare variable $x := expr`.
+    pub variables: Vec<(String, Expr)>,
+    /// `declare variable $x external` — bound via
+    /// `Engine::bind_external` before execution.
+    pub external_variables: Vec<String>,
+    /// `declare function name($p1, $p2) { expr }`.
+    pub functions: Vec<FunctionDecl>,
+}
+
+/// A user-defined function.
+#[derive(Clone, Debug)]
+pub struct FunctionDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// An axis in a path step: the thirteen XPath tree axes or one of the
+/// paper's four StandOff axes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    Tree(TreeAxis),
+    Standoff(StandoffAxis),
+}
+
+impl Axis {
+    pub fn parse(name: &str) -> Option<Axis> {
+        if let Some(s) = StandoffAxis::parse(name) {
+            return Some(Axis::Standoff(s));
+        }
+        let t = match name {
+            "child" => TreeAxis::Child,
+            "descendant" => TreeAxis::Descendant,
+            "descendant-or-self" => TreeAxis::DescendantOrSelf,
+            "self" => TreeAxis::SelfAxis,
+            "parent" => TreeAxis::Parent,
+            "ancestor" => TreeAxis::Ancestor,
+            "ancestor-or-self" => TreeAxis::AncestorOrSelf,
+            "following-sibling" => TreeAxis::FollowingSibling,
+            "preceding-sibling" => TreeAxis::PrecedingSibling,
+            "following" => TreeAxis::Following,
+            "preceding" => TreeAxis::Preceding,
+            "attribute" => TreeAxis::Attribute,
+            _ => return None,
+        };
+        Some(Axis::Tree(t))
+    }
+}
+
+/// General (existential, type-coercing) vs value (singleton) comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompOp {
+    // general
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // value
+    ValEq,
+    ValNe,
+    ValLt,
+    ValLe,
+    ValGt,
+    ValGe,
+    // node identity
+    Is,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+}
+
+/// One `for`/`let` binding of a FLWOR expression.
+#[derive(Clone, Debug)]
+pub enum FlworClause {
+    For {
+        var: String,
+        /// `at $pos` positional variable.
+        at: Option<String>,
+        seq: Expr,
+    },
+    Let {
+        var: String,
+        value: Expr,
+    },
+}
+
+/// An `order by` key.
+#[derive(Clone, Debug)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// Content of a direct element constructor.
+#[derive(Clone, Debug)]
+pub enum ConstructorContent {
+    /// Literal character data.
+    Text(String),
+    /// `{ expr }` enclosed expression.
+    Enclosed(Expr),
+    /// Nested direct constructor.
+    Element(Box<ElementConstructor>),
+}
+
+/// A direct element constructor `<name attr="...">...</name>`.
+#[derive(Clone, Debug)]
+pub struct ElementConstructor {
+    pub name: String,
+    /// Attribute values are sequences of literal text and enclosed
+    /// expressions, concatenated.
+    pub attributes: Vec<(String, Vec<ConstructorContent>)>,
+    pub content: Vec<ConstructorContent>,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Literal atomic value.
+    IntLit(i64),
+    DoubleLit(f64),
+    StringLit(String),
+    /// `$x`
+    VarRef(String),
+    /// `.`
+    ContextItem,
+    /// `()` or `(e1, e2, ...)` — sequence construction.
+    Sequence(Vec<Expr>),
+    /// FLWOR.
+    Flwor {
+        clauses: Vec<FlworClause>,
+        where_clause: Option<Box<Expr>>,
+        order_by: Vec<OrderKey>,
+        return_clause: Box<Expr>,
+    },
+    /// `some`/`every` $v in S satisfies P.
+    Quantified {
+        every: bool,
+        bindings: Vec<(String, Expr)>,
+        satisfies: Box<Expr>,
+    },
+    IfThenElse {
+        cond: Box<Expr>,
+        then_branch: Box<Expr>,
+        else_branch: Box<Expr>,
+    },
+    Or(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Comparison(CompOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// `a to b`
+    Range(Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `e1 | e2` — node sequence union.
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 intersect e2` — node sequence intersection (by identity).
+    Intersect(Box<Expr>, Box<Expr>),
+    /// `e1 except e2` — node sequence difference (by identity).
+    Except(Box<Expr>, Box<Expr>),
+    /// Path step: `input/axis::test[preds]`. `input = None` means the step
+    /// applies to the context item (a relative path's first step).
+    Step {
+        input: Option<Box<Expr>>,
+        axis: Axis,
+        test: NodeTest,
+        predicates: Vec<Expr>,
+    },
+    /// `input/expr` where expr is not an axis step (e.g. `a/count(.)`).
+    PathExpr {
+        input: Box<Expr>,
+        step: Box<Expr>,
+    },
+    /// `/...` or `/` alone: navigate from the context node's document
+    /// root.
+    RootPath(Option<Box<Expr>>),
+    /// Postfix predicate on an arbitrary expression: `E[p]`.
+    Filter {
+        input: Box<Expr>,
+        predicate: Box<Expr>,
+    },
+    /// Function call (built-in or user-defined, resolved at evaluation).
+    FunctionCall { name: String, args: Vec<Expr> },
+    /// Direct element constructor.
+    Constructor(ElementConstructor),
+}
+
+impl Expr {
+    /// An empty sequence literal.
+    pub fn empty() -> Expr {
+        Expr::Sequence(Vec::new())
+    }
+}

@@ -1,0 +1,289 @@
+//! The public engine API.
+//!
+//! An [`Engine`] owns a document store, a per-(document, configuration)
+//! region-index cache, and the evaluation options — most importantly the
+//! [`StandoffStrategy`] switch the paper's Figure 6 experiment sweeps.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use standoff_algebra::{Item, LlSeq};
+use standoff_core::{RegionIndex, StandoffConfig, StandoffStrategy};
+use standoff_xml::{DocId, Document, Store};
+
+use crate::ast::Query;
+use crate::error::QueryError;
+use crate::eval::Evaluator;
+use crate::parser::parse_query;
+use crate::result::QueryResult;
+
+/// Engine-wide evaluation options.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// How StandOff axis steps and built-ins are evaluated.
+    pub strategy: StandoffStrategy,
+    /// Push element-name tests down into the region index as candidate
+    /// sequences (§4.3). Disabling this is the ablation of §3.3(iii).
+    pub candidate_pushdown: bool,
+    /// Maximum user-defined function call depth.
+    pub recursion_limit: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            strategy: StandoffStrategy::LoopLiftedMergeJoin,
+            candidate_pushdown: true,
+            recursion_limit: 64,
+        }
+    }
+}
+
+/// Internal mutable state shared with the evaluator.
+pub struct EngineState {
+    pub store: Store,
+    pub options: EngineOptions,
+    region_cache: HashMap<(u32, StandoffConfig), Rc<RegionIndex>>,
+}
+
+impl EngineState {
+    /// The region index of a document under a configuration, built on
+    /// first use and cached (documents are immutable).
+    pub fn region_index(
+        &mut self,
+        doc: DocId,
+        config: &StandoffConfig,
+    ) -> Result<Rc<RegionIndex>, QueryError> {
+        let key = (doc.0, config.clone());
+        if let Some(idx) = self.region_cache.get(&key) {
+            return Ok(Rc::clone(idx));
+        }
+        let index = Rc::new(RegionIndex::build(self.store.doc(doc), config)?);
+        self.region_cache.insert(key, Rc::clone(&index));
+        Ok(index)
+    }
+
+    /// Invalidate cache entries for documents with id ≥ `len` (paired
+    /// with [`standoff_xml::Store::truncate`]).
+    pub(crate) fn drop_cache_from(&mut self, len: usize) {
+        self.region_cache.retain(|(doc, _), _| (*doc as usize) < len);
+    }
+}
+
+/// The XQuery engine with StandOff support.
+pub struct Engine {
+    state: EngineState,
+    /// Values for `declare variable $x external` declarations.
+    externals: std::collections::HashMap<String, Vec<Item>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self::with_options(EngineOptions::default())
+    }
+
+    pub fn with_options(options: EngineOptions) -> Self {
+        Engine {
+            state: EngineState {
+                store: Store::new(),
+                options,
+                region_cache: HashMap::new(),
+            },
+            externals: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Provide the value of a `declare variable $name external`
+    /// declaration for subsequent runs.
+    pub fn bind_external(&mut self, name: &str, items: Vec<Item>) {
+        self.externals.insert(name.to_string(), items);
+    }
+
+    /// Convenience: bind an external variable to a single string.
+    pub fn bind_external_string(&mut self, name: &str, value: &str) {
+        self.bind_external(name, vec![Item::str(value)]);
+    }
+
+    /// Convenience: bind an external variable to a single integer.
+    pub fn bind_external_integer(&mut self, name: &str, value: i64) {
+        self.bind_external(name, vec![Item::Integer(value)]);
+    }
+
+    /// Parse and register a document under a URI for `fn:doc`.
+    pub fn load_document(&mut self, uri: &str, xml: &str) -> Result<DocId, QueryError> {
+        Ok(self.state.store.load(uri, xml)?)
+    }
+
+    /// Register an already-shredded document.
+    pub fn add_document(&mut self, doc: Document, uri: Option<&str>) -> DocId {
+        self.state.store.add(doc, uri)
+    }
+
+    /// The underlying document store (documents, constructed results).
+    pub fn store(&self) -> &Store {
+        &self.state.store
+    }
+
+    /// Current evaluation options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.state.options
+    }
+
+    /// Switch the StandOff evaluation strategy (Figure 6's independent
+    /// variable).
+    pub fn set_strategy(&mut self, strategy: StandoffStrategy) {
+        self.state.options.strategy = strategy;
+    }
+
+    /// Enable/disable candidate-sequence pushdown (§4.3 ablation).
+    pub fn set_candidate_pushdown(&mut self, enabled: bool) {
+        self.state.options.candidate_pushdown = enabled;
+    }
+
+    /// Pre-build the region index for a document under a configuration
+    /// (otherwise built lazily on the first StandOff step). Useful to
+    /// exclude index construction from benchmark timings, mirroring the
+    /// paper's pre-created indices.
+    pub fn prebuild_region_index(
+        &mut self,
+        doc: DocId,
+        config: &StandoffConfig,
+    ) -> Result<(), QueryError> {
+        self.state.region_index(doc, config)?;
+        Ok(())
+    }
+
+    /// Parse a query without running it.
+    pub fn parse(&self, query: &str) -> Result<Query, QueryError> {
+        parse_query(query)
+    }
+
+    /// Render the evaluation plan of a query under the engine's current
+    /// strategy and pushdown settings (see [`crate::explain`]).
+    pub fn explain(&self, query: &str) -> Result<String, QueryError> {
+        let parsed = parse_query(query)?;
+        Ok(crate::explain::explain_query(
+            &parsed,
+            self.state.options.strategy,
+            self.state.options.candidate_pushdown,
+        ))
+    }
+
+    /// Parse and evaluate a query; returns the materialized result
+    /// sequence.
+    pub fn run(&mut self, query: &str) -> Result<QueryResult, QueryError> {
+        let parsed = parse_query(query)?;
+        self.execute(&parsed)
+    }
+
+    /// Evaluate a query and return only the result cardinality, dropping
+    /// any documents the query constructed. Benchmark harnesses use this
+    /// so repeated runs neither pay serialization costs nor accumulate
+    /// constructed results in the store.
+    pub fn run_and_discard(&mut self, query: &str) -> Result<usize, QueryError> {
+        let parsed = parse_query(query)?;
+        let docs_before = self.state.store.len();
+        let result = self.execute(&parsed);
+        self.state.store.truncate(docs_before);
+        self.state.drop_cache_from(docs_before);
+        result.map(|r| r.len())
+    }
+
+    /// Evaluate a previously parsed query.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
+        let config = config_from_prolog(&query.prolog)?;
+        let mut evaluator = Evaluator::new(&mut self.state, config);
+        // Register user-defined functions (local name, so that prefixed
+        // definitions like `standoff:select-narrow` resolve either way).
+        for f in &query.prolog.functions {
+            let local = f.name.split_once(':').map(|(_, l)| l).unwrap_or(&f.name);
+            evaluator
+                .functions
+                .insert(local.to_string(), Rc::new(f.clone()));
+        }
+        // External variables must have been bound on the engine.
+        for name in &query.prolog.external_variables {
+            let items = self.externals.get(name).cloned().ok_or_else(|| {
+                QueryError::stat(format!(
+                    "external variable ${name} has no value (Engine::bind_external)"
+                ))
+            })?;
+            evaluator.bind(name, LlSeq::for_iter(0, items));
+        }
+        // Global variables evaluate in declaration order in the root
+        // scope.
+        for (name, expr) in &query.prolog.variables {
+            let value = evaluator.eval(expr)?;
+            evaluator.bind(name, value);
+        }
+        let table = evaluator.eval(&query.body)?;
+        let items = table.into_items();
+        Ok(QueryResult::new(items, &self.state.store))
+    }
+}
+
+/// Extract the `standoff-*` options of the prolog into a configuration
+/// (paper §2); unknown options are ignored, standoff ones are validated.
+fn config_from_prolog(prolog: &crate::ast::Prolog) -> Result<StandoffConfig, QueryError> {
+    let mut config = StandoffConfig::default();
+    for (name, value) in &prolog.options {
+        let local = name.split_once(':').map(|(_, l)| l).unwrap_or(name);
+        match local {
+            "standoff-type" => config.position_type = value.clone(),
+            "standoff-start" => config.start_name = value.clone(),
+            "standoff-end" => config.end_name = value.clone(),
+            "standoff-region" => config.region_name = Some(value.clone()),
+            "standoff-lenient" => config.lenient = value == "true",
+            _ => {} // other engines' options pass through
+        }
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_to_loop_lifted() {
+        let engine = Engine::new();
+        assert_eq!(
+            engine.options().strategy,
+            StandoffStrategy::LoopLiftedMergeJoin
+        );
+        assert!(engine.options().candidate_pushdown);
+    }
+
+    #[test]
+    fn prolog_standoff_options() {
+        let prolog = crate::parser::parse_query(
+            r#"declare option standoff-start "from";
+               declare option standoff-end "to";
+               declare option standoff-region "span";
+               1"#,
+        )
+        .unwrap()
+        .prolog;
+        let config = config_from_prolog(&prolog).unwrap();
+        assert_eq!(config.start_name, "from");
+        assert_eq!(config.end_name, "to");
+        assert_eq!(config.region_name.as_deref(), Some("span"));
+    }
+
+    #[test]
+    fn invalid_standoff_type_rejected() {
+        let prolog = crate::parser::parse_query(
+            r#"declare option standoff-type "xs:duration"; 1"#,
+        )
+        .unwrap()
+        .prolog;
+        assert!(config_from_prolog(&prolog).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Query errors: parse, static and dynamic.
+
+use std::fmt;
+
+/// Any error raised while parsing or evaluating a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// Syntax error with position.
+    Parse {
+        message: String,
+        line: u32,
+        column: u32,
+    },
+    /// Static error (unknown function, undeclared variable, bad option).
+    Static(String),
+    /// Dynamic (runtime) error — type mismatches, missing documents.
+    Dynamic(String),
+}
+
+impl QueryError {
+    pub fn parse(message: impl Into<String>, input: &str, offset: usize) -> QueryError {
+        let offset = offset.min(input.len());
+        let mut line = 1;
+        let mut column = 1;
+        for b in input.as_bytes()[..offset].iter() {
+            if *b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        QueryError::Parse {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    pub fn dynamic(message: impl Into<String>) -> QueryError {
+        QueryError::Dynamic(message.into())
+    }
+
+    pub fn stat(message: impl Into<String>) -> QueryError {
+        QueryError::Static(message.into())
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "syntax error at line {line}, column {column}: {message}"),
+            QueryError::Static(m) => write!(f, "static error: {m}"),
+            QueryError::Dynamic(m) => write!(f, "dynamic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<standoff_xml::ParseError> for QueryError {
+    fn from(e: standoff_xml::ParseError) -> Self {
+        QueryError::Dynamic(format!("document parse failure: {e}"))
+    }
+}
+
+impl From<standoff_core::StandoffError> for QueryError {
+    fn from(e: standoff_core::StandoffError) -> Self {
+        QueryError::Dynamic(format!("standoff annotation error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_position() {
+        let e = QueryError::parse("boom", "ab\ncd", 4);
+        assert_eq!(
+            e,
+            QueryError::Parse {
+                message: "boom".into(),
+                line: 2,
+                column: 2
+            }
+        );
+        assert!(e.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,1233 @@
+//! The loop-lifted evaluator.
+//!
+//! Every expression is evaluated **once per scope**, producing an
+//! `iter|pos|item` table ([`LlSeq`]) that holds its value for *all*
+//! iterations of the enclosing for-loops simultaneously — Pathfinder's
+//! loop-lifting (paper §4.1) realized as a direct interpreter. A `for`
+//! clause does not loop: it pushes a *frame* whose iterations are the rows
+//! of the binding sequence; axis steps and StandOff joins then run once,
+//! in bulk, over the whole frame. This is precisely what makes the
+//! loop-lifted StandOff MergeJoin reachable from queries like XMark Q2.
+//!
+//! Frames form a stack; each non-root frame carries a map from its
+//! iterations to its parent's, so outer variables expand on demand and
+//! results map back when the frame pops.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use standoff_algebra::{Item, KindTest, LlSeq, NodeTable, NodeTest, TreeAxis};
+use standoff_core::{evaluate_standoff_join, IterNode, JoinInput, StandoffAxis, StandoffConfig};
+use standoff_xml::{DocId, DocumentBuilder, NodeKind, NodeRef};
+
+use crate::ast::*;
+use crate::engine::EngineState;
+use crate::error::QueryError;
+use crate::functions;
+
+/// One scope of the loop-lifting frame stack.
+pub struct Frame {
+    /// Number of iterations of this scope.
+    pub n_iters: u32,
+    /// `map[i]` = parent-frame iteration of this frame's iteration `i`
+    /// (monotone non-decreasing). `None` for the root frame.
+    pub map: Option<Vec<u32>>,
+    /// Variables bound in this frame, in this frame's numbering.
+    pub vars: HashMap<String, LlSeq>,
+    /// Function-call barrier: variable lookup skips outer frames (except
+    /// the root frame's globals) but iteration maps still compose.
+    pub barrier: bool,
+}
+
+pub struct Evaluator<'e> {
+    pub engine: &'e mut EngineState,
+    pub config: StandoffConfig,
+    pub functions: HashMap<String, Rc<FunctionDecl>>,
+    pub frames: Vec<Frame>,
+    pub call_depth: usize,
+}
+
+impl<'e> Evaluator<'e> {
+    pub fn new(engine: &'e mut EngineState, config: StandoffConfig) -> Self {
+        Evaluator {
+            engine,
+            config,
+            functions: HashMap::new(),
+            frames: vec![Frame {
+                n_iters: 1,
+                map: None,
+                vars: HashMap::new(),
+                barrier: false,
+            }],
+            call_depth: 0,
+        }
+    }
+
+    #[inline]
+    pub fn n_iters(&self) -> u32 {
+        self.frames.last().unwrap().n_iters
+    }
+
+    fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().unwrap()
+    }
+
+    /// Bind a variable in the current frame.
+    pub fn bind(&mut self, name: &str, value: LlSeq) {
+        self.top_mut().vars.insert(name.to_string(), value);
+    }
+
+    /// Look up a variable, expanding it from its defining frame into the
+    /// current frame's iteration numbering.
+    pub fn lookup(&self, name: &str) -> Result<LlSeq, QueryError> {
+        let top = self.frames.len() - 1;
+        let mut depth = top as isize;
+        let mut blocked = false;
+        while depth >= 0 {
+            let frame = &self.frames[depth as usize];
+            // Below a barrier only the root frame's globals are visible.
+            if (!blocked || depth == 0) && frame.vars.contains_key(name) {
+                let table = frame.vars.get(name).unwrap();
+                return Ok(self.expand_to_top(table, depth as usize));
+            }
+            if frame.barrier {
+                blocked = true;
+            }
+            depth -= 1;
+        }
+        Err(QueryError::stat(format!("undeclared variable ${name}")))
+    }
+
+    /// Expand a table expressed in `frame_depth`'s numbering into the top
+    /// frame's numbering by composing the iteration maps.
+    fn expand_to_top(&self, table: &LlSeq, frame_depth: usize) -> LlSeq {
+        let top = self.frames.len() - 1;
+        if frame_depth == top {
+            return table.clone();
+        }
+        // Compose map: top iteration -> frame_depth iteration.
+        let mut composed: Vec<u32> = match &self.frames[top].map {
+            Some(m) => m.clone(),
+            None => (0..self.frames[top].n_iters).collect(),
+        };
+        for depth in (frame_depth + 1..top).rev() {
+            let m = self.frames[depth]
+                .map
+                .as_ref()
+                .expect("non-root frames have maps");
+            for c in composed.iter_mut() {
+                *c = m[*c as usize];
+            }
+        }
+        table.expand(&composed)
+    }
+
+    // ================= expression dispatch =================
+
+    pub fn eval(&mut self, expr: &Expr) -> Result<LlSeq, QueryError> {
+        match expr {
+            Expr::IntLit(i) => Ok(LlSeq::lifted_const(self.n_iters(), Item::Integer(*i))),
+            Expr::DoubleLit(d) => Ok(LlSeq::lifted_const(self.n_iters(), Item::Double(*d))),
+            Expr::StringLit(s) => Ok(LlSeq::lifted_const(self.n_iters(), Item::str(s))),
+            Expr::VarRef(name) => self.lookup(name),
+            Expr::ContextItem => self.lookup("."),
+            Expr::Sequence(items) => {
+                let mut out = LlSeq::empty();
+                for e in items {
+                    let t = self.eval(e)?;
+                    out = out.concat(&t);
+                }
+                Ok(out)
+            }
+            Expr::Flwor {
+                clauses,
+                where_clause,
+                order_by,
+                return_clause,
+            } => self.eval_flwor(clauses, where_clause.as_deref(), order_by, return_clause),
+            Expr::Quantified {
+                every,
+                bindings,
+                satisfies,
+            } => self.eval_quantified(*every, bindings, satisfies),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => self.eval_if(cond, then_branch, else_branch),
+            Expr::Or(a, b) => self.eval_logical(a, b, |x, y| x || y),
+            Expr::And(a, b) => self.eval_logical(a, b, |x, y| x && y),
+            Expr::Comparison(op, a, b) => self.eval_comparison(*op, a, b),
+            Expr::Arith(op, a, b) => self.eval_arith(*op, a, b),
+            Expr::Range(a, b) => self.eval_range(a, b),
+            Expr::Neg(e) => self.eval_neg(e),
+            Expr::Union(a, b) => self.eval_union(a, b),
+            Expr::Intersect(a, b) => self.eval_intersect_except(a, b, true),
+            Expr::Except(a, b) => self.eval_intersect_except(a, b, false),
+            Expr::Step {
+                input,
+                axis,
+                test,
+                predicates,
+            } => self.eval_step(input.as_deref(), *axis, test, predicates),
+            Expr::PathExpr { input, step } => self.eval_path_expr(input, step),
+            Expr::RootPath(_) => self.eval_root_path(),
+            Expr::Filter { input, predicate } => {
+                let t = self.eval(input)?;
+                self.apply_predicate(t, predicate)
+            }
+            Expr::FunctionCall { name, args } => self.eval_function_call(name, args),
+            Expr::Constructor(c) => self.eval_constructor(c),
+        }
+    }
+
+    // ================= FLWOR =================
+
+    fn eval_flwor(
+        &mut self,
+        clauses: &[FlworClause],
+        where_clause: Option<&Expr>,
+        order_by: &[OrderKey],
+        return_clause: &Expr,
+    ) -> Result<LlSeq, QueryError> {
+        let base_depth = self.frames.len();
+        // A FLWOR gets its own scope frame (identity map) so that `let`
+        // bindings never escape into the host frame — in the root scope
+        // they would otherwise masquerade as globals and leak through
+        // function-call barriers.
+        let host_n = self.n_iters();
+        self.frames.push(Frame {
+            n_iters: host_n,
+            map: Some((0..host_n).collect()),
+            vars: HashMap::new(),
+            barrier: false,
+        });
+        let result = (|| {
+            for clause in clauses {
+                match clause {
+                    FlworClause::For { var, at, seq } => {
+                        let s = self.eval(seq)?;
+                        // New scope: one iteration per row of the binding
+                        // sequence.
+                        let n = s.len() as u32;
+                        let map = s.iters().to_vec();
+                        // Positional variable: position within the old
+                        // iteration's group.
+                        let at_table = at.as_ref().map(|_| {
+                            let mut items = Vec::with_capacity(s.len());
+                            let mut pos = 0i64;
+                            for k in 0..s.len() {
+                                if k > 0 && s.iters()[k] != s.iters()[k - 1] {
+                                    pos = 0;
+                                }
+                                pos += 1;
+                                items.push(Item::Integer(pos));
+                            }
+                            LlSeq::from_columns((0..n).collect(), items)
+                        });
+                        let var_table = LlSeq::from_columns(
+                            (0..n).collect(),
+                            s.items().to_vec(),
+                        );
+                        let mut vars = HashMap::new();
+                        vars.insert(var.clone(), var_table);
+                        if let (Some(at_name), Some(at_table)) = (at, at_table) {
+                            vars.insert(at_name.clone(), at_table);
+                        }
+                        self.frames.push(Frame {
+                            n_iters: n,
+                            map: Some(map),
+                            vars,
+                            barrier: false,
+                        });
+                    }
+                    FlworClause::Let { var, value } => {
+                        let v = self.eval(value)?;
+                        self.bind(var, v);
+                    }
+                }
+            }
+            if let Some(w) = where_clause {
+                let cond = self.eval(w)?;
+                let keep = cond.effective_boolean(self.n_iters());
+                // Restriction frame over the kept iterations.
+                let mapping: Vec<u32> = keep
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &k)| k)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                self.frames.push(Frame {
+                    n_iters: mapping.len() as u32,
+                    map: Some(mapping),
+                    vars: HashMap::new(),
+                    barrier: false,
+                });
+            }
+
+            // Ranks for order-by (identity without one).
+            let n = self.n_iters();
+            let rank: Vec<u32> = if order_by.is_empty() {
+                (0..n).collect()
+            } else {
+                self.order_by_ranks(order_by)?
+            };
+
+            let body = self.eval(return_clause)?;
+
+            // Map the body back through all frames pushed by this FLWOR,
+            // reordering iterations by rank within each host iteration.
+            let mut comp: Vec<u32> = (0..n).collect();
+            for depth in (base_depth..self.frames.len()).rev() {
+                let m = self.frames[depth].map.as_ref().unwrap();
+                for c in comp.iter_mut() {
+                    *c = m[*c as usize];
+                }
+            }
+            // Order inner iterations by (host iter, rank).
+            let mut order: Vec<u32> = (0..n).collect();
+            order.sort_by_key(|&k| (comp[k as usize], rank[k as usize], k));
+            let mut out = LlSeq::empty();
+            for &k in &order {
+                for item in body.group(k) {
+                    out.push(comp[k as usize], item.clone());
+                }
+            }
+            Ok(out)
+        })();
+        self.frames.truncate(base_depth);
+        result
+    }
+
+    /// Rank of each current-frame iteration under the order-by keys,
+    /// within its host iteration group.
+    fn order_by_ranks(&mut self, order_by: &[OrderKey]) -> Result<Vec<u32>, QueryError> {
+        let n = self.n_iters();
+        // Evaluate each key: per iteration an optional atomic item.
+        let mut keys: Vec<Vec<Option<Item>>> = Vec::with_capacity(order_by.len());
+        for key in order_by {
+            let t = self.eval(&key.expr)?;
+            let mut col: Vec<Option<Item>> = vec![None; n as usize];
+            for (iter, items) in t.groups() {
+                if let Some(first) = items.first() {
+                    col[iter as usize] = Some(first.atomize(&self.engine.store));
+                }
+            }
+            keys.push(col);
+        }
+        let store = &self.engine.store;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            for (key, spec) in keys.iter().zip(order_by) {
+                let (ka, kb) = (&key[a as usize], &key[b as usize]);
+                let ord = match (ka, kb) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less, // empty least
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(x), Some(y)) => {
+                        x.general_compare(y, store).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                };
+                let ord = if spec.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stable
+        });
+        let mut rank = vec![0u32; n as usize];
+        for (r, &k) in order.iter().enumerate() {
+            rank[k as usize] = r as u32;
+        }
+        Ok(rank)
+    }
+
+    fn eval_quantified(
+        &mut self,
+        every: bool,
+        bindings: &[(String, Expr)],
+        satisfies: &Expr,
+    ) -> Result<LlSeq, QueryError> {
+        let base_depth = self.frames.len();
+        let host_n = self.n_iters();
+        let result = (|| {
+            for (var, seq) in bindings {
+                let s = self.eval(seq)?;
+                let n = s.len() as u32;
+                let map = s.iters().to_vec();
+                let var_table = LlSeq::from_columns((0..n).collect(), s.items().to_vec());
+                let mut vars = HashMap::new();
+                vars.insert(var.clone(), var_table);
+                self.frames.push(Frame {
+                    n_iters: n,
+                    map: Some(map),
+                    vars,
+                    barrier: false,
+                });
+            }
+            let cond = self.eval(satisfies)?;
+            let inner_n = self.n_iters();
+            let truth = cond.effective_boolean(inner_n);
+            // Compose back to the host frame.
+            let mut comp: Vec<u32> = (0..inner_n).collect();
+            for depth in (base_depth..self.frames.len()).rev() {
+                let m = self.frames[depth].map.as_ref().unwrap();
+                for c in comp.iter_mut() {
+                    *c = m[*c as usize];
+                }
+            }
+            let mut agg = vec![every; host_n as usize];
+            for k in 0..inner_n as usize {
+                let host = comp[k] as usize;
+                if every {
+                    agg[host] = agg[host] && truth[k];
+                } else {
+                    agg[host] = agg[host] || truth[k];
+                }
+            }
+            Ok(LlSeq::from_columns(
+                (0..host_n).collect(),
+                agg.into_iter().map(Item::Boolean).collect(),
+            ))
+        })();
+        self.frames.truncate(base_depth);
+        result
+    }
+
+    fn eval_if(
+        &mut self,
+        cond: &Expr,
+        then_branch: &Expr,
+        else_branch: &Expr,
+    ) -> Result<LlSeq, QueryError> {
+        let c = self.eval(cond)?;
+        let keep = c.effective_boolean(self.n_iters());
+        let then_iters: Vec<u32> = keep
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let else_iters: Vec<u32> = keep
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| !k)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let then_part = self.eval_in_restriction(then_iters, then_branch)?;
+        let else_part = self.eval_in_restriction(else_iters, else_branch)?;
+        Ok(then_part.concat(&else_part))
+    }
+
+    /// Evaluate `expr` in a restriction frame over `iters` (host
+    /// numbering); result comes back in host numbering. Skipping the
+    /// evaluation entirely when the restriction is empty is what makes
+    /// recursive user-defined functions terminate.
+    fn eval_in_restriction(&mut self, iters: Vec<u32>, expr: &Expr) -> Result<LlSeq, QueryError> {
+        if iters.is_empty() {
+            return Ok(LlSeq::empty());
+        }
+        self.frames.push(Frame {
+            n_iters: iters.len() as u32,
+            map: Some(iters),
+            vars: HashMap::new(),
+            barrier: false,
+        });
+        let result = self.eval(expr);
+        let frame = self.frames.pop().unwrap();
+        let map = frame.map.unwrap();
+        result.map(|t| t.unrestrict(&map))
+    }
+
+    fn eval_logical(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        op: impl Fn(bool, bool) -> bool,
+    ) -> Result<LlSeq, QueryError> {
+        let n = self.n_iters();
+        let ta = self.eval(a)?.effective_boolean(n);
+        let tb = self.eval(b)?.effective_boolean(n);
+        Ok(LlSeq::from_columns(
+            (0..n).collect(),
+            ta.iter()
+                .zip(&tb)
+                .map(|(&x, &y)| Item::Boolean(op(x, y)))
+                .collect(),
+        ))
+    }
+
+    fn eval_comparison(&mut self, op: CompOp, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+        use std::cmp::Ordering;
+        let n = self.n_iters();
+        let ta = self.eval(a)?;
+        let tb = self.eval(b)?;
+        let check = |ord: Option<Ordering>, op: CompOp| -> bool {
+            match (ord, op) {
+                (Some(o), CompOp::Eq | CompOp::ValEq) => o == Ordering::Equal,
+                (Some(o), CompOp::Ne | CompOp::ValNe) => o != Ordering::Equal,
+                (Some(o), CompOp::Lt | CompOp::ValLt) => o == Ordering::Less,
+                (Some(o), CompOp::Le | CompOp::ValLe) => o != Ordering::Greater,
+                (Some(o), CompOp::Gt | CompOp::ValGt) => o == Ordering::Greater,
+                (Some(o), CompOp::Ge | CompOp::ValGe) => o != Ordering::Less,
+                (None, _) => false,
+                (Some(_), CompOp::Is) => unreachable!("'is' handled before check()"),
+            }
+        };
+        let is_value_comp = matches!(
+            op,
+            CompOp::ValEq | CompOp::ValNe | CompOp::ValLt | CompOp::ValLe | CompOp::ValGt
+                | CompOp::ValGe | CompOp::Is
+        );
+        let mut iters = Vec::new();
+        let mut items = Vec::new();
+        for iter in 0..n {
+            let ga = ta.group(iter);
+            let gb = tb.group(iter);
+            if is_value_comp {
+                // Value comparison: empty operand → empty result.
+                if ga.is_empty() || gb.is_empty() {
+                    continue;
+                }
+                let result = if op == CompOp::Is {
+                    match (ga[0].as_node(), gb[0].as_node()) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => {
+                            return Err(QueryError::dynamic(
+                                "'is' requires node operands".to_string(),
+                            ))
+                        }
+                    }
+                } else {
+                    check(ga[0].general_compare(&gb[0], &self.engine.store), op)
+                };
+                iters.push(iter);
+                items.push(Item::Boolean(result));
+            } else {
+                // General comparison: existential over the pair set.
+                let mut result = false;
+                'outer: for x in ga {
+                    for y in gb {
+                        if check(x.general_compare(y, &self.engine.store), op) {
+                            result = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                iters.push(iter);
+                items.push(Item::Boolean(result));
+            }
+        }
+        Ok(LlSeq::from_columns(iters, items))
+    }
+
+    fn eval_arith(&mut self, op: ArithOp, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+        let n = self.n_iters();
+        let ta = self.eval(a)?;
+        let tb = self.eval(b)?;
+        let mut iters = Vec::new();
+        let mut items = Vec::new();
+        for iter in 0..n {
+            let ga = ta.group(iter);
+            let gb = tb.group(iter);
+            if ga.is_empty() || gb.is_empty() {
+                continue; // arithmetic on () is ()
+            }
+            let x = ga[0].atomize(&self.engine.store);
+            let y = gb[0].atomize(&self.engine.store);
+            items.push(arith_items(op, &x, &y, &self.engine.store)?);
+            iters.push(iter);
+        }
+        Ok(LlSeq::from_columns(iters, items))
+    }
+
+    fn eval_range(&mut self, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+        let n = self.n_iters();
+        let ta = self.eval(a)?;
+        let tb = self.eval(b)?;
+        let mut out = LlSeq::empty();
+        for iter in 0..n {
+            let (ga, gb) = (ta.group(iter), tb.group(iter));
+            if ga.is_empty() || gb.is_empty() {
+                continue;
+            }
+            let lo = int_value(&ga[0], &self.engine.store)?;
+            let hi = int_value(&gb[0], &self.engine.store)?;
+            for v in lo..=hi {
+                out.push(iter, Item::Integer(v));
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_neg(&mut self, e: &Expr) -> Result<LlSeq, QueryError> {
+        let t = self.eval(e)?;
+        let n = self.n_iters();
+        let mut iters = Vec::new();
+        let mut items = Vec::new();
+        for iter in 0..n {
+            let g = t.group(iter);
+            if g.is_empty() {
+                continue;
+            }
+            let item = match g[0].atomize(&self.engine.store) {
+                Item::Integer(i) => Item::Integer(-i),
+                other => Item::Double(
+                    -other
+                        .as_number(&self.engine.store)
+                        .ok_or_else(|| QueryError::dynamic("cannot negate non-number"))?,
+                ),
+            };
+            iters.push(iter);
+            items.push(item);
+        }
+        Ok(LlSeq::from_columns(iters, items))
+    }
+
+    fn eval_union(&mut self, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+        let ta = self.eval(a)?;
+        let tb = self.eval(b)?;
+        let na = NodeTable::from_llseq(&ta).map_err(QueryError::dynamic)?;
+        let nb = NodeTable::from_llseq(&tb).map_err(QueryError::dynamic)?;
+        // Merge rows per iteration then normalize.
+        let merged = na.into_llseq().concat(&nb.into_llseq());
+        let mut table = NodeTable::from_llseq(&merged).expect("nodes in, nodes out");
+        table.normalize(&self.engine.store);
+        Ok(table.into_llseq())
+    }
+
+    /// `intersect` / `except`: node-identity set operations, per
+    /// iteration, result in document order.
+    fn eval_intersect_except(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        keep_common: bool,
+    ) -> Result<LlSeq, QueryError> {
+        let ta = self.eval(a)?;
+        let tb = self.eval(b)?;
+        let mut na = NodeTable::from_llseq(&ta).map_err(QueryError::dynamic)?;
+        let mut nb = NodeTable::from_llseq(&tb).map_err(QueryError::dynamic)?;
+        na.normalize(&self.engine.store);
+        nb.normalize(&self.engine.store);
+        let mut out = NodeTable::with_capacity(na.len());
+        for (&iter, node) in na.iters().iter().zip(na.nodes()) {
+            let in_b = nb.group(iter).contains(node);
+            if in_b == keep_common {
+                out.push(iter, *node);
+            }
+        }
+        Ok(out.into_llseq())
+    }
+
+    // ================= paths and steps =================
+
+    fn context_nodes(&mut self, input: Option<&Expr>) -> Result<NodeTable, QueryError> {
+        let t = match input {
+            Some(e) => self.eval(e)?,
+            None => self.lookup(".").map_err(|_| {
+                QueryError::dynamic("relative path used without a context item")
+            })?,
+        };
+        NodeTable::from_llseq(&t).map_err(QueryError::dynamic)
+    }
+
+    fn eval_step(
+        &mut self,
+        input: Option<&Expr>,
+        axis: Axis,
+        test: &NodeTest,
+        predicates: &[Expr],
+    ) -> Result<LlSeq, QueryError> {
+        let ctx = self.context_nodes(input)?;
+        let result = match axis {
+            Axis::Tree(tree_axis) => {
+                standoff_algebra::staircase::ll_step(&self.engine.store, &ctx, tree_axis, test)
+            }
+            Axis::Standoff(so_axis) => self.eval_standoff_step(&ctx, so_axis, test)?,
+        };
+        let mut table = result.into_llseq();
+        for predicate in predicates {
+            table = self.apply_predicate(table, predicate)?;
+        }
+        Ok(table)
+    }
+
+    /// Evaluate one of the four StandOff axis steps: partition the context
+    /// per document fragment, run the configured join strategy per
+    /// fragment (§4.4), and merge back into document order per iteration.
+    pub(crate) fn eval_standoff_step(
+        &mut self,
+        ctx: &NodeTable,
+        axis: StandoffAxis,
+        test: &NodeTest,
+    ) -> Result<NodeTable, QueryError> {
+        self.eval_standoff_join(ctx, axis, test, None)
+    }
+
+    /// StandOff join with an optional explicit candidate node sequence
+    /// (the built-in function form, Figure 3). `explicit_candidates`
+    /// overrides the name-test pushdown.
+    pub(crate) fn eval_standoff_join(
+        &mut self,
+        ctx: &NodeTable,
+        axis: StandoffAxis,
+        test: &NodeTest,
+        explicit_candidates: Option<&NodeTable>,
+    ) -> Result<NodeTable, QueryError> {
+        // Bucket context rows per document.
+        let mut buckets: HashMap<DocId, Vec<IterNode>> = HashMap::new();
+        for (&iter, node) in ctx.iters().iter().zip(ctx.nodes()) {
+            // Only element nodes can be area-annotations; other context
+            // nodes still pin their fragment for the reject domain.
+            let pre = match node.id.pre() {
+                Some(p) => p,
+                None => self.engine.store.doc(node.doc).attr_owner(
+                    node.id.attr_index().expect("attr id"),
+                ),
+            };
+            buckets.entry(node.doc).or_default().push(IterNode { iter, node: pre });
+        }
+        // Explicit candidates bucketed per document too.
+        let mut cand_buckets: HashMap<DocId, Vec<u32>> = HashMap::new();
+        if let Some(cands) = explicit_candidates {
+            for node in cands.nodes() {
+                if let Some(pre) = node.id.pre() {
+                    cand_buckets.entry(node.doc).or_default().push(pre);
+                }
+            }
+            for list in cand_buckets.values_mut() {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
+
+        let mut docs: Vec<DocId> = buckets.keys().copied().collect();
+        docs.sort();
+
+        let strategy = self.engine.options.strategy;
+        let pushdown = self.engine.options.candidate_pushdown
+            && strategy != standoff_core::StandoffStrategy::NaiveNoCandidates;
+
+        let mut rows: Vec<(u32, NodeRef)> = Vec::new();
+        for doc_id in docs {
+            let mut context = std::mem::take(buckets.get_mut(&doc_id).unwrap());
+            context.sort_unstable();
+            context.dedup();
+            let index = self.engine.region_index(doc_id, &self.config)?;
+            // Candidate restriction: explicit sequence, or name-test
+            // pushdown through the element index (§4.3).
+            let name_candidates: Option<Vec<u32>> = if explicit_candidates.is_some() {
+                cand_buckets.remove(&doc_id).or_else(|| Some(Vec::new()))
+            } else if pushdown && test.kind == KindTest::Element {
+                test.name.as_ref().map(|n| {
+                    self.engine.store.doc(doc_id).elements_named(n).to_vec()
+                })
+            } else {
+                None
+            };
+            let mut iter_domain: Vec<u32> = context.iter().map(|c| c.iter).collect();
+            iter_domain.dedup();
+            let input = JoinInput {
+                doc: self.engine.store.doc(doc_id),
+                index: &index,
+                context: &context,
+                candidates: name_candidates.as_deref(),
+                iter_domain: &iter_domain,
+            };
+            for IterNode { iter, node } in
+                evaluate_standoff_join(axis, strategy, &input, None)
+            {
+                rows.push((iter, NodeRef::tree(doc_id, node)));
+            }
+        }
+        // Merge per-document results: sort by (iter, doc order).
+        rows.sort_by_key(|(iter, node)| (*iter, self.engine.store.order_key(*node)));
+        let mut out = NodeTable::with_capacity(rows.len());
+        for (iter, node) in rows {
+            out.push(iter, node);
+        }
+        // Post-filter with the node test (idempotent under pushdown;
+        // necessary for the no-pushdown strategies, §3.2 Alternative 1's
+        // trailing `/self::name`).
+        Ok(standoff_algebra::staircase::ll_step(
+            &self.engine.store,
+            &out,
+            TreeAxis::SelfAxis,
+            test,
+        ))
+    }
+
+    fn eval_path_expr(&mut self, input: &Expr, step: &Expr) -> Result<LlSeq, QueryError> {
+        let t = self.eval(input)?;
+        // Scope over the rows of the input; "." bound per row.
+        let n = t.len() as u32;
+        let map = t.iters().to_vec();
+        let mut vars = HashMap::new();
+        vars.insert(
+            ".".to_string(),
+            LlSeq::from_columns((0..n).collect(), t.items().to_vec()),
+        );
+        self.frames.push(Frame {
+            n_iters: n,
+            map: Some(map.clone()),
+            vars,
+            barrier: false,
+        });
+        let result = self.eval(step);
+        self.frames.pop();
+        let r = result?.unrestrict(&map);
+        // Node results get document order + dedup; atom results keep
+        // sequence order (XQuery 3.0 relaxation — simple-map-like).
+        match NodeTable::from_llseq(&r) {
+            Ok(mut nodes) => {
+                nodes.normalize(&self.engine.store);
+                Ok(nodes.into_llseq())
+            }
+            Err(_) => Ok(r),
+        }
+    }
+
+    fn eval_root_path(&mut self) -> Result<LlSeq, QueryError> {
+        let ctx = self.lookup(".").map_err(|_| {
+            QueryError::dynamic("'/' used without a context item (use doc(...))")
+        })?;
+        let mut out = LlSeq::empty();
+        for (iter, items) in ctx.groups() {
+            let mut last: Option<NodeRef> = None;
+            for item in items {
+                let node = item
+                    .as_node()
+                    .ok_or_else(|| QueryError::dynamic("'/' on a non-node context item"))?;
+                let root = NodeRef::tree(node.doc, 0);
+                if last != Some(root) {
+                    out.push(iter, Item::Node(root));
+                    last = Some(root);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply one predicate to a sequence: positional if the predicate
+    /// value is numeric, boolean otherwise (XPath 2.0 semantics).
+    pub(crate) fn apply_predicate(
+        &mut self,
+        table: LlSeq,
+        predicate: &Expr,
+    ) -> Result<LlSeq, QueryError> {
+        let n = table.len() as u32;
+        let map = table.iters().to_vec();
+        // Positions and group sizes within the input's iterations.
+        let mut positions = Vec::with_capacity(table.len());
+        let mut sizes_by_row = vec![0i64; table.len()];
+        {
+            let mut start = 0usize;
+            while start < table.len() {
+                let iter = table.iters()[start];
+                let mut end = start;
+                while end < table.len() && table.iters()[end] == iter {
+                    end += 1;
+                }
+                for (offset, row) in (start..end).enumerate() {
+                    positions.push(Item::Integer(offset as i64 + 1));
+                    sizes_by_row[row] = (end - start) as i64;
+                }
+                start = end;
+            }
+        }
+        let mut vars = HashMap::new();
+        vars.insert(
+            ".".to_string(),
+            LlSeq::from_columns((0..n).collect(), table.items().to_vec()),
+        );
+        vars.insert(
+            "fn:position".to_string(),
+            LlSeq::from_columns((0..n).collect(), positions.clone()),
+        );
+        vars.insert(
+            "fn:last".to_string(),
+            LlSeq::from_columns(
+                (0..n).collect(),
+                sizes_by_row.iter().map(|&s| Item::Integer(s)).collect(),
+            ),
+        );
+        self.frames.push(Frame {
+            n_iters: n,
+            map: Some(map),
+            vars,
+            barrier: false,
+        });
+        let cond = self.eval(predicate);
+        self.frames.pop();
+        let cond = cond?;
+
+        let mut out = LlSeq::empty();
+        for (k, position) in positions.iter().enumerate() {
+            let g = cond.group(k as u32);
+            let keep = match g {
+                [] => false,
+                [single] => match single {
+                    Item::Integer(i) => *i == int_item(position),
+                    Item::Double(d) => *d == int_item(position) as f64,
+                    other => other.effective_boolean(),
+                },
+                // Multi-item predicate values: EBV (relaxed as in
+                // LlSeq::effective_boolean).
+                [_, ..] => true,
+            };
+            if keep {
+                out.push(table.iters()[k], table.items()[k].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    // ================= functions =================
+
+    fn eval_function_call(&mut self, name: &str, args: &[Expr]) -> Result<LlSeq, QueryError> {
+        let local = name.split_once(':').map(|(_, l)| l).unwrap_or(name);
+
+        // Context-dependent zero-argument built-ins.
+        if args.is_empty() {
+            match local {
+                "position" => return self.lookup("fn:position").map_err(|_| {
+                    QueryError::dynamic("position() used outside a predicate")
+                }),
+                "last" => {
+                    return self.lookup("fn:last").map_err(|_| {
+                        QueryError::dynamic("last() used outside a predicate")
+                    })
+                }
+                "true" => {
+                    return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(true)))
+                }
+                "false" => {
+                    return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(false)))
+                }
+                _ => {}
+            }
+        }
+
+        // User-defined functions shadow built-ins of the same name (the
+        // paper's Figure 2/3 define `select-narrow` as a UDF while the
+        // engine also has it as a built-in).
+        if let Some(decl) = self.functions.get(local).or_else(|| self.functions.get(name)) {
+            let decl = Rc::clone(decl);
+            if decl.params.len() != args.len() {
+                return Err(QueryError::stat(format!(
+                    "function {name}() expects {} argument(s), got {}",
+                    decl.params.len(),
+                    args.len()
+                )));
+            }
+            if self.call_depth >= self.engine.options.recursion_limit {
+                return Err(QueryError::dynamic(format!(
+                    "recursion limit ({}) exceeded in {name}()",
+                    self.engine.options.recursion_limit
+                )));
+            }
+            let mut vars = HashMap::new();
+            for (param, arg) in decl.params.iter().zip(args) {
+                vars.insert(param.clone(), self.eval(arg)?);
+            }
+            let n = self.n_iters();
+            self.frames.push(Frame {
+                n_iters: n,
+                map: Some((0..n).collect()),
+                vars,
+                barrier: true,
+            });
+            self.call_depth += 1;
+            let result = self.eval(&decl.body);
+            self.call_depth -= 1;
+            self.frames.pop();
+            return result;
+        }
+
+        // Built-ins.
+        let mut arg_tables = Vec::with_capacity(args.len());
+        for a in args {
+            arg_tables.push(self.eval(a)?);
+        }
+        functions::call_builtin(self, local, arg_tables)?
+            .ok_or_else(|| QueryError::stat(format!("unknown function {name}()")))
+    }
+
+    // ================= constructors =================
+
+    fn eval_constructor(&mut self, c: &ElementConstructor) -> Result<LlSeq, QueryError> {
+        // Evaluate every enclosed expression once (loop-lifted), then
+        // assemble one element per iteration.
+        let mut tables: Vec<LlSeq> = Vec::new();
+        self.eval_constructor_exprs(c, &mut tables)?;
+        let n = self.n_iters();
+        let mut out = LlSeq::empty();
+        for iter in 0..n {
+            let mut builder = DocumentBuilder::new();
+            let mut cursor = 0usize;
+            self.build_element(c, iter, &tables, &mut cursor, &mut builder)?;
+            let doc = builder
+                .finish()
+                .map_err(|e| QueryError::dynamic(format!("constructor failed: {e}")))?;
+            let doc_id = self.engine.store.add(doc, None);
+            out.push(iter, Item::Node(NodeRef::tree(doc_id, 1)));
+        }
+        Ok(out)
+    }
+
+    /// Depth-first evaluation of all enclosed expressions of a constructor
+    /// tree, in syntactic order (matched by `build_element`'s cursor).
+    fn eval_constructor_exprs(
+        &mut self,
+        c: &ElementConstructor,
+        tables: &mut Vec<LlSeq>,
+    ) -> Result<(), QueryError> {
+        for (_, parts) in &c.attributes {
+            for part in parts {
+                if let ConstructorContent::Enclosed(e) = part {
+                    let t = self.eval(e)?;
+                    tables.push(t);
+                }
+            }
+        }
+        for part in &c.content {
+            match part {
+                ConstructorContent::Enclosed(e) => {
+                    let t = self.eval(e)?;
+                    tables.push(t);
+                }
+                ConstructorContent::Element(child) => {
+                    self.eval_constructor_exprs(child, tables)?;
+                }
+                ConstructorContent::Text(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn build_element(
+        &self,
+        c: &ElementConstructor,
+        iter: u32,
+        tables: &[LlSeq],
+        cursor: &mut usize,
+        builder: &mut DocumentBuilder,
+    ) -> Result<(), QueryError> {
+        builder.start_element(&c.name);
+        for (attr_name, parts) in &c.attributes {
+            let mut value = String::new();
+            for part in parts {
+                match part {
+                    ConstructorContent::Text(t) => value.push_str(t),
+                    ConstructorContent::Enclosed(_) => {
+                        let t = &tables[*cursor];
+                        *cursor += 1;
+                        let mut first = true;
+                        for item in t.group(iter) {
+                            if !first {
+                                value.push(' ');
+                            }
+                            first = false;
+                            value.push_str(&item.string_value(&self.engine.store));
+                        }
+                    }
+                    ConstructorContent::Element(_) => unreachable!("no elements in attributes"),
+                }
+            }
+            builder.attribute(attr_name, &value);
+        }
+        for part in &c.content {
+            match part {
+                ConstructorContent::Text(t) => {
+                    builder.text(t);
+                }
+                ConstructorContent::Element(child) => {
+                    self.build_element(child, iter, tables, cursor, builder)?;
+                }
+                ConstructorContent::Enclosed(_) => {
+                    let t = &tables[*cursor];
+                    *cursor += 1;
+                    let mut pending_atom = false;
+                    for item in t.group(iter) {
+                        match item {
+                            Item::Node(node) => {
+                                self.copy_node(*node, builder)?;
+                                pending_atom = false;
+                            }
+                            atom => {
+                                // Adjacent atoms joined with a space.
+                                if pending_atom {
+                                    builder.text(" ");
+                                }
+                                builder.text(&atom.string_value(&self.engine.store));
+                                pending_atom = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        builder.end_element();
+        Ok(())
+    }
+
+    /// Deep-copy a node into the builder (XQuery constructor content copy
+    /// semantics). Attribute nodes become attributes when they arrive
+    /// before any other content of the element under construction.
+    fn copy_node(&self, node: NodeRef, builder: &mut DocumentBuilder) -> Result<(), QueryError> {
+        let doc = self.engine.store.doc(node.doc);
+        if let Some(a) = node.id.attr_index() {
+            let name = doc.names().lexical(doc.attr_name_id(a));
+            builder.attribute(&name, doc.attr_value(a));
+            return Ok(());
+        }
+        let root = node.id.pre().expect("tree node");
+        match doc.kind(root) {
+            NodeKind::Document => {
+                for child in doc.children(root) {
+                    self.copy_node(NodeRef::tree(node.doc, child), builder)?;
+                }
+                return Ok(());
+            }
+            NodeKind::Text => {
+                builder.text(doc.value(root));
+                return Ok(());
+            }
+            NodeKind::Comment => {
+                builder.comment(doc.value(root));
+                return Ok(());
+            }
+            NodeKind::Pi => {
+                let name = doc.names().lexical(doc.name_id(root));
+                builder.pi(&name, doc.value(root));
+                return Ok(());
+            }
+            NodeKind::Element => {}
+        }
+        // Non-recursive subtree copy via an explicit end-stack.
+        let end = root + doc.size(root);
+        let mut open: Vec<u32> = Vec::new();
+        let mut pre = root;
+        while pre <= end {
+            while let Some(&top) = open.last() {
+                if pre > top + doc.size(top) {
+                    builder.end_element();
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            match doc.kind(pre) {
+                NodeKind::Element => {
+                    let name = doc.names().lexical(doc.name_id(pre));
+                    builder.start_element(&name);
+                    for a in doc.attr_range(pre) {
+                        let an = doc.names().lexical(doc.attr_name_id(a));
+                        builder.attribute(&an, doc.attr_value(a));
+                    }
+                    if doc.size(pre) == 0 {
+                        builder.end_element();
+                    } else {
+                        open.push(pre);
+                    }
+                }
+                NodeKind::Text => {
+                    builder.text(doc.value(pre));
+                }
+                NodeKind::Comment => {
+                    builder.comment(doc.value(pre));
+                }
+                NodeKind::Pi => {
+                    let name = doc.names().lexical(doc.name_id(pre));
+                    builder.pi(&name, doc.value(pre));
+                }
+                NodeKind::Document => {}
+            }
+            pre += 1;
+        }
+        while open.pop().is_some() {
+            builder.end_element();
+        }
+        Ok(())
+    }
+}
+
+// ================= helpers =================
+
+fn int_item(item: &Item) -> i64 {
+    match item {
+        Item::Integer(i) => *i,
+        _ => unreachable!("positions are integers"),
+    }
+}
+
+pub(crate) fn int_value(item: &Item, store: &standoff_xml::Store) -> Result<i64, QueryError> {
+    match item.atomize(store) {
+        Item::Integer(i) => Ok(i),
+        Item::Double(d) if d.fract() == 0.0 => Ok(d as i64),
+        Item::Untyped(s) | Item::String(s) => s
+            .trim()
+            .parse()
+            .map_err(|_| QueryError::dynamic(format!("'{s}' is not an integer"))),
+        other => Err(QueryError::dynamic(format!("'{other}' is not an integer"))),
+    }
+}
+
+fn arith_items(
+    op: ArithOp,
+    x: &Item,
+    y: &Item,
+    store: &standoff_xml::Store,
+) -> Result<Item, QueryError> {
+    // Integer arithmetic when both sides are integers (except div).
+    if let (Item::Integer(a), Item::Integer(b)) = (x, y) {
+        let (a, b) = (*a, *b);
+        return Ok(match op {
+            ArithOp::Add => Item::Integer(a.wrapping_add(b)),
+            ArithOp::Sub => Item::Integer(a.wrapping_sub(b)),
+            ArithOp::Mul => Item::Integer(a.wrapping_mul(b)),
+            ArithOp::IDiv => {
+                if b == 0 {
+                    return Err(QueryError::dynamic("integer division by zero"));
+                }
+                Item::Integer(a / b)
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    return Err(QueryError::dynamic("modulus by zero"));
+                }
+                Item::Integer(a % b)
+            }
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(QueryError::dynamic("division by zero"));
+                }
+                if a % b == 0 {
+                    Item::Integer(a / b)
+                } else {
+                    Item::Double(a as f64 / b as f64)
+                }
+            }
+        });
+    }
+    let a = x
+        .as_number(store)
+        .ok_or_else(|| QueryError::dynamic(format!("'{x}' is not a number")))?;
+    let b = y
+        .as_number(store)
+        .ok_or_else(|| QueryError::dynamic(format!("'{y}' is not a number")))?;
+    Ok(match op {
+        ArithOp::Add => Item::Double(a + b),
+        ArithOp::Sub => Item::Double(a - b),
+        ArithOp::Mul => Item::Double(a * b),
+        ArithOp::Div => Item::Double(a / b),
+        ArithOp::IDiv => {
+            if b == 0.0 {
+                return Err(QueryError::dynamic("integer division by zero"));
+            }
+            Item::Integer((a / b).trunc() as i64)
+        }
+        ArithOp::Mod => Item::Double(a % b),
+    })
+}

@@ -1,0 +1,326 @@
+//! Plan explanation.
+//!
+//! Renders the evaluation plan of a parsed query as an indented operator
+//! tree, annotated with the loop-lifting structure (which sub-expressions
+//! open new iteration scopes) and, for StandOff steps, the algorithm the
+//! current strategy selects and whether a candidate sequence is pushed
+//! down. The textual shape mirrors how Pathfinder plans are usually
+//! shown.
+
+use std::fmt::Write as _;
+
+use standoff_core::StandoffStrategy;
+
+use crate::ast::*;
+
+/// Render an explanation for a query body under the given strategy and
+/// pushdown setting.
+pub fn explain_query(query: &Query, strategy: StandoffStrategy, pushdown: bool) -> String {
+    let mut out = String::new();
+    if !query.prolog.options.is_empty() {
+        out.push_str("options:\n");
+        for (k, v) in &query.prolog.options {
+            let _ = writeln!(out, "  {k} = \"{v}\"");
+        }
+    }
+    for f in &query.prolog.functions {
+        let _ = writeln!(out, "function {}({}):", f.name, f.params.join(", "));
+        explain_expr(&f.body, 1, strategy, pushdown, &mut out);
+    }
+    out.push_str("plan:\n");
+    explain_expr(&query.body, 1, strategy, pushdown, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    indent(out, depth);
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn explain_expr(
+    expr: &Expr,
+    depth: usize,
+    strategy: StandoffStrategy,
+    pushdown: bool,
+    out: &mut String,
+) {
+    match expr {
+        Expr::IntLit(v) => line(out, depth, &format!("const {v} (lifted per iteration)")),
+        Expr::DoubleLit(v) => line(out, depth, &format!("const {v}")),
+        Expr::StringLit(v) => line(out, depth, &format!("const \"{v}\"")),
+        Expr::VarRef(v) => line(out, depth, &format!("var ${v}")),
+        Expr::ContextItem => line(out, depth, "context-item"),
+        Expr::Sequence(items) => {
+            line(out, depth, &format!("sequence [{} parts]", items.len()));
+            for e in items {
+                explain_expr(e, depth + 1, strategy, pushdown, out);
+            }
+        }
+        Expr::Flwor {
+            clauses,
+            where_clause,
+            order_by,
+            return_clause,
+        } => {
+            line(out, depth, "flwor");
+            for clause in clauses {
+                match clause {
+                    FlworClause::For { var, at, seq } => {
+                        let at = at
+                            .as_ref()
+                            .map(|a| format!(" at ${a}"))
+                            .unwrap_or_default();
+                        line(
+                            out,
+                            depth + 1,
+                            &format!("for ${var}{at} in  -- opens a new iteration scope"),
+                        );
+                        explain_expr(seq, depth + 2, strategy, pushdown, out);
+                    }
+                    FlworClause::Let { var, value } => {
+                        line(out, depth + 1, &format!("let ${var} :="));
+                        explain_expr(value, depth + 2, strategy, pushdown, out);
+                    }
+                }
+            }
+            if let Some(w) = where_clause {
+                line(out, depth + 1, "where  -- restricts the loop relation");
+                explain_expr(w, depth + 2, strategy, pushdown, out);
+            }
+            for key in order_by {
+                line(
+                    out,
+                    depth + 1,
+                    if key.descending {
+                        "order by (descending)"
+                    } else {
+                        "order by"
+                    },
+                );
+                explain_expr(&key.expr, depth + 2, strategy, pushdown, out);
+            }
+            line(out, depth + 1, "return");
+            explain_expr(return_clause, depth + 2, strategy, pushdown, out);
+        }
+        Expr::Quantified {
+            every,
+            bindings,
+            satisfies,
+        } => {
+            line(out, depth, if *every { "every" } else { "some" });
+            for (var, seq) in bindings {
+                line(out, depth + 1, &format!("${var} in"));
+                explain_expr(seq, depth + 2, strategy, pushdown, out);
+            }
+            line(out, depth + 1, "satisfies");
+            explain_expr(satisfies, depth + 2, strategy, pushdown, out);
+        }
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            line(out, depth, "if  -- branches evaluated on split loop relations");
+            explain_expr(cond, depth + 1, strategy, pushdown, out);
+            line(out, depth, "then");
+            explain_expr(then_branch, depth + 1, strategy, pushdown, out);
+            line(out, depth, "else");
+            explain_expr(else_branch, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            line(
+                out,
+                depth,
+                if matches!(expr, Expr::Or(..)) {
+                    "or"
+                } else {
+                    "and"
+                },
+            );
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Comparison(op, a, b) => {
+            line(out, depth, &format!("compare {op:?}"));
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Arith(op, a, b) => {
+            line(out, depth, &format!("arith {op:?}"));
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Range(a, b) => {
+            line(out, depth, "range to");
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Neg(e) => {
+            line(out, depth, "negate");
+            explain_expr(e, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Union(a, b) => {
+            line(out, depth, "union (doc-order dedup)");
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Intersect(a, b) => {
+            line(out, depth, "intersect (node identity)");
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Except(a, b) => {
+            line(out, depth, "except (node identity)");
+            explain_expr(a, depth + 1, strategy, pushdown, out);
+            explain_expr(b, depth + 1, strategy, pushdown, out);
+        }
+        Expr::Step {
+            input,
+            axis,
+            test,
+            predicates,
+        } => {
+            let test_str = match (&test.name, test.kind) {
+                (Some(n), _) => n.clone(),
+                (None, standoff_algebra::KindTest::Element) => "*".to_string(),
+                (None, k) => format!("{k:?}").to_lowercase() + "()",
+            };
+            match axis {
+                Axis::Tree(t) => line(
+                    out,
+                    depth,
+                    &format!("step {}::{test_str}  [staircase join, loop-lifted]", t.as_str()),
+                ),
+                Axis::Standoff(s) => {
+                    let algo = match strategy {
+                        StandoffStrategy::NaiveNoCandidates => "nested loop over all elements",
+                        StandoffStrategy::NaiveWithCandidates => "nested loop over candidates",
+                        StandoffStrategy::BasicMergeJoin => {
+                            "StandOff MergeJoin per iteration (basic)"
+                        }
+                        StandoffStrategy::LoopLiftedMergeJoin => {
+                            "loop-lifted StandOff MergeJoin, single index scan"
+                        }
+                    };
+                    let cand = if pushdown
+                        && test.name.is_some()
+                        && strategy != StandoffStrategy::NaiveNoCandidates
+                    {
+                        format!("candidates: element index '{test_str}' ∩ region index")
+                    } else {
+                        "candidates: full region index".to_string()
+                    };
+                    line(
+                        out,
+                        depth,
+                        &format!("step {}::{test_str}  [{algo}; {cand}]", s.as_str()),
+                    );
+                }
+            }
+            if let Some(input) = input {
+                explain_expr(input, depth + 1, strategy, pushdown, out);
+            } else {
+                line(out, depth + 1, "context-item");
+            }
+            for p in predicates {
+                line(out, depth + 1, "predicate");
+                explain_expr(p, depth + 2, strategy, pushdown, out);
+            }
+        }
+        Expr::PathExpr { input, step } => {
+            line(out, depth, "path  -- maps rhs over lhs items");
+            explain_expr(input, depth + 1, strategy, pushdown, out);
+            explain_expr(step, depth + 1, strategy, pushdown, out);
+        }
+        Expr::RootPath(_) => line(out, depth, "root()"),
+        Expr::Filter { input, predicate } => {
+            line(out, depth, "filter");
+            explain_expr(input, depth + 1, strategy, pushdown, out);
+            line(out, depth + 1, "predicate");
+            explain_expr(predicate, depth + 2, strategy, pushdown, out);
+        }
+        Expr::FunctionCall { name, args } => {
+            line(out, depth, &format!("call {name}({} args)", args.len()));
+            for a in args {
+                explain_expr(a, depth + 1, strategy, pushdown, out);
+            }
+        }
+        Expr::Constructor(c) => {
+            line(
+                out,
+                depth,
+                &format!("construct <{}>  [one element per iteration]", c.name),
+            );
+            for (name, _) in &c.attributes {
+                line(out, depth + 1, &format!("attribute {name}"));
+            }
+            for part in &c.content {
+                match part {
+                    ConstructorContent::Text(t) => {
+                        line(out, depth + 1, &format!("text {t:?}"))
+                    }
+                    ConstructorContent::Enclosed(e) => {
+                        line(out, depth + 1, "enclosed");
+                        explain_expr(e, depth + 2, strategy, pushdown, out);
+                    }
+                    ConstructorContent::Element(child) => {
+                        line(out, depth + 1, &format!("child <{}>", child.name));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn explains_standoff_step_with_strategy() {
+        let q = parse_query("//music/select-narrow::shot").unwrap();
+        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+        assert!(text.contains("select-narrow::shot"), "{text}");
+        assert!(text.contains("loop-lifted StandOff MergeJoin"), "{text}");
+        assert!(text.contains("element index 'shot'"), "{text}");
+
+        let text = explain_query(&q, StandoffStrategy::BasicMergeJoin, false);
+        assert!(text.contains("per iteration (basic)"), "{text}");
+        assert!(text.contains("full region index"), "{text}");
+    }
+
+    #[test]
+    fn explains_flwor_scopes() {
+        let q = parse_query(
+            "for $x in (1,2) where $x > 1 order by $x return <r>{ $x }</r>",
+        )
+        .unwrap();
+        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+        assert!(text.contains("opens a new iteration scope"), "{text}");
+        assert!(text.contains("restricts the loop relation"), "{text}");
+        assert!(text.contains("order by"), "{text}");
+        assert!(text.contains("construct <r>"), "{text}");
+    }
+
+    #[test]
+    fn explains_functions_and_options() {
+        let q = parse_query(
+            r#"declare option standoff-start "from";
+               declare function f($x) { $x + 1 };
+               f(1)"#,
+        )
+        .unwrap();
+        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+        assert!(text.contains("standoff-start"), "{text}");
+        assert!(text.contains("function f(x)"), "{text}");
+        assert!(text.contains("call f(1 args)"), "{text}");
+    }
+}

@@ -1,0 +1,555 @@
+//! XQuery lexer.
+//!
+//! Produces a token stream for the parser. XQuery keywords are contextual
+//! (`for` is a legal element name), so the lexer emits identifiers and the
+//! parser decides keyword-ness; only punctuation and literals are
+//! classified here. Comments `(: ... :)` nest and are skipped.
+
+use crate::error::QueryError;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// NCName or QName (`foo`, `xs:integer`, `select-narrow`).
+    Name(String),
+    /// `$name`
+    Variable(String),
+    /// String literal, quotes removed, entities decoded.
+    Str(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal/double literal.
+    Double(f64),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Slash,
+    DoubleSlash,
+    Dot,
+    DotDot,
+    At,
+    ColonColon,
+    ColonEq,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Pipe,
+    Question,
+    /// `<` directly followed by a name: start of a direct constructor.
+    /// The lexer cannot decide this context-freely, so the parser re-lexes
+    /// constructors from the raw input; this token never appears in the
+    /// stream (see `Lexer::lex_all`).
+    TagOpen,
+    Eof,
+}
+
+impl TokenKind {
+    /// Is this token the given name keyword?
+    pub fn is_name(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Name(n) if n == kw)
+    }
+}
+
+/// Lexer state. The parser drives it token-by-token and can switch to raw
+/// mode when it sees the start of a direct element constructor.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Current byte offset (used by the parser to re-lex constructors).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Reposition (after the parser consumed raw constructor text).
+    pub fn seek(&mut self, offset: usize) {
+        self.pos = offset;
+    }
+
+    pub fn error(&self, msg: impl Into<String>, offset: usize) -> QueryError {
+        QueryError::parse(msg, self.input, offset)
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    /// Skip whitespace and (nested) comments.
+    pub fn skip_trivia(&mut self) -> Result<(), QueryError> {
+        loop {
+            match self.peek_byte() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'(') if self.peek2() == Some(b':') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match (self.peek_byte(), self.peek2()) {
+                            (Some(b'('), Some(b':')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b':'), Some(b')')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(self.error("unterminated comment", start));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex the next token.
+    pub fn next_token(&mut self) -> Result<Token, QueryError> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let Some(b) = self.peek_byte() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.pos += 1;
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                TokenKind::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'?' => {
+                self.pos += 1;
+                TokenKind::Question
+            }
+            b'|' => {
+                self.pos += 1;
+                TokenKind::Pipe
+            }
+            b'@' => {
+                self.pos += 1;
+                TokenKind::At
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'!' if self.peek2() == Some(b'=') => {
+                self.pos += 2;
+                TokenKind::Ne
+            }
+            b'<' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Le
+                } else {
+                    // `<` beginning a direct constructor is handled by the
+                    // parser, which inspects the following byte itself.
+                    self.pos += 1;
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Ge
+                } else {
+                    self.pos += 1;
+                    TokenKind::Gt
+                }
+            }
+            b'/' => {
+                if self.peek2() == Some(b'/') {
+                    self.pos += 2;
+                    TokenKind::DoubleSlash
+                } else {
+                    self.pos += 1;
+                    TokenKind::Slash
+                }
+            }
+            b'.' => {
+                if self.peek2() == Some(b'.') {
+                    self.pos += 2;
+                    TokenKind::DotDot
+                } else if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    return self.lex_number(offset);
+                } else {
+                    self.pos += 1;
+                    TokenKind::Dot
+                }
+            }
+            b':' => {
+                if self.peek2() == Some(b':') {
+                    self.pos += 2;
+                    TokenKind::ColonColon
+                } else if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::ColonEq
+                } else {
+                    return Err(self.error("unexpected ':'", offset));
+                }
+            }
+            b'$' => {
+                self.pos += 1;
+                let name = self.lex_qname(offset)?;
+                TokenKind::Variable(name)
+            }
+            b'"' | b'\'' => return self.lex_string(offset),
+            b'0'..=b'9' => return self.lex_number(offset),
+            _ if is_name_start(b) => {
+                let name = self.lex_qname(offset)?;
+                TokenKind::Name(name)
+            }
+            other => {
+                return Err(self.error(
+                    format!("unexpected character '{}'", other as char),
+                    offset,
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    /// QName: NCName (":" NCName)?  — hyphens allowed (axis names like
+    /// `select-narrow` rely on this; `a -b` needs the space, as in XQuery).
+    fn lex_qname(&mut self, offset: usize) -> Result<String, QueryError> {
+        let start = self.pos;
+        if !self.peek_byte().is_some_and(is_name_start) {
+            return Err(self.error("expected a name", offset));
+        }
+        self.pos += 1;
+        while self.peek_byte().is_some_and(is_name_char) {
+            self.pos += 1;
+        }
+        // Optional prefix:local — only if followed directly by a name
+        // start (avoid eating `::`).
+        if self.peek_byte() == Some(b':')
+            && self.peek2().is_some_and(is_name_start)
+            && self.bytes.get(self.pos + 1) != Some(&b':')
+        {
+            self.pos += 1; // ':'
+            while self.peek_byte().is_some_and(is_name_char) {
+                self.pos += 1;
+            }
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn lex_string(&mut self, offset: usize) -> Result<Token, QueryError> {
+        let quote = self.bytes[self.pos];
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek_byte() {
+                None => return Err(self.error("unterminated string literal", offset)),
+                Some(b) if b == quote => {
+                    // XQuery escapes quotes by doubling.
+                    if self.peek2() == Some(quote) {
+                        out.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(b'&') => {
+                    // Predefined entity references inside literals.
+                    let rest = &self.input[self.pos..];
+                    let semi = rest
+                        .find(';')
+                        .ok_or_else(|| self.error("unterminated entity in string", offset))?;
+                    match &rest[1..semi] {
+                        "lt" => out.push('<'),
+                        "gt" => out.push('>'),
+                        "amp" => out.push('&'),
+                        "quot" => out.push('"'),
+                        "apos" => out.push('\''),
+                        other => {
+                            return Err(
+                                self.error(format!("unknown entity &{other};"), offset)
+                            )
+                        }
+                    }
+                    self.pos += semi + 1;
+                }
+                Some(_) => {
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Ok(Token {
+            kind: TokenKind::Str(out),
+            offset,
+        })
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<Token, QueryError> {
+        let start = self.pos;
+        while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        if self.peek_byte() == Some(b'.') && self.peek2().is_none_or(|b| b != b'.') {
+            is_double = true;
+            self.pos += 1;
+            while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek_byte(), Some(b'e' | b'E')) {
+            is_double = true;
+            self.pos += 1;
+            if matches!(self.peek_byte(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let kind = if is_double {
+            TokenKind::Double(
+                text.parse()
+                    .map_err(|_| self.error(format!("bad number '{text}'"), offset))?,
+            )
+        } else {
+            TokenKind::Integer(
+                text.parse()
+                    .map_err(|_| self.error(format!("bad number '{text}'"), offset))?,
+            )
+        };
+        Ok(Token { kind, offset })
+    }
+}
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(input: &str) -> Vec<TokenKind> {
+        let mut l = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let t = l.next_token().unwrap();
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t.kind);
+            if eof {
+                break;
+            }
+        }
+        out.pop();
+        out
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            lex("( ) [ ] { } , ; / // . .. @ :: := * + - = != < <= > >= |"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Comma,
+                TokenKind::Semicolon,
+                TokenKind::Slash,
+                TokenKind::DoubleSlash,
+                TokenKind::Dot,
+                TokenKind::DotDot,
+                TokenKind::At,
+                TokenKind::ColonColon,
+                TokenKind::ColonEq,
+                TokenKind::Star,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Pipe,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_axis_names_are_single_tokens() {
+        assert_eq!(
+            lex("select-narrow::shot"),
+            vec![
+                TokenKind::Name("select-narrow".into()),
+                TokenKind::ColonColon,
+                TokenKind::Name("shot".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn qnames_with_prefix() {
+        assert_eq!(lex("xs:integer"), vec![TokenKind::Name("xs:integer".into())]);
+        // but not across `::`
+        assert_eq!(
+            lex("child::a"),
+            vec![
+                TokenKind::Name("child".into()),
+                TokenKind::ColonColon,
+                TokenKind::Name("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(
+            lex("$b $seq-two"),
+            vec![
+                TokenKind::Variable("b".into()),
+                TokenKind::Variable("seq-two".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            lex(r#""he said ""hi""" 'don''t' "&amp;&lt;""#),
+            vec![
+                TokenKind::Str("he said \"hi\"".into()),
+                TokenKind::Str("don't".into()),
+                TokenKind::Str("&<".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("42 3.5 1e3 .5"),
+            vec![
+                TokenKind::Integer(42),
+                TokenKind::Double(3.5),
+                TokenKind::Double(1000.0),
+                TokenKind::Double(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments_are_skipped() {
+        assert_eq!(
+            lex("1 (: outer (: inner :) still out :) 2"),
+            vec![TokenKind::Integer(1), TokenKind::Integer(2)]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let mut l = Lexer::new("(: open");
+        assert!(l.next_token().is_err());
+    }
+
+    #[test]
+    fn range_vs_decimal() {
+        // `1 to 3` must not lex `1.` — ".." handling
+        assert_eq!(
+            lex("(1 to 3)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Integer(1),
+                TokenKind::Name("to".into()),
+                TokenKind::Integer(3),
+                TokenKind::RParen,
+            ]
+        );
+    }
+}

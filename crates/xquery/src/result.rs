@@ -1,0 +1,91 @@
+//! Materialized query results.
+
+use standoff_algebra::Item;
+use standoff_xml::{SerializeOptions, Store};
+
+/// The result sequence of a query, with its serialized forms materialized
+/// at construction (results no longer reference the engine).
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    items: Vec<Item>,
+    /// String value of each item.
+    strings: Vec<String>,
+    /// Serialized form of each item (XML markup for nodes).
+    serialized: Vec<String>,
+}
+
+impl QueryResult {
+    pub(crate) fn new(items: Vec<Item>, store: &Store) -> QueryResult {
+        let strings = items.iter().map(|i| i.string_value(store)).collect();
+        let serialized = items
+            .iter()
+            .map(|i| match i {
+                Item::Node(node) => standoff_xml::serialize_node(
+                    store.doc(node.doc),
+                    node.id,
+                    SerializeOptions::default(),
+                ),
+                atom => atom.string_value(store),
+            })
+            .collect();
+        QueryResult {
+            items,
+            strings,
+            serialized,
+        }
+    }
+
+    /// The raw items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items in the result sequence.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// String value of each item (`fn:string` semantics).
+    pub fn as_strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// Serialized form of each item (markup for nodes, lexical form for
+    /// atoms).
+    pub fn as_serialized(&self) -> &[String] {
+        &self.serialized
+    }
+
+    /// The whole sequence serialized: element markup concatenated,
+    /// adjacent atoms — and adjacent attribute nodes, which have no
+    /// self-delimiting markup — separated by a single space.
+    pub fn as_xml(&self) -> String {
+        let mut out = String::new();
+        let mut prev_needs_sep = false;
+        for (item, ser) in self.items.iter().zip(&self.serialized) {
+            let needs_sep = match item {
+                Item::Node(node) => node.id.is_attr(),
+                _ => true,
+            };
+            if prev_needs_sep && needs_sep {
+                out.push(' ');
+            }
+            out.push_str(ser);
+            prev_needs_sep = needs_sep;
+        }
+        out
+    }
+
+    /// Convenience for tests: single-item result as string.
+    pub fn single(&self) -> Option<&str> {
+        if self.items.len() == 1 {
+            Some(&self.strings[0])
+        } else {
+            None
+        }
+    }
+}

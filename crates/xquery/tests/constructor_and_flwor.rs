@@ -1,0 +1,177 @@
+//! Deeper evaluator coverage: constructors with attribute-node content,
+//! multi-key ordering, positional variables under restriction, and path
+//! expressions with non-step right-hand sides.
+
+use standoff_xquery::Engine;
+
+fn run(e: &mut Engine, q: &str) -> Vec<String> {
+    e.run(q)
+        .unwrap_or_else(|err| panic!("query failed: {err}\n{q}"))
+        .as_strings()
+        .to_vec()
+}
+
+#[test]
+fn attribute_nodes_in_constructor_become_attributes() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", r#"<d><p id="p1" role="admin"/></d>"#)
+        .unwrap();
+    let r = e
+        .run(r#"<copy>{ doc("d.xml")//p/@id }</copy>"#)
+        .unwrap();
+    assert_eq!(r.as_xml(), r#"<copy id="p1"/>"#);
+    // Multiple attributes, then element content.
+    let r = e
+        .run(r#"<copy>{ doc("d.xml")//p/@id }{ doc("d.xml")//p/@role }<inner/></copy>"#)
+        .unwrap();
+    assert_eq!(r.as_xml(), r#"<copy id="p1" role="admin"><inner/></copy>"#);
+}
+
+#[test]
+fn deep_node_copy_into_constructor() {
+    let mut e = Engine::new();
+    e.load_document(
+        "d.xml",
+        r#"<d><tree a="1">text<leaf b="2"/><!--c--><?p i?></tree></d>"#,
+    )
+    .unwrap();
+    let r = e.run(r#"<wrap>{ doc("d.xml")//tree }</wrap>"#).unwrap();
+    assert_eq!(
+        r.as_xml(),
+        r#"<wrap><tree a="1">text<leaf b="2"/><!--c--><?p i?></tree></wrap>"#
+    );
+}
+
+#[test]
+fn document_node_content_copies_children() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", "<root><x/></root>").unwrap();
+    let r = e.run(r#"<wrap>{ doc("d.xml") }</wrap>"#).unwrap();
+    assert_eq!(r.as_xml(), "<wrap><root><x/></root></wrap>");
+}
+
+#[test]
+fn multi_key_order_by() {
+    let mut e = Engine::new();
+    let q = r#"
+        for $p in (
+            <p a="2" b="x"/>, <p a="1" b="y"/>, <p a="2" b="a"/>, <p a="1" b="b"/>
+        )
+        order by $p/@a, $p/@b descending
+        return concat($p/@a, $p/@b)"#;
+    assert_eq!(run(&mut e, q), ["1y", "1b", "2x", "2a"]);
+}
+
+#[test]
+fn order_by_with_empty_keys() {
+    let mut e = Engine::new();
+    let q = r#"
+        for $p in (<p/>, <p k="1"/>, <p k="0"/>)
+        order by $p/@k
+        return count($p/@k)"#;
+    // Empty key sorts least: the key-less element first.
+    assert_eq!(run(&mut e, q), ["0", "1", "1"]);
+}
+
+#[test]
+fn positional_variable_with_where() {
+    let mut e = Engine::new();
+    let q = r#"
+        for $x at $i in ("a", "b", "c", "d")
+        where $i mod 2 = 0
+        return concat($i, $x)"#;
+    assert_eq!(run(&mut e, q), ["2b", "4d"]);
+}
+
+#[test]
+fn nested_flwor_with_let_of_sequences() {
+    let mut e = Engine::new();
+    let q = r#"
+        for $x in (1, 2)
+        let $ys := for $y in (10, 20) return $x * $y
+        return sum($ys)"#;
+    assert_eq!(run(&mut e, q), ["30", "60"]);
+}
+
+#[test]
+fn path_expr_with_function_rhs() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", "<d><x>alpha</x><x>be</x></d>").unwrap();
+    // rhs is a general expression evaluated with `.` bound per node.
+    let q = r#"doc("d.xml")//x/string-length(.)"#;
+    assert_eq!(run(&mut e, q), ["5", "2"]);
+}
+
+#[test]
+fn predicates_with_last_and_arithmetic() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", "<d><x/><x/><x/><x/></d>").unwrap();
+    assert_eq!(run(&mut e, r#"count(doc("d.xml")//x[last()])"#), ["1"]);
+    assert_eq!(
+        run(&mut e, r#"count(doc("d.xml")//x[position() = last() - 1])"#),
+        ["1"]
+    );
+    assert_eq!(
+        run(&mut e, r#"count(doc("d.xml")//x[position() > 1][position() < 3])"#),
+        ["2"],
+        "stacked predicates renumber positions: x2..x4 then first two"
+    );
+}
+
+#[test]
+fn filter_on_sequence_with_predicate_chain() {
+    let mut e = Engine::new();
+    assert_eq!(run(&mut e, "(11 to 20)[. mod 3 = 0]"), ["12", "15", "18"]);
+    assert_eq!(run(&mut e, "(11 to 20)[3]"), ["13"]);
+    assert_eq!(run(&mut e, "((11 to 20)[. mod 3 = 0])[last()]"), ["18"]);
+}
+
+#[test]
+fn constructor_attribute_value_joins_sequence() {
+    let mut e = Engine::new();
+    let r = e.run(r#"<r v="{ (1, 2, 3) }"/>"#).unwrap();
+    assert_eq!(r.as_xml(), r#"<r v="1 2 3"/>"#);
+    let r = e.run(r#"<r v="a{ 1 + 1 }b"/>"#).unwrap();
+    assert_eq!(r.as_xml(), r#"<r v="a2b"/>"#);
+}
+
+#[test]
+fn serialize_builtin() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", "<d><x a='1'/></d>").unwrap();
+    assert_eq!(
+        run(&mut e, r#"serialize(doc("d.xml")//x)"#),
+        [r#"<x a="1"/>"#]
+    );
+}
+
+#[test]
+fn distinct_values_numeric_coercion() {
+    let mut e = Engine::new();
+    // 1 and 1.0 compare equal under general comparison.
+    assert_eq!(run(&mut e, "count(distinct-values((1, 1.0, 2)))"), ["2"]);
+}
+
+#[test]
+fn constructed_nodes_are_queryable() {
+    let mut e = Engine::new();
+    // Navigate into freshly constructed elements.
+    let q = r#"
+        let $doc := <shots><shot len="8"/><shot len="56"/></shots>
+        return sum($doc/shot/@len)"#;
+    assert_eq!(run(&mut e, q), ["64"]);
+}
+
+#[test]
+fn standoff_join_on_constructed_document() {
+    let mut e = Engine::new();
+    // Constructed elements carry start/end attributes: the joins work on
+    // them too (a fresh region index is built for the constructed doc).
+    let q = r#"
+        let $d := <track>
+                    <span id="host" start="0" end="9"/>
+                    <span id="in" start="2" end="5"/>
+                  </track>
+        return $d/span[@id = "host"]/select-narrow::span/@id"#;
+    assert_eq!(run(&mut e, q), ["host", "in"]);
+}

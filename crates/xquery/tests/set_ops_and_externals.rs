@@ -1,0 +1,156 @@
+//! `intersect` / `except` operators and external variables.
+
+use standoff_algebra::Item;
+use standoff_xquery::Engine;
+
+fn run(e: &mut Engine, q: &str) -> Vec<String> {
+    e.run(q)
+        .unwrap_or_else(|err| panic!("query failed: {err}\n{q}"))
+        .as_strings()
+        .to_vec()
+}
+
+#[test]
+fn intersect_and_except_by_identity() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", r#"<d><x id="1"/><x id="2"/><x id="3"/><x id="4"/></d>"#)
+        .unwrap();
+    assert_eq!(
+        run(
+            &mut e,
+            r#"(doc("d.xml")//x[position() < 3] intersect doc("d.xml")//x[position() > 1])/@id"#
+        ),
+        ["2"]
+    );
+    assert_eq!(
+        run(
+            &mut e,
+            r#"(doc("d.xml")//x except doc("d.xml")//x[@id = "2"])/@id"#
+        ),
+        ["1", "3", "4"]
+    );
+    // except with disjoint rhs is identity; intersect with self is self.
+    assert_eq!(
+        run(&mut e, r#"count(doc("d.xml")//x except doc("d.xml")//d)"#),
+        ["4"]
+    );
+    assert_eq!(
+        run(&mut e, r#"count(doc("d.xml")//x intersect doc("d.xml")//x)"#),
+        ["4"]
+    );
+}
+
+#[test]
+fn wide_minus_narrow_via_except() {
+    // The natural phrasing of "overlapping but not contained" — the
+    // intron-dangling-reads query from the genomics example.
+    let mut e = Engine::new();
+    e.load_document(
+        "d.xml",
+        r#"<d><host start="0" end="10"/>
+              <t id="inside" start="2" end="8"/>
+              <t id="straddle" start="8" end="15"/></d>"#,
+    )
+    .unwrap();
+    let r = run(
+        &mut e,
+        r#"(doc("d.xml")//host/select-wide::t
+            except doc("d.xml")//host/select-narrow::t)/@id"#,
+    );
+    assert_eq!(r, ["straddle"]);
+}
+
+#[test]
+fn intersect_respects_iterations() {
+    let mut e = Engine::new();
+    e.load_document("d.xml", r#"<d><x id="1"/><x id="2"/></d>"#).unwrap();
+    // Inside a loop, the set ops apply per iteration.
+    let r = run(
+        &mut e,
+        r#"for $k in ("1", "2")
+           return count(doc("d.xml")//x[@id = $k] intersect doc("d.xml")//x)"#,
+    );
+    assert_eq!(r, ["1", "1"]);
+}
+
+#[test]
+fn external_variables_bind_values() {
+    let mut e = Engine::new();
+    e.bind_external_string("who", "person0");
+    e.bind_external_integer("limit", 2);
+    let q = r#"
+        declare variable $who external;
+        declare variable $limit external;
+        (concat("hello ", $who), $limit * 10)"#;
+    assert_eq!(run(&mut e, q), ["hello person0", "20"]);
+}
+
+#[test]
+fn external_variable_sequences() {
+    let mut e = Engine::new();
+    e.bind_external(
+        "xs",
+        vec![Item::Integer(3), Item::Integer(1), Item::Integer(2)],
+    );
+    let q = r#"
+        declare variable $xs external;
+        (sum($xs), count($xs), max($xs))"#;
+    assert_eq!(run(&mut e, q), ["6", "3", "3"]);
+}
+
+#[test]
+fn unbound_external_is_a_static_error() {
+    let mut e = Engine::new();
+    let err = e
+        .run("declare variable $missing external; $missing")
+        .unwrap_err();
+    assert!(err.to_string().contains("external variable"), "{err}");
+}
+
+#[test]
+fn externals_parameterize_standoff_queries() {
+    let mut e = Engine::new();
+    e.load_document(
+        "sample.xml",
+        r#"<s><music artist="U2" start="0" end="31"/>
+              <shot id="Intro" start="0" end="8"/>
+              <shot id="Outro" start="64" end="94"/></s>"#,
+    )
+    .unwrap();
+    e.bind_external_string("artist", "U2");
+    let q = r#"
+        declare variable $artist external;
+        doc("sample.xml")//music[@artist = $artist]/select-narrow::shot/@id"#;
+    assert_eq!(run(&mut e, q), ["Intro"]);
+}
+
+#[test]
+fn string_builtins_extended() {
+    let mut e = Engine::new();
+    assert_eq!(
+        run(&mut e, r#"substring-before("person0@host", "@")"#),
+        ["person0"]
+    );
+    assert_eq!(
+        run(&mut e, r#"substring-after("person0@host", "@")"#),
+        ["host"]
+    );
+    assert_eq!(
+        run(&mut e, r#"substring-before("nope", "@")"#),
+        [""]
+    );
+    assert_eq!(
+        run(&mut e, r#"translate("0:08", ":", "-")"#),
+        ["0-08"]
+    );
+    assert_eq!(
+        run(&mut e, r#"translate("abcd", "abc", "x")"#),
+        ["xd"],
+        "unmapped chars are dropped"
+    );
+    assert_eq!(
+        run(&mut e, r#"tokenize(" two  words ")"#),
+        ["two", "words"]
+    );
+    assert_eq!(run(&mut e, r#"count(tokenize(""))"#), ["0"]);
+}

@@ -1,0 +1,105 @@
+//! Genome-sequence annotation (paper §6 names bioinformatics as a target
+//! domain): the BLOB is a chromosome; genes are *non-contiguous* areas
+//! whose regions are their exons, and independently produced layers
+//! (variants, repeats, read alignments) are queried against them with
+//! the StandOff joins.
+//!
+//! ```text
+//! cargo run --example genomics
+//! ```
+
+use standoff::prelude::*;
+
+/// Gene models: each <gene> area consists of its exon regions, so
+/// containment in a gene means "entirely within exonic sequence".
+const GENES: &str = r#"<genes build="toy-1">
+  <gene name="ALPHA" strand="+">
+    <exon><start>100</start><end>199</end></exon>
+    <exon><start>300</start><end>449</end></exon>
+    <exon><start>600</start><end>699</end></exon>
+  </gene>
+  <gene name="BETA" strand="-">
+    <exon><start>900</start><end>1049</end></exon>
+    <exon><start>1200</start><end>1299</end></exon>
+  </gene>
+</genes>"#;
+
+/// Variant calls (SNPs): single positions.
+const VARIANTS: &str = r#"<variants caller="toy-caller">
+  <snp id="rs1" ref="A" alt="G"><exon><start>150</start><end>150</end></exon></snp>
+  <snp id="rs2" ref="C" alt="T"><exon><start>250</start><end>250</end></exon></snp>
+  <snp id="rs3" ref="G" alt="A"><exon><start>420</start><end>420</end></exon></snp>
+  <snp id="rs4" ref="T" alt="C"><exon><start>1250</start><end>1250</end></exon></snp>
+  <snp id="rs5" ref="A" alt="C"><exon><start>1500</start><end>1500</end></exon></snp>
+</variants>"#;
+
+/// Spliced read alignments: multi-region areas again. read1 aligns into
+/// two exons of ALPHA (a proper spliced read); read2 dangles into the
+/// intron.
+const READS: &str = r#"<alignments>
+  <read id="read1">
+    <exon><start>180</start><end>199</end></exon>
+    <exon><start>300</start><end>329</end></exon>
+  </read>
+  <read id="read2">
+    <exon><start>190</start><end>230</end></exon>
+  </read>
+  <read id="read3">
+    <exon><start>610</start><end>650</end></exon>
+  </read>
+</alignments>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    let doc = format!("<genome>{GENES}{VARIANTS}{READS}</genome>");
+    engine.load_document("genome.xml", &doc)?;
+
+    // The region element is named <exon> in this application — the §2
+    // configurability in action.
+    let prolog = r#"declare option standoff-region "exon";"#;
+
+    println!("exonic SNPs per gene (containment in a non-contiguous area):");
+    let q = format!(
+        r#"{prolog}
+        for $g in doc("genome.xml")//gene
+        return <gene name="{{$g/@name}}"
+                     exonic-snps="{{$g/select-narrow::snp/@id}}"/>"#
+    );
+    for line in engine.run(&q)?.as_serialized() {
+        println!("  {line}");
+    }
+
+    println!("\nintronic or intergenic SNPs (reject-narrow):");
+    let q = format!(
+        r#"{prolog}
+        doc("genome.xml")//gene/reject-narrow::snp/@id"#
+    );
+    println!("  {}", engine.run(&q)?.as_strings().join(" "));
+
+    println!("\nproperly spliced reads (every segment inside ONE gene's exons):");
+    let q = format!(
+        r#"{prolog}
+        doc("genome.xml")//gene/select-narrow::read/@id"#
+    );
+    println!("  {}", engine.run(&q)?.as_strings().join(" "));
+
+    println!("\nreads touching a gene at all (select-wide):");
+    let q = format!(
+        r#"{prolog}
+        doc("genome.xml")//gene/select-wide::read/@id"#
+    );
+    println!("  {}", engine.run(&q)?.as_strings().join(" "));
+
+    // read2 overlaps ALPHA but is not contained in its exonic area: an
+    // intron-dangling alignment — wide minus narrow, via `except`.
+    let q = format!(
+        r#"{prolog}
+        (doc("genome.xml")//gene/select-wide::read
+         except doc("genome.xml")//gene/select-narrow::read)/@id"#
+    );
+    println!(
+        "\nintron-dangling alignments (wide minus narrow): {}",
+        engine.run(&q)?.as_strings().join(" ")
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Natural-language-processing scenario (paper §1): two annotation
+//! hierarchies over one text corpus — a syntactic parse (sentences,
+//! phrases) and named-entity annotations — produced by different tools,
+//! overlapping freely. Word positions are the region coordinates.
+//!
+//! ```text
+//! cargo run --example nlp
+//! ```
+
+use standoff::prelude::*;
+
+/// The corpus BLOB: one token per position.
+const CORPUS: &[&str] = &[
+    /* 0 */ "the", "centrum", "voor", "wiskunde", "en", "informatica",
+    /* 6 */ "in", "amsterdam", "developed", "monetdb", "with", "the",
+    /* 12 */ "pathfinder", "compiler", "for", "xquery", "processing",
+];
+
+/// Syntax layer: sentence and phrase structure over word positions.
+const SYNTAX: &str = r#"<syntax>
+  <sentence id="s1" start="0" end="16">
+    <np start="0" end="7"/>
+    <vp start="8" end="16"/>
+    <pp start="6" end="7"/>
+    <np start="9" end="13"/>
+    <pp start="14" end="16"/>
+  </sentence>
+</syntax>"#;
+
+/// Entity layer from a different tool: overlaps the syntax layer without
+/// nesting into it.
+const ENTITIES: &str = r#"<entities>
+  <org start="1" end="5"/>
+  <loc start="7" end="7"/>
+  <sys start="9" end="9"/>
+  <sys start="12" end="13"/>
+  <tech start="15" end="16"/>
+  <quote start="4" end="9"/>
+</entities>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    let doc = format!("<corpus>{SYNTAX}{ENTITIES}</corpus>");
+    engine.load_document("corpus.xml", &doc)?;
+
+    let words = |start: usize, end: usize| CORPUS[start..=end].join(" ");
+
+    // Entities inside noun phrases: containment join between hierarchies
+    // that know nothing about each other.
+    println!("entities contained in noun phrases:");
+    let q = r#"for $e in doc("corpus.xml")//np/select-narrow::*
+               [not(name(.) = "np") and not(name(.) = "pp")]
+               return <e kind="{name($e)}" start="{$e/@start}" end="{$e/@end}"/>"#;
+    for e in engine.run(q)?.as_serialized() {
+        println!("  {e}");
+    }
+
+    // Overlap without containment: which phrases does each entity touch?
+    println!("\nphrase coverage per entity:");
+    let q = r#"for $e in doc("corpus.xml")/corpus/entities/*
+               return <entity kind="{name($e)}"
+                              span="{$e/@start}-{$e/@end}"
+                              phrases="{count($e/select-wide::*[
+                                  name(.) = "np" or name(.) = "vp" or name(.) = "pp"])}"/>"#;
+    for line in engine.run(q)?.as_serialized() {
+        println!("  {line}");
+    }
+
+    // Reconstruct entity surface forms from the corpus BLOB.
+    println!("\nsurface forms:");
+    let q = r#"for $e in doc("corpus.xml")/corpus/entities/*
+               return ($e/@start, $e/@end)"#;
+    let positions = engine.run(q)?;
+    let nums: Vec<usize> = positions
+        .as_strings()
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for pair in nums.chunks(2) {
+        println!("  {:>12}", words(pair[0], pair[1]));
+    }
+
+    // The case inline markup cannot represent (the paper's LMNL figure):
+    // <quote> [4,9] crosses the NP/VP boundary — it overlaps both but is
+    // contained in neither. Stand-off regions handle it natively.
+    println!("\nentities straddling phrase boundaries (overlap ≠ containment):");
+    let q = r#"let $phrases := doc("corpus.xml")//np
+                             | doc("corpus.xml")//vp
+                             | doc("corpus.xml")//pp
+               for $e in ($phrases/select-wide::* except $phrases/select-narrow::*)
+                         intersect doc("corpus.xml")/corpus/entities/*
+               return <straddler kind="{name($e)}" span="{$e/@start}-{$e/@end}"/>"#;
+    for line in engine.run(q)?.as_serialized() {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: load the paper's Figure 1 multimedia annotations and run
+//! the four StandOff joins from §3.1.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use standoff::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two overlapping annotation hierarchies over the same video BLOB:
+    // visual shots and music tracks, each with [start,end] time regions
+    // (seconds). Neither hierarchy nests inside the other — that is the
+    // situation stand-off annotation exists for.
+    let mut engine = Engine::new();
+    engine.load_document("sample.xml", standoff::fixtures::FIGURE1_XML)?;
+
+    println!("StandOff Joins between U2 and Shots                    Matches");
+    for (axis, description) in [
+        ("select-narrow", "shots during which U2 played the whole time"),
+        ("select-wide", "shots during which U2 played at some point"),
+        ("reject-narrow", "shots not fully covered by U2 music"),
+        ("reject-wide", "shots with at least a moment of no U2"),
+    ] {
+        let query = format!(
+            r#"doc("sample.xml")//music[@artist = "U2"]/{axis}::shot/@id"#
+        );
+        let result = engine.run(&query)?;
+        println!(
+            "{:<22} {:<32} {}",
+            axis,
+            format!("({description})"),
+            result.as_strings().join(" ")
+        );
+    }
+
+    // The same joins are available as built-in functions (the paper's
+    // Alternative 3) ...
+    let via_fn = engine.run(
+        r#"select-wide(doc("sample.xml")//music[@artist = "U2"],
+                       doc("sample.xml")//shot)/@id"#,
+    )?;
+    println!("\nvia built-in function: {}", via_fn.as_strings().join(" "));
+
+    // ... and compose with ordinary XQuery.
+    let flwor = engine.run(
+        r#"for $m in doc("sample.xml")//music
+           order by $m/@artist descending
+           return <track artist="{$m/@artist}"
+                         overlapping-shots="{count($m/select-wide::shot)}"/>"#,
+    )?;
+    println!("\ncomposed with FLWOR + constructors:\n{}", flwor.as_xml());
+    Ok(())
+}

@@ -1,0 +1,174 @@
+//! `standoff-xq` — command-line StandOff XQuery runner.
+//!
+//! ```text
+//! standoff-xq [--load URI=FILE]... [--load-bin FILE] (--query Q | --query-file F)
+//!             [--strategy naive|naive-candidates|basic|loop-lifted]
+//!             [--no-pushdown] [--explain] [--time]
+//! ```
+//!
+//! `--load-bin` opens a binary store written with
+//! `standoff_xml::write_store` (bulk-load once, reopen without parsing).
+//!
+//! Examples:
+//! ```text
+//! standoff-xq --load sample.xml=annotations.xml \
+//!             --query 'doc("sample.xml")//music/select-wide::shot/@id'
+//! standoff-xq --load a.xml=a.xml --query-file q.xq --strategy basic --time
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use standoff::core::StandoffStrategy;
+use standoff::xquery::Engine;
+
+struct Args {
+    loads: Vec<(String, String)>,
+    load_bins: Vec<String>,
+    query: Option<String>,
+    strategy: StandoffStrategy,
+    pushdown: bool,
+    explain: bool,
+    time: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        loads: Vec::new(),
+        load_bins: Vec::new(),
+        query: None,
+        strategy: StandoffStrategy::LoopLiftedMergeJoin,
+        pushdown: true,
+        explain: false,
+        time: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--load" => {
+                k += 1;
+                let spec = argv.get(k).ok_or("--load needs URI=FILE")?;
+                let (uri, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --load '{spec}', expected URI=FILE"))?;
+                args.loads.push((uri.to_string(), path.to_string()));
+            }
+            "--load-bin" => {
+                k += 1;
+                args.load_bins
+                    .push(argv.get(k).ok_or("--load-bin needs a path")?.clone());
+            }
+            "--query" | "-q" => {
+                k += 1;
+                args.query = Some(argv.get(k).ok_or("--query needs an argument")?.clone());
+            }
+            "--query-file" => {
+                k += 1;
+                let path = argv.get(k).ok_or("--query-file needs a path")?;
+                args.query = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                );
+            }
+            "--strategy" => {
+                k += 1;
+                let name = argv.get(k).ok_or("--strategy needs a name")?;
+                args.strategy = StandoffStrategy::parse(name)
+                    .ok_or_else(|| format!("unknown strategy '{name}'"))?;
+            }
+            "--no-pushdown" => args.pushdown = false,
+            "--explain" => args.explain = true,
+            "--time" => args.time = true,
+            "--help" | "-h" => {
+                println!(
+                    "standoff-xq [--load URI=FILE]... (--query Q | --query-file F)\n\
+                     \x20           [--strategy naive|naive-candidates|basic|loop-lifted]\n\
+                     \x20           [--no-pushdown] [--explain] [--time]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        k += 1;
+    }
+    if args.query.is_none() {
+        return Err("no query given (--query or --query-file)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("standoff-xq: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut engine = Engine::new();
+    engine.set_strategy(args.strategy);
+    engine.set_candidate_pushdown(args.pushdown);
+    for path in &args.load_bins {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("standoff-xq: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let store = match standoff::xml::read_store(&mut std::io::BufReader::new(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("standoff-xq: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for doc in store.into_docs() {
+            // Move documents into the engine, keeping their URIs.
+            let doc_uri = doc.uri().map(|u| u.to_string());
+            engine.add_document(doc, doc_uri.as_deref());
+        }
+    }
+    for (uri, path) in &args.loads {
+        let xml = match std::fs::read_to_string(path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("standoff-xq: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = engine.load_document(uri, &xml) {
+            eprintln!("standoff-xq: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let query = args.query.unwrap();
+    if args.explain {
+        match engine.explain(&query) {
+            Ok(plan) => eprintln!("{plan}"),
+            Err(e) => {
+                eprintln!("standoff-xq: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let start = Instant::now();
+    match engine.run(&query) {
+        Ok(result) => {
+            if args.time {
+                eprintln!(
+                    "# {} item(s) in {:?}",
+                    result.len(),
+                    start.elapsed()
+                );
+            }
+            println!("{}", result.as_xml());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("standoff-xq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

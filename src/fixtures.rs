@@ -1,0 +1,45 @@
+//! Fixture documents from the paper, shared by examples, integration
+//! tests and the table/figure harnesses.
+
+/// The Figure 1 multimedia example: two overlapping annotation
+/// hierarchies (video shots, audio music) over a 1:34 video BLOB. Time
+/// positions are in seconds (0:00 → 0, 1:34 → 94), since the paper's
+/// default `standoff-type` is `xs:integer`.
+pub const FIGURE1_XML: &str = r#"<sample>
+  <video>
+    <shot id="Intro" start="0" end="8"/>
+    <shot id="Interview" start="8" end="64"/>
+    <shot id="Outro" start="64" end="94"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0" end="31"/>
+    <music artist="Bach" start="52" end="94"/>
+  </audio>
+</sample>"#;
+
+/// The URI the Figure 1 document is registered under by
+/// [`engine_with_figure1`].
+pub const FIGURE1_URI: &str = "sample.xml";
+
+/// An engine preloaded with the Figure 1 document.
+pub fn engine_with_figure1() -> standoff_xquery::Engine {
+    let mut engine = standoff_xquery::Engine::new();
+    engine
+        .load_document(FIGURE1_URI, FIGURE1_XML)
+        .expect("fixture parses");
+    engine
+}
+
+/// The Figure 4 / Listing 1 walk-through input: context items
+/// `(iter, start, end)` and candidate regions `(start, end)`.
+///
+/// The paper's input table prints `c3` under iteration 1, but the printed
+/// trace step 4 ("skip c3") is only semantics-preserving if `c3` is
+/// covered by an active item of its *own* iteration — i.e. `c2`
+/// (iteration 2). We follow the trace (see `standoff-core`'s merge-join
+/// module docs).
+pub const FIGURE4_CONTEXT: [(u32, i64, i64); 4] =
+    [(1, 0, 15), (2, 12, 35), (2, 20, 30), (1, 55, 80)];
+
+/// Candidate regions r1..r4 of Figure 4.
+pub const FIGURE4_CANDIDATES: [(i64, i64); 4] = [(5, 10), (22, 45), (40, 60), (65, 70)];

@@ -1,0 +1,68 @@
+//! # standoff
+//!
+//! Umbrella crate for the Rust reproduction of *Efficient XQuery Support
+//! for Stand-Off Annotation* (Alink, Bhoedjang, de Vries, Boncz —
+//! XIME-P/SIGMOD 2006).
+//!
+//! Stand-off annotations are XML elements that describe *regions* of an
+//! external BLOB (a video stream, a text corpus, a disk image) via
+//! `[start,end]` positions instead of enclosing the annotated content.
+//! Multiple overlapping annotation hierarchies can then coexist over the
+//! same BLOB. This workspace implements:
+//!
+//! * the paper's four **StandOff joins** — `select-narrow`, `select-wide`,
+//!   `reject-narrow`, `reject-wide` — as XPath axis steps,
+//! * the **region index** and the **Basic** and **Loop-Lifted StandOff
+//!   MergeJoin** algorithms that evaluate them in (near-)linear time,
+//! * the substrate they need: a shredded XML store (pre/size/level
+//!   encoding), a loop-lifted XQuery engine with Staircase Join, and the
+//!   XMark benchmark generator with the paper's StandOff-ification.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use standoff::prelude::*;
+//!
+//! let mut engine = Engine::new();
+//! engine.load_document("sample.xml", r#"<sample>
+//!   <video>
+//!     <shot id="Intro" start="0" end="8"/>
+//!     <shot id="Interview" start="8" end="64"/>
+//!     <shot id="Outro" start="64" end="94"/>
+//!   </video>
+//!   <audio>
+//!     <music artist="U2" start="0" end="31"/>
+//!     <music artist="Bach" start="52" end="94"/>
+//!   </audio>
+//! </sample>"#).unwrap();
+//!
+//! // All shots that overlap U2 music (paper §3.1, second table row).
+//! let result = engine.run(
+//!     r#"doc("sample.xml")//music[@artist = "U2"]/select-wide::shot/@id"#,
+//! ).unwrap();
+//! assert_eq!(result.as_strings(), ["Intro", "Interview"]);
+//! ```
+//!
+//! See the crate-level docs of the member crates for details:
+//! [`standoff_core`] (joins and region index), [`standoff_xquery`]
+//! (query engine), [`standoff_xml`] (storage), [`standoff_algebra`]
+//! (loop-lifted tables and Staircase Join), [`standoff_xmark`]
+//! (benchmark workload).
+
+pub use standoff_algebra as algebra;
+pub use standoff_core as core;
+pub use standoff_xmark as xmark;
+pub use standoff_xml as xml;
+pub use standoff_xquery as xquery;
+
+/// Fixture documents used by examples, tests and the paper-table harness.
+pub mod fixtures;
+
+/// Common imports for applications.
+pub mod prelude {
+    pub use standoff_core::{
+        Area, Region, RegionIndex, StandoffAxis, StandoffConfig, StandoffStrategy,
+    };
+    pub use standoff_xml::{Document, DocumentBuilder, NodeRef, Store};
+    pub use standoff_xquery::{Engine, QueryResult};
+}

@@ -1,0 +1,66 @@
+//! The UDF baselines (Figures 2 and 3) as whole-query rewrites of the
+//! XMark workload: the texts the Figure 6 harness measures for its
+//! "XQuery Function" columns must return exactly the same answers as the
+//! axis-step queries under the merge joins.
+
+use standoff::xmark::queries::XmarkQuery;
+use standoff::xmark::{generate, standoffify, XmarkConfig};
+use standoff::xquery::Engine;
+
+const SO_URI: &str = "xmark-standoff.xml";
+
+fn engine() -> Engine {
+    let src = generate(&XmarkConfig::with_scale(0.001));
+    let so = standoffify(&src, 7);
+    let mut engine = Engine::new();
+    engine.add_document(so.doc, Some(SO_URI));
+    engine
+}
+
+#[test]
+fn udf_with_candidates_matches_axis_steps() {
+    let mut engine = engine();
+    for q in XmarkQuery::ALL {
+        let steps = engine
+            .run(&q.standoff(SO_URI))
+            .unwrap()
+            .as_serialized()
+            .to_vec();
+        let udf = engine
+            .run(&q.standoff_udf_candidates(SO_URI))
+            .unwrap()
+            .as_serialized()
+            .to_vec();
+        assert_eq!(steps, udf, "{q}: Figure 3 UDF diverges from axis steps");
+    }
+}
+
+#[test]
+fn udf_without_candidates_matches_axis_steps() {
+    let mut engine = engine();
+    for q in XmarkQuery::ALL {
+        let steps = engine
+            .run(&q.standoff(SO_URI))
+            .unwrap()
+            .as_serialized()
+            .to_vec();
+        let udf = engine
+            .run(&q.standoff_udf_no_candidates(SO_URI))
+            .unwrap()
+            .as_serialized()
+            .to_vec();
+        assert_eq!(steps, udf, "{q}: Figure 2 UDF diverges from axis steps");
+    }
+}
+
+#[test]
+fn explain_shows_strategy_difference() {
+    let engine = engine();
+    let plan = engine.explain(&XmarkQuery::Q2.standoff(SO_URI)).unwrap();
+    assert!(plan.contains("loop-lifted StandOff MergeJoin"), "{plan}");
+    assert!(plan.contains("select-narrow::open_auction"), "{plan}");
+    assert!(
+        plan.contains("element index 'bidder'"),
+        "pushdown should be visible:\n{plan}"
+    );
+}
