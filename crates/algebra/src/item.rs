@@ -110,10 +110,7 @@ impl Item {
             (Integer(x), Integer(y)) => Some(x.cmp(y)),
             (Boolean(x), Boolean(y)) => Some(x.cmp(y)),
             (Untyped(x), Untyped(y)) => {
-                match (
-                    x.trim().parse::<f64>().ok(),
-                    y.trim().parse::<f64>().ok(),
-                ) {
+                match (x.trim().parse::<f64>().ok(), y.trim().parse::<f64>().ok()) {
                     (Some(nx), Some(ny)) => nx.partial_cmp(&ny),
                     _ => Some(x.as_ref().cmp(y.as_ref())),
                 }

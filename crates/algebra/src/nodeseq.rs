@@ -198,10 +198,8 @@ mod tests {
     fn normalize_sorts_and_dedups_within_iterations() {
         let (s, d) = store();
         let n = |pre| NodeRef::tree(d, pre);
-        let mut t = NodeTable::from_columns(
-            vec![0, 0, 0, 1, 1],
-            vec![n(3), n(2), n(3), n(4), n(4)],
-        );
+        let mut t =
+            NodeTable::from_columns(vec![0, 0, 0, 1, 1], vec![n(3), n(2), n(3), n(4), n(4)]);
         t.normalize(&s);
         assert_eq!(t.group(0), &[n(2), n(3)]);
         assert_eq!(t.group(1), &[n(4)]);

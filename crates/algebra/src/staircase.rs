@@ -315,7 +315,11 @@ fn step_fragment(
                     if matches_tree(doc, pre, test, name) {
                         push_tree(out, pre);
                     }
-                    cur = if pre == 0 { None } else { Some(doc.parent(pre)) };
+                    cur = if pre == 0 {
+                        None
+                    } else {
+                        Some(doc.parent(pre))
+                    };
                 }
             }
         }
@@ -446,14 +450,24 @@ mod tests {
     fn descendant_with_pruning() {
         let (s, d) = fixture();
         // Context {a, b#2}: b#2 is inside a, so it is pruned; single scan.
-        let out = ll_step(&s, &ctx(d, &[1, 2]), TreeAxis::Descendant, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1, 2]),
+            TreeAxis::Descendant,
+            &NodeTest::any_node(),
+        );
         assert_eq!(pres(&out), vec![2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
     fn descendant_name_test() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Descendant, &NodeTest::named("b"));
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1]),
+            TreeAxis::Descendant,
+            &NodeTest::named("b"),
+        );
         assert_eq!(pres(&out), vec![2, 7]);
     }
 
@@ -473,20 +487,35 @@ mod tests {
     fn child_results_sorted_across_contexts() {
         let (s, d) = fixture();
         // Contexts out of document order; results must come back sorted.
-        let out = ll_step(&s, &ctx(d, &[7, 2]), TreeAxis::Child, &NodeTest::any_element());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[7, 2]),
+            TreeAxis::Child,
+            &NodeTest::any_element(),
+        );
         assert_eq!(pres(&out), vec![3, 4, 8]);
     }
 
     #[test]
     fn parent_and_ancestor() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[3, 4]), TreeAxis::Parent, &NodeTest::any_element());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[3, 4]),
+            TreeAxis::Parent,
+            &NodeTest::any_element(),
+        );
         assert_eq!(pres(&out), vec![2], "shared parent deduplicated");
 
         let out = ll_step(&s, &ctx(d, &[5]), TreeAxis::Ancestor, &NodeTest::any_node());
         assert_eq!(pres(&out), vec![0, 1, 2, 4]);
 
-        let out = ll_step(&s, &ctx(d, &[5, 8]), TreeAxis::Ancestor, &NodeTest::named("b"));
+        let out = ll_step(
+            &s,
+            &ctx(d, &[5, 8]),
+            TreeAxis::Ancestor,
+            &NodeTest::named("b"),
+        );
         assert_eq!(pres(&out), vec![2, 7]);
     }
 
@@ -505,16 +534,31 @@ mod tests {
     #[test]
     fn sibling_axes() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[2]), TreeAxis::FollowingSibling, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[2]),
+            TreeAxis::FollowingSibling,
+            &NodeTest::any_node(),
+        );
         assert_eq!(pres(&out), vec![6, 7]);
-        let out = ll_step(&s, &ctx(d, &[7]), TreeAxis::PrecedingSibling, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[7]),
+            TreeAxis::PrecedingSibling,
+            &NodeTest::any_node(),
+        );
         assert_eq!(pres(&out), vec![2, 6]);
     }
 
     #[test]
     fn following_collapses_to_one_range() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[2, 7]), TreeAxis::Following, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[2, 7]),
+            TreeAxis::Following,
+            &NodeTest::any_node(),
+        );
         // following(b#1) = {e, b#2, f}; following(b#2) = {} — union from
         // the earliest subtree end.
         assert_eq!(pres(&out), vec![6, 7, 8]);
@@ -523,7 +567,12 @@ mod tests {
     #[test]
     fn preceding_excludes_ancestors() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[8]), TreeAxis::Preceding, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[8]),
+            TreeAxis::Preceding,
+            &NodeTest::any_node(),
+        );
         // Everything before f except its ancestors a, b#2 (and doc).
         assert_eq!(pres(&out), vec![2, 3, 4, 5, 6]);
     }
@@ -532,7 +581,12 @@ mod tests {
     fn attribute_axis() {
         let mut s = Store::new();
         let d = s.load("d", r#"<a x="1" y="2"><b x="3"/></a>"#).unwrap();
-        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Attribute, &NodeTest::any_node());
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1]),
+            TreeAxis::Attribute,
+            &NodeTest::any_node(),
+        );
         assert_eq!(out.len(), 2);
         let out = ll_step(
             &s,
@@ -548,7 +602,12 @@ mod tests {
     fn attribute_parent_is_owner() {
         let mut s = Store::new();
         let d = s.load("d", r#"<a><b x="1"/></a>"#).unwrap();
-        let attrs = ll_step(&s, &ctx(d, &[2]), TreeAxis::Attribute, &NodeTest::any_node());
+        let attrs = ll_step(
+            &s,
+            &ctx(d, &[2]),
+            TreeAxis::Attribute,
+            &NodeTest::any_node(),
+        );
         let parents = ll_step(&s, &attrs, TreeAxis::Parent, &NodeTest::any_element());
         assert_eq!(pres(&parents), vec![2]);
     }
@@ -556,17 +615,19 @@ mod tests {
     #[test]
     fn unknown_name_short_circuits() {
         let (s, d) = fixture();
-        let out = ll_step(&s, &ctx(d, &[1]), TreeAxis::Descendant, &NodeTest::named("zzz"));
+        let out = ll_step(
+            &s,
+            &ctx(d, &[1]),
+            TreeAxis::Descendant,
+            &NodeTest::named("zzz"),
+        );
         assert!(out.is_empty());
     }
 
     #[test]
     fn loop_lifted_iterations_stay_separate() {
         let (s, d) = fixture();
-        let t = NodeTable::from_columns(
-            vec![0, 1],
-            vec![NodeRef::tree(d, 2), NodeRef::tree(d, 7)],
-        );
+        let t = NodeTable::from_columns(vec![0, 1], vec![NodeRef::tree(d, 2), NodeRef::tree(d, 7)]);
         let out = ll_step(&s, &t, TreeAxis::Descendant, &NodeTest::any_element());
         assert_eq!(
             out.group(0)

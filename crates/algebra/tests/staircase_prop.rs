@@ -46,9 +46,7 @@ fn brute_force(doc: &Document, ctx: &[u32], axis: TreeAxis, name: Option<&str>) 
     for v in 0..n {
         // Name test (principal kind element) or node().
         if let Some(name) = name {
-            if doc.kind(v) != NodeKind::Element
-                || doc.names().lexical(doc.name_id(v)) != name
-            {
+            if doc.kind(v) != NodeKind::Element || doc.names().lexical(doc.name_id(v)) != name {
                 continue;
             }
         }

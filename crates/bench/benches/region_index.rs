@@ -47,6 +47,7 @@ fn region_index(c: &mut Criterion) {
             let input = JoinInput {
                 doc: &so.doc,
                 index: &index,
+                ctx_index: None,
                 context: &context,
                 candidates: Some(&increases),
                 iter_domain: &[0],
@@ -64,6 +65,7 @@ fn region_index(c: &mut Criterion) {
             let input = JoinInput {
                 doc: &so.doc,
                 index: &index,
+                ctx_index: None,
                 context: &context,
                 candidates: None,
                 iter_domain: &[0],

@@ -1,0 +1,68 @@
+//! Cold-start comparison: opening an XMark StandOff corpus from a binary
+//! snapshot vs re-parsing the XML and rebuilding the region index.
+//!
+//! The snapshot path is the `standoff-store` claim to fame — reopening a
+//! bulk-loaded annotation database should cost a validated column read,
+//! not a parse + `RegionIndex::build`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use standoff_core::{RegionIndex, StandoffConfig};
+use standoff_store::{read_snapshot, write_snapshot, LayerSet};
+use standoff_xmark::{generate, standoffify, XmarkConfig};
+use standoff_xml::parse_document;
+
+fn snapshot_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_load");
+    group.sample_size(10);
+
+    for scale in [0.002, 0.01] {
+        let so = standoffify(&generate(&XmarkConfig::with_scale(scale)), 7);
+        let xml = standoff_xml::serialize_document(&so.doc, Default::default());
+        let config = StandoffConfig::default();
+
+        let set = LayerSet::build("xmark-standoff.xml", so.doc, config.clone()).unwrap();
+        let mut snapshot = Vec::new();
+        write_snapshot(&set, &mut snapshot).unwrap();
+
+        let label = format!("{:.1}KB", xml.len() as f64 / 1024.0);
+
+        // Cold start the old way: parse the XML, rebuild the index.
+        group.bench_with_input(BenchmarkId::new("parse+build", &label), &xml, |b, xml| {
+            b.iter(|| {
+                let doc = parse_document(xml).unwrap();
+                RegionIndex::build(&doc, &config).unwrap()
+            });
+        });
+
+        // Cold start from the snapshot: validated column reads only.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", &label),
+            &snapshot,
+            |b, snapshot| {
+                b.iter(|| read_snapshot(&mut snapshot.as_slice()).unwrap());
+            },
+        );
+
+        // First query latency including engine mount, from snapshot.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot+first-query", &label),
+            &snapshot,
+            |b, snapshot| {
+                b.iter(|| {
+                    let set = read_snapshot(&mut snapshot.as_slice()).unwrap();
+                    let mut engine = standoff_xquery::Engine::new();
+                    engine.mount_store(set).unwrap();
+                    engine
+                        .run(r#"count(doc("xmark-standoff.xml")//item)"#)
+                        .unwrap()
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, snapshot_load);
+criterion_main!(benches);

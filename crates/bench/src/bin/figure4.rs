@@ -66,7 +66,10 @@ fn main() {
             }
             TraceEvent::Emit { iter, cand } => {
                 step += 1;
-                format!("{step:>2}  add (iter{iter}, r{}) to result (lines 32-34)", cand + 1)
+                format!(
+                    "{step:>2}  add (iter{iter}, r{}) to result (lines 32-34)",
+                    cand + 1
+                )
             }
             TraceEvent::SkipContext { ctx } => {
                 step += 1;

@@ -11,8 +11,8 @@
 
 use std::time::Instant;
 
-use standoff_bench::{prepare_workload, time_query, SO_URI, STD_URI};
 use standoff_algebra::{staircase, NodeTable, NodeTest, TreeAxis};
+use standoff_bench::{prepare_workload, time_query, SO_URI, STD_URI};
 use standoff_core::{
     evaluate_standoff_join, IterNode, JoinInput, RegionIndex, StandoffAxis, StandoffConfig,
     StandoffStrategy,
@@ -46,9 +46,7 @@ fn main() {
     eprintln!("# preparing workload at scale {scale}...");
     let mut w = prepare_workload(scale);
     w.engine.set_strategy(StandoffStrategy::LoopLiftedMergeJoin);
-    println!(
-        "Staircase Join (descendant) vs loop-lifted StandOff MergeJoin (select-narrow)"
-    );
+    println!("Staircase Join (descendant) vs loop-lifted StandOff MergeJoin (select-narrow)");
     println!(
         "standard doc {:.2} MB, standoff doc {:.2} MB, {} regions\n",
         w.standard_bytes as f64 / 1e6,
@@ -72,7 +70,13 @@ fn main() {
         }
         let ratio = best_so / best_std;
         ratios.push(ratio);
-        println!("{:<6} {:>16.4} {:>16.4} {:>9.2}x", query.id(), best_std, best_so, ratio);
+        println!(
+            "{:<6} {:>16.4} {:>16.4} {:>9.2}x",
+            query.id(),
+            best_std,
+            best_so,
+            ratio
+        );
     }
     let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     println!(
@@ -99,10 +103,7 @@ fn main() {
         .iter()
         .map(|&p| NodeRef::tree(std_doc_id, p))
         .collect();
-    let std_table = NodeTable::from_columns(
-        (0..std_ctx.len() as u32).collect(),
-        std_ctx,
-    );
+    let std_table = NodeTable::from_columns((0..std_ctx.len() as u32).collect(), std_ctx);
     let test = NodeTest::named("increase");
 
     let so_ctx: Vec<IterNode> = so_doc
@@ -133,6 +134,7 @@ fn main() {
         let input = JoinInput {
             doc: so_doc,
             index: &index,
+            ctx_index: None,
             context: &so_ctx,
             candidates: Some(&candidates),
             iter_domain: &iter_domain,

@@ -122,13 +122,21 @@ impl StandoffConfig {
         match (start, end) {
             (None, None) => Ok(None),
             (Some(s), Some(e)) => {
-                let context = || format!("<{}> at pre {pre}", doc.node_name(standoff_xml::NodeId::tree(pre)));
+                let context = || {
+                    format!(
+                        "<{}> at pre {pre}",
+                        doc.node_name(standoff_xml::NodeId::tree(pre))
+                    )
+                };
                 let start = parse_position(s, &context)?;
                 let end = parse_position(e, &context)?;
                 Ok(Some(Area::single(start, end)?))
             }
             _ => Err(StandoffError::IncompleteRegion {
-                context: format!("element at pre {pre} has only one of @{}/@{}", self.start_name, self.end_name),
+                context: format!(
+                    "element at pre {pre} has only one of @{}/@{}",
+                    self.start_name, self.end_name
+                ),
             }),
         }
     }
@@ -215,10 +223,9 @@ mod tests {
     #[test]
     fn element_representation_paper_example() {
         // The exact markup from §2 of the paper.
-        let doc = parse_document(
-            "<foo><region>\n<start>1</start>\n<end>2</end>\n</region>\nbar\n</foo>",
-        )
-        .unwrap();
+        let doc =
+            parse_document("<foo><region>\n<start>1</start>\n<end>2</end>\n</region>\nbar\n</foo>")
+                .unwrap();
         let cfg = StandoffConfig::element_repr();
         let area = cfg.area_of(&doc, 1).unwrap().unwrap();
         assert_eq!(area.regions(), &[Region::new(1, 2).unwrap()]);

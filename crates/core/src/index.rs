@@ -7,7 +7,9 @@
 //! context-region fetch and the candidate-sequence intersection that the
 //! element-name index feeds into StandOff steps with name tests.
 
-use standoff_xml::{Document, NodeKind};
+use std::io;
+
+use standoff_xml::{wire, Document, NodeKind};
 
 use crate::config::StandoffConfig;
 use crate::error::StandoffError;
@@ -133,8 +135,7 @@ impl RegionIndex {
     pub fn regions_of(&self, pre: u32) -> &[Region] {
         match self.node_ids.binary_search(&pre) {
             Ok(k) => {
-                &self.node_regions
-                    [self.node_offsets[k] as usize..self.node_offsets[k + 1] as usize]
+                &self.node_regions[self.node_offsets[k] as usize..self.node_offsets[k + 1] as usize]
             }
             Err(_) => &[],
         }
@@ -200,6 +201,145 @@ impl RegionIndex {
             + self.node_offsets.len() * 4
             + self.node_regions.len() * std::mem::size_of::<Region>()
     }
+
+    // ---- binary persistence (the snapshot hooks of `standoff-store`) ----
+    //
+    // Layout (version 1, little-endian, "SORX" magic):
+    //
+    // ```text
+    // magic "SORX" | u32 version
+    // u32 entry-count  | entry-count × (i64 start, i64 end, u32 id)
+    // u32 node-count   | node-count × u32 node id
+    // (node-count + 1) × u32 CSR offset
+    // region-total × (i64 start, i64 end)     (region-total = last offset)
+    // u32 max-regions
+    // ```
+
+    /// Serialize the index. Loading with [`RegionIndex::read_from`] skips
+    /// [`RegionIndex::build`] entirely — the point of snapshotting.
+    pub fn write_into<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(INDEX_MAGIC)?;
+        wire::write_u32(w, INDEX_VERSION)?;
+        wire::write_u32(w, self.entries.len() as u32)?;
+        for e in &self.entries {
+            wire::write_i64(w, e.start)?;
+            wire::write_i64(w, e.end)?;
+            wire::write_u32(w, e.id)?;
+        }
+        wire::write_u32(w, self.node_ids.len() as u32)?;
+        for &id in &self.node_ids {
+            wire::write_u32(w, id)?;
+        }
+        for &off in &self.node_offsets {
+            wire::write_u32(w, off)?;
+        }
+        for r in &self.node_regions {
+            wire::write_i64(w, r.start)?;
+            wire::write_i64(w, r.end)?;
+        }
+        wire::write_u32(w, self.max_regions)?;
+        Ok(())
+    }
+
+    /// Deserialize an index written by [`RegionIndex::write_into`].
+    ///
+    /// Every structural invariant is re-validated — clustering order,
+    /// node/CSR consistency, region validity, and the entry ↔ node-view
+    /// bijection — so a corrupted snapshot fails cleanly instead of
+    /// corrupting join results.
+    pub fn read_from<R: io::Read>(r: &mut R) -> io::Result<RegionIndex> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != INDEX_MAGIC {
+            return Err(index_data_err("not a region index (bad magic)"));
+        }
+        if wire::read_u32(r)? != INDEX_VERSION {
+            return Err(index_data_err("unsupported region-index version"));
+        }
+        let entry_count = wire::read_u32(r)? as usize;
+        let mut entries = Vec::with_capacity(wire::capacity_hint(entry_count));
+        for _ in 0..entry_count {
+            entries.push(RegionEntry {
+                start: wire::read_i64(r)?,
+                end: wire::read_i64(r)?,
+                id: wire::read_u32(r)?,
+            });
+        }
+        if !entries
+            .windows(2)
+            .all(|w| (w[0].start, w[0].end, w[0].id) < (w[1].start, w[1].end, w[1].id))
+        {
+            return Err(index_data_err("entries not clustered on (start, end, id)"));
+        }
+        let node_count = wire::read_u32(r)? as usize;
+        let mut node_ids = Vec::with_capacity(wire::capacity_hint(node_count));
+        for _ in 0..node_count {
+            node_ids.push(wire::read_u32(r)?);
+        }
+        if !node_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(index_data_err("node ids not strictly ascending"));
+        }
+        let mut node_offsets = Vec::with_capacity(wire::capacity_hint(node_count + 1));
+        for _ in 0..=node_count {
+            node_offsets.push(wire::read_u32(r)?);
+        }
+        if node_offsets[0] != 0 || !node_offsets.windows(2).all(|w| w[0] < w[1]) {
+            // Strictly increasing: every annotated node has ≥ 1 region.
+            return Err(index_data_err("region CSR offsets not increasing from 0"));
+        }
+        let region_total = *node_offsets.last().unwrap() as usize;
+        if region_total != entry_count {
+            return Err(index_data_err("entry count disagrees with region CSR"));
+        }
+        let mut node_regions = Vec::with_capacity(wire::capacity_hint(region_total));
+        for _ in 0..region_total {
+            let start = wire::read_i64(r)?;
+            let end = wire::read_i64(r)?;
+            node_regions.push(
+                Region::new(start, end).map_err(|e| index_data_err(&format!("bad region: {e}")))?,
+            );
+        }
+        let mut max_regions = 0u32;
+        for k in 0..node_count {
+            let slice = &node_regions[node_offsets[k] as usize..node_offsets[k + 1] as usize];
+            Area::try_new(slice.to_vec()).map_err(|e| {
+                index_data_err(&format!("node {} regions invalid: {e}", node_ids[k]))
+            })?;
+            if !slice.windows(2).all(|w| w[0].start < w[1].start) {
+                return Err(index_data_err("node regions not sorted by start"));
+            }
+            max_regions = max_regions.max(slice.len() as u32);
+        }
+        if wire::read_u32(r)? != max_regions {
+            return Err(index_data_err("stored max-regions is inconsistent"));
+        }
+        let index = RegionIndex {
+            entries,
+            node_ids,
+            node_offsets,
+            node_regions,
+            max_regions,
+        };
+        // Entries are unique (strict clustering) and equinumerous with the
+        // node view; membership of each entry closes the bijection.
+        for e in index.entries.iter() {
+            let valid = index
+                .regions_of(e.id)
+                .binary_search_by_key(&(e.start, e.end), |r| (r.start, r.end))
+                .is_ok();
+            if !valid {
+                return Err(index_data_err("entry has no matching node-view region"));
+            }
+        }
+        Ok(index)
+    }
+}
+
+const INDEX_MAGIC: &[u8; 4] = b"SORX";
+const INDEX_VERSION: u32 = 1;
+
+fn index_data_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("region index: {msg}"))
 }
 
 #[cfg(test)]
@@ -243,7 +383,10 @@ mod tests {
         let intro = doc.elements_named("shot")[0];
         assert_eq!(idx.regions_of(intro), &[Region::new(0, 8).unwrap()]);
         assert_eq!(idx.region_count(intro), 1);
-        assert_eq!(idx.area_of(intro).unwrap().bounding(), Region::new(0, 8).unwrap());
+        assert_eq!(
+            idx.area_of(intro).unwrap().bounding(),
+            Region::new(0, 8).unwrap()
+        );
         // The <video> container itself has no regions.
         let video = doc.elements_named("video")[0];
         assert_eq!(idx.regions_of(video), &[]);
@@ -290,6 +433,62 @@ mod tests {
         let idx = RegionIndex::build(&doc, &StandoffConfig::default()).unwrap();
         assert!(idx.is_empty());
         assert_eq!(idx.max_regions(), 0);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let (_, idx) = figure1_index();
+        let mut buf = Vec::new();
+        idx.write_into(&mut buf).unwrap();
+        let loaded = RegionIndex::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.entries(), idx.entries());
+        assert_eq!(loaded.annotated_nodes(), idx.annotated_nodes());
+        assert_eq!(loaded.max_regions(), idx.max_regions());
+        for &pre in idx.annotated_nodes() {
+            assert_eq!(loaded.regions_of(pre), idx.regions_of(pre));
+        }
+    }
+
+    #[test]
+    fn codec_multi_region_round_trip() {
+        let doc = parse_document(
+            "<fs><file>\
+               <region><start>0</start><end>9</end></region>\
+               <region><start>100</start><end>199</end></region>\
+             </file></fs>",
+        )
+        .unwrap();
+        let idx = RegionIndex::build(&doc, &StandoffConfig::element_repr()).unwrap();
+        let mut buf = Vec::new();
+        idx.write_into(&mut buf).unwrap();
+        let loaded = RegionIndex::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.max_regions(), 2);
+        assert_eq!(loaded.entries(), idx.entries());
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let (_, idx) = figure1_index();
+        let mut buf = Vec::new();
+        idx.write_into(&mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(RegionIndex::read_from(&mut bad.as_slice()).is_err());
+        // Truncations must fail, never panic.
+        for cut in [0, 4, 8, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                RegionIndex::read_from(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Arbitrary single-byte corruption either fails cleanly or decodes
+        // to a still-valid index — never panics.
+        for k in 8..buf.len() {
+            let mut mutated = buf.clone();
+            mutated[k] ^= 0xff;
+            let _ = RegionIndex::read_from(&mut mutated.as_slice());
+        }
     }
 
     #[test]

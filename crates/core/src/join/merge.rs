@@ -172,7 +172,14 @@ fn ll_select_narrow_impl<T: TraceSink>(
         // lines 40-41: move to the next context item and add it.
         i = next_i;
         if i < context.len() {
-            insert_active(&mut active, &context[i], i as u32, per_annotation, &mut trace, 41);
+            insert_active(
+                &mut active,
+                &context[i],
+                i as u32,
+                per_annotation,
+                &mut trace,
+                41,
+            );
         }
     }
     result
@@ -196,9 +203,8 @@ fn insert_active<T: TraceSink>(
     // per-annotation mode only entries of the same annotation may be
     // superseded (disjoint regions of one area never supersede anyway,
     // so this retains everything in practice).
-    active.retain(|a| {
-        !(a.iter == c.iter && a.end <= c.end && (!per_annotation || a.node == c.node))
-    });
+    active
+        .retain(|a| !(a.iter == c.iter && a.end <= c.end && (!per_annotation || a.node == c.node)));
     let pos = active.partition_point(|a| a.end >= c.end);
     active.insert(
         pos,
@@ -517,7 +523,10 @@ mod tests {
         // must not change results.
         let context = ctx(&[(0, 0, 100), (0, 10, 20)]);
         let candidates = cands(&[(12, 18), (50, 60)]);
-        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000), (0, 1001)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(0, 1000), (0, 1001)]
+        );
     }
 
     #[test]
@@ -536,8 +545,14 @@ mod tests {
     fn iterations_are_independent() {
         let context = ctx(&[(0, 0, 10), (1, 20, 30)]);
         let candidates = cands(&[(2, 4), (22, 24)]);
-        assert_eq!(narrow_pairs(&context, &candidates), vec![(0, 1000), (1, 1001)]);
-        assert_eq!(wide_pairs(&context, &candidates), vec![(0, 1000), (1, 1001)]);
+        assert_eq!(
+            narrow_pairs(&context, &candidates),
+            vec![(0, 1000), (1, 1001)]
+        );
+        assert_eq!(
+            wide_pairs(&context, &candidates),
+            vec![(0, 1000), (1, 1001)]
+        );
     }
 
     #[test]
@@ -620,7 +635,10 @@ mod tests {
         ]);
         let candidates = cands(&[(0, 5), (12, 18), (35, 38), (60, 70), (85, 130), (200, 210)]);
         assert_eq!(
-            pairs(&ll_select_narrow(&context, &candidates, false, None), &candidates),
+            pairs(
+                &ll_select_narrow(&context, &candidates, false, None),
+                &candidates
+            ),
             pairs(&ll_select_narrow_heap(&context, &candidates), &candidates)
         );
     }

@@ -75,7 +75,10 @@ impl StandoffAxis {
 
     /// Does this axis use containment (`*-narrow`) rather than overlap?
     pub fn is_narrow(self) -> bool {
-        matches!(self, StandoffAxis::SelectNarrow | StandoffAxis::RejectNarrow)
+        matches!(
+            self,
+            StandoffAxis::SelectNarrow | StandoffAxis::RejectNarrow
+        )
     }
 
     /// The select axis whose complement this reject axis is (identity for
@@ -133,9 +136,7 @@ impl StandoffStrategy {
             "naive" => StandoffStrategy::NaiveNoCandidates,
             "naive-candidates" => StandoffStrategy::NaiveWithCandidates,
             "basic-mergejoin" | "basic" => StandoffStrategy::BasicMergeJoin,
-            "loop-lifted-mergejoin" | "loop-lifted" | "ll" => {
-                StandoffStrategy::LoopLiftedMergeJoin
-            }
+            "loop-lifted-mergejoin" | "loop-lifted" | "ll" => StandoffStrategy::LoopLiftedMergeJoin,
             _ => return None,
         })
     }
@@ -182,10 +183,22 @@ pub struct Emission {
 /// runs the join fragment-by-fragment (§4.4); the query engine performs
 /// that partitioning and builds one `JoinInput` per fragment.
 pub struct JoinInput<'a> {
+    /// The *candidate-side* document: StandOff steps emit nodes of this
+    /// fragment.
     pub doc: &'a Document,
+    /// The candidate-side region index.
     pub index: &'a RegionIndex,
+    /// Region index the *context* nodes' areas are looked up in. `None`
+    /// means the context lives in the same fragment as the candidates
+    /// (the classic single-document join). `Some` is the multi-layer
+    /// case of `standoff-store`: context annotations from one layer
+    /// joined against the candidate annotations of a sibling layer over
+    /// the same BLOB — regions share the coordinate space, so the merge
+    /// joins run unchanged.
+    pub ctx_index: Option<&'a RegionIndex>,
     /// Context `(iter, node)` pairs, grouped by ascending iter, document
-    /// order within each iteration.
+    /// order within each iteration. Node ids refer to the context
+    /// fragment (which is `doc` unless `ctx_index` is set).
     pub context: &'a [IterNode],
     /// Candidate node pre ranks (ascending), produced by a pushed-down
     /// selection such as an element name test; `None` means "no
@@ -198,13 +211,21 @@ pub struct JoinInput<'a> {
 }
 
 impl<'a> JoinInput<'a> {
+    /// The index context-node areas are fetched from (see
+    /// [`JoinInput::ctx_index`]).
+    #[inline]
+    pub fn context_index(&self) -> &'a RegionIndex {
+        self.ctx_index.unwrap_or(self.index)
+    }
+
     /// Fetch `[start,end]` rows for all context nodes and sort by start —
     /// the context-preparation step of §4.4. Context nodes that are not
     /// area-annotations contribute no rows.
     pub fn context_entries(&self) -> Vec<CtxEntry> {
+        let ctx_index = self.context_index();
         let mut out = Vec::with_capacity(self.context.len());
         for &IterNode { iter, node } in self.context {
-            for r in self.index.regions_of(node) {
+            for r in ctx_index.regions_of(node) {
                 out.push(CtxEntry {
                     iter,
                     node,
@@ -261,8 +282,7 @@ pub fn evaluate_standoff_join(
             // sequence from the region index — the "repeated full scans
             // of the region index" that make XMark Q2 blow up.
             let ctx = input.context_entries();
-            let per_annotation =
-                select_axis.is_narrow() && input.index.max_regions() > 1;
+            let per_annotation = select_axis.is_narrow() && input.index.max_regions() > 1;
             let mut iters: Vec<u32> = ctx.iter().map(|c| c.iter).collect();
             iters.sort_unstable();
             iters.dedup();
@@ -291,8 +311,7 @@ pub fn evaluate_standoff_join(
             let cands = input.candidate_entries();
             // Multi-region containment (∀∃) must attribute every match to
             // a specific context annotation; see merge.rs.
-            let per_annotation =
-                select_axis.is_narrow() && input.index.max_regions() > 1;
+            let per_annotation = select_axis.is_narrow() && input.index.max_regions() > 1;
             let emissions = match select_axis {
                 StandoffAxis::SelectNarrow => {
                     merge::ll_select_narrow(&ctx, &cands, per_annotation, trace)
@@ -326,7 +345,10 @@ mod tests {
         for s in StandoffStrategy::ALL {
             assert_eq!(StandoffStrategy::parse(s.as_str()), Some(s));
         }
-        assert_eq!(StandoffStrategy::parse("ll"), Some(StandoffStrategy::LoopLiftedMergeJoin));
+        assert_eq!(
+            StandoffStrategy::parse("ll"),
+            Some(StandoffStrategy::LoopLiftedMergeJoin)
+        );
     }
 
     #[test]

@@ -42,11 +42,11 @@ pub fn naive_select(
 
     let mut out: Vec<IterNode> = Vec::new();
     for &IterNode { iter, node } in input.context {
-        let Some(a1) = area_of(input, node) else {
+        let Some(a1) = area_of(input.context_index(), node) else {
             continue; // context node is not an area-annotation
         };
         for &cand in &inner {
-            let Some(a2) = area_of(input, cand) else {
+            let Some(a2) = area_of(input.index, cand) else {
                 continue;
             };
             let matched = if narrow {
@@ -64,8 +64,8 @@ pub fn naive_select(
     out
 }
 
-fn area_of(input: &JoinInput<'_>, pre: u32) -> Option<Area> {
-    let regions = input.index.regions_of(pre);
+fn area_of(index: &crate::index::RegionIndex, pre: u32) -> Option<Area> {
+    let regions = index.regions_of(pre);
     if regions.is_empty() {
         None
     } else {
@@ -115,6 +115,7 @@ mod tests {
         let input = JoinInput {
             doc: &doc,
             index: &index,
+            ctx_index: None,
             context: &ctx,
             candidates: Some(shots),
             iter_domain: &[0],
@@ -133,6 +134,7 @@ mod tests {
         let input = JoinInput {
             doc: &doc,
             index: &index,
+            ctx_index: None,
             context: &ctx,
             candidates: None,
             iter_domain: &[0],
@@ -147,10 +149,14 @@ mod tests {
     fn unannotated_context_contributes_nothing() {
         let (doc, index) = figure1();
         let video = doc.elements_named("video")[0];
-        let ctx = [IterNode { iter: 0, node: video }];
+        let ctx = [IterNode {
+            iter: 0,
+            node: video,
+        }];
         let input = JoinInput {
             doc: &doc,
             index: &index,
+            ctx_index: None,
             context: &ctx,
             candidates: None,
             iter_domain: &[0],

@@ -124,34 +124,54 @@ mod tests {
         ]);
         let cands = vec![entry(0, 10, 5), entry(20, 30, 9)];
         let emissions = vec![
-            Emission { iter: 1, ctx_node: 2, cand_idx: 1 },
-            Emission { iter: 0, ctx_node: 2, cand_idx: 0 },
-            Emission { iter: 0, ctx_node: 3, cand_idx: 0 }, // duplicate via other ctx
+            Emission {
+                iter: 1,
+                ctx_node: 2,
+                cand_idx: 1,
+            },
+            Emission {
+                iter: 0,
+                ctx_node: 2,
+                cand_idx: 0,
+            },
+            Emission {
+                iter: 0,
+                ctx_node: 3,
+                cand_idx: 0,
+            }, // duplicate via other ctx
         ];
         let out = finalize_select(StandoffAxis::SelectNarrow, &emissions, &cands, &index);
         assert_eq!(
             out,
-            vec![
-                IterNode { iter: 0, node: 5 },
-                IterNode { iter: 1, node: 9 }
-            ]
+            vec![IterNode { iter: 0, node: 5 }, IterNode { iter: 1, node: 9 }]
         );
     }
 
     #[test]
     fn multi_region_narrow_requires_all_regions_in_same_context() {
         // Candidate annotation 7 has two regions.
-        let index = RegionIndex::from_areas(&[(7, Area::try_new(vec![
-            crate::region::Region::new(0, 10).unwrap(),
-            crate::region::Region::new(20, 30).unwrap(),
-        ])
-        .unwrap())]);
+        let index = RegionIndex::from_areas(&[(
+            7,
+            Area::try_new(vec![
+                crate::region::Region::new(0, 10).unwrap(),
+                crate::region::Region::new(20, 30).unwrap(),
+            ])
+            .unwrap(),
+        )]);
         let cands = vec![entry(0, 10, 7), entry(20, 30, 7)];
 
         // Context annotation 100 contains both regions → selected.
         let both = vec![
-            Emission { iter: 0, ctx_node: 100, cand_idx: 0 },
-            Emission { iter: 0, ctx_node: 100, cand_idx: 1 },
+            Emission {
+                iter: 0,
+                ctx_node: 100,
+                cand_idx: 0,
+            },
+            Emission {
+                iter: 0,
+                ctx_node: 100,
+                cand_idx: 1,
+            },
         ];
         assert_eq!(
             finalize_select(StandoffAxis::SelectNarrow, &both, &cands, &index),
@@ -161,13 +181,25 @@ mod tests {
         // Two different contexts each contain one region → NOT selected
         // (∃a1 must contain all regions of a2).
         let split = vec![
-            Emission { iter: 0, ctx_node: 100, cand_idx: 0 },
-            Emission { iter: 0, ctx_node: 200, cand_idx: 1 },
+            Emission {
+                iter: 0,
+                ctx_node: 100,
+                cand_idx: 0,
+            },
+            Emission {
+                iter: 0,
+                ctx_node: 200,
+                cand_idx: 1,
+            },
         ];
         assert!(finalize_select(StandoffAxis::SelectNarrow, &split, &cands, &index).is_empty());
 
         // Wide stays ∃∃: one region match suffices.
-        let one = vec![Emission { iter: 0, ctx_node: 100, cand_idx: 1 }];
+        let one = vec![Emission {
+            iter: 0,
+            ctx_node: 100,
+            cand_idx: 1,
+        }];
         assert_eq!(
             finalize_select(StandoffAxis::SelectWide, &one, &cands, &index),
             vec![IterNode { iter: 0, node: 7 }]
@@ -176,10 +208,7 @@ mod tests {
 
     #[test]
     fn complement_per_iteration() {
-        let selected = vec![
-            IterNode { iter: 0, node: 2 },
-            IterNode { iter: 2, node: 4 },
-        ];
+        let selected = vec![IterNode { iter: 0, node: 2 }, IterNode { iter: 2, node: 4 }];
         let out = complement(&selected, &[2, 4, 6], &[0, 1, 2]);
         assert_eq!(
             out,

@@ -116,10 +116,7 @@ impl Area {
         regions.sort();
         for w in regions.windows(2) {
             if w[0].overlaps(&w[1]) || w[0].touches(&w[1]) {
-                return Err(StandoffError::AreaRegionsConflict {
-                    a: w[0],
-                    b: w[1],
-                });
+                return Err(StandoffError::AreaRegionsConflict { a: w[0], b: w[1] });
             }
         }
         Ok(Area { regions })
@@ -336,7 +333,12 @@ mod tests {
     use super::*;
 
     fn area(rs: &[(i64, i64)]) -> Area {
-        Area::try_new(rs.iter().map(|&(s, e)| Region::new(s, e).unwrap()).collect()).unwrap()
+        Area::try_new(
+            rs.iter()
+                .map(|&(s, e)| Region::new(s, e).unwrap())
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -356,7 +358,10 @@ mod tests {
     #[test]
     fn region_overlap_is_inclusive_at_endpoints() {
         let a = Region::new(0, 10).unwrap();
-        assert!(a.overlaps(&Region::new(10, 20).unwrap()), "shared endpoint overlaps");
+        assert!(
+            a.overlaps(&Region::new(10, 20).unwrap()),
+            "shared endpoint overlaps"
+        );
         assert!(!a.overlaps(&Region::new(11, 20).unwrap()));
         assert!(a.overlaps(&Region::new(-5, 0).unwrap()));
     }

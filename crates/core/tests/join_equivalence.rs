@@ -113,13 +113,15 @@ fn run_all_strategies(
     let input = JoinInput {
         doc: &doc,
         index: &index,
+        ctx_index: None,
         context: &context,
         candidates: candidates.as_deref(),
         iter_domain: &iter_domain,
     };
 
     for axis in StandoffAxis::ALL {
-        let oracle = evaluate_standoff_join(axis, StandoffStrategy::NaiveWithCandidates, &input, None);
+        let oracle =
+            evaluate_standoff_join(axis, StandoffStrategy::NaiveWithCandidates, &input, None);
         for strategy in [
             StandoffStrategy::NaiveNoCandidates,
             StandoffStrategy::BasicMergeJoin,
@@ -185,6 +187,7 @@ proptest! {
         let input = JoinInput {
             doc: &doc,
             index: &index,
+            ctx_index: None,
             context: &context,
             candidates: None,
             iter_domain: &iter_domain,
@@ -279,6 +282,7 @@ proptest! {
         let input = JoinInput {
             doc: &doc,
             index: &index,
+            ctx_index: None,
             context: &context,
             candidates: None,
             iter_domain: &iter_domain,

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `criterion_group!` /
+//! `criterion_main!` — with a simple wall-clock measurement loop:
+//! one warm-up run, then timed iterations, reporting mean ns/iter.
+//!
+//! Measurements only run under `cargo bench` (argv contains `--bench`).
+//! Under `cargo test` the generated `main` exits immediately so the
+//! tier-1 suite never pays benchmark setup costs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up (also primes lazy state the closure builds).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+/// Top-level handle handed to `criterion_group!` functions.
+pub struct Criterion {
+    enabled: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            enabled: std::env::args().any(|a| a == "--bench"),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Is measurement active (i.e. running under `cargo bench`)?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(self.enabled, None, id.into(), sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self // accepted for API compatibility; sampling is fixed-count
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            self.criterion.enabled,
+            Some(&self.name),
+            id.into(),
+            samples,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    enabled: bool,
+    group: Option<&str>,
+    id: BenchmarkId,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if !enabled {
+        return;
+    }
+    let mut b = Bencher {
+        samples,
+        last_mean: None,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label,
+    };
+    match b.last_mean {
+        Some(mean) => println!("bench: {label:<60} {mean:>12.2?}/iter ({samples} samples)"),
+        None => println!("bench: {label:<60} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for one or more groups. Exits immediately unless
+/// `--bench` is present in argv (i.e. under `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !std::env::args().any(|a| a == "--bench") {
+                // `cargo test` runs bench binaries for smoke-testing;
+                // skip the (expensive) measurement setup entirely.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,50 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::string::any_char(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Arbitrary value of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

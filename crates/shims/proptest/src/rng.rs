@@ -1,0 +1,96 @@
+//! Deterministic test RNG: xoshiro256++ seeded from the test path and
+//! case number, so every run of a given test sees the same inputs.
+
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        let mut x = seed;
+        TestRng {
+            s: [
+                splitmix(&mut x),
+                splitmix(&mut x),
+                splitmix(&mut x),
+                splitmix(&mut x),
+            ],
+        }
+    }
+
+    /// Seed from a test path and case index (FNV-1a over the path).
+    pub fn for_case(path: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::new(h ^ ((case as u64) << 32 | case as u64))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `lo..=hi` over the i128 lattice (covers all the
+    /// primitive integer ranges).
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        let v = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + v as i128
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_i128(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Generator-only regex subset (`proptest::string::string_regex`).
+//!
+//! Supports the constructs the workspace's tests use: literal characters
+//! (with `\` escapes), `.`, character classes `[a-z0-9_-]` (ranges,
+//! literals, multi-byte characters; no negation), and the quantifiers
+//! `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats are capped at 8).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// `.` — any char except newline.
+    Dot,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled generator-only regex.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pieces: Vec<Piece>,
+}
+
+/// Compile `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<Regex, Error> {
+    Regex::compile(pattern)
+}
+
+/// Compilation error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+impl Regex {
+    pub fn compile(pattern: &str) -> Result<Regex, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut k = 0;
+        while k < chars.len() {
+            let atom = match chars[k] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, k + 1)?;
+                    k = next;
+                    Atom::Class(class)
+                }
+                '.' => {
+                    k += 1;
+                    Atom::Dot
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(k + 1)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    k += 2;
+                    Atom::Literal(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    })
+                }
+                '{' | '}' | '?' | '*' | '+' => {
+                    return Err(Error(format!("quantifier '{}' without atom", chars[k])))
+                }
+                c => {
+                    k += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, k)?;
+            k = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(Regex { pieces })
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.range_i128(piece.min as i128, piece.max as i128) as u32;
+            for _ in 0..n {
+                out.push(match &piece.atom {
+                    Atom::Literal(c) => *c,
+                    Atom::Dot => loop {
+                        let c = any_char(rng);
+                        if c != '\n' {
+                            break c;
+                        }
+                    },
+                    Atom::Class(ranges) => sample_class(ranges, rng),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for Regex {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        Regex::generate(self, rng)
+    }
+}
+
+fn parse_class(chars: &[char], mut k: usize) -> Result<(Vec<(char, char)>, usize), Error> {
+    let mut ranges = Vec::new();
+    if chars.get(k) == Some(&'^') {
+        return Err(Error("negated classes are not supported".into()));
+    }
+    loop {
+        let c = *chars
+            .get(k)
+            .ok_or_else(|| Error("unterminated character class".into()))?;
+        if c == ']' {
+            if ranges.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            return Ok((ranges, k + 1));
+        }
+        let lo = if c == '\\' {
+            k += 1;
+            *chars
+                .get(k)
+                .ok_or_else(|| Error("dangling escape in class".into()))?
+        } else {
+            c
+        };
+        k += 1;
+        // `x-y` range, unless `-` is the last char before `]`.
+        if chars.get(k) == Some(&'-') && chars.get(k + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[k + 1];
+            if hi < lo {
+                return Err(Error(format!("inverted range {lo}-{hi}")));
+            }
+            ranges.push((lo, hi));
+            k += 2;
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], k: usize) -> Result<(u32, u32, usize), Error> {
+    match chars.get(k) {
+        Some('?') => Ok((0, 1, k + 1)),
+        Some('*') => Ok((0, UNBOUNDED_CAP, k + 1)),
+        Some('+') => Ok((1, UNBOUNDED_CAP, k + 1)),
+        Some('{') => {
+            let close = chars[k..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated {quantifier}".into()))?
+                + k;
+            let body: String = chars[k + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .map_err(|_| Error(format!("bad bound in {{{body}}}")))?,
+                    hi.trim()
+                        .parse()
+                        .map_err(|_| Error(format!("bad bound in {{{body}}}")))?,
+                ),
+                None => {
+                    let n = body
+                        .trim()
+                        .parse()
+                        .map_err(|_| Error(format!("bad bound in {{{body}}}")))?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err(Error(format!("inverted bounds in {{{body}}}")));
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, k)),
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            // Ranges that straddle the surrogate gap would need a retry;
+            // none of the workspace's classes do, but stay safe anyway.
+            return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+        }
+        pick -= span;
+    }
+    unreachable!("pick < total")
+}
+
+/// An arbitrary char: mostly printable ASCII, sprinkled with markup
+/// specials, multi-byte codepoints and the odd control character — a good
+/// spread for parser fuzzing.
+pub fn any_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0..=5 => char::from_u32(rng.range_i128(0x20, 0x7E) as u32).unwrap(),
+        6 => ['<', '>', '&', '"', '\'', '=', '/', ']'][rng.below(8) as usize],
+        7 => ['å', 'ß', '€', '語', '🦀', 'Ω'][rng.below(6) as usize],
+        8 => char::from_u32(rng.range_i128(0x01, 0x1F) as u32).unwrap(),
+        _ => loop {
+            let c = rng.below(0x11_0000) as u32;
+            if let Some(c) = char::from_u32(c) {
+                break c;
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_patterns_compile_and_match_shape() {
+        let mut rng = TestRng::new(17);
+        let name = Regex::compile("[a-z][a-z0-9_-]{0,6}").unwrap();
+        for _ in 0..200 {
+            let s = name.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+
+        let text = Regex::compile("[ -~åß€]{0,20}").unwrap();
+        for _ in 0..200 {
+            let s = text.generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || ['å', 'ß', '€'].contains(&c)));
+        }
+
+        let dot = Regex::compile(".{0,200}").unwrap();
+        for _ in 0..50 {
+            let s = dot.generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::new(19);
+        assert_eq!(
+            Regex::compile("ab{3}c").unwrap().generate(&mut rng),
+            "abbbc"
+        );
+        let opt = Regex::compile("x?").unwrap();
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..50 {
+            lens.insert(opt.generate(&mut rng).len());
+        }
+        assert_eq!(lens, [0usize, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("*x").is_err());
+        assert!(Regex::compile("a{2,1}").is_err());
+        assert!(Regex::compile("[^a]").is_err());
+    }
+}

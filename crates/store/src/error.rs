@@ -1,0 +1,42 @@
+//! Store-level errors.
+
+use std::fmt;
+
+/// Errors raised while assembling layers or reading/writing snapshots.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A layer name is empty or contains `#` (reserved for the engine's
+    /// `uri#layer` addressing).
+    BadLayerName(String),
+    /// Two layers of one set share a name.
+    DuplicateLayer(String),
+    /// Index construction over a layer document failed.
+    Index(standoff_core::StandoffError),
+    /// Snapshot I/O or format error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadLayerName(name) => write!(f, "bad layer name {name:?}"),
+            StoreError::DuplicateLayer(name) => write!(f, "duplicate layer {name:?}"),
+            StoreError::Index(e) => write!(f, "layer index: {e}"),
+            StoreError::Io(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<standoff_core::StandoffError> for StoreError {
+    fn from(e: standoff_core::StandoffError) -> Self {
+        StoreError::Index(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,262 @@
+//! Annotation layers and layer sets.
+//!
+//! A [`Layer`] is one stand-off annotation document over a shared BLOB,
+//! bundled with the [`RegionIndex`] the StandOff joins need and the
+//! [`StandoffConfig`] it was built under. A [`LayerSet`] collects the
+//! layers of one corpus — a *base* layer plus any number of named
+//! sibling layers (`tokens`, `entities`, `syntax`, …). All layers share
+//! the BLOB's coordinate space, which is exactly what lets the StandOff
+//! axes join *across* layers: a region is a region, whichever document
+//! it came from (Annotation-Graph-style multi-hierarchy annotation).
+
+use standoff_core::{RegionIndex, StandoffConfig};
+use standoff_xml::Document;
+
+use crate::error::StoreError;
+
+/// Name of the distinguished base layer of every [`LayerSet`].
+pub const BASE_LAYER: &str = "base";
+
+/// One annotation layer: document + prebuilt region index + the
+/// configuration the index was built under.
+pub struct Layer {
+    name: String,
+    config: StandoffConfig,
+    doc: Document,
+    index: RegionIndex,
+}
+
+impl Layer {
+    /// Build a layer, constructing its region index.
+    pub fn build(name: &str, doc: Document, config: StandoffConfig) -> Result<Layer, StoreError> {
+        validate_name(name)?;
+        let index = RegionIndex::build(&doc, &config)?;
+        Ok(Layer {
+            name: name.to_string(),
+            config,
+            doc,
+            index,
+        })
+    }
+
+    /// Assemble a layer from prebuilt parts (the snapshot-load path — no
+    /// index construction happens here, that is the point).
+    pub fn from_parts(
+        name: String,
+        config: StandoffConfig,
+        doc: Document,
+        index: RegionIndex,
+    ) -> Result<Layer, StoreError> {
+        validate_name(&name)?;
+        Ok(Layer {
+            name,
+            config,
+            doc,
+            index,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn config(&self) -> &StandoffConfig {
+        &self.config
+    }
+
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    pub fn index(&self) -> &RegionIndex {
+        &self.index
+    }
+
+    /// Number of area-annotations in this layer.
+    pub fn annotation_count(&self) -> usize {
+        self.index.annotated_nodes().len()
+    }
+
+    /// Decompose into `(name, config, document, index)`.
+    pub fn into_parts(self) -> (String, StandoffConfig, Document, RegionIndex) {
+        (self.name, self.config, self.doc, self.index)
+    }
+}
+
+impl std::fmt::Debug for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Layer")
+            .field("name", &self.name)
+            .field("nodes", &self.doc.node_count())
+            .field("annotations", &self.annotation_count())
+            .finish()
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), StoreError> {
+    // `#` is reserved: the engine addresses mounted layers as
+    // `uri#layer` (see `standoff_xquery::Engine::mount_store`).
+    if name.is_empty() || name.contains('#') {
+        Err(StoreError::BadLayerName(name.to_string()))
+    } else {
+        Ok(())
+    }
+}
+
+/// A base layer plus named sibling annotation layers over one BLOB,
+/// addressed by a store URI.
+pub struct LayerSet {
+    uri: String,
+    /// `layers[0]` is always the base layer.
+    layers: Vec<Layer>,
+}
+
+impl LayerSet {
+    /// Start a layer set from its base document (becomes the
+    /// [`BASE_LAYER`] layer, indexed under `config`).
+    pub fn build(
+        uri: &str,
+        base: Document,
+        config: StandoffConfig,
+    ) -> Result<LayerSet, StoreError> {
+        let base = Layer::build(BASE_LAYER, base, config)?;
+        Ok(LayerSet {
+            uri: uri.to_string(),
+            layers: vec![base],
+        })
+    }
+
+    /// Reassemble from prebuilt layers (snapshot load). `layers[0]` is
+    /// taken as the base; names must be unique.
+    pub fn from_layers(uri: &str, layers: Vec<Layer>) -> Result<LayerSet, StoreError> {
+        if layers.is_empty() {
+            return Err(StoreError::BadLayerName("<no layers>".to_string()));
+        }
+        let mut set = LayerSet {
+            uri: uri.to_string(),
+            layers: Vec::with_capacity(layers.len()),
+        };
+        for layer in layers {
+            set.push_layer(layer)?;
+        }
+        Ok(set)
+    }
+
+    /// Add a layer, building its index.
+    pub fn add_layer(
+        &mut self,
+        name: &str,
+        doc: Document,
+        config: StandoffConfig,
+    ) -> Result<&Layer, StoreError> {
+        let layer = Layer::build(name, doc, config)?;
+        self.push_layer(layer)?;
+        Ok(self.layers.last().expect("just pushed"))
+    }
+
+    /// Add a prebuilt layer.
+    pub fn push_layer(&mut self, layer: Layer) -> Result<(), StoreError> {
+        if self.layers.iter().any(|l| l.name == layer.name) {
+            return Err(StoreError::DuplicateLayer(layer.name));
+        }
+        self.layers.push(layer);
+        Ok(())
+    }
+
+    /// The store URI this set mounts under.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// The base layer.
+    pub fn base(&self) -> &Layer {
+        &self.layers[0]
+    }
+
+    /// All layers, base first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Layer by name ([`BASE_LAYER`] finds the base).
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Number of layers (including the base).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a LayerSet always has its base layer
+    }
+
+    /// Decompose into `(uri, layers)`, base first.
+    pub fn into_layers(self) -> (String, Vec<Layer>) {
+        (self.uri, self.layers)
+    }
+}
+
+impl std::fmt::Debug for LayerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerSet")
+            .field("uri", &self.uri)
+            .field("layers", &self.layers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use standoff_xml::parse_document;
+
+    fn doc(xml: &str) -> Document {
+        parse_document(xml).unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut set = LayerSet::build(
+            "corpus",
+            doc(r#"<d><w start="0" end="4"/></d>"#),
+            StandoffConfig::default(),
+        )
+        .unwrap();
+        set.add_layer(
+            "entities",
+            doc(r#"<e><person start="0" end="4"/></e>"#),
+            StandoffConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.base().name(), BASE_LAYER);
+        assert_eq!(set.layer("entities").unwrap().annotation_count(), 1);
+        assert!(set.layer("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_and_reserved_names_rejected() {
+        let mut set = LayerSet::build("c", doc("<d/>"), StandoffConfig::default()).unwrap();
+        assert!(set
+            .add_layer("base", doc("<d/>"), StandoffConfig::default())
+            .is_err());
+        assert!(set
+            .add_layer("a#b", doc("<d/>"), StandoffConfig::default())
+            .is_err());
+        assert!(set
+            .add_layer("", doc("<d/>"), StandoffConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_layer_annotations_fail_index_build() {
+        let r = Layer::build(
+            "broken",
+            doc(r#"<d><w start="7"/></d>"#),
+            StandoffConfig::default(),
+        );
+        assert!(matches!(r, Err(StoreError::Index(_))));
+    }
+}

@@ -1,0 +1,34 @@
+//! # standoff-store
+//!
+//! Persistent multi-layer stand-off annotation store.
+//!
+//! The paper's premise is that stand-off annotations live *apart* from
+//! the base data: many independent annotation hierarchies — tokens,
+//! entities, syntax, shots, genes — reference regions of one immutable
+//! BLOB. This crate makes that durable and cheap to reopen:
+//!
+//! * [`Layer`] / [`LayerSet`] — named annotation layers over one shared
+//!   base, each carrying its own [`standoff_core::RegionIndex`] and
+//!   [`standoff_core::StandoffConfig`]. Layers share the BLOB coordinate
+//!   space, so the StandOff axes (`select-narrow` & co.) and merge joins
+//!   compose *across* layers.
+//! * [`snapshot`] — a versioned binary format (magic + header +
+//!   length-prefixed sections, no external serde) that persists every
+//!   layer's shredded document, element-name table and prebuilt region
+//!   index. Loading is a validated column read: no XML parsing, no
+//!   `RegionIndex::build` — the cold-start path the ROADMAP asks for.
+//!
+//! `standoff_xquery::Engine::mount_store` mounts a [`LayerSet`] so that
+//! `doc("uri")`, `doc("uri#layer")` and `layer("uri", "name")` resolve to
+//! the stored layers, with all region indices pre-installed.
+
+pub mod error;
+pub mod layer;
+pub mod snapshot;
+
+pub use error::StoreError;
+pub use layer::{Layer, LayerSet, BASE_LAYER};
+pub use snapshot::{
+    inspect_snapshot, load_snapshot, load_snapshot_with_info, read_snapshot,
+    read_snapshot_with_info, save_snapshot, write_snapshot, LayerInfo, SnapshotInfo,
+};

@@ -1,0 +1,439 @@
+//! The versioned binary snapshot format.
+//!
+//! A snapshot persists a whole [`LayerSet`] — every layer's shredded
+//! document, element-name table and prebuilt region index — so reopening
+//! a corpus is a straight column read: no XML parsing, no
+//! `RegionIndex::build`. Layout (version 1, little-endian):
+//!
+//! ```text
+//! magic "SOSN" | u32 version | u32 section-count
+//! section-count × section:  u32 tag | u64 byte-length | payload
+//!
+//! tag 1 META:   string store-uri | u32 layer-count
+//! tag 2 LAYER:  string layer-name
+//!               | config: string position-type, string start-name,
+//!                 string end-name, u8 has-region (+ string region-name),
+//!                 u8 lenient
+//!               | document     ("SOXD", standoff_xml::write_document)
+//!               | region index ("SORX", RegionIndex::write_into)
+//! ```
+//!
+//! Strings are u32-length-prefixed UTF-8. Sections are length-prefixed so
+//! readers skip tags they do not know — newer writers can append section
+//! kinds without breaking older readers of the same major version. The
+//! first LAYER section is the base layer. No external serde dependencies.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use standoff_core::{RegionIndex, StandoffConfig};
+use standoff_xml::wire::{
+    read_string, read_u32, read_u64, read_u8, write_string, write_u32, write_u64,
+};
+
+use crate::error::StoreError;
+use crate::layer::{Layer, LayerSet};
+
+const MAGIC: &[u8; 4] = b"SOSN";
+const VERSION: u32 = 1;
+
+const SECTION_META: u32 = 1;
+const SECTION_LAYER: u32 = 2;
+
+// ---- primitives ----
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {msg}"))
+}
+
+fn write_config<W: Write>(w: &mut W, config: &StandoffConfig) -> io::Result<()> {
+    write_string(w, &config.position_type)?;
+    write_string(w, &config.start_name)?;
+    write_string(w, &config.end_name)?;
+    match &config.region_name {
+        Some(name) => {
+            w.write_all(&[1])?;
+            write_string(w, name)?;
+        }
+        None => w.write_all(&[0])?,
+    }
+    w.write_all(&[config.lenient as u8])
+}
+
+fn read_config<R: Read>(r: &mut R) -> io::Result<StandoffConfig> {
+    let position_type = read_string(r)?;
+    let start_name = read_string(r)?;
+    let end_name = read_string(r)?;
+    let region_name = match read_u8(r)? {
+        0 => None,
+        1 => Some(read_string(r)?),
+        _ => return Err(bad("bad region-name flag")),
+    };
+    let lenient = match read_u8(r)? {
+        0 => false,
+        1 => true,
+        _ => return Err(bad("bad lenient flag")),
+    };
+    let config = StandoffConfig {
+        position_type,
+        start_name,
+        end_name,
+        region_name,
+        lenient,
+    };
+    config
+        .validate()
+        .map_err(|e| bad(&format!("bad layer config: {e}")))?;
+    Ok(config)
+}
+
+// ---- write ----
+
+/// Serialize a layer set into `w`.
+pub fn write_snapshot<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, 1 + set.len() as u32)?;
+
+    let mut meta = Vec::new();
+    write_string(&mut meta, set.uri())?;
+    write_u32(&mut meta, set.len() as u32)?;
+    write_section(w, SECTION_META, &meta)?;
+
+    for layer in set.layers() {
+        let mut body = Vec::new();
+        write_string(&mut body, layer.name())?;
+        write_config(&mut body, layer.config())?;
+        standoff_xml::write_document(layer.doc(), &mut body)?;
+        layer.index().write_into(&mut body)?;
+        write_section(w, SECTION_LAYER, &body)?;
+    }
+    Ok(())
+}
+
+fn write_section<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> {
+    write_u32(w, tag)?;
+    write_u64(w, payload.len() as u64)?;
+    w.write_all(payload)
+}
+
+/// Serialize a layer set to a file.
+pub fn save_snapshot(set: &LayerSet, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_snapshot(set, &mut w)?;
+    use std::io::Write as _;
+    w.flush()?;
+    Ok(())
+}
+
+// ---- read ----
+
+/// Validate the header and return the declared section count.
+fn open_sections<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a standoff snapshot (bad magic)"));
+    }
+    if read_u32(r)? != VERSION {
+        return Err(bad("unsupported snapshot version"));
+    }
+    read_u32(r)
+}
+
+/// Stream the sections of a snapshot. `visit` receives each section's
+/// tag, declared payload length, and a reader limited to that payload —
+/// it may consume any prefix (trailing payload bytes are drained, which
+/// is what skips unknown tags and future in-section extensions). Nothing
+/// is buffered: a hostile section length costs I/O, not memory.
+fn for_each_section<R: Read>(
+    r: &mut R,
+    mut visit: impl FnMut(u32, u64, &mut dyn Read) -> io::Result<()>,
+) -> io::Result<()> {
+    let count = open_sections(r)?;
+    for _ in 0..count {
+        let tag = read_u32(r)?;
+        let len = read_u64(r)?;
+        let mut section = r.take(len);
+        visit(tag, len, &mut section)?;
+        io::copy(&mut section, &mut io::sink())?;
+        if section.limit() > 0 {
+            return Err(bad("truncated section"));
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a snapshot written by [`write_snapshot`]. Documents,
+/// element-name tables and region indices are loaded column-wise and
+/// validated; `RegionIndex::build` is never called.
+pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<LayerSet> {
+    Ok(read_snapshot_with_info(r)?.0)
+}
+
+/// [`read_snapshot`] plus the on-disk statistics of [`inspect_snapshot`],
+/// gathered in the same single pass (what `standoff-xq inspect` uses).
+pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, SnapshotInfo)> {
+    let mut meta: Option<(String, u32)> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+    let mut infos: Vec<LayerInfo> = Vec::new();
+    let mut payload_bytes = 0u64;
+    for_each_section(r, |tag, len, mut p| {
+        payload_bytes += len;
+        match tag {
+            SECTION_META => {
+                if meta.is_some() {
+                    return Err(bad("duplicate META section"));
+                }
+                let uri = read_string(&mut p)?;
+                let count = read_u32(&mut p)?;
+                meta = Some((uri, count));
+            }
+            SECTION_LAYER => {
+                let name = read_string(&mut p)?;
+                let config = read_config(&mut p)?;
+                let doc = standoff_xml::read_document(&mut p)?;
+                let index = RegionIndex::read_from(&mut p)?;
+                // The index must describe this document: every annotated
+                // node is an element of it. (Region validity was checked
+                // by `read_from`; config/area agreement is the writer's
+                // contract.)
+                if let Some(&last) = index.annotated_nodes().last() {
+                    if last as usize >= doc.node_count() {
+                        return Err(bad("region index references nodes beyond the document"));
+                    }
+                }
+                let layer = Layer::from_parts(name, config, doc, index)
+                    .map_err(|e| bad(&format!("bad layer: {e}")))?;
+                infos.push(LayerInfo {
+                    name: layer.name().to_string(),
+                    bytes: len,
+                });
+                layers.push(layer);
+            }
+            _ => {} // unknown section: skip (forward compatibility)
+        }
+        Ok(())
+    })?;
+    let (uri, declared) = meta.ok_or_else(|| bad("missing META section"))?;
+    if declared as usize != layers.len() {
+        return Err(bad("layer count disagrees with META"));
+    }
+    if layers
+        .first()
+        .is_some_and(|l| l.name() != crate::layer::BASE_LAYER)
+    {
+        // LayerSet semantics hinge on layers[0] being the base; a
+        // reordered (hand-edited) snapshot must not silently swap what
+        // the bare store URI resolves to.
+        return Err(bad("first layer section is not the base layer"));
+    }
+    let info = SnapshotInfo {
+        uri: uri.clone(),
+        layers: infos,
+        payload_bytes,
+    };
+    let set =
+        LayerSet::from_layers(&uri, layers).map_err(|e| bad(&format!("bad layer set: {e}")))?;
+    Ok((set, info))
+}
+
+/// Deserialize a snapshot from a file.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<LayerSet, StoreError> {
+    let file = std::fs::File::open(path)?;
+    Ok(read_snapshot(&mut io::BufReader::new(file))?)
+}
+
+/// [`load_snapshot`] plus on-disk statistics, in one pass over the file.
+pub fn load_snapshot_with_info(
+    path: impl AsRef<Path>,
+) -> Result<(LayerSet, SnapshotInfo), StoreError> {
+    let file = std::fs::File::open(path)?;
+    Ok(read_snapshot_with_info(&mut io::BufReader::new(file))?)
+}
+
+// ---- inspect ----
+
+/// Summary of one layer inside a snapshot.
+#[derive(Clone, Debug)]
+pub struct LayerInfo {
+    pub name: String,
+    /// On-disk payload size of the layer section in bytes.
+    pub bytes: u64,
+}
+
+/// Summary of a snapshot file, cheaply skimmed: only each layer's name
+/// prefix is decoded; the rest of every payload is drained, not
+/// buffered.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    pub uri: String,
+    pub layers: Vec<LayerInfo>,
+    /// Total payload bytes across all sections.
+    pub payload_bytes: u64,
+}
+
+/// Skim a snapshot's header and section table without decoding documents
+/// or indices.
+pub fn inspect_snapshot<R: Read>(r: &mut R) -> io::Result<SnapshotInfo> {
+    let mut uri = None;
+    let mut layers = Vec::new();
+    let mut payload_bytes = 0u64;
+    for_each_section(r, |tag, len, mut p| {
+        payload_bytes += len;
+        match tag {
+            SECTION_META => uri = Some(read_string(&mut p)?),
+            SECTION_LAYER => layers.push(LayerInfo {
+                name: read_string(&mut p)?,
+                bytes: len,
+            }),
+            _ => {}
+        }
+        Ok(())
+    })?;
+    Ok(SnapshotInfo {
+        uri: uri.ok_or_else(|| bad("missing META section"))?,
+        layers,
+        payload_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use standoff_xml::parse_document;
+
+    fn sample_set() -> LayerSet {
+        let base =
+            parse_document(r#"<doc><seg start="0" end="19"/><seg start="20" end="39"/></doc>"#)
+                .unwrap();
+        let tokens = parse_document(
+            r#"<toks><w start="0" end="4"/><w start="5" end="9"/><w start="21" end="27"/></toks>"#,
+        )
+        .unwrap();
+        let mut set = LayerSet::build("corpus.xml", base, StandoffConfig::default()).unwrap();
+        set.add_layer("tokens", tokens, StandoffConfig::default())
+            .unwrap();
+        set
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.uri(), "corpus.xml");
+        assert_eq!(loaded.len(), 2);
+        let tokens = loaded.layer("tokens").unwrap();
+        assert_eq!(tokens.annotation_count(), 3);
+        assert_eq!(
+            tokens.index().entries(),
+            set.layer("tokens").unwrap().index().entries()
+        );
+        // Idempotent re-serialization: the reload carries every bit.
+        let mut buf2 = Vec::new();
+        write_snapshot(&loaded, &mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn inspect_reports_without_decoding() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        let info = inspect_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(info.uri, "corpus.xml");
+        assert_eq!(
+            info.layers
+                .iter()
+                .map(|l| l.name.as_str())
+                .collect::<Vec<_>>(),
+            ["base", "tokens"]
+        );
+        assert!(info.payload_bytes > 0);
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        // Append an unknown section and bump the section count.
+        let mut extended = buf.clone();
+        write_u32(&mut extended, 0xBEEF).unwrap();
+        write_u64(&mut extended, 3).unwrap();
+        extended.extend_from_slice(b"xyz");
+        let count = u32::from_le_bytes(extended[8..12].try_into().unwrap());
+        extended[8..12].copy_from_slice(&(count + 1).to_le_bytes());
+        let loaded = read_snapshot(&mut extended.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+    }
+
+    #[test]
+    fn reordered_layers_rejected() {
+        // Hand-reorder the two LAYER sections so the base is no longer
+        // first: the load must fail rather than silently swap what the
+        // bare store URI resolves to.
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        // Parse section boundaries: header is 12 bytes, then
+        // (tag u32 | len u64 | payload) triples.
+        let mut sections: Vec<(usize, usize)> = Vec::new(); // (offset, total size)
+        let mut k = 12;
+        while k < buf.len() {
+            let len = u64::from_le_bytes(buf[k + 4..k + 12].try_into().unwrap()) as usize;
+            sections.push((k, 12 + len));
+            k += 12 + len;
+        }
+        assert_eq!(sections.len(), 3, "META + 2 layers");
+        let (m_off, m_len) = sections[0];
+        let (a_off, a_len) = sections[1];
+        let (b_off, b_len) = sections[2];
+        let mut swapped = buf[..12].to_vec();
+        swapped.extend_from_slice(&buf[m_off..m_off + m_len]);
+        swapped.extend_from_slice(&buf[b_off..b_off + b_len]);
+        swapped.extend_from_slice(&buf[a_off..a_off + a_len]);
+        let err = read_snapshot(&mut swapped.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("base layer"), "{err}");
+    }
+
+    #[test]
+    fn hostile_section_length_fails_without_allocating() {
+        // A section header claiming an absurd payload must fail with a
+        // clean truncation error, not a giant allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one section
+        buf.extend_from_slice(&SECTION_META.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // hostile length
+        buf.extend_from_slice(b"tiny");
+        assert!(read_snapshot(&mut buf.as_slice()).is_err());
+        assert!(inspect_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corruption_is_rejected_cleanly() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(read_snapshot(&mut bad_magic.as_slice()).is_err());
+        // Bad version.
+        let mut bad_version = buf.clone();
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(read_snapshot(&mut bad_version.as_slice()).is_err());
+        // Every truncation fails, never panics.
+        for cut in 0..buf.len() {
+            assert!(
+                read_snapshot(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+}

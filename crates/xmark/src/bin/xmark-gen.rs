@@ -73,7 +73,11 @@ fn main() -> ExitCode {
             eprintln!("xmark-gen: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("  wrote {} ({:.2} MB)", path.display(), xml.len() as f64 / 1e6);
+        eprintln!(
+            "  wrote {} ({:.2} MB)",
+            path.display(),
+            xml.len() as f64 / 1e6
+        );
     }
     if standoff {
         let so = standoffify(&doc, seed);
@@ -83,7 +87,11 @@ fn main() -> ExitCode {
             eprintln!("xmark-gen: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("  wrote {} ({:.2} MB)", path.display(), xml.len() as f64 / 1e6);
+        eprintln!(
+            "  wrote {} ({:.2} MB)",
+            path.display(),
+            xml.len() as f64 / 1e6
+        );
         let blob_path = out.join(format!("{stem}.blob"));
         if let Err(e) = std::fs::write(&blob_path, so.blob.as_bytes()) {
             eprintln!("xmark-gen: cannot write {}: {e}", blob_path.display());
@@ -102,9 +110,7 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("xmark-gen: {err}");
     }
-    eprintln!(
-        "usage: xmark-gen [--scale F] [--seed N] [--out DIR] [--standard] [--standoff]"
-    );
+    eprintln!("usage: xmark-gen [--scale F] [--seed N] [--out DIR] [--standard] [--standoff]");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

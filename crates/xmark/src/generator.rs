@@ -217,7 +217,8 @@ impl Gen<'_> {
         let n_cats = self.rng.gen_range(1..=3);
         for _ in 0..n_cats {
             let cat = self.rng.gen_range(0..self.config.n_categories());
-            self.b.empty_element("incategory", &[("category", &format!("category{cat}"))]);
+            self.b
+                .empty_element("incategory", &[("category", &format!("category{cat}"))]);
         }
         if self.rng.gen_bool(0.8) {
             self.b.start_element("mailbox");
@@ -330,19 +331,25 @@ impl Gen<'_> {
             let n_interests = self.rng.gen_range(0..=4);
             for _ in 0..n_interests {
                 let cat = self.rng.gen_range(0..self.config.n_categories());
-                self.b.empty_element("interest", &[("category", &format!("category{cat}"))]);
+                self.b
+                    .empty_element("interest", &[("category", &format!("category{cat}"))]);
             }
             if self.rng.gen_bool(0.5) {
                 self.text_elem("education", 1, 2);
             }
             if self.rng.gen_bool(0.5) {
-                let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+                let g = if self.rng.gen_bool(0.5) {
+                    "male"
+                } else {
+                    "female"
+                };
                 self.b.start_element("gender");
                 self.b.text(g);
                 self.b.end_element();
             }
             self.b.start_element("business");
-            self.b.text(if self.rng.gen_bool(0.5) { "Yes" } else { "No" });
+            self.b
+                .text(if self.rng.gen_bool(0.5) { "Yes" } else { "No" });
             self.b.end_element();
             if self.rng.gen_bool(0.6) {
                 let age = self.rng.gen_range(18..=80).to_string();
@@ -357,10 +364,8 @@ impl Gen<'_> {
             let n = self.rng.gen_range(1..=4);
             for _ in 0..n {
                 let a = self.rng.gen_range(0..self.config.n_open_auctions());
-                self.b.empty_element(
-                    "watch",
-                    &[("open_auction", &format!("open_auction{a}"))],
-                );
+                self.b
+                    .empty_element("watch", &[("open_auction", &format!("open_auction{a}"))]);
             }
             self.b.end_element();
         }
@@ -413,7 +418,8 @@ impl Gen<'_> {
             self.b.text(&time);
             self.b.end_element();
             let p = self.rng.gen_range(0..self.config.n_people());
-            self.b.empty_element("personref", &[("person", &format!("person{p}"))]);
+            self.b
+                .empty_element("personref", &[("person", &format!("person{p}"))]);
             let inc = self.rng.gen_range(1.5..30.0);
             current += inc;
             let inc_s = format!("{inc:.2}");
@@ -432,9 +438,11 @@ impl Gen<'_> {
             self.b.end_element();
         }
         let item = self.rng.gen_range(0..self.config.n_items());
-        self.b.empty_element("itemref", &[("item", &format!("item{item}"))]);
+        self.b
+            .empty_element("itemref", &[("item", &format!("item{item}"))]);
         let seller = self.rng.gen_range(0..self.config.n_people());
-        self.b.empty_element("seller", &[("person", &format!("person{seller}"))]);
+        self.b
+            .empty_element("seller", &[("person", &format!("person{seller}"))]);
         self.annotation();
         let q = self.rng.gen_range(1..=10).to_string();
         self.b.start_element("quantity");
@@ -476,11 +484,14 @@ impl Gen<'_> {
         for _ in 0..self.config.n_closed_auctions() {
             self.b.start_element("closed_auction");
             let seller = self.rng.gen_range(0..self.config.n_people());
-            self.b.empty_element("seller", &[("person", &format!("person{seller}"))]);
+            self.b
+                .empty_element("seller", &[("person", &format!("person{seller}"))]);
             let buyer = self.rng.gen_range(0..self.config.n_people());
-            self.b.empty_element("buyer", &[("person", &format!("person{buyer}"))]);
+            self.b
+                .empty_element("buyer", &[("person", &format!("person{buyer}"))]);
             let item = self.rng.gen_range(0..self.config.n_items());
-            self.b.empty_element("itemref", &[("item", &format!("item{item}"))]);
+            self.b
+                .empty_element("itemref", &[("item", &format!("item{item}"))]);
             let price = format!("{:.2}", self.rng.gen_range(5.0..500.0));
             self.b.start_element("price");
             self.b.text(&price);

@@ -46,9 +46,9 @@ impl XmarkQuery {
                 r#"for $b in doc("{uri}")/site/open_auctions/open_auction
                    return <increase> {{ $b/bidder[1]/increase/text() }} </increase>"#
             ),
-            XmarkQuery::Q6 => format!(
-                r#"for $b in doc("{uri}")//site/regions return count($b//item)"#
-            ),
+            XmarkQuery::Q6 => {
+                format!(r#"for $b in doc("{uri}")//site/regions return count($b//item)"#)
+            }
             XmarkQuery::Q7 => format!(
                 r#"for $p in doc("{uri}")/site
                    return count($p//description) + count($p//annotation) + count($p//emailaddress)"#

@@ -172,10 +172,7 @@ mod tests {
         let index = RegionIndex::build(&so.doc, &StandoffConfig::default()).unwrap();
         let bidders = so.doc.elements_named("bidder");
         let increases = so.doc.elements_named("increase");
-        assert_eq!(
-            increases.len(),
-            src.elements_named("increase").len()
-        );
+        assert_eq!(increases.len(), src.elements_named("increase").len());
         for &inc in increases {
             let ri = index.regions_of(inc)[0];
             let contained = bidders.iter().any(|&b| {
@@ -220,7 +217,10 @@ mod tests {
         let ser = |d: &Document| standoff_xml::serialize_document(d, Default::default());
         assert_eq!(ser(&a.doc), ser(&b.doc));
         assert_ne!(ser(&a.doc), ser(&c.doc));
-        assert_eq!(a.blob, c.blob, "the BLOB does not depend on the permutation");
+        assert_eq!(
+            a.blob, c.blob,
+            "the BLOB does not depend on the permutation"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! little-endian format — loading is a column read with no parsing,
 //! typically an order of magnitude faster than `parse_document`.
 //!
-//! Format (version 1):
+//! Format (version 2):
 //!
 //! ```text
 //! magic "SOXD" | u32 version
@@ -16,10 +16,19 @@
 //!                            u32 name, string value
 //! u32 attr-count | per attr: u32 owner, u32 name, string value
 //! (node-count+1) × u32 attr_first CSR offsets
+//! u32 indexed-name-count | per name: u32 name-id, u32 pre-count,
+//!                                    pre-count × u32 pre   (v2 only)
 //! ```
 //!
 //! Strings are u32-length-prefixed UTF-8. No external dependencies.
+//!
+//! Version 2 appends the element-name index (paper §4.3's candidate-
+//! sequence source), so loading restores it by column read instead of
+//! rescanning the kind/name columns; version-1 files still load, with
+//! the index rebuilt. Loading validates everything — a corrupted file
+//! fails cleanly instead of corrupting query results.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
 use crate::doc::Document;
@@ -28,51 +37,13 @@ use crate::node::NodeKind;
 use crate::store::Store;
 
 const MAGIC: &[u8; 4] = b"SOXD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const MIN_VERSION: u32 = 1;
 
-// ---- primitive helpers ----
-
-fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
-    write_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
-
-fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
-    let mut buf = [0u8; 2];
-    r.read_exact(&mut buf)?;
-    Ok(u16::from_le_bytes(buf))
-}
-
-fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
-    let mut buf = [0u8; 1];
-    r.read_exact(&mut buf)?;
-    Ok(buf[0])
-}
-
-fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
-    let len = read_u32(r)? as usize;
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| bad_data("string is not UTF-8"))
-}
-
-fn bad_data(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
+use crate::wire::{
+    bad_data, capacity_hint, read_string, read_u16, read_u32, read_u8, write_string, write_u16,
+    write_u32,
+};
 
 // ---- document codec ----
 
@@ -117,6 +88,19 @@ pub fn write_document<W: Write>(doc: &Document, w: &mut W) -> io::Result<()> {
         write_u32(w, doc.attr_range(pre).start)?;
     }
     write_u32(w, a)?;
+    // Element-name index, in name-id order for determinism (v2).
+    let index = doc.elem_index();
+    let mut ids: Vec<NameId> = index.keys().copied().collect();
+    ids.sort_by_key(|id| id.0);
+    write_u32(w, ids.len() as u32)?;
+    for id in ids {
+        let pres = &index[&id];
+        write_u32(w, id.0)?;
+        write_u32(w, pres.len() as u32)?;
+        for &pre in pres {
+            write_u32(w, pre)?;
+        }
+    }
     Ok(())
 }
 
@@ -130,7 +114,7 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         return Err(bad_data("not a standoff document file (bad magic)"));
     }
     let version = read_u32(r)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(bad_data("unsupported format version"));
     }
     let uri = if read_u8(r)? == 1 {
@@ -151,12 +135,13 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
     if n == 0 {
         return Err(bad_data("document has no nodes"));
     }
-    let mut kind = Vec::with_capacity(n);
-    let mut size = Vec::with_capacity(n);
-    let mut level = Vec::with_capacity(n);
-    let mut parent = Vec::with_capacity(n);
-    let mut name = Vec::with_capacity(n);
-    let mut value: Vec<Box<str>> = Vec::with_capacity(n);
+    let cap = capacity_hint(n);
+    let mut kind = Vec::with_capacity(cap);
+    let mut size = Vec::with_capacity(cap);
+    let mut level = Vec::with_capacity(cap);
+    let mut parent = Vec::with_capacity(cap);
+    let mut name = Vec::with_capacity(cap);
+    let mut value: Vec<Box<str>> = Vec::with_capacity(cap);
     for _ in 0..n {
         kind.push(match read_u8(r)? {
             0 => NodeKind::Document,
@@ -177,9 +162,10 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         value.push(read_string(r)?.into());
     }
     let a = read_u32(r)? as usize;
-    let mut attr_owner = Vec::with_capacity(a);
-    let mut attr_name = Vec::with_capacity(a);
-    let mut attr_value: Vec<Box<str>> = Vec::with_capacity(a);
+    let acap = capacity_hint(a);
+    let mut attr_owner = Vec::with_capacity(acap);
+    let mut attr_name = Vec::with_capacity(acap);
+    let mut attr_value: Vec<Box<str>> = Vec::with_capacity(acap);
     for _ in 0..a {
         let owner = read_u32(r)?;
         if owner as usize >= n {
@@ -193,7 +179,7 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         attr_name.push(NameId(name_id));
         attr_value.push(read_string(r)?.into());
     }
-    let mut attr_first = Vec::with_capacity(n + 1);
+    let mut attr_first = Vec::with_capacity(capacity_hint(n + 1));
     for _ in 0..=n {
         let off = read_u32(r)?;
         if off as usize > a {
@@ -201,10 +187,61 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         }
         attr_first.push(off);
     }
-    let doc = Document::from_columns(
-        uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
-        attr_value,
-    );
+    let doc = if version >= 2 {
+        // Deserialize the element-name index and validate it against the
+        // columns — cheaper than a rescan-and-rebuild, still safe.
+        let elements = kind.iter().filter(|&&k| k == NodeKind::Element).count();
+        let indexed_names = read_u32(r)? as usize;
+        if indexed_names > name_count {
+            return Err(bad_data("more indexed names than interned names"));
+        }
+        let mut elem_index: HashMap<NameId, Vec<u32>> =
+            HashMap::with_capacity(capacity_hint(indexed_names));
+        let mut covered = 0usize;
+        let mut prev_name: Option<u32> = None;
+        for _ in 0..indexed_names {
+            let name_id = read_u32(r)?;
+            if name_id as usize >= name_count {
+                return Err(bad_data("indexed name id out of range"));
+            }
+            if prev_name.is_some_and(|p| p >= name_id) {
+                return Err(bad_data("element index not in name-id order"));
+            }
+            prev_name = Some(name_id);
+            let count = read_u32(r)? as usize;
+            if count == 0 {
+                return Err(bad_data("empty element-index bucket"));
+            }
+            let mut pres = Vec::with_capacity(capacity_hint(count));
+            for _ in 0..count {
+                let pre = read_u32(r)?;
+                if pre as usize >= n
+                    || kind[pre as usize] != NodeKind::Element
+                    || name[pre as usize].0 != name_id
+                {
+                    return Err(bad_data("element index disagrees with node columns"));
+                }
+                if pres.last().is_some_and(|&p| p >= pre) {
+                    return Err(bad_data("element index not in document order"));
+                }
+                pres.push(pre);
+            }
+            covered += count;
+            elem_index.insert(NameId(name_id), pres);
+        }
+        if covered != elements {
+            return Err(bad_data("element index does not cover all elements"));
+        }
+        Document::from_columns_with_index(
+            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
+            attr_value, elem_index,
+        )
+    } else {
+        Document::from_columns(
+            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
+            attr_value,
+        )
+    };
     doc.check_invariants().map_err(|e| bad_data(&e))?;
     Ok(doc)
 }
@@ -283,6 +320,44 @@ mod tests {
         let loaded = read_store(&mut buf.as_slice()).unwrap();
         assert_eq!(loaded.len(), 1);
         assert!(loaded.by_uri("file:a.xml").is_some());
+    }
+
+    #[test]
+    fn name_index_survives_round_trip() {
+        let loaded = round_trip("<a><b/><c/><b x='1'>t</b><d><b/></d></a>");
+        assert_eq!(loaded.elements_named("b").len(), 3);
+        assert_eq!(loaded.elements_named("d").len(), 1);
+        assert_eq!(loaded.elements_named("nope"), &[] as &[u32]);
+        // Document order.
+        let bs = loaded.elements_named("b");
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        // A v1 file is a v2 file minus the trailing name-index section,
+        // with the version field rewritten.
+        let doc = parse_document("<a><b/><c/></a>").unwrap();
+        let mut v2 = Vec::new();
+        write_document(&doc, &mut v2).unwrap();
+        // The index section of this doc: u32 count=3 + 3 × (id, count, pre).
+        let index_bytes = 4 + 3 * (4 + 4 + 4);
+        let mut v1 = v2[..v2.len() - index_bytes].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let loaded = read_document(&mut v1.as_slice()).unwrap();
+        assert_eq!(loaded.elements_named("b").len(), 1);
+        assert_eq!(loaded.node_count(), doc.node_count());
+    }
+
+    #[test]
+    fn tampered_name_index_rejected() {
+        let doc = parse_document("<a><b/><c/></a>").unwrap();
+        let mut buf = Vec::new();
+        write_document(&doc, &mut buf).unwrap();
+        // Point the last index entry's pre at a non-element row.
+        let k = buf.len() - 4;
+        buf[k..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_document(&mut buf.as_slice()).is_err());
     }
 
     #[test]

@@ -54,13 +54,39 @@ impl Document {
         attr_name: Vec<NameId>,
         attr_value: Vec<Box<str>>,
     ) -> Self {
-        debug_assert_eq!(attr_first.len(), kind.len() + 1);
         let mut elem_index: HashMap<NameId, Vec<u32>> = HashMap::new();
         for (pre, (&k, &n)) in kind.iter().zip(name.iter()).enumerate() {
             if k == NodeKind::Element {
                 elem_index.entry(n).or_default().push(pre as u32);
             }
         }
+        Self::from_columns_with_index(
+            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
+            attr_value, elem_index,
+        )
+    }
+
+    /// Constructor with a prebuilt element-name index (the snapshot load
+    /// path — the codec deserializes the index instead of rescanning the
+    /// kind/name columns). The caller is responsible for validating that
+    /// the index matches the columns.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns_with_index(
+        uri: Option<String>,
+        names: NameTable,
+        kind: Vec<NodeKind>,
+        size: Vec<u32>,
+        level: Vec<u16>,
+        parent: Vec<u32>,
+        name: Vec<NameId>,
+        value: Vec<Box<str>>,
+        attr_first: Vec<u32>,
+        attr_owner: Vec<u32>,
+        attr_name: Vec<NameId>,
+        attr_value: Vec<Box<str>>,
+        elem_index: HashMap<NameId, Vec<u32>>,
+    ) -> Self {
+        debug_assert_eq!(attr_first.len(), kind.len() + 1);
         Document {
             uri,
             names,
@@ -76,6 +102,11 @@ impl Document {
             attr_value,
             elem_index,
         }
+    }
+
+    /// The raw element-name index (codec serialization hook).
+    pub(crate) fn elem_index(&self) -> &HashMap<NameId, Vec<u32>> {
+        &self.elem_index
     }
 
     /// The URI this document was registered under, if any.
@@ -146,7 +177,9 @@ impl Document {
     pub fn node_name(&self, id: NodeId) -> String {
         match id.attr_index() {
             Some(a) => self.names.lexical(self.attr_name[a as usize]),
-            None => self.names.lexical(self.name[id.pre().expect("tree id") as usize]),
+            None => self
+                .names
+                .lexical(self.name[id.pre().expect("tree id") as usize]),
         }
     }
 
@@ -326,7 +359,10 @@ impl Document {
     #[inline]
     pub fn order_key(&self, id: NodeId) -> (u32, u32) {
         match id.attr_index() {
-            Some(a) => (self.attr_owner[a as usize], 1 + a - self.attr_first[self.attr_owner[a as usize] as usize]),
+            Some(a) => (
+                self.attr_owner[a as usize],
+                1 + a - self.attr_first[self.attr_owner[a as usize] as usize],
+            ),
             None => (id.pre().expect("tree id"), 0),
         }
     }

@@ -33,6 +33,7 @@ pub mod node;
 pub mod parser;
 pub mod serialize;
 pub mod store;
+pub mod wire;
 
 pub use builder::DocumentBuilder;
 pub use codec::{read_document, read_store, write_document, write_store};

@@ -301,7 +301,9 @@ impl<'a> Parser<'a> {
                 self.depth -= 1;
                 Ok(())
             }
-            Some(open) => Err(self.err(format!("mismatched end tag </{name}>, expected </{open}>"))),
+            Some(open) => {
+                Err(self.err(format!("mismatched end tag </{name}>, expected </{open}>")))
+            }
             None => Err(self.err(format!("unmatched end tag </{name}>"))),
         }
     }
@@ -317,7 +319,11 @@ impl<'a> Parser<'a> {
         let raw = &self.input[start..self.pos];
         if self.depth == 0 {
             if !raw.trim().is_empty() {
-                return Err(ParseError::new("text outside the root element", self.input, start));
+                return Err(ParseError::new(
+                    "text outside the root element",
+                    self.input,
+                    start,
+                ));
             }
             return Ok(());
         }
@@ -330,8 +336,8 @@ impl<'a> Parser<'a> {
         if self.text_buf.is_empty() {
             return Ok(());
         }
-        let keep = !self.options.strip_whitespace_text
-            || !self.text_buf.chars().all(char::is_whitespace);
+        let keep =
+            !self.options.strip_whitespace_text || !self.text_buf.chars().all(char::is_whitespace);
         if keep && self.depth > 0 {
             self.builder.text(&self.text_buf);
         }
@@ -493,10 +499,9 @@ mod tests {
 
     #[test]
     fn xml_declaration_and_doctype_are_skipped() {
-        let d = parse_document(
-            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a EMPTY> ]>\n<a/>",
-        )
-        .unwrap();
+        let d =
+            parse_document("<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a EMPTY> ]>\n<a/>")
+                .unwrap();
         assert_eq!(d.node_count(), 2);
     }
 

@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn simple_round_trip() {
-        assert_eq!(round_trip("<a><b x=\"1\"/>text</a>"), "<a><b x=\"1\"/>text</a>");
+        assert_eq!(
+            round_trip("<a><b x=\"1\"/>text</a>"),
+            "<a><b x=\"1\"/>text</a>"
+        );
     }
 
     #[test]
@@ -220,7 +223,11 @@ mod tests {
     fn subtree_serialization() {
         let doc = parse_document("<a><b><c/></b><d/></a>").unwrap();
         let b_pre = doc.elements_named("b")[0];
-        let s = serialize_node(&doc, crate::NodeId::tree(b_pre), SerializeOptions::default());
+        let s = serialize_node(
+            &doc,
+            crate::NodeId::tree(b_pre),
+            SerializeOptions::default(),
+        );
         assert_eq!(s, "<b><c/></b>");
     }
 
@@ -246,7 +253,10 @@ mod tests {
         let pretty = serialize_document(&doc, SerializeOptions { indent: true });
         let re = parse_document(&pretty).unwrap();
         assert_eq!(re.elements_named("c").len(), 1);
-        assert_eq!(re.string_value(crate::NodeId::tree(re.elements_named("d")[0])), "txt");
+        assert_eq!(
+            re.string_value(crate::NodeId::tree(re.elements_named("d")[0])),
+            "txt"
+        );
         assert!(pretty.contains('\n'));
     }
 

@@ -208,7 +208,10 @@ pub enum Expr {
         predicate: Box<Expr>,
     },
     /// Function call (built-in or user-defined, resolved at evaluation).
-    FunctionCall { name: String, args: Vec<Expr> },
+    FunctionCall {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// Direct element constructor.
     Constructor(ElementConstructor),
 }

@@ -44,6 +44,15 @@ pub struct EngineState {
     pub store: Store,
     pub options: EngineOptions,
     region_cache: HashMap<(u32, StandoffConfig), Rc<RegionIndex>>,
+    /// Mounted layer groups: group id → member documents (base first).
+    /// StandOff axes join across all members of a group.
+    layer_groups: Vec<Vec<DocId>>,
+    /// Document id → its layer group, for mounted documents.
+    doc_group: HashMap<u32, u32>,
+    /// The configuration each mounted layer's index was built under.
+    layer_configs: HashMap<u32, StandoffConfig>,
+    /// `(store uri, layer name)` → document, for the `layer()` builtin.
+    layer_lookup: HashMap<(String, String), DocId>,
 }
 
 impl EngineState {
@@ -66,7 +75,30 @@ impl EngineState {
     /// Invalidate cache entries for documents with id ≥ `len` (paired
     /// with [`standoff_xml::Store::truncate`]).
     pub(crate) fn drop_cache_from(&mut self, len: usize) {
-        self.region_cache.retain(|(doc, _), _| (*doc as usize) < len);
+        self.region_cache
+            .retain(|(doc, _), _| (*doc as usize) < len);
+    }
+
+    /// The layer group a mounted document belongs to, if any.
+    pub(crate) fn layer_group_id(&self, doc: DocId) -> Option<u32> {
+        self.doc_group.get(&doc.0).copied()
+    }
+
+    /// Member documents of a layer group (base first).
+    pub(crate) fn layer_group_members(&self, group: u32) -> &[DocId] {
+        &self.layer_groups[group as usize]
+    }
+
+    /// The configuration a mounted layer's index was registered under.
+    pub(crate) fn layer_config(&self, doc: DocId) -> Option<&StandoffConfig> {
+        self.layer_configs.get(&doc.0)
+    }
+
+    /// Resolve `layer("uri", "name")` to a mounted layer document.
+    pub fn layer_doc(&self, uri: &str, layer: &str) -> Option<DocId> {
+        self.layer_lookup
+            .get(&(uri.to_string(), layer.to_string()))
+            .copied()
     }
 }
 
@@ -94,6 +126,10 @@ impl Engine {
                 store: Store::new(),
                 options,
                 region_cache: HashMap::new(),
+                layer_groups: Vec::new(),
+                doc_group: HashMap::new(),
+                layer_configs: HashMap::new(),
+                layer_lookup: HashMap::new(),
             },
             externals: std::collections::HashMap::new(),
         }
@@ -116,13 +152,79 @@ impl Engine {
     }
 
     /// Parse and register a document under a URI for `fn:doc`.
+    ///
+    /// Re-registering a plain URI rebinds it (the store's historical
+    /// behavior), but URIs claimed by a mounted layer set are protected —
+    /// silently shadowing a layer would leave `doc()` and `layer()`
+    /// resolving to different documents.
     pub fn load_document(&mut self, uri: &str, xml: &str) -> Result<DocId, QueryError> {
+        if let Some(existing) = self.state.store.by_uri(uri) {
+            if self.state.layer_group_id(existing).is_some() {
+                return Err(QueryError::stat(format!(
+                    "cannot load document: '{uri}' is a mounted store layer"
+                )));
+            }
+        }
         Ok(self.state.store.load(uri, xml)?)
     }
 
     /// Register an already-shredded document.
     pub fn add_document(&mut self, doc: Document, uri: Option<&str>) -> DocId {
         self.state.store.add(doc, uri)
+    }
+
+    /// Mount a persistent layer set (typically loaded from a
+    /// `standoff-store` snapshot). Returns the base document's id.
+    ///
+    /// * the base layer registers under the set's URI, so `doc("uri")`
+    ///   resolves to it;
+    /// * every other layer registers under `uri#name` (also reachable via
+    ///   the `layer("uri", "name")` builtin);
+    /// * each layer's prebuilt region index is installed in the engine's
+    ///   cache under the layer's own configuration — the snapshot's
+    ///   indices are used as-is, never rebuilt;
+    /// * all layers of the set form one *layer group*: StandOff axis
+    ///   steps and the `select-narrow(..)` builtin family join across the
+    ///   whole group, so `entities` can be narrowed by `tokens`.
+    pub fn mount_store(&mut self, set: standoff_store::LayerSet) -> Result<DocId, QueryError> {
+        let (uri, layers) = set.into_layers();
+        // Check every URI the mount will claim — the bare store URI and
+        // each derived `uri#layer` — before touching any state, so a
+        // mount never silently rebinds an existing registration.
+        let doc_uris: Vec<String> = layers
+            .iter()
+            .enumerate()
+            .map(|(k, layer)| {
+                if k == 0 {
+                    uri.clone()
+                } else {
+                    format!("{uri}#{}", layer.name())
+                }
+            })
+            .collect();
+        for doc_uri in &doc_uris {
+            if self.state.store.by_uri(doc_uri).is_some() {
+                return Err(QueryError::stat(format!(
+                    "cannot mount store: a document is already registered at '{doc_uri}'"
+                )));
+            }
+        }
+        let group_id = self.state.layer_groups.len() as u32;
+        let mut members = Vec::with_capacity(layers.len());
+        for (layer, doc_uri) in layers.into_iter().zip(doc_uris) {
+            let (name, config, doc, index) = layer.into_parts();
+            let id = self.state.store.add(doc, Some(&doc_uri));
+            self.state
+                .region_cache
+                .insert((id.0, config.clone()), Rc::new(index));
+            self.state.layer_configs.insert(id.0, config);
+            self.state.layer_lookup.insert((uri.clone(), name), id);
+            self.state.doc_group.insert(id.0, group_id);
+            members.push(id);
+        }
+        let base = members[0];
+        self.state.layer_groups.push(members);
+        Ok(base)
     }
 
     /// The underlying document store (documents, constructed results).
@@ -279,11 +381,9 @@ mod tests {
 
     #[test]
     fn invalid_standoff_type_rejected() {
-        let prolog = crate::parser::parse_query(
-            r#"declare option standoff-type "xs:duration"; 1"#,
-        )
-        .unwrap()
-        .prolog;
+        let prolog = crate::parser::parse_query(r#"declare option standoff-type "xs:duration"; 1"#)
+            .unwrap()
+            .prolog;
         assert!(config_from_prolog(&prolog).is_err());
     }
 }

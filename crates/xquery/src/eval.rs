@@ -225,10 +225,7 @@ impl<'e> Evaluator<'e> {
                             }
                             LlSeq::from_columns((0..n).collect(), items)
                         });
-                        let var_table = LlSeq::from_columns(
-                            (0..n).collect(),
-                            s.items().to_vec(),
-                        );
+                        let var_table = LlSeq::from_columns((0..n).collect(), s.items().to_vec());
                         let mut vars = HashMap::new();
                         vars.insert(var.clone(), var_table);
                         if let (Some(at_name), Some(at_table)) = (at, at_table) {
@@ -324,9 +321,9 @@ impl<'e> Evaluator<'e> {
                     (None, None) => std::cmp::Ordering::Equal,
                     (None, Some(_)) => std::cmp::Ordering::Less, // empty least
                     (Some(_), None) => std::cmp::Ordering::Greater,
-                    (Some(x), Some(y)) => {
-                        x.general_compare(y, store).unwrap_or(std::cmp::Ordering::Equal)
-                    }
+                    (Some(x), Some(y)) => x
+                        .general_compare(y, store)
+                        .unwrap_or(std::cmp::Ordering::Equal),
                 };
                 let ord = if spec.descending { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
@@ -476,8 +473,13 @@ impl<'e> Evaluator<'e> {
         };
         let is_value_comp = matches!(
             op,
-            CompOp::ValEq | CompOp::ValNe | CompOp::ValLt | CompOp::ValLe | CompOp::ValGt
-                | CompOp::ValGe | CompOp::Is
+            CompOp::ValEq
+                | CompOp::ValNe
+                | CompOp::ValLt
+                | CompOp::ValLe
+                | CompOp::ValGt
+                | CompOp::ValGe
+                | CompOp::Is
         );
         let mut iters = Vec::new();
         let mut items = Vec::new();
@@ -625,9 +627,9 @@ impl<'e> Evaluator<'e> {
     fn context_nodes(&mut self, input: Option<&Expr>) -> Result<NodeTable, QueryError> {
         let t = match input {
             Some(e) => self.eval(e)?,
-            None => self.lookup(".").map_err(|_| {
-                QueryError::dynamic("relative path used without a context item")
-            })?,
+            None => self
+                .lookup(".")
+                .map_err(|_| QueryError::dynamic("relative path used without a context item"))?,
         };
         NodeTable::from_llseq(&t).map_err(QueryError::dynamic)
     }
@@ -651,6 +653,16 @@ impl<'e> Evaluator<'e> {
             table = self.apply_predicate(table, predicate)?;
         }
         Ok(table)
+    }
+
+    /// The StandOff configuration in effect for a document: a mounted
+    /// layer keeps the configuration its snapshot index was built under;
+    /// anything else uses the query prolog's `standoff-*` options.
+    fn doc_config(&self, doc: DocId) -> StandoffConfig {
+        self.engine
+            .layer_config(doc)
+            .cloned()
+            .unwrap_or_else(|| self.config.clone())
     }
 
     /// Evaluate one of the four StandOff axis steps: partition the context
@@ -682,11 +694,16 @@ impl<'e> Evaluator<'e> {
             // nodes still pin their fragment for the reject domain.
             let pre = match node.id.pre() {
                 Some(p) => p,
-                None => self.engine.store.doc(node.doc).attr_owner(
-                    node.id.attr_index().expect("attr id"),
-                ),
+                None => self
+                    .engine
+                    .store
+                    .doc(node.doc)
+                    .attr_owner(node.id.attr_index().expect("attr id")),
             };
-            buckets.entry(node.doc).or_default().push(IterNode { iter, node: pre });
+            buckets
+                .entry(node.doc)
+                .or_default()
+                .push(IterNode { iter, node: pre });
         }
         // Explicit candidates bucketed per document too.
         let mut cand_buckets: HashMap<DocId, Vec<u32>> = HashMap::new();
@@ -702,47 +719,124 @@ impl<'e> Evaluator<'e> {
             }
         }
 
+        // Group context documents into join units. A mounted layer set
+        // joins across all layers of its group (the multi-layer corpus
+        // model of `standoff-store` — regions share the BLOB coordinate
+        // space); a plain document joins within itself (§3.3 fragment
+        // semantics).
         let mut docs: Vec<DocId> = buckets.keys().copied().collect();
         docs.sort();
+        let mut units: Vec<(Vec<DocId>, Vec<DocId>)> = Vec::new(); // (ctx docs, targets)
+        {
+            let mut grouped: HashMap<u32, Vec<DocId>> = HashMap::new();
+            for &doc_id in &docs {
+                match self.engine.layer_group_id(doc_id) {
+                    Some(g) => grouped.entry(g).or_default().push(doc_id),
+                    None => units.push((vec![doc_id], vec![doc_id])),
+                }
+            }
+            let mut group_ids: Vec<u32> = grouped.keys().copied().collect();
+            group_ids.sort_unstable();
+            for g in group_ids {
+                let ctx_docs = grouped.remove(&g).unwrap();
+                units.push((ctx_docs, self.engine.layer_group_members(g).to_vec()));
+            }
+            units.sort_by_key(|(ctx_docs, _)| ctx_docs[0]);
+        }
 
         let strategy = self.engine.options.strategy;
         let pushdown = self.engine.options.candidate_pushdown
             && strategy != standoff_core::StandoffStrategy::NaiveNoCandidates;
 
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
-        for doc_id in docs {
-            let mut context = std::mem::take(buckets.get_mut(&doc_id).unwrap());
-            context.sort_unstable();
-            context.dedup();
-            let index = self.engine.region_index(doc_id, &self.config)?;
-            // Candidate restriction: explicit sequence, or name-test
-            // pushdown through the element index (§4.3).
-            let name_candidates: Option<Vec<u32>> = if explicit_candidates.is_some() {
-                cand_buckets.remove(&doc_id).or_else(|| Some(Vec::new()))
-            } else if pushdown && test.kind == KindTest::Element {
-                test.name.as_ref().map(|n| {
-                    self.engine.store.doc(doc_id).elements_named(n).to_vec()
-                })
-            } else {
-                None
-            };
-            let mut iter_domain: Vec<u32> = context.iter().map(|c| c.iter).collect();
+        for (ctx_docs, targets) in units {
+            // Sorted, deduplicated context per context document, and the
+            // unit-wide iteration domain (rejects complement over it).
+            let mut contexts: Vec<(DocId, Vec<IterNode>)> = Vec::with_capacity(ctx_docs.len());
+            let mut iter_domain: Vec<u32> = Vec::new();
+            for doc_id in ctx_docs {
+                let mut context = std::mem::take(buckets.get_mut(&doc_id).unwrap());
+                context.sort_unstable();
+                context.dedup();
+                iter_domain.extend(context.iter().map(|c| c.iter));
+                contexts.push((doc_id, context));
+            }
+            iter_domain.sort_unstable();
             iter_domain.dedup();
-            let input = JoinInput {
-                doc: self.engine.store.doc(doc_id),
-                index: &index,
-                context: &context,
-                candidates: name_candidates.as_deref(),
-                iter_domain: &iter_domain,
-            };
-            for IterNode { iter, node } in
-                evaluate_standoff_join(axis, strategy, &input, None)
-            {
-                rows.push((iter, NodeRef::tree(doc_id, node)));
+
+            for &target in &targets {
+                let target_config = self.doc_config(target);
+                let target_index = self.engine.region_index(target, &target_config)?;
+                // Candidate restriction: explicit sequence, or name-test
+                // pushdown through the element index (§4.3) — always
+                // against the *target* layer's document.
+                let name_candidates: Option<Vec<u32>> = if explicit_candidates.is_some() {
+                    // Each document is the target of exactly one unit, so
+                    // the bucket can be moved out rather than cloned.
+                    cand_buckets.remove(&target).or_else(|| Some(Vec::new()))
+                } else if pushdown && test.kind == KindTest::Element {
+                    test.name
+                        .as_ref()
+                        .map(|n| self.engine.store.doc(target).elements_named(n).to_vec())
+                } else {
+                    None
+                };
+                // A reject over several context layers must complement the
+                // *union* of their selections, not union their complements.
+                let multi_ctx_reject = !axis.is_select() && contexts.len() > 1;
+                let mut selected: Vec<IterNode> = Vec::new();
+                let mut universe: Option<Vec<u32>> = None;
+                for (ctx_doc, context) in &contexts {
+                    let cross_layer = *ctx_doc != target;
+                    let ctx_index = if cross_layer {
+                        let cfg = self.doc_config(*ctx_doc);
+                        Some(self.engine.region_index(*ctx_doc, &cfg)?)
+                    } else {
+                        None
+                    };
+                    let input = JoinInput {
+                        doc: self.engine.store.doc(target),
+                        index: &target_index,
+                        ctx_index: ctx_index.as_deref(),
+                        context,
+                        candidates: name_candidates.as_deref(),
+                        iter_domain: &iter_domain,
+                    };
+                    let run_axis = if multi_ctx_reject {
+                        axis.select_counterpart()
+                    } else {
+                        axis
+                    };
+                    let result = evaluate_standoff_join(run_axis, strategy, &input, None);
+                    if multi_ctx_reject {
+                        if universe.is_none() {
+                            universe = Some(input.candidate_universe());
+                        }
+                        selected.extend(result);
+                    } else {
+                        rows.extend(
+                            result
+                                .into_iter()
+                                .map(|IterNode { iter, node }| (iter, NodeRef::tree(target, node))),
+                        );
+                    }
+                }
+                if multi_ctx_reject {
+                    selected.sort_unstable();
+                    selected.dedup();
+                    let universe = universe.unwrap_or_default();
+                    rows.extend(
+                        standoff_core::join::post::complement(&selected, &universe, &iter_domain)
+                            .into_iter()
+                            .map(|IterNode { iter, node }| (iter, NodeRef::tree(target, node))),
+                    );
+                }
             }
         }
-        // Merge per-document results: sort by (iter, doc order).
+        // Merge per-document results: sort by (iter, doc order), dedup
+        // (several context layers can select the same target node).
         rows.sort_by_key(|(iter, node)| (*iter, self.engine.store.order_key(*node)));
+        rows.dedup();
         let mut out = NodeTable::with_capacity(rows.len());
         for (iter, node) in rows {
             out.push(iter, node);
@@ -789,9 +883,9 @@ impl<'e> Evaluator<'e> {
     }
 
     fn eval_root_path(&mut self) -> Result<LlSeq, QueryError> {
-        let ctx = self.lookup(".").map_err(|_| {
-            QueryError::dynamic("'/' used without a context item (use doc(...))")
-        })?;
+        let ctx = self
+            .lookup(".")
+            .map_err(|_| QueryError::dynamic("'/' used without a context item (use doc(...))"))?;
         let mut out = LlSeq::empty();
         for (iter, items) in ctx.groups() {
             let mut last: Option<NodeRef> = None;
@@ -891,20 +985,18 @@ impl<'e> Evaluator<'e> {
         // Context-dependent zero-argument built-ins.
         if args.is_empty() {
             match local {
-                "position" => return self.lookup("fn:position").map_err(|_| {
-                    QueryError::dynamic("position() used outside a predicate")
-                }),
+                "position" => {
+                    return self
+                        .lookup("fn:position")
+                        .map_err(|_| QueryError::dynamic("position() used outside a predicate"))
+                }
                 "last" => {
-                    return self.lookup("fn:last").map_err(|_| {
-                        QueryError::dynamic("last() used outside a predicate")
-                    })
+                    return self
+                        .lookup("fn:last")
+                        .map_err(|_| QueryError::dynamic("last() used outside a predicate"))
                 }
-                "true" => {
-                    return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(true)))
-                }
-                "false" => {
-                    return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(false)))
-                }
+                "true" => return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(true))),
+                "false" => return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(false))),
                 _ => {}
             }
         }
@@ -912,7 +1004,11 @@ impl<'e> Evaluator<'e> {
         // User-defined functions shadow built-ins of the same name (the
         // paper's Figure 2/3 define `select-narrow` as a UDF while the
         // engine also has it as a built-in).
-        if let Some(decl) = self.functions.get(local).or_else(|| self.functions.get(name)) {
+        if let Some(decl) = self
+            .functions
+            .get(local)
+            .or_else(|| self.functions.get(name))
+        {
             let decl = Rc::clone(decl);
             if decl.params.len() != args.len() {
                 return Err(QueryError::stat(format!(

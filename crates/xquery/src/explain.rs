@@ -73,10 +73,7 @@ fn explain_expr(
             for clause in clauses {
                 match clause {
                     FlworClause::For { var, at, seq } => {
-                        let at = at
-                            .as_ref()
-                            .map(|a| format!(" at ${a}"))
-                            .unwrap_or_default();
+                        let at = at.as_ref().map(|a| format!(" at ${a}")).unwrap_or_default();
                         line(
                             out,
                             depth + 1,
@@ -127,7 +124,11 @@ fn explain_expr(
             then_branch,
             else_branch,
         } => {
-            line(out, depth, "if  -- branches evaluated on split loop relations");
+            line(
+                out,
+                depth,
+                "if  -- branches evaluated on split loop relations",
+            );
             explain_expr(cond, depth + 1, strategy, pushdown, out);
             line(out, depth, "then");
             explain_expr(then_branch, depth + 1, strategy, pushdown, out);
@@ -196,7 +197,10 @@ fn explain_expr(
                 Axis::Tree(t) => line(
                     out,
                     depth,
-                    &format!("step {}::{test_str}  [staircase join, loop-lifted]", t.as_str()),
+                    &format!(
+                        "step {}::{test_str}  [staircase join, loop-lifted]",
+                        t.as_str()
+                    ),
                 ),
                 Axis::Standoff(s) => {
                     let algo = match strategy {
@@ -263,9 +267,7 @@ fn explain_expr(
             }
             for part in &c.content {
                 match part {
-                    ConstructorContent::Text(t) => {
-                        line(out, depth + 1, &format!("text {t:?}"))
-                    }
+                    ConstructorContent::Text(t) => line(out, depth + 1, &format!("text {t:?}")),
                     ConstructorContent::Enclosed(e) => {
                         line(out, depth + 1, "enclosed");
                         explain_expr(e, depth + 2, strategy, pushdown, out);
@@ -299,10 +301,8 @@ mod tests {
 
     #[test]
     fn explains_flwor_scopes() {
-        let q = parse_query(
-            "for $x in (1,2) where $x > 1 order by $x return <r>{ $x }</r>",
-        )
-        .unwrap();
+        let q =
+            parse_query("for $x in (1,2) where $x > 1 order by $x return <r>{ $x }</r>").unwrap();
         let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
         assert!(text.contains("opens a new iteration scope"), "{text}");
         assert!(text.contains("restricts the loop relation"), "{text}");

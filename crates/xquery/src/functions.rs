@@ -28,6 +28,7 @@ pub fn call_builtin(
     let n = ev.n_iters();
     let result = match (name, args.len()) {
         ("doc", 1) => fn_doc(ev, &args[0])?,
+        ("layer", 2) => fn_layer(ev, &args[0], &args[1])?,
         ("root", 1) => fn_root(&args[0])?,
         ("count", 1) => args[0].count_per_iter(n),
         ("exists", 1) => per_iter_bool(n, &args[0], |g| !g.is_empty()),
@@ -91,7 +92,9 @@ pub fn call_builtin(
                 .first()
                 .map(|i| i.string_value(&ev.engine.store))
                 .unwrap_or_default();
-            Some(Item::str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+            Some(Item::str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
         }),
         ("upper-case", 1) => string_unary(ev, n, &args[0], |s| s.to_uppercase()),
         ("lower-case", 1) => string_unary(ev, n, &args[0], |s| s.to_lowercase()),
@@ -226,22 +229,19 @@ pub fn call_builtin(
             let want_max = name == "max";
             per_iter_map(ev, n, &args[0], move |ev, g| {
                 let store = &ev.engine.store;
-                g.iter()
-                    .map(|i| i.atomize(store))
-                    .reduce(|best, x| {
-                        let keep_x = matches!(
-                            x.general_compare(&best, store),
-                            Some(std::cmp::Ordering::Greater)
-                        ) == want_max
-                            && x.general_compare(&best, store).is_some()
-                            && x.general_compare(&best, store)
-                                != Some(std::cmp::Ordering::Equal);
-                        if keep_x {
-                            x
-                        } else {
-                            best
-                        }
-                    })
+                g.iter().map(|i| i.atomize(store)).reduce(|best, x| {
+                    let keep_x = matches!(
+                        x.general_compare(&best, store),
+                        Some(std::cmp::Ordering::Greater)
+                    ) == want_max
+                        && x.general_compare(&best, store).is_some()
+                        && x.general_compare(&best, store) != Some(std::cmp::Ordering::Equal);
+                    if keep_x {
+                        x
+                    } else {
+                        best
+                    }
+                })
             })
         }
         ("abs", 1) => numeric_unary(ev, n, &args[0], |v| v.abs()),
@@ -258,9 +258,10 @@ pub fn call_builtin(
                 let mut seen: Vec<Item> = Vec::new();
                 for item in items {
                     let v = item.atomize(store);
-                    if !seen.iter().any(|s| {
-                        s.general_compare(&v, store) == Some(std::cmp::Ordering::Equal)
-                    }) {
+                    if !seen
+                        .iter()
+                        .any(|s| s.general_compare(&v, store) == Some(std::cmp::Ordering::Equal))
+                    {
                         seen.push(v.clone());
                         out.push(iter, v);
                     }
@@ -366,12 +367,7 @@ fn per_iter_map(
     LlSeq::from_columns(iters, items)
 }
 
-fn string_unary(
-    ev: &Evaluator<'_>,
-    n: u32,
-    table: &LlSeq,
-    f: impl Fn(&str) -> String,
-) -> LlSeq {
+fn string_unary(ev: &Evaluator<'_>, n: u32, table: &LlSeq, f: impl Fn(&str) -> String) -> LlSeq {
     per_iter_map(ev, n, table, |ev, g| {
         let s = g
             .first()
@@ -407,12 +403,7 @@ fn string_binary(
     LlSeq::from_columns(iters, items)
 }
 
-fn numeric_unary(
-    ev: &Evaluator<'_>,
-    n: u32,
-    table: &LlSeq,
-    f: impl Fn(f64) -> f64,
-) -> LlSeq {
+fn numeric_unary(ev: &Evaluator<'_>, n: u32, table: &LlSeq, f: impl Fn(f64) -> f64) -> LlSeq {
     per_iter_map(ev, n, table, |ev, g| {
         let item = g.first()?;
         let v = item.as_number(&ev.engine.store)?;
@@ -438,6 +429,28 @@ fn fn_doc(ev: &mut Evaluator<'_>, uris: &LlSeq) -> Result<LlSeq, QueryError> {
             .store
             .by_uri(&uri)
             .ok_or_else(|| QueryError::dynamic(format!("document '{uri}' not found")))?;
+        out.push(iter, Item::Node(NodeRef::tree(doc_id, 0)));
+    }
+    Ok(out)
+}
+
+/// `layer($uri, $name)` — root of a named annotation layer of a mounted
+/// store (see `Engine::mount_store`). `layer("corpus", "base")` is the
+/// base layer, i.e. the same node as `doc("corpus")`.
+fn fn_layer(ev: &mut Evaluator<'_>, uris: &LlSeq, names: &LlSeq) -> Result<LlSeq, QueryError> {
+    let n = ev.n_iters();
+    let mut out = LlSeq::empty();
+    for iter in 0..n {
+        let (Some(uri_item), Some(name_item)) =
+            (uris.group(iter).first(), names.group(iter).first())
+        else {
+            continue;
+        };
+        let uri = uri_item.string_value(&ev.engine.store);
+        let name = name_item.string_value(&ev.engine.store);
+        let doc_id = ev.engine.layer_doc(&uri, &name).ok_or_else(|| {
+            QueryError::dynamic(format!("no layer '{name}' mounted under '{uri}'"))
+        })?;
         out.push(iter, Item::Node(NodeRef::tree(doc_id, 0)));
     }
     Ok(out)

@@ -276,10 +276,7 @@ impl<'a> Lexer<'a> {
                 TokenKind::Name(name)
             }
             other => {
-                return Err(self.error(
-                    format!("unexpected character '{}'", other as char),
-                    offset,
-                ))
+                return Err(self.error(format!("unexpected character '{}'", other as char), offset))
             }
         };
         Ok(Token { kind, offset })
@@ -340,9 +337,7 @@ impl<'a> Lexer<'a> {
                         "quot" => out.push('"'),
                         "apos" => out.push('\''),
                         other => {
-                            return Err(
-                                self.error(format!("unknown entity &{other};"), offset)
-                            )
+                            return Err(self.error(format!("unknown entity &{other};"), offset))
                         }
                     }
                     self.pos += semi + 1;
@@ -476,7 +471,10 @@ mod tests {
 
     #[test]
     fn qnames_with_prefix() {
-        assert_eq!(lex("xs:integer"), vec![TokenKind::Name("xs:integer".into())]);
+        assert_eq!(
+            lex("xs:integer"),
+            vec![TokenKind::Name("xs:integer".into())]
+        );
         // but not across `::`
         assert_eq!(
             lex("child::a"),

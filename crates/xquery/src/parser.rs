@@ -200,18 +200,14 @@ impl<'a> Parser<'a> {
                         // Accepted and ignored: consume tokens up to the
                         // declaration separator.
                         self.advance()?;
-                        while !matches!(
-                            self.current.kind,
-                            TokenKind::Semicolon | TokenKind::Eof
-                        ) && !self.current.kind.is_name("declare")
+                        while !matches!(self.current.kind, TokenKind::Semicolon | TokenKind::Eof)
+                            && !self.current.kind.is_name("declare")
                         {
                             self.advance()?;
                         }
                     }
                     other => {
-                        return Err(
-                            self.err(format!("unsupported declaration 'declare {other}'"))
-                        )
+                        return Err(self.err(format!("unsupported declaration 'declare {other}'")))
                     }
                 },
                 None => break, // `declare` as an element name in the body
@@ -254,7 +250,8 @@ impl<'a> Parser<'a> {
             if self.eat(&TokenKind::LParen)? {
                 self.expect(&TokenKind::RParen, "')'")?;
             }
-            let _ = self.eat(&TokenKind::Star)? || self.eat(&TokenKind::Plus)?
+            let _ = self.eat(&TokenKind::Star)?
+                || self.eat(&TokenKind::Plus)?
                 || self.eat(&TokenKind::Question)?;
         }
         Ok(())
@@ -296,9 +293,7 @@ impl<'a> Parser<'a> {
     fn parse_flwor(&mut self) -> Result<Expr, QueryError> {
         let mut clauses = Vec::new();
         loop {
-            if self.current.kind.is_name("for")
-                && matches!(self.peek()?, TokenKind::Variable(_))
-            {
+            if self.current.kind.is_name("for") && matches!(self.peek()?, TokenKind::Variable(_)) {
                 self.advance()?;
                 loop {
                     let var = self.expect_variable()?;
@@ -637,8 +632,8 @@ impl<'a> Parser<'a> {
                 Some((Axis::Tree(TreeAxis::Attribute), test))
             }
             TokenKind::Name(name) if *self.peek()? == TokenKind::ColonColon => {
-                let axis = Axis::parse(name)
-                    .ok_or_else(|| self.err(format!("unknown axis '{name}'")))?;
+                let axis =
+                    Axis::parse(name).ok_or_else(|| self.err(format!("unknown axis '{name}'")))?;
                 self.advance()?; // axis
                 self.advance()?; // ::
                 let is_attr = axis == Axis::Tree(TreeAxis::Attribute);
@@ -1138,7 +1133,10 @@ mod tests {
     #[test]
     fn abbreviated_attribute_step() {
         let e = parse("$b/@id");
-        let Expr::Step { axis, test, input, .. } = &e else {
+        let Expr::Step {
+            axis, test, input, ..
+        } = &e
+        else {
             panic!("{e:?}")
         };
         assert_eq!(*axis, Axis::Tree(TreeAxis::Attribute));
@@ -1149,7 +1147,9 @@ mod tests {
     #[test]
     fn predicates_parse() {
         let e = parse("//person[@id = \"person0\"]/name");
-        let Expr::Step { input, .. } = &e else { panic!("{e:?}") };
+        let Expr::Step { input, .. } = &e else {
+            panic!("{e:?}")
+        };
         let Some(Expr::Step { predicates, .. }) = input.as_deref() else {
             panic!("{input:?}")
         };
@@ -1159,7 +1159,9 @@ mod tests {
     #[test]
     fn positional_predicate() {
         let e = parse("$b/bidder[1]");
-        let Expr::Step { predicates, .. } = &e else { panic!("{e:?}") };
+        let Expr::Step { predicates, .. } = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(predicates[0], Expr::IntLit(1)));
     }
 
@@ -1175,7 +1177,12 @@ mod tests {
                } </increase>"#,
         )
         .unwrap();
-        let Expr::Flwor { clauses, return_clause, .. } = &q.body else {
+        let Expr::Flwor {
+            clauses,
+            return_clause,
+            ..
+        } = &q.body
+        else {
             panic!("{:?}", q.body)
         };
         assert_eq!(clauses.len(), 1);
@@ -1224,7 +1231,9 @@ mod tests {
     #[test]
     fn constructor_with_enclosed_exprs() {
         let e = parse(r#"<result count="{1 + 2}">text {3 * 4} more</result>"#);
-        let Expr::Constructor(c) = &e else { panic!("{e:?}") };
+        let Expr::Constructor(c) = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(c.name, "result");
         assert_eq!(c.attributes.len(), 1);
         assert_eq!(c.content.len(), 3);
@@ -1235,14 +1244,18 @@ mod tests {
     #[test]
     fn nested_constructors() {
         let e = parse("<a><b>{ 1 }</b><c/></a>");
-        let Expr::Constructor(c) = &e else { panic!("{e:?}") };
+        let Expr::Constructor(c) = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(c.content.len(), 2);
     }
 
     #[test]
     fn constructor_brace_escapes() {
         let e = parse("<a>{{literal}}</a>");
-        let Expr::Constructor(c) = &e else { panic!("{e:?}") };
+        let Expr::Constructor(c) = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&c.content[0], ConstructorContent::Text(t) if t == "{literal}"));
     }
 
@@ -1259,7 +1272,9 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let e = parse("1 + 2 * 3");
-        let Expr::Arith(ArithOp::Add, _, rhs) = &e else { panic!("{e:?}") };
+        let Expr::Arith(ArithOp::Add, _, rhs) = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.as_ref(), Expr::Arith(ArithOp::Mul, _, _)));
     }
 
@@ -1290,7 +1305,9 @@ mod tests {
     #[test]
     fn double_slash_desugars() {
         let e = parse("//a");
-        let Expr::Step { input, .. } = &e else { panic!("{e:?}") };
+        let Expr::Step { input, .. } = &e else {
+            panic!("{e:?}")
+        };
         let Some(Expr::Step { axis, .. }) = input.as_deref() else {
             panic!("{input:?}")
         };
@@ -1315,7 +1332,9 @@ mod tests {
     #[test]
     fn error_positions() {
         let e = parse_expr_str("1 +\n  ]").unwrap_err();
-        let QueryError::Parse { line, .. } = e else { panic!("{e:?}") };
+        let QueryError::Parse { line, .. } = e else {
+            panic!("{e:?}")
+        };
         assert_eq!(line, 2);
     }
 
@@ -1325,13 +1344,18 @@ mod tests {
             parse("1 eq 2"),
             Expr::Comparison(CompOp::ValEq, _, _)
         ));
-        assert!(matches!(parse("$a is $b"), Expr::Comparison(CompOp::Is, _, _)));
+        assert!(matches!(
+            parse("$a is $b"),
+            Expr::Comparison(CompOp::Is, _, _)
+        ));
     }
 
     #[test]
     fn order_by_clause() {
         let e = parse("for $x in (3,1,2) order by $x descending return $x");
-        let Expr::Flwor { order_by, .. } = &e else { panic!("{e:?}") };
+        let Expr::Flwor { order_by, .. } = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(order_by.len(), 1);
         assert!(order_by[0].descending);
     }
@@ -1339,17 +1363,23 @@ mod tests {
     #[test]
     fn let_clause_and_multiple_bindings() {
         let e = parse("for $x in (1,2), $y in (3,4) let $z := ($x, $y) return $z");
-        let Expr::Flwor { clauses, .. } = &e else { panic!("{e:?}") };
+        let Expr::Flwor { clauses, .. } = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(clauses.len(), 3);
     }
 
     #[test]
     fn kind_tests() {
         let e = parse("a/text()");
-        let Expr::Step { test, .. } = &e else { panic!("{e:?}") };
+        let Expr::Step { test, .. } = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(test.kind, KindTest::Text);
         let e = parse("a/node()");
-        let Expr::Step { test, .. } = &e else { panic!("{e:?}") };
+        let Expr::Step { test, .. } = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(test.kind, KindTest::AnyKind);
     }
 

@@ -16,9 +16,7 @@ fn attribute_nodes_in_constructor_become_attributes() {
     let mut e = Engine::new();
     e.load_document("d.xml", r#"<d><p id="p1" role="admin"/></d>"#)
         .unwrap();
-    let r = e
-        .run(r#"<copy>{ doc("d.xml")//p/@id }</copy>"#)
-        .unwrap();
+    let r = e.run(r#"<copy>{ doc("d.xml")//p/@id }</copy>"#).unwrap();
     assert_eq!(r.as_xml(), r#"<copy id="p1"/>"#);
     // Multiple attributes, then element content.
     let r = e
@@ -96,7 +94,8 @@ fn nested_flwor_with_let_of_sequences() {
 #[test]
 fn path_expr_with_function_rhs() {
     let mut e = Engine::new();
-    e.load_document("d.xml", "<d><x>alpha</x><x>be</x></d>").unwrap();
+    e.load_document("d.xml", "<d><x>alpha</x><x>be</x></d>")
+        .unwrap();
     // rhs is a general expression evaluated with `.` bound per node.
     let q = r#"doc("d.xml")//x/string-length(.)"#;
     assert_eq!(run(&mut e, q), ["5", "2"]);
@@ -112,7 +111,10 @@ fn predicates_with_last_and_arithmetic() {
         ["1"]
     );
     assert_eq!(
-        run(&mut e, r#"count(doc("d.xml")//x[position() > 1][position() < 3])"#),
+        run(
+            &mut e,
+            r#"count(doc("d.xml")//x[position() > 1][position() < 3])"#
+        ),
         ["2"],
         "stacked predicates renumber positions: x2..x4 then first two"
     );

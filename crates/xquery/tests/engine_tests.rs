@@ -109,7 +109,10 @@ fn order_by() {
         ["1", "2", "3"]
     );
     assert_eq!(
-        run(&mut e, "for $x in (3, 1, 2) order by $x descending return $x"),
+        run(
+            &mut e,
+            "for $x in (3, 1, 2) order by $x descending return $x"
+        ),
         ["3", "2", "1"]
     );
     // order by inside an outer loop sorts within each outer iteration.
@@ -126,7 +129,10 @@ fn order_by() {
 fn if_then_else_and_logic() {
     let mut e = Engine::new();
     assert_eq!(
-        run(&mut e, "for $x in (1, 2, 3) return if ($x mod 2 = 0) then \"even\" else \"odd\""),
+        run(
+            &mut e,
+            "for $x in (1, 2, 3) return if ($x mod 2 = 0) then \"even\" else \"odd\""
+        ),
         ["odd", "even", "odd"]
     );
     assert_eq!(run(&mut e, "true() and false()"), ["false"]);
@@ -137,8 +143,14 @@ fn if_then_else_and_logic() {
 #[test]
 fn quantified_expressions() {
     let mut e = Engine::new();
-    assert_eq!(run(&mut e, "some $x in (1, 2, 3) satisfies $x > 2"), ["true"]);
-    assert_eq!(run(&mut e, "every $x in (1, 2, 3) satisfies $x > 2"), ["false"]);
+    assert_eq!(
+        run(&mut e, "some $x in (1, 2, 3) satisfies $x > 2"),
+        ["true"]
+    );
+    assert_eq!(
+        run(&mut e, "every $x in (1, 2, 3) satisfies $x > 2"),
+        ["false"]
+    );
     assert_eq!(run(&mut e, "every $x in () satisfies $x > 2"), ["true"]);
     assert_eq!(run(&mut e, "some $x in () satisfies $x > 2"), ["false"]);
 }
@@ -181,9 +193,15 @@ fn string_functions() {
 #[test]
 fn distinct_values_and_reverse() {
     let mut e = Engine::new();
-    assert_eq!(run(&mut e, "distinct-values((1, 2, 1, 3, 2))"), ["1", "2", "3"]);
+    assert_eq!(
+        run(&mut e, "distinct-values((1, 2, 1, 3, 2))"),
+        ["1", "2", "3"]
+    );
     assert_eq!(run(&mut e, "reverse((1, 2, 3))"), ["3", "2", "1"]);
-    assert_eq!(run(&mut e, "subsequence((1,2,3,4,5), 2, 3)"), ["2", "3", "4"]);
+    assert_eq!(
+        run(&mut e, "subsequence((1,2,3,4,5), 2, 3)"),
+        ["2", "3", "4"]
+    );
 }
 
 // ---------- paths ----------
@@ -209,10 +227,7 @@ fn path_navigation() {
         ["Bach"]
     );
     assert_eq!(
-        run(
-            &mut e,
-            r#"doc("sample.xml")//shot[position() = 2]/@id"#
-        ),
+        run(&mut e, r#"doc("sample.xml")//shot[position() = 2]/@id"#),
         ["Interview"]
     );
 }
@@ -244,7 +259,10 @@ fn reverse_and_sibling_axes() {
 fn union_of_paths() {
     let mut e = engine_with_figure1();
     assert_eq!(
-        run(&mut e, r#"count(doc("sample.xml")//shot | doc("sample.xml")//music)"#),
+        run(
+            &mut e,
+            r#"count(doc("sample.xml")//shot | doc("sample.xml")//music)"#
+        ),
         ["5"]
     );
 }
@@ -374,7 +392,10 @@ fn custom_attribute_names_via_options() {
         count(doc("d.xml")//a/select-narrow::b)"#;
     assert_eq!(run(&mut e, q), ["1"]);
     // Without the options nothing is annotated: empty join.
-    assert_eq!(run(&mut e, r#"count(doc("d.xml")//a/select-narrow::b)"#), ["0"]);
+    assert_eq!(
+        run(&mut e, r#"count(doc("d.xml")//a/select-narrow::b)"#),
+        ["0"]
+    );
 }
 
 #[test]
@@ -439,9 +460,7 @@ fn constructor_copies_nodes() {
 #[test]
 fn constructor_in_flwor_builds_one_element_per_iteration() {
     let mut e = Engine::new();
-    let r = e
-        .run("for $i in (1, 2, 3) return <n v=\"{$i}\"/>")
-        .unwrap();
+    let r = e.run("for $i in (1, 2, 3) return <n v=\"{$i}\"/>").unwrap();
     assert_eq!(r.as_xml(), r#"<n v="1"/><n v="2"/><n v="3"/>"#);
 }
 

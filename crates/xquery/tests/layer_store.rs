@@ -1,0 +1,299 @@
+//! End-to-end multi-layer store integration: several annotation layers
+//! mounted over one base document, with StandOff axes, builtins and
+//! rejects running *across* layers — under every evaluation strategy.
+
+use standoff_core::{StandoffConfig, StandoffStrategy};
+use standoff_store::{read_snapshot, write_snapshot, LayerSet};
+use standoff_xml::parse_document;
+use standoff_xquery::Engine;
+
+/// BLOB: "Alice met Bob in Paris yesterday" (coordinates are character
+/// offsets into an external text the layers never materialize).
+fn corpus() -> LayerSet {
+    let base =
+        parse_document(r#"<text lang="en">Alice met Bob in Paris yesterday</text>"#).unwrap();
+    let tokens = parse_document(
+        r#"<tokens>
+             <w word="Alice" start="0" end="4"/>
+             <w word="met" start="6" end="8"/>
+             <w word="Bob" start="10" end="12"/>
+             <w word="in" start="14" end="15"/>
+             <w word="Paris" start="17" end="21"/>
+             <w word="yesterday" start="23" end="31"/>
+           </tokens>"#,
+    )
+    .unwrap();
+    let entities = parse_document(
+        r#"<entities>
+             <person id="alice" start="0" end="4"/>
+             <person id="bob" start="10" end="12"/>
+             <place id="paris" start="17" end="21"/>
+           </entities>"#,
+    )
+    .unwrap();
+    let syntax = parse_document(
+        r#"<syntax>
+             <np start="0" end="4"/>
+             <vp start="6" end="12"/>
+             <pp start="14" end="21"/>
+             <s start="0" end="31"/>
+           </syntax>"#,
+    )
+    .unwrap();
+
+    let mut set = LayerSet::build("corpus", base, StandoffConfig::default()).unwrap();
+    set.add_layer("tokens", tokens, StandoffConfig::default())
+        .unwrap();
+    set.add_layer("entities", entities, StandoffConfig::default())
+        .unwrap();
+    set.add_layer("syntax", syntax, StandoffConfig::default())
+        .unwrap();
+    set
+}
+
+fn mounted_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine.mount_store(corpus()).unwrap();
+    engine
+}
+
+#[test]
+fn doc_resolves_base_and_layers() {
+    let mut engine = mounted_engine();
+    assert_eq!(
+        engine
+            .run(r#"doc("corpus")/text/@lang"#)
+            .unwrap()
+            .as_strings(),
+        ["en"]
+    );
+    assert_eq!(
+        engine
+            .run(r#"count(doc("corpus#tokens")//w)"#)
+            .unwrap()
+            .as_strings(),
+        ["6"]
+    );
+    assert_eq!(
+        engine
+            .run(r#"count(layer("corpus", "entities")//person)"#)
+            .unwrap()
+            .as_strings(),
+        ["2"]
+    );
+    // layer("corpus", "base") is the same node as doc("corpus").
+    assert_eq!(
+        engine
+            .run(r#"count(layer("corpus", "base")/text)"#)
+            .unwrap()
+            .as_strings(),
+        ["1"]
+    );
+}
+
+/// The acceptance query: `entities` narrowed by `tokens`, across layers,
+/// correct under the Basic and Loop-Lifted merge joins (and the naive
+/// oracles).
+#[test]
+fn cross_layer_select_narrow_under_all_strategies() {
+    for strategy in StandoffStrategy::ALL {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        let result = engine
+            .run(r#"doc("corpus#entities")//person/select-narrow::w/@word"#)
+            .unwrap();
+        assert_eq!(result.as_strings(), ["Alice", "Bob"], "strategy {strategy}");
+    }
+}
+
+#[test]
+fn cross_layer_wide_and_reject() {
+    for strategy in StandoffStrategy::ALL {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        // The prepositional phrase overlaps "in" and "Paris".
+        assert_eq!(
+            engine
+                .run(r#"doc("corpus#syntax")//pp/select-wide::w/@word"#)
+                .unwrap()
+                .as_strings(),
+            ["in", "Paris"],
+            "strategy {strategy}"
+        );
+        // Tokens not inside any person annotation.
+        assert_eq!(
+            engine
+                .run(r#"doc("corpus#entities")//person[@id = "alice"]/reject-narrow::w/@word"#)
+                .unwrap()
+                .as_strings(),
+            ["met", "Bob", "in", "Paris", "yesterday"],
+            "strategy {strategy}"
+        );
+    }
+}
+
+/// StandOff steps with an unrestricted node test look across every layer
+/// of the group: the noun phrase [0,4] contains the token "Alice" and the
+/// person annotation "alice".
+#[test]
+fn wildcard_step_spans_all_layers() {
+    for strategy in StandoffStrategy::ALL {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        let result = engine
+            .run(r#"count(doc("corpus#syntax")//np/select-narrow::*)"#)
+            .unwrap();
+        // np[0,4] itself, w "Alice" and person "alice".
+        assert_eq!(result.as_strings(), ["3"], "strategy {strategy}");
+    }
+}
+
+/// The builtin (Alternative 3) form with an explicit cross-layer
+/// candidate sequence.
+#[test]
+fn builtin_with_explicit_cross_layer_candidates() {
+    for strategy in StandoffStrategy::ALL {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        let result = engine
+            .run(
+                r#"select-narrow(doc("corpus#entities")//person,
+                                 layer("corpus", "tokens")//w)/@word"#,
+            )
+            .unwrap();
+        assert_eq!(result.as_strings(), ["Alice", "Bob"], "strategy {strategy}");
+    }
+}
+
+/// A context drawn from several layers at once: rejects must complement
+/// the union of the layers' selections, not union their complements.
+#[test]
+fn multi_layer_context_reject() {
+    for strategy in StandoffStrategy::ALL {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        let result = engine
+            .run(
+                r#"(doc("corpus#entities")//person | doc("corpus#tokens")//w[@word = "met"])
+                   /reject-wide::w/@word"#,
+            )
+            .unwrap();
+        assert_eq!(
+            result.as_strings(),
+            ["in", "Paris", "yesterday"],
+            "strategy {strategy}"
+        );
+    }
+}
+
+/// Tokens inside syntax constituents, FLWOR-composed — the loop-lifted
+/// path (one merge join for all iterations of the for-loop).
+#[test]
+fn loop_lifted_cross_layer_flwor() {
+    for strategy in [
+        StandoffStrategy::BasicMergeJoin,
+        StandoffStrategy::LoopLiftedMergeJoin,
+    ] {
+        let mut engine = mounted_engine();
+        engine.set_strategy(strategy);
+        let result = engine
+            .run(
+                r#"for $c in doc("corpus#syntax")//*[@start]
+                   return count($c/select-narrow::w)"#,
+            )
+            .unwrap();
+        // np:1 (Alice), vp:2 (met, Bob), pp:2 (in, Paris), s:6 (all).
+        assert_eq!(
+            result.as_strings(),
+            ["1", "2", "2", "6"],
+            "strategy {strategy}"
+        );
+    }
+}
+
+/// Mount → snapshot → remount: the reloaded store answers identically
+/// (and its indices were never rebuilt — they come off the snapshot).
+#[test]
+fn snapshot_round_trip_preserves_query_results() {
+    let mut direct = mounted_engine();
+    let mut buf = Vec::new();
+    write_snapshot(&corpus(), &mut buf).unwrap();
+    let reloaded = read_snapshot(&mut buf.as_slice()).unwrap();
+    let mut engine = Engine::new();
+    engine.mount_store(reloaded).unwrap();
+
+    for q in [
+        r#"doc("corpus#entities")//person/select-narrow::w/@word"#,
+        r#"doc("corpus#syntax")//pp/select-wide::w/@word"#,
+        r#"count(doc("corpus#tokens")//w)"#,
+    ] {
+        assert_eq!(
+            engine.run(q).unwrap().as_strings(),
+            direct.run(q).unwrap().as_strings(),
+            "{q}"
+        );
+    }
+}
+
+#[test]
+fn mount_conflicts_and_unknown_layers_error() {
+    let mut engine = mounted_engine();
+    assert!(engine.mount_store(corpus()).is_err(), "duplicate mount");
+    assert!(engine.run(r#"layer("corpus", "nope")"#).is_err());
+    assert!(engine.run(r#"layer("nope", "tokens")"#).is_err());
+}
+
+#[test]
+fn load_document_refuses_to_shadow_mounted_layers() {
+    let mut engine = mounted_engine();
+    assert!(engine.load_document("corpus", "<d/>").is_err());
+    assert!(engine.load_document("corpus#tokens", "<d/>").is_err());
+    // The mounted layers are untouched.
+    assert_eq!(
+        engine
+            .run(r#"count(doc("corpus#tokens")//w)"#)
+            .unwrap()
+            .as_strings(),
+        ["6"]
+    );
+}
+
+#[test]
+fn mount_refuses_to_shadow_derived_layer_uris() {
+    let mut engine = Engine::new();
+    // A plain document already sits at the URI a layer would derive.
+    engine.load_document("corpus#tokens", "<mine/>").unwrap();
+    assert!(engine.mount_store(corpus()).is_err());
+    // Nothing was partially mounted: the bare URI stays free and the
+    // pre-existing document is untouched.
+    assert!(engine.run(r#"doc("corpus")"#).is_err());
+    assert_eq!(
+        engine
+            .run(r#"count(doc("corpus#tokens")/mine)"#)
+            .unwrap()
+            .as_strings(),
+        ["1"]
+    );
+}
+
+/// Plain documents loaded the classic way are untouched by the layer
+/// machinery: joins stay within their own fragment.
+#[test]
+fn unmounted_documents_keep_fragment_semantics() {
+    let mut engine = mounted_engine();
+    engine
+        .load_document(
+            "solo.xml",
+            r#"<d><a start="0" end="31"/><b start="2" end="3"/></d>"#,
+        )
+        .unwrap();
+    // The solo document's <a> must not see the corpus tokens, only its
+    // own <b>.
+    assert_eq!(
+        engine
+            .run(r#"count(doc("solo.xml")//a/select-narrow::*)"#)
+            .unwrap()
+            .as_strings(),
+        ["2"] // a itself and b
+    );
+}

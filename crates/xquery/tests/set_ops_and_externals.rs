@@ -13,8 +13,11 @@ fn run(e: &mut Engine, q: &str) -> Vec<String> {
 #[test]
 fn intersect_and_except_by_identity() {
     let mut e = Engine::new();
-    e.load_document("d.xml", r#"<d><x id="1"/><x id="2"/><x id="3"/><x id="4"/></d>"#)
-        .unwrap();
+    e.load_document(
+        "d.xml",
+        r#"<d><x id="1"/><x id="2"/><x id="3"/><x id="4"/></d>"#,
+    )
+    .unwrap();
     assert_eq!(
         run(
             &mut e,
@@ -35,7 +38,10 @@ fn intersect_and_except_by_identity() {
         ["4"]
     );
     assert_eq!(
-        run(&mut e, r#"count(doc("d.xml")//x intersect doc("d.xml")//x)"#),
+        run(
+            &mut e,
+            r#"count(doc("d.xml")//x intersect doc("d.xml")//x)"#
+        ),
         ["4"]
     );
 }
@@ -63,7 +69,8 @@ fn wide_minus_narrow_via_except() {
 #[test]
 fn intersect_respects_iterations() {
     let mut e = Engine::new();
-    e.load_document("d.xml", r#"<d><x id="1"/><x id="2"/></d>"#).unwrap();
+    e.load_document("d.xml", r#"<d><x id="1"/><x id="2"/></d>"#)
+        .unwrap();
     // Inside a loop, the set ops apply per iteration.
     let r = run(
         &mut e,
@@ -135,22 +142,13 @@ fn string_builtins_extended() {
         run(&mut e, r#"substring-after("person0@host", "@")"#),
         ["host"]
     );
-    assert_eq!(
-        run(&mut e, r#"substring-before("nope", "@")"#),
-        [""]
-    );
-    assert_eq!(
-        run(&mut e, r#"translate("0:08", ":", "-")"#),
-        ["0-08"]
-    );
+    assert_eq!(run(&mut e, r#"substring-before("nope", "@")"#), [""]);
+    assert_eq!(run(&mut e, r#"translate("0:08", ":", "-")"#), ["0-08"]);
     assert_eq!(
         run(&mut e, r#"translate("abcd", "abc", "x")"#),
         ["xd"],
         "unmapped chars are dropped"
     );
-    assert_eq!(
-        run(&mut e, r#"tokenize(" two  words ")"#),
-        ["two", "words"]
-    );
+    assert_eq!(run(&mut e, r#"tokenize(" two  words ")"#), ["two", "words"]);
     assert_eq!(run(&mut e, r#"count(tokenize(""))"#), ["0"]);
 }

@@ -22,9 +22,7 @@ fn joins_respect_fragment_boundaries() {
     )
     .unwrap();
     // Context from document a only: must select only a's x.
-    let r = e
-        .run(r#"doc("a.xml")//big/select-narrow::x/@id"#)
-        .unwrap();
+    let r = e.run(r#"doc("a.xml")//big/select-narrow::x/@id"#).unwrap();
     assert_eq!(r.as_strings(), ["ax"]);
     // Context from both: each fragment contributes its own matches.
     let r = e
@@ -54,9 +52,7 @@ fn reject_domain_is_per_fragment() {
         r#"<d><big start="0" end="5"/><x id="bx" start="50" end="60"/></d>"#,
     )
     .unwrap();
-    let r = e
-        .run(r#"doc("a.xml")//big/reject-narrow::x/@id"#)
-        .unwrap();
+    let r = e.run(r#"doc("a.xml")//big/reject-narrow::x/@id"#).unwrap();
     assert_eq!(r.as_strings(), ["ax"], "only fragment a's candidates");
 }
 
@@ -83,10 +79,13 @@ fn adversarial_layout_strategy_equivalence() {
         });
         e.load_document("d.xml", doc).unwrap();
         let mut results = Vec::new();
-        for axis in ["select-narrow", "select-wide", "reject-narrow", "reject-wide"] {
-            let r = e
-                .run(&format!(r#"doc("d.xml")//c/{axis}::t/@id"#))
-                .unwrap();
+        for axis in [
+            "select-narrow",
+            "select-wide",
+            "reject-narrow",
+            "reject-wide",
+        ] {
+            let r = e.run(&format!(r#"doc("d.xml")//c/{axis}::t/@id"#)).unwrap();
             results.push(r.as_strings().to_vec());
         }
         match &reference {
@@ -118,7 +117,11 @@ fn select_narrow_is_reflexive_unlike_descendant() {
     let r = e
         .run(r#"doc("d.xml")//w[@id = "outer"]/select-narrow::w/@id"#)
         .unwrap();
-    assert_eq!(r.as_strings(), ["outer", "inner"], "self is contained in self");
+    assert_eq!(
+        r.as_strings(),
+        ["outer", "inner"],
+        "self is contained in self"
+    );
 }
 
 /// Custom names and the element representation, end to end with rejects.
@@ -170,9 +173,7 @@ fn strict_vs_lenient_annotation_errors() {
     let xml = r#"<d><ok start="0" end="9"/><bad start="5"/></d>"#;
     let mut e = Engine::new();
     e.load_document("d.xml", xml).unwrap();
-    let err = e
-        .run(r#"doc("d.xml")//ok/select-wide::*"#)
-        .unwrap_err();
+    let err = e.run(r#"doc("d.xml")//ok/select-wide::*"#).unwrap_err();
     assert!(err.to_string().contains("only one of"), "{err}");
     let ok = e
         .run(r#"declare option standoff-lenient "true"; doc("d.xml")//ok/select-wide::*"#)

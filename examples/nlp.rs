@@ -10,6 +10,7 @@
 use standoff::prelude::*;
 
 /// The corpus BLOB: one token per position.
+#[rustfmt::skip]
 const CORPUS: &[&str] = &[
     /* 0 */ "the", "centrum", "voor", "wiskunde", "en", "informatica",
     /* 6 */ "in", "amsterdam", "developed", "monetdb", "with", "the",

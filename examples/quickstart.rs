@@ -17,14 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("StandOff Joins between U2 and Shots                    Matches");
     for (axis, description) in [
-        ("select-narrow", "shots during which U2 played the whole time"),
+        (
+            "select-narrow",
+            "shots during which U2 played the whole time",
+        ),
         ("select-wide", "shots during which U2 played at some point"),
         ("reject-narrow", "shots not fully covered by U2 music"),
         ("reject-wide", "shots with at least a moment of no U2"),
     ] {
-        let query = format!(
-            r#"doc("sample.xml")//music[@artist = "U2"]/{axis}::shot/@id"#
-        );
+        let query = format!(r#"doc("sample.xml")//music[@artist = "U2"]/{axis}::shot/@id"#);
         let result = engine.run(&query)?;
         println!(
             "{:<22} {:<32} {}",

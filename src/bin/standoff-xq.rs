@@ -1,28 +1,182 @@
-//! `standoff-xq` — command-line StandOff XQuery runner.
+//! `standoff-xq` — command-line StandOff XQuery runner and store tool.
 //!
 //! ```text
-//! standoff-xq [--load URI=FILE]... [--load-bin FILE] (--query Q | --query-file F)
+//! standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]...
+//!             [--uri URI] [--standoff-start N] [--standoff-end N]
+//!             [--standoff-region N] [--lenient]
+//! standoff-xq inspect <snapshot>
+//! standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]...
+//!             [--load-bin FILE] (--query Q | --query-file F)
 //!             [--strategy naive|naive-candidates|basic|loop-lifted]
 //!             [--no-pushdown] [--explain] [--time]
 //! ```
 //!
-//! `--load-bin` opens a binary store written with
-//! `standoff_xml::write_store` (bulk-load once, reopen without parsing).
+//! `index` bulk-loads a base document plus any number of stand-off
+//! annotation layers, builds every region index once, and writes a binary
+//! snapshot; `query --store` reopens it without parsing or index
+//! construction. Bare flags (no subcommand) behave like `query`, so
+//! pre-store invocations keep working:
 //!
-//! Examples:
 //! ```text
+//! standoff-xq index corpus.xml -o corpus.snap --uri corpus \
+//!             --layer tokens=tokens.xml --layer entities=entities.xml
+//! standoff-xq query --store corpus.snap \
+//!             --query 'doc("corpus#entities")//person/select-narrow::w'
 //! standoff-xq --load sample.xml=annotations.xml \
 //!             --query 'doc("sample.xml")//music/select-wide::shot/@id'
-//! standoff-xq --load a.xml=a.xml --query-file q.xq --strategy basic --time
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use standoff::core::StandoffStrategy;
+use standoff::core::{StandoffConfig, StandoffStrategy};
+use standoff::store::{load_snapshot, load_snapshot_with_info, save_snapshot, LayerSet};
 use standoff::xquery::Engine;
 
-struct Args {
+const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
+                     \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
+                     standoff-xq inspect <snapshot>\n\
+                     standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
+                     \x20           (--query Q | --query-file F)\n\
+                     \x20           [--strategy naive|naive-candidates|basic|loop-lifted]\n\
+                     \x20           [--no-pushdown] [--explain] [--time]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("index") => cmd_index(&argv[1..]),
+        Some("inspect") => cmd_inspect(&argv[1..]),
+        Some("query") => cmd_query(&argv[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        // Legacy flag-only form: treat as `query`.
+        _ => cmd_query(&argv),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("standoff-xq: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---- index ----
+
+fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
+    let mut base: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut uri: Option<String> = None;
+    let mut layers: Vec<(String, String)> = Vec::new();
+    let mut config = StandoffConfig::default();
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "-o" | "--out" => {
+                k += 1;
+                out = Some(argv.get(k).ok_or("-o needs a path")?.clone());
+            }
+            "--uri" => {
+                k += 1;
+                uri = Some(argv.get(k).ok_or("--uri needs a value")?.clone());
+            }
+            "--layer" => {
+                k += 1;
+                let spec = argv.get(k).ok_or("--layer needs NAME=FILE")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --layer '{spec}', expected NAME=FILE"))?;
+                layers.push((name.to_string(), path.to_string()));
+            }
+            "--standoff-start" => {
+                k += 1;
+                config.start_name = argv.get(k).ok_or("--standoff-start needs a name")?.clone();
+            }
+            "--standoff-end" => {
+                k += 1;
+                config.end_name = argv.get(k).ok_or("--standoff-end needs a name")?.clone();
+            }
+            "--standoff-region" => {
+                k += 1;
+                config.region_name =
+                    Some(argv.get(k).ok_or("--standoff-region needs a name")?.clone());
+            }
+            "--lenient" => config.lenient = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') && base.is_none() => base = Some(other.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let base = base.ok_or("index: no base document given")?;
+    let out = out.ok_or("index: no output path (-o)")?;
+    let uri = uri.unwrap_or_else(|| base.clone());
+
+    let base_doc = parse_file(&base)?;
+    let mut set =
+        LayerSet::build(&uri, base_doc, config.clone()).map_err(|e| format!("{base}: {e}"))?;
+    for (name, path) in &layers {
+        let doc = parse_file(path)?;
+        set.add_layer(name, doc, config.clone())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    save_snapshot(&set, &out).map_err(|e| format!("{out}: {e}"))?;
+
+    let annotations: usize = set.layers().iter().map(|l| l.annotation_count()).sum();
+    eprintln!(
+        "# indexed {} layer(s), {annotations} annotation(s) -> {out} (uri '{uri}')",
+        set.len(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_file(path: &str) -> Result<standoff::xml::Document, String> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    standoff::xml::parse_document(&xml).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---- inspect ----
+
+fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let [path] = argv else {
+        return Err(format!("inspect takes exactly one snapshot path\n{USAGE}"));
+    };
+    // One pass: full decode (which proves integrity) with the on-disk
+    // statistics gathered along the way.
+    let (set, info) = load_snapshot_with_info(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("snapshot {path}");
+    println!("  uri:     {}", info.uri);
+    println!("  layers:  {}", info.layers.len());
+    println!("  payload: {} byte(s)", info.payload_bytes);
+    for (skim, layer) in info.layers.iter().zip(set.layers()) {
+        println!(
+            "  - {:<12} {:>8} byte(s)  {:>7} node(s)  {:>7} annotation(s)  [{}]",
+            layer.name(),
+            skim.bytes,
+            layer.doc().node_count(),
+            layer.annotation_count(),
+            match layer.config().region_name {
+                Some(_) => "element regions",
+                None => "attribute regions",
+            }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- query ----
+
+struct QueryArgs {
+    stores: Vec<String>,
     loads: Vec<(String, String)>,
     load_bins: Vec<String>,
     query: Option<String>,
@@ -32,8 +186,9 @@ struct Args {
     time: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
+    let mut args = QueryArgs {
+        stores: Vec::new(),
         loads: Vec::new(),
         load_bins: Vec::new(),
         query: None,
@@ -42,10 +197,14 @@ fn parse_args() -> Result<Args, String> {
         explain: false,
         time: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
     while k < argv.len() {
         match argv[k].as_str() {
+            "--store" => {
+                k += 1;
+                args.stores
+                    .push(argv.get(k).ok_or("--store needs a path")?.clone());
+            }
             "--load" => {
                 k += 1;
                 let spec = argv.get(k).ok_or("--load needs URI=FILE")?;
@@ -81,14 +240,10 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => args.explain = true,
             "--time" => args.time = true,
             "--help" | "-h" => {
-                println!(
-                    "standoff-xq [--load URI=FILE]... (--query Q | --query-file F)\n\
-                     \x20           [--strategy naive|naive-candidates|basic|loop-lifted]\n\
-                     \x20           [--no-pushdown] [--explain] [--time]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument '{other}'")),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
         k += 1;
     }
@@ -98,32 +253,22 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("standoff-xq: {e}");
-            return ExitCode::from(2);
-        }
-    };
+fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
+    let args = parse_query_args(argv)?;
     let mut engine = Engine::new();
     engine.set_strategy(args.strategy);
     engine.set_candidate_pushdown(args.pushdown);
+    let load_start = Instant::now();
+    for path in &args.stores {
+        let set = load_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+        engine
+            .mount_store(set)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
     for path in &args.load_bins {
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("standoff-xq: cannot open {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let store = match standoff::xml::read_store(&mut std::io::BufReader::new(file)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("standoff-xq: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let store = standoff::xml::read_store(&mut std::io::BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
         for doc in store.into_docs() {
             // Move documents into the engine, keeping their URIs.
             let doc_uri = doc.uri().map(|u| u.to_string());
@@ -131,44 +276,33 @@ fn main() -> ExitCode {
         }
     }
     for (uri, path) in &args.loads {
-        let xml = match std::fs::read_to_string(path) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("standoff-xq: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = engine.load_document(uri, &xml) {
-            eprintln!("standoff-xq: {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        engine
+            .load_document(uri, &xml)
+            .map_err(|e| format!("{path}: {e}"))?;
     }
-    let query = args.query.unwrap();
+    let load_elapsed = load_start.elapsed();
+    let query = args.query.expect("validated in parse_query_args");
     if args.explain {
-        match engine.explain(&query) {
-            Ok(plan) => eprintln!("{plan}"),
-            Err(e) => {
-                eprintln!("standoff-xq: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        eprintln!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
     }
     let start = Instant::now();
     match engine.run(&query) {
         Ok(result) => {
             if args.time {
                 eprintln!(
-                    "# {} item(s) in {:?}",
+                    "# {} item(s) in {:?} (load {:?})",
                     result.len(),
-                    start.elapsed()
+                    start.elapsed(),
+                    load_elapsed
                 );
             }
             println!("{}", result.as_xml());
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
             eprintln!("standoff-xq: {e}");
-            ExitCode::FAILURE
+            Ok(ExitCode::FAILURE)
         }
     }
 }

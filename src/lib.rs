@@ -51,6 +51,7 @@
 
 pub use standoff_algebra as algebra;
 pub use standoff_core as core;
+pub use standoff_store as store;
 pub use standoff_xmark as xmark;
 pub use standoff_xml as xml;
 pub use standoff_xquery as xquery;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use standoff_core::{
         Area, Region, RegionIndex, StandoffAxis, StandoffConfig, StandoffStrategy,
     };
+    pub use standoff_store::{Layer, LayerSet};
     pub use standoff_xml::{Document, DocumentBuilder, NodeRef, Store};
     pub use standoff_xquery::{Engine, QueryResult};
 }

@@ -1,0 +1,177 @@
+//! `standoff-xq` CLI integration: the `index` → `inspect` → `query
+//! --store` workflow (acceptance: `standoff-xq index <xml> -o <snap>`
+//! then `standoff-xq query --store <snap>` works end-to-end).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_standoff-xq"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("standoff-xq-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn assert_success(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn index_then_query_store() {
+    let dir = tmp_dir("basic");
+    let base = write(
+        &dir,
+        "corpus.xml",
+        r#"<video>
+             <shot id="Intro" start="0" end="8"/>
+             <shot id="Interview" start="8" end="64"/>
+             <shot id="Outro" start="64" end="94"/>
+           </video>"#,
+    );
+    let snap = dir.join("corpus.snap").to_string_lossy().into_owned();
+
+    let out = bin()
+        .args(["index", &base, "-o", &snap, "--uri", "corpus"])
+        .output()
+        .unwrap();
+    assert_success(&out, "index");
+
+    let out = bin()
+        .args([
+            "query",
+            "--store",
+            &snap,
+            "--query",
+            r#"doc("corpus")//shot[@start = 8]/@id"#,
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "query --store");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        r#"id="Interview""#
+    );
+}
+
+#[test]
+fn index_with_layers_cross_layer_query_and_inspect() {
+    let dir = tmp_dir("layers");
+    let base = write(&dir, "base.xml", "<text>Alice met Bob</text>");
+    let tokens = write(
+        &dir,
+        "tokens.xml",
+        r#"<tokens>
+             <w word="Alice" start="0" end="4"/>
+             <w word="met" start="6" end="8"/>
+             <w word="Bob" start="10" end="12"/>
+           </tokens>"#,
+    );
+    let entities = write(
+        &dir,
+        "entities.xml",
+        r#"<entities><person start="0" end="4"/><person start="10" end="12"/></entities>"#,
+    );
+    let snap = dir.join("corpus.snap").to_string_lossy().into_owned();
+
+    let out = bin()
+        .args([
+            "index",
+            &base,
+            "-o",
+            &snap,
+            "--uri",
+            "corpus",
+            "--layer",
+            &format!("tokens={tokens}"),
+            "--layer",
+            &format!("entities={entities}"),
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "index --layer");
+
+    // Cross-layer StandOff query straight off the snapshot.
+    let out = bin()
+        .args([
+            "query",
+            "--store",
+            &snap,
+            "--query",
+            r#"doc("corpus#entities")//person/select-narrow::w/@word"#,
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "cross-layer query");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        r#"word="Alice" word="Bob""#
+    );
+
+    // Inspect reports the layers.
+    let out = bin().args(["inspect", &snap]).output().unwrap();
+    assert_success(&out, "inspect");
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    for needle in ["uri:     corpus", "layers:  3", "tokens", "entities"] {
+        assert!(
+            report.contains(needle),
+            "inspect output missing {needle:?}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn legacy_flag_form_still_works() {
+    let dir = tmp_dir("legacy");
+    let sample = write(
+        &dir,
+        "sample.xml",
+        r#"<sample>
+             <shot id="Intro" start="0" end="8"/>
+             <music artist="U2" start="0" end="31"/>
+           </sample>"#,
+    );
+    let out = bin()
+        .args([
+            "--load",
+            &format!("sample.xml={sample}"),
+            "--query",
+            r#"doc("sample.xml")//music/select-wide::shot/@id"#,
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "legacy query");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), r#"id="Intro""#);
+}
+
+#[test]
+fn bad_snapshot_and_bad_args_fail_cleanly() {
+    let dir = tmp_dir("errors");
+    let junk = write(&dir, "junk.snap", "not a snapshot");
+    let out = bin()
+        .args(["query", "--store", &junk, "--query", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad magic"));
+
+    let out = bin().args(["index", "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["query"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no query"));
+}

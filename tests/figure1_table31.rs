@@ -78,12 +78,14 @@ fn table31_via_core_join_api() {
     let input = JoinInput {
         doc: &doc,
         index: &index,
+        ctx_index: None,
         context: &context,
         candidates: Some(shots),
         iter_domain: &[0],
     };
     for (axis, expected) in EXPECTED {
-        let result = evaluate_standoff_join(axis, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
+        let result =
+            evaluate_standoff_join(axis, StandoffStrategy::LoopLiftedMergeJoin, &input, None);
         let ids: Vec<&str> = result
             .iter()
             .map(|e| doc.attribute(e.node, "id").unwrap())
@@ -99,15 +101,24 @@ fn bach_row_for_completeness() {
     let mut engine = engine_with_figure1();
     let bach = format!(r#"doc("{FIGURE1_URI}")//music[@artist = "Bach"]"#);
     assert_eq!(
-        engine.run(&format!("{bach}/select-narrow::shot/@id")).unwrap().as_strings(),
+        engine
+            .run(&format!("{bach}/select-narrow::shot/@id"))
+            .unwrap()
+            .as_strings(),
         ["Outro"]
     );
     assert_eq!(
-        engine.run(&format!("{bach}/select-wide::shot/@id")).unwrap().as_strings(),
+        engine
+            .run(&format!("{bach}/select-wide::shot/@id"))
+            .unwrap()
+            .as_strings(),
         ["Interview", "Outro"]
     );
     assert_eq!(
-        engine.run(&format!("{bach}/reject-wide::shot/@id")).unwrap().as_strings(),
+        engine
+            .run(&format!("{bach}/reject-wide::shot/@id"))
+            .unwrap()
+            .as_strings(),
         ["Intro"]
     );
 }
@@ -119,7 +130,9 @@ fn whole_music_sequence_as_context() {
     let mut engine = engine_with_figure1();
     assert_eq!(
         engine
-            .run(&format!(r#"doc("{FIGURE1_URI}")//music/select-wide::shot/@id"#))
+            .run(&format!(
+                r#"doc("{FIGURE1_URI}")//music/select-wide::shot/@id"#
+            ))
             .unwrap()
             .as_strings(),
         ["Intro", "Interview", "Outro"]

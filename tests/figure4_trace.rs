@@ -44,17 +44,17 @@ fn figure4_trace_reproduces_all_ten_steps() {
     // ctx indices refer to the start-sorted context: 0=c1, 1=c2, 2=c3,
     // 3=c4; cand indices: 0=r1 .. 3=r4.
     let expected = vec![
-        AddActive { ctx: 0, line: 8 },            // step 1: add c1 (line 8)
-        Emit { iter: 1, cand: 0 },                // step 2: (iter1, r1) (lines 32-34)
-        AddActive { ctx: 1, line: 41 },           // step 3: push c2 (line 41)
-        SkipContext { ctx: 2 },                   // step 4: skip c3 (lines 11-18)
-        RemoveActive { ctx: 0 },                  // step 5: remove c1 (line 31)
-        SkipCandidateNoMatch { cand: 1 },         // step 6a: skip r2 (lines 32-35)
-        RemoveActive { ctx: 1 },                  // step 6b: remove c2 (line 31)
-        AddActive { ctx: 3, line: 41 },           // step 7: add c4 (line 41)
-        SkipCandidateBefore { cand: 2 },          // step 8: skip r3 (lines 21-24)
-        Emit { iter: 1, cand: 3 },                // step 9: (iter1, r4) (lines 32-34)
-        Exit,                                     // step 10: exit (line 38)
+        AddActive { ctx: 0, line: 8 },    // step 1: add c1 (line 8)
+        Emit { iter: 1, cand: 0 },        // step 2: (iter1, r1) (lines 32-34)
+        AddActive { ctx: 1, line: 41 },   // step 3: push c2 (line 41)
+        SkipContext { ctx: 2 },           // step 4: skip c3 (lines 11-18)
+        RemoveActive { ctx: 0 },          // step 5: remove c1 (line 31)
+        SkipCandidateNoMatch { cand: 1 }, // step 6a: skip r2 (lines 32-35)
+        RemoveActive { ctx: 1 },          // step 6b: remove c2 (line 31)
+        AddActive { ctx: 3, line: 41 },   // step 7: add c4 (line 41)
+        SkipCandidateBefore { cand: 2 },  // step 8: skip r3 (lines 21-24)
+        Emit { iter: 1, cand: 3 },        // step 9: (iter1, r4) (lines 32-34)
+        Exit,                             // step 10: exit (line 38)
     ];
     assert_eq!(trace.events, expected);
 

@@ -5,7 +5,6 @@
 
 use standoff::prelude::*;
 
-
 #[test]
 fn forensics_fragmented_files() {
     let mut engine = Engine::new();
@@ -137,8 +136,7 @@ fn binary_store_cli_pipeline() {
     standoff::xml::write_store(&store, &mut file).unwrap();
     drop(file);
 
-    let mut reopened =
-        standoff::xml::read_store(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    let mut reopened = standoff::xml::read_store(&mut std::fs::File::open(&path).unwrap()).unwrap();
     let mut engine = Engine::new();
     for doc in std::mem::take(&mut reopened).into_docs() {
         let uri = doc.uri().map(|u| u.to_string());
