@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use standoff_xml::{NodeRef, Store};
 
@@ -21,21 +21,22 @@ pub enum Item {
     /// `xs:double` (covers decimals; the engine does not track the
     /// distinction, which the workloads never observe).
     Double(f64),
-    /// `xs:string`; reference-counted so sequence copies stay cheap.
-    String(Rc<str>),
+    /// `xs:string`; reference-counted so sequence copies stay cheap
+    /// (atomically, so results can cross executor worker threads).
+    String(Arc<str>),
     /// `xs:boolean`.
     Boolean(bool),
     /// Untyped atomic (the result of atomizing a node).
-    Untyped(Rc<str>),
+    Untyped(Arc<str>),
 }
 
 impl Item {
     pub fn str(s: impl AsRef<str>) -> Item {
-        Item::String(Rc::from(s.as_ref()))
+        Item::String(Arc::from(s.as_ref()))
     }
 
     pub fn untyped(s: impl AsRef<str>) -> Item {
-        Item::Untyped(Rc::from(s.as_ref()))
+        Item::Untyped(Arc::from(s.as_ref()))
     }
 
     /// Is this a node item?
@@ -56,7 +57,7 @@ impl Item {
     /// atomic values pass through.
     pub fn atomize(&self, store: &Store) -> Item {
         match self {
-            Item::Node(n) => Item::Untyped(Rc::from(store.string_value(*n).as_str())),
+            Item::Node(n) => Item::Untyped(Arc::from(store.string_value(*n).as_str())),
             other => other.clone(),
         }
     }

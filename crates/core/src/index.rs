@@ -411,6 +411,48 @@ mod tests {
         assert!(cands.iter().all(|e| shots.contains(&e.id)));
     }
 
+    /// Regression: `candidates_for` silently assumed its input was
+    /// strictly ascending — unsorted input made the scan path's binary
+    /// search skip candidates *without any diagnostic*. The invariant is
+    /// now debug-asserted (this test, which runs in CI's
+    /// debug-assertions job) and the one caller whose input is
+    /// externally produced (the element-name pushdown over snapshot-
+    /// loaded indexes) sorts first.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "assertion failed")]
+    fn unsorted_candidates_trip_the_debug_assert() {
+        let (doc, idx) = figure1_index();
+        let shots = doc.elements_named("shot");
+        let unsorted: Vec<u32> = shots.iter().rev().copied().collect();
+        let _ = idx.candidates_for(&unsorted);
+    }
+
+    /// Companion regression: input that arrives unsorted and is sorted
+    /// by the caller first produces exactly the definitional result.
+    #[test]
+    fn caller_sorted_candidates_match_definitional_scan() {
+        let (doc, idx) = figure1_index();
+        let mut cands: Vec<u32> = doc
+            .elements_named("shot")
+            .iter()
+            .rev() // arrives in reverse document order…
+            .chain(doc.elements_named("music")) // …with a duplicate-prone mix
+            .copied()
+            .collect();
+        cands.sort_unstable(); // …the caller-side fix
+        cands.dedup();
+        let got = idx.candidates_for(&cands);
+        let want: Vec<RegionEntry> = idx
+            .entries()
+            .iter()
+            .filter(|e| cands.binary_search(&e.id).is_ok())
+            .copied()
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 5); // 3 shots + 2 music annotations
+    }
+
     #[test]
     fn non_contiguous_areas_repeat_id() {
         let doc = parse_document(

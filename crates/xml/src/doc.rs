@@ -18,6 +18,7 @@ use crate::node::{NodeId, NodeKind};
 /// Construct with [`crate::DocumentBuilder`] or [`crate::parse_document`];
 /// this type is immutable after construction (annotation databases in the
 /// paper are bulk-loaded, then queried).
+#[derive(Clone)]
 pub struct Document {
     uri: Option<String>,
     names: NameTable,

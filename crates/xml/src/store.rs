@@ -7,6 +7,7 @@
 //! region index.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::doc::Document;
 use crate::error::ParseError;
@@ -14,9 +15,16 @@ use crate::node::{DocId, NodeId, NodeRef};
 use crate::parser::{parse_with_options, ParseOptions};
 
 /// A collection of documents.
-#[derive(Default)]
+///
+/// Documents are held behind [`Arc`], so cloning a store is cheap (one
+/// pointer copy per document plus the URI map) and the clones share the
+/// shredded column data. This is what lets a query engine hand each
+/// worker thread its own store view of one immutable corpus: per-thread
+/// clones append session-constructed documents locally without touching
+/// the shared base documents.
+#[derive(Default, Clone)]
 pub struct Store {
-    docs: Vec<Document>,
+    docs: Vec<Arc<Document>>,
     by_uri: HashMap<String, DocId>,
 }
 
@@ -27,9 +35,17 @@ impl Store {
 
     /// Add an already-built document under an optional URI.
     pub fn add(&mut self, mut doc: Document, uri: Option<&str>) -> DocId {
-        let id = DocId(self.docs.len() as u32);
         if let Some(uri) = uri {
             doc.set_uri(uri.to_string());
+        }
+        self.add_shared(Arc::new(doc), uri)
+    }
+
+    /// Add a document that is already shared (its URI registration, if
+    /// any, must match the document's own `uri()`).
+    pub fn add_shared(&mut self, doc: Arc<Document>, uri: Option<&str>) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        if let Some(uri) = uri {
             self.by_uri.insert(uri.to_string(), id);
         }
         self.docs.push(doc);
@@ -61,7 +77,7 @@ impl Store {
     /// invalidated; a panic indicates a cross-store mixup).
     #[inline]
     pub fn doc(&self, id: DocId) -> &Document {
-        &self.docs[id.0 as usize]
+        self.docs[id.0 as usize].as_ref()
     }
 
     /// Number of documents in the store.
@@ -78,9 +94,13 @@ impl Store {
     }
 
     /// Consume the store, yielding its documents in id order (used to
-    /// transfer bulk-loaded documents into an engine).
+    /// transfer bulk-loaded documents into an engine). Documents still
+    /// shared with a clone of this store are deep-copied.
     pub fn into_docs(self) -> Vec<Document> {
         self.docs
+            .into_iter()
+            .map(|d| Arc::try_unwrap(d).unwrap_or_else(|shared| (*shared).clone()))
+            .collect()
     }
 
     pub fn is_empty(&self) -> bool {

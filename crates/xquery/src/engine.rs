@@ -3,9 +3,22 @@
 //! An [`Engine`] owns a document store, a per-(document, configuration)
 //! region-index cache, and the evaluation options — most importantly the
 //! [`StandoffStrategy`] switch the paper's Figure 6 experiment sweeps.
+//!
+//! # Shared engines and sessions
+//!
+//! The engine splits into an immutable side — shredded documents,
+//! element-name tables, region indexes, mounted layer sets, options,
+//! external variable bindings — and per-query evaluation state (frames,
+//! iteration maps, constructed documents). [`Engine::into_shared`]
+//! freezes the immutable side behind an [`Arc`]; [`SharedEngine::session`]
+//! then stamps out cheap per-thread [`Session`]s that share the corpus
+//! but construct results privately. This is the substrate of the
+//! concurrent batch executor in [`crate::exec`].
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use standoff_algebra::{Item, LlSeq};
 use standoff_core::{RegionIndex, StandoffConfig, StandoffStrategy};
@@ -39,11 +52,24 @@ impl Default for EngineOptions {
     }
 }
 
-/// Internal mutable state shared with the evaluator.
+/// Source of store-generation stamps: every corpus-shaping mutation of
+/// any engine draws a fresh, process-unique number. Caches keyed on
+/// `(query text, generation)` therefore never serve an entry built
+/// against different mounted content, even across unrelated engines.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The mutable evaluation state behind an engine or session. Cloning
+/// yields an independent state sharing the same (Arc'd) documents and
+/// region indexes — the basis of per-thread sessions.
+#[derive(Clone)]
 pub struct EngineState {
     pub store: Store,
     pub options: EngineOptions,
-    region_cache: HashMap<(u32, StandoffConfig), Rc<RegionIndex>>,
+    region_cache: HashMap<(u32, StandoffConfig), Arc<RegionIndex>>,
     /// Mounted layer groups: group id → member documents (base first).
     /// StandOff axes join across all members of a group.
     layer_groups: Vec<Vec<DocId>>,
@@ -53,22 +79,37 @@ pub struct EngineState {
     layer_configs: HashMap<u32, StandoffConfig>,
     /// `(store uri, layer name)` → document, for the `layer()` builtin.
     layer_lookup: HashMap<(String, String), DocId>,
+    /// Values for `declare variable $x external` declarations.
+    externals: HashMap<String, Vec<Item>>,
 }
 
 impl EngineState {
+    fn new(options: EngineOptions) -> Self {
+        EngineState {
+            store: Store::new(),
+            options,
+            region_cache: HashMap::new(),
+            layer_groups: Vec::new(),
+            doc_group: HashMap::new(),
+            layer_configs: HashMap::new(),
+            layer_lookup: HashMap::new(),
+            externals: HashMap::new(),
+        }
+    }
+
     /// The region index of a document under a configuration, built on
     /// first use and cached (documents are immutable).
     pub fn region_index(
         &mut self,
         doc: DocId,
         config: &StandoffConfig,
-    ) -> Result<Rc<RegionIndex>, QueryError> {
+    ) -> Result<Arc<RegionIndex>, QueryError> {
         let key = (doc.0, config.clone());
         if let Some(idx) = self.region_cache.get(&key) {
-            return Ok(Rc::clone(idx));
+            return Ok(Arc::clone(idx));
         }
-        let index = Rc::new(RegionIndex::build(self.store.doc(doc), config)?);
-        self.region_cache.insert(key, Rc::clone(&index));
+        let index = Arc::new(RegionIndex::build(self.store.doc(doc), config)?);
+        self.region_cache.insert(key, Arc::clone(&index));
         Ok(index)
     }
 
@@ -100,13 +141,51 @@ impl EngineState {
             .get(&(uri.to_string(), layer.to_string()))
             .copied()
     }
+
+    /// Evaluate a previously parsed query against this state.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
+        let config = config_from_prolog(&query.prolog)?;
+        // External variable values are cloned out first so the evaluator
+        // can borrow the state mutably.
+        let mut external_values = Vec::with_capacity(query.prolog.external_variables.len());
+        for name in &query.prolog.external_variables {
+            let items = self.externals.get(name).cloned().ok_or_else(|| {
+                QueryError::stat(format!(
+                    "external variable ${name} has no value (Engine::bind_external)"
+                ))
+            })?;
+            external_values.push((name.clone(), items));
+        }
+        let mut evaluator = Evaluator::new(self, config);
+        // Register user-defined functions (local name, so that prefixed
+        // definitions like `standoff:select-narrow` resolve either way).
+        for f in &query.prolog.functions {
+            let local = f.name.split_once(':').map(|(_, l)| l).unwrap_or(&f.name);
+            evaluator
+                .functions
+                .insert(local.to_string(), Rc::new(f.clone()));
+        }
+        for (name, items) in external_values {
+            evaluator.bind(&name, LlSeq::for_iter(0, items));
+        }
+        // Global variables evaluate in declaration order in the root
+        // scope.
+        for (name, expr) in &query.prolog.variables {
+            let value = evaluator.eval(expr)?;
+            evaluator.bind(name, value);
+        }
+        let table = evaluator.eval(&query.body)?;
+        let items = table.into_items();
+        Ok(QueryResult::new(items, &self.store))
+    }
 }
 
 /// The XQuery engine with StandOff support.
 pub struct Engine {
     state: EngineState,
-    /// Values for `declare variable $x external` declarations.
-    externals: std::collections::HashMap<String, Vec<Item>>,
+    /// Stamp of the last corpus-shaping mutation (see
+    /// [`SharedEngine::generation`]).
+    generation: u64,
 }
 
 impl Default for Engine {
@@ -122,23 +201,16 @@ impl Engine {
 
     pub fn with_options(options: EngineOptions) -> Self {
         Engine {
-            state: EngineState {
-                store: Store::new(),
-                options,
-                region_cache: HashMap::new(),
-                layer_groups: Vec::new(),
-                doc_group: HashMap::new(),
-                layer_configs: HashMap::new(),
-                layer_lookup: HashMap::new(),
-            },
-            externals: std::collections::HashMap::new(),
+            state: EngineState::new(options),
+            generation: fresh_generation(),
         }
     }
 
     /// Provide the value of a `declare variable $name external`
     /// declaration for subsequent runs.
     pub fn bind_external(&mut self, name: &str, items: Vec<Item>) {
-        self.externals.insert(name.to_string(), items);
+        self.state.externals.insert(name.to_string(), items);
+        self.generation = fresh_generation();
     }
 
     /// Convenience: bind an external variable to a single string.
@@ -165,12 +237,16 @@ impl Engine {
                 )));
             }
         }
-        Ok(self.state.store.load(uri, xml)?)
+        let id = self.state.store.load(uri, xml)?;
+        self.generation = fresh_generation();
+        Ok(id)
     }
 
     /// Register an already-shredded document.
     pub fn add_document(&mut self, doc: Document, uri: Option<&str>) -> DocId {
-        self.state.store.add(doc, uri)
+        let id = self.state.store.add(doc, uri);
+        self.generation = fresh_generation();
+        id
     }
 
     /// Mount a persistent layer set (typically loaded from a
@@ -216,7 +292,7 @@ impl Engine {
             let id = self.state.store.add(doc, Some(&doc_uri));
             self.state
                 .region_cache
-                .insert((id.0, config.clone()), Rc::new(index));
+                .insert((id.0, config.clone()), Arc::new(index));
             self.state.layer_configs.insert(id.0, config);
             self.state.layer_lookup.insert((uri.clone(), name), id);
             self.state.doc_group.insert(id.0, group_id);
@@ -224,6 +300,7 @@ impl Engine {
         }
         let base = members[0];
         self.state.layer_groups.push(members);
+        self.generation = fresh_generation();
         Ok(base)
     }
 
@@ -241,17 +318,20 @@ impl Engine {
     /// variable).
     pub fn set_strategy(&mut self, strategy: StandoffStrategy) {
         self.state.options.strategy = strategy;
+        self.generation = fresh_generation();
     }
 
     /// Enable/disable candidate-sequence pushdown (§4.3 ablation).
     pub fn set_candidate_pushdown(&mut self, enabled: bool) {
         self.state.options.candidate_pushdown = enabled;
+        self.generation = fresh_generation();
     }
 
     /// Pre-build the region index for a document under a configuration
     /// (otherwise built lazily on the first StandOff step). Useful to
     /// exclude index construction from benchmark timings, mirroring the
-    /// paper's pre-created indices.
+    /// paper's pre-created indices — and to build an index once *before*
+    /// [`Engine::into_shared`] instead of once per session after.
     pub fn prebuild_region_index(
         &mut self,
         doc: DocId,
@@ -291,7 +371,7 @@ impl Engine {
     pub fn run_and_discard(&mut self, query: &str) -> Result<usize, QueryError> {
         let parsed = parse_query(query)?;
         let docs_before = self.state.store.len();
-        let result = self.execute(&parsed);
+        let result = self.state.execute(&parsed);
         self.state.store.truncate(docs_before);
         self.state.drop_cache_from(docs_before);
         result.map(|r| r.len())
@@ -299,34 +379,109 @@ impl Engine {
 
     /// Evaluate a previously parsed query.
     pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
-        let config = config_from_prolog(&query.prolog)?;
-        let mut evaluator = Evaluator::new(&mut self.state, config);
-        // Register user-defined functions (local name, so that prefixed
-        // definitions like `standoff:select-narrow` resolve either way).
-        for f in &query.prolog.functions {
-            let local = f.name.split_once(':').map(|(_, l)| l).unwrap_or(&f.name);
-            evaluator
-                .functions
-                .insert(local.to_string(), Rc::new(f.clone()));
+        self.state.execute(query)
+    }
+
+    /// The engine's current store-generation stamp: changes whenever a
+    /// corpus-shaping mutation (load, mount, rebind, reconfigure)
+    /// happens. See [`SharedEngine::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Freeze this engine into an immutable, thread-shareable corpus.
+    ///
+    /// Everything loaded or mounted so far — documents, element-name
+    /// tables, region indexes built or installed up to this point,
+    /// layer groups, options, external bindings — becomes the shared
+    /// base every [`Session`] evaluates against.
+    pub fn into_shared(self) -> SharedEngine {
+        SharedEngine {
+            core: Arc::new(self.state),
+            generation: self.generation,
         }
-        // External variables must have been bound on the engine.
-        for name in &query.prolog.external_variables {
-            let items = self.externals.get(name).cloned().ok_or_else(|| {
-                QueryError::stat(format!(
-                    "external variable ${name} has no value (Engine::bind_external)"
-                ))
-            })?;
-            evaluator.bind(name, LlSeq::for_iter(0, items));
+    }
+}
+
+/// The immutable side of an engine, shareable across threads.
+///
+/// Cloning is one atomic increment; every clone sees the same corpus.
+/// Stamp out a [`Session`] per worker thread to evaluate queries.
+#[derive(Clone)]
+pub struct SharedEngine {
+    core: Arc<EngineState>,
+    generation: u64,
+}
+
+impl SharedEngine {
+    /// Create a per-thread evaluation session over the shared corpus.
+    ///
+    /// The session clone costs a pointer copy per shared document plus
+    /// the (small) URI / layer maps — no document or index data is
+    /// copied.
+    pub fn session(&self) -> Session {
+        Session {
+            base_docs: self.core.store.len(),
+            state: self.core.as_ref().clone(),
         }
-        // Global variables evaluate in declaration order in the root
-        // scope.
-        for (name, expr) in &query.prolog.variables {
-            let value = evaluator.eval(expr)?;
-            evaluator.bind(name, value);
-        }
-        let table = evaluator.eval(&query.body)?;
-        let items = table.into_items();
-        Ok(QueryResult::new(items, &self.state.store))
+    }
+
+    /// The generation stamp of the frozen corpus: changes whenever the
+    /// originating engine loaded, mounted, rebound or reconfigured
+    /// anything before freezing. Cache keys derived from query text must
+    /// include it (see [`crate::exec::QueryCache`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The shared document store.
+    pub fn store(&self) -> &Store {
+        &self.core.store
+    }
+
+    /// The evaluation options the corpus was frozen with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.core.options
+    }
+}
+
+/// A per-thread query evaluation session over a [`SharedEngine`].
+///
+/// Sessions are cheap to create, own their per-query mutable state
+/// (constructed documents, lazily built region indexes), and share the
+/// immutable corpus with every sibling session. A session is `Send` but
+/// deliberately not `Sync` — one worker drives it at a time.
+pub struct Session {
+    state: EngineState,
+    /// Shared documents at session creation; everything at or beyond
+    /// this id is session-local (query-constructed).
+    base_docs: usize,
+}
+
+impl Session {
+    /// Parse and evaluate a query.
+    pub fn run(&mut self, query: &str) -> Result<QueryResult, QueryError> {
+        let parsed = parse_query(query)?;
+        self.execute(&parsed)
+    }
+
+    /// Evaluate a previously parsed query.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
+        self.state.execute(query)
+    }
+
+    /// Drop session-local constructed documents and their cached
+    /// indexes, returning the session to its post-creation state. Call
+    /// between queries to keep long-lived worker sessions from
+    /// accumulating constructed results.
+    pub fn reset(&mut self) {
+        self.state.store.truncate(self.base_docs);
+        self.state.drop_cache_from(self.base_docs);
+    }
+
+    /// The session's store view (shared base + session-local documents).
+    pub fn store(&self) -> &Store {
+        &self.state.store
     }
 }
 
@@ -385,5 +540,46 @@ mod tests {
             .unwrap()
             .prolog;
         assert!(config_from_prolog(&prolog).is_err());
+    }
+
+    #[test]
+    fn shared_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<SharedEngine>();
+        assert_send::<Session>();
+        assert_send::<QueryResult>();
+    }
+
+    #[test]
+    fn sessions_share_documents_but_not_constructions() {
+        let mut engine = Engine::new();
+        engine.load_document("d.xml", "<a><b/><b/></a>").unwrap();
+        let shared = engine.into_shared();
+        let mut s1 = shared.session();
+        let mut s2 = shared.session();
+        // A constructor adds a session-local document…
+        let r1 = s1.run(r#"<wrap>{count(doc("d.xml")//b)}</wrap>"#).unwrap();
+        assert_eq!(r1.as_xml(), "<wrap>2</wrap>");
+        assert_eq!(s1.store().len(), shared.store().len() + 1);
+        // …invisible to the sibling session and the shared corpus.
+        assert_eq!(s2.store().len(), shared.store().len());
+        let r2 = s2.run(r#"count(doc("d.xml")//b)"#).unwrap();
+        assert_eq!(r2.as_strings(), ["2"]);
+        // Reset drops the construction.
+        s1.reset();
+        assert_eq!(s1.store().len(), shared.store().len());
+    }
+
+    #[test]
+    fn generation_changes_on_mutation() {
+        let mut engine = Engine::new();
+        engine.load_document("a", "<a/>").unwrap();
+        let g0 = engine.generation();
+        engine.load_document("b", "<b/>").unwrap();
+        assert_ne!(g0, engine.generation());
+        let other = Engine::new();
+        // Stamps are process-unique, never reused across engines.
+        assert_ne!(other.generation(), engine.generation());
     }
 }

@@ -15,6 +15,10 @@ pub enum QueryError {
     Static(String),
     /// Dynamic (runtime) error — type mismatches, missing documents.
     Dynamic(String),
+    /// An engine defect surfaced as an error instead of a crash: the
+    /// batch executor converts a panic inside one query's evaluation
+    /// into this, so a worker thread never takes down the pool.
+    Internal(String),
 }
 
 impl QueryError {
@@ -44,6 +48,10 @@ impl QueryError {
     pub fn stat(message: impl Into<String>) -> QueryError {
         QueryError::Static(message.into())
     }
+
+    pub fn internal(message: impl Into<String>) -> QueryError {
+        QueryError::Internal(message.into())
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -56,6 +64,7 @@ impl fmt::Display for QueryError {
             } => write!(f, "syntax error at line {line}, column {column}: {message}"),
             QueryError::Static(m) => write!(f, "static error: {m}"),
             QueryError::Dynamic(m) => write!(f, "dynamic error: {m}"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

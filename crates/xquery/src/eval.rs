@@ -775,9 +775,20 @@ impl<'e> Evaluator<'e> {
                     // the bucket can be moved out rather than cloned.
                     cand_buckets.remove(&target).or_else(|| Some(Vec::new()))
                 } else if pushdown && test.kind == KindTest::Element {
-                    test.name
-                        .as_ref()
-                        .map(|n| self.engine.store.doc(target).elements_named(n).to_vec())
+                    test.name.as_ref().map(|n| {
+                        let mut pres = self.engine.store.doc(target).elements_named(n).to_vec();
+                        // The candidate intersection requires strictly
+                        // ascending ids. Builder- and codec-produced
+                        // element indexes satisfy this, but the index is
+                        // externally supplied data (snapshot v2), so
+                        // enforce the invariant here rather than trust
+                        // every producer forever.
+                        if !pres.windows(2).all(|w| w[0] < w[1]) {
+                            pres.sort_unstable();
+                            pres.dedup();
+                        }
+                        pres
+                    })
                 } else {
                     None
                 };

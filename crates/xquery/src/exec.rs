@@ -1,0 +1,437 @@
+//! Concurrent batch query execution.
+//!
+//! The paper's premise is that StandOff axes make annotation queries
+//! cheap enough to run at corpus scale; this module supplies the
+//! service-shaped half of that claim: an [`Executor`] that takes a batch
+//! of query strings, fans them out over a configurable number of worker
+//! threads — each with its own [`Session`] over one shared, immutable
+//! [`SharedEngine`] corpus — and returns the results in submission
+//! order.
+//!
+//! Robustness guarantees, in service of "a worker must never take down
+//! the pool":
+//!
+//! * every query string, however malformed, produces a `Result` — the
+//!   lexer/parser/evaluator return [`QueryError`]s rather than panic;
+//! * should a defect slip through anyway, the panic is caught per
+//!   query, surfaced as [`QueryError::Internal`], and the worker's
+//!   session is rebuilt before the next query;
+//! * results are deterministic: the output vector is indexed by
+//!   submission order regardless of which worker ran which query, and
+//!   evaluation over the shared corpus is by-value identical across
+//!   thread counts.
+//!
+//! Parsed queries are memoized in a small LRU [`QueryCache`] keyed on
+//! `(query text, store generation)`, so repeated queries — the common
+//! shape of an annotation-service workload — skip the parser entirely.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ast::Query;
+use crate::engine::{Session, SharedEngine};
+use crate::error::QueryError;
+use crate::parser::parse_query;
+use crate::result::QueryResult;
+
+/// Default capacity of an executor's parsed-query cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// An LRU cache of parsed queries, keyed on `(query text, store
+/// generation)`.
+///
+/// The generation key makes entries self-invalidating: an executor
+/// rebuilt over a re-mounted corpus draws fresh generation stamps, so a
+/// cache shared across executors can never serve a stale AST for a
+/// different corpus. Shared behind [`Arc`] by all workers of an
+/// executor; hit/miss counters are exposed for `--time` style
+/// reporting.
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheInner {
+    /// Generation → (query text → entry). Nested so the hot hit path
+    /// probes with a borrowed `&str` — no per-lookup allocation; the
+    /// query text is copied only when an entry is inserted.
+    generations: HashMap<u64, HashMap<String, CacheEntry>>,
+    /// Total entries across all generations.
+    len: usize,
+    /// Logical clock for LRU eviction.
+    tick: u64,
+}
+
+struct CacheEntry {
+    query: Arc<Query>,
+    last_used: u64,
+}
+
+impl QueryCache {
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                generations: HashMap::new(),
+                len: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The parsed form of `text` under `generation`, parsing (and
+    /// caching) on miss. Parse errors are not cached — hostile inputs
+    /// must not evict useful entries.
+    pub fn get_or_parse(&self, text: &str, generation: u64) -> Result<Arc<Query>, QueryError> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner
+                .generations
+                .get_mut(&generation)
+                .and_then(|m| m.get_mut(text))
+            {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.query));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Parse outside the lock: a slow parse of one query must not
+        // stall every other worker's cache lookups. Concurrent misses on
+        // the same text parse twice and the last insert wins — benign.
+        let parsed = Arc::new(guard_panic(|| parse_query(text), "query parser")??);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        let replacing = inner
+            .generations
+            .get(&generation)
+            .is_some_and(|m| m.contains_key(text));
+        if !replacing && inner.len >= self.capacity {
+            inner.evict_lru();
+        }
+        let entry = CacheEntry {
+            query: Arc::clone(&parsed),
+            last_used: tick,
+        };
+        inner
+            .generations
+            .entry(generation)
+            .or_default()
+            .insert(text.to_string(), entry);
+        if !replacing {
+            inner.len += 1;
+        }
+        Ok(parsed)
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached ASTs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CacheInner {
+    /// Drop the least-recently-used entry. O(n) scan — capacity is
+    /// small and this runs only on insertions past capacity.
+    fn evict_lru(&mut self) {
+        let oldest = self
+            .generations
+            .iter()
+            .flat_map(|(&generation, entries)| {
+                entries
+                    .iter()
+                    .map(move |(text, entry)| (entry.last_used, generation, text))
+            })
+            .min_by_key(|&(last_used, _, _)| last_used)
+            .map(|(_, generation, text)| (generation, text.clone()));
+        if let Some((generation, text)) = oldest {
+            if let Some(entries) = self.generations.get_mut(&generation) {
+                entries.remove(&text);
+                if entries.is_empty() {
+                    self.generations.remove(&generation);
+                }
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+/// A concurrent batch query executor over a [`SharedEngine`].
+///
+/// ```
+/// use standoff_xquery::{Engine, Executor};
+/// let mut engine = Engine::new();
+/// engine.load_document("d.xml", "<a><b/><b/></a>").unwrap();
+/// let exec = Executor::new(engine.into_shared(), 4);
+/// let results = exec.run_batch(&[r#"count(doc("d.xml")//b)"#, "1 + 1"]);
+/// assert_eq!(results[0].as_ref().unwrap().as_strings(), ["2"]);
+/// assert_eq!(results[1].as_ref().unwrap().as_strings(), ["2"]);
+/// ```
+pub struct Executor {
+    engine: SharedEngine,
+    threads: usize,
+    cache: Arc<QueryCache>,
+}
+
+impl Executor {
+    /// An executor with `threads` workers (clamped to ≥ 1) and a
+    /// private AST cache of [`DEFAULT_CACHE_CAPACITY`].
+    pub fn new(engine: SharedEngine, threads: usize) -> Executor {
+        Self::with_cache(
+            engine,
+            threads,
+            Arc::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+        )
+    }
+
+    /// An executor sharing an existing AST cache (e.g. across executors
+    /// serving different thread counts over the same corpus).
+    pub fn with_cache(engine: SharedEngine, threads: usize, cache: Arc<QueryCache>) -> Executor {
+        Executor {
+            engine,
+            threads: threads.max(1),
+            cache,
+        }
+    }
+
+    /// The shared corpus this executor evaluates against.
+    pub fn engine(&self) -> &SharedEngine {
+        &self.engine
+    }
+
+    /// Number of worker threads a batch fans out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The parsed-query cache (hit/miss counters included).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Evaluate a batch of queries, returning one result per query **in
+    /// submission order**, regardless of which worker evaluated what.
+    ///
+    /// Queries are pulled from a shared counter, so long queries do not
+    /// convoy short ones behind a static partition. With one thread the
+    /// batch runs inline on the caller's thread.
+    pub fn run_batch<S: AsRef<str> + Sync>(
+        &self,
+        queries: &[S],
+    ) -> Vec<Result<QueryResult, QueryError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || queries.len() == 1 {
+            let mut session = self.engine.session();
+            return queries
+                .iter()
+                .map(|q| self.run_one(&mut session, q.as_ref()))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(queries.len());
+        let mut slots: Vec<Vec<(usize, Result<QueryResult, QueryError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut session = self.engine.session();
+                            let mut local = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= queries.len() {
+                                    break;
+                                }
+                                local.push((k, self.run_one(&mut session, queries[k].as_ref())));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            // Worker bodies catch per-query panics, so a
+                            // dead worker means its loop machinery
+                            // failed; its queries are reported below.
+                            Vec::new()
+                        })
+                    })
+                    .collect()
+            });
+        let mut results: Vec<Result<QueryResult, QueryError>> = (0..queries.len())
+            .map(|_| Err(QueryError::internal("query was not scheduled")))
+            .collect();
+        for (k, result) in slots.drain(..).flatten() {
+            results[k] = result;
+        }
+        results
+    }
+
+    /// Evaluate one query in an existing session, converting any panic
+    /// into [`QueryError::Internal`] and leaving the session clean.
+    fn run_one(&self, session: &mut Session, text: &str) -> Result<QueryResult, QueryError> {
+        let parsed = self.cache.get_or_parse(text, self.engine.generation())?;
+        let outcome = guard_panic(|| session.execute(&parsed), "query evaluation");
+        match outcome {
+            Ok(result) => {
+                session.reset();
+                result
+            }
+            Err(e) => {
+                // The session may hold arbitrary partial state after an
+                // unwind; rebuild it from the shared corpus.
+                *session = self.engine.session();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Run `f`, converting a panic into a [`QueryError::Internal`] carrying
+/// the panic payload when it is a string.
+///
+/// The *process* survives and the batch completes, but the default
+/// panic hook still prints the panic message and backtrace to stderr
+/// before the unwind reaches us. That noise is left in place on
+/// purpose: it is the only trace of the underlying engine defect, and
+/// suppressing it would require `std::panic::set_hook` — a
+/// process-global side effect a library must not impose on its host.
+fn guard_panic<T>(f: impl FnOnce() -> T, what: &str) -> Result<T, QueryError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        QueryError::internal(format!("panic in {what}: {msg}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn fixture() -> SharedEngine {
+        let mut engine = Engine::new();
+        engine
+            .load_document(
+                "d.xml",
+                r#"<a><w start="0" end="9"/><w start="3" end="5"/><w start="12" end="14"/></a>"#,
+            )
+            .unwrap();
+        engine.into_shared()
+    }
+
+    #[test]
+    fn batch_results_in_submission_order() {
+        let exec = Executor::new(fixture(), 3);
+        let queries: Vec<String> = (1..=20).map(|k| format!("{k} * 2")).collect();
+        let results = exec.run_batch(&queries);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_strings(),
+                [((k + 1) * 2).to_string()]
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_per_query() {
+        let exec = Executor::new(fixture(), 2);
+        let results = exec.run_batch(&["1 + 1", "1 +", r#"count(doc("missing")//x)"#]);
+        assert_eq!(results[0].as_ref().unwrap().as_strings(), ["2"]);
+        assert!(results[1].is_err());
+        assert!(results[2].is_err());
+    }
+
+    #[test]
+    fn cache_hits_on_repeats() {
+        let exec = Executor::new(fixture(), 1);
+        let batch = vec!["count(doc(\"d.xml\")//w)"; 10];
+        let results = exec.run_batch(&batch);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(exec.cache().misses(), 1);
+        assert_eq!(exec.cache().hits(), 9);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.get_or_parse("1", 7).unwrap();
+        cache.get_or_parse("2", 7).unwrap();
+        cache.get_or_parse("1", 7).unwrap(); // refresh "1"
+        cache.get_or_parse("3", 7).unwrap(); // evicts "2"
+        assert_eq!(cache.len(), 2);
+        cache.get_or_parse("1", 7).unwrap();
+        assert_eq!(cache.misses(), 3); // "1", "2", "3"
+        cache.get_or_parse("2", 7).unwrap();
+        assert_eq!(cache.misses(), 4); // "2" was evicted, re-parsed
+    }
+
+    #[test]
+    fn cache_distinguishes_generations() {
+        let cache = QueryCache::new(8);
+        cache.get_or_parse("1 + 1", 1).unwrap();
+        cache.get_or_parse("1 + 1", 2).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = QueryCache::new(8);
+        assert!(cache.get_or_parse("1 +", 1).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn thread_counts_agree_bytewise() {
+        let shared = fixture();
+        let queries: Vec<String> = (0..60)
+            .map(|k| match k % 4 {
+                0 => r#"doc("d.xml")//w[@start = 0]/select-narrow::w"#.to_string(),
+                1 => r#"<hit n="{count(doc("d.xml")//w)}"/>"#.to_string(),
+                2 => format!("{k} + {k}"),
+                _ => r#"for $w in doc("d.xml")//w order by $w/@start descending return $w/@end"#
+                    .to_string(),
+            })
+            .collect();
+        let sequential = Executor::new(shared.clone(), 1).run_batch(&queries);
+        let concurrent = Executor::new(shared, 4).run_batch(&queries);
+        assert_eq!(sequential.len(), concurrent.len());
+        for (s, c) in sequential.iter().zip(&concurrent) {
+            let s = s.as_ref().expect("fixture queries succeed");
+            let c = c.as_ref().expect("fixture queries succeed");
+            assert_eq!(s.as_xml(), c.as_xml());
+            assert_eq!(s.as_strings(), c.as_strings());
+        }
+    }
+}

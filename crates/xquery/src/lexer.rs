@@ -343,7 +343,17 @@ impl<'a> Lexer<'a> {
                     self.pos += semi + 1;
                 }
                 Some(_) => {
-                    let c = self.input[self.pos..].chars().next().unwrap();
+                    // Defensive decode: never index the input at a
+                    // position we cannot prove is a char boundary — a
+                    // truncated or garbage query must produce a lex
+                    // error, not a panic.
+                    let Some(c) = self
+                        .input
+                        .get(self.pos..)
+                        .and_then(|rest| rest.chars().next())
+                    else {
+                        return Err(self.error("malformed string literal", offset));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

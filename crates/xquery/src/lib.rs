@@ -40,12 +40,14 @@ pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod explain;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod result;
 
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, Session, SharedEngine};
 pub use error::QueryError;
+pub use exec::{Executor, QueryCache};
 pub use result::QueryResult;

@@ -32,11 +32,23 @@ pub fn parse_expr_str(input: &str) -> Result<Expr, QueryError> {
     Ok(e)
 }
 
+/// Maximum expression / constructor nesting depth. The parser is
+/// recursive-descent, so without a bound a hostile query like
+/// `((((((…` would exhaust the thread stack and abort the process —
+/// an abort no `catch_unwind` can contain. One nesting level costs
+/// ~16 parser frames (the whole precedence chain), so the limit must
+/// stay comfortably inside a 2 MiB worker-thread stack even in debug
+/// builds; realistic queries nest far below it either way.
+const MAX_NESTING_DEPTH: usize = 64;
+
 struct Parser<'a> {
     input: &'a str,
     lexer: Lexer<'a>,
     current: Token,
     peeked: Option<Token>,
+    /// Current expression/constructor nesting depth (see
+    /// [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -48,7 +60,22 @@ impl<'a> Parser<'a> {
             lexer,
             current,
             peeked: None,
+            depth: 0,
         })
+    }
+
+    fn enter_nested(&mut self) -> Result<(), QueryError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!(
+                "query nests deeper than {MAX_NESTING_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave_nested(&mut self) {
+        self.depth -= 1;
     }
 
     fn err(&self, msg: impl Into<String>) -> QueryError {
@@ -272,6 +299,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_expr_single(&mut self) -> Result<Expr, QueryError> {
+        self.enter_nested()?;
+        let result = self.parse_expr_single_inner();
+        self.leave_nested();
+        result
+    }
+
+    fn parse_expr_single_inner(&mut self) -> Result<Expr, QueryError> {
         // Contextual keywords: only treat as control flow when the next
         // token fits (otherwise they are path steps).
         if (self.current.kind.is_name("for") || self.current.kind.is_name("let"))
@@ -506,12 +540,19 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, QueryError> {
+        // `----1` recurses per sign without passing parse_expr_single,
+        // so it carries its own depth guard.
         if self.eat(&TokenKind::Minus)? {
-            let inner = self.parse_unary()?;
-            return Ok(Expr::Neg(Box::new(inner)));
+            self.enter_nested()?;
+            let inner = self.parse_unary();
+            self.leave_nested();
+            return Ok(Expr::Neg(Box::new(inner?)));
         }
         if self.eat(&TokenKind::Plus)? {
-            return self.parse_unary();
+            self.enter_nested()?;
+            let inner = self.parse_unary();
+            self.leave_nested();
+            return inner;
         }
         self.parse_union()
     }
@@ -844,6 +885,15 @@ impl<'a> Parser<'a> {
     }
 
     fn raw_element(&mut self, pos: &mut usize) -> Result<ElementConstructor, QueryError> {
+        // Nested direct constructors (`<a><a>…`) recurse here without
+        // passing parse_expr_single — same stack-exhaustion guard.
+        self.enter_nested()?;
+        let result = self.raw_element_inner(pos);
+        self.leave_nested();
+        result
+    }
+
+    fn raw_element_inner(&mut self, pos: &mut usize) -> Result<ElementConstructor, QueryError> {
         let bytes = self.input.as_bytes();
         debug_assert_eq!(bytes.get(*pos), Some(&b'<'));
         *pos += 1;
@@ -947,7 +997,7 @@ impl<'a> Parser<'a> {
                     *pos += semi + 1;
                 }
                 Some(_) => {
-                    let c = self.input[*pos..].chars().next().unwrap();
+                    let c = self.raw_char(*pos)?;
                     text.push(c);
                     *pos += c.len_utf8();
                 }
@@ -1008,7 +1058,7 @@ impl<'a> Parser<'a> {
                     *pos += semi + 1;
                 }
                 Some(_) => {
-                    let c = self.input[*pos..].chars().next().unwrap();
+                    let c = self.raw_char(*pos)?;
                     text.push(c);
                     *pos += c.len_utf8();
                 }
@@ -1018,6 +1068,16 @@ impl<'a> Parser<'a> {
             parts.push(ConstructorContent::Text(text));
         }
         Ok(parts)
+    }
+
+    /// Decode the character at `pos`, erroring (instead of panicking)
+    /// when `pos` is past the input or not a char boundary — truncated
+    /// or garbage constructor text must surface as a parse error.
+    fn raw_char(&self, pos: usize) -> Result<char, QueryError> {
+        self.input
+            .get(pos..)
+            .and_then(|rest| rest.chars().next())
+            .ok_or_else(|| self.raw_err("malformed constructor content", pos))
     }
 
     /// `{ expr }` inside a constructor: hop back into token mode.

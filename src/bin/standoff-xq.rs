@@ -9,6 +9,8 @@
 //!             [--load-bin FILE] (--query Q | --query-file F)
 //!             [--strategy naive|naive-candidates|basic|loop-lifted]
 //!             [--no-pushdown] [--explain] [--time]
+//! standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]...
+//!             [--load-bin FILE] [--threads N] [--time] <queries.txt | ->
 //! ```
 //!
 //! `index` bulk-loads a base document plus any number of stand-off
@@ -22,16 +24,30 @@
 //!             --layer tokens=tokens.xml --layer entities=entities.xml
 //! standoff-xq query --store corpus.snap \
 //!             --query 'doc("corpus#entities")//person/select-narrow::w'
-//! standoff-xq --load sample.xml=annotations.xml \
-//!             --query 'doc("sample.xml")//music/select-wide::shot/@id'
+//! standoff-xq batch --store corpus.snap --threads 4 queries.txt
 //! ```
+//!
+//! `batch` evaluates many queries against one shared corpus: the engine
+//! is frozen after loading, worker threads each get a session over it,
+//! and results print to stdout in submission order (so output is
+//! byte-identical across `--threads` settings). In the queries file,
+//! lines containing only `%%` separate multi-line queries; without any
+//! `%%` line, every non-empty line that does not start with `#` is one
+//! query. In `%%` mode, `#` comment lines are honored at the start of
+//! each block (a `#` inside a query body is query text). Failed queries
+//! print `!! error: …` in place of a result and flip the exit code to
+//! 1; no query input can bring the process down.
+//!
+//! All subcommands print diagnostics to stderr and return a nonzero
+//! exit code on missing files, unreadable snapshots, or bad queries —
+//! they never panic.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use standoff::core::{StandoffConfig, StandoffStrategy};
 use standoff::store::{load_snapshot, load_snapshot_with_info, save_snapshot, LayerSet};
-use standoff::xquery::Engine;
+use standoff::xquery::{Engine, Executor};
 
 const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
@@ -39,7 +55,10 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
                      \x20           [--strategy naive|naive-candidates|basic|loop-lifted]\n\
-                     \x20           [--no-pushdown] [--explain] [--time]";
+                     \x20           [--no-pushdown] [--explain] [--time]\n\
+                     standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
+                     \x20           [--strategy ...] [--no-pushdown] [--threads N] [--time]\n\
+                     \x20           <queries.txt | ->";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +66,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&argv[1..]),
         Some("inspect") => cmd_inspect(&argv[1..]),
         Some("query") => cmd_query(&argv[1..]),
+        Some("batch") => cmd_batch(&argv[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -173,72 +193,133 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-// ---- query ----
+// ---- shared corpus flags (query + batch) ----
 
-struct QueryArgs {
+/// The corpus-shaping flags `query` and `batch` have in common.
+#[derive(Default)]
+struct CorpusArgs {
     stores: Vec<String>,
     loads: Vec<(String, String)>,
     load_bins: Vec<String>,
-    query: Option<String>,
-    strategy: StandoffStrategy,
+    strategy: Option<StandoffStrategy>,
     pushdown: bool,
+}
+
+impl CorpusArgs {
+    fn new() -> CorpusArgs {
+        CorpusArgs {
+            pushdown: true,
+            ..CorpusArgs::default()
+        }
+    }
+
+    /// Try to consume the flag at `argv[*k]` (and its value). Returns
+    /// whether the flag was one of ours; `*k` is left on the last
+    /// consumed token either way.
+    fn try_consume(&mut self, argv: &[String], k: &mut usize) -> Result<bool, String> {
+        match argv[*k].as_str() {
+            "--store" => {
+                *k += 1;
+                self.stores
+                    .push(argv.get(*k).ok_or("--store needs a path")?.clone());
+            }
+            "--load" => {
+                *k += 1;
+                let spec = argv.get(*k).ok_or("--load needs URI=FILE")?;
+                let (uri, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --load '{spec}', expected URI=FILE"))?;
+                self.loads.push((uri.to_string(), path.to_string()));
+            }
+            "--load-bin" => {
+                *k += 1;
+                self.load_bins
+                    .push(argv.get(*k).ok_or("--load-bin needs a path")?.clone());
+            }
+            "--strategy" => {
+                *k += 1;
+                let name = argv.get(*k).ok_or("--strategy needs a name")?;
+                self.strategy = Some(
+                    StandoffStrategy::parse(name)
+                        .ok_or_else(|| format!("unknown strategy '{name}'"))?,
+                );
+            }
+            "--no-pushdown" => self.pushdown = false,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Build an engine with every snapshot mounted and every document
+    /// loaded. All I/O and parse failures surface as diagnostics.
+    fn build_engine(&self) -> Result<Engine, String> {
+        let mut engine = Engine::new();
+        if let Some(strategy) = self.strategy {
+            engine.set_strategy(strategy);
+        }
+        engine.set_candidate_pushdown(self.pushdown);
+        for path in &self.stores {
+            let set = load_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+            engine
+                .mount_store(set)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        for path in &self.load_bins {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let store = standoff::xml::read_store(&mut std::io::BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            for doc in store.into_docs() {
+                // Move documents into the engine, keeping their URIs.
+                let doc_uri = doc.uri().map(|u| u.to_string());
+                engine.add_document(doc, doc_uri.as_deref());
+            }
+        }
+        for (uri, path) in &self.loads {
+            let xml =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            engine
+                .load_document(uri, &xml)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(engine)
+    }
+}
+
+// ---- query ----
+
+struct QueryArgs {
+    corpus: CorpusArgs,
+    query: String,
     explain: bool,
     time: bool,
 }
 
 fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
-    let mut args = QueryArgs {
-        stores: Vec::new(),
-        loads: Vec::new(),
-        load_bins: Vec::new(),
-        query: None,
-        strategy: StandoffStrategy::LoopLiftedMergeJoin,
-        pushdown: true,
-        explain: false,
-        time: false,
-    };
+    let mut corpus = CorpusArgs::new();
+    let mut query: Option<String> = None;
+    let mut explain = false;
+    let mut time = false;
     let mut k = 0;
     while k < argv.len() {
+        if corpus.try_consume(argv, &mut k)? {
+            k += 1;
+            continue;
+        }
         match argv[k].as_str() {
-            "--store" => {
-                k += 1;
-                args.stores
-                    .push(argv.get(k).ok_or("--store needs a path")?.clone());
-            }
-            "--load" => {
-                k += 1;
-                let spec = argv.get(k).ok_or("--load needs URI=FILE")?;
-                let (uri, path) = spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad --load '{spec}', expected URI=FILE"))?;
-                args.loads.push((uri.to_string(), path.to_string()));
-            }
-            "--load-bin" => {
-                k += 1;
-                args.load_bins
-                    .push(argv.get(k).ok_or("--load-bin needs a path")?.clone());
-            }
             "--query" | "-q" => {
                 k += 1;
-                args.query = Some(argv.get(k).ok_or("--query needs an argument")?.clone());
+                query = Some(argv.get(k).ok_or("--query needs an argument")?.clone());
             }
             "--query-file" => {
                 k += 1;
                 let path = argv.get(k).ok_or("--query-file needs a path")?;
-                args.query = Some(
+                query = Some(
                     std::fs::read_to_string(path)
                         .map_err(|e| format!("cannot read {path}: {e}"))?,
                 );
             }
-            "--strategy" => {
-                k += 1;
-                let name = argv.get(k).ok_or("--strategy needs a name")?;
-                args.strategy = StandoffStrategy::parse(name)
-                    .ok_or_else(|| format!("unknown strategy '{name}'"))?;
-            }
-            "--no-pushdown" => args.pushdown = false,
-            "--explain" => args.explain = true,
-            "--time" => args.time = true,
+            "--explain" => explain = true,
+            "--time" => time = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -247,47 +328,28 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
         }
         k += 1;
     }
-    if args.query.is_none() {
-        return Err("no query given (--query or --query-file)".into());
-    }
-    Ok(args)
+    let query = query.ok_or("no query given (--query or --query-file)")?;
+    Ok(QueryArgs {
+        corpus,
+        query,
+        explain,
+        time,
+    })
 }
 
 fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
     let args = parse_query_args(argv)?;
-    let mut engine = Engine::new();
-    engine.set_strategy(args.strategy);
-    engine.set_candidate_pushdown(args.pushdown);
     let load_start = Instant::now();
-    for path in &args.stores {
-        let set = load_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
-        engine
-            .mount_store(set)
-            .map_err(|e| format!("{path}: {e}"))?;
-    }
-    for path in &args.load_bins {
-        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        let store = standoff::xml::read_store(&mut std::io::BufReader::new(file))
-            .map_err(|e| format!("{path}: {e}"))?;
-        for doc in store.into_docs() {
-            // Move documents into the engine, keeping their URIs.
-            let doc_uri = doc.uri().map(|u| u.to_string());
-            engine.add_document(doc, doc_uri.as_deref());
-        }
-    }
-    for (uri, path) in &args.loads {
-        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        engine
-            .load_document(uri, &xml)
-            .map_err(|e| format!("{path}: {e}"))?;
-    }
+    let mut engine = args.corpus.build_engine()?;
     let load_elapsed = load_start.elapsed();
-    let query = args.query.expect("validated in parse_query_args");
     if args.explain {
-        eprintln!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
+        eprintln!(
+            "{}",
+            engine.explain(&args.query).map_err(|e| e.to_string())?
+        );
     }
     let start = Instant::now();
-    match engine.run(&query) {
+    match engine.run(&args.query) {
         Ok(result) => {
             if args.time {
                 eprintln!(
@@ -304,5 +366,162 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
             eprintln!("standoff-xq: {e}");
             Ok(ExitCode::FAILURE)
         }
+    }
+}
+
+// ---- batch ----
+
+fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
+    let mut corpus = CorpusArgs::new();
+    let mut threads = 1usize;
+    let mut time = false;
+    let mut queries_path: Option<String> = None;
+    let mut k = 0;
+    while k < argv.len() {
+        if corpus.try_consume(argv, &mut k)? {
+            k += 1;
+            continue;
+        }
+        match argv[k].as_str() {
+            "--threads" | "-j" => {
+                k += 1;
+                let n = argv.get(k).ok_or("--threads needs a count")?;
+                threads =
+                    n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad --threads '{n}', expected a positive integer")
+                    })?;
+            }
+            "--time" => time = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') || other == "-" => {
+                if queries_path.is_some() {
+                    return Err(format!("batch takes exactly one queries file\n{USAGE}"));
+                }
+                queries_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let queries_path = queries_path.ok_or("batch: no queries file given ('-' for stdin)")?;
+    let text = if queries_path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&queries_path)
+            .map_err(|e| format!("cannot read {queries_path}: {e}"))?
+    };
+    let queries = split_queries(&text);
+    if queries.is_empty() {
+        return Err(format!("{queries_path}: no queries found"));
+    }
+
+    let load_start = Instant::now();
+    let engine = corpus.build_engine()?;
+    let load_elapsed = load_start.elapsed();
+    let executor = Executor::new(engine.into_shared(), threads);
+
+    let start = Instant::now();
+    let results = executor.run_batch(&queries);
+    let elapsed = start.elapsed();
+
+    let mut failures = 0usize;
+    for result in &results {
+        match result {
+            Ok(r) => println!("{}", r.as_xml()),
+            Err(e) => {
+                failures += 1;
+                println!("!! error: {e}");
+            }
+        }
+    }
+    if time {
+        let cache = executor.cache();
+        eprintln!(
+            "# {} quer{} in {:?} on {} thread(s) ({} failed; ast cache {} hit(s) / {} miss(es); load {:?})",
+            results.len(),
+            if results.len() == 1 { "y" } else { "ies" },
+            elapsed,
+            executor.threads(),
+            failures,
+            cache.hits(),
+            cache.misses(),
+            load_elapsed,
+        );
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Split a batch file into queries: `%%`-only lines separate multi-line
+/// queries; a file without any `%%` line holds one query per non-empty,
+/// non-`#` line. In `%%` mode, `#` comment lines are stripped only at
+/// the *start* of a block — a `#` inside a query body (a multi-line
+/// string literal, a `uri#layer` reference split across lines) must
+/// survive untouched.
+fn split_queries(text: &str) -> Vec<String> {
+    if text.lines().any(|l| l.trim() == "%%") {
+        text.split('\n')
+            .collect::<Vec<_>>()
+            .split(|l| l.trim() == "%%")
+            .map(|block| {
+                let body_start = block
+                    .iter()
+                    .position(|l| {
+                        let l = l.trim();
+                        !l.is_empty() && !l.starts_with('#')
+                    })
+                    .unwrap_or(block.len());
+                block[body_start..].join("\n").trim().to_string()
+            })
+            .filter(|q| !q.is_empty())
+            .collect()
+    } else {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_queries;
+
+    #[test]
+    fn per_line_mode_skips_comments_and_blanks() {
+        assert_eq!(
+            split_queries("# header\n1 + 1\n\ncount(//x)\n"),
+            ["1 + 1", "count(//x)"]
+        );
+    }
+
+    #[test]
+    fn block_mode_splits_on_percent_lines() {
+        assert_eq!(
+            split_queries("# header\n1 +\n 1\n%%\n\n%%\n2 * 2"),
+            ["1 +\n 1", "2 * 2"]
+        );
+    }
+
+    #[test]
+    fn block_mode_keeps_hash_inside_query_bodies() {
+        // `corpus#tokens` split across lines must survive; only the
+        // leading comment goes.
+        assert_eq!(
+            split_queries("# corpus queries\ndoc(\"corpus\n#tokens\")//w\n%%\n1"),
+            ["doc(\"corpus\n#tokens\")//w", "1"]
+        );
     }
 }
