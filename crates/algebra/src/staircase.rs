@@ -115,6 +115,19 @@ impl NodeTest {
     }
 }
 
+/// The test as written in a path step: the name when one is given, `*`
+/// for any element, `kind()` otherwise. Shared by plan explain output
+/// and diagnostics so every layer prints tests the same way.
+impl std::fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.name, self.kind) {
+            (Some(n), _) => f.write_str(n),
+            (None, KindTest::Element) => f.write_str("*"),
+            (None, k) => write!(f, "{}()", format!("{k:?}").to_lowercase()),
+        }
+    }
+}
+
 /// Name test resolved against one document's name table. `NoMatch` means
 /// the name does not occur in the document, so the test can never match —
 /// the step short-circuits to an empty result for that fragment.

@@ -24,6 +24,32 @@ pub struct RegionEntry {
     pub id: u32,
 }
 
+/// Summary statistics of one or more region indexes — the cost-model
+/// inputs the query optimizer consults at plan time (per-step strategy
+/// selection, explain-time cardinality estimates).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IndexStats {
+    /// Number of indexes aggregated into this summary.
+    pub indexes: u32,
+    /// Total region entries (rows of the start-clustered table).
+    pub entries: u64,
+    /// Total annotated nodes.
+    pub annotated: u64,
+    /// Largest per-annotation region count across all indexes (1 ⇒ every
+    /// area is contiguous and the fast single-region paths apply).
+    pub max_regions: u32,
+}
+
+impl IndexStats {
+    /// Fold another summary into this one.
+    pub fn merge(&mut self, other: IndexStats) {
+        self.indexes += other.indexes;
+        self.entries += other.entries;
+        self.annotated += other.annotated;
+        self.max_regions = self.max_regions.max(other.max_regions);
+    }
+}
+
 /// Per-document region index.
 ///
 /// ```
@@ -128,6 +154,16 @@ impl RegionIndex {
     #[inline]
     pub fn max_regions(&self) -> u32 {
         self.max_regions
+    }
+
+    /// This index's summary statistics (see [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            indexes: 1,
+            entries: self.entries.len() as u64,
+            annotated: self.node_ids.len() as u64,
+            max_regions: self.max_regions,
+        }
     }
 
     /// The regions of the annotation at `pre` (empty slice if `pre` is not

@@ -16,30 +16,43 @@
 //! concurrent batch executor in [`crate::exec`].
 
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use standoff_algebra::{Item, LlSeq};
-use standoff_core::{RegionIndex, StandoffConfig, StandoffStrategy};
+use standoff_core::{IndexStats, RegionIndex, StandoffConfig, StandoffStrategy};
 use standoff_xml::{DocId, Document, Store};
 
 use crate::ast::Query;
+use crate::compile::{self, PlanContext};
 use crate::error::QueryError;
 use crate::eval::Evaluator;
 use crate::parser::parse_query;
+use crate::plan::Plan;
 use crate::result::QueryResult;
 
 /// Engine-wide evaluation options.
+///
+/// These are *compile-time* inputs: the query compiler bakes them into
+/// the plan (per-operator strategy and pushdown annotations), so a plan
+/// compiled under one set of options is never affected by — and must
+/// never be reused under — another. [`EngineOptions::fingerprint`] is
+/// the cache-key component that enforces the latter.
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
-    /// How StandOff axis steps and built-ins are evaluated.
+    /// How StandOff axis steps and built-ins are evaluated (ignored per
+    /// operator when `auto_strategy` is set).
     pub strategy: StandoffStrategy,
     /// Push element-name tests down into the region index as candidate
     /// sequences (§4.3). Disabling this is the ablation of §3.3(iii).
     pub candidate_pushdown: bool,
     /// Maximum user-defined function call depth.
     pub recursion_limit: usize,
+    /// Let the optimizer choose each StandOff operator's strategy from
+    /// region-index statistics ([`StandoffStrategy::pick_for`]) instead
+    /// of applying `strategy` globally. Off by default so explicit
+    /// strategy sweeps (the Figure 6 experiment) keep forcing.
+    pub auto_strategy: bool,
 }
 
 impl Default for EngineOptions {
@@ -48,7 +61,32 @@ impl Default for EngineOptions {
             strategy: StandoffStrategy::LoopLiftedMergeJoin,
             candidate_pushdown: true,
             recursion_limit: 64,
+            auto_strategy: false,
         }
+    }
+}
+
+impl EngineOptions {
+    /// A stable fingerprint of every option that influences
+    /// compilation. Plan caches key on `(query text, store generation,
+    /// options fingerprint)`; omitting the fingerprint would let a plan
+    /// compiled under one strategy/pushdown setting serve queries run
+    /// under another.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the option bytes — stable within a process, which
+        // is all a cache key needs.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(self.strategy as u8);
+        eat(self.candidate_pushdown as u8);
+        eat(self.auto_strategy as u8);
+        for b in (self.recursion_limit as u64).to_le_bytes() {
+            eat(b);
+        }
+        hash
     }
 }
 
@@ -142,13 +180,44 @@ impl EngineState {
             .copied()
     }
 
-    /// Evaluate a previously parsed query against this state.
+    /// The compilation context this state offers the query compiler:
+    /// current options plus statistics of every region index available
+    /// right now (mounted snapshot indexes and lazily built ones).
+    /// Estimates are off — execution paths don't pay for explain-only
+    /// annotations; inspection entry points flip
+    /// [`PlanContext::estimates`] on.
+    pub fn plan_context(&self) -> PlanContext<'_> {
+        let mut stats = IndexStats::default();
+        for index in self.region_cache.values() {
+            stats.merge(index.stats());
+        }
+        PlanContext {
+            options: &self.options,
+            store: Some(&self.store),
+            index_stats: stats,
+            estimates: false,
+        }
+    }
+
+    /// Compile a parsed query against this state (lower + optimize).
+    pub fn compile(&self, query: &Query) -> Result<Plan, QueryError> {
+        compile::compile(query, &self.plan_context())
+    }
+
+    /// Compile and evaluate a previously parsed query against this
+    /// state.
     pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
-        let config = config_from_prolog(&query.prolog)?;
+        let plan = self.compile(query)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Evaluate a compiled plan against this state — the single
+    /// execution entry point every query path funnels through.
+    pub fn execute_plan(&mut self, plan: &Plan) -> Result<QueryResult, QueryError> {
         // External variable values are cloned out first so the evaluator
         // can borrow the state mutably.
-        let mut external_values = Vec::with_capacity(query.prolog.external_variables.len());
-        for name in &query.prolog.external_variables {
+        let mut external_values = Vec::with_capacity(plan.externals.len());
+        for name in &plan.externals {
             let items = self.externals.get(name).cloned().ok_or_else(|| {
                 QueryError::stat(format!(
                     "external variable ${name} has no value (Engine::bind_external)"
@@ -156,25 +225,18 @@ impl EngineState {
             })?;
             external_values.push((name.clone(), items));
         }
-        let mut evaluator = Evaluator::new(self, config);
-        // Register user-defined functions (local name, so that prefixed
-        // definitions like `standoff:select-narrow` resolve either way).
-        for f in &query.prolog.functions {
-            let local = f.name.split_once(':').map(|(_, l)| l).unwrap_or(&f.name);
-            evaluator
-                .functions
-                .insert(local.to_string(), Rc::new(f.clone()));
-        }
+        let mut evaluator = Evaluator::new(self, plan.config.clone());
+        evaluator.functions = plan.functions.clone();
         for (name, items) in external_values {
             evaluator.bind(&name, LlSeq::for_iter(0, items));
         }
         // Global variables evaluate in declaration order in the root
         // scope.
-        for (name, expr) in &query.prolog.variables {
+        for (name, expr) in &plan.globals {
             let value = evaluator.eval(expr)?;
             evaluator.bind(name, value);
         }
-        let table = evaluator.eval(&query.body)?;
+        let table = evaluator.eval(&plan.body)?;
         let items = table.into_items();
         Ok(QueryResult::new(items, &self.store))
     }
@@ -316,15 +378,23 @@ impl Engine {
 
     /// Switch the StandOff evaluation strategy (Figure 6's independent
     /// variable).
+    ///
+    /// Option changes do *not* bump the store generation: the
+    /// generation stamps corpus identity, while plan caches key the
+    /// options separately via [`EngineOptions::fingerprint`].
     pub fn set_strategy(&mut self, strategy: StandoffStrategy) {
         self.state.options.strategy = strategy;
-        self.generation = fresh_generation();
     }
 
     /// Enable/disable candidate-sequence pushdown (§4.3 ablation).
     pub fn set_candidate_pushdown(&mut self, enabled: bool) {
         self.state.options.candidate_pushdown = enabled;
-        self.generation = fresh_generation();
+    }
+
+    /// Enable/disable per-operator strategy selection from index
+    /// statistics (see [`EngineOptions::auto_strategy`]).
+    pub fn set_auto_strategy(&mut self, enabled: bool) {
+        self.state.options.auto_strategy = enabled;
     }
 
     /// Pre-build the region index for a document under a configuration
@@ -346,22 +416,39 @@ impl Engine {
         parse_query(query)
     }
 
-    /// Render the evaluation plan of a query under the engine's current
-    /// strategy and pushdown settings (see [`crate::explain`]).
-    pub fn explain(&self, query: &str) -> Result<String, QueryError> {
+    /// Compile a query into its optimized plan without running it —
+    /// the same pipeline [`Engine::run`] executes, plus the
+    /// explain-grade `estimate` pass [`Engine::explain`] renders.
+    pub fn compile(&self, query: &str) -> Result<Plan, QueryError> {
         let parsed = parse_query(query)?;
-        Ok(crate::explain::explain_query(
-            &parsed,
-            self.state.options.strategy,
-            self.state.options.candidate_pushdown,
-        ))
+        let mut ctx = self.state.plan_context();
+        ctx.estimates = true;
+        compile::compile(&parsed, &ctx)
     }
 
-    /// Parse and evaluate a query; returns the materialized result
-    /// sequence.
+    /// Render the optimized plan of a query under the engine's current
+    /// options and corpus statistics (see [`crate::explain`]). The text
+    /// is generated from the very plan object execution would run.
+    pub fn explain(&self, query: &str) -> Result<String, QueryError> {
+        let plan = self.compile(query)?;
+        Ok(crate::explain::explain_plan(&plan))
+    }
+
+    /// Parse, compile, optimize and evaluate a query; returns the
+    /// materialized result sequence.
     pub fn run(&mut self, query: &str) -> Result<QueryResult, QueryError> {
         let parsed = parse_query(query)?;
         self.execute(&parsed)
+    }
+
+    /// Evaluate a query through the *unoptimized* direct-AST lowering —
+    /// the reference path the `plan_equivalence` suite holds the
+    /// optimizer against. Not a production entry point.
+    #[doc(hidden)]
+    pub fn run_unoptimized(&mut self, query: &str) -> Result<QueryResult, QueryError> {
+        let parsed = parse_query(query)?;
+        let plan = compile::lower(&parsed, &self.state.plan_context())?;
+        self.state.execute_plan(&plan)
     }
 
     /// Evaluate a query and return only the result cardinality, dropping
@@ -427,9 +514,9 @@ impl SharedEngine {
     }
 
     /// The generation stamp of the frozen corpus: changes whenever the
-    /// originating engine loaded, mounted, rebound or reconfigured
-    /// anything before freezing. Cache keys derived from query text must
-    /// include it (see [`crate::exec::QueryCache`]).
+    /// originating engine loaded, mounted or rebound anything before
+    /// freezing. Cache keys derived from query text must include it
+    /// *and* the options fingerprint (see [`crate::exec::QueryCache`]).
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -442,6 +529,28 @@ impl SharedEngine {
     /// The evaluation options the corpus was frozen with.
     pub fn options(&self) -> &EngineOptions {
         &self.core.options
+    }
+
+    /// The same corpus under different evaluation options — strategy
+    /// sweeps over one mounted corpus without re-loading anything. The
+    /// generation stamp is preserved (the corpus is identical); plan
+    /// caches distinguish the variants by options fingerprint.
+    pub fn with_options(&self, options: EngineOptions) -> SharedEngine {
+        let mut state = self.core.as_ref().clone();
+        state.options = options;
+        SharedEngine {
+            core: Arc::new(state),
+            generation: self.generation,
+        }
+    }
+
+    /// Compile a query against the frozen corpus — current options and
+    /// index statistics included. This is the plan cache's compile
+    /// path, so explain-only estimate annotations are skipped; use
+    /// [`Engine::compile`]/[`Engine::explain`] for inspection.
+    pub fn compile(&self, query: &str) -> Result<Plan, QueryError> {
+        let parsed = parse_query(query)?;
+        self.core.compile(&parsed)
     }
 }
 
@@ -465,9 +574,15 @@ impl Session {
         self.execute(&parsed)
     }
 
-    /// Evaluate a previously parsed query.
+    /// Compile and evaluate a previously parsed query.
     pub fn execute(&mut self, query: &Query) -> Result<QueryResult, QueryError> {
         self.state.execute(query)
+    }
+
+    /// Evaluate a previously compiled plan (the batch executor's hot
+    /// path — compilation happened once, in the shared plan cache).
+    pub fn execute_plan(&mut self, plan: &Plan) -> Result<QueryResult, QueryError> {
+        self.state.execute_plan(plan)
     }
 
     /// Drop session-local constructed documents and their cached
@@ -485,28 +600,10 @@ impl Session {
     }
 }
 
-/// Extract the `standoff-*` options of the prolog into a configuration
-/// (paper §2); unknown options are ignored, standoff ones are validated.
-fn config_from_prolog(prolog: &crate::ast::Prolog) -> Result<StandoffConfig, QueryError> {
-    let mut config = StandoffConfig::default();
-    for (name, value) in &prolog.options {
-        let local = name.split_once(':').map(|(_, l)| l).unwrap_or(name);
-        match local {
-            "standoff-type" => config.position_type = value.clone(),
-            "standoff-start" => config.start_name = value.clone(),
-            "standoff-end" => config.end_name = value.clone(),
-            "standoff-region" => config.region_name = Some(value.clone()),
-            "standoff-lenient" => config.lenient = value == "true",
-            _ => {} // other engines' options pass through
-        }
-    }
-    config.validate()?;
-    Ok(config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::config_from_prolog;
 
     #[test]
     fn options_default_to_loop_lifted() {

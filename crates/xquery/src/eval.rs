@@ -1,29 +1,39 @@
-//! The loop-lifted evaluator.
+//! The loop-lifted plan executor.
 //!
-//! Every expression is evaluated **once per scope**, producing an
-//! `iter|pos|item` table ([`LlSeq`]) that holds its value for *all*
-//! iterations of the enclosing for-loops simultaneously — Pathfinder's
-//! loop-lifting (paper §4.1) realized as a direct interpreter. A `for`
-//! clause does not loop: it pushes a *frame* whose iterations are the rows
-//! of the binding sequence; axis steps and StandOff joins then run once,
-//! in bulk, over the whole frame. This is precisely what makes the
-//! loop-lifted StandOff MergeJoin reachable from queries like XMark Q2.
+//! The evaluator runs **compiled plans** ([`crate::plan`]) — never the
+//! surface AST. Every plan operator is evaluated **once per scope**,
+//! producing an `iter|pos|item` table ([`LlSeq`]) that holds its value
+//! for *all* iterations of the enclosing for-loops simultaneously —
+//! Pathfinder's loop-lifting (paper §4.1) realized as a direct plan
+//! interpreter. A `for` clause does not loop: it pushes a *frame* whose
+//! iterations are the rows of the binding sequence; axis steps and
+//! StandOff joins then run once, in bulk, over the whole frame. This is
+//! precisely what makes the loop-lifted StandOff MergeJoin reachable
+//! from queries like XMark Q2.
+//!
+//! Plan-time decisions are honored, not re-made: each StandOff join
+//! operator carries its strategy and candidate-pushdown annotation
+//! ([`crate::plan::StandoffOp`]), and FLWOR operators carry the
+//! optimizer's hoisted loop-invariant bindings, which this module
+//! evaluates once per surviving host iteration (after the `where`
+//! restriction) instead of once per inner iteration.
 //!
 //! Frames form a stack; each non-root frame carries a map from its
 //! iterations to its parent's, so outer variables expand on demand and
 //! results map back when the frame pops.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use standoff_algebra::{Item, KindTest, LlSeq, NodeTable, NodeTest, TreeAxis};
-use standoff_core::{evaluate_standoff_join, IterNode, JoinInput, StandoffAxis, StandoffConfig};
+use standoff_algebra::{Item, LlSeq, NodeTable, NodeTest, TreeAxis};
+use standoff_core::{evaluate_standoff_join, IterNode, JoinInput, StandoffConfig};
 use standoff_xml::{DocId, DocumentBuilder, NodeKind, NodeRef};
 
-use crate::ast::*;
+use crate::ast::{ArithOp, CompOp};
 use crate::engine::EngineState;
 use crate::error::QueryError;
 use crate::functions;
+use crate::plan::*;
 
 /// One scope of the loop-lifting frame stack.
 pub struct Frame {
@@ -42,7 +52,9 @@ pub struct Frame {
 pub struct Evaluator<'e> {
     pub engine: &'e mut EngineState,
     pub config: StandoffConfig,
-    pub functions: HashMap<String, Rc<FunctionDecl>>,
+    /// The plan's user-defined function table; [`PlanExpr::UdfCall`]
+    /// indexes into it.
+    pub functions: Vec<Arc<PlanFunction>>,
     pub frames: Vec<Frame>,
     pub call_depth: usize,
 }
@@ -52,7 +64,7 @@ impl<'e> Evaluator<'e> {
         Evaluator {
             engine,
             config,
-            functions: HashMap::new(),
+            functions: Vec::new(),
             frames: vec![Frame {
                 n_iters: 1,
                 map: None,
@@ -122,16 +134,14 @@ impl<'e> Evaluator<'e> {
         table.expand(&composed)
     }
 
-    // ================= expression dispatch =================
+    // ================= operator dispatch =================
 
-    pub fn eval(&mut self, expr: &Expr) -> Result<LlSeq, QueryError> {
+    pub fn eval(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
         match expr {
-            Expr::IntLit(i) => Ok(LlSeq::lifted_const(self.n_iters(), Item::Integer(*i))),
-            Expr::DoubleLit(d) => Ok(LlSeq::lifted_const(self.n_iters(), Item::Double(*d))),
-            Expr::StringLit(s) => Ok(LlSeq::lifted_const(self.n_iters(), Item::str(s))),
-            Expr::VarRef(name) => self.lookup(name),
-            Expr::ContextItem => self.lookup("."),
-            Expr::Sequence(items) => {
+            PlanExpr::Const(atom) => Ok(LlSeq::lifted_const(self.n_iters(), atom.to_item())),
+            PlanExpr::Var(name) => self.lookup(name),
+            PlanExpr::ContextItem => self.lookup("."),
+            PlanExpr::Sequence(items) => {
                 let mut out = LlSeq::empty();
                 for e in items {
                     let t = self.eval(e)?;
@@ -139,45 +149,81 @@ impl<'e> Evaluator<'e> {
                 }
                 Ok(out)
             }
-            Expr::Flwor {
+            PlanExpr::Flwor {
+                hoisted,
                 clauses,
                 where_clause,
                 order_by,
                 return_clause,
-            } => self.eval_flwor(clauses, where_clause.as_deref(), order_by, return_clause),
-            Expr::Quantified {
+            } => self.eval_flwor(
+                hoisted,
+                clauses,
+                where_clause.as_deref(),
+                order_by,
+                return_clause,
+            ),
+            PlanExpr::Quantified {
                 every,
                 bindings,
                 satisfies,
             } => self.eval_quantified(*every, bindings, satisfies),
-            Expr::IfThenElse {
+            PlanExpr::IfThenElse {
                 cond,
                 then_branch,
                 else_branch,
             } => self.eval_if(cond, then_branch, else_branch),
-            Expr::Or(a, b) => self.eval_logical(a, b, |x, y| x || y),
-            Expr::And(a, b) => self.eval_logical(a, b, |x, y| x && y),
-            Expr::Comparison(op, a, b) => self.eval_comparison(*op, a, b),
-            Expr::Arith(op, a, b) => self.eval_arith(*op, a, b),
-            Expr::Range(a, b) => self.eval_range(a, b),
-            Expr::Neg(e) => self.eval_neg(e),
-            Expr::Union(a, b) => self.eval_union(a, b),
-            Expr::Intersect(a, b) => self.eval_intersect_except(a, b, true),
-            Expr::Except(a, b) => self.eval_intersect_except(a, b, false),
-            Expr::Step {
+            PlanExpr::Or(a, b) => self.eval_logical(a, b, |x, y| x || y),
+            PlanExpr::And(a, b) => self.eval_logical(a, b, |x, y| x && y),
+            PlanExpr::Comparison(op, a, b) => self.eval_comparison(*op, a, b),
+            PlanExpr::Arith(op, a, b) => self.eval_arith(*op, a, b),
+            PlanExpr::Range(a, b) => self.eval_range(a, b),
+            PlanExpr::Neg(e) => self.eval_neg(e),
+            PlanExpr::Union(a, b) => self.eval_union(a, b),
+            PlanExpr::Intersect(a, b) => self.eval_intersect_except(a, b, true),
+            PlanExpr::Except(a, b) => self.eval_intersect_except(a, b, false),
+            PlanExpr::TreeStep {
                 input,
                 axis,
                 test,
                 predicates,
-            } => self.eval_step(input.as_deref(), *axis, test, predicates),
-            Expr::PathExpr { input, step } => self.eval_path_expr(input, step),
-            Expr::RootPath(_) => self.eval_root_path(),
-            Expr::Filter { input, predicate } => {
+            } => self.eval_tree_step(input.as_deref(), *axis, test, predicates),
+            PlanExpr::StandoffStep {
+                input,
+                op,
+                test,
+                predicates,
+            } => self.eval_standoff_step(input.as_deref(), op, test, predicates),
+            PlanExpr::PathExpr { input, step } => self.eval_path_expr(input, step),
+            PlanExpr::RootPath => self.eval_root_path(),
+            PlanExpr::Filter { input, predicate } => {
                 let t = self.eval(input)?;
                 self.apply_predicate(t, predicate)
             }
-            Expr::FunctionCall { name, args } => self.eval_function_call(name, args),
-            Expr::Constructor(c) => self.eval_constructor(c),
+            PlanExpr::UdfCall { index, name, args } => self.eval_udf_call(*index, name, args),
+            PlanExpr::StandoffFn {
+                op,
+                ctx,
+                candidates,
+            } => {
+                let ctx_t = self.eval(ctx)?;
+                let ctx_nodes = NodeTable::from_llseq(&ctx_t).map_err(QueryError::dynamic)?;
+                let cands = match candidates {
+                    Some(c) => {
+                        let t = self.eval(c)?;
+                        Some(NodeTable::from_llseq(&t).map_err(QueryError::dynamic)?)
+                    }
+                    None => None,
+                };
+                let out = self.eval_standoff_join(
+                    &ctx_nodes,
+                    op,
+                    &NodeTest::any_element(),
+                    cands.as_ref(),
+                )?;
+                Ok(out.into_llseq())
+            }
+            PlanExpr::BuiltinCall { name, args } => self.eval_builtin_call(name, args),
+            PlanExpr::Constructor(c) => self.eval_constructor(c),
         }
     }
 
@@ -185,16 +231,18 @@ impl<'e> Evaluator<'e> {
 
     fn eval_flwor(
         &mut self,
-        clauses: &[FlworClause],
-        where_clause: Option<&Expr>,
-        order_by: &[OrderKey],
-        return_clause: &Expr,
+        hoisted: &[(String, PlanExpr)],
+        clauses: &[PlanClause],
+        where_clause: Option<&PlanExpr>,
+        order_by: &[PlanOrderKey],
+        return_clause: &PlanExpr,
     ) -> Result<LlSeq, QueryError> {
         let base_depth = self.frames.len();
         // A FLWOR gets its own scope frame (identity map) so that `let`
         // bindings never escape into the host frame — in the root scope
         // they would otherwise masquerade as globals and leak through
-        // function-call barriers.
+        // function-call barriers. Hoisted loop-invariant bindings also
+        // live here, in host numbering.
         let host_n = self.n_iters();
         self.frames.push(Frame {
             n_iters: host_n,
@@ -205,7 +253,7 @@ impl<'e> Evaluator<'e> {
         let result = (|| {
             for clause in clauses {
                 match clause {
-                    FlworClause::For { var, at, seq } => {
+                    PlanClause::For { var, at, seq } => {
                         let s = self.eval(seq)?;
                         // New scope: one iteration per row of the binding
                         // sequence.
@@ -238,7 +286,7 @@ impl<'e> Evaluator<'e> {
                             barrier: false,
                         });
                     }
-                    FlworClause::Let { var, value } => {
+                    PlanClause::Let { var, value } => {
                         let v = self.eval(value)?;
                         self.bind(var, v);
                     }
@@ -260,6 +308,40 @@ impl<'e> Evaluator<'e> {
                     vars: HashMap::new(),
                     barrier: false,
                 });
+            }
+
+            // Loop-invariant bindings the optimizer hoisted out of this
+            // FLWOR: evaluated in the *scope frame* (host numbering),
+            // restricted to the host iterations that survive into the
+            // current inner scope — once per surviving host iteration
+            // instead of once per inner iteration, and not at all when
+            // the iteration space is empty (preserving the lazy error
+            // behavior of empty loops).
+            if !hoisted.is_empty() {
+                let n_top = self.n_iters();
+                let mut comp: Vec<u32> = (0..n_top).collect();
+                for depth in (base_depth + 1..self.frames.len()).rev() {
+                    let m = self.frames[depth].map.as_ref().unwrap();
+                    for c in comp.iter_mut() {
+                        *c = m[*c as usize];
+                    }
+                }
+                let mut surviving = comp;
+                surviving.sort_unstable();
+                surviving.dedup();
+                let saved = self.frames.split_off(base_depth + 1);
+                let mut outcome = Ok(());
+                for (name, expr) in hoisted {
+                    match self.eval_in_restriction(surviving.clone(), expr) {
+                        Ok(value) => self.bind(name, value),
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                }
+                self.frames.extend(saved);
+                outcome?;
             }
 
             // Ranks for order-by (identity without one).
@@ -298,7 +380,7 @@ impl<'e> Evaluator<'e> {
 
     /// Rank of each current-frame iteration under the order-by keys,
     /// within its host iteration group.
-    fn order_by_ranks(&mut self, order_by: &[OrderKey]) -> Result<Vec<u32>, QueryError> {
+    fn order_by_ranks(&mut self, order_by: &[PlanOrderKey]) -> Result<Vec<u32>, QueryError> {
         let n = self.n_iters();
         // Evaluate each key: per iteration an optional atomic item.
         let mut keys: Vec<Vec<Option<Item>>> = Vec::with_capacity(order_by.len());
@@ -342,8 +424,8 @@ impl<'e> Evaluator<'e> {
     fn eval_quantified(
         &mut self,
         every: bool,
-        bindings: &[(String, Expr)],
-        satisfies: &Expr,
+        bindings: &[(String, PlanExpr)],
+        satisfies: &PlanExpr,
     ) -> Result<LlSeq, QueryError> {
         let base_depth = self.frames.len();
         let host_n = self.n_iters();
@@ -393,9 +475,9 @@ impl<'e> Evaluator<'e> {
 
     fn eval_if(
         &mut self,
-        cond: &Expr,
-        then_branch: &Expr,
-        else_branch: &Expr,
+        cond: &PlanExpr,
+        then_branch: &PlanExpr,
+        else_branch: &PlanExpr,
     ) -> Result<LlSeq, QueryError> {
         let c = self.eval(cond)?;
         let keep = c.effective_boolean(self.n_iters());
@@ -420,7 +502,11 @@ impl<'e> Evaluator<'e> {
     /// numbering); result comes back in host numbering. Skipping the
     /// evaluation entirely when the restriction is empty is what makes
     /// recursive user-defined functions terminate.
-    fn eval_in_restriction(&mut self, iters: Vec<u32>, expr: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_in_restriction(
+        &mut self,
+        iters: Vec<u32>,
+        expr: &PlanExpr,
+    ) -> Result<LlSeq, QueryError> {
         if iters.is_empty() {
             return Ok(LlSeq::empty());
         }
@@ -438,8 +524,8 @@ impl<'e> Evaluator<'e> {
 
     fn eval_logical(
         &mut self,
-        a: &Expr,
-        b: &Expr,
+        a: &PlanExpr,
+        b: &PlanExpr,
         op: impl Fn(bool, bool) -> bool,
     ) -> Result<LlSeq, QueryError> {
         let n = self.n_iters();
@@ -454,7 +540,12 @@ impl<'e> Evaluator<'e> {
         ))
     }
 
-    fn eval_comparison(&mut self, op: CompOp, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_comparison(
+        &mut self,
+        op: CompOp,
+        a: &PlanExpr,
+        b: &PlanExpr,
+    ) -> Result<LlSeq, QueryError> {
         use std::cmp::Ordering;
         let n = self.n_iters();
         let ta = self.eval(a)?;
@@ -523,7 +614,7 @@ impl<'e> Evaluator<'e> {
         Ok(LlSeq::from_columns(iters, items))
     }
 
-    fn eval_arith(&mut self, op: ArithOp, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_arith(&mut self, op: ArithOp, a: &PlanExpr, b: &PlanExpr) -> Result<LlSeq, QueryError> {
         let n = self.n_iters();
         let ta = self.eval(a)?;
         let tb = self.eval(b)?;
@@ -543,7 +634,7 @@ impl<'e> Evaluator<'e> {
         Ok(LlSeq::from_columns(iters, items))
     }
 
-    fn eval_range(&mut self, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_range(&mut self, a: &PlanExpr, b: &PlanExpr) -> Result<LlSeq, QueryError> {
         let n = self.n_iters();
         let ta = self.eval(a)?;
         let tb = self.eval(b)?;
@@ -562,7 +653,7 @@ impl<'e> Evaluator<'e> {
         Ok(out)
     }
 
-    fn eval_neg(&mut self, e: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_neg(&mut self, e: &PlanExpr) -> Result<LlSeq, QueryError> {
         let t = self.eval(e)?;
         let n = self.n_iters();
         let mut iters = Vec::new();
@@ -586,7 +677,7 @@ impl<'e> Evaluator<'e> {
         Ok(LlSeq::from_columns(iters, items))
     }
 
-    fn eval_union(&mut self, a: &Expr, b: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_union(&mut self, a: &PlanExpr, b: &PlanExpr) -> Result<LlSeq, QueryError> {
         let ta = self.eval(a)?;
         let tb = self.eval(b)?;
         let na = NodeTable::from_llseq(&ta).map_err(QueryError::dynamic)?;
@@ -602,8 +693,8 @@ impl<'e> Evaluator<'e> {
     /// iteration, result in document order.
     fn eval_intersect_except(
         &mut self,
-        a: &Expr,
-        b: &Expr,
+        a: &PlanExpr,
+        b: &PlanExpr,
         keep_common: bool,
     ) -> Result<LlSeq, QueryError> {
         let ta = self.eval(a)?;
@@ -624,7 +715,7 @@ impl<'e> Evaluator<'e> {
 
     // ================= paths and steps =================
 
-    fn context_nodes(&mut self, input: Option<&Expr>) -> Result<NodeTable, QueryError> {
+    fn context_nodes(&mut self, input: Option<&PlanExpr>) -> Result<NodeTable, QueryError> {
         let t = match input {
             Some(e) => self.eval(e)?,
             None => self
@@ -634,20 +725,31 @@ impl<'e> Evaluator<'e> {
         NodeTable::from_llseq(&t).map_err(QueryError::dynamic)
     }
 
-    fn eval_step(
+    fn eval_tree_step(
         &mut self,
-        input: Option<&Expr>,
-        axis: Axis,
+        input: Option<&PlanExpr>,
+        axis: TreeAxis,
         test: &NodeTest,
-        predicates: &[Expr],
+        predicates: &[PlanExpr],
     ) -> Result<LlSeq, QueryError> {
         let ctx = self.context_nodes(input)?;
-        let result = match axis {
-            Axis::Tree(tree_axis) => {
-                standoff_algebra::staircase::ll_step(&self.engine.store, &ctx, tree_axis, test)
-            }
-            Axis::Standoff(so_axis) => self.eval_standoff_step(&ctx, so_axis, test)?,
-        };
+        let result = standoff_algebra::staircase::ll_step(&self.engine.store, &ctx, axis, test);
+        let mut table = result.into_llseq();
+        for predicate in predicates {
+            table = self.apply_predicate(table, predicate)?;
+        }
+        Ok(table)
+    }
+
+    fn eval_standoff_step(
+        &mut self,
+        input: Option<&PlanExpr>,
+        op: &StandoffOp,
+        test: &NodeTest,
+        predicates: &[PlanExpr],
+    ) -> Result<LlSeq, QueryError> {
+        let ctx = self.context_nodes(input)?;
+        let result = self.eval_standoff_join(&ctx, op, test, None)?;
         let mut table = result.into_llseq();
         for predicate in predicates {
             table = self.apply_predicate(table, predicate)?;
@@ -665,28 +767,22 @@ impl<'e> Evaluator<'e> {
             .unwrap_or_else(|| self.config.clone())
     }
 
-    /// Evaluate one of the four StandOff axis steps: partition the context
-    /// per document fragment, run the configured join strategy per
-    /// fragment (§4.4), and merge back into document order per iteration.
-    pub(crate) fn eval_standoff_step(
+    /// Evaluate one StandOff join operator: partition the context per
+    /// document fragment, run the *plan-annotated* join strategy per
+    /// fragment (§4.4), and merge back into document order per
+    /// iteration. Strategy and candidate pushdown come from the
+    /// [`StandoffOp`] — they were decided at plan time, not here. An
+    /// explicit candidate node sequence (the built-in function form,
+    /// Figure 3) overrides the name-test pushdown.
+    fn eval_standoff_join(
         &mut self,
         ctx: &NodeTable,
-        axis: StandoffAxis,
-        test: &NodeTest,
-    ) -> Result<NodeTable, QueryError> {
-        self.eval_standoff_join(ctx, axis, test, None)
-    }
-
-    /// StandOff join with an optional explicit candidate node sequence
-    /// (the built-in function form, Figure 3). `explicit_candidates`
-    /// overrides the name-test pushdown.
-    pub(crate) fn eval_standoff_join(
-        &mut self,
-        ctx: &NodeTable,
-        axis: StandoffAxis,
+        op: &StandoffOp,
         test: &NodeTest,
         explicit_candidates: Option<&NodeTable>,
     ) -> Result<NodeTable, QueryError> {
+        let axis = op.axis;
+        let strategy = op.strategy;
         // Bucket context rows per document.
         let mut buckets: HashMap<DocId, Vec<IterNode>> = HashMap::new();
         for (&iter, node) in ctx.iters().iter().zip(ctx.nodes()) {
@@ -744,10 +840,6 @@ impl<'e> Evaluator<'e> {
             units.sort_by_key(|(ctx_docs, _)| ctx_docs[0]);
         }
 
-        let strategy = self.engine.options.strategy;
-        let pushdown = self.engine.options.candidate_pushdown
-            && strategy != standoff_core::StandoffStrategy::NaiveNoCandidates;
-
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
         for (ctx_docs, targets) in units {
             // Sorted, deduplicated context per context document, and the
@@ -767,28 +859,31 @@ impl<'e> Evaluator<'e> {
             for &target in &targets {
                 let target_config = self.doc_config(target);
                 let target_index = self.engine.region_index(target, &target_config)?;
-                // Candidate restriction: explicit sequence, or name-test
-                // pushdown through the element index (§4.3) — always
-                // against the *target* layer's document.
+                // Candidate restriction: explicit sequence, or the
+                // plan's name-test pushdown through the element index
+                // (§4.3) — always against the *target* layer's document.
                 let name_candidates: Option<Vec<u32>> = if explicit_candidates.is_some() {
                     // Each document is the target of exactly one unit, so
                     // the bucket can be moved out rather than cloned.
                     cand_buckets.remove(&target).or_else(|| Some(Vec::new()))
-                } else if pushdown && test.kind == KindTest::Element {
-                    test.name.as_ref().map(|n| {
-                        let mut pres = self.engine.store.doc(target).elements_named(n).to_vec();
-                        // The candidate intersection requires strictly
-                        // ascending ids. Builder- and codec-produced
-                        // element indexes satisfy this, but the index is
-                        // externally supplied data (snapshot v2), so
-                        // enforce the invariant here rather than trust
-                        // every producer forever.
-                        if !pres.windows(2).all(|w| w[0] < w[1]) {
-                            pres.sort_unstable();
-                            pres.dedup();
-                        }
-                        pres
-                    })
+                } else if let Some(pushed_name) = &op.pushdown {
+                    let mut pres = self
+                        .engine
+                        .store
+                        .doc(target)
+                        .elements_named(pushed_name)
+                        .to_vec();
+                    // The candidate intersection requires strictly
+                    // ascending ids. Builder- and codec-produced
+                    // element indexes satisfy this, but the index is
+                    // externally supplied data (snapshot v2), so
+                    // enforce the invariant here rather than trust
+                    // every producer forever.
+                    if !pres.windows(2).all(|w| w[0] < w[1]) {
+                        pres.sort_unstable();
+                        pres.dedup();
+                    }
+                    Some(pres)
                 } else {
                     None
                 };
@@ -863,7 +958,7 @@ impl<'e> Evaluator<'e> {
         ))
     }
 
-    fn eval_path_expr(&mut self, input: &Expr, step: &Expr) -> Result<LlSeq, QueryError> {
+    fn eval_path_expr(&mut self, input: &PlanExpr, step: &PlanExpr) -> Result<LlSeq, QueryError> {
         let t = self.eval(input)?;
         // Scope over the rows of the input; "." bound per row.
         let n = t.len() as u32;
@@ -919,7 +1014,7 @@ impl<'e> Evaluator<'e> {
     pub(crate) fn apply_predicate(
         &mut self,
         table: LlSeq,
-        predicate: &Expr,
+        predicate: &PlanExpr,
     ) -> Result<LlSeq, QueryError> {
         let n = table.len() as u32;
         let map = table.iters().to_vec();
@@ -990,7 +1085,50 @@ impl<'e> Evaluator<'e> {
 
     // ================= functions =================
 
-    fn eval_function_call(&mut self, name: &str, args: &[Expr]) -> Result<LlSeq, QueryError> {
+    /// Call a user-defined function resolved to `index` at compile time.
+    fn eval_udf_call(
+        &mut self,
+        index: usize,
+        name: &str,
+        args: &[PlanExpr],
+    ) -> Result<LlSeq, QueryError> {
+        let decl =
+            self.functions.get(index).cloned().ok_or_else(|| {
+                QueryError::internal(format!("dangling function index for {name}()"))
+            })?;
+        if decl.params.len() != args.len() {
+            return Err(QueryError::stat(format!(
+                "function {name}() expects {} argument(s), got {}",
+                decl.params.len(),
+                args.len()
+            )));
+        }
+        if self.call_depth >= self.engine.options.recursion_limit {
+            return Err(QueryError::dynamic(format!(
+                "recursion limit ({}) exceeded in {name}()",
+                self.engine.options.recursion_limit
+            )));
+        }
+        let mut vars = HashMap::new();
+        for (param, arg) in decl.params.iter().zip(args) {
+            vars.insert(param.clone(), self.eval(arg)?);
+        }
+        let n = self.n_iters();
+        self.frames.push(Frame {
+            n_iters: n,
+            map: Some((0..n).collect()),
+            vars,
+            barrier: true,
+        });
+        self.call_depth += 1;
+        let result = self.eval(&decl.body);
+        self.call_depth -= 1;
+        self.frames.pop();
+        result
+    }
+
+    /// Call a built-in library function by name.
+    fn eval_builtin_call(&mut self, name: &str, args: &[PlanExpr]) -> Result<LlSeq, QueryError> {
         let local = name.split_once(':').map(|(_, l)| l).unwrap_or(name);
 
         // Context-dependent zero-argument built-ins.
@@ -1006,53 +1144,14 @@ impl<'e> Evaluator<'e> {
                         .lookup("fn:last")
                         .map_err(|_| QueryError::dynamic("last() used outside a predicate"))
                 }
+                // true()/false() are folded to constants at compile
+                // time; handled here only for robustness.
                 "true" => return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(true))),
                 "false" => return Ok(LlSeq::lifted_const(self.n_iters(), Item::Boolean(false))),
                 _ => {}
             }
         }
 
-        // User-defined functions shadow built-ins of the same name (the
-        // paper's Figure 2/3 define `select-narrow` as a UDF while the
-        // engine also has it as a built-in).
-        if let Some(decl) = self
-            .functions
-            .get(local)
-            .or_else(|| self.functions.get(name))
-        {
-            let decl = Rc::clone(decl);
-            if decl.params.len() != args.len() {
-                return Err(QueryError::stat(format!(
-                    "function {name}() expects {} argument(s), got {}",
-                    decl.params.len(),
-                    args.len()
-                )));
-            }
-            if self.call_depth >= self.engine.options.recursion_limit {
-                return Err(QueryError::dynamic(format!(
-                    "recursion limit ({}) exceeded in {name}()",
-                    self.engine.options.recursion_limit
-                )));
-            }
-            let mut vars = HashMap::new();
-            for (param, arg) in decl.params.iter().zip(args) {
-                vars.insert(param.clone(), self.eval(arg)?);
-            }
-            let n = self.n_iters();
-            self.frames.push(Frame {
-                n_iters: n,
-                map: Some((0..n).collect()),
-                vars,
-                barrier: true,
-            });
-            self.call_depth += 1;
-            let result = self.eval(&decl.body);
-            self.call_depth -= 1;
-            self.frames.pop();
-            return result;
-        }
-
-        // Built-ins.
         let mut arg_tables = Vec::with_capacity(args.len());
         for a in args {
             arg_tables.push(self.eval(a)?);
@@ -1063,7 +1162,7 @@ impl<'e> Evaluator<'e> {
 
     // ================= constructors =================
 
-    fn eval_constructor(&mut self, c: &ElementConstructor) -> Result<LlSeq, QueryError> {
+    fn eval_constructor(&mut self, c: &PlanConstructor) -> Result<LlSeq, QueryError> {
         // Evaluate every enclosed expression once (loop-lifted), then
         // assemble one element per iteration.
         let mut tables: Vec<LlSeq> = Vec::new();
@@ -1087,12 +1186,12 @@ impl<'e> Evaluator<'e> {
     /// tree, in syntactic order (matched by `build_element`'s cursor).
     fn eval_constructor_exprs(
         &mut self,
-        c: &ElementConstructor,
+        c: &PlanConstructor,
         tables: &mut Vec<LlSeq>,
     ) -> Result<(), QueryError> {
         for (_, parts) in &c.attributes {
             for part in parts {
-                if let ConstructorContent::Enclosed(e) = part {
+                if let PlanContent::Enclosed(e) = part {
                     let t = self.eval(e)?;
                     tables.push(t);
                 }
@@ -1100,14 +1199,14 @@ impl<'e> Evaluator<'e> {
         }
         for part in &c.content {
             match part {
-                ConstructorContent::Enclosed(e) => {
+                PlanContent::Enclosed(e) => {
                     let t = self.eval(e)?;
                     tables.push(t);
                 }
-                ConstructorContent::Element(child) => {
+                PlanContent::Element(child) => {
                     self.eval_constructor_exprs(child, tables)?;
                 }
-                ConstructorContent::Text(_) => {}
+                PlanContent::Text(_) => {}
             }
         }
         Ok(())
@@ -1115,7 +1214,7 @@ impl<'e> Evaluator<'e> {
 
     fn build_element(
         &self,
-        c: &ElementConstructor,
+        c: &PlanConstructor,
         iter: u32,
         tables: &[LlSeq],
         cursor: &mut usize,
@@ -1126,8 +1225,8 @@ impl<'e> Evaluator<'e> {
             let mut value = String::new();
             for part in parts {
                 match part {
-                    ConstructorContent::Text(t) => value.push_str(t),
-                    ConstructorContent::Enclosed(_) => {
+                    PlanContent::Text(t) => value.push_str(t),
+                    PlanContent::Enclosed(_) => {
                         let t = &tables[*cursor];
                         *cursor += 1;
                         let mut first = true;
@@ -1139,20 +1238,20 @@ impl<'e> Evaluator<'e> {
                             value.push_str(&item.string_value(&self.engine.store));
                         }
                     }
-                    ConstructorContent::Element(_) => unreachable!("no elements in attributes"),
+                    PlanContent::Element(_) => unreachable!("no elements in attributes"),
                 }
             }
             builder.attribute(attr_name, &value);
         }
         for part in &c.content {
             match part {
-                ConstructorContent::Text(t) => {
+                PlanContent::Text(t) => {
                     builder.text(t);
                 }
-                ConstructorContent::Element(child) => {
+                PlanContent::Element(child) => {
                     self.build_element(child, iter, tables, cursor, builder)?;
                 }
-                ConstructorContent::Enclosed(_) => {
+                PlanContent::Enclosed(_) => {
                     let t = &tables[*cursor];
                     *cursor += 1;
                     let mut pending_atom = false;

@@ -12,7 +12,8 @@
 //! the pool":
 //!
 //! * every query string, however malformed, produces a `Result` — the
-//!   lexer/parser/evaluator return [`QueryError`]s rather than panic;
+//!   lexer/parser/compiler/evaluator return [`QueryError`]s rather than
+//!   panic;
 //! * should a defect slip through anyway, the panic is caught per
 //!   query, surfaced as [`QueryError::Internal`], and the worker's
 //!   session is rebuilt before the next query;
@@ -21,33 +22,41 @@
 //!   evaluation over the shared corpus is by-value identical across
 //!   thread counts.
 //!
-//! Parsed queries are memoized in a small LRU [`QueryCache`] keyed on
-//! `(query text, store generation)`, so repeated queries — the common
-//! shape of an annotation-service workload — skip the parser entirely.
+//! Compiled plans are memoized in a small LRU [`QueryCache`] keyed on
+//! `(query text, store generation, options fingerprint)`, so repeated
+//! queries — the common shape of an annotation-service workload — skip
+//! the parser *and* the compiler/optimizer entirely. The options
+//! fingerprint matters: strategy and candidate pushdown are baked into
+//! the plan at compile time, so a plan compiled under one option set
+//! must never serve an engine running another (see
+//! [`crate::engine::EngineOptions::fingerprint`]).
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::ast::Query;
 use crate::engine::{Session, SharedEngine};
 use crate::error::QueryError;
-use crate::parser::parse_query;
+use crate::plan::Plan;
 use crate::result::QueryResult;
 
-/// Default capacity of an executor's parsed-query cache.
+/// Default capacity of an executor's compiled-plan cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
-/// An LRU cache of parsed queries, keyed on `(query text, store
-/// generation)`.
+/// An LRU cache of compiled plans, keyed on `(query text, store
+/// generation, options fingerprint)`.
 ///
-/// The generation key makes entries self-invalidating: an executor
-/// rebuilt over a re-mounted corpus draws fresh generation stamps, so a
-/// cache shared across executors can never serve a stale AST for a
-/// different corpus. Shared behind [`Arc`] by all workers of an
-/// executor; hit/miss counters are exposed for `--time` style
-/// reporting.
+/// The generation key makes entries self-invalidating against corpus
+/// changes: an executor rebuilt over a re-mounted corpus draws fresh
+/// generation stamps, so a cache shared across executors can never
+/// serve a stale plan for a different corpus. The options fingerprint
+/// does the same for evaluation options — two [`SharedEngine`]s over
+/// the *same* corpus (same generation, e.g. via
+/// [`SharedEngine::with_options`]) but different strategy/pushdown
+/// settings hit disjoint entries, because those settings are compiled
+/// into the plan. Shared behind [`Arc`] by all workers of an executor;
+/// hit/miss counters are exposed for `--time` style reporting.
 pub struct QueryCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
@@ -55,19 +64,22 @@ pub struct QueryCache {
     misses: AtomicU64,
 }
 
+/// Everything but the query text of a cache key.
+type EpochKey = (u64, u64); // (store generation, options fingerprint)
+
 struct CacheInner {
-    /// Generation → (query text → entry). Nested so the hot hit path
-    /// probes with a borrowed `&str` — no per-lookup allocation; the
-    /// query text is copied only when an entry is inserted.
-    generations: HashMap<u64, HashMap<String, CacheEntry>>,
-    /// Total entries across all generations.
+    /// Epoch → (query text → entry). Nested so the hot hit path probes
+    /// with a borrowed `&str` — no per-lookup allocation; the query
+    /// text is copied only when an entry is inserted.
+    epochs: HashMap<EpochKey, HashMap<String, CacheEntry>>,
+    /// Total entries across all epochs.
     len: usize,
     /// Logical clock for LRU eviction.
     tick: u64,
 }
 
 struct CacheEntry {
-    query: Arc<Query>,
+    plan: Arc<Plan>,
     last_used: u64,
 }
 
@@ -76,7 +88,7 @@ impl QueryCache {
         QueryCache {
             capacity: capacity.max(1),
             inner: Mutex::new(CacheInner {
-                generations: HashMap::new(),
+                epochs: HashMap::new(),
                 len: 0,
                 tick: 0,
             }),
@@ -85,52 +97,53 @@ impl QueryCache {
         }
     }
 
-    /// The parsed form of `text` under `generation`, parsing (and
-    /// caching) on miss. Parse errors are not cached — hostile inputs
-    /// must not evict useful entries.
-    pub fn get_or_parse(&self, text: &str, generation: u64) -> Result<Arc<Query>, QueryError> {
+    /// The compiled plan of `text` for `engine`'s corpus and options,
+    /// compiling (and caching) on miss. Parse and compile errors are
+    /// not cached — hostile inputs must not evict useful entries.
+    pub fn get_or_compile(
+        &self,
+        text: &str,
+        engine: &SharedEngine,
+    ) -> Result<Arc<Plan>, QueryError> {
+        let epoch: EpochKey = (engine.generation(), engine.options().fingerprint());
         {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some(entry) = inner
-                .generations
-                .get_mut(&generation)
-                .and_then(|m| m.get_mut(text))
-            {
+            if let Some(entry) = inner.epochs.get_mut(&epoch).and_then(|m| m.get_mut(text)) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.query));
+                return Ok(Arc::clone(&entry.plan));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        // Parse outside the lock: a slow parse of one query must not
+        // Compile outside the lock: a slow compile of one query must not
         // stall every other worker's cache lookups. Concurrent misses on
-        // the same text parse twice and the last insert wins — benign.
-        let parsed = Arc::new(guard_panic(|| parse_query(text), "query parser")??);
+        // the same text compile twice and the last insert wins — benign.
+        let plan = Arc::new(guard_panic(|| engine.compile(text), "query compiler")??);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
         let replacing = inner
-            .generations
-            .get(&generation)
+            .epochs
+            .get(&epoch)
             .is_some_and(|m| m.contains_key(text));
         if !replacing && inner.len >= self.capacity {
             inner.evict_lru();
         }
         let entry = CacheEntry {
-            query: Arc::clone(&parsed),
+            plan: Arc::clone(&plan),
             last_used: tick,
         };
         inner
-            .generations
-            .entry(generation)
+            .epochs
+            .entry(epoch)
             .or_default()
             .insert(text.to_string(), entry);
         if !replacing {
             inner.len += 1;
         }
-        Ok(parsed)
+        Ok(plan)
     }
 
     /// Cache hits since construction.
@@ -143,7 +156,7 @@ impl QueryCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached ASTs.
+    /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).len
     }
@@ -158,20 +171,20 @@ impl CacheInner {
     /// small and this runs only on insertions past capacity.
     fn evict_lru(&mut self) {
         let oldest = self
-            .generations
+            .epochs
             .iter()
-            .flat_map(|(&generation, entries)| {
+            .flat_map(|(&epoch, entries)| {
                 entries
                     .iter()
-                    .map(move |(text, entry)| (entry.last_used, generation, text))
+                    .map(move |(text, entry)| (entry.last_used, epoch, text))
             })
             .min_by_key(|&(last_used, _, _)| last_used)
-            .map(|(_, generation, text)| (generation, text.clone()));
-        if let Some((generation, text)) = oldest {
-            if let Some(entries) = self.generations.get_mut(&generation) {
+            .map(|(_, epoch, text)| (epoch, text.clone()));
+        if let Some((epoch, text)) = oldest {
+            if let Some(entries) = self.epochs.get_mut(&epoch) {
                 entries.remove(&text);
                 if entries.is_empty() {
-                    self.generations.remove(&generation);
+                    self.epochs.remove(&epoch);
                 }
             }
             self.len -= 1;
@@ -198,7 +211,7 @@ pub struct Executor {
 
 impl Executor {
     /// An executor with `threads` workers (clamped to ≥ 1) and a
-    /// private AST cache of [`DEFAULT_CACHE_CAPACITY`].
+    /// private plan cache of [`DEFAULT_CACHE_CAPACITY`].
     pub fn new(engine: SharedEngine, threads: usize) -> Executor {
         Self::with_cache(
             engine,
@@ -207,8 +220,9 @@ impl Executor {
         )
     }
 
-    /// An executor sharing an existing AST cache (e.g. across executors
-    /// serving different thread counts over the same corpus).
+    /// An executor sharing an existing plan cache (e.g. across executors
+    /// serving different thread counts — or different evaluation
+    /// options — over the same corpus).
     pub fn with_cache(engine: SharedEngine, threads: usize, cache: Arc<QueryCache>) -> Executor {
         Executor {
             engine,
@@ -227,7 +241,7 @@ impl Executor {
         self.threads
     }
 
-    /// The parsed-query cache (hit/miss counters included).
+    /// The compiled-plan cache (hit/miss counters included).
     pub fn cache(&self) -> &QueryCache {
         &self.cache
     }
@@ -297,8 +311,8 @@ impl Executor {
     /// Evaluate one query in an existing session, converting any panic
     /// into [`QueryError::Internal`] and leaving the session clean.
     fn run_one(&self, session: &mut Session, text: &str) -> Result<QueryResult, QueryError> {
-        let parsed = self.cache.get_or_parse(text, self.engine.generation())?;
-        let outcome = guard_panic(|| session.execute(&parsed), "query evaluation");
+        let plan = self.cache.get_or_compile(text, &self.engine)?;
+        let outcome = guard_panic(|| session.execute_plan(&plan), "query evaluation");
         match outcome {
             Ok(result) => {
                 session.reset();
@@ -337,7 +351,9 @@ fn guard_panic<T>(f: impl FnOnce() -> T, what: &str) -> Result<T, QueryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Engine;
+    use crate::engine::{Engine, EngineOptions};
+    use crate::plan::PlanExpr;
+    use standoff_core::StandoffStrategy;
 
     fn fixture() -> SharedEngine {
         let mut engine = Engine::new();
@@ -384,31 +400,89 @@ mod tests {
 
     #[test]
     fn cache_evicts_least_recently_used() {
+        let shared = fixture();
         let cache = QueryCache::new(2);
-        cache.get_or_parse("1", 7).unwrap();
-        cache.get_or_parse("2", 7).unwrap();
-        cache.get_or_parse("1", 7).unwrap(); // refresh "1"
-        cache.get_or_parse("3", 7).unwrap(); // evicts "2"
+        cache.get_or_compile("1", &shared).unwrap();
+        cache.get_or_compile("2", &shared).unwrap();
+        cache.get_or_compile("1", &shared).unwrap(); // refresh "1"
+        cache.get_or_compile("3", &shared).unwrap(); // evicts "2"
         assert_eq!(cache.len(), 2);
-        cache.get_or_parse("1", 7).unwrap();
+        cache.get_or_compile("1", &shared).unwrap();
         assert_eq!(cache.misses(), 3); // "1", "2", "3"
-        cache.get_or_parse("2", 7).unwrap();
-        assert_eq!(cache.misses(), 4); // "2" was evicted, re-parsed
+        cache.get_or_compile("2", &shared).unwrap();
+        assert_eq!(cache.misses(), 4); // "2" was evicted, re-compiled
     }
 
     #[test]
     fn cache_distinguishes_generations() {
+        // Two engines over different corpora carry different generation
+        // stamps; a shared cache must never cross them.
         let cache = QueryCache::new(8);
-        cache.get_or_parse("1 + 1", 1).unwrap();
-        cache.get_or_parse("1 + 1", 2).unwrap();
+        let a = fixture();
+        let b = fixture();
+        assert_ne!(a.generation(), b.generation());
+        cache.get_or_compile("1 + 1", &a).unwrap();
+        cache.get_or_compile("1 + 1", &b).unwrap();
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
     }
 
+    /// Regression: cache keys used to ignore [`EngineOptions`], so
+    /// toggling strategy or pushdown after warming the cache reused a
+    /// plan compiled under the old settings. With strategy/pushdown now
+    /// *baked into* plans, the key carries the options fingerprint.
     #[test]
-    fn parse_errors_are_not_cached() {
+    fn cache_distinguishes_options_over_same_corpus() {
+        let cache = Arc::new(QueryCache::new(8));
+        let shared = fixture();
+        // Same corpus — identical generation — different options.
+        let naive = shared.with_options(EngineOptions {
+            strategy: StandoffStrategy::NaiveNoCandidates,
+            ..EngineOptions::default()
+        });
+        assert_eq!(shared.generation(), naive.generation());
+
+        let query = r#"doc("d.xml")//w[@start = 0]/select-narrow::w"#;
+        let plan_ll = cache.get_or_compile(query, &shared).unwrap();
+        let plan_naive = cache.get_or_compile(query, &naive).unwrap();
+        assert_eq!(cache.misses(), 2, "same text, different options: no reuse");
+
+        // The cached plans really were compiled under their own options.
+        let strategy_of = |plan: &Plan| {
+            let mut found = None;
+            plan.visit_exprs(&mut |e| {
+                if let PlanExpr::StandoffStep { op, .. } = e {
+                    found = Some(op.strategy);
+                }
+            });
+            found.expect("query has a standoff step")
+        };
+        assert_eq!(strategy_of(&plan_ll), StandoffStrategy::LoopLiftedMergeJoin);
+        assert_eq!(
+            strategy_of(&plan_naive),
+            StandoffStrategy::NaiveNoCandidates
+        );
+
+        // And repeat lookups hit their own entry.
+        cache.get_or_compile(query, &shared).unwrap();
+        cache.get_or_compile(query, &naive).unwrap();
+        assert_eq!(cache.hits(), 2);
+
+        // Executors sharing the cache under either option set agree on
+        // results (strategies are semantically equivalent).
+        let r1 = Executor::with_cache(shared, 1, Arc::clone(&cache)).run_batch(&[query]);
+        let r2 = Executor::with_cache(naive, 1, Arc::clone(&cache)).run_batch(&[query]);
+        assert_eq!(
+            r1[0].as_ref().unwrap().as_xml(),
+            r2[0].as_ref().unwrap().as_xml()
+        );
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
         let cache = QueryCache::new(8);
-        assert!(cache.get_or_parse("1 +", 1).is_err());
+        let shared = fixture();
+        assert!(cache.get_or_compile("1 +", &shared).is_err());
         assert!(cache.is_empty());
     }
 

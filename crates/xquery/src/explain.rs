@@ -1,34 +1,45 @@
 //! Plan explanation.
 //!
-//! Renders the evaluation plan of a parsed query as an indented operator
-//! tree, annotated with the loop-lifting structure (which sub-expressions
-//! open new iteration scopes) and, for StandOff steps, the algorithm the
-//! current strategy selects and whether a candidate sequence is pushed
-//! down. The textual shape mirrors how Pathfinder plans are usually
-//! shown.
+//! Renders a **compiled, optimized plan** — the very object the
+//! evaluator executes — as an indented operator tree, annotated with the
+//! loop-lifting structure (which operators open new iteration scopes)
+//! and, for StandOff joins, the per-operator plan decisions: the join
+//! algorithm the optimizer selected, whether (and which) element-name
+//! candidate sequence is pushed down, and the cardinality estimate from
+//! the corpus's region-index statistics. The textual shape mirrors how
+//! Pathfinder plans are usually shown.
+//!
+//! Because the text is generated from the plan rather than the AST, it
+//! cannot drift from execution: what explain prints *is* what runs.
 
 use std::fmt::Write as _;
 
 use standoff_core::StandoffStrategy;
 
-use crate::ast::*;
+use crate::plan::*;
 
-/// Render an explanation for a query body under the given strategy and
-/// pushdown setting.
-pub fn explain_query(query: &Query, strategy: StandoffStrategy, pushdown: bool) -> String {
+/// Render the optimized plan.
+pub fn explain_plan(plan: &Plan) -> String {
     let mut out = String::new();
-    if !query.prolog.options.is_empty() {
+    if !plan.passes.is_empty() {
+        let _ = writeln!(out, "passes: {}", plan.passes.join(" → "));
+    }
+    if !plan.options.is_empty() {
         out.push_str("options:\n");
-        for (k, v) in &query.prolog.options {
+        for (k, v) in &plan.options {
             let _ = writeln!(out, "  {k} = \"{v}\"");
         }
     }
-    for f in &query.prolog.functions {
+    for f in &plan.functions {
         let _ = writeln!(out, "function {}({}):", f.name, f.params.join(", "));
-        explain_expr(&f.body, 1, strategy, pushdown, &mut out);
+        explain_expr(&f.body, 1, &mut out);
+    }
+    for (name, expr) in &plan.globals {
+        let _ = writeln!(out, "global ${name} :=");
+        explain_expr(expr, 1, &mut out);
     }
     out.push_str("plan:\n");
-    explain_expr(&query.body, 1, strategy, pushdown, &mut out);
+    explain_expr(&plan.body, 1, &mut out);
     out
 }
 
@@ -44,52 +55,100 @@ fn line(out: &mut String, depth: usize, text: &str) {
     out.push('\n');
 }
 
-fn explain_expr(
-    expr: &Expr,
-    depth: usize,
-    strategy: StandoffStrategy,
-    pushdown: bool,
-    out: &mut String,
-) {
+/// The annotation block of one StandOff join operator.
+/// `explicit_candidates` is set for the built-in function form with a
+/// second argument, which overrides any name-test pushdown at run time
+/// — the note must describe the candidate source actually used.
+fn standoff_note(op: &StandoffOp, explicit_candidates: bool) -> String {
+    let algo = match op.strategy {
+        StandoffStrategy::NaiveNoCandidates => "nested loop over all elements",
+        StandoffStrategy::NaiveWithCandidates => "nested loop over candidates",
+        StandoffStrategy::BasicMergeJoin => "StandOff MergeJoin per iteration (basic)",
+        StandoffStrategy::LoopLiftedMergeJoin => {
+            "loop-lifted StandOff MergeJoin, single index scan"
+        }
+    };
+    let cand = if explicit_candidates {
+        "candidates: explicit node sequence ∩ region index".to_string()
+    } else {
+        match &op.pushdown {
+            Some(name) => format!("candidates: element index '{name}' ∩ region index"),
+            None => "candidates: full region index".to_string(),
+        }
+    };
+    let mut note = format!("{algo}; {cand}");
+    if let Some(est) = &op.estimate {
+        let _ = write!(
+            note,
+            "; est: {} region entr{}",
+            est.index.entries,
+            if est.index.entries == 1 { "y" } else { "ies" },
+        );
+        if let Some(c) = est.candidates {
+            let _ = write!(note, ", ≈{c} candidate(s)");
+        }
+        if est.index.max_regions > 1 {
+            let _ = write!(note, ", ≤{} region(s)/annotation", est.index.max_regions);
+        }
+    }
+    note
+}
+
+fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
     match expr {
-        Expr::IntLit(v) => line(out, depth, &format!("const {v} (lifted per iteration)")),
-        Expr::DoubleLit(v) => line(out, depth, &format!("const {v}")),
-        Expr::StringLit(v) => line(out, depth, &format!("const \"{v}\"")),
-        Expr::VarRef(v) => line(out, depth, &format!("var ${v}")),
-        Expr::ContextItem => line(out, depth, "context-item"),
-        Expr::Sequence(items) => {
+        PlanExpr::Const(atom) => {
+            let text = match atom {
+                Atom::Integer(i) => format!("const {i}"),
+                Atom::Double(d) => format!("const {d}"),
+                Atom::String(s) => format!("const \"{s}\""),
+                Atom::Boolean(b) => format!("const {b}()"),
+            };
+            line(out, depth, &text);
+        }
+        PlanExpr::Var(v) => line(out, depth, &format!("var ${v}")),
+        PlanExpr::ContextItem => line(out, depth, "context-item"),
+        PlanExpr::Sequence(items) => {
             line(out, depth, &format!("sequence [{} parts]", items.len()));
             for e in items {
-                explain_expr(e, depth + 1, strategy, pushdown, out);
+                explain_expr(e, depth + 1, out);
             }
         }
-        Expr::Flwor {
+        PlanExpr::Flwor {
+            hoisted,
             clauses,
             where_clause,
             order_by,
             return_clause,
         } => {
             line(out, depth, "flwor");
+            for (name, expr) in hoisted {
+                line(
+                    out,
+                    depth + 1,
+                    &format!("hoisted ${name} :=  -- loop-invariant, once per host iteration"),
+                );
+                explain_expr(expr, depth + 2, out);
+            }
             for clause in clauses {
                 match clause {
-                    FlworClause::For { var, at, seq } => {
+                    PlanClause::For { var, at, seq } => {
                         let at = at.as_ref().map(|a| format!(" at ${a}")).unwrap_or_default();
                         line(
                             out,
                             depth + 1,
                             &format!("for ${var}{at} in  -- opens a new iteration scope"),
                         );
-                        explain_expr(seq, depth + 2, strategy, pushdown, out);
+                        explain_expr(seq, depth + 2, out);
                     }
-                    FlworClause::Let { var, value } => {
+                    PlanClause::Let { var, value } => {
                         line(out, depth + 1, &format!("let ${var} :="));
-                        explain_expr(value, depth + 2, strategy, pushdown, out);
+                        explain_expr(value, depth + 2, out);
                     }
                 }
             }
             if let Some(w) = where_clause {
                 line(out, depth + 1, "where  -- restricts the loop relation");
-                explain_expr(w, depth + 2, strategy, pushdown, out);
+                explain_expr(w, depth + 2, out);
             }
             for key in order_by {
                 line(
@@ -101,12 +160,12 @@ fn explain_expr(
                         "order by"
                     },
                 );
-                explain_expr(&key.expr, depth + 2, strategy, pushdown, out);
+                explain_expr(&key.expr, depth + 2, out);
             }
             line(out, depth + 1, "return");
-            explain_expr(return_clause, depth + 2, strategy, pushdown, out);
+            explain_expr(return_clause, depth + 2, out);
         }
-        Expr::Quantified {
+        PlanExpr::Quantified {
             every,
             bindings,
             satisfies,
@@ -114,12 +173,12 @@ fn explain_expr(
             line(out, depth, if *every { "every" } else { "some" });
             for (var, seq) in bindings {
                 line(out, depth + 1, &format!("${var} in"));
-                explain_expr(seq, depth + 2, strategy, pushdown, out);
+                explain_expr(seq, depth + 2, out);
             }
             line(out, depth + 1, "satisfies");
-            explain_expr(satisfies, depth + 2, strategy, pushdown, out);
+            explain_expr(satisfies, depth + 2, out);
         }
-        Expr::IfThenElse {
+        PlanExpr::IfThenElse {
             cond,
             then_branch,
             else_branch,
@@ -129,134 +188,138 @@ fn explain_expr(
                 depth,
                 "if  -- branches evaluated on split loop relations",
             );
-            explain_expr(cond, depth + 1, strategy, pushdown, out);
+            explain_expr(cond, depth + 1, out);
             line(out, depth, "then");
-            explain_expr(then_branch, depth + 1, strategy, pushdown, out);
+            explain_expr(then_branch, depth + 1, out);
             line(out, depth, "else");
-            explain_expr(else_branch, depth + 1, strategy, pushdown, out);
+            explain_expr(else_branch, depth + 1, out);
         }
-        Expr::Or(a, b) | Expr::And(a, b) => {
+        PlanExpr::Or(a, b) | PlanExpr::And(a, b) => {
             line(
                 out,
                 depth,
-                if matches!(expr, Expr::Or(..)) {
+                if matches!(expr, PlanExpr::Or(..)) {
                     "or"
                 } else {
                     "and"
                 },
             );
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Comparison(op, a, b) => {
+        PlanExpr::Comparison(op, a, b) => {
             line(out, depth, &format!("compare {op:?}"));
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Arith(op, a, b) => {
+        PlanExpr::Arith(op, a, b) => {
             line(out, depth, &format!("arith {op:?}"));
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Range(a, b) => {
+        PlanExpr::Range(a, b) => {
             line(out, depth, "range to");
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Neg(e) => {
+        PlanExpr::Neg(e) => {
             line(out, depth, "negate");
-            explain_expr(e, depth + 1, strategy, pushdown, out);
+            explain_expr(e, depth + 1, out);
         }
-        Expr::Union(a, b) => {
+        PlanExpr::Union(a, b) => {
             line(out, depth, "union (doc-order dedup)");
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Intersect(a, b) => {
+        PlanExpr::Intersect(a, b) => {
             line(out, depth, "intersect (node identity)");
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Except(a, b) => {
+        PlanExpr::Except(a, b) => {
             line(out, depth, "except (node identity)");
-            explain_expr(a, depth + 1, strategy, pushdown, out);
-            explain_expr(b, depth + 1, strategy, pushdown, out);
+            explain_expr(a, depth + 1, out);
+            explain_expr(b, depth + 1, out);
         }
-        Expr::Step {
+        PlanExpr::TreeStep {
             input,
             axis,
             test,
             predicates,
         } => {
-            let test_str = match (&test.name, test.kind) {
-                (Some(n), _) => n.clone(),
-                (None, standoff_algebra::KindTest::Element) => "*".to_string(),
-                (None, k) => format!("{k:?}").to_lowercase() + "()",
-            };
-            match axis {
-                Axis::Tree(t) => line(
-                    out,
-                    depth,
-                    &format!(
-                        "step {}::{test_str}  [staircase join, loop-lifted]",
-                        t.as_str()
-                    ),
+            line(
+                out,
+                depth,
+                &format!(
+                    "step {}::{test}  [staircase join, loop-lifted]",
+                    axis.as_str()
                 ),
-                Axis::Standoff(s) => {
-                    let algo = match strategy {
-                        StandoffStrategy::NaiveNoCandidates => "nested loop over all elements",
-                        StandoffStrategy::NaiveWithCandidates => "nested loop over candidates",
-                        StandoffStrategy::BasicMergeJoin => {
-                            "StandOff MergeJoin per iteration (basic)"
-                        }
-                        StandoffStrategy::LoopLiftedMergeJoin => {
-                            "loop-lifted StandOff MergeJoin, single index scan"
-                        }
-                    };
-                    let cand = if pushdown
-                        && test.name.is_some()
-                        && strategy != StandoffStrategy::NaiveNoCandidates
-                    {
-                        format!("candidates: element index '{test_str}' ∩ region index")
-                    } else {
-                        "candidates: full region index".to_string()
-                    };
-                    line(
-                        out,
-                        depth,
-                        &format!("step {}::{test_str}  [{algo}; {cand}]", s.as_str()),
-                    );
-                }
-            }
-            if let Some(input) = input {
-                explain_expr(input, depth + 1, strategy, pushdown, out);
-            } else {
-                line(out, depth + 1, "context-item");
-            }
-            for p in predicates {
-                line(out, depth + 1, "predicate");
-                explain_expr(p, depth + 2, strategy, pushdown, out);
-            }
+            );
+            explain_step_tail(input.as_deref(), predicates, depth, out);
         }
-        Expr::PathExpr { input, step } => {
+        PlanExpr::StandoffStep {
+            input,
+            op,
+            test,
+            predicates,
+        } => {
+            line(
+                out,
+                depth,
+                &format!(
+                    "step {}::{test}  [{}]",
+                    op.axis.as_str(),
+                    standoff_note(op, false)
+                ),
+            );
+            explain_step_tail(input.as_deref(), predicates, depth, out);
+        }
+        PlanExpr::PathExpr { input, step } => {
             line(out, depth, "path  -- maps rhs over lhs items");
-            explain_expr(input, depth + 1, strategy, pushdown, out);
-            explain_expr(step, depth + 1, strategy, pushdown, out);
+            explain_expr(input, depth + 1, out);
+            explain_expr(step, depth + 1, out);
         }
-        Expr::RootPath(_) => line(out, depth, "root()"),
-        Expr::Filter { input, predicate } => {
+        PlanExpr::RootPath => line(out, depth, "root()"),
+        PlanExpr::Filter { input, predicate } => {
             line(out, depth, "filter");
-            explain_expr(input, depth + 1, strategy, pushdown, out);
+            explain_expr(input, depth + 1, out);
             line(out, depth + 1, "predicate");
-            explain_expr(predicate, depth + 2, strategy, pushdown, out);
+            explain_expr(predicate, depth + 2, out);
         }
-        Expr::FunctionCall { name, args } => {
+        PlanExpr::UdfCall { name, args, .. } => {
             line(out, depth, &format!("call {name}({} args)", args.len()));
             for a in args {
-                explain_expr(a, depth + 1, strategy, pushdown, out);
+                explain_expr(a, depth + 1, out);
             }
         }
-        Expr::Constructor(c) => {
+        PlanExpr::StandoffFn {
+            op,
+            ctx,
+            candidates,
+        } => {
+            line(
+                out,
+                depth,
+                &format!(
+                    "standoff-join {}(..)  [{}]",
+                    op.axis.as_str(),
+                    standoff_note(op, candidates.is_some())
+                ),
+            );
+            line(out, depth + 1, "context");
+            explain_expr(ctx, depth + 2, out);
+            if let Some(c) = candidates {
+                line(out, depth + 1, "candidates");
+                explain_expr(c, depth + 2, out);
+            }
+        }
+        PlanExpr::BuiltinCall { name, args } => {
+            line(out, depth, &format!("call {name}({} args)", args.len()));
+            for a in args {
+                explain_expr(a, depth + 1, out);
+            }
+        }
+        PlanExpr::Constructor(c) => {
             line(
                 out,
                 depth,
@@ -267,12 +330,12 @@ fn explain_expr(
             }
             for part in &c.content {
                 match part {
-                    ConstructorContent::Text(t) => line(out, depth + 1, &format!("text {t:?}")),
-                    ConstructorContent::Enclosed(e) => {
+                    PlanContent::Text(t) => line(out, depth + 1, &format!("text {t:?}")),
+                    PlanContent::Enclosed(e) => {
                         line(out, depth + 1, "enclosed");
-                        explain_expr(e, depth + 2, strategy, pushdown, out);
+                        explain_expr(e, depth + 2, out);
                     }
-                    ConstructorContent::Element(child) => {
+                    PlanContent::Element(child) => {
                         line(out, depth + 1, &format!("child <{}>", child.name));
                     }
                 }
@@ -281,29 +344,60 @@ fn explain_expr(
     }
 }
 
+fn explain_step_tail(
+    input: Option<&PlanExpr>,
+    predicates: &[PlanExpr],
+    depth: usize,
+    out: &mut String,
+) {
+    if let Some(input) = input {
+        explain_expr(input, depth + 1, out);
+    } else {
+        line(out, depth + 1, "context-item");
+    }
+    for p in predicates {
+        line(out, depth + 1, "predicate");
+        explain_expr(p, depth + 2, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::{compile, PlanContext};
+    use crate::engine::EngineOptions;
     use crate::parser::parse_query;
+
+    fn explain_with(q: &str, options: &EngineOptions) -> String {
+        let parsed = parse_query(q).unwrap();
+        let plan = compile(&parsed, &PlanContext::bare(options)).unwrap();
+        explain_plan(&plan)
+    }
 
     #[test]
     fn explains_standoff_step_with_strategy() {
-        let q = parse_query("//music/select-narrow::shot").unwrap();
-        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+        let options = EngineOptions::default();
+        let text = explain_with("//music/select-narrow::shot", &options);
         assert!(text.contains("select-narrow::shot"), "{text}");
         assert!(text.contains("loop-lifted StandOff MergeJoin"), "{text}");
         assert!(text.contains("element index 'shot'"), "{text}");
 
-        let text = explain_query(&q, StandoffStrategy::BasicMergeJoin, false);
+        let options = EngineOptions {
+            strategy: standoff_core::StandoffStrategy::BasicMergeJoin,
+            candidate_pushdown: false,
+            ..EngineOptions::default()
+        };
+        let text = explain_with("//music/select-narrow::shot", &options);
         assert!(text.contains("per iteration (basic)"), "{text}");
         assert!(text.contains("full region index"), "{text}");
     }
 
     #[test]
     fn explains_flwor_scopes() {
-        let q =
-            parse_query("for $x in (1,2) where $x > 1 order by $x return <r>{ $x }</r>").unwrap();
-        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+        let text = explain_with(
+            "for $x in (1,2) where $x > 1 order by $x return <r>{ $x }</r>",
+            &EngineOptions::default(),
+        );
         assert!(text.contains("opens a new iteration scope"), "{text}");
         assert!(text.contains("restricts the loop relation"), "{text}");
         assert!(text.contains("order by"), "{text}");
@@ -312,15 +406,27 @@ mod tests {
 
     #[test]
     fn explains_functions_and_options() {
-        let q = parse_query(
+        let text = explain_with(
             r#"declare option standoff-start "from";
                declare function f($x) { $x + 1 };
                f(1)"#,
-        )
-        .unwrap();
-        let text = explain_query(&q, StandoffStrategy::LoopLiftedMergeJoin, true);
+            &EngineOptions::default(),
+        );
         assert!(text.contains("standoff-start"), "{text}");
         assert!(text.contains("function f(x)"), "{text}");
         assert!(text.contains("call f(1 args)"), "{text}");
+    }
+
+    #[test]
+    fn explains_pass_list_and_hoists() {
+        let text = explain_with(
+            r#"for $i in 1 to 10 return count(doc("d")//w)"#,
+            &EngineOptions::default(),
+        );
+        assert!(
+            text.starts_with("passes: const-fold → hoist-invariants"),
+            "{text}"
+        );
+        assert!(text.contains("hoisted $#h0"), "{text}");
     }
 }

@@ -6,13 +6,13 @@
 //! iterations whose argument group is empty — the table-algebra equivalent
 //! of `count(()) = 0`.
 //!
-//! The four StandOff joins are also exposed as built-in functions
-//! (`select-narrow($ctx)`, `select-narrow($ctx, $candidates)`, …) — the
-//! paper's implementation Alternative 3 — sharing the axis-step execution
-//! machinery and strategy switch.
+//! The four StandOff joins (`select-narrow($ctx)`, `select-narrow($ctx,
+//! $candidates)`, …— the paper's implementation Alternative 3) are *not*
+//! dispatched here: the compiler resolves them into annotated
+//! [`crate::plan::PlanExpr::StandoffFn`] join operators, so they share
+//! the axis-step execution machinery and plan-time strategy choice.
 
-use standoff_algebra::{Item, LlSeq, NodeTable, NodeTest};
-use standoff_core::StandoffAxis;
+use standoff_algebra::{Item, LlSeq};
 use standoff_xml::{NodeRef, SerializeOptions};
 
 use crate::error::QueryError;
@@ -319,21 +319,6 @@ pub fn call_builtin(
             }
             Some(Item::str(s))
         }),
-        // ---- the StandOff joins as built-in functions (Alternative 3) ----
-        ("select-narrow", 1 | 2)
-        | ("select-wide", 1 | 2)
-        | ("reject-narrow", 1 | 2)
-        | ("reject-wide", 1 | 2) => {
-            let axis = StandoffAxis::parse(name).expect("matched above");
-            let ctx = NodeTable::from_llseq(&args[0]).map_err(QueryError::dynamic)?;
-            let cands = match args.get(1) {
-                Some(t) => Some(NodeTable::from_llseq(t).map_err(QueryError::dynamic)?),
-                None => None,
-            };
-            let out =
-                ev.eval_standoff_join(&ctx, axis, &NodeTest::any_element(), cands.as_ref())?;
-            out.into_llseq()
-        }
         _ => return Ok(None),
     };
     Ok(Some(result))

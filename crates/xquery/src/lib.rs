@@ -4,13 +4,23 @@
 //! **StandOff XPath axes** of Alink et al. (XIME-P/SIGMOD 2006) — the role
 //! MonetDB/XQuery with the Pathfinder compiler plays in the paper.
 //!
-//! The engine evaluates every sub-expression *once per scope* on
+//! Queries are **compiled**: `parse` ([`ast`]) → `lower` ([`compile`])
+//! → `optimize` ([`optimize`], an ordered pass list: constant folding,
+//! loop-invariant hoisting, per-operator strategy selection, candidate
+//! pushdown, cardinality estimates) → `execute` ([`eval`] over the
+//! [`plan`] IR). [`explain`] renders the same plan object that
+//! executes, and the batch executor ([`exec`]) caches compiled plans
+//! keyed on `(query text, store generation, options fingerprint)`.
+//!
+//! The engine evaluates every plan operator *once per scope* on
 //! `iter|pos|item` tables (see `standoff-algebra`), never once per
 //! iteration: a path step inside a for-loop with 100 000 iterations is one
 //! bulk [`standoff_algebra::staircase`] or StandOff MergeJoin call. The
 //! StandOff steps can be evaluated under any of the paper's strategies
 //! ([`standoff_core::StandoffStrategy`]) — that switch is what the Figure 6
-//! benchmark sweeps.
+//! benchmark sweeps — with strategy and §4.3 candidate pushdown fixed
+//! *per operator at plan time*, the way the paper's Pathfinder
+//! compilation makes them plan decisions.
 //!
 //! Supported XQuery subset (everything the paper's queries, UDF baselines
 //! and the XMark workload need, and a fair bit more):
@@ -37,6 +47,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -44,10 +55,13 @@ pub mod exec;
 pub mod explain;
 pub mod functions;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
+pub mod plan;
 pub mod result;
 
 pub use engine::{Engine, EngineOptions, Session, SharedEngine};
 pub use error::QueryError;
 pub use exec::{Executor, QueryCache};
+pub use plan::Plan;
 pub use result::QueryResult;

@@ -1,0 +1,943 @@
+//! The plan optimizer: an ordered list of rewrite passes over the
+//! lowered plan.
+//!
+//! Pass order is fixed and guaranteed; each pass runs exactly once, and
+//! later passes see the operator placement earlier passes produced:
+//!
+//! 1. **const-fold** — bottom-up folding of arithmetic, comparisons,
+//!    logic and conditionals over compile-time constants. Never folds an
+//!    expression whose evaluation could raise a dynamic error (`1 idiv
+//!    0` stays in the plan), so run-time error behavior is unchanged.
+//! 2. **hoist-invariants** — moves loop-invariant, node-identity-free
+//!    subexpressions out of FLWOR iteration scopes into per-FLWOR
+//!    hoisted bindings (`$#h0`, `$#h1`, …) that the evaluator computes
+//!    once per surviving host iteration instead of once per inner
+//!    iteration. Runs before the annotation passes so the StandOff
+//!    operators it moves are annotated in their final position.
+//! 3. **strategy-select** — chooses each StandOff operator's join
+//!    strategy. With a fixed engine strategy this confirms the lowering
+//!    annotation; with `auto_strategy` it consults the corpus
+//!    [`IndexStats`] ([`StandoffStrategy::pick_for`]) — per-operator
+//!    strategy from region-count statistics instead of one global
+//!    switch.
+//! 4. **pushdown** — decides element-name candidate pushdown (§4.3) per
+//!    operator: enabled when the engine allows it, the chosen strategy
+//!    consumes candidates, and the step's node test names an element.
+//!    This is the `candidate_pushdown && KindTest::Element` decision
+//!    that used to live inside the evaluator's join, made once at plan
+//!    time. Runs after strategy-select because `naive` (no candidates)
+//!    must never carry a pushdown annotation.
+//! 5. **estimate** — attaches cardinality estimates (region-index
+//!    statistics, pushed-candidate counts from the element-name index)
+//!    to every StandOff operator for explain output. Purely
+//!    informational; runs last so it sees final strategies and
+//!    pushdowns.
+//!
+//! Hoisting and XQuery error semantics: per XQuery 1.0 §2.3.4 an
+//! implementation may evaluate an expression eagerly even when a strict
+//! evaluation would not reach it — except inside the untaken branch of a
+//! conditional. The hoister therefore treats `if/then/else` branches as
+//! barriers but is free to hoist out of `where`-filtered and
+//! empty-binding scopes.
+
+use std::collections::HashSet;
+
+use standoff_core::StandoffStrategy;
+
+use crate::compile::PlanContext;
+use crate::plan::*;
+
+/// The pass list, in execution order. The `estimate` pass runs only
+/// when the context asks for explain-grade estimates
+/// ([`PlanContext::estimates`]); the other four always run.
+pub const PASSES: [&str; 5] = [
+    "const-fold",
+    "hoist-invariants",
+    "strategy-select",
+    "pushdown",
+    "estimate",
+];
+
+/// Run the pass list over `plan`; returns the names of the passes
+/// applied, in order.
+pub fn optimize(plan: &mut Plan, ctx: &PlanContext<'_>) -> Vec<&'static str> {
+    const_fold(plan);
+    hoist_invariants(plan);
+    strategy_select(plan, ctx);
+    pushdown(plan, ctx);
+    let mut applied: Vec<&'static str> = PASSES[..4].to_vec();
+    if ctx.estimates && ctx.store.is_some() {
+        estimate(plan, ctx);
+        applied.push("estimate");
+    }
+    applied
+}
+
+// ================= pass 1: constant folding =================
+
+fn const_fold(plan: &mut Plan) {
+    plan.for_each_root_mut(|root| root.rewrite_bottom_up(&mut fold_expr));
+}
+
+fn fold_expr(e: &mut PlanExpr) {
+    use crate::ast::CompOp;
+    let folded: Option<Atom> = match e {
+        PlanExpr::Neg(inner) => match const_of(inner) {
+            Some(Atom::Integer(i)) => Some(Atom::Integer(i.wrapping_neg())),
+            Some(Atom::Double(d)) => Some(Atom::Double(-d)),
+            _ => None,
+        },
+        PlanExpr::Arith(op, a, b) => match (const_of(a), const_of(b)) {
+            (Some(x), Some(y)) => fold_arith(*op, x, y),
+            _ => None,
+        },
+        PlanExpr::Comparison(op, a, b) if *op != CompOp::Is => match (const_of(a), const_of(b)) {
+            (Some(x), Some(y)) => fold_compare(*op, x, y),
+            _ => None,
+        },
+        PlanExpr::And(a, b) => match (const_of(a), const_of(b)) {
+            (Some(x), Some(y)) => Some(Atom::Boolean(
+                x.effective_boolean() && y.effective_boolean(),
+            )),
+            _ => None,
+        },
+        PlanExpr::Or(a, b) => match (const_of(a), const_of(b)) {
+            (Some(x), Some(y)) => Some(Atom::Boolean(
+                x.effective_boolean() || y.effective_boolean(),
+            )),
+            _ => None,
+        },
+        PlanExpr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            // A constant condition selects its branch at compile time —
+            // exactly equivalent to run time, where the untaken branch
+            // evaluates over an empty restriction and is skipped.
+            if let Some(c) = const_of(cond) {
+                let branch = if c.effective_boolean() {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                *e = std::mem::replace(branch, PlanExpr::empty());
+            }
+            return;
+        }
+        _ => None,
+    };
+    if let Some(atom) = folded {
+        *e = PlanExpr::Const(atom);
+    }
+}
+
+fn const_of(e: &PlanExpr) -> Option<&Atom> {
+    match e {
+        PlanExpr::Const(a) => Some(a),
+        _ => None,
+    }
+}
+
+/// Fold numeric arithmetic, mirroring the evaluator's `arith_items`
+/// exactly. Returns `None` — leaving the operator in the plan — whenever
+/// evaluation could raise a dynamic error (division by integer zero) or
+/// involves non-numeric operands.
+fn fold_arith(op: crate::ast::ArithOp, x: &Atom, y: &Atom) -> Option<Atom> {
+    use crate::ast::ArithOp::*;
+    if let (Atom::Integer(a), Atom::Integer(b)) = (x, y) {
+        let (a, b) = (*a, *b);
+        return match op {
+            Add => Some(Atom::Integer(a.wrapping_add(b))),
+            Sub => Some(Atom::Integer(a.wrapping_sub(b))),
+            Mul => Some(Atom::Integer(a.wrapping_mul(b))),
+            // Division by zero raises at run time; i64::MIN / -1
+            // overflows — leave both in the plan untouched.
+            IDiv | Mod | Div if b == 0 || (a == i64::MIN && b == -1) => None,
+            IDiv => Some(Atom::Integer(a / b)),
+            Mod => Some(Atom::Integer(a % b)),
+            Div if a % b == 0 => Some(Atom::Integer(a / b)),
+            Div => Some(Atom::Double(a as f64 / b as f64)),
+        };
+    }
+    let (a, b) = match (number_of(x), number_of(y)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return None, // strings/booleans: defer to run time
+    };
+    match op {
+        Add => Some(Atom::Double(a + b)),
+        Sub => Some(Atom::Double(a - b)),
+        Mul => Some(Atom::Double(a * b)),
+        Div => Some(Atom::Double(a / b)),
+        IDiv if b == 0.0 => None, // runtime error: keep
+        IDiv => Some(Atom::Integer((a / b).trunc() as i64)),
+        Mod => Some(Atom::Double(a % b)),
+    }
+}
+
+/// Numeric value of a constant, but only for operands the evaluator
+/// treats numerically without string parsing.
+fn number_of(a: &Atom) -> Option<f64> {
+    match a {
+        Atom::Integer(i) => Some(*i as f64),
+        Atom::Double(d) => Some(*d),
+        Atom::String(_) | Atom::Boolean(_) => None,
+    }
+}
+
+/// Fold a comparison of two constants, conservatively: both numeric
+/// (mirrors `Item::general_compare`'s numeric arm) or both strings
+/// (codepoint comparison). Mixed or boolean operands defer to run time.
+fn fold_compare(op: crate::ast::CompOp, x: &Atom, y: &Atom) -> Option<Atom> {
+    use crate::ast::CompOp::*;
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (x, y) {
+        (Atom::Integer(a), Atom::Integer(b)) => Some(a.cmp(b)),
+        (Atom::String(a), Atom::String(b)) => Some(a.as_ref().cmp(b.as_ref())),
+        (Atom::Integer(_) | Atom::Double(_), Atom::Integer(_) | Atom::Double(_)) => {
+            number_of(x).unwrap().partial_cmp(&number_of(y).unwrap())
+        }
+        _ => return None,
+    };
+    let result = match (ord, op) {
+        (Some(o), Eq | ValEq) => o == Ordering::Equal,
+        (Some(o), Ne | ValNe) => o != Ordering::Equal,
+        (Some(o), Lt | ValLt) => o == Ordering::Less,
+        (Some(o), Le | ValLe) => o != Ordering::Greater,
+        (Some(o), Gt | ValGt) => o == Ordering::Greater,
+        (Some(o), Ge | ValGe) => o != Ordering::Less,
+        (None, _) => false, // NaN comparisons are false
+        (Some(_), Is) => return None,
+    };
+    Some(Atom::Boolean(result))
+}
+
+// ================= pass 2: loop-invariant hoisting =================
+
+fn hoist_invariants(plan: &mut Plan) {
+    // Which user-defined functions (transitively) construct nodes: calls
+    // to them are never hoisted, because collapsing per-iteration
+    // construction to one shared node is observable through node
+    // identity. Recursion defaults to "constructs" via the fixpoint's
+    // monotone growth from direct constructors.
+    let mut constructs: Vec<bool> = plan
+        .functions
+        .iter()
+        .map(|f| contains_constructor(&f.body))
+        .collect();
+    loop {
+        let mut changed = false;
+        for k in 0..plan.functions.len() {
+            if constructs[k] {
+                continue;
+            }
+            let mut calls_constructing = false;
+            plan.functions[k].body.visit(&mut |e| {
+                if let PlanExpr::UdfCall { index, .. } = e {
+                    if constructs[*index] {
+                        calls_constructing = true;
+                    }
+                }
+            });
+            if calls_constructing {
+                constructs[k] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut counter = 0usize;
+    plan.for_each_root_mut(|root| hoist_in_expr(root, &constructs, &mut counter));
+}
+
+fn contains_constructor(e: &PlanExpr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(x, PlanExpr::Constructor(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Recursively process an expression tree: at every FLWOR with at least
+/// one `for` clause, extract hoistable subexpressions of its `order by`
+/// keys and `return` clause into the FLWOR's hoisted-binding list.
+fn hoist_in_expr(e: &mut PlanExpr, constructs: &[bool], counter: &mut usize) {
+    // Children first so inner FLWORs hoist locally before the outer scan
+    // sees them (an outer hoist of a whole inner FLWOR subsumes its
+    // local hoists, in which case the inner pass simply ran on a subtree
+    // that then moved — harmless).
+    e.for_each_child_mut(|c| hoist_in_expr(c, constructs, counter));
+    if let PlanExpr::Flwor {
+        hoisted,
+        clauses,
+        order_by,
+        return_clause,
+        ..
+    } = e
+    {
+        let has_for = clauses.iter().any(|c| matches!(c, PlanClause::For { .. }));
+        if !has_for {
+            return; // no iteration scope, nothing to gain
+        }
+        let mut bound: HashSet<String> = HashSet::new();
+        for clause in clauses.iter() {
+            match clause {
+                PlanClause::For { var, at, .. } => {
+                    bound.insert(var.clone());
+                    if let Some(at) = at {
+                        bound.insert(at.clone());
+                    }
+                }
+                PlanClause::Let { var, .. } => {
+                    bound.insert(var.clone());
+                }
+            }
+        }
+        let mut found: Vec<(String, PlanExpr)> = Vec::new();
+        for key in order_by.iter_mut() {
+            try_hoist(&mut key.expr, &bound, constructs, counter, &mut found);
+        }
+        try_hoist(return_clause, &bound, constructs, counter, &mut found);
+        hoisted.extend(found);
+    }
+}
+
+/// Top-down scan for hoistable subtrees. `blocked` is the set of
+/// variables bound between the host FLWOR and the current node — a
+/// subtree referencing any of them is not invariant *at the host*, but
+/// its children may still be.
+fn try_hoist(
+    e: &mut PlanExpr,
+    blocked: &HashSet<String>,
+    constructs: &[bool],
+    counter: &mut usize,
+    found: &mut Vec<(String, PlanExpr)>,
+) {
+    if hoistable(e, blocked, constructs) {
+        let name = format!("#h{}", *counter);
+        *counter += 1;
+        let expr = std::mem::replace(e, PlanExpr::Var(name.clone()));
+        found.push((name, expr));
+        return;
+    }
+    // Descend, extending `blocked` with binders introduced along the
+    // way, and stopping at conditional branches (XQuery forbids raising
+    // errors from the untaken branch of a conditional, so nothing may be
+    // evaluated eagerly out of one).
+    match e {
+        PlanExpr::IfThenElse { cond, .. } => {
+            try_hoist(cond, blocked, constructs, counter, found);
+        }
+        PlanExpr::Flwor {
+            hoisted,
+            clauses,
+            where_clause,
+            order_by,
+            return_clause,
+        } => {
+            let mut inner = blocked.clone();
+            for (name, h) in hoisted.iter_mut() {
+                try_hoist(h, blocked, constructs, counter, found);
+                inner.insert(name.clone());
+            }
+            for clause in clauses.iter_mut() {
+                match clause {
+                    PlanClause::For { var, at, seq } => {
+                        try_hoist(seq, &inner, constructs, counter, found);
+                        inner.insert(var.clone());
+                        if let Some(at) = at {
+                            inner.insert(at.clone());
+                        }
+                    }
+                    PlanClause::Let { var, value } => {
+                        try_hoist(value, &inner, constructs, counter, found);
+                        inner.insert(var.clone());
+                    }
+                }
+            }
+            if let Some(w) = where_clause {
+                try_hoist(w, &inner, constructs, counter, found);
+            }
+            for key in order_by.iter_mut() {
+                try_hoist(&mut key.expr, &inner, constructs, counter, found);
+            }
+            try_hoist(return_clause, &inner, constructs, counter, found);
+        }
+        PlanExpr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            let mut inner = blocked.clone();
+            for (var, seq) in bindings.iter_mut() {
+                try_hoist(seq, &inner, constructs, counter, found);
+                inner.insert(var.clone());
+            }
+            try_hoist(satisfies, &inner, constructs, counter, found);
+        }
+        PlanExpr::TreeStep {
+            input, predicates, ..
+        }
+        | PlanExpr::StandoffStep {
+            input, predicates, ..
+        } => {
+            if let Some(input) = input {
+                try_hoist(input, blocked, constructs, counter, found);
+            }
+            let mut inner = blocked.clone();
+            inner.extend(context_names());
+            for p in predicates.iter_mut() {
+                try_hoist(p, &inner, constructs, counter, found);
+            }
+        }
+        PlanExpr::PathExpr { input, step } => {
+            try_hoist(input, blocked, constructs, counter, found);
+            let mut inner = blocked.clone();
+            inner.insert(".".to_string());
+            try_hoist(step, &inner, constructs, counter, found);
+        }
+        PlanExpr::Filter { input, predicate } => {
+            try_hoist(input, blocked, constructs, counter, found);
+            let mut inner = blocked.clone();
+            inner.extend(context_names());
+            try_hoist(predicate, &inner, constructs, counter, found);
+        }
+        other => {
+            other.for_each_child_mut(|c| try_hoist(c, blocked, constructs, counter, found));
+        }
+    }
+}
+
+fn context_names() -> [String; 3] {
+    [
+        ".".to_string(),
+        "fn:position".to_string(),
+        "fn:last".to_string(),
+    ]
+}
+
+/// A subtree is hoisted when it (a) is worth hoisting (contains a data
+/// access, join, or call), (b) references no variable bound between the
+/// host FLWOR and here, and (c) creates no nodes (directly or through
+/// any function it can call).
+fn hoistable(e: &PlanExpr, blocked: &HashSet<String>, constructs: &[bool]) -> bool {
+    let mut expensive = false;
+    let mut invariant = true;
+    let mut identity_free = true;
+    scan(
+        e,
+        blocked,
+        constructs,
+        &mut expensive,
+        &mut invariant,
+        &mut identity_free,
+    );
+    expensive && invariant && identity_free
+}
+
+/// One pass over a candidate subtree, tracking the free-variable and
+/// node-construction facts `hoistable` needs. Local binders inside the
+/// subtree shadow `blocked` names (a nested `for $x` over a blocked
+/// `$x` makes inner `$x` references invariant again).
+fn scan(
+    e: &PlanExpr,
+    blocked: &HashSet<String>,
+    constructs: &[bool],
+    expensive: &mut bool,
+    invariant: &mut bool,
+    identity_free: &mut bool,
+) {
+    match e {
+        PlanExpr::Var(name) => {
+            if blocked.contains(name) {
+                *invariant = false;
+            }
+        }
+        PlanExpr::ContextItem => {
+            if blocked.contains(".") {
+                *invariant = false;
+            }
+        }
+        PlanExpr::Constructor(_) => {
+            *identity_free = false;
+            // Still scan enclosed expressions for variable references.
+            e.for_each_child(|expr| {
+                scan(
+                    expr,
+                    blocked,
+                    constructs,
+                    expensive,
+                    invariant,
+                    identity_free,
+                )
+            });
+        }
+        PlanExpr::UdfCall { index, args, .. } => {
+            *expensive = true;
+            if constructs.get(*index).copied().unwrap_or(true) {
+                *identity_free = false;
+            }
+            for a in args {
+                scan(a, blocked, constructs, expensive, invariant, identity_free);
+            }
+        }
+        PlanExpr::BuiltinCall { name, args } => {
+            *expensive = true;
+            let local = name.split_once(':').map(|(_, l)| l).unwrap_or(name);
+            if args.is_empty() {
+                let implicit = match local {
+                    "position" => Some("fn:position"),
+                    "last" => Some("fn:last"),
+                    _ => None,
+                };
+                if let Some(var) = implicit {
+                    if blocked.contains(var) {
+                        *invariant = false;
+                    }
+                }
+            }
+            for a in args {
+                scan(a, blocked, constructs, expensive, invariant, identity_free);
+            }
+        }
+        PlanExpr::TreeStep { input, .. } | PlanExpr::StandoffStep { input, .. } => {
+            *expensive = true;
+            if input.is_none() && blocked.contains(".") {
+                *invariant = false;
+            }
+            scan_children_with_binders(e, blocked, constructs, expensive, invariant, identity_free);
+        }
+        PlanExpr::StandoffFn { .. }
+        | PlanExpr::RootPath
+        | PlanExpr::PathExpr { .. }
+        | PlanExpr::Filter { .. }
+        | PlanExpr::Flwor { .. }
+        | PlanExpr::Quantified { .. } => {
+            *expensive = true;
+            if matches!(e, PlanExpr::RootPath) && blocked.contains(".") {
+                *invariant = false;
+            }
+            scan_children_with_binders(e, blocked, constructs, expensive, invariant, identity_free);
+        }
+        _ => {
+            scan_children_with_binders(e, blocked, constructs, expensive, invariant, identity_free);
+        }
+    }
+}
+
+/// Recurse into children, removing locally re-bound names from the
+/// blocked set for the sub-scopes that bind them.
+fn scan_children_with_binders(
+    e: &PlanExpr,
+    blocked: &HashSet<String>,
+    constructs: &[bool],
+    expensive: &mut bool,
+    invariant: &mut bool,
+    identity_free: &mut bool,
+) {
+    let unblock = |names: &[String], blocked: &HashSet<String>| -> HashSet<String> {
+        let mut b = blocked.clone();
+        for n in names {
+            b.remove(n);
+        }
+        b
+    };
+    match e {
+        PlanExpr::Flwor {
+            hoisted,
+            clauses,
+            where_clause,
+            order_by,
+            return_clause,
+        } => {
+            let mut local: Vec<String> = hoisted.iter().map(|(n, _)| n.clone()).collect();
+            for (_, h) in hoisted {
+                scan(h, blocked, constructs, expensive, invariant, identity_free);
+            }
+            for clause in clauses {
+                let b = unblock(&local, blocked);
+                match clause {
+                    PlanClause::For { var, at, seq } => {
+                        scan(seq, &b, constructs, expensive, invariant, identity_free);
+                        local.push(var.clone());
+                        if let Some(at) = at {
+                            local.push(at.clone());
+                        }
+                    }
+                    PlanClause::Let { var, value } => {
+                        scan(value, &b, constructs, expensive, invariant, identity_free);
+                        local.push(var.clone());
+                    }
+                }
+            }
+            let b = unblock(&local, blocked);
+            if let Some(w) = where_clause {
+                scan(w, &b, constructs, expensive, invariant, identity_free);
+            }
+            for k in order_by {
+                scan(&k.expr, &b, constructs, expensive, invariant, identity_free);
+            }
+            scan(
+                return_clause,
+                &b,
+                constructs,
+                expensive,
+                invariant,
+                identity_free,
+            );
+        }
+        PlanExpr::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            let mut local: Vec<String> = Vec::new();
+            for (var, seq) in bindings {
+                let b = unblock(&local, blocked);
+                scan(seq, &b, constructs, expensive, invariant, identity_free);
+                local.push(var.clone());
+            }
+            let b = unblock(&local, blocked);
+            scan(
+                satisfies,
+                &b,
+                constructs,
+                expensive,
+                invariant,
+                identity_free,
+            );
+        }
+        PlanExpr::TreeStep {
+            input, predicates, ..
+        }
+        | PlanExpr::StandoffStep {
+            input, predicates, ..
+        } => {
+            if let Some(input) = input {
+                scan(
+                    input,
+                    blocked,
+                    constructs,
+                    expensive,
+                    invariant,
+                    identity_free,
+                );
+            }
+            let b = unblock(&context_names(), blocked);
+            for p in predicates {
+                scan(p, &b, constructs, expensive, invariant, identity_free);
+            }
+        }
+        PlanExpr::PathExpr { input, step } => {
+            scan(
+                input,
+                blocked,
+                constructs,
+                expensive,
+                invariant,
+                identity_free,
+            );
+            let b = unblock(&[".".to_string()], blocked);
+            scan(step, &b, constructs, expensive, invariant, identity_free);
+        }
+        PlanExpr::Filter { input, predicate } => {
+            scan(
+                input,
+                blocked,
+                constructs,
+                expensive,
+                invariant,
+                identity_free,
+            );
+            let b = unblock(&context_names(), blocked);
+            scan(
+                predicate,
+                &b,
+                constructs,
+                expensive,
+                invariant,
+                identity_free,
+            );
+        }
+        other => {
+            other.for_each_child(|c| {
+                scan(c, blocked, constructs, expensive, invariant, identity_free)
+            });
+        }
+    }
+}
+
+// ================= passes 3–5: StandOff operator annotation =================
+
+fn for_each_standoff_op(
+    plan: &mut Plan,
+    mut f: impl FnMut(&mut StandoffOp, Option<&standoff_algebra::NodeTest>),
+) {
+    plan.for_each_root_mut(|root| {
+        root.rewrite_bottom_up(&mut |e| match e {
+            PlanExpr::StandoffStep { op, test, .. } => f(op, Some(test)),
+            PlanExpr::StandoffFn { op, .. } => f(op, None),
+            _ => {}
+        })
+    });
+}
+
+/// Total occurrences of an element name across the corpus — the size
+/// of the candidate sequence a pushdown of `name` would produce.
+fn corpus_name_count(ctx: &PlanContext<'_>, name: &str) -> Option<u64> {
+    let store = ctx.store?;
+    Some(
+        store
+            .doc_ids()
+            .map(|id| store.doc(id).elements_named(name).len() as u64)
+            .sum(),
+    )
+}
+
+fn strategy_select(plan: &mut Plan, ctx: &PlanContext<'_>) {
+    if !ctx.options.auto_strategy {
+        let forced = ctx.options.strategy;
+        for_each_standoff_op(plan, |op, _| op.strategy = forced);
+        return;
+    }
+    // Per-operator selection: the scan an operator pays is bounded by
+    // its candidate sequence when a name test will be pushed down
+    // (candidate count × worst-case regions per annotation), and by the
+    // full region table otherwise — so two steps in one query can get
+    // different join algorithms (a rare element name joins per
+    // iteration, a corpus-wide one in a single loop-lifted scan).
+    for_each_standoff_op(plan, |op, test| {
+        let mut stats = ctx.index_stats;
+        if ctx.options.candidate_pushdown {
+            if let Some(count) = test
+                .filter(|t| t.kind == standoff_algebra::KindTest::Element)
+                .and_then(|t| t.name.as_deref())
+                .and_then(|name| corpus_name_count(ctx, name))
+            {
+                let scan_bound = count.saturating_mul(stats.max_regions.max(1) as u64);
+                stats.entries = stats.entries.min(scan_bound);
+            }
+        }
+        op.strategy = StandoffStrategy::pick_for(&stats);
+    });
+}
+
+fn pushdown(plan: &mut Plan, ctx: &PlanContext<'_>) {
+    let allowed = ctx.options.candidate_pushdown;
+    for_each_standoff_op(plan, |op, test| {
+        op.pushdown = match test {
+            Some(test)
+                if allowed
+                    && op.strategy != StandoffStrategy::NaiveNoCandidates
+                    && test.kind == standoff_algebra::KindTest::Element =>
+            {
+                test.name.clone()
+            }
+            _ => None,
+        };
+    });
+}
+
+/// Attach explain-grade cardinality estimates. Gated by the caller
+/// ([`optimize`]): estimates feed explain output only, so execution
+/// paths skip this per-operator corpus scan entirely.
+fn estimate(plan: &mut Plan, ctx: &PlanContext<'_>) {
+    let stats = ctx.index_stats;
+    for_each_standoff_op(plan, |op, _| {
+        let candidates = op
+            .pushdown
+            .as_ref()
+            .and_then(|name| corpus_name_count(ctx, name));
+        op.estimate = Some(JoinEstimate {
+            index: stats,
+            candidates,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::engine::EngineOptions;
+    use crate::parser::parse_query;
+
+    fn optimized(q: &str) -> Plan {
+        let parsed = parse_query(q).unwrap();
+        let options = EngineOptions::default();
+        compile(&parsed, &PlanContext::bare(&options)).unwrap()
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let plan = optimized("1 + 2 * 3");
+        assert!(matches!(plan.body, PlanExpr::Const(Atom::Integer(7))));
+    }
+
+    #[test]
+    fn keeps_runtime_errors_unfolded() {
+        let plan = optimized("1 idiv 0");
+        assert!(matches!(plan.body, PlanExpr::Arith(..)));
+    }
+
+    #[test]
+    fn folds_constant_conditionals() {
+        let plan = optimized("if (1 < 2) then \"yes\" else (1 idiv 0)");
+        let PlanExpr::Const(Atom::String(s)) = &plan.body else {
+            panic!("expected folded branch, got {:?}", plan.body);
+        };
+        assert_eq!(s.as_ref(), "yes");
+    }
+
+    #[test]
+    fn decides_pushdown_per_operator() {
+        let plan = optimized("//a/select-narrow::b");
+        let PlanExpr::StandoffStep { op, .. } = &plan.body else {
+            panic!("expected standoff step");
+        };
+        assert_eq!(op.pushdown.as_deref(), Some("b"));
+
+        // node() test: no element name to push.
+        let plan = optimized("//a/select-narrow::node()");
+        let PlanExpr::StandoffStep { op, .. } = &plan.body else {
+            panic!("expected standoff step");
+        };
+        assert_eq!(op.pushdown, None);
+    }
+
+    /// Auto mode must choose per operator, not per query: in one plan,
+    /// a join against a rare element name (tiny candidate-bounded scan)
+    /// gets the per-iteration basic merge join while a join against a
+    /// corpus-wide name gets the single-scan loop-lifted join.
+    #[test]
+    fn auto_strategy_selects_per_operator() {
+        use crate::engine::Engine;
+        let mut xml = String::from("<d>");
+        for k in 0..300 {
+            xml.push_str(&format!(r#"<w start="{}" end="{}"/>"#, k * 10, k * 10 + 5));
+        }
+        xml.push_str(r#"<place start="0" end="9"/><place start="20" end="29"/></d>"#);
+        let mut engine = Engine::new();
+        let doc = engine.load_document("d.xml", &xml).unwrap();
+        engine
+            .prebuild_region_index(doc, &standoff_core::StandoffConfig::default())
+            .unwrap();
+        engine.set_auto_strategy(true);
+        let plan = engine
+            .compile(
+                r#"(doc("d.xml")//place/select-narrow::w,
+                    doc("d.xml")//w/select-narrow::place)"#,
+            )
+            .unwrap();
+        let mut by_name = std::collections::HashMap::new();
+        plan.visit_exprs(&mut |e| {
+            if let PlanExpr::StandoffStep { op, test, .. } = e {
+                by_name.insert(test.name.clone().unwrap(), op.strategy);
+            }
+        });
+        assert_eq!(
+            by_name["w"],
+            standoff_core::StandoffStrategy::LoopLiftedMergeJoin,
+            "302-entry index, 300 candidates: loop-lifted"
+        );
+        assert_eq!(
+            by_name["place"],
+            standoff_core::StandoffStrategy::BasicMergeJoin,
+            "2-candidate scan bound: per-iteration basic join"
+        );
+    }
+
+    #[test]
+    fn no_pushdown_without_candidates_strategy() {
+        let parsed = parse_query("//a/select-narrow::b").unwrap();
+        let options = EngineOptions {
+            strategy: standoff_core::StandoffStrategy::NaiveNoCandidates,
+            ..EngineOptions::default()
+        };
+        let plan = compile(&parsed, &PlanContext::bare(&options)).unwrap();
+        let PlanExpr::StandoffStep { op, .. } = &plan.body else {
+            panic!("expected standoff step");
+        };
+        assert_eq!(op.pushdown, None);
+    }
+
+    #[test]
+    fn hoists_invariant_join_out_of_flwor() {
+        let plan = optimized(r#"for $i in 1 to 10 return count(doc("d")//w)"#);
+        let PlanExpr::Flwor {
+            hoisted,
+            return_clause,
+            ..
+        } = &plan.body
+        else {
+            panic!("expected flwor, got {:?}", plan.body);
+        };
+        assert_eq!(hoisted.len(), 1, "{:?}", plan.body);
+        assert!(matches!(return_clause.as_ref(), PlanExpr::Var(v) if v.starts_with("#h")));
+    }
+
+    #[test]
+    fn does_not_hoist_loop_dependent_exprs() {
+        let plan = optimized(r#"for $d in (1, 2) return count(doc("u")//w[@k = $d])"#);
+        let PlanExpr::Flwor {
+            hoisted,
+            return_clause,
+            ..
+        } = &plan.body
+        else {
+            panic!("expected flwor");
+        };
+        // The $d-dependent count() stays in the loop (only the invariant
+        // doc("u") scan beneath it may hoist)…
+        assert!(
+            matches!(return_clause.as_ref(), PlanExpr::BuiltinCall { name, .. } if name == "count")
+        );
+        // …and nothing hoisted references the loop variable.
+        for (_, h) in hoisted {
+            h.visit(&mut |e| {
+                assert!(
+                    !matches!(e, PlanExpr::Var(v) if v == "d"),
+                    "loop-dependent subtree hoisted: {h:?}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn does_not_hoist_constructors() {
+        let plan = optimized(r#"for $i in 1 to 3 return <r>{ count(doc("d")//w) }</r>"#);
+        let PlanExpr::Flwor { hoisted, .. } = &plan.body else {
+            panic!("expected flwor");
+        };
+        // The constructor stays; its invariant *enclosed* expression may
+        // hoist — node identity is untouched either way.
+        for (_, h) in hoisted {
+            assert!(!contains_constructor(h));
+        }
+    }
+
+    #[test]
+    fn does_not_hoist_out_of_conditional_branches() {
+        let plan =
+            optimized(r#"for $i in 1 to 3 return if ($i = 1) then count(doc("d")//w) else 0"#);
+        let PlanExpr::Flwor { hoisted, .. } = &plan.body else {
+            panic!("expected flwor");
+        };
+        assert!(hoisted.is_empty(), "{hoisted:?}");
+    }
+
+    #[test]
+    fn shadowing_rebinds_are_not_blocked() {
+        // Inner `for $x` shadows the outer loop's `$x`: the inner FLWOR
+        // as a whole is invariant and hoists.
+        let plan = optimized(r#"for $x in 1 to 5 return for $x in doc("d")//w return $x/@start"#);
+        let PlanExpr::Flwor { hoisted, .. } = &plan.body else {
+            panic!("expected flwor");
+        };
+        assert_eq!(hoisted.len(), 1, "{hoisted:?}");
+    }
+}

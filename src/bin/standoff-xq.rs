@@ -7,8 +7,11 @@
 //! standoff-xq inspect <snapshot>
 //! standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]...
 //!             [--load-bin FILE] (--query Q | --query-file F)
-//!             [--strategy naive|naive-candidates|basic|loop-lifted]
+//!             [--strategy naive|naive-candidates|basic|loop-lifted|auto]
 //!             [--no-pushdown] [--explain] [--time]
+//! standoff-xq explain [--store SNAPSHOT]... [--load URI=FILE]...
+//!             [--load-bin FILE] (--query Q | --query-file F)
+//!             [--strategy ...] [--no-pushdown]
 //! standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]...
 //!             [--load-bin FILE] [--threads N] [--time] <queries.txt | ->
 //! ```
@@ -38,9 +41,18 @@
 //! print `!! error: …` in place of a result and flip the exit code to
 //! 1; no query input can bring the process down.
 //!
-//! All subcommands print diagnostics to stderr and return a nonzero
-//! exit code on missing files, unreadable snapshots, or bad queries —
-//! they never panic.
+//! `explain` compiles the query against the loaded corpus and prints
+//! the **optimized plan** to stdout — the same plan object `query`
+//! would execute, including per-operator StandOff strategy, candidate
+//! pushdown, and cardinality estimates from the mounted region
+//! indexes. `query --explain` remains as an alias that prints the plan
+//! to stderr before running the query.
+//!
+//! All subcommands print diagnostics to stderr and never panic. Exit
+//! codes: **0** success; **1** query failure (parse, compile, or
+//! evaluation error — including any failed query in a `batch`);
+//! **2** usage or corpus-loading errors (bad flags, missing files,
+//! unreadable snapshots).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -54,11 +66,14 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      standoff-xq inspect <snapshot>\n\
                      standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
-                     \x20           [--strategy naive|naive-candidates|basic|loop-lifted]\n\
+                     \x20           [--strategy naive|naive-candidates|basic|loop-lifted|auto]\n\
                      \x20           [--no-pushdown] [--explain] [--time]\n\
+                     standoff-xq explain [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
+                     \x20           (--query Q | --query-file F) [--strategy ...] [--no-pushdown]\n\
                      standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           [--strategy ...] [--no-pushdown] [--threads N] [--time]\n\
-                     \x20           <queries.txt | ->";
+                     \x20           <queries.txt | ->\n\
+                     exit codes: 0 success, 1 query failure, 2 usage/corpus error";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +81,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&argv[1..]),
         Some("inspect") => cmd_inspect(&argv[1..]),
         Some("query") => cmd_query(&argv[1..]),
+        Some("explain") => cmd_explain(&argv[1..]),
         Some("batch") => cmd_batch(&argv[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -202,6 +218,8 @@ struct CorpusArgs {
     loads: Vec<(String, String)>,
     load_bins: Vec<String>,
     strategy: Option<StandoffStrategy>,
+    /// `--strategy auto`: per-operator selection from index statistics.
+    auto_strategy: bool,
     pushdown: bool,
 }
 
@@ -239,10 +257,18 @@ impl CorpusArgs {
             "--strategy" => {
                 *k += 1;
                 let name = argv.get(*k).ok_or("--strategy needs a name")?;
-                self.strategy = Some(
-                    StandoffStrategy::parse(name)
-                        .ok_or_else(|| format!("unknown strategy '{name}'"))?,
-                );
+                // Last flag wins, like every other repeated flag: an
+                // explicit strategy after `auto` turns auto off again.
+                if name == "auto" {
+                    self.auto_strategy = true;
+                    self.strategy = None;
+                } else {
+                    self.strategy = Some(
+                        StandoffStrategy::parse(name)
+                            .ok_or_else(|| format!("unknown strategy '{name}'"))?,
+                    );
+                    self.auto_strategy = false;
+                }
             }
             "--no-pushdown" => self.pushdown = false,
             _ => return Ok(false),
@@ -257,6 +283,7 @@ impl CorpusArgs {
         if let Some(strategy) = self.strategy {
             engine.set_strategy(strategy);
         }
+        engine.set_auto_strategy(self.auto_strategy);
         engine.set_candidate_pushdown(self.pushdown);
         for path in &self.stores {
             let set = load_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
@@ -369,6 +396,27 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+// ---- explain ----
+
+/// First-class plan printer: compile the query against the loaded
+/// corpus and print the optimized plan to stdout without executing it.
+/// (`query --explain` stays as an alias, printing to stderr before the
+/// run.)
+fn cmd_explain(argv: &[String]) -> Result<ExitCode, String> {
+    let args = parse_query_args(argv)?;
+    let engine = args.corpus.build_engine()?;
+    match engine.explain(&args.query) {
+        Ok(plan) => {
+            print!("{plan}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("standoff-xq: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
 // ---- batch ----
 
 fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
@@ -445,7 +493,7 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     if time {
         let cache = executor.cache();
         eprintln!(
-            "# {} quer{} in {:?} on {} thread(s) ({} failed; ast cache {} hit(s) / {} miss(es); load {:?})",
+            "# {} quer{} in {:?} on {} thread(s) ({} failed; plan cache {} hit(s) / {} miss(es); load {:?})",
             results.len(),
             if results.len() == 1 { "y" } else { "ies" },
             elapsed,
