@@ -31,4 +31,4 @@ pub mod staircase;
 pub use item::Item;
 pub use nodeseq::NodeTable;
 pub use sequence::LlSeq;
-pub use staircase::{KindTest, NodeTest, TreeAxis};
+pub use staircase::{KindTest, NameCache, NodeTest, TreeAxis};

@@ -148,6 +148,38 @@ fn resolve_name(doc: &Document, test: &NodeTest) -> ResolvedName {
     }
 }
 
+/// Memo of name-test resolutions, keyed by `(test address, document)`.
+///
+/// A name test is an `Option<String>` that must be looked up in each
+/// fragment's name table every time its step runs; for plans that
+/// re-execute the same step — recursive user-defined functions, repeated
+/// call sites — the resolution is pure repetition. The cache keys on the
+/// *address* of the `NodeTest`, so it is sound only under the contract
+/// the plan evaluator provides: every cached test outlives the cache
+/// (tests live in the `Arc`'d plan, the cache dies with the per-query
+/// evaluator), making addresses unique for the cache's lifetime. Do not
+/// feed it stack-temporary tests.
+#[derive(Debug, Default)]
+pub struct NameCache {
+    map: std::collections::HashMap<(usize, u32), ResolvedName>,
+}
+
+impl NameCache {
+    pub fn new() -> NameCache {
+        NameCache::default()
+    }
+
+    fn resolve(&mut self, doc: &Document, doc_id: DocId, test: &NodeTest) -> ResolvedName {
+        if test.name.is_none() {
+            return ResolvedName::Any; // nothing to look up or memoize
+        }
+        *self
+            .map
+            .entry((test as *const NodeTest as usize, doc_id.0))
+            .or_insert_with(|| resolve_name(doc, test))
+    }
+}
+
 /// Does the tree node at `pre` match the test?
 #[inline]
 fn matches_tree(doc: &Document, pre: u32, test: &NodeTest, name: ResolvedName) -> bool {
@@ -177,6 +209,29 @@ fn matches_tree(doc: &Document, pre: u32, test: &NodeTest, name: ResolvedName) -
 /// compute the axis result of its context node sequence. The result is
 /// duplicate-free and in document order per iteration.
 pub fn ll_step(store: &Store, ctx: &NodeTable, axis: TreeAxis, test: &NodeTest) -> NodeTable {
+    ll_step_impl(store, ctx, axis, test, None)
+}
+
+/// [`ll_step`] with a [`NameCache`] memoizing per-document name-test
+/// resolution across step executions. See the cache's soundness
+/// contract: `test` must outlive `cache`.
+pub fn ll_step_cached(
+    store: &Store,
+    ctx: &NodeTable,
+    axis: TreeAxis,
+    test: &NodeTest,
+    cache: &mut NameCache,
+) -> NodeTable {
+    ll_step_impl(store, ctx, axis, test, Some(cache))
+}
+
+fn ll_step_impl(
+    store: &Store,
+    ctx: &NodeTable,
+    axis: TreeAxis,
+    test: &NodeTest,
+    mut cache: Option<&mut NameCache>,
+) -> NodeTable {
     let mut ctx = ctx.clone();
     ctx.normalize(store);
     let mut out = NodeTable::new();
@@ -189,7 +244,16 @@ pub fn ll_step(store: &Store, ctx: &NodeTable, axis: TreeAxis, test: &NodeTest) 
             while j < nodes.len() && nodes[j].doc == doc_id {
                 j += 1;
             }
-            step_fragment(store, doc_id, iter, &nodes[k..j], axis, test, &mut out);
+            step_fragment(
+                store,
+                doc_id,
+                iter,
+                &nodes[k..j],
+                axis,
+                test,
+                cache.as_deref_mut(),
+                &mut out,
+            );
             k = j;
         }
     }
@@ -199,6 +263,7 @@ pub fn ll_step(store: &Store, ctx: &NodeTable, axis: TreeAxis, test: &NodeTest) 
 
 /// Evaluate one axis step for the context nodes of a single iteration and
 /// a single document fragment (`nodes` sorted in document order).
+#[allow(clippy::too_many_arguments)]
 fn step_fragment(
     store: &Store,
     doc_id: DocId,
@@ -206,10 +271,14 @@ fn step_fragment(
     nodes: &[NodeRef],
     axis: TreeAxis,
     test: &NodeTest,
+    cache: Option<&mut NameCache>,
     out: &mut NodeTable,
 ) {
     let doc = store.doc(doc_id);
-    let name = resolve_name(doc, test);
+    let name = match cache {
+        Some(c) => c.resolve(doc, doc_id, test),
+        None => resolve_name(doc, test),
+    };
     if name == ResolvedName::NoMatch && axis != TreeAxis::Attribute {
         return;
     }

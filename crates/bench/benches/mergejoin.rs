@@ -91,6 +91,63 @@ fn mergejoin(c: &mut Criterion) {
     }
     group.finish();
 
+    // Allocation discipline: many small joins back to back, fresh
+    // buffers per join vs one reused JoinScratch (the executor's shape).
+    let mut group = c.benchmark_group("scratch_reuse");
+    {
+        let pairs: Vec<(u32, standoff_core::Area)> = (0..256)
+            .map(|k| {
+                let s = k as i64 * 10;
+                (k, standoff_core::Area::single(s, s + 8).unwrap())
+            })
+            .collect();
+        let index = standoff_core::RegionIndex::from_areas(&pairs);
+        let doc = standoff_xml::parse_document("<d/>").unwrap();
+        let context: Vec<standoff_core::IterNode> = (0..32)
+            .map(|k| standoff_core::IterNode {
+                iter: k,
+                node: k * 7,
+            })
+            .collect();
+        let cands: Vec<u32> = (0..64u32).map(|k| k * 4).collect();
+        let iter_domain: Vec<u32> = (0..32).collect();
+        let input = standoff_core::JoinInput {
+            doc: &doc,
+            index: &index,
+            ctx_index: None,
+            context: &context,
+            candidates: Some(&cands),
+            iter_domain: &iter_domain,
+        };
+        group.bench_function("fresh_buffers_x64", |b| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    standoff_core::evaluate_standoff_join(
+                        standoff_core::StandoffAxis::SelectNarrow,
+                        standoff_core::StandoffStrategy::LoopLiftedMergeJoin,
+                        &input,
+                        None,
+                    );
+                }
+            });
+        });
+        group.bench_function("shared_scratch_x64", |b| {
+            let mut scratch = standoff_core::JoinScratch::default();
+            b.iter(|| {
+                for _ in 0..64 {
+                    standoff_core::evaluate_standoff_join_with(
+                        standoff_core::StandoffAxis::SelectNarrow,
+                        standoff_core::StandoffStrategy::LoopLiftedMergeJoin,
+                        &input,
+                        None,
+                        &mut scratch,
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+
     // Narrow vs wide merge cores on the same input.
     let mut group = c.benchmark_group("narrow_vs_wide");
     let (context, candidates) = workload(2048, 64, 8192);

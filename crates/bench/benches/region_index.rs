@@ -33,6 +33,38 @@ fn region_index(c: &mut Criterion) {
     }
     group.finish();
 
+    // Sparse-pushdown scaling: a fixed 64-candidate set against indexes
+    // an order of magnitude apart in size. The node-view path must cost
+    // (roughly) the same on both — candidate-count scaling — while the
+    // forced scan baseline grows with the index. This is the
+    // "no longer Θ(|index|)" acceptance measurement.
+    let mut group = c.benchmark_group("region_index/sparse_scaling");
+    for n in [10_000usize, 100_000] {
+        let pairs: Vec<(u32, standoff_core::Area)> = (0..n)
+            .map(|k| {
+                let s = k as i64 * 10;
+                (k as u32, standoff_core::Area::single(s, s + 8).unwrap())
+            })
+            .collect();
+        let synthetic = standoff_core::RegionIndex::from_areas(&pairs);
+        let sparse: Vec<u32> = (0..64u32).map(|k| k * (n as u32 / 64)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_64_cands", n),
+            &sparse,
+            |b, cands| {
+                b.iter(|| synthetic.candidates_for(cands));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forced_scan_64_cands", n),
+            &sparse,
+            |b, cands| {
+                b.iter(|| synthetic.candidates_for_scan(cands));
+            },
+        );
+    }
+    group.finish();
+
     // Pushdown ablation: select-narrow from <open_auction> contexts to
     // <increase> candidates, with and without the candidate restriction.
     let auctions = so.doc.elements_named("open_auction").to_vec();

@@ -1,0 +1,282 @@
+//! `bench-report` — the perf-trajectory harness.
+//!
+//! Runs a fixed set of representative measurements (merge-join kernel,
+//! candidate intersection at sparse/dense selectivity, end-to-end
+//! pushdown joins, batch execution) with quick criterion-style settings
+//! and writes a `group → median ns` JSON report, so successive PRs leave
+//! a comparable perf trail at the repo root (`BENCH_pr4.json`, …).
+//!
+//! ```text
+//! bench-report [--out FILE] [--samples N] [--scale F]
+//!              [--baseline FILE] [--tiny]
+//! ```
+//!
+//! * `--out` (default `BENCH_report.json`): where the report is written.
+//! * `--samples` (default 7): timed runs per group; the median is kept.
+//! * `--scale` (default 0.005): XMark scale of the end-to-end corpus.
+//! * `--baseline FILE`: embed a previous report's groups under
+//!   `"baseline"`, making the file a self-contained before/after record.
+//! * `--tiny`: CI smoke mode — minimal corpus, 3 samples, same groups.
+//!
+//! NB: the container this project is usually benched in has a single
+//! CPU; thread-scaling groups report throughput, not speedup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use standoff_core::join::merge::ll_select_narrow;
+use standoff_core::join::CtxEntry;
+use standoff_core::{
+    evaluate_standoff_join, IterNode, JoinInput, RegionEntry, RegionIndex, StandoffAxis,
+    StandoffStrategy,
+};
+use standoff_xmark::queries::XmarkQuery;
+use standoff_xquery::Executor;
+
+struct Config {
+    out: String,
+    samples: usize,
+    scale: f64,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        out: "BENCH_report.json".to_string(),
+        samples: 7,
+        scale: 0.005,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => config.out = value("--out"),
+            "--samples" => config.samples = value("--samples").parse().expect("--samples: integer"),
+            "--scale" => config.scale = value("--scale").parse().expect("--scale: number"),
+            "--baseline" => config.baseline = Some(value("--baseline")),
+            "--tiny" => {
+                config.samples = 3;
+                config.scale = 0.001;
+            }
+            other => panic!("unknown argument: {other} (see bench_report.rs)"),
+        }
+    }
+    config
+}
+
+/// Median wall-clock nanoseconds of `samples` runs (one warm-up first).
+fn median_ns<O>(samples: usize, mut f: impl FnMut() -> O) -> u64 {
+    std::hint::black_box(f());
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The synthetic merge-join workload of `benches/mergejoin.rs`.
+fn kernel_workload(n_ctx: usize, iters: u32, n_cand: usize) -> (Vec<CtxEntry>, Vec<RegionEntry>) {
+    let mut context = Vec::with_capacity(n_ctx);
+    let mut x = 0i64;
+    for k in 0..n_ctx {
+        let depth = (k % 4) as i64;
+        let base = (x - depth * 10).max(0);
+        context.push(CtxEntry {
+            iter: (k as u32) % iters,
+            node: k as u32,
+            start: base,
+            end: base + 100 - depth * 20,
+        });
+        if k % 4 == 3 {
+            x += 37;
+        }
+    }
+    context.sort_by_key(|c| (c.start, c.end, c.iter));
+    let mut candidates = Vec::with_capacity(n_cand);
+    for k in 0..n_cand {
+        let start = (k as i64 * 13) % (x + 200);
+        candidates.push(RegionEntry {
+            start,
+            end: start + (k as i64 % 40),
+            id: k as u32,
+        });
+    }
+    candidates.sort_by_key(|e| (e.start, e.end));
+    (context, candidates)
+}
+
+/// A synthetic region index of `n` single-region annotations.
+fn synthetic_index(n: usize) -> RegionIndex {
+    let pairs: Vec<(u32, standoff_core::Area)> = (0..n)
+        .map(|k| {
+            let start = (k as i64) * 10;
+            (
+                k as u32,
+                standoff_core::Area::single(start, start + 8).unwrap(),
+            )
+        })
+        .collect();
+    RegionIndex::from_areas(&pairs)
+}
+
+fn main() {
+    let config = parse_args();
+    let mut groups: Vec<(String, u64)> = Vec::new();
+    let mut record = |name: &str, ns: u64| {
+        println!("bench-report: {name:<44} {ns:>12} ns (median)");
+        groups.push((name.to_string(), ns));
+    };
+
+    // ---- merge-join kernel (benches/mergejoin.rs territory) ----
+    {
+        let (context, candidates) = kernel_workload(2048, 64, 8192);
+        let ns = median_ns(config.samples, || {
+            ll_select_narrow(&context, &candidates, false, None)
+        });
+        record("mergejoin/ll_select_narrow", ns);
+    }
+
+    // ---- candidate intersection (benches/region_index.rs territory) ----
+    {
+        let index = synthetic_index(50_000);
+        // Sparse: 64 candidates out of 50k entries — must scale with the
+        // candidate count, not the index size.
+        let sparse: Vec<u32> = (0..64u32).map(|k| k * 700).collect();
+        let ns = median_ns(config.samples, || index.candidates_for(&sparse));
+        record("region_index/candidates_sparse_64_of_50k", ns);
+        // Dense: every other annotation — the scan path's home turf.
+        let dense: Vec<u32> = (0..25_000u32).map(|k| k * 2).collect();
+        let ns = median_ns(config.samples, || index.candidates_for(&dense));
+        record("region_index/candidates_dense_25k_of_50k", ns);
+    }
+
+    // ---- raw join with sparse pushdown (core, no query layers) ----
+    {
+        let doc = standoff_xml::parse_document("<d/>").unwrap();
+        let index = synthetic_index(50_000);
+        let sparse: Vec<u32> = (0..64u32).map(|k| k * 700).collect();
+        let context: Vec<IterNode> = (0..64u32)
+            .map(|k| IterNode {
+                iter: k,
+                node: k * 650,
+            })
+            .collect();
+        let iter_domain: Vec<u32> = (0..64).collect();
+        let ns = median_ns(config.samples, || {
+            let input = JoinInput {
+                doc: &doc,
+                index: &index,
+                ctx_index: None,
+                context: &context,
+                candidates: Some(&sparse),
+                iter_domain: &iter_domain,
+            };
+            evaluate_standoff_join(
+                StandoffAxis::SelectNarrow,
+                StandoffStrategy::LoopLiftedMergeJoin,
+                &input,
+                None,
+            )
+        });
+        record("join/select_narrow_sparse_pushdown", ns);
+    }
+
+    // ---- end-to-end engine measurements over an XMark corpus ----
+    {
+        let mut w = standoff_bench::prepare_workload(config.scale);
+        let q2 = XmarkQuery::Q2.standoff(standoff_bench::SO_URI);
+        let ns = median_ns(config.samples, || w.engine.run_and_discard(&q2).unwrap());
+        record("eval/xmark_q2_standoff_ll", ns);
+
+        // A sparse-pushdown step: few contexts, rare candidate name.
+        let sparse = format!(
+            r#"count(doc("{}")//open_auction/select-narrow::reserve)"#,
+            standoff_bench::SO_URI
+        );
+        let ns = median_ns(config.samples, || {
+            w.engine.run_and_discard(&sparse).unwrap()
+        });
+        record("eval/select_narrow_sparse_pushdown", ns);
+
+        // A no-pushdown step: the join consumes the *full* region index
+        // as its candidate sequence — the shape that used to copy the
+        // whole entries table per operator.
+        let wide = format!(
+            r#"count(doc("{}")//open_auction/select-wide::node())"#,
+            standoff_bench::SO_URI
+        );
+        let ns = median_ns(config.samples, || w.engine.run_and_discard(&wide).unwrap());
+        record("eval/select_wide_no_pushdown", ns);
+
+        // Q2 under the basic (per-iteration) strategy: re-derives its
+        // candidate sequence every iteration, so per-derivation overhead
+        // multiplies.
+        w.engine.set_strategy(StandoffStrategy::BasicMergeJoin);
+        let ns = median_ns(config.samples, || w.engine.run_and_discard(&q2).unwrap());
+        record("eval/xmark_q2_standoff_basic", ns);
+        w.engine.set_strategy(StandoffStrategy::LoopLiftedMergeJoin);
+
+        // Batch executor, warm plan cache (single CPU: throughput only).
+        let batch: Vec<String> = (0..16).map(|_| q2.clone()).collect();
+        let exec = Executor::new(w.engine.into_shared(), 2);
+        exec.run_batch(&batch[..1]); // warm the plan cache
+        let ns = median_ns(config.samples, || exec.run_batch(&batch));
+        record("batch/q2_x16_warm_cache", ns);
+    }
+
+    // ---- render ----
+    let baseline = config.baseline.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
+    });
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"harness\": \"bench-report\",");
+    let _ = writeln!(json, "  \"samples\": {},", config.samples);
+    let _ = writeln!(json, "  \"scale\": {},", config.scale);
+    let _ = writeln!(json, "  \"unit\": \"ns (median)\",");
+    let _ = writeln!(json, "  \"groups\": {{");
+    for (k, (name, ns)) in groups.iter().enumerate() {
+        let comma = if k + 1 == groups.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {ns}{comma}");
+    }
+    let _ = write!(json, "  }}");
+    if let Some(base) = baseline {
+        // Embed the previous report's groups verbatim as the baseline.
+        let groups_obj = extract_groups_object(&base)
+            .unwrap_or_else(|| panic!("baseline file has no \"groups\" object"));
+        let _ = write!(json, ",\n  \"baseline\": {groups_obj}");
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&config.out, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", config.out));
+    println!("bench-report: wrote {}", config.out);
+}
+
+/// Pull the `"groups": { ... }` object out of a previous report without
+/// a JSON dependency — the harness writes it, so the shape is known.
+fn extract_groups_object(json: &str) -> Option<String> {
+    let key = "\"groups\":";
+    let at = json.find(key)?;
+    let open = json[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (k, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + k].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -197,20 +197,34 @@ impl RegionIndex {
     /// ordering* of the region index. This is how an element-name test is
     /// pushed down into a StandOff step.
     ///
-    /// Adaptive: for selective candidate sets the entries are gathered
-    /// through the node-ordered view and re-sorted (`O(C log C)`); for
-    /// broad sets a single scan of the start-clustered index filters in
-    /// place (`O(E log C)`). The crossover mirrors MonetDB's choice
-    /// between positional gather and scan.
+    /// Adaptive (see [`node_view_preferred`]): selective candidate sets
+    /// walk the CSR node view candidate-by-candidate — never touching
+    /// the full entries table — and restore the `(start, end, id)`
+    /// clustering only when the gathered runs actually violate it
+    /// (single-region annotations laid out in document order, the
+    /// common case, come out sorted for free). Broad candidate sets
+    /// keep the single scan of the start-clustered table. The crossover
+    /// mirrors MonetDB's choice between positional gather and scan.
     pub fn candidates_for(&self, sorted_node_pres: &[u32]) -> Vec<RegionEntry> {
+        let mut out = Vec::new();
+        self.candidates_into(sorted_node_pres, &mut out);
+        out
+    }
+
+    /// [`RegionIndex::candidates_for`] into a reusable buffer (cleared
+    /// first) — the allocation-free form the join hot path uses.
+    pub fn candidates_into(&self, sorted_node_pres: &[u32], out: &mut Vec<RegionEntry>) {
         debug_assert!(sorted_node_pres.windows(2).all(|w| w[0] < w[1]));
-        let c = sorted_node_pres.len();
-        let gather_cost = c * (usize::BITS - (c | 1).leading_zeros()) as usize;
-        if gather_cost < self.entries.len() {
-            // Gather per node, then restore the start clustering.
-            let mut out: Vec<RegionEntry> = Vec::with_capacity(c);
+        out.clear();
+        if self.prefers_node_view(sorted_node_pres.len()) {
+            out.reserve(sorted_node_pres.len());
+            let mut sorted = true;
+            let mut last = (i64::MIN, i64::MIN, 0u32);
             for &pre in sorted_node_pres {
                 for r in self.regions_of(pre) {
+                    let key = (r.start, r.end, pre);
+                    sorted &= last < key;
+                    last = key;
                     out.push(RegionEntry {
                         start: r.start,
                         end: r.end,
@@ -218,15 +232,44 @@ impl RegionIndex {
                     });
                 }
             }
-            out.sort_unstable_by_key(|e| (e.start, e.end, e.id));
-            out
+            // Sortedness fast path: the per-node runs arrive in pre
+            // order, which usually coincides with start order (always in
+            // the nesting-free single-region layouts) — detected on the
+            // fly, never assumed, so the merge-back sort runs only when
+            // the clustering was actually violated.
+            if !sorted {
+                out.sort_unstable_by_key(|e| (e.start, e.end, e.id));
+            }
         } else {
-            self.entries
-                .iter()
-                .filter(|e| sorted_node_pres.binary_search(&e.id).is_ok())
-                .copied()
-                .collect()
+            out.extend(
+                self.entries
+                    .iter()
+                    .filter(|e| sorted_node_pres.binary_search(&e.id).is_ok())
+                    .copied(),
+            );
         }
+    }
+
+    /// Would [`RegionIndex::candidates_for`] take the node-view gather
+    /// path for a candidate set of this size? Exposed so the query
+    /// planner's explain output and runtime statistics can report the
+    /// same decision the index makes.
+    #[inline]
+    pub fn prefers_node_view(&self, candidate_count: usize) -> bool {
+        node_view_preferred(candidate_count, self.entries.len() as u64)
+    }
+
+    /// The scan path of [`RegionIndex::candidates_for`], unconditionally —
+    /// the pre-inversion behavior, kept as the ablation baseline for
+    /// benches and the property suite.
+    #[doc(hidden)]
+    pub fn candidates_for_scan(&self, sorted_node_pres: &[u32]) -> Vec<RegionEntry> {
+        debug_assert!(sorted_node_pres.windows(2).all(|w| w[0] < w[1]));
+        self.entries
+            .iter()
+            .filter(|e| sorted_node_pres.binary_search(&e.id).is_ok())
+            .copied()
+            .collect()
     }
 
     /// Memory footprint estimate in bytes (used by the bench harness to
@@ -371,6 +414,18 @@ impl RegionIndex {
     }
 }
 
+/// The gather-vs-scan cost rule of the candidate intersection: walking
+/// the node view costs ~`C log C` (gather plus the worst-case re-sort),
+/// the scan costs one pass over all `E` entries — gather wins while
+/// `C log C < E`. A free function so the planner can evaluate the rule
+/// from statistics alone, without an index at hand.
+#[inline]
+pub fn node_view_preferred(candidate_count: usize, index_entries: u64) -> bool {
+    let c = candidate_count;
+    let gather_cost = (c as u64) * (usize::BITS - (c | 1).leading_zeros()) as u64;
+    gather_cost < index_entries
+}
+
 const INDEX_MAGIC: &[u8; 4] = b"SORX";
 const INDEX_VERSION: u32 = 1;
 
@@ -450,10 +505,11 @@ mod tests {
     /// Regression: `candidates_for` silently assumed its input was
     /// strictly ascending — unsorted input made the scan path's binary
     /// search skip candidates *without any diagnostic*. The invariant is
-    /// now debug-asserted (this test, which runs in CI's
-    /// debug-assertions job) and the one caller whose input is
-    /// externally produced (the element-name pushdown over snapshot-
-    /// loaded indexes) sorts first.
+    /// debug-asserted (this test, which runs in CI's debug-assertions
+    /// job); for the one caller whose input is externally produced (the
+    /// element-name pushdown over snapshot-loaded indexes) the ordering
+    /// is enforced when the snapshot is decoded (SOXD v2 rejects an
+    /// out-of-order element index), so the slice is borrowed as-is.
     #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "assertion failed")]
@@ -487,6 +543,89 @@ mod tests {
             .collect();
         assert_eq!(got, want);
         assert_eq!(got.len(), 5); // 3 shots + 2 music annotations
+    }
+
+    /// The inverted (node-view) path must fire for sparse candidate sets
+    /// and still return `(start, end, id)`-clustered entries — including
+    /// for multi-region annotations, whose runs arrive per node and only
+    /// coincidentally in start order.
+    #[test]
+    fn node_view_path_sorted_for_multi_region_annotations() {
+        // Node 5's area starts before node 3's, so a per-node gather
+        // emits runs out of start order and must re-sort.
+        let pairs = vec![
+            (
+                3,
+                Area::try_new(vec![
+                    Region::new(50, 60).unwrap(),
+                    Region::new(200, 210).unwrap(),
+                ])
+                .unwrap(),
+            ),
+            (
+                5,
+                Area::try_new(vec![
+                    Region::new(0, 10).unwrap(),
+                    Region::new(100, 110).unwrap(),
+                ])
+                .unwrap(),
+            ),
+            (7, Area::single(40, 45).unwrap()),
+            (9, Area::single(300, 310).unwrap()),
+            (11, Area::single(400, 410).unwrap()),
+        ];
+        let idx = RegionIndex::from_areas(&pairs);
+        let cands = vec![3, 5, 7];
+        assert!(
+            idx.prefers_node_view(cands.len()),
+            "3 candidates over a 7-entry table must take the node view"
+        );
+        let got = idx.candidates_for(&cands);
+        assert_eq!(got.len(), 5);
+        assert!(
+            got.windows(2)
+                .all(|w| (w[0].start, w[0].end, w[0].id) < (w[1].start, w[1].end, w[1].id)),
+            "node-view gather must restore the start clustering: {got:?}"
+        );
+        assert_eq!(got, idx.candidates_for_scan(&cands), "paths must agree");
+    }
+
+    /// Both access paths agree on every candidate subset of a mixed
+    /// index, through the reusable-buffer entry point.
+    #[test]
+    fn candidates_into_agrees_with_scan_for_all_subsets() {
+        let (doc, idx) = figure1_index();
+        let all: Vec<u32> = idx.annotated_nodes().to_vec();
+        let mut buf = Vec::new();
+        for mask in 0u32..(1 << all.len()) {
+            let subset: Vec<u32> = all
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| mask & (1 << k) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            idx.candidates_into(&subset, &mut buf);
+            assert_eq!(buf, idx.candidates_for_scan(&subset), "mask {mask:#b}");
+        }
+        // Unannotated candidates simply contribute nothing.
+        let video = doc.elements_named("video")[0];
+        idx.candidates_into(&[video], &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    /// The cost rule: tiny candidate sets gather, huge ones scan.
+    #[test]
+    fn cost_rule_crossover() {
+        assert!(node_view_preferred(1, 2));
+        assert!(node_view_preferred(64, 100_000));
+        assert!(!node_view_preferred(50_000, 100_000));
+        assert!(!node_view_preferred(0, 0), "empty index: scan is free");
+        let pairs: Vec<(u32, Area)> = (0..1000)
+            .map(|k| (k, Area::single(k as i64 * 10, k as i64 * 10 + 5).unwrap()))
+            .collect();
+        let idx = RegionIndex::from_areas(&pairs);
+        assert!(idx.prefers_node_view(8));
+        assert!(!idx.prefers_node_view(900));
     }
 
     #[test]

@@ -49,6 +49,25 @@ struct ActiveItem {
     ctx_idx: u32,
 }
 
+/// Active item of the wide join: carries the start for the explicit
+/// overlap check.
+#[derive(Clone, Copy, Debug)]
+struct WideActive {
+    iter: u32,
+    node: u32,
+    start: i64,
+    end: i64,
+}
+
+/// Reusable active-list buffers for the merge kernels. The lists are
+/// cleared on entry, so a scratch instance can serve any number of joins
+/// back to back; only the *capacity* survives between calls.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    narrow_active: Vec<ActiveItem>,
+    wide_active: Vec<WideActive>,
+}
+
 /// Loop-lifted `select-narrow` merge join — Listing 1.
 ///
 /// `context` must be sorted ascending on `start`; `candidates` is the
@@ -64,9 +83,40 @@ pub fn ll_select_narrow(
     per_annotation: bool,
     trace: Option<&mut dyn TraceSink>,
 ) -> Vec<Emission> {
+    let mut result = Vec::new();
+    ll_select_narrow_into(
+        context,
+        candidates,
+        per_annotation,
+        trace,
+        &mut MergeScratch::default(),
+        &mut result,
+    );
+    result
+}
+
+/// [`ll_select_narrow`] with caller-provided buffers: emissions are
+/// *appended* to `result` (the loop-lifted caller clears, the basic
+/// caller accumulates across iterations), active-list storage comes from
+/// `scratch`.
+pub(crate) fn ll_select_narrow_into(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    per_annotation: bool,
+    trace: Option<&mut dyn TraceSink>,
+    scratch: &mut MergeScratch,
+    result: &mut Vec<Emission>,
+) {
     match trace {
-        Some(t) => ll_select_narrow_impl(context, candidates, per_annotation, t),
-        None => ll_select_narrow_impl(context, candidates, per_annotation, NoTrace),
+        Some(t) => ll_select_narrow_impl(context, candidates, per_annotation, t, scratch, result),
+        None => ll_select_narrow_impl(
+            context,
+            candidates,
+            per_annotation,
+            NoTrace,
+            scratch,
+            result,
+        ),
     }
 }
 
@@ -75,20 +125,22 @@ fn ll_select_narrow_impl<T: TraceSink>(
     candidates: &[RegionEntry],
     per_annotation: bool,
     mut trace: T,
-) -> Vec<Emission> {
+    scratch: &mut MergeScratch,
+    result: &mut Vec<Emission>,
+) {
     debug_assert!(context.windows(2).all(|w| w[0].start <= w[1].start));
     debug_assert!(candidates.windows(2).all(|w| w[0].start <= w[1].start));
-    let mut result = Vec::new();
     if context.is_empty() || candidates.is_empty() {
-        return result;
+        return;
     }
 
-    let mut active: Vec<ActiveItem> = Vec::new();
+    let active: &mut Vec<ActiveItem> = &mut scratch.narrow_active;
+    active.clear();
     let mut i = 0usize; // iterates over context
     let mut j = 0usize; // iterates over candidates
 
     // line 8: seed the list with the first context item.
-    insert_active(&mut active, &context[0], 0, per_annotation, &mut trace, 8);
+    insert_active(active, &context[0], 0, per_annotation, &mut trace, 8);
 
     while i < context.len() {
         // lines 11-18: skip context items covered by an active item of
@@ -119,9 +171,17 @@ fn ll_select_narrow_impl<T: TraceSink>(
         };
         // lines 21-24: fast-forward over candidates that start before the
         // current context item (possible after the active list drained).
-        while j < candidates.len() && candidates[j].start < context[i].start {
-            trace.event(TraceEvent::SkipCandidateBefore { cand: j as u32 });
-            j += 1;
+        // Untraced runs gallop (one compare when there is nothing to
+        // skip, O(log gap) for a long run) instead of stepping one
+        // candidate at a time; traced runs keep the per-candidate events
+        // Figure 4 prints.
+        if trace.enabled() {
+            while j < candidates.len() && candidates[j].start < context[i].start {
+                trace.event(TraceEvent::SkipCandidateBefore { cand: j as u32 });
+                j += 1;
+            }
+        } else {
+            j = gallop_starts(candidates, j, context[i].start);
         }
         // lines 26-36: analyze candidates until the next context item
         // must enter the list (or the active list drains).
@@ -144,7 +204,7 @@ fn ll_select_narrow_impl<T: TraceSink>(
             // lines 32-34: all active items with end ≥ cand.end contain
             // the candidate (their start ≤ cand.start by merge order).
             let mut emitted = false;
-            for a in &active {
+            for a in active.iter() {
                 if a.end < cand.end {
                     break; // descending ends: nothing further contains it
                 }
@@ -173,7 +233,7 @@ fn ll_select_narrow_impl<T: TraceSink>(
         i = next_i;
         if i < context.len() {
             insert_active(
-                &mut active,
+                active,
                 &context[i],
                 i as u32,
                 per_annotation,
@@ -182,7 +242,23 @@ fn ll_select_narrow_impl<T: TraceSink>(
             );
         }
     }
-    result
+}
+
+/// First position at or after `from` whose candidate starts at or after
+/// `target` — exponential probe bracketing a binary search, so the
+/// common no-skip case costs a single comparison and a run of `s`
+/// skippable candidates costs `O(log s)` instead of `s` steps.
+#[inline]
+fn gallop_starts(candidates: &[RegionEntry], from: usize, target: i64) -> usize {
+    let mut step = 1usize;
+    let mut hi = from;
+    while hi < candidates.len() && candidates[hi].start < target {
+        hi += step;
+        step *= 2;
+    }
+    let lo = hi - step / 2; // last probe known `< target` (or `from`)
+    let hi = hi.min(candidates.len());
+    lo + candidates[lo..hi].partition_point(|c| c.start < target)
 }
 
 /// `replace_active_items_with` (Listing 1 line 41 / line 8): remove
@@ -227,22 +303,32 @@ fn insert_active<T: TraceSink>(
 /// which must be checked explicitly because candidate ends are not
 /// monotone in a start-sorted scan.
 pub fn ll_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<Emission> {
+    let mut result = Vec::new();
+    ll_select_wide_into(
+        context,
+        candidates,
+        &mut MergeScratch::default(),
+        &mut result,
+    );
+    result
+}
+
+/// [`ll_select_wide`] with caller-provided buffers; emissions are
+/// *appended* to `result`.
+pub(crate) fn ll_select_wide_into(
+    context: &[CtxEntry],
+    candidates: &[RegionEntry],
+    scratch: &mut MergeScratch,
+    result: &mut Vec<Emission>,
+) {
     debug_assert!(context.windows(2).all(|w| w[0].start <= w[1].start));
     debug_assert!(candidates.windows(2).all(|w| w[0].start <= w[1].start));
-    let mut result = Vec::new();
     if context.is_empty() || candidates.is_empty() {
-        return result;
+        return;
     }
 
-    // Active item for the wide join: needs the start for the explicit
-    // overlap check.
-    struct WideActive {
-        iter: u32,
-        node: u32,
-        start: i64,
-        end: i64,
-    }
-    let mut active: Vec<WideActive> = Vec::new();
+    let active: &mut Vec<WideActive> = &mut scratch.wide_active;
+    active.clear();
     let mut i = 0usize;
 
     for (j, cand) in candidates.iter().enumerate() {
@@ -281,7 +367,7 @@ pub fn ll_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<E
         }
         // Emit all active items that overlap. end ≥ cand.start holds
         // after the trim; start ≤ cand.end must be tested per item.
-        for a in &active {
+        for a in active.iter() {
             if a.start <= cand.end {
                 result.push(Emission {
                     iter: a.iter,
@@ -291,7 +377,6 @@ pub fn ll_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<E
             }
         }
     }
-    result
 }
 
 /// Basic StandOff MergeJoin for `select-narrow` (§4.4): the same merge,
@@ -316,18 +401,32 @@ fn basic_select_narrow_impl<T: TraceSink>(
     per_annotation: bool,
     mut trace: T,
 ) -> Vec<Emission> {
+    let mut scratch = MergeScratch::default();
+    let mut single: Vec<CtxEntry> = Vec::new();
     let mut result = Vec::new();
     for iter in distinct_iterations(context) {
         // The basic algorithm has no iter column: gather this iteration's
         // context (still start-sorted — the filter is stable), run the
         // merge on the single sequence, then re-tag the emissions.
-        let single: Vec<CtxEntry> = context
-            .iter()
-            .filter(|c| c.iter == iter)
-            .map(|c| CtxEntry { iter: 0, ..*c })
-            .collect();
-        let emissions = ll_select_narrow_impl(&single, candidates, per_annotation, &mut trace);
-        result.extend(emissions.into_iter().map(|e| Emission { iter, ..e }));
+        single.clear();
+        single.extend(
+            context
+                .iter()
+                .filter(|c| c.iter == iter)
+                .map(|c| CtxEntry { iter: 0, ..*c }),
+        );
+        let from = result.len();
+        ll_select_narrow_impl(
+            &single,
+            candidates,
+            per_annotation,
+            &mut trace,
+            &mut scratch,
+            &mut result,
+        );
+        for e in &mut result[from..] {
+            e.iter = iter;
+        }
     }
     result.sort_unstable();
     result
@@ -335,15 +434,22 @@ fn basic_select_narrow_impl<T: TraceSink>(
 
 /// Basic StandOff MergeJoin for `select-wide`.
 pub fn basic_select_wide(context: &[CtxEntry], candidates: &[RegionEntry]) -> Vec<Emission> {
+    let mut scratch = MergeScratch::default();
+    let mut single: Vec<CtxEntry> = Vec::new();
     let mut result = Vec::new();
     for iter in distinct_iterations(context) {
-        let single: Vec<CtxEntry> = context
-            .iter()
-            .filter(|c| c.iter == iter)
-            .map(|c| CtxEntry { iter: 0, ..*c })
-            .collect();
-        let emissions = ll_select_wide(&single, candidates);
-        result.extend(emissions.into_iter().map(|e| Emission { iter, ..e }));
+        single.clear();
+        single.extend(
+            context
+                .iter()
+                .filter(|c| c.iter == iter)
+                .map(|c| CtxEntry { iter: 0, ..*c }),
+        );
+        let from = result.len();
+        ll_select_wide_into(&single, candidates, &mut scratch, &mut result);
+        for e in &mut result[from..] {
+            e.iter = iter;
+        }
     }
     result.sort_unstable();
     result

@@ -242,8 +242,17 @@ impl<'a> JoinInput<'a> {
     /// the context-preparation step of §4.4. Context nodes that are not
     /// area-annotations contribute no rows.
     pub fn context_entries(&self) -> Vec<CtxEntry> {
+        let mut out = Vec::new();
+        self.context_entries_into(&mut out);
+        out
+    }
+
+    /// [`JoinInput::context_entries`] into a reusable buffer (cleared
+    /// first).
+    pub fn context_entries_into(&self, out: &mut Vec<CtxEntry>) {
+        out.clear();
+        out.reserve(self.context.len());
         let ctx_index = self.context_index();
-        let mut out = Vec::with_capacity(self.context.len());
         for &IterNode { iter, node } in self.context {
             for r in ctx_index.regions_of(node) {
                 out.push(CtxEntry {
@@ -255,7 +264,6 @@ impl<'a> JoinInput<'a> {
             }
         }
         out.sort_by_key(|c| (c.start, c.end, c.iter, c.node));
-        out
     }
 
     /// The candidate region entries in start order: the full index, or
@@ -264,6 +272,26 @@ impl<'a> JoinInput<'a> {
         match self.candidates {
             None => self.index.entries().to_vec(),
             Some(nodes) => self.index.candidates_for(nodes),
+        }
+    }
+
+    /// Borrowing form of [`JoinInput::candidate_entries`]: without a
+    /// candidate restriction the index's own entry table is returned
+    /// as-is — no copy of the full index per operator — and with one the
+    /// intersection is materialized into `scratch`.
+    pub fn candidate_entries_in<'s>(
+        &'s self,
+        scratch: &'s mut Vec<RegionEntry>,
+    ) -> &'s [RegionEntry]
+    where
+        'a: 's,
+    {
+        match self.candidates {
+            None => self.index.entries(),
+            Some(nodes) => {
+                self.index.candidates_into(nodes, scratch);
+                scratch
+            }
         }
     }
 
@@ -279,6 +307,52 @@ impl<'a> JoinInput<'a> {
                 .collect(),
         }
     }
+
+    /// Borrowing form of [`JoinInput::candidate_universe`]: no candidate
+    /// restriction returns the index's annotated-node column directly.
+    pub fn candidate_universe_in<'s>(&'s self, scratch: &'s mut Vec<u32>) -> &'s [u32]
+    where
+        'a: 's,
+    {
+        match self.candidates {
+            None => self.index.annotated_nodes(),
+            Some(nodes) => {
+                scratch.clear();
+                scratch.extend(
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.index.region_count(n) > 0),
+                );
+                scratch
+            }
+        }
+    }
+}
+
+/// Reusable buffer set for the StandOff join hot path: context and
+/// candidate materializations, raw emissions, and the merge kernels'
+/// active lists. Owned by the long-lived executor (the query engine's
+/// session) so one allocation set serves every operator of every query
+/// it runs; a fresh default works identically, just colder.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    ctx: Vec<CtxEntry>,
+    cands: Vec<RegionEntry>,
+    emissions: Vec<Emission>,
+    iters: Vec<u32>,
+    single: Vec<CtxEntry>,
+    universe: Vec<u32>,
+    merge: merge::MergeScratch,
+}
+
+impl Clone for JoinScratch {
+    /// Scratch state is semantically empty between joins; cloning (e.g.
+    /// when a session is stamped out from a shared engine) starts the
+    /// clone cold instead of copying dead buffer contents.
+    fn clone(&self) -> Self {
+        JoinScratch::default()
+    }
 }
 
 /// Evaluate a StandOff join on one document fragment.
@@ -291,6 +365,19 @@ pub fn evaluate_standoff_join(
     input: &JoinInput<'_>,
     trace: Option<&mut dyn TraceSink>,
 ) -> Vec<IterNode> {
+    evaluate_standoff_join_with(axis, strategy, input, trace, &mut JoinScratch::default())
+}
+
+/// [`evaluate_standoff_join`] with a caller-owned [`JoinScratch`], so a
+/// long-lived executor reuses the context/candidate/emission buffers and
+/// the merge kernels' active lists across operators and queries.
+pub fn evaluate_standoff_join_with(
+    axis: StandoffAxis,
+    strategy: StandoffStrategy,
+    input: &JoinInput<'_>,
+    trace: Option<&mut dyn TraceSink>,
+    scratch: &mut JoinScratch,
+) -> Vec<IterNode> {
     // All four axes share one selection core; rejects complement it.
     let select_axis = axis.select_counterpart();
     let selected: Vec<IterNode> = match strategy {
@@ -301,50 +388,79 @@ pub fn evaluate_standoff_join(
             // iteration, and every invocation re-derives its candidate
             // sequence from the region index — the "repeated full scans
             // of the region index" that make XMark Q2 blow up.
-            let ctx = input.context_entries();
+            input.context_entries_into(&mut scratch.ctx);
             let per_annotation = select_axis.is_narrow() && input.index.max_regions() > 1;
-            let mut iters: Vec<u32> = ctx.iter().map(|c| c.iter).collect();
-            iters.sort_unstable();
-            iters.dedup();
-            let mut emissions: Vec<Emission> = Vec::new();
-            let mut cands: Vec<crate::index::RegionEntry> = Vec::new();
-            for &iter in &iters {
-                cands = input.candidate_entries(); // re-scanned per iteration
-                let single: Vec<CtxEntry> = ctx
-                    .iter()
-                    .filter(|c| c.iter == iter)
-                    .map(|c| CtxEntry { iter: 0, ..*c })
-                    .collect();
-                let ems = match select_axis {
-                    StandoffAxis::SelectNarrow => {
-                        merge::ll_select_narrow(&single, &cands, per_annotation, None)
-                    }
-                    _ => merge::ll_select_wide(&single, &cands),
-                };
-                emissions.extend(ems.into_iter().map(|e| Emission { iter, ..e }));
+            scratch.iters.clear();
+            scratch.iters.extend(scratch.ctx.iter().map(|c| c.iter));
+            scratch.iters.sort_unstable();
+            scratch.iters.dedup();
+            scratch.emissions.clear();
+            for &iter in &scratch.iters {
+                // Re-derived per iteration — the strategy's modeled cost.
+                let cands = input.candidate_entries_in(&mut scratch.cands);
+                scratch.single.clear();
+                scratch.single.extend(
+                    scratch
+                        .ctx
+                        .iter()
+                        .filter(|c| c.iter == iter)
+                        .map(|c| CtxEntry { iter: 0, ..*c }),
+                );
+                let from = scratch.emissions.len();
+                match select_axis {
+                    StandoffAxis::SelectNarrow => merge::ll_select_narrow_into(
+                        &scratch.single,
+                        cands,
+                        per_annotation,
+                        None,
+                        &mut scratch.merge,
+                        &mut scratch.emissions,
+                    ),
+                    _ => merge::ll_select_wide_into(
+                        &scratch.single,
+                        cands,
+                        &mut scratch.merge,
+                        &mut scratch.emissions,
+                    ),
+                }
+                for e in &mut scratch.emissions[from..] {
+                    e.iter = iter;
+                }
             }
-            emissions.sort_unstable();
-            post::finalize_select(select_axis, &emissions, &cands, input.index)
+            let cands = input.candidate_entries_in(&mut scratch.cands);
+            post::finalize_select(select_axis, &scratch.emissions, cands, input.index)
         }
         StandoffStrategy::LoopLiftedMergeJoin => {
-            let ctx = input.context_entries();
-            let cands = input.candidate_entries();
+            input.context_entries_into(&mut scratch.ctx);
+            let cands = input.candidate_entries_in(&mut scratch.cands);
             // Multi-region containment (∀∃) must attribute every match to
             // a specific context annotation; see merge.rs.
             let per_annotation = select_axis.is_narrow() && input.index.max_regions() > 1;
-            let emissions = match select_axis {
-                StandoffAxis::SelectNarrow => {
-                    merge::ll_select_narrow(&ctx, &cands, per_annotation, trace)
-                }
-                _ => merge::ll_select_wide(&ctx, &cands),
-            };
-            post::finalize_select(select_axis, &emissions, &cands, input.index)
+            scratch.emissions.clear();
+            match select_axis {
+                StandoffAxis::SelectNarrow => merge::ll_select_narrow_into(
+                    &scratch.ctx,
+                    cands,
+                    per_annotation,
+                    trace,
+                    &mut scratch.merge,
+                    &mut scratch.emissions,
+                ),
+                _ => merge::ll_select_wide_into(
+                    &scratch.ctx,
+                    cands,
+                    &mut scratch.merge,
+                    &mut scratch.emissions,
+                ),
+            }
+            post::finalize_select(select_axis, &scratch.emissions, cands, input.index)
         }
     };
     if axis.is_select() {
         selected
     } else {
-        post::complement(&selected, &input.candidate_universe(), input.iter_domain)
+        let universe = input.candidate_universe_in(&mut scratch.universe);
+        post::complement(&selected, universe, input.iter_domain)
     }
 }
 

@@ -32,6 +32,9 @@ pub mod trace;
 pub use config::{RegionRepr, StandoffConfig};
 pub use error::StandoffError;
 pub use index::{IndexStats, RegionEntry, RegionIndex};
-pub use join::{evaluate_standoff_join, IterNode, JoinInput, StandoffAxis, StandoffStrategy};
+pub use join::{
+    evaluate_standoff_join, evaluate_standoff_join_with, IterNode, JoinInput, JoinScratch,
+    StandoffAxis, StandoffStrategy,
+};
 pub use region::{Area, Region};
 pub use trace::{NoTrace, TraceEvent, TraceSink, VecTrace};

@@ -36,11 +36,24 @@ pub enum TraceEvent {
 /// should be cheap (the benchmarks never enable tracing).
 pub trait TraceSink {
     fn event(&mut self, event: TraceEvent);
+
+    /// Does this sink observe events? When `false` the merge join may
+    /// replace per-event stepping with bulk skips (e.g. galloping over
+    /// non-possible candidates) — the Figure 4 trace stays verbatim only
+    /// for enabled sinks.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     fn event(&mut self, event: TraceEvent) {
         (**self).event(event);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
     }
 }
 
@@ -52,6 +65,11 @@ pub struct NoTrace;
 impl TraceSink for NoTrace {
     #[inline(always)]
     fn event(&mut self, _event: TraceEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 /// A sink that records all events into a vector.

@@ -295,4 +295,58 @@ proptest! {
             prop_assert!(wide.contains(e), "{e:?} selected by narrow but not wide");
         }
     }
+
+    /// One [`JoinScratch`] reused across many differently shaped joins —
+    /// axes × strategies × candidate restrictions, back to back — must
+    /// behave exactly like a fresh scratch per join: no state may leak
+    /// between invocations through the shared buffers.
+    #[test]
+    fn shared_scratch_never_leaks_between_joins(
+        annotations in prop::collection::vec(annotation_strategy(100, true), 1..12),
+        ctx in prop::collection::vec((0u32..3, 0usize..12), 0..8),
+        cands in prop::option::of(prop::collection::vec(0usize..12, 0..8)),
+    ) {
+        let (doc, index) = build(&annotations, true);
+        let nodes = doc.elements_named("a").to_vec();
+        let mut context: Vec<IterNode> = ctx
+            .iter()
+            .map(|&(iter, k)| IterNode { iter: iter % 3, node: nodes[k % nodes.len()] })
+            .collect();
+        context.sort_unstable();
+        context.dedup();
+        let candidates: Option<Vec<u32>> = cands.map(|picks| {
+            let mut c: Vec<u32> = picks.iter().map(|&k| nodes[k % nodes.len()]).collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        });
+        let iter_domain = [0, 1, 2];
+        let mut shared = standoff_core::join::JoinScratch::default();
+        for axis in StandoffAxis::ALL {
+            for strategy in [
+                StandoffStrategy::BasicMergeJoin,
+                StandoffStrategy::LoopLiftedMergeJoin,
+            ] {
+                // Alternate restricted and unrestricted inputs so the
+                // shared buffers see shrinking *and* growing workloads.
+                for with_cands in [true, false] {
+                    let input = JoinInput {
+                        doc: &doc,
+                        index: &index,
+                        ctx_index: None,
+                        context: &context,
+                        candidates: if with_cands { candidates.as_deref() } else { None },
+                        iter_domain: &iter_domain,
+                    };
+                    let fresh = evaluate_standoff_join(axis, strategy, &input, None);
+                    let reused = standoff_core::join::evaluate_standoff_join_with(
+                        axis, strategy, &input, None, &mut shared);
+                    prop_assert_eq!(
+                        &reused, &fresh,
+                        "{} under {} with shared scratch diverges", axis, strategy
+                    );
+                }
+            }
+        }
+    }
 }

@@ -196,13 +196,24 @@ pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, Snap
                 let doc = standoff_xml::read_document(&mut p)?;
                 let index = RegionIndex::read_from(&mut p)?;
                 // The index must describe this document: every annotated
-                // node is an element of it. (Region validity was checked
-                // by `read_from`; config/area agreement is the writer's
-                // contract.)
+                // node is an element of it. The query optimizer's
+                // post-filter elision *relies* on join outputs being
+                // elements, so a snapshot index annotating any other
+                // node kind must fail here — mounted indexes are used
+                // as-is, never rebuilt, and nothing downstream re-checks.
+                // (Region validity was checked by `read_from`;
+                // config/area agreement is the writer's contract.)
                 if let Some(&last) = index.annotated_nodes().last() {
                     if last as usize >= doc.node_count() {
                         return Err(bad("region index references nodes beyond the document"));
                     }
+                }
+                if index
+                    .annotated_nodes()
+                    .iter()
+                    .any(|&pre| doc.kind(pre) != standoff_xml::NodeKind::Element)
+                {
+                    return Err(bad("region index annotates a non-element node"));
                 }
                 let layer = Layer::from_parts(name, config, doc, index)
                     .map_err(|e| bad(&format!("bad layer: {e}")))?;
@@ -336,6 +347,33 @@ mod tests {
         let mut buf2 = Vec::new();
         write_snapshot(&loaded, &mut buf2).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    /// The post-filter elision in the query optimizer assumes every
+    /// node a mounted region index annotates is an element; a snapshot
+    /// whose index points at any other node kind must be rejected at
+    /// load time (mounted indexes are never rebuilt or re-filtered).
+    #[test]
+    fn snapshot_index_annotating_non_element_rejected() {
+        let doc = parse_document(r#"<doc><w start="0" end="4"/>hello</doc>"#).unwrap();
+        // pre 3 is the text node "hello" — a forged annotation target.
+        assert_eq!(doc.kind(3), standoff_xml::NodeKind::Text);
+        let forged = RegionIndex::from_areas(&[(3, standoff_core::Area::single(0, 4).unwrap())]);
+        let layer = Layer::from_parts(
+            crate::layer::BASE_LAYER.to_string(),
+            StandoffConfig::default(),
+            doc,
+            forged,
+        )
+        .unwrap();
+        let set = LayerSet::from_layers("u", vec![layer]).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        let err = read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("non-element"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -349,6 +349,44 @@ mod tests {
         assert_eq!(loaded.node_count(), doc.node_count());
     }
 
+    /// The element-name index must be strictly ascending per name: the
+    /// query engine's candidate pushdown borrows these slices directly
+    /// into `RegionIndex::candidates_for` (which requires sorted input)
+    /// without any per-execution re-check, so an out-of-order snapshot
+    /// index must be rejected *here*, at load time.
+    #[test]
+    fn out_of_order_name_index_rejected() {
+        let doc = parse_document("<a><b/><x/><b/></a>").unwrap();
+        let mut buf = Vec::new();
+        write_document(&doc, &mut buf).unwrap();
+        // The index section ends with the `b` bucket's two pres (the
+        // codec writes buckets in name-id order; `b` interns after `a`
+        // but its 2-entry bucket is written with pres last when it is
+        // the final bucket — locate them generically instead).
+        let b_pres = doc.elements_named("b");
+        assert_eq!(b_pres.len(), 2);
+        let (lo, hi) = (b_pres[0], b_pres[1]);
+        // Find the adjacent little-endian u32 pair [lo, hi] in the
+        // trailing index section and swap it.
+        let needle: Vec<u8> = lo
+            .to_le_bytes()
+            .iter()
+            .chain(hi.to_le_bytes().iter())
+            .copied()
+            .collect();
+        let at = (0..=buf.len() - 8)
+            .rev()
+            .find(|&k| buf[k..k + 8] == needle[..])
+            .expect("index pres present in the encoding");
+        buf[at..at + 4].copy_from_slice(&hi.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&lo.to_le_bytes());
+        let err = read_document(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("document order"),
+            "unexpected error: {err}"
+        );
+    }
+
     #[test]
     fn tampered_name_index_rejected() {
         let doc = parse_document("<a><b/><c/></a>").unwrap();

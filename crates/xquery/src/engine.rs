@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use standoff_algebra::{Item, LlSeq};
+use standoff_core::join::JoinScratch;
 use standoff_core::{IndexStats, RegionIndex, StandoffConfig, StandoffStrategy};
 use standoff_xml::{DocId, Document, Store};
 
@@ -90,6 +91,43 @@ impl EngineOptions {
     }
 }
 
+/// Counters of the StandOff join executor's fast-path decisions, kept on
+/// the engine state and readable through [`Engine::join_stats`] /
+/// [`Session::join_stats`]. They exist so tests (and curious operators)
+/// can assert *mechanism*, not just timing: that a pushdown-guaranteed
+/// step really skipped its trailing self-axis pass, that a single-
+/// fragment scope really skipped the result sort, and which side of the
+/// candidate-intersection cost model an operator landed on.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Result merges skipped because the scope was a single fragment
+    /// (or trivially small) and the join output was already in
+    /// `(iter, document-order)`.
+    pub result_sorts_elided: u64,
+    /// Result merges that had to sort (multi-fragment / multi-layer).
+    pub result_sorts: u64,
+    /// Trailing `self::test` passes skipped (plan-guaranteed tests).
+    pub post_filters_elided: u64,
+    /// Trailing `self::test` passes executed.
+    pub post_filters: u64,
+    /// Candidate intersections taken through the node view (gather).
+    pub candidate_node_view: u64,
+    /// Candidate intersections taken as full index scans.
+    pub candidate_scans: u64,
+}
+
+impl JoinStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: JoinStats) {
+        self.result_sorts_elided += other.result_sorts_elided;
+        self.result_sorts += other.result_sorts;
+        self.post_filters_elided += other.post_filters_elided;
+        self.post_filters += other.post_filters;
+        self.candidate_node_view += other.candidate_node_view;
+        self.candidate_scans += other.candidate_scans;
+    }
+}
+
 /// Source of store-generation stamps: every corpus-shaping mutation of
 /// any engine draws a fresh, process-unique number. Caches keyed on
 /// `(query text, generation)` therefore never serve an entry built
@@ -119,6 +157,12 @@ pub struct EngineState {
     layer_lookup: HashMap<(String, String), DocId>,
     /// Values for `declare variable $x external` declarations.
     externals: HashMap<String, Vec<Item>>,
+    /// Reusable buffers for the StandOff join hot path; lives on the
+    /// state so batch sessions reuse one allocation set across queries
+    /// (cloning a state starts the clone with cold, empty scratch).
+    pub(crate) join_scratch: JoinScratch,
+    /// Fast-path decision counters (see [`JoinStats`]).
+    pub(crate) join_stats: JoinStats,
 }
 
 impl EngineState {
@@ -132,6 +176,8 @@ impl EngineState {
             layer_configs: HashMap::new(),
             layer_lookup: HashMap::new(),
             externals: HashMap::new(),
+            join_scratch: JoinScratch::default(),
+            join_stats: JoinStats::default(),
         }
     }
 
@@ -376,6 +422,17 @@ impl Engine {
         &self.state.options
     }
 
+    /// Counters of the join executor's fast-path decisions accumulated
+    /// by queries run on this engine (see [`JoinStats`]).
+    pub fn join_stats(&self) -> JoinStats {
+        self.state.join_stats
+    }
+
+    /// Reset the [`JoinStats`] counters to zero.
+    pub fn reset_join_stats(&mut self) {
+        self.state.join_stats = JoinStats::default();
+    }
+
     /// Switch the StandOff evaluation strategy (Figure 6's independent
     /// variable).
     ///
@@ -597,6 +654,17 @@ impl Session {
     /// The session's store view (shared base + session-local documents).
     pub fn store(&self) -> &Store {
         &self.state.store
+    }
+
+    /// Counters of the join executor's fast-path decisions accumulated
+    /// by queries run in this session (see [`JoinStats`]).
+    pub fn join_stats(&self) -> JoinStats {
+        self.state.join_stats
+    }
+
+    /// Reset the [`JoinStats`] counters to zero.
+    pub fn reset_join_stats(&mut self) {
+        self.state.join_stats = JoinStats::default();
     }
 }
 

@@ -22,15 +22,17 @@
 //! iterations to its parent's, so outer variables expand on demand and
 //! results map back when the frame pops.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use standoff_algebra::{Item, LlSeq, NodeTable, NodeTest, TreeAxis};
-use standoff_core::{evaluate_standoff_join, IterNode, JoinInput, StandoffConfig};
+use standoff_algebra::{Item, LlSeq, NameCache, NodeTable, NodeTest, TreeAxis};
+use standoff_core::join::evaluate_standoff_join_with;
+use standoff_core::{IterNode, JoinInput, RegionIndex, StandoffConfig};
 use standoff_xml::{DocId, DocumentBuilder, NodeKind, NodeRef};
 
 use crate::ast::{ArithOp, CompOp};
-use crate::engine::EngineState;
+use crate::engine::{EngineState, JoinStats};
 use crate::error::QueryError;
 use crate::functions;
 use crate::plan::*;
@@ -57,6 +59,12 @@ pub struct Evaluator<'e> {
     pub functions: Vec<Arc<PlanFunction>>,
     pub frames: Vec<Frame>,
     pub call_depth: usize,
+    /// Per-execution memo of name-test resolutions for tree steps. The
+    /// cache keys on test addresses, which is sound here because every
+    /// cached test lives in the executing plan: the body outlives the
+    /// evaluator's borrow, and function bodies are pinned by the `Arc`s
+    /// in `functions`.
+    name_cache: NameCache,
 }
 
 impl<'e> Evaluator<'e> {
@@ -72,6 +80,7 @@ impl<'e> Evaluator<'e> {
                 barrier: false,
             }],
             call_depth: 0,
+            name_cache: NameCache::new(),
         }
     }
 
@@ -733,7 +742,15 @@ impl<'e> Evaluator<'e> {
         predicates: &[PlanExpr],
     ) -> Result<LlSeq, QueryError> {
         let ctx = self.context_nodes(input)?;
-        let result = standoff_algebra::staircase::ll_step(&self.engine.store, &ctx, axis, test);
+        // `test` is plan memory (see `name_cache`), so resolution is
+        // memoized per document across re-executions of this step.
+        let result = standoff_algebra::staircase::ll_step_cached(
+            &self.engine.store,
+            &ctx,
+            axis,
+            test,
+            &mut self.name_cache,
+        );
         let mut table = result.into_llseq();
         for predicate in predicates {
             table = self.apply_predicate(table, predicate)?;
@@ -840,116 +857,168 @@ impl<'e> Evaluator<'e> {
             units.sort_by_key(|(ctx_docs, _)| ctx_docs[0]);
         }
 
-        let mut rows: Vec<(u32, NodeRef)> = Vec::new();
-        for (ctx_docs, targets) in units {
-            // Sorted, deduplicated context per context document, and the
-            // unit-wide iteration domain (rejects complement over it).
-            let mut contexts: Vec<(DocId, Vec<IterNode>)> = Vec::with_capacity(ctx_docs.len());
-            let mut iter_domain: Vec<u32> = Vec::new();
-            for doc_id in ctx_docs {
-                let mut context = std::mem::take(buckets.get_mut(&doc_id).unwrap());
-                context.sort_unstable();
-                context.dedup();
-                iter_domain.extend(context.iter().map(|c| c.iter));
-                contexts.push((doc_id, context));
-            }
-            iter_domain.sort_unstable();
-            iter_domain.dedup();
+        // The single-fragment shape — one context document joining into
+        // itself, the classic §3.3 case — lets the merge below skip the
+        // result sort entirely: one join call emits `(iter, node)`-sorted
+        // rows of one document, which *is* `(iter, document-order)`.
+        let single_fragment = units.len() == 1 && units[0].0.len() == 1 && units[0].1.len() == 1;
+        // Join-stat deltas are accumulated locally and folded into the
+        // engine at the end — the loop below holds immutable borrows of
+        // the engine's store.
+        let mut stats = JoinStats::default();
+        let mut scratch = std::mem::take(&mut self.engine.join_scratch);
 
-            for &target in &targets {
-                let target_config = self.doc_config(target);
-                let target_index = self.engine.region_index(target, &target_config)?;
-                // Candidate restriction: explicit sequence, or the
-                // plan's name-test pushdown through the element index
-                // (§4.3) — always against the *target* layer's document.
-                let name_candidates: Option<Vec<u32>> = if explicit_candidates.is_some() {
-                    // Each document is the target of exactly one unit, so
-                    // the bucket can be moved out rather than cloned.
-                    cand_buckets.remove(&target).or_else(|| Some(Vec::new()))
-                } else if let Some(pushed_name) = &op.pushdown {
-                    let mut pres = self
-                        .engine
-                        .store
-                        .doc(target)
-                        .elements_named(pushed_name)
-                        .to_vec();
-                    // The candidate intersection requires strictly
-                    // ascending ids. Builder- and codec-produced
-                    // element indexes satisfy this, but the index is
-                    // externally supplied data (snapshot v2), so
-                    // enforce the invariant here rather than trust
-                    // every producer forever.
-                    if !pres.windows(2).all(|w| w[0] < w[1]) {
-                        pres.sort_unstable();
-                        pres.dedup();
+        let mut rows: Vec<(u32, NodeRef)> = Vec::new();
+        // The unit loop runs inside a closure so the taken scratch is
+        // restored on *every* exit, error paths included — an index
+        // build failure must not silently drop the session's warmed
+        // buffer set.
+        let joined = (|| -> Result<(), QueryError> {
+            for (ctx_docs, targets) in units {
+                // Sorted, deduplicated context per context document, and the
+                // unit-wide iteration domain (rejects complement over it).
+                let mut contexts: Vec<(DocId, Vec<IterNode>)> = Vec::with_capacity(ctx_docs.len());
+                let mut iter_domain: Vec<u32> = Vec::new();
+                for doc_id in ctx_docs {
+                    let mut context = std::mem::take(buckets.get_mut(&doc_id).unwrap());
+                    context.sort_unstable();
+                    context.dedup();
+                    iter_domain.extend(context.iter().map(|c| c.iter));
+                    contexts.push((doc_id, context));
+                }
+                iter_domain.sort_unstable();
+                iter_domain.dedup();
+
+                for &target in &targets {
+                    let target_config = self.doc_config(target);
+                    let target_index = self.engine.region_index(target, &target_config)?;
+                    // Cross-layer context indexes are fetched up front (the
+                    // lookups need the engine mutably; the join below only
+                    // borrows).
+                    let mut ctx_indexes: Vec<Option<Arc<RegionIndex>>> =
+                        Vec::with_capacity(contexts.len());
+                    for (ctx_doc, _) in &contexts {
+                        ctx_indexes.push(if *ctx_doc != target {
+                            let cfg = self.doc_config(*ctx_doc);
+                            Some(self.engine.region_index(*ctx_doc, &cfg)?)
+                        } else {
+                            None
+                        });
                     }
-                    Some(pres)
-                } else {
-                    None
-                };
-                // A reject over several context layers must complement the
-                // *union* of their selections, not union their complements.
-                let multi_ctx_reject = !axis.is_select() && contexts.len() > 1;
-                let mut selected: Vec<IterNode> = Vec::new();
-                let mut universe: Option<Vec<u32>> = None;
-                for (ctx_doc, context) in &contexts {
-                    let cross_layer = *ctx_doc != target;
-                    let ctx_index = if cross_layer {
-                        let cfg = self.doc_config(*ctx_doc);
-                        Some(self.engine.region_index(*ctx_doc, &cfg)?)
+                    let doc = self.engine.store.doc(target);
+                    // Candidate restriction: explicit sequence, or the
+                    // plan's name-test pushdown through the element index
+                    // (§4.3) — always against the *target* layer's document.
+                    // The element index is borrowed as-is: builder-produced
+                    // indexes are strictly ascending by construction and
+                    // snapshot-loaded ones are validated at decode time
+                    // (SOXD v2), so no copy and no per-execution re-check.
+                    let name_candidates: Option<Cow<'_, [u32]>> = if explicit_candidates.is_some() {
+                        // Each document is the target of exactly one unit, so
+                        // the bucket can be moved out rather than cloned.
+                        Some(Cow::Owned(cand_buckets.remove(&target).unwrap_or_default()))
                     } else {
-                        None
+                        op.pushdown
+                            .as_deref()
+                            .map(|name| Cow::Borrowed(doc.elements_named(name)))
                     };
-                    let input = JoinInput {
-                        doc: self.engine.store.doc(target),
-                        index: &target_index,
-                        ctx_index: ctx_index.as_deref(),
-                        context,
-                        candidates: name_candidates.as_deref(),
-                        iter_domain: &iter_domain,
-                    };
-                    let run_axis = if multi_ctx_reject {
-                        axis.select_counterpart()
-                    } else {
-                        axis
-                    };
-                    let result = evaluate_standoff_join(run_axis, strategy, &input, None);
-                    if multi_ctx_reject {
-                        if universe.is_none() {
-                            universe = Some(input.candidate_universe());
+                    if let Some(cands) = &name_candidates {
+                        if target_index.prefers_node_view(cands.len()) {
+                            stats.candidate_node_view += 1;
+                        } else {
+                            stats.candidate_scans += 1;
                         }
-                        selected.extend(result);
-                    } else {
+                    }
+                    // A reject over several context layers must complement the
+                    // *union* of their selections, not union their complements.
+                    let multi_ctx_reject = !axis.is_select() && contexts.len() > 1;
+                    let mut selected: Vec<IterNode> = Vec::new();
+                    let mut universe: Option<Vec<u32>> = None;
+                    for ((_, context), ctx_index) in contexts.iter().zip(&ctx_indexes) {
+                        let input = JoinInput {
+                            doc,
+                            index: &target_index,
+                            ctx_index: ctx_index.as_deref(),
+                            context,
+                            candidates: name_candidates.as_deref(),
+                            iter_domain: &iter_domain,
+                        };
+                        let run_axis = if multi_ctx_reject {
+                            axis.select_counterpart()
+                        } else {
+                            axis
+                        };
+                        let result = evaluate_standoff_join_with(
+                            run_axis,
+                            strategy,
+                            &input,
+                            None,
+                            &mut scratch,
+                        );
+                        if multi_ctx_reject {
+                            if universe.is_none() {
+                                universe = Some(input.candidate_universe());
+                            }
+                            selected.extend(result);
+                        } else {
+                            rows.extend(result.into_iter().map(|IterNode { iter, node }| {
+                                (iter, NodeRef::tree(target, node))
+                            }));
+                        }
+                    }
+                    if multi_ctx_reject {
+                        selected.sort_unstable();
+                        selected.dedup();
+                        let universe = universe.unwrap_or_default();
                         rows.extend(
-                            result
-                                .into_iter()
-                                .map(|IterNode { iter, node }| (iter, NodeRef::tree(target, node))),
+                            standoff_core::join::post::complement(
+                                &selected,
+                                &universe,
+                                &iter_domain,
+                            )
+                            .into_iter()
+                            .map(|IterNode { iter, node }| (iter, NodeRef::tree(target, node))),
                         );
                     }
                 }
-                if multi_ctx_reject {
-                    selected.sort_unstable();
-                    selected.dedup();
-                    let universe = universe.unwrap_or_default();
-                    rows.extend(
-                        standoff_core::join::post::complement(&selected, &universe, &iter_domain)
-                            .into_iter()
-                            .map(|IterNode { iter, node }| (iter, NodeRef::tree(target, node))),
-                    );
-                }
             }
+            Ok(())
+        })();
+        self.engine.join_scratch = scratch;
+        joined?;
+        // Merge per-document results: sort by (iter, doc order) with the
+        // key computed once per row, dedup (several context layers can
+        // select the same target node). A single-fragment scope skips
+        // both — the one join call already emitted merged output.
+        if single_fragment || rows.len() <= 1 {
+            stats.result_sorts_elided += 1;
+            debug_assert!(rows
+                .windows(2)
+                .all(|w| (w[0].0, self.engine.store.order_key(w[0].1))
+                    < (w[1].0, self.engine.store.order_key(w[1].1))));
+        } else {
+            stats.result_sorts += 1;
+            let store = &self.engine.store;
+            rows.sort_by_cached_key(|(iter, node)| (*iter, store.order_key(*node)));
+            rows.dedup();
         }
-        // Merge per-document results: sort by (iter, doc order), dedup
-        // (several context layers can select the same target node).
-        rows.sort_by_key(|(iter, node)| (*iter, self.engine.store.order_key(*node)));
-        rows.dedup();
         let mut out = NodeTable::with_capacity(rows.len());
         for (iter, node) in rows {
             out.push(iter, node);
         }
-        // Post-filter with the node test (idempotent under pushdown;
-        // necessary for the no-pushdown strategies, §3.2 Alternative 1's
-        // trailing `/self::name`).
+        // Post-filter with the node test — unless the plan proved the
+        // test is guaranteed by the join itself (pushed-down name test,
+        // kind-only test over element output): then the §3.2 trailing
+        // `/self::name` step is pure overhead and is elided. The
+        // unoptimized reference lowering never sets the flag and keeps
+        // the literal trailing step.
+        if op.test_guaranteed {
+            stats.post_filters_elided += 1;
+            self.engine.join_stats.merge(stats);
+            return Ok(out);
+        }
+        stats.post_filters += 1;
+        self.engine.join_stats.merge(stats);
         Ok(standoff_algebra::staircase::ll_step(
             &self.engine.store,
             &out,

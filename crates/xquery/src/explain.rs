@@ -68,15 +68,45 @@ fn standoff_note(op: &StandoffOp, explicit_candidates: bool) -> String {
             "loop-lifted StandOff MergeJoin, single index scan"
         }
     };
+    // The candidate-intersection access path: when the estimate pass
+    // left cardinalities, the gather-vs-scan decision the index will
+    // make at run time ([`standoff_core::index::node_view_preferred`])
+    // is reported here from the same cost rule.
+    let access = |count: Option<u64>| match (count, &op.estimate) {
+        (Some(c), Some(est)) if est.index.entries > 0 => {
+            if standoff_core::index::node_view_preferred(c as usize, est.index.entries) {
+                " [node-view]"
+            } else {
+                " [scan]"
+            }
+        }
+        _ => "",
+    };
     let cand = if explicit_candidates {
         "candidates: explicit node sequence ∩ region index".to_string()
     } else {
         match &op.pushdown {
-            Some(name) => format!("candidates: element index '{name}' ∩ region index"),
+            Some(name) => {
+                let path = access(op.estimate.as_ref().and_then(|e| e.candidates));
+                format!("candidates: element index '{name}' ∩ region index{path}")
+            }
             None => "candidates: full region index".to_string(),
         }
     };
     let mut note = format!("{algo}; {cand}");
+    // The result-sort elision is a runtime decision (it needs the actual
+    // fragment count of the scope), so explain states the rule, not a
+    // verdict; JoinStats reports what actually happened.
+    let _ = write!(note, "; sorted-merge: elided for single-fragment scopes");
+    let _ = write!(
+        note,
+        "; post-filter: {}",
+        if op.test_guaranteed {
+            "elided"
+        } else {
+            "self-step"
+        }
+    );
     if let Some(est) = &op.estimate {
         let _ = write!(
             note,

@@ -60,7 +60,7 @@ pub mod parser;
 pub mod plan;
 pub mod result;
 
-pub use engine::{Engine, EngineOptions, Session, SharedEngine};
+pub use engine::{Engine, EngineOptions, JoinStats, Session, SharedEngine};
 pub use error::QueryError;
 pub use exec::{Executor, QueryCache};
 pub use plan::Plan;

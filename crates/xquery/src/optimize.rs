@@ -49,12 +49,13 @@ use crate::plan::*;
 
 /// The pass list, in execution order. The `estimate` pass runs only
 /// when the context asks for explain-grade estimates
-/// ([`PlanContext::estimates`]); the other four always run.
-pub const PASSES: [&str; 5] = [
+/// ([`PlanContext::estimates`]); the other five always run.
+pub const PASSES: [&str; 6] = [
     "const-fold",
     "hoist-invariants",
     "strategy-select",
     "pushdown",
+    "elide",
     "estimate",
 ];
 
@@ -65,7 +66,8 @@ pub fn optimize(plan: &mut Plan, ctx: &PlanContext<'_>) -> Vec<&'static str> {
     hoist_invariants(plan);
     strategy_select(plan, ctx);
     pushdown(plan, ctx);
-    let mut applied: Vec<&'static str> = PASSES[..4].to_vec();
+    elide(plan);
+    let mut applied: Vec<&'static str> = PASSES[..5].to_vec();
     if ctx.estimates && ctx.store.is_some() {
         estimate(plan, ctx);
         applied.push("estimate");
@@ -738,6 +740,36 @@ fn pushdown(plan: &mut Plan, ctx: &PlanContext<'_>) {
                 test.name.clone()
             }
             _ => None,
+        };
+    });
+}
+
+/// Decide, per StandOff operator, whether the trailing `self::test`
+/// post-filter is provably redundant. Join outputs are always annotated
+/// *elements* of the candidate side (the region index only indexes
+/// elements, and the reject axes complement within that universe), so:
+///
+/// * a kind-only test — `*`, `element()`, `node()` — always holds;
+/// * a name test held by the pushed-down candidate sequence always
+///   holds (every emitted node came from the element index of exactly
+///   that name);
+/// * the built-in function form (no syntactic test, evaluated as `*`)
+///   always holds;
+/// * anything else — a name test without its pushdown, `text()` & co. —
+///   keeps the literal trailing self-step.
+///
+/// Runs after `pushdown` because the name-test case is only sound once
+/// the pushdown decision is final.
+fn elide(plan: &mut Plan) {
+    use standoff_algebra::KindTest;
+    for_each_standoff_op(plan, |op, test| {
+        op.test_guaranteed = match test {
+            None => true, // function form: evaluated under `*`
+            Some(test) => match (&test.name, test.kind) {
+                (None, KindTest::Element | KindTest::AnyKind) => true,
+                (Some(name), KindTest::Element) => op.pushdown.as_ref() == Some(name),
+                _ => false,
+            },
         };
     });
 }

@@ -113,19 +113,29 @@ pub struct StandoffOp {
     /// index as a candidate sequence (§4.3). `None`: scan the full
     /// region index and post-filter.
     pub pushdown: Option<String>,
+    /// Plan-proven guarantee that every node this join emits satisfies
+    /// the step's node test — join outputs are always annotated elements,
+    /// and a pushed-down name test restricts them to that name — so the
+    /// evaluator skips the trailing `self::test` post-filter (§3.2's
+    /// closing step) entirely. Set by the optimizer's `elide` pass; the
+    /// unoptimized reference lowering leaves it `false` and keeps the
+    /// literal behavior.
+    pub test_guaranteed: bool,
     /// Optimizer cardinality estimate, when corpus statistics were
     /// available at compile time.
     pub estimate: Option<JoinEstimate>,
 }
 
 impl StandoffOp {
-    /// An operator with the given axis and strategy, no pushdown and no
-    /// estimate — the state lowering produces before the optimizer runs.
+    /// An operator with the given axis and strategy, no pushdown, no
+    /// post-filter elision and no estimate — the state lowering produces
+    /// before the optimizer runs.
     pub fn new(axis: StandoffAxis, strategy: StandoffStrategy) -> StandoffOp {
         StandoffOp {
             axis,
             strategy,
             pushdown: None,
+            test_guaranteed: false,
             estimate: None,
         }
     }

@@ -1,0 +1,226 @@
+//! The join hot path's fast-path *mechanisms*, asserted directly.
+//!
+//! Timing can lie on a loaded CI box; [`JoinStats`] counters cannot.
+//! These tests pin that a pushdown-guaranteed StandOff step really skips
+//! the trailing self-axis pass and the result sort in the single-
+//! fragment case, that the literal paths still run where required (no
+//! pushdown, naive strategies, the unoptimized reference lowering), and
+//! that the elided paths stay observably equivalent to the reference on
+//! randomized region workloads across all four axes.
+
+use proptest::prelude::*;
+
+use standoff_core::StandoffStrategy;
+use standoff_xquery::{Engine, EngineOptions, JoinStats};
+
+fn region_engine(xml: &str, options: EngineOptions) -> Engine {
+    let mut engine = Engine::with_options(options);
+    engine.load_document("d.xml", xml).unwrap();
+    engine
+}
+
+const FIXTURE: &str = r#"<doc>
+  <w start="0" end="5"/><w start="6" end="11"/><w start="12" end="22"/>
+  <place start="0" end="11"/><place start="12" end="29"/>
+  <w start="23" end="29"/>
+</doc>"#;
+
+/// A pushdown-guaranteed step: no trailing self-axis pass, no result
+/// sort — asserted via the runtime counters, not timing.
+#[test]
+fn pushdown_guaranteed_step_elides_post_filter_and_sort() {
+    let mut engine = region_engine(FIXTURE, EngineOptions::default());
+    let result = engine
+        .run(r#"count(doc("d.xml")//place/select-narrow::w)"#)
+        .unwrap();
+    assert_eq!(result.as_strings(), ["4"]);
+    let stats = engine.join_stats();
+    assert!(stats.post_filters_elided > 0, "{stats:?}");
+    assert_eq!(stats.post_filters, 0, "{stats:?}");
+    assert!(stats.result_sorts_elided > 0, "{stats:?}");
+    assert_eq!(stats.result_sorts, 0, "{stats:?}");
+}
+
+/// A kind-only test (`node()`, `*`) is guaranteed too — join output is
+/// always elements.
+#[test]
+fn kind_only_tests_elide_post_filter() {
+    for test in ["node()", "*"] {
+        let mut engine = region_engine(FIXTURE, EngineOptions::default());
+        engine
+            .run(&format!(r#"doc("d.xml")//place/select-wide::{test}"#))
+            .unwrap();
+        let stats = engine.join_stats();
+        assert!(stats.post_filters_elided > 0, "{test}: {stats:?}");
+        assert_eq!(stats.post_filters, 0, "{test}: {stats:?}");
+    }
+}
+
+/// Without pushdown the name test is *not* guaranteed: the trailing
+/// self-step must run (it is what enforces the name).
+#[test]
+fn no_pushdown_keeps_post_filter() {
+    let mut engine = region_engine(
+        FIXTURE,
+        EngineOptions {
+            candidate_pushdown: false,
+            ..EngineOptions::default()
+        },
+    );
+    let with_filter = engine
+        .run(r#"count(doc("d.xml")//place/select-narrow::w)"#)
+        .unwrap();
+    assert_eq!(with_filter.as_strings(), ["4"]);
+    let stats = engine.join_stats();
+    assert!(stats.post_filters > 0, "{stats:?}");
+    assert_eq!(stats.post_filters_elided, 0, "{stats:?}");
+}
+
+/// The unoptimized reference lowering never sets the elision flag: it
+/// keeps the literal trailing self-step, and still agrees byte-for-byte.
+#[test]
+fn reference_path_keeps_literal_post_filter() {
+    let mut engine = region_engine(FIXTURE, EngineOptions::default());
+    let query = r#"doc("d.xml")//place/select-narrow::w"#;
+    let optimized = engine.run(query).unwrap();
+    let stats_opt = engine.join_stats();
+    engine.reset_join_stats();
+    let reference = engine.run_unoptimized(query).unwrap();
+    let stats_ref = engine.join_stats();
+    assert_eq!(optimized.as_serialized(), reference.as_serialized());
+    assert_eq!(stats_opt.post_filters, 0);
+    assert!(stats_ref.post_filters > 0, "{stats_ref:?}");
+    assert_eq!(stats_ref.post_filters_elided, 0, "{stats_ref:?}");
+}
+
+/// The candidate-intersection path counters reflect the cost model:
+/// sparse pushdown takes the node view, no pushdown takes no
+/// intersection at all.
+#[test]
+fn candidate_access_path_counters() {
+    // 1 `place` candidate over a 301-entry index: node view.
+    let mut xml = String::from("<doc>");
+    for k in 0..300 {
+        xml.push_str(&format!(r#"<w start="{}" end="{}"/>"#, k * 10, k * 10 + 5));
+    }
+    xml.push_str(r#"<place start="0" end="95"/></doc>"#);
+    let mut engine = region_engine(&xml, EngineOptions::default());
+    engine
+        .run(r#"count(doc("d.xml")//w[1]/select-wide::place)"#)
+        .unwrap();
+    let stats = engine.join_stats();
+    assert!(stats.candidate_node_view > 0, "{stats:?}");
+
+    // 300 `w` candidates over the same index: scan.
+    engine.reset_join_stats();
+    engine
+        .run(r#"count(doc("d.xml")//place/select-wide::w)"#)
+        .unwrap();
+    let stats = engine.join_stats();
+    assert!(stats.candidate_scans > 0, "{stats:?}");
+}
+
+/// Multi-layer joins (context and candidates in sibling layers) still
+/// take the sorting merge — the elision is strictly single-fragment.
+#[test]
+fn cross_document_context_does_not_elide_sort() {
+    let mut engine = Engine::new();
+    engine
+        .load_document(
+            "tokens.xml",
+            r#"<tokens><w start="0" end="5"/><w start="6" end="11"/></tokens>"#,
+        )
+        .unwrap();
+    engine
+        .load_document(
+            "entities.xml",
+            r#"<entities><place start="0" end="11"/></entities>"#,
+        )
+        .unwrap();
+    // Two documents in one context sequence → two join units.
+    engine
+        .run(
+            r#"count((doc("tokens.xml")//w, doc("entities.xml")//place)
+                 /select-wide::node())"#,
+        )
+        .unwrap();
+    let stats = engine.join_stats();
+    assert!(stats.result_sorts > 0, "{stats:?}");
+}
+
+/// Generated region workloads × all four axes × pushdown on/off: the
+/// optimized pipeline (sort elision, post-filter elision, node-view
+/// candidates, shared scratch) agrees byte-for-byte with both the
+/// unoptimized reference lowering and the naive-with-candidates oracle
+/// strategy.
+fn doc_xml(regions: &[(u8, i64, i64)]) -> String {
+    let mut xml = String::from("<doc>");
+    for &(name_pick, start, len) in regions {
+        let name = ["w", "place", "thing"][name_pick as usize % 3];
+        xml.push_str(&format!(
+            r#"<{name} start="{start}" end="{}"/>"#,
+            start + len
+        ));
+    }
+    xml.push_str("</doc>");
+    xml
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_workloads_agree_through_all_fast_paths(
+        regions in prop::collection::vec((0u8..3, 0i64..120, 0i64..40), 1..24),
+        pushdown in any::<bool>(),
+    ) {
+        let xml = doc_xml(&regions);
+        let mk = |strategy| {
+            region_engine(&xml, EngineOptions {
+                strategy,
+                candidate_pushdown: pushdown,
+                ..EngineOptions::default()
+            })
+        };
+        let mut fast = mk(StandoffStrategy::LoopLiftedMergeJoin);
+        let mut oracle = mk(StandoffStrategy::NaiveWithCandidates);
+        for axis in ["select-narrow", "select-wide", "reject-narrow", "reject-wide"] {
+            for test in ["w", "*", "node()"] {
+                let query =
+                    format!(r#"doc("d.xml")//place/{axis}::{test}"#);
+                let a = fast.run(&query).unwrap();
+                let b = fast.run_unoptimized(&query).unwrap();
+                let c = oracle.run(&query).unwrap();
+                prop_assert_eq!(
+                    a.as_serialized(), b.as_serialized(),
+                    "optimized vs reference: {}", query);
+                prop_assert_eq!(
+                    a.as_serialized(), c.as_serialized(),
+                    "loop-lifted vs naive oracle: {}", query);
+            }
+        }
+        // The fast engine really exercised the elision branches.
+        let stats = fast.join_stats();
+        prop_assert!(stats.post_filters_elided > 0, "{:?}", stats);
+        prop_assert!(stats.result_sorts_elided > 0, "{:?}", stats);
+    }
+}
+
+/// `JoinStats` is exported and mergeable — the shape the bench harness
+/// and doc examples rely on.
+#[test]
+fn join_stats_merge() {
+    let mut a = JoinStats {
+        post_filters_elided: 1,
+        result_sorts: 2,
+        ..JoinStats::default()
+    };
+    a.merge(JoinStats {
+        post_filters_elided: 2,
+        candidate_node_view: 5,
+        ..JoinStats::default()
+    });
+    assert_eq!(a.post_filters_elided, 3);
+    assert_eq!(a.result_sorts, 2);
+    assert_eq!(a.candidate_node_view, 5);
+}

@@ -67,6 +67,19 @@ fn standoff_step_with_pushdown_and_estimates() {
     );
 }
 
+/// A rare pushed-down name (1 `place` across the corpus): the estimate
+/// predicts the node-view candidate gather, and the pushed name test is
+/// plan-guaranteed so the post-filter annotation reads `elided`.
+#[test]
+fn sparse_pushdown_node_view_access() {
+    let engine = corpus();
+    check(
+        "standoff_step_node_view",
+        &engine,
+        r#"doc("entities.xml")//thing/select-narrow::place"#,
+    );
+}
+
 #[test]
 fn naive_strategy_without_pushdown() {
     let mut engine = corpus();
