@@ -1,14 +1,16 @@
 //! Cold-start comparison: opening an XMark StandOff corpus from a binary
-//! snapshot vs re-parsing the XML and rebuilding the region index.
+//! snapshot vs re-parsing the XML and rebuilding the region index —
+//! and, since SOSN v3, *mounting* the snapshot (zero-copy column views,
+//! lazy layers) vs eagerly decoding it.
 //!
 //! The snapshot path is the `standoff-store` claim to fame — reopening a
-//! bulk-loaded annotation database should cost a validated column read,
-//! not a parse + `RegionIndex::build`.
+//! bulk-loaded annotation database should cost I/O plus validation, not
+//! a parse, an allocation per node value, or a `RegionIndex::build`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use standoff_core::{RegionIndex, StandoffConfig};
-use standoff_store::{read_snapshot, write_snapshot, LayerSet};
+use standoff_store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
 use standoff_xmark::{generate, standoffify, XmarkConfig};
 use standoff_xml::parse_document;
 
@@ -21,9 +23,15 @@ fn snapshot_load(c: &mut Criterion) {
         let xml = standoff_xml::serialize_document(&so.doc, Default::default());
         let config = StandoffConfig::default();
 
-        let set = LayerSet::build("xmark-standoff.xml", so.doc, config.clone()).unwrap();
-        let mut snapshot = Vec::new();
-        write_snapshot(&set, &mut snapshot).unwrap();
+        // Base layer plus a shadow sibling, so multi-layer costs show.
+        let shadow = parse_document(&xml).unwrap();
+        let mut set = LayerSet::build("xmark-standoff.xml", so.doc, config.clone()).unwrap();
+        set.add_layer("shadow", shadow, config.clone()).unwrap();
+
+        let mut legacy = Vec::new();
+        write_snapshot_legacy(&set, &mut legacy).unwrap();
+        let mut v3 = Vec::new();
+        write_snapshot(&set, &mut v3).unwrap();
 
         let label = format!("{:.1}KB", xml.len() as f64 / 1024.0);
 
@@ -35,24 +43,44 @@ fn snapshot_load(c: &mut Criterion) {
             });
         });
 
-        // Cold start from the snapshot: validated column reads only.
+        // Cold start from the legacy snapshot: eager streamed decode.
         group.bench_with_input(
-            BenchmarkId::new("snapshot", &label),
-            &snapshot,
-            |b, snapshot| {
-                b.iter(|| read_snapshot(&mut snapshot.as_slice()).unwrap());
+            BenchmarkId::new("decode-v1", &label),
+            &legacy,
+            |b, bytes| {
+                b.iter(|| {
+                    Snapshot::from_bytes(bytes.clone())
+                        .unwrap()
+                        .to_layer_set()
+                        .unwrap()
+                });
             },
         );
 
-        // First query latency including engine mount, from snapshot.
+        // Cold mount of the v3 snapshot, all layers materialized.
+        group.bench_with_input(BenchmarkId::new("mount-v3", &label), &v3, |b, bytes| {
+            b.iter(|| {
+                Snapshot::from_bytes(bytes.clone())
+                    .unwrap()
+                    .to_layer_set()
+                    .unwrap()
+            });
+        });
+
+        // Lazy open: header + section-table walk only.
+        group.bench_with_input(BenchmarkId::new("open-lazy-v3", &label), &v3, |b, bytes| {
+            b.iter(|| Snapshot::from_bytes(bytes.clone()).unwrap());
+        });
+
+        // First query latency including engine mount, from the v3 snapshot.
         group.bench_with_input(
             BenchmarkId::new("snapshot+first-query", &label),
-            &snapshot,
-            |b, snapshot| {
+            &v3,
+            |b, bytes| {
                 b.iter(|| {
-                    let set = read_snapshot(&mut snapshot.as_slice()).unwrap();
+                    let snapshot = Snapshot::from_bytes(bytes.clone()).unwrap();
                     let mut engine = standoff_xquery::Engine::new();
-                    engine.mount_store(set).unwrap();
+                    engine.mount_snapshot(&snapshot).unwrap();
                     engine
                         .run(r#"count(doc("xmark-standoff.xml")//item)"#)
                         .unwrap()

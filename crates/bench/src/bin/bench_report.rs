@@ -189,6 +189,61 @@ fn main() {
         record("join/select_narrow_sparse_pushdown", ns);
     }
 
+    // ---- snapshot mount (the SOSN v3 zero-copy story) ----
+    {
+        use standoff_store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
+        let so = standoff_xmark::standoffify(
+            &standoff_xmark::generate(&standoff_xmark::XmarkConfig::with_scale(config.scale)),
+            7,
+        );
+        let xml = standoff_xml::serialize_document(&so.doc, Default::default());
+        // Base plus two shadow sibling layers: multi-layer mount costs
+        // (and the lazy win of not touching siblings) are visible.
+        let cfg = standoff_core::StandoffConfig::default();
+        let mut set = LayerSet::build("xmark-standoff.xml", so.doc, cfg.clone()).unwrap();
+        for name in ["shadow1", "shadow2"] {
+            let doc = standoff_xml::parse_document(&xml).unwrap();
+            set.add_layer(name, doc, cfg.clone()).unwrap();
+        }
+        let dir = std::env::temp_dir().join(format!("bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v3_path = dir.join("corpus_v3.snap");
+        let v1_path = dir.join("corpus_v1.snap");
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        std::fs::write(&v3_path, &buf).unwrap();
+        buf.clear();
+        write_snapshot_legacy(&set, &mut buf).unwrap();
+        std::fs::write(&v1_path, &buf).unwrap();
+
+        // Legacy eager decode — the pre-v3 cold-start baseline.
+        let ns = median_ns(config.samples, || {
+            Snapshot::open(&v1_path).unwrap().to_layer_set().unwrap()
+        });
+        record("snapshot/mount_cold_v2", ns);
+        // v3 cold mount: I/O + section walk + zero-copy views +
+        // validation, all layers materialized.
+        let ns = median_ns(config.samples, || {
+            Snapshot::open(&v3_path).unwrap().to_layer_set().unwrap()
+        });
+        record("snapshot/mount_cold", ns);
+        // Lazy mount + first query: only the base layer is realized —
+        // the shadow siblings are never touched.
+        let ns = median_ns(config.samples, || {
+            let snapshot = Snapshot::open(&v3_path).unwrap();
+            let base = snapshot.layer("base").unwrap();
+            let set = LayerSet::from_layers(snapshot.uri(), vec![(*base).clone()]).unwrap();
+            let mut engine = standoff_xquery::Engine::new();
+            engine.mount_store(set).unwrap();
+            engine
+                .run(r#"count(doc("xmark-standoff.xml")//item)"#)
+                .unwrap()
+                .len()
+        });
+        record("snapshot/mount_lazy_first_query", ns);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // ---- end-to-end engine measurements over an XMark corpus ----
     {
         let mut w = standoff_bench::prepare_workload(config.scale);
@@ -233,6 +288,10 @@ fn main() {
     }
 
     // ---- render ----
+    let peak_rss_kb = peak_rss_kb();
+    if let Some(kb) = peak_rss_kb {
+        println!("bench-report: peak RSS {kb} kB (VmHWM, whole process)");
+    }
     let baseline = config.baseline.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
     });
@@ -241,6 +300,11 @@ fn main() {
     let _ = writeln!(json, "  \"samples\": {},", config.samples);
     let _ = writeln!(json, "  \"scale\": {},", config.scale);
     let _ = writeln!(json, "  \"unit\": \"ns (median)\",");
+    if let Some(kb) = peak_rss_kb {
+        // Whole-process high-water mark — a coarse but honest peak-memory
+        // note (covers corpus generation and every group above).
+        let _ = writeln!(json, "  \"peak_rss_kb\": {kb},");
+    }
     let _ = writeln!(json, "  \"groups\": {{");
     for (k, (name, ns)) in groups.iter().enumerate() {
         let comma = if k + 1 == groups.len() { "" } else { "," };
@@ -257,6 +321,14 @@ fn main() {
     std::fs::write(&config.out, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", config.out));
     println!("bench-report: wrote {}", config.out);
+}
+
+/// The process's peak resident set size in kB (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Pull the `"groups": { ... }` object out of a previous report without

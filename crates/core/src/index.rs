@@ -9,6 +9,7 @@
 
 use std::io;
 
+use standoff_xml::column::{Pod, PodCol};
 use standoff_xml::{wire, Document, NodeKind};
 
 use crate::config::StandoffConfig;
@@ -17,11 +18,38 @@ use crate::region::{Area, Region};
 
 /// One row of the region index.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(C)]
 pub struct RegionEntry {
     pub start: i64,
     pub end: i64,
     /// Pre-order rank of the annotation element.
     pub id: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<RegionEntry>() == 24);
+
+// `repr(C)` gives `RegionEntry` a fixed 24-byte layout (4 trailing
+// padding bytes, written as zeros and never read back), so entry columns
+// in SOSN v3 snapshots mount zero-copy on little-endian targets.
+unsafe impl Pod for RegionEntry {
+    const WIDTH: usize = 24;
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        RegionEntry {
+            start: i64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
+            end: i64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            id: u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")),
+        }
+    }
+
+    #[inline]
+    fn write_le<W: io::Write>(self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.start.to_le_bytes())?;
+        w.write_all(&self.end.to_le_bytes())?;
+        w.write_all(&self.id.to_le_bytes())?;
+        w.write_all(&[0u8; 4]) // padding, for the in-place view
+    }
 }
 
 /// Summary statistics of one or more region indexes — the cost-model
@@ -66,51 +94,45 @@ impl IndexStats {
 pub struct RegionIndex {
     /// All region entries, sorted by `(start, end, id)` — the clustering
     /// the merge joins scan.
-    entries: Vec<RegionEntry>,
+    entries: PodCol<RegionEntry>,
     /// Annotated node pre ranks, sorted (document order).
-    node_ids: Vec<u32>,
+    node_ids: PodCol<u32>,
     /// CSR offsets into `node_regions`, parallel to `node_ids` (+1).
-    node_offsets: Vec<u32>,
+    node_offsets: PodCol<u32>,
     /// Regions per node, each node's slice sorted by start.
-    node_regions: Vec<Region>,
+    node_regions: PodCol<Region>,
     /// Largest region count of any single annotation (1 ⇒ the fast
     /// single-region post-processing path applies).
     max_regions: u32,
 }
 
-impl RegionIndex {
-    /// Build the index for one document under a configuration.
-    pub fn build(doc: &Document, config: &StandoffConfig) -> Result<RegionIndex, StandoffError> {
-        config.validate()?;
-        let mut index = RegionIndex {
-            node_offsets: vec![0],
-            ..Default::default()
-        };
-        for pre in 0..doc.node_count() as u32 {
-            if doc.kind(pre) != NodeKind::Element {
-                continue;
-            }
-            if let Some(area) = config.area_of(doc, pre)? {
-                index.push_area(pre, &area);
-            }
-        }
-        index.entries.sort_by_key(|e| (e.start, e.end, e.id));
-        Ok(index)
-    }
+/// Borrowed raw columns of a [`RegionIndex`] — the snapshot writer's
+/// view of the index (each slice is dumped as one aligned section).
+pub struct RegionIndexStorage<'a> {
+    pub entries: &'a [RegionEntry],
+    pub node_ids: &'a [u32],
+    pub node_offsets: &'a [u32],
+    pub node_regions: &'a [Region],
+    pub max_regions: u32,
+}
 
-    /// Build directly from `(pre, area)` pairs (synthetic workloads and
-    /// tests). Pairs must be in ascending pre order.
-    pub fn from_areas(pairs: &[(u32, Area)]) -> RegionIndex {
-        let mut index = RegionIndex {
+/// Accumulates `(pre, area)` pushes, then finalizes into the clustered
+/// column form (the build-time backend; mounts skip this entirely).
+#[derive(Default)]
+struct IndexAccum {
+    entries: Vec<RegionEntry>,
+    node_ids: Vec<u32>,
+    node_offsets: Vec<u32>,
+    node_regions: Vec<Region>,
+    max_regions: u32,
+}
+
+impl IndexAccum {
+    fn new() -> IndexAccum {
+        IndexAccum {
             node_offsets: vec![0],
             ..Default::default()
-        };
-        for (pre, area) in pairs {
-            debug_assert!(index.node_ids.last().is_none_or(|&last| last < *pre));
-            index.push_area(*pre, area);
         }
-        index.entries.sort_by_key(|e| (e.start, e.end, e.id));
-        index
     }
 
     fn push_area(&mut self, pre: u32, area: &Area) {
@@ -125,6 +147,45 @@ impl RegionIndex {
         self.node_ids.push(pre);
         self.node_offsets.push(self.node_regions.len() as u32);
         self.max_regions = self.max_regions.max(area.region_count() as u32);
+    }
+
+    fn finish(mut self) -> RegionIndex {
+        self.entries.sort_by_key(|e| (e.start, e.end, e.id));
+        RegionIndex {
+            entries: self.entries.into(),
+            node_ids: self.node_ids.into(),
+            node_offsets: self.node_offsets.into(),
+            node_regions: self.node_regions.into(),
+            max_regions: self.max_regions,
+        }
+    }
+}
+
+impl RegionIndex {
+    /// Build the index for one document under a configuration.
+    pub fn build(doc: &Document, config: &StandoffConfig) -> Result<RegionIndex, StandoffError> {
+        config.validate()?;
+        let mut accum = IndexAccum::new();
+        for pre in 0..doc.node_count() as u32 {
+            if doc.kind(pre) != NodeKind::Element {
+                continue;
+            }
+            if let Some(area) = config.area_of(doc, pre)? {
+                accum.push_area(pre, &area);
+            }
+        }
+        Ok(accum.finish())
+    }
+
+    /// Build directly from `(pre, area)` pairs (synthetic workloads and
+    /// tests). Pairs must be in ascending pre order.
+    pub fn from_areas(pairs: &[(u32, Area)]) -> RegionIndex {
+        let mut accum = IndexAccum::new();
+        for (pre, area) in pairs {
+            debug_assert!(accum.node_ids.last().is_none_or(|&last| last < *pre));
+            accum.push_area(*pre, area);
+        }
+        accum.finish()
     }
 
     /// All entries, clustered on start.
@@ -300,19 +361,19 @@ impl RegionIndex {
         w.write_all(INDEX_MAGIC)?;
         wire::write_u32(w, INDEX_VERSION)?;
         wire::write_u32(w, self.entries.len() as u32)?;
-        for e in &self.entries {
+        for e in self.entries.iter() {
             wire::write_i64(w, e.start)?;
             wire::write_i64(w, e.end)?;
             wire::write_u32(w, e.id)?;
         }
         wire::write_u32(w, self.node_ids.len() as u32)?;
-        for &id in &self.node_ids {
+        for &id in self.node_ids.iter() {
             wire::write_u32(w, id)?;
         }
-        for &off in &self.node_offsets {
+        for &off in self.node_offsets.iter() {
             wire::write_u32(w, off)?;
         }
-        for r in &self.node_regions {
+        for r in self.node_regions.iter() {
             wire::write_i64(w, r.start)?;
             wire::write_i64(w, r.end)?;
         }
@@ -322,10 +383,9 @@ impl RegionIndex {
 
     /// Deserialize an index written by [`RegionIndex::write_into`].
     ///
-    /// Every structural invariant is re-validated — clustering order,
-    /// node/CSR consistency, region validity, and the entry ↔ node-view
-    /// bijection — so a corrupted snapshot fails cleanly instead of
-    /// corrupting join results.
+    /// Every structural invariant is re-validated (see
+    /// [`RegionIndex::from_storage`]) — so a corrupted snapshot fails
+    /// cleanly instead of corrupting join results.
     pub fn read_from<R: io::Read>(r: &mut R) -> io::Result<RegionIndex> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -344,52 +404,95 @@ impl RegionIndex {
                 id: wire::read_u32(r)?,
             });
         }
+        let node_count = wire::read_u32(r)? as usize;
+        let mut node_ids = Vec::with_capacity(wire::capacity_hint(node_count));
+        for _ in 0..node_count {
+            node_ids.push(wire::read_u32(r)?);
+        }
+        let mut node_offsets = Vec::with_capacity(wire::capacity_hint(node_count + 1));
+        for _ in 0..=node_count {
+            node_offsets.push(wire::read_u32(r)?);
+        }
+        let region_total = *node_offsets.last().unwrap_or(&u32::MAX) as usize;
+        if region_total != entry_count {
+            return Err(index_data_err("entry count disagrees with region CSR"));
+        }
+        let mut node_regions = Vec::with_capacity(wire::capacity_hint(region_total));
+        for _ in 0..region_total {
+            node_regions.push(Region {
+                start: wire::read_i64(r)?,
+                end: wire::read_i64(r)?,
+            });
+        }
+        let max_regions = wire::read_u32(r)?;
+        RegionIndex::from_storage(
+            entries.into(),
+            node_ids.into(),
+            node_offsets.into(),
+            node_regions.into(),
+            max_regions,
+        )
+    }
+
+    /// Assemble an index from raw (possibly buffer-backed) columns,
+    /// re-validating **every** structural invariant: clustering order,
+    /// node/CSR consistency, per-annotation region validity (the §3.1
+    /// area constraints, checked without allocating), the stored
+    /// max-regions statistic, and the entry ↔ node-view bijection. This
+    /// is the single trust boundary of both the legacy stream decode and
+    /// the SOSN v3 zero-copy mount — mounted indexes are used as-is by
+    /// the join executor, never re-checked downstream.
+    pub fn from_storage(
+        entries: PodCol<RegionEntry>,
+        node_ids: PodCol<u32>,
+        node_offsets: PodCol<u32>,
+        node_regions: PodCol<Region>,
+        max_regions: u32,
+    ) -> io::Result<RegionIndex> {
         if !entries
             .windows(2)
             .all(|w| (w[0].start, w[0].end, w[0].id) < (w[1].start, w[1].end, w[1].id))
         {
             return Err(index_data_err("entries not clustered on (start, end, id)"));
         }
-        let node_count = wire::read_u32(r)? as usize;
-        let mut node_ids = Vec::with_capacity(wire::capacity_hint(node_count));
-        for _ in 0..node_count {
-            node_ids.push(wire::read_u32(r)?);
-        }
         if !node_ids.windows(2).all(|w| w[0] < w[1]) {
             return Err(index_data_err("node ids not strictly ascending"));
         }
-        let mut node_offsets = Vec::with_capacity(wire::capacity_hint(node_count + 1));
-        for _ in 0..=node_count {
-            node_offsets.push(wire::read_u32(r)?);
+        if node_offsets.len() != node_ids.len() + 1 {
+            return Err(index_data_err("region CSR length mismatch"));
         }
         if node_offsets[0] != 0 || !node_offsets.windows(2).all(|w| w[0] < w[1]) {
             // Strictly increasing: every annotated node has ≥ 1 region.
             return Err(index_data_err("region CSR offsets not increasing from 0"));
         }
-        let region_total = *node_offsets.last().unwrap() as usize;
-        if region_total != entry_count {
+        if *node_offsets.last().unwrap() as usize != entries.len()
+            || node_regions.len() != entries.len()
+        {
             return Err(index_data_err("entry count disagrees with region CSR"));
         }
-        let mut node_regions = Vec::with_capacity(wire::capacity_hint(region_total));
-        for _ in 0..region_total {
-            let start = wire::read_i64(r)?;
-            let end = wire::read_i64(r)?;
-            node_regions.push(
-                Region::new(start, end).map_err(|e| index_data_err(&format!("bad region: {e}")))?,
-            );
+        if node_regions.iter().any(|r| r.start > r.end) {
+            return Err(index_data_err("bad region: start > end"));
         }
-        let mut max_regions = 0u32;
-        for k in 0..node_count {
+        let mut found_max = 0u32;
+        for k in 0..node_ids.len() {
             let slice = &node_regions[node_offsets[k] as usize..node_offsets[k + 1] as usize];
-            Area::try_new(slice.to_vec()).map_err(|e| {
-                index_data_err(&format!("node {} regions invalid: {e}", node_ids[k]))
-            })?;
+            // The §3.1 area constraints, allocation-free: sorted by
+            // start, pairwise non-overlapping and non-touching.
             if !slice.windows(2).all(|w| w[0].start < w[1].start) {
                 return Err(index_data_err("node regions not sorted by start"));
             }
-            max_regions = max_regions.max(slice.len() as u32);
+            if !slice
+                .windows(2)
+                .all(|w| w[1].start > w[0].end.saturating_add(1))
+            {
+                return Err(index_data_err(&format!(
+                    "node {} regions invalid: regions overlap or touch",
+                    node_ids[k]
+                )));
+            }
+            found_max = found_max.max(slice.len() as u32);
         }
-        if wire::read_u32(r)? != max_regions {
+        if max_regions != found_max {
             return Err(index_data_err("stored max-regions is inconsistent"));
         }
         let index = RegionIndex {
@@ -411,6 +514,24 @@ impl RegionIndex {
             }
         }
         Ok(index)
+    }
+
+    /// Borrow the raw columns (the snapshot writer's hook).
+    pub fn storage(&self) -> RegionIndexStorage<'_> {
+        RegionIndexStorage {
+            entries: &self.entries,
+            node_ids: &self.node_ids,
+            node_offsets: &self.node_offsets,
+            node_regions: &self.node_regions,
+            max_regions: self.max_regions,
+        }
+    }
+
+    /// Are the bulk columns zero-copy views over a mounted snapshot
+    /// buffer? Benches and tests use this to assert the mount path
+    /// actually mounted.
+    pub fn is_mounted(&self) -> bool {
+        self.entries.is_view() && self.node_regions.is_view()
     }
 }
 

@@ -8,6 +8,13 @@
 //! the BLOB's coordinate space, which is exactly what lets the StandOff
 //! axes join *across* layers: a region is a region, whichever document
 //! it came from (Annotation-Graph-style multi-hierarchy annotation).
+//!
+//! Layers hold their document and index behind [`Arc`]: a layer cloned
+//! out of a mounted [`crate::Snapshot`] and into a query engine shares
+//! one copy of the (possibly buffer-backed) column data — mounting is
+//! pointer plumbing, not duplication.
+
+use std::sync::Arc;
 
 use standoff_core::{RegionIndex, StandoffConfig};
 use standoff_xml::Document;
@@ -19,24 +26,19 @@ pub const BASE_LAYER: &str = "base";
 
 /// One annotation layer: document + prebuilt region index + the
 /// configuration the index was built under.
+#[derive(Clone)]
 pub struct Layer {
     name: String,
     config: StandoffConfig,
-    doc: Document,
-    index: RegionIndex,
+    doc: Arc<Document>,
+    index: Arc<RegionIndex>,
 }
 
 impl Layer {
     /// Build a layer, constructing its region index.
     pub fn build(name: &str, doc: Document, config: StandoffConfig) -> Result<Layer, StoreError> {
-        validate_name(name)?;
         let index = RegionIndex::build(&doc, &config)?;
-        Ok(Layer {
-            name: name.to_string(),
-            config,
-            doc,
-            index,
-        })
+        Layer::from_shared(name.to_string(), config, Arc::new(doc), Arc::new(index))
     }
 
     /// Assemble a layer from prebuilt parts (the snapshot-load path — no
@@ -46,6 +48,17 @@ impl Layer {
         config: StandoffConfig,
         doc: Document,
         index: RegionIndex,
+    ) -> Result<Layer, StoreError> {
+        Layer::from_shared(name, config, Arc::new(doc), Arc::new(index))
+    }
+
+    /// Assemble a layer around already-shared parts (the zero-copy mount
+    /// path).
+    pub fn from_shared(
+        name: String,
+        config: StandoffConfig,
+        doc: Arc<Document>,
+        index: Arc<RegionIndex>,
     ) -> Result<Layer, StoreError> {
         validate_name(&name)?;
         Ok(Layer {
@@ -72,13 +85,25 @@ impl Layer {
         &self.index
     }
 
+    /// The shared document handle (cheap clone).
+    pub fn doc_arc(&self) -> Arc<Document> {
+        Arc::clone(&self.doc)
+    }
+
+    /// The shared index handle (cheap clone).
+    pub fn index_arc(&self) -> Arc<RegionIndex> {
+        Arc::clone(&self.index)
+    }
+
     /// Number of area-annotations in this layer.
     pub fn annotation_count(&self) -> usize {
         self.index.annotated_nodes().len()
     }
 
-    /// Decompose into `(name, config, document, index)`.
-    pub fn into_parts(self) -> (String, StandoffConfig, Document, RegionIndex) {
+    /// Decompose into `(name, config, document, index)`. The document
+    /// and index stay shared — an engine mounting them takes references,
+    /// not copies.
+    pub fn into_parts(self) -> (String, StandoffConfig, Arc<Document>, Arc<RegionIndex>) {
         (self.name, self.config, self.doc, self.index)
     }
 }
@@ -248,6 +273,19 @@ mod tests {
         assert!(set
             .add_layer("", doc("<d/>"), StandoffConfig::default())
             .is_err());
+    }
+
+    #[test]
+    fn cloned_layers_share_storage() {
+        let set = LayerSet::build(
+            "c",
+            doc(r#"<d><w start="0" end="4"/></d>"#),
+            StandoffConfig::default(),
+        )
+        .unwrap();
+        let clone = set.base().clone();
+        assert!(std::ptr::eq(clone.doc(), set.base().doc()));
+        assert!(std::ptr::eq(clone.index(), set.base().index()));
     }
 
     #[test]

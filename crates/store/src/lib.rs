@@ -12,23 +12,31 @@
 //!   [`standoff_core::StandoffConfig`]. Layers share the BLOB coordinate
 //!   space, so the StandOff axes (`select-narrow` & co.) and merge joins
 //!   compose *across* layers.
-//! * [`snapshot`] — a versioned binary format (magic + header +
-//!   length-prefixed sections, no external serde) that persists every
-//!   layer's shredded document, element-name table and prebuilt region
-//!   index. Loading is a validated column read: no XML parsing, no
-//!   `RegionIndex::build` — the cold-start path the ROADMAP asks for.
+//! * [`snapshot`] / [`mount`] — a versioned binary format (no external
+//!   serde) that persists every layer's shredded document, element-name
+//!   CSR and prebuilt region index. The current SOSN v3 format is
+//!   columnar and offset-indexed: [`Snapshot::open`] *mounts* the file
+//!   as one shared buffer, layers materialize lazily on first access as
+//!   zero-copy column views, and `inspect` is a pure header walk. No
+//!   XML parsing, no `RegionIndex::build`, no per-node allocation — the
+//!   cold-start path the ROADMAP asks for. Legacy (version 1) files
+//!   keep loading through the same entry points.
 //!
-//! `standoff_xquery::Engine::mount_store` mounts a [`LayerSet`] so that
-//! `doc("uri")`, `doc("uri#layer")` and `layer("uri", "name")` resolve to
-//! the stored layers, with all region indices pre-installed.
+//! `standoff_xquery::Engine::mount_snapshot` / `mount_store` mounts the
+//! layers so that `doc("uri")`, `doc("uri#layer")` and
+//! `layer("uri", "name")` resolve to the stored layers, with all region
+//! indices pre-installed (shared, not copied).
 
 pub mod error;
 pub mod layer;
+pub mod mount;
 pub mod snapshot;
 
 pub use error::StoreError;
 pub use layer::{Layer, LayerSet, BASE_LAYER};
+pub use mount::Snapshot;
 pub use snapshot::{
     inspect_snapshot, load_snapshot, load_snapshot_with_info, read_snapshot,
-    read_snapshot_with_info, save_snapshot, write_snapshot, LayerInfo, SnapshotInfo,
+    read_snapshot_with_info, save_snapshot, write_snapshot, write_snapshot_legacy, LayerInfo,
+    SnapshotInfo,
 };

@@ -1,0 +1,657 @@
+//! SOSN v3: the sectioned, offset-indexed columnar snapshot format that
+//! is *mounted*, not decoded.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   magic "SOSN" | u32 version = 3 | u32 section-count | u32 reserved
+//! 16  section table: section-count × (u32 tag | u32 layer | u64 offset | u64 length)
+//! …   payloads, each padded to 8-byte alignment, in table order
+//! ```
+//!
+//! Offsets are absolute file positions. Per-layer payloads are one
+//! section per *column* — the document's `kind`/`size`/`level`/`parent`/
+//! `name` columns, string-arena heaps and offsets, the attribute table,
+//! the element-name CSR, and the region index's entry/node/CSR/region
+//! columns. [`Snapshot::open`] reads the file into one shared
+//! buffer and walks only the section table plus the tiny
+//! META/LAYER_HDR payloads; a layer's columns become zero-copy typed
+//! views ([`standoff_xml::column::PodCol`]) the first time the layer is
+//! accessed — documents and region indexes are *realized lazily* and
+//! cached, so `inspect` and single-layer workloads never pay for
+//! untouched siblings. All structural invariants the eager decoders
+//! enforced are re-validated at materialization time (the query
+//! optimizer's post-filter elision relies on them).
+//!
+//! Alignment padding is an optimization, not an obligation: a misaligned
+//! (or big-endian) mount transparently decodes the affected column into
+//! owned storage with identical semantics.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use standoff_core::{RegionIndex, StandoffConfig};
+use standoff_xml::column::{write_slice_le, PodCol, SharedBytes, StrArena};
+use standoff_xml::{Document, DocumentParts, ElemIndex, KindCol, NameId, NameTable, NodeKind};
+
+use crate::error::StoreError;
+use crate::layer::{Layer, LayerSet, BASE_LAYER};
+use crate::snapshot::{
+    bad, read_config, read_snapshot_legacy_with_info, write_config, LayerInfo, SnapshotInfo, MAGIC,
+    VERSION_LEGACY, VERSION_V3,
+};
+
+use standoff_xml::wire::{read_string, read_u32, read_u64, read_u8, write_string, write_u32};
+
+// ---- section tags ----
+
+pub(crate) const SEC_META: u32 = 1;
+pub(crate) const SEC_LAYER_HDR: u32 = 3;
+
+const SEC_DOC_META: u32 = 10;
+const SEC_DOC_KIND: u32 = 11;
+const SEC_DOC_SIZE: u32 = 12;
+const SEC_DOC_LEVEL: u32 = 13;
+const SEC_DOC_PARENT: u32 = 14;
+const SEC_DOC_NAME: u32 = 15;
+const SEC_DOC_VAL_HEAP: u32 = 16;
+const SEC_DOC_VAL_OFF: u32 = 17;
+const SEC_DOC_ATTR_FIRST: u32 = 18;
+const SEC_DOC_ATTR_OWNER: u32 = 19;
+const SEC_DOC_ATTR_NAME: u32 = 20;
+const SEC_DOC_ATTR_VAL_HEAP: u32 = 21;
+const SEC_DOC_ATTR_VAL_OFF: u32 = 22;
+const SEC_DOC_ELEM_NAMES: u32 = 23;
+const SEC_DOC_ELEM_OFF: u32 = 24;
+const SEC_DOC_ELEM_PRES: u32 = 25;
+const SEC_RIDX_META: u32 = 30;
+const SEC_RIDX_ENTRIES: u32 = 31;
+const SEC_RIDX_NODE_IDS: u32 = 32;
+const SEC_RIDX_NODE_OFF: u32 = 33;
+const SEC_RIDX_REGIONS: u32 = 34;
+
+/// Fixed-size prelude: magic + version + section count + reserved.
+pub(crate) const HEADER_BYTES: usize = 16;
+/// Bytes per section-table entry.
+pub(crate) const TABLE_ENTRY_BYTES: usize = 24;
+
+#[inline]
+fn align8(off: u64) -> u64 {
+    off.div_ceil(8) * 8
+}
+
+// ---- writer ----
+
+/// A pending section body: tiny metadata sections are pre-rendered,
+/// bulk columns stay *borrowed* until the payload pass streams them —
+/// saving never holds a second copy of the corpus.
+enum Body<'a> {
+    Rendered(Vec<u8>),
+    Bytes(&'a [u8]),
+    U16(&'a [u16]),
+    U32(&'a [u32]),
+    Entries(&'a [standoff_core::RegionEntry]),
+    Regions(&'a [standoff_core::Region]),
+}
+
+impl Body<'_> {
+    fn len(&self) -> u64 {
+        match self {
+            Body::Rendered(v) => v.len() as u64,
+            Body::Bytes(s) => s.len() as u64,
+            Body::U16(s) => s.len() as u64 * 2,
+            Body::U32(s) => s.len() as u64 * 4,
+            Body::Entries(s) => s.len() as u64 * 24,
+            Body::Regions(s) => s.len() as u64 * 16,
+        }
+    }
+
+    fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            Body::Rendered(v) => w.write_all(v),
+            Body::Bytes(s) => w.write_all(s),
+            Body::U16(s) => write_slice_le(s, w),
+            Body::U32(s) => write_slice_le(s, w),
+            Body::Entries(s) => write_slice_le(s, w),
+            Body::Regions(s) => write_slice_le(s, w),
+        }
+    }
+}
+
+/// Serialize a layer set in the v3 columnar format.
+pub fn write_snapshot_v3<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    let mut sections: Vec<(u32, u32, Body<'_>)> = Vec::new();
+
+    let mut meta = Vec::new();
+    write_string(&mut meta, set.uri())?;
+    write_u32(&mut meta, set.len() as u32)?;
+    sections.push((SEC_META, 0, Body::Rendered(meta)));
+
+    for (k, layer) in set.layers().iter().enumerate() {
+        let k = k as u32;
+        let doc = layer.doc().storage();
+        let ridx = layer.index().storage();
+
+        let mut hdr = Vec::new();
+        write_string(&mut hdr, layer.name())?;
+        write_config(&mut hdr, layer.config())?;
+        standoff_xml::wire::write_u64(&mut hdr, doc.kind_bytes.len() as u64)?;
+        standoff_xml::wire::write_u64(&mut hdr, doc.attr_owner.len() as u64)?;
+        standoff_xml::wire::write_u64(&mut hdr, ridx.node_ids.len() as u64)?;
+        standoff_xml::wire::write_u64(&mut hdr, ridx.entries.len() as u64)?;
+        sections.push((SEC_LAYER_HDR, k, Body::Rendered(hdr)));
+
+        let mut doc_meta = Vec::new();
+        match layer.doc().uri() {
+            Some(uri) => {
+                doc_meta.push(1);
+                write_string(&mut doc_meta, uri)?;
+            }
+            None => doc_meta.push(0),
+        }
+        write_u32(&mut doc_meta, doc.names.len() as u32)?;
+        for id in 0..doc.names.len() as u32 {
+            write_string(&mut doc_meta, &doc.names.lexical(NameId(id)))?;
+        }
+        sections.push((SEC_DOC_META, k, Body::Rendered(doc_meta)));
+
+        sections.push((SEC_DOC_KIND, k, Body::Bytes(doc.kind_bytes)));
+        sections.push((SEC_DOC_SIZE, k, Body::U32(doc.size)));
+        sections.push((SEC_DOC_LEVEL, k, Body::U16(doc.level)));
+        sections.push((SEC_DOC_PARENT, k, Body::U32(doc.parent)));
+        sections.push((SEC_DOC_NAME, k, Body::U32(doc.name)));
+        sections.push((SEC_DOC_VAL_HEAP, k, Body::Bytes(doc.values.heap_bytes())));
+        sections.push((SEC_DOC_VAL_OFF, k, Body::U32(doc.values.offsets())));
+        sections.push((SEC_DOC_ATTR_FIRST, k, Body::U32(doc.attr_first)));
+        sections.push((SEC_DOC_ATTR_OWNER, k, Body::U32(doc.attr_owner)));
+        sections.push((SEC_DOC_ATTR_NAME, k, Body::U32(doc.attr_name)));
+        sections.push((
+            SEC_DOC_ATTR_VAL_HEAP,
+            k,
+            Body::Bytes(doc.attr_values.heap_bytes()),
+        ));
+        sections.push((
+            SEC_DOC_ATTR_VAL_OFF,
+            k,
+            Body::U32(doc.attr_values.offsets()),
+        ));
+        sections.push((SEC_DOC_ELEM_NAMES, k, Body::U32(&doc.elem.names)));
+        sections.push((SEC_DOC_ELEM_OFF, k, Body::U32(&doc.elem.offsets)));
+        sections.push((SEC_DOC_ELEM_PRES, k, Body::U32(&doc.elem.pres)));
+
+        let mut ridx_meta = Vec::new();
+        write_u32(&mut ridx_meta, ridx.max_regions)?;
+        sections.push((SEC_RIDX_META, k, Body::Rendered(ridx_meta)));
+        sections.push((SEC_RIDX_ENTRIES, k, Body::Entries(ridx.entries)));
+        sections.push((SEC_RIDX_NODE_IDS, k, Body::U32(ridx.node_ids)));
+        sections.push((SEC_RIDX_NODE_OFF, k, Body::U32(ridx.node_offsets)));
+        sections.push((SEC_RIDX_REGIONS, k, Body::Regions(ridx.node_regions)));
+    }
+
+    // Lay out: header, table, 8-aligned payloads.
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION_V3)?;
+    write_u32(w, sections.len() as u32)?;
+    write_u32(w, 0)?; // reserved (keeps the table 8-aligned)
+    let mut cur = (HEADER_BYTES + TABLE_ENTRY_BYTES * sections.len()) as u64;
+    let mut offsets = Vec::with_capacity(sections.len());
+    for (tag, layer, body) in &sections {
+        cur = align8(cur);
+        offsets.push(cur);
+        write_u32(w, *tag)?;
+        write_u32(w, *layer)?;
+        standoff_xml::wire::write_u64(w, cur)?;
+        standoff_xml::wire::write_u64(w, body.len())?;
+        cur += body.len();
+    }
+    let mut pos = (HEADER_BYTES + TABLE_ENTRY_BYTES * sections.len()) as u64;
+    for ((_, _, body), off) in sections.iter().zip(offsets) {
+        while pos < off {
+            w.write_all(&[0])?;
+            pos += 1;
+        }
+        body.write_to(w)?;
+        pos += body.len();
+    }
+    Ok(())
+}
+
+// ---- mounted snapshot ----
+
+/// One layer's mount state: header metadata (decoded at open), the
+/// section map, and the lazily realized [`Layer`].
+struct MountLayer {
+    name: String,
+    config: StandoffConfig,
+    /// Declared counts from the layer header (v3) — what `inspect`
+    /// reports without touching payloads.
+    nodes: u64,
+    attrs: u64,
+    annotations: u64,
+    entries: u64,
+    /// Total payload bytes of this layer's sections.
+    bytes: u64,
+    sections: HashMap<u32, Range<usize>>,
+    cell: OnceLock<Arc<Layer>>,
+}
+
+/// A mounted snapshot file: one shared buffer, a parsed section table,
+/// and per-layer lazily materialized [`Layer`]s.
+///
+/// Opening walks only the header, section table and the tiny
+/// META/LAYER_HDR payloads. [`Snapshot::layer`] (or any engine mount)
+/// realizes a layer's document and region index on first access —
+/// zero-copy column views over the shared buffer, fully re-validated —
+/// and caches the result, shared across every subsequent consumer.
+///
+/// Legacy (version 1) snapshot files open through the same type: they
+/// are decoded eagerly by the streaming reader, so every accessor works
+/// identically, just without the lazy/zero-copy economics.
+pub struct Snapshot {
+    buf: SharedBytes,
+    version: u32,
+    uri: String,
+    payload_bytes: u64,
+    layers: Vec<MountLayer>,
+}
+
+impl Snapshot {
+    /// Mount a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Ok(Snapshot::from_bytes(bytes)?)
+    }
+
+    /// Mount a snapshot from in-memory bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> io::Result<Snapshot> {
+        let buf: SharedBytes = Arc::new(bytes);
+        if buf.len() < 8 {
+            return Err(bad("truncated header"));
+        }
+        if &buf[0..4] != MAGIC {
+            return Err(bad("not a standoff snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        match version {
+            VERSION_LEGACY => Snapshot::from_legacy(&buf),
+            VERSION_V3 => Snapshot::from_v3(buf),
+            _ => Err(bad("unsupported snapshot version")),
+        }
+    }
+
+    /// Legacy files: eager streaming decode; every cell starts filled.
+    fn from_legacy(buf: &SharedBytes) -> io::Result<Snapshot> {
+        let (set, info) = read_snapshot_legacy_with_info(&mut &buf[..])?;
+        let (uri, layers) = set.into_layers();
+        let layers = layers
+            .into_iter()
+            .zip(&info.layers)
+            .map(|(layer, skim)| {
+                let ml = MountLayer {
+                    name: layer.name().to_string(),
+                    config: layer.config().clone(),
+                    nodes: layer.doc().node_count() as u64,
+                    attrs: layer.doc().attr_count() as u64,
+                    annotations: layer.annotation_count() as u64,
+                    entries: layer.index().len() as u64,
+                    bytes: skim.bytes,
+                    sections: HashMap::new(),
+                    cell: OnceLock::new(),
+                };
+                let _ = ml.cell.set(Arc::new(layer));
+                ml
+            })
+            .collect();
+        Ok(Snapshot {
+            buf: Arc::new(Vec::new()),
+            version: VERSION_LEGACY,
+            uri,
+            payload_bytes: info.payload_bytes,
+            layers,
+        })
+    }
+
+    /// v3 files: parse and validate the section table, decode only the
+    /// META and LAYER_HDR payloads.
+    fn from_v3(buf: SharedBytes) -> io::Result<Snapshot> {
+        if buf.len() < HEADER_BYTES {
+            return Err(bad("truncated header"));
+        }
+        let count = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+        let table_end = HEADER_BYTES as u64 + TABLE_ENTRY_BYTES as u64 * count as u64;
+        if table_end > buf.len() as u64 {
+            return Err(bad("truncated section table"));
+        }
+        // Parse the table; bounds-check every section.
+        let mut table: Vec<(u32, u32, u64, u64)> = Vec::with_capacity(count.min(1 << 16));
+        for k in 0..count {
+            let at = HEADER_BYTES + TABLE_ENTRY_BYTES * k;
+            let e = &buf[at..at + TABLE_ENTRY_BYTES];
+            let tag = u32::from_le_bytes(e[0..4].try_into().expect("4 bytes"));
+            let layer = u32::from_le_bytes(e[4..8].try_into().expect("4 bytes"));
+            let off = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| bad("section length overflows"))?;
+            if off < table_end || end > buf.len() as u64 {
+                return Err(bad("section outside the file"));
+            }
+            table.push((tag, layer, off, len));
+        }
+        // Sections must not overlap each other (a crafted table could
+        // otherwise alias one byte range as two differently-typed
+        // columns and confuse every size cross-check).
+        let mut spans: Vec<(u64, u64)> = table.iter().map(|&(_, _, o, l)| (o, l)).collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(bad("overlapping sections"));
+            }
+        }
+        let payload_bytes: u64 = table.iter().map(|&(_, _, _, l)| l).sum();
+
+        let section = |tag: u32, layer: u32| -> Option<Range<usize>> {
+            table.iter().find_map(|&(t, l, off, len)| {
+                (t == tag && l == layer).then_some(off as usize..(off + len) as usize)
+            })
+        };
+        // META.
+        let meta = section(SEC_META, 0).ok_or_else(|| bad("missing META section"))?;
+        if table.iter().filter(|&&(t, _, _, _)| t == SEC_META).count() > 1 {
+            return Err(bad("duplicate META section"));
+        }
+        let meta_bytes = &buf[meta];
+        let mut r = meta_bytes;
+        let uri = read_string(&mut r)?;
+        let layer_count = read_u32(&mut r)? as usize;
+
+        // One LAYER_HDR per layer ordinal, decoded now (tiny).
+        let mut layers = Vec::with_capacity(layer_count.min(1 << 16));
+        for k in 0..layer_count as u32 {
+            let hdr = section(SEC_LAYER_HDR, k)
+                .ok_or_else(|| bad(&format!("missing header for layer {k}")))?;
+            let mut r = &buf[hdr];
+            let name = read_string(&mut r)?;
+            let config = read_config(&mut r)?;
+            let nodes = read_u64(&mut r)?;
+            let attrs = read_u64(&mut r)?;
+            let annotations = read_u64(&mut r)?;
+            let entries = read_u64(&mut r)?;
+            let mut sections = HashMap::new();
+            let mut bytes = 0u64;
+            for &(tag, layer, off, len) in &table {
+                if layer == k && tag != SEC_META {
+                    if tag != SEC_LAYER_HDR
+                        && sections
+                            .insert(tag, off as usize..(off + len) as usize)
+                            .is_some()
+                    {
+                        return Err(bad(&format!("duplicate section {tag} for layer {k}")));
+                    }
+                    bytes += len;
+                }
+            }
+            layers.push(MountLayer {
+                name,
+                config,
+                nodes,
+                attrs,
+                annotations,
+                entries,
+                bytes,
+                sections,
+                cell: OnceLock::new(),
+            });
+        }
+        let snapshot = Snapshot {
+            buf,
+            version: VERSION_V3,
+            uri,
+            payload_bytes,
+            layers,
+        };
+        snapshot.validate_names()?;
+        Ok(snapshot)
+    }
+
+    fn validate_names(&self) -> io::Result<()> {
+        if self.layers.first().is_none_or(|l| l.name != BASE_LAYER) {
+            // LayerSet semantics hinge on layers[0] being the base; a
+            // reordered (hand-edited) snapshot must not silently swap
+            // what the bare store URI resolves to.
+            return Err(bad("first layer section is not the base layer"));
+        }
+        for (k, layer) in self.layers.iter().enumerate() {
+            if self.layers[..k].iter().any(|l| l.name == layer.name) {
+                return Err(bad(&format!("duplicate layer {:?}", layer.name)));
+            }
+        }
+        Ok(())
+    }
+
+    /// The store URI this snapshot mounts under.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// On-disk format version (1 = legacy sectioned, 3 = columnar).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of layers (including the base).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names, base first.
+    pub fn layer_names(&self) -> impl Iterator<Item = &str> {
+        self.layers.iter().map(|l| l.name.as_str())
+    }
+
+    /// Has layer `k` been materialized yet? (Benches and tests assert
+    /// laziness as mechanism with this.)
+    pub fn is_materialized(&self, k: usize) -> bool {
+        self.layers.get(k).is_some_and(|l| l.cell.get().is_some())
+    }
+
+    /// Snapshot statistics from the header walk alone — payloads are
+    /// untouched for v3 files (`standoff-xq inspect`'s backing).
+    pub fn info(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            version: self.version,
+            uri: self.uri.clone(),
+            payload_bytes: self.payload_bytes,
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerInfo {
+                    name: l.name.clone(),
+                    bytes: l.bytes,
+                    nodes: Some(l.nodes),
+                    annotations: Some(l.annotations),
+                })
+                .collect(),
+        }
+    }
+
+    /// The layer named `name`, materializing it on first access.
+    pub fn layer(&self, name: &str) -> Result<Arc<Layer>, StoreError> {
+        let k = self
+            .layers
+            .iter()
+            .position(|l| l.name == name)
+            .ok_or_else(|| StoreError::BadLayerName(name.to_string()))?;
+        self.layer_at(k)
+    }
+
+    /// The `k`-th layer (base first), materializing it on first access.
+    pub fn layer_at(&self, k: usize) -> Result<Arc<Layer>, StoreError> {
+        let slot = self
+            .layers
+            .get(k)
+            .ok_or_else(|| StoreError::BadLayerName(format!("<layer {k}>")))?;
+        if let Some(layer) = slot.cell.get() {
+            return Ok(Arc::clone(layer));
+        }
+        let layer = Arc::new(self.materialize(slot)?);
+        // A racing sibling may have won; either value is equivalent.
+        Ok(Arc::clone(slot.cell.get_or_init(|| layer)))
+    }
+
+    /// Realize every layer and assemble an eager [`LayerSet`] — the
+    /// prefetch path `Engine::mount_store` consumes. Layers stay shared
+    /// with this snapshot's cache (cloning a [`Layer`] clones two `Arc`s).
+    pub fn to_layer_set(&self) -> Result<LayerSet, StoreError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for k in 0..self.layers.len() {
+            layers.push((*self.layer_at(k)?).clone());
+        }
+        LayerSet::from_layers(&self.uri, layers)
+    }
+
+    /// Decode + validate one layer from its sections.
+    fn materialize(&self, slot: &MountLayer) -> Result<Layer, StoreError> {
+        let sect = |tag: u32| -> io::Result<Range<usize>> {
+            slot.sections
+                .get(&tag)
+                .cloned()
+                .ok_or_else(|| bad(&format!("layer {:?}: missing section {tag}", slot.name)))
+        };
+        let wrap = |e: io::Error| -> StoreError {
+            StoreError::Io(io::Error::new(
+                e.kind(),
+                format!("layer {:?}: {e}", slot.name),
+            ))
+        };
+
+        // DOC_META: uri + name table.
+        let mut r = &self.buf[sect(SEC_DOC_META).map_err(StoreError::Io)?];
+        let uri = if read_u8(&mut r).map_err(wrap)? == 1 {
+            Some(read_string(&mut r).map_err(wrap)?)
+        } else {
+            None
+        };
+        let name_count = read_u32(&mut r).map_err(wrap)? as usize;
+        let mut names = NameTable::new();
+        for k in 0..name_count {
+            let lexical = read_string(&mut r).map_err(wrap)?;
+            if names.intern(&lexical).0 as usize != k {
+                return Err(wrap(bad("duplicate name in name table")));
+            }
+        }
+
+        let kind =
+            KindCol::view(&self.buf, sect(SEC_DOC_KIND).map_err(StoreError::Io)?).map_err(wrap)?;
+        let col = |tag: u32| -> io::Result<PodCol<u32>> { PodCol::view(&self.buf, sect(tag)?) };
+        let values = StrArena::view(
+            &self.buf,
+            sect(SEC_DOC_VAL_HEAP).map_err(StoreError::Io)?,
+            sect(SEC_DOC_VAL_OFF).map_err(StoreError::Io)?,
+        )
+        .map_err(wrap)?;
+        let attr_values = StrArena::view(
+            &self.buf,
+            sect(SEC_DOC_ATTR_VAL_HEAP).map_err(StoreError::Io)?,
+            sect(SEC_DOC_ATTR_VAL_OFF).map_err(StoreError::Io)?,
+        )
+        .map_err(wrap)?;
+        let parts = DocumentParts {
+            uri,
+            names,
+            kind,
+            size: col(SEC_DOC_SIZE).map_err(wrap)?,
+            level: PodCol::view(&self.buf, sect(SEC_DOC_LEVEL).map_err(StoreError::Io)?)
+                .map_err(wrap)?,
+            parent: col(SEC_DOC_PARENT).map_err(wrap)?,
+            name: col(SEC_DOC_NAME).map_err(wrap)?,
+            values,
+            attr_first: col(SEC_DOC_ATTR_FIRST).map_err(wrap)?,
+            attr_owner: col(SEC_DOC_ATTR_OWNER).map_err(wrap)?,
+            attr_name: col(SEC_DOC_ATTR_NAME).map_err(wrap)?,
+            attr_values,
+            elem: ElemIndex {
+                names: col(SEC_DOC_ELEM_NAMES).map_err(wrap)?,
+                offsets: col(SEC_DOC_ELEM_OFF).map_err(wrap)?,
+                pres: col(SEC_DOC_ELEM_PRES).map_err(wrap)?,
+            },
+        };
+        let doc = Document::from_storage(parts).map_err(|e| wrap(bad(&e)))?;
+        if doc.node_count() as u64 != slot.nodes || doc.attr_count() as u64 != slot.attrs {
+            return Err(wrap(bad("layer header disagrees with document columns")));
+        }
+
+        // Region index columns.
+        let mut r = &self.buf[sect(SEC_RIDX_META).map_err(StoreError::Io)?];
+        let max_regions = read_u32(&mut r).map_err(wrap)?;
+        let index = RegionIndex::from_storage(
+            PodCol::view(&self.buf, sect(SEC_RIDX_ENTRIES).map_err(StoreError::Io)?)
+                .map_err(wrap)?,
+            col(SEC_RIDX_NODE_IDS).map_err(wrap)?,
+            col(SEC_RIDX_NODE_OFF).map_err(wrap)?,
+            PodCol::view(&self.buf, sect(SEC_RIDX_REGIONS).map_err(StoreError::Io)?)
+                .map_err(wrap)?,
+            max_regions,
+        )
+        .map_err(wrap)?;
+        if index.annotated_nodes().len() as u64 != slot.annotations
+            || index.len() as u64 != slot.entries
+        {
+            return Err(wrap(bad("layer header disagrees with region index")));
+        }
+        // The index must describe this document: every annotated node is
+        // an element of it. The query optimizer's post-filter elision
+        // *relies* on join outputs being elements, so a snapshot index
+        // annotating any other node kind must fail here — mounted
+        // indexes are used as-is, never rebuilt, and nothing downstream
+        // re-checks. (Region validity was checked by `from_storage`;
+        // config/area agreement is the writer's contract.)
+        if let Some(&last) = index.annotated_nodes().last() {
+            if last as usize >= doc.node_count() {
+                return Err(wrap(bad(
+                    "region index references nodes beyond the document",
+                )));
+            }
+        }
+        if index
+            .annotated_nodes()
+            .iter()
+            .any(|&pre| doc.kind(pre) != NodeKind::Element)
+        {
+            return Err(wrap(bad("region index annotates a non-element node")));
+        }
+        Layer::from_shared(
+            slot.name.clone(),
+            slot.config.clone(),
+            Arc::new(doc),
+            Arc::new(index),
+        )
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("uri", &self.uri)
+            .field("version", &self.version)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| &l.name).collect::<Vec<_>>(),
+            )
+            .field(
+                "materialized",
+                &(0..self.layers.len())
+                    .filter(|&k| self.is_materialized(k))
+                    .count(),
+            )
+            .finish()
+    }
+}

@@ -1,9 +1,16 @@
 //! The versioned binary snapshot format.
 //!
 //! A snapshot persists a whole [`LayerSet`] — every layer's shredded
-//! document, element-name table and prebuilt region index — so reopening
-//! a corpus is a straight column read: no XML parsing, no
-//! `RegionIndex::build`. Layout (version 1, little-endian):
+//! document, element-name table and prebuilt region index. Two on-disk
+//! versions exist:
+//!
+//! * **Version 3** (current, written by [`write_snapshot`]): the
+//!   columnar, offset-indexed format of [`crate::mount`]. Files are
+//!   *mounted* — one shared buffer, zero-copy column views, lazily
+//!   materialized layers — rather than decoded.
+//! * **Version 1** (legacy, written by [`write_snapshot_legacy`]):
+//!   streaming length-prefixed sections, decoded eagerly. Still fully
+//!   readable; kept so existing snapshot files never rot. Layout:
 //!
 //! ```text
 //! magic "SOSN" | u32 version | u32 section-count
@@ -19,11 +26,16 @@
 //! ```
 //!
 //! Strings are u32-length-prefixed UTF-8. Sections are length-prefixed so
-//! readers skip tags they do not know — newer writers can append section
-//! kinds without breaking older readers of the same major version. The
-//! first LAYER section is the base layer. No external serde dependencies.
+//! readers skip tags they do not know. The first LAYER section is the
+//! base layer. No external serde dependencies.
+//!
+//! Reading dispatches on the version field, so [`read_snapshot`] /
+//! [`load_snapshot`] accept both formats transparently. [`inspect_snapshot`]
+//! summarizes either format without decoding payloads: v3 is a pure
+//! header walk, legacy skims each section's name prefix and *seeks* over
+//! the rest (no draining reads).
 
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use standoff_core::{RegionIndex, StandoffConfig};
@@ -33,20 +45,32 @@ use standoff_xml::wire::{
 
 use crate::error::StoreError;
 use crate::layer::{Layer, LayerSet};
+use crate::mount::{Snapshot, HEADER_BYTES, SEC_LAYER_HDR, SEC_META, TABLE_ENTRY_BYTES};
 
-const MAGIC: &[u8; 4] = b"SOSN";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"SOSN";
+/// The legacy streaming format.
+pub(crate) const VERSION_LEGACY: u32 = 1;
+/// The columnar mounted format. (2 is skipped: snapshot generations
+/// align with the embedded document codec's, whose current version is 2.)
+pub(crate) const VERSION_V3: u32 = 3;
 
 const SECTION_META: u32 = 1;
 const SECTION_LAYER: u32 = 2;
 
 // ---- primitives ----
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {msg}"))
 }
 
-fn write_config<W: Write>(w: &mut W, config: &StandoffConfig) -> io::Result<()> {
+fn io_from_store(e: StoreError) -> io::Error {
+    match e {
+        StoreError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+pub(crate) fn write_config<W: Write>(w: &mut W, config: &StandoffConfig) -> io::Result<()> {
     write_string(w, &config.position_type)?;
     write_string(w, &config.start_name)?;
     write_string(w, &config.end_name)?;
@@ -60,7 +84,7 @@ fn write_config<W: Write>(w: &mut W, config: &StandoffConfig) -> io::Result<()> 
     w.write_all(&[config.lenient as u8])
 }
 
-fn read_config<R: Read>(r: &mut R) -> io::Result<StandoffConfig> {
+pub(crate) fn read_config<R: Read>(r: &mut R) -> io::Result<StandoffConfig> {
     let position_type = read_string(r)?;
     let start_name = read_string(r)?;
     let end_name = read_string(r)?;
@@ -89,10 +113,17 @@ fn read_config<R: Read>(r: &mut R) -> io::Result<StandoffConfig> {
 
 // ---- write ----
 
-/// Serialize a layer set into `w`.
+/// Serialize a layer set into `w` in the current (v3 columnar) format.
 pub fn write_snapshot<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    crate::mount::write_snapshot_v3(set, w)
+}
+
+/// Serialize a layer set in the legacy (version 1) streaming format —
+/// kept for compatibility tests and for producing fixtures old readers
+/// can consume.
+pub fn write_snapshot_legacy<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    write_u32(w, VERSION)?;
+    write_u32(w, VERSION_LEGACY)?;
     write_u32(w, 1 + set.len() as u32)?;
 
     let mut meta = Vec::new();
@@ -117,7 +148,7 @@ fn write_section<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()
     w.write_all(payload)
 }
 
-/// Serialize a layer set to a file.
+/// Serialize a layer set to a file (v3 format).
 pub fn save_snapshot(set: &LayerSet, path: impl AsRef<Path>) -> Result<(), StoreError> {
     let file = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(file);
@@ -127,26 +158,62 @@ pub fn save_snapshot(set: &LayerSet, path: impl AsRef<Path>) -> Result<(), Store
     Ok(())
 }
 
-// ---- read ----
+// ---- read (version dispatch) ----
 
-/// Validate the header and return the declared section count.
+/// Deserialize a snapshot written by [`write_snapshot`] (either
+/// version). Documents, element-name tables and region indices are
+/// loaded column-wise and validated; `RegionIndex::build` is never
+/// called. For the lazy entry point that materializes layers on demand,
+/// use [`crate::Snapshot`] directly.
+pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<LayerSet> {
+    Ok(read_snapshot_with_info(r)?.0)
+}
+
+/// [`read_snapshot`] plus the on-disk statistics of [`inspect_snapshot`].
+pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, SnapshotInfo)> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let snapshot = Snapshot::from_bytes(bytes)?;
+    let info = snapshot.info();
+    let set = snapshot.to_layer_set().map_err(io_from_store)?;
+    Ok((set, info))
+}
+
+/// Deserialize a snapshot from a file (either version, eagerly).
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<LayerSet, StoreError> {
+    Snapshot::open(path)?.to_layer_set()
+}
+
+/// [`load_snapshot`] plus on-disk statistics.
+pub fn load_snapshot_with_info(
+    path: impl AsRef<Path>,
+) -> Result<(LayerSet, SnapshotInfo), StoreError> {
+    let snapshot = Snapshot::open(path)?;
+    let info = snapshot.info();
+    Ok((snapshot.to_layer_set()?, info))
+}
+
+// ---- legacy streaming decode ----
+
+/// Validate the legacy header and return the declared section count.
 fn open_sections<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("not a standoff snapshot (bad magic)"));
     }
-    if read_u32(r)? != VERSION {
+    if read_u32(r)? != VERSION_LEGACY {
         return Err(bad("unsupported snapshot version"));
     }
     read_u32(r)
 }
 
-/// Stream the sections of a snapshot. `visit` receives each section's
-/// tag, declared payload length, and a reader limited to that payload —
-/// it may consume any prefix (trailing payload bytes are drained, which
-/// is what skips unknown tags and future in-section extensions). Nothing
-/// is buffered: a hostile section length costs I/O, not memory.
+/// Stream the sections of a legacy snapshot. `visit` receives each
+/// section's tag, declared payload length, and a reader limited to that
+/// payload — it may consume any prefix (trailing payload bytes are
+/// drained, which is what skips unknown tags and future in-section
+/// extensions). Nothing is buffered: a hostile section length costs I/O,
+/// not memory.
 fn for_each_section<R: Read>(
     r: &mut R,
     mut visit: impl FnMut(u32, u64, &mut dyn Read) -> io::Result<()>,
@@ -165,16 +232,11 @@ fn for_each_section<R: Read>(
     Ok(())
 }
 
-/// Deserialize a snapshot written by [`write_snapshot`]. Documents,
-/// element-name tables and region indices are loaded column-wise and
-/// validated; `RegionIndex::build` is never called.
-pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<LayerSet> {
-    Ok(read_snapshot_with_info(r)?.0)
-}
-
-/// [`read_snapshot`] plus the on-disk statistics of [`inspect_snapshot`],
-/// gathered in the same single pass (what `standoff-xq inspect` uses).
-pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, SnapshotInfo)> {
+/// Decode a legacy (version 1) snapshot eagerly, gathering the on-disk
+/// statistics in the same pass. The v3 path never comes through here.
+pub(crate) fn read_snapshot_legacy_with_info<R: Read>(
+    r: &mut R,
+) -> io::Result<(LayerSet, SnapshotInfo)> {
     let mut meta: Option<(String, u32)> = None;
     let mut layers: Vec<Layer> = Vec::new();
     let mut infos: Vec<LayerInfo> = Vec::new();
@@ -220,6 +282,8 @@ pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, Snap
                 infos.push(LayerInfo {
                     name: layer.name().to_string(),
                     bytes: len,
+                    nodes: Some(layer.doc().node_count() as u64),
+                    annotations: Some(layer.annotation_count() as u64),
                 });
                 layers.push(layer);
             }
@@ -241,6 +305,7 @@ pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, Snap
         return Err(bad("first layer section is not the base layer"));
     }
     let info = SnapshotInfo {
+        version: VERSION_LEGACY,
         uri: uri.clone(),
         layers: infos,
         payload_bytes,
@@ -250,35 +315,29 @@ pub fn read_snapshot_with_info<R: Read>(r: &mut R) -> io::Result<(LayerSet, Snap
     Ok((set, info))
 }
 
-/// Deserialize a snapshot from a file.
-pub fn load_snapshot(path: impl AsRef<Path>) -> Result<LayerSet, StoreError> {
-    let file = std::fs::File::open(path)?;
-    Ok(read_snapshot(&mut io::BufReader::new(file))?)
-}
-
-/// [`load_snapshot`] plus on-disk statistics, in one pass over the file.
-pub fn load_snapshot_with_info(
-    path: impl AsRef<Path>,
-) -> Result<(LayerSet, SnapshotInfo), StoreError> {
-    let file = std::fs::File::open(path)?;
-    Ok(read_snapshot_with_info(&mut io::BufReader::new(file))?)
-}
-
 // ---- inspect ----
 
 /// Summary of one layer inside a snapshot.
 #[derive(Clone, Debug)]
 pub struct LayerInfo {
     pub name: String,
-    /// On-disk payload size of the layer section in bytes.
+    /// On-disk payload size of the layer's section(s) in bytes.
     pub bytes: u64,
+    /// Declared node count — known without decoding for v3 (layer
+    /// headers carry it) and for fully decoded loads; `None` when a
+    /// legacy file is only skimmed.
+    pub nodes: Option<u64>,
+    /// Declared annotation count (same availability as `nodes`).
+    pub annotations: Option<u64>,
 }
 
-/// Summary of a snapshot file, cheaply skimmed: only each layer's name
-/// prefix is decoded; the rest of every payload is drained, not
-/// buffered.
+/// Summary of a snapshot file, cheaply skimmed: v3 is a pure header +
+/// section-table walk (payloads untouched); legacy reads each section's
+/// name prefix and seeks over the rest.
 #[derive(Clone, Debug)]
 pub struct SnapshotInfo {
+    /// On-disk format version (1 = legacy, 3 = columnar).
+    pub version: u32,
     pub uri: String,
     pub layers: Vec<LayerInfo>,
     /// Total payload bytes across all sections.
@@ -286,25 +345,132 @@ pub struct SnapshotInfo {
 }
 
 /// Skim a snapshot's header and section table without decoding documents
-/// or indices.
-pub fn inspect_snapshot<R: Read>(r: &mut R) -> io::Result<SnapshotInfo> {
+/// or indices. For v3 files only the section table and the tiny
+/// META/LAYER_HDR payloads are read; for legacy files each section's
+/// name prefix is read and the remainder is *seeked* over, so inspection
+/// cost is independent of payload size either way.
+pub fn inspect_snapshot<R: Read + Seek>(r: &mut R) -> io::Result<SnapshotInfo> {
+    let end = r.seek(SeekFrom::End(0))?;
+    r.seek(SeekFrom::Start(0))?;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a standoff snapshot (bad magic)"));
+    }
+    match read_u32(r)? {
+        VERSION_LEGACY => inspect_legacy(r, end),
+        VERSION_V3 => inspect_v3(r, end),
+        _ => Err(bad("unsupported snapshot version")),
+    }
+}
+
+fn inspect_legacy<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
+    let count = read_u32(r)?;
+    let mut pos = 12u64;
     let mut uri = None;
     let mut layers = Vec::new();
     let mut payload_bytes = 0u64;
-    for_each_section(r, |tag, len, mut p| {
+    for _ in 0..count {
+        let tag = read_u32(r)?;
+        let len = read_u64(r)?;
+        pos += 12;
+        let section_end = pos
+            .checked_add(len)
+            .filter(|&e| e <= end)
+            .ok_or_else(|| bad("truncated section"))?;
         payload_bytes += len;
         match tag {
-            SECTION_META => uri = Some(read_string(&mut p)?),
-            SECTION_LAYER => layers.push(LayerInfo {
-                name: read_string(&mut p)?,
-                bytes: len,
-            }),
+            SECTION_META => {
+                let mut p = r.take(len);
+                uri = Some(read_string(&mut p)?);
+            }
+            SECTION_LAYER => {
+                let mut p = r.take(len);
+                layers.push(LayerInfo {
+                    name: read_string(&mut p)?,
+                    bytes: len,
+                    nodes: None,
+                    annotations: None,
+                });
+            }
             _ => {}
         }
-        Ok(())
-    })?;
+        // Seek (not drain) past the remainder of the payload.
+        r.seek(SeekFrom::Start(section_end))?;
+        pos = section_end;
+    }
     Ok(SnapshotInfo {
+        version: VERSION_LEGACY,
         uri: uri.ok_or_else(|| bad("missing META section"))?,
+        layers,
+        payload_bytes,
+    })
+}
+
+fn inspect_v3<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
+    let count = read_u32(r)? as usize;
+    let _reserved = read_u32(r)?;
+    let table_end = (HEADER_BYTES + TABLE_ENTRY_BYTES * count) as u64;
+    if table_end > end {
+        return Err(bad("truncated section table"));
+    }
+    let mut table = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let tag = read_u32(r)?;
+        let layer = read_u32(r)?;
+        let off = read_u64(r)?;
+        let len = read_u64(r)?;
+        let section_end = off
+            .checked_add(len)
+            .filter(|&e| e <= end)
+            .ok_or_else(|| bad("section outside the file"))?;
+        if off < table_end {
+            return Err(bad("section outside the file"));
+        }
+        let _ = section_end;
+        table.push((tag, layer, off, len));
+    }
+    let payload_bytes = table.iter().map(|&(_, _, _, l)| l).sum();
+    let read_payload = |r: &mut R, off: u64, len: u64| -> io::Result<Vec<u8>> {
+        r.seek(SeekFrom::Start(off))?;
+        standoff_xml::wire::read_exact_vec(r, len)
+    };
+    let &(_, _, m_off, m_len) = table
+        .iter()
+        .find(|&&(t, _, _, _)| t == SEC_META)
+        .ok_or_else(|| bad("missing META section"))?;
+    let meta = read_payload(r, m_off, m_len)?;
+    let mut p = meta.as_slice();
+    let uri = read_string(&mut p)?;
+    let layer_count = read_u32(&mut p)?;
+    let mut layers = Vec::new();
+    for k in 0..layer_count {
+        let &(_, _, off, len) = table
+            .iter()
+            .find(|&&(t, l, _, _)| t == SEC_LAYER_HDR && l == k)
+            .ok_or_else(|| bad(&format!("missing header for layer {k}")))?;
+        let hdr = read_payload(r, off, len)?;
+        let mut p = hdr.as_slice();
+        let name = read_string(&mut p)?;
+        let _config = read_config(&mut p)?;
+        let nodes = read_u64(&mut p)?;
+        let _attrs = read_u64(&mut p)?;
+        let annotations = read_u64(&mut p)?;
+        let bytes = table
+            .iter()
+            .filter(|&&(t, l, _, _)| l == k && t != SEC_META)
+            .map(|&(_, _, _, l)| l)
+            .sum();
+        layers.push(LayerInfo {
+            name,
+            bytes,
+            nodes: Some(nodes),
+            annotations: Some(annotations),
+        });
+    }
+    Ok(SnapshotInfo {
+        version: VERSION_V3,
+        uri,
         layers,
         payload_bytes,
     })
@@ -313,6 +479,7 @@ pub fn inspect_snapshot<R: Read>(r: &mut R) -> io::Result<SnapshotInfo> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use standoff_core::Area;
     use standoff_xml::parse_document;
 
     fn sample_set() -> LayerSet {
@@ -330,7 +497,27 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_preserves_everything() {
+    fn legacy_round_trip_preserves_everything() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot_legacy(&set, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.uri(), "corpus.xml");
+        assert_eq!(loaded.len(), 2);
+        let tokens = loaded.layer("tokens").unwrap();
+        assert_eq!(tokens.annotation_count(), 3);
+        assert_eq!(
+            tokens.index().entries(),
+            set.layer("tokens").unwrap().index().entries()
+        );
+        // Idempotent re-serialization: the reload carries every bit.
+        let mut buf2 = Vec::new();
+        write_snapshot_legacy(&loaded, &mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn v3_round_trip_preserves_everything() {
         let set = sample_set();
         let mut buf = Vec::new();
         write_snapshot(&set, &mut buf).unwrap();
@@ -343,7 +530,15 @@ mod tests {
             tokens.index().entries(),
             set.layer("tokens").unwrap().index().entries()
         );
-        // Idempotent re-serialization: the reload carries every bit.
+        for (orig, re) in set.layers().iter().zip(loaded.layers()) {
+            assert_eq!(orig.name(), re.name());
+            assert_eq!(orig.doc().node_count(), re.doc().node_count());
+            assert_eq!(
+                standoff_xml::serialize_document(orig.doc(), Default::default()),
+                standoff_xml::serialize_document(re.doc(), Default::default())
+            );
+        }
+        // v3 re-serialization is byte-idempotent too.
         let mut buf2 = Vec::new();
         write_snapshot(&loaded, &mut buf2).unwrap();
         assert_eq!(buf, buf2);
@@ -352,13 +547,14 @@ mod tests {
     /// The post-filter elision in the query optimizer assumes every
     /// node a mounted region index annotates is an element; a snapshot
     /// whose index points at any other node kind must be rejected at
-    /// load time (mounted indexes are never rebuilt or re-filtered).
+    /// load time (mounted indexes are never rebuilt or re-filtered) —
+    /// in both formats.
     #[test]
     fn snapshot_index_annotating_non_element_rejected() {
         let doc = parse_document(r#"<doc><w start="0" end="4"/>hello</doc>"#).unwrap();
         // pre 3 is the text node "hello" — a forged annotation target.
         assert_eq!(doc.kind(3), standoff_xml::NodeKind::Text);
-        let forged = RegionIndex::from_areas(&[(3, standoff_core::Area::single(0, 4).unwrap())]);
+        let forged = RegionIndex::from_areas(&[(3, Area::single(0, 4).unwrap())]);
         let layer = Layer::from_parts(
             crate::layer::BASE_LAYER.to_string(),
             StandoffConfig::default(),
@@ -367,37 +563,56 @@ mod tests {
         )
         .unwrap();
         let set = LayerSet::from_layers("u", vec![layer]).unwrap();
-        let mut buf = Vec::new();
-        write_snapshot(&set, &mut buf).unwrap();
-        let err = read_snapshot(&mut buf.as_slice()).unwrap_err();
-        assert!(
-            err.to_string().contains("non-element"),
-            "unexpected error: {err}"
-        );
+        for write in [write_snapshot_legacy, write_snapshot] {
+            let mut buf = Vec::new();
+            write(&set, &mut buf).unwrap();
+            let err = read_snapshot(&mut buf.as_slice()).unwrap_err();
+            assert!(
+                err.to_string().contains("non-element"),
+                "unexpected error: {err}"
+            );
+        }
     }
 
     #[test]
     fn inspect_reports_without_decoding() {
         let set = sample_set();
-        let mut buf = Vec::new();
-        write_snapshot(&set, &mut buf).unwrap();
-        let info = inspect_snapshot(&mut buf.as_slice()).unwrap();
-        assert_eq!(info.uri, "corpus.xml");
-        assert_eq!(
-            info.layers
-                .iter()
-                .map(|l| l.name.as_str())
-                .collect::<Vec<_>>(),
-            ["base", "tokens"]
-        );
-        assert!(info.payload_bytes > 0);
+        for (write, version) in [
+            (
+                write_snapshot_legacy as fn(&LayerSet, &mut Vec<u8>) -> io::Result<()>,
+                VERSION_LEGACY,
+            ),
+            (write_snapshot, VERSION_V3),
+        ] {
+            let mut buf = Vec::new();
+            write(&set, &mut buf).unwrap();
+            let info = inspect_snapshot(&mut io::Cursor::new(&buf)).unwrap();
+            assert_eq!(info.version, version);
+            assert_eq!(info.uri, "corpus.xml");
+            assert_eq!(
+                info.layers
+                    .iter()
+                    .map(|l| l.name.as_str())
+                    .collect::<Vec<_>>(),
+                ["base", "tokens"]
+            );
+            assert!(info.payload_bytes > 0);
+            if version == VERSION_V3 {
+                // v3 headers carry counts — no payload decode needed.
+                assert_eq!(info.layers[1].annotations, Some(3));
+                assert_eq!(
+                    info.layers[0].nodes,
+                    Some(set.base().doc().node_count() as u64)
+                );
+            }
+        }
     }
 
     #[test]
-    fn unknown_sections_are_skipped() {
+    fn legacy_unknown_sections_are_skipped() {
         let set = sample_set();
         let mut buf = Vec::new();
-        write_snapshot(&set, &mut buf).unwrap();
+        write_snapshot_legacy(&set, &mut buf).unwrap();
         // Append an unknown section and bump the section count.
         let mut extended = buf.clone();
         write_u32(&mut extended, 0xBEEF).unwrap();
@@ -410,13 +625,13 @@ mod tests {
     }
 
     #[test]
-    fn reordered_layers_rejected() {
+    fn legacy_reordered_layers_rejected() {
         // Hand-reorder the two LAYER sections so the base is no longer
         // first: the load must fail rather than silently swap what the
         // bare store URI resolves to.
         let set = sample_set();
         let mut buf = Vec::new();
-        write_snapshot(&set, &mut buf).unwrap();
+        write_snapshot_legacy(&set, &mut buf).unwrap();
         // Parse section boundaries: header is 12 bytes, then
         // (tag u32 | len u64 | payload) triples.
         let mut sections: Vec<(usize, usize)> = Vec::new(); // (offset, total size)
@@ -444,34 +659,39 @@ mod tests {
         // clean truncation error, not a giant allocation.
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&VERSION_LEGACY.to_le_bytes());
         buf.extend_from_slice(&1u32.to_le_bytes()); // one section
         buf.extend_from_slice(&SECTION_META.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes()); // hostile length
         buf.extend_from_slice(b"tiny");
         assert!(read_snapshot(&mut buf.as_slice()).is_err());
-        assert!(inspect_snapshot(&mut buf.as_slice()).is_err());
+        assert!(inspect_snapshot(&mut io::Cursor::new(&buf)).is_err());
     }
 
     #[test]
     fn corruption_is_rejected_cleanly() {
         let set = sample_set();
-        let mut buf = Vec::new();
-        write_snapshot(&set, &mut buf).unwrap();
-        // Bad magic.
-        let mut bad_magic = buf.clone();
-        bad_magic[0] = b'X';
-        assert!(read_snapshot(&mut bad_magic.as_slice()).is_err());
-        // Bad version.
-        let mut bad_version = buf.clone();
-        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
-        assert!(read_snapshot(&mut bad_version.as_slice()).is_err());
-        // Every truncation fails, never panics.
-        for cut in 0..buf.len() {
-            assert!(
-                read_snapshot(&mut buf[..cut].to_vec().as_slice()).is_err(),
-                "truncation at {cut} must fail"
-            );
+        for write in [
+            write_snapshot_legacy as fn(&LayerSet, &mut Vec<u8>) -> io::Result<()>,
+            write_snapshot,
+        ] {
+            let mut buf = Vec::new();
+            write(&set, &mut buf).unwrap();
+            // Bad magic.
+            let mut bad_magic = buf.clone();
+            bad_magic[0] = b'X';
+            assert!(read_snapshot(&mut bad_magic.as_slice()).is_err());
+            // Bad version.
+            let mut bad_version = buf.clone();
+            bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+            assert!(read_snapshot(&mut bad_version.as_slice()).is_err());
+            // Every truncation fails, never panics.
+            for cut in 0..buf.len() {
+                assert!(
+                    read_snapshot(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                    "truncation at {cut} must fail"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,248 @@
+//! SOSN v3 mount semantics: lazy layer materialization, zero-copy
+//! column views, and a corrupted-snapshot sweep (hard errors, no
+//! panics, no silent misreads).
+
+use standoff_core::StandoffConfig;
+use standoff_store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
+use standoff_xml::parse_document;
+
+fn sample_set() -> LayerSet {
+    let base =
+        parse_document(r#"<doc><seg start="0" end="19"/><seg start="20" end="39"/>état</doc>"#)
+            .unwrap();
+    let tokens = parse_document(
+        r#"<toks><w start="0" end="4"/><w start="5" end="9"/><w start="21" end="27"/></toks>"#,
+    )
+    .unwrap();
+    let entities = parse_document(r#"<ents><person start="0" end="9"/></ents>"#).unwrap();
+    let mut set = LayerSet::build("corpus.xml", base, StandoffConfig::default()).unwrap();
+    set.add_layer("tokens", tokens, StandoffConfig::default())
+        .unwrap();
+    set.add_layer("entities", entities, StandoffConfig::default())
+        .unwrap();
+    set
+}
+
+fn v3_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(&sample_set(), &mut buf).unwrap();
+    buf
+}
+
+/// Parse the v3 section table: `(tag, layer, table_entry_offset, off, len)`.
+fn table_of(buf: &[u8]) -> Vec<(u32, u32, usize, u64, u64)> {
+    let count = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|k| {
+            let at = 16 + 24 * k;
+            (
+                u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()),
+                u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()),
+                at,
+                u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap()),
+                u64::from_le_bytes(buf[at + 16..at + 24].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// Opening or materializing the tampered bytes must fail — never panic,
+/// never silently succeed.
+fn assert_rejected(bytes: Vec<u8>, what: &str) {
+    match Snapshot::from_bytes(bytes) {
+        Err(_) => {}
+        Ok(snapshot) => {
+            let all: Result<Vec<_>, _> =
+                (0..snapshot.len()).map(|k| snapshot.layer_at(k)).collect();
+            assert!(all.is_err(), "{what}: tampering must be rejected");
+        }
+    }
+}
+
+#[test]
+fn open_is_lazy_and_layer_access_materializes_one() {
+    let snapshot = Snapshot::from_bytes(v3_bytes()).unwrap();
+    assert_eq!(snapshot.version(), 3);
+    assert_eq!(snapshot.uri(), "corpus.xml");
+    assert_eq!(
+        snapshot.layer_names().collect::<Vec<_>>(),
+        ["base", "tokens", "entities"]
+    );
+    // Opening walked only the header: nothing is materialized.
+    for k in 0..3 {
+        assert!(!snapshot.is_materialized(k), "open must not decode layers");
+    }
+    // `info` (what `standoff-xq inspect` prints) still reports counts —
+    // they live in the layer headers, not the payloads.
+    let info = snapshot.info();
+    assert_eq!(info.layers[1].annotations, Some(3));
+    assert_eq!(info.layers[2].annotations, Some(1));
+    for k in 0..3 {
+        assert!(!snapshot.is_materialized(k), "info must not materialize");
+    }
+    // First access realizes exactly the touched layer.
+    let tokens = snapshot.layer("tokens").unwrap();
+    assert_eq!(tokens.annotation_count(), 3);
+    assert!(snapshot.is_materialized(1));
+    assert!(!snapshot.is_materialized(0) && !snapshot.is_materialized(2));
+    // Repeated access shares the cached layer.
+    let again = snapshot.layer("tokens").unwrap();
+    assert!(std::sync::Arc::ptr_eq(&tokens, &again));
+}
+
+#[test]
+#[cfg(target_endian = "little")]
+fn materialized_layers_are_zero_copy_views() {
+    let snapshot = Snapshot::from_bytes(v3_bytes()).unwrap();
+    let base = snapshot.layer("base").unwrap();
+    assert!(
+        base.doc().is_mounted(),
+        "v3 mount must back document columns with buffer views"
+    );
+    assert!(
+        base.index().is_mounted(),
+        "v3 mount must back index columns with buffer views"
+    );
+    // And the mounted data reads back correctly.
+    // pre: 0=document 1=<doc> 2=<seg> 3=<seg> 4=text "état"
+    assert_eq!(base.doc().elements_named("seg").len(), 2);
+    assert_eq!(base.doc().attribute(2, "end"), Some("19"));
+    assert_eq!(
+        base.doc().string_value(standoff_xml::NodeId::tree(4)),
+        "état"
+    );
+    assert_eq!(base.index().annotated_nodes(), &[2, 3]);
+}
+
+#[test]
+fn legacy_files_open_through_snapshot_eagerly() {
+    let mut buf = Vec::new();
+    write_snapshot_legacy(&sample_set(), &mut buf).unwrap();
+    let snapshot = Snapshot::from_bytes(buf).unwrap();
+    assert_eq!(snapshot.version(), 1);
+    // Legacy decode is eager: everything is already materialized.
+    for k in 0..3 {
+        assert!(snapshot.is_materialized(k));
+    }
+    let set = snapshot.to_layer_set().unwrap();
+    assert_eq!(set.layer("tokens").unwrap().annotation_count(), 3);
+}
+
+#[test]
+fn v3_and_legacy_agree() {
+    let set = sample_set();
+    let mut v3 = Vec::new();
+    write_snapshot(&set, &mut v3).unwrap();
+    let mut v1 = Vec::new();
+    write_snapshot_legacy(&set, &mut v1).unwrap();
+    let a = Snapshot::from_bytes(v3).unwrap().to_layer_set().unwrap();
+    let b = Snapshot::from_bytes(v1).unwrap().to_layer_set().unwrap();
+    for (la, lb) in a.layers().iter().zip(b.layers()) {
+        assert_eq!(la.name(), lb.name());
+        assert_eq!(la.index().entries(), lb.index().entries());
+        assert_eq!(
+            standoff_xml::serialize_document(la.doc(), Default::default()),
+            standoff_xml::serialize_document(lb.doc(), Default::default())
+        );
+    }
+}
+
+// ---- corruption sweep ----
+
+#[test]
+fn truncated_section_table_rejected() {
+    let buf = v3_bytes();
+    // Cut mid-table.
+    assert_rejected(buf[..20].to_vec(), "mid-table cut");
+    // Section count claiming more entries than the file holds.
+    let mut huge = buf.clone();
+    huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_rejected(huge, "hostile section count");
+}
+
+#[test]
+fn section_outside_file_rejected() {
+    let buf = v3_bytes();
+    let table = table_of(&buf);
+    // Push one section's offset past EOF.
+    let (_, _, at, _, _) = table[3];
+    let mut bad = buf.clone();
+    bad[at + 8..at + 16].copy_from_slice(&(buf.len() as u64).to_le_bytes());
+    assert_rejected(bad, "offset past EOF");
+    // Length overflowing u64.
+    let mut bad = buf.clone();
+    bad[at + 16..at + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_rejected(bad, "overflowing length");
+}
+
+#[test]
+fn overlapping_sections_rejected() {
+    let buf = v3_bytes();
+    let table = table_of(&buf);
+    // Alias section 3 onto section 2's byte range.
+    let (_, _, _, off2, len2) = table[2];
+    assert!(len2 > 0);
+    let (_, _, at3, _, _) = table[3];
+    let mut bad = buf.clone();
+    bad[at3 + 8..at3 + 16].copy_from_slice(&off2.to_le_bytes());
+    bad[at3 + 16..at3 + 24].copy_from_slice(&len2.to_le_bytes());
+    assert_rejected(bad, "aliased sections");
+}
+
+#[test]
+fn misaligned_column_offsets_rejected() {
+    let buf = v3_bytes();
+    const SEC_DOC_SIZE: u32 = 12;
+    let (_, _, at, off, len) = *table_of(&buf)
+        .iter()
+        .find(|&&(tag, layer, ..)| tag == SEC_DOC_SIZE && layer == 0)
+        .unwrap();
+    // Shift the size column one byte into neighboring padding: the view
+    // either collides with a sibling section or decodes values that
+    // violate the structural invariants.
+    let mut shifted = buf.clone();
+    shifted[at + 8..at + 16].copy_from_slice(&(off + 1).to_le_bytes());
+    assert_rejected(shifted, "shifted column");
+    // A ragged byte length (not a whole number of u32s) is a hard error.
+    let mut ragged = buf.clone();
+    ragged[at + 16..at + 24].copy_from_slice(&(len - 1).to_le_bytes());
+    assert_rejected(ragged, "ragged column length");
+}
+
+#[test]
+fn out_of_range_string_slots_rejected() {
+    let buf = v3_bytes();
+    const SEC_DOC_VAL_OFF: u32 = 17;
+    let (_, _, _, off, len) = *table_of(&buf)
+        .iter()
+        .find(|&&(tag, layer, ..)| tag == SEC_DOC_VAL_OFF && layer == 0)
+        .unwrap();
+    // Point the final slot boundary far past the heap.
+    let last = (off + len) as usize - 4;
+    let mut bad = buf.clone();
+    bad[last..last + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_rejected(bad, "slot past heap");
+    // Non-monotone offsets.
+    let first = off as usize;
+    let mut bad = buf.clone();
+    bad[first..first + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_rejected(bad, "non-monotone slots");
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let buf = v3_bytes();
+    // Every single-byte flip either fails cleanly or yields a snapshot
+    // whose layers still materialize/validate — never a panic. (Flips in
+    // string payloads may legitimately survive; structure may not lie.)
+    for k in 0..buf.len() {
+        let mut mutated = buf.clone();
+        mutated[k] ^= 0xff;
+        if let Ok(snapshot) = Snapshot::from_bytes(mutated) {
+            for layer in 0..snapshot.len() {
+                let _ = snapshot.layer_at(layer);
+            }
+            let _ = snapshot.info();
+        }
+    }
+}

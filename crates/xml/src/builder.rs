@@ -5,6 +5,7 @@
 //! closed. Attribute insertion is only legal directly after
 //! `start_element`, mirroring the shredding order of a streaming parser.
 
+use crate::column::StrArenaBuilder;
 use crate::doc::Document;
 use crate::error::XmlError;
 use crate::name::{NameId, NameTable};
@@ -29,11 +30,11 @@ pub struct DocumentBuilder {
     level: Vec<u16>,
     parent: Vec<u32>,
     name: Vec<NameId>,
-    value: Vec<Box<str>>,
+    value: StrArenaBuilder,
     attr_first: Vec<u32>,
     attr_owner: Vec<u32>,
     attr_name: Vec<NameId>,
-    attr_value: Vec<Box<str>>,
+    attr_value: StrArenaBuilder,
     /// Stack of open element pre ranks (document node at bottom).
     open: Vec<u32>,
     /// True while attributes may still be appended to the last element.
@@ -56,11 +57,11 @@ impl DocumentBuilder {
             level: Vec::new(),
             parent: Vec::new(),
             name: Vec::new(),
-            value: Vec::new(),
+            value: StrArenaBuilder::new(),
             attr_first: Vec::new(),
             attr_owner: Vec::new(),
             attr_name: Vec::new(),
-            attr_value: Vec::new(),
+            attr_value: StrArenaBuilder::new(),
             open: Vec::new(),
             attrs_open: false,
             uri: None,
@@ -101,7 +102,7 @@ impl DocumentBuilder {
         self.level.push(level);
         self.parent.push(parent);
         self.name.push(name);
-        self.value.push(value.into());
+        self.value.push(value);
         self.attr_first.push(self.attr_name.len() as u32);
         pre
     }
@@ -126,7 +127,7 @@ impl DocumentBuilder {
         let name_id = self.names.intern(name);
         self.attr_owner.push(owner);
         self.attr_name.push(name_id);
-        self.attr_value.push(value.into());
+        self.attr_value.push(value);
         self
     }
 
@@ -143,8 +144,9 @@ impl DocumentBuilder {
             if last_kind == NodeKind::Text
                 && self.parent[last_pre as usize] == *self.open.last().unwrap()
             {
-                let merged = format!("{}{}", self.value[last_pre as usize], content);
-                self.value[last_pre as usize] = merged.into();
+                // The text node being merged into is the last slot of
+                // the value arena: append in place.
+                self.value.append_to_last(content);
                 return self;
             }
         }
@@ -214,11 +216,11 @@ impl DocumentBuilder {
             self.level,
             self.parent,
             self.name,
-            self.value,
+            self.value.finish(),
             self.attr_first,
             self.attr_owner,
             self.attr_name,
-            self.attr_value,
+            self.attr_value.finish(),
         );
         debug_assert_eq!(doc.check_invariants(), Ok(()));
         Ok(doc)

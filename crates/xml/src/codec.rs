@@ -25,13 +25,18 @@
 //! Version 2 appends the element-name index (paper §4.3's candidate-
 //! sequence source), so loading restores it by column read instead of
 //! rescanning the kind/name columns; version-1 files still load, with
-//! the index rebuilt. Loading validates everything — a corrupted file
-//! fails cleanly instead of corrupting query results.
+//! the index rebuilt by a counting scan. Loading validates everything
+//! (via [`Document::from_storage`]) — a corrupted file fails cleanly
+//! instead of corrupting query results.
+//!
+//! This streamed, per-field codec is the *legacy* persistence path; the
+//! SOSN v3 snapshots in `standoff-store` persist the same columns as
+//! aligned sections that are mounted zero-copy instead of decoded.
 
-use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
-use crate::doc::Document;
+use crate::column::StrArena;
+use crate::doc::{Document, DocumentParts, ElemIndex, KindCol};
 use crate::name::{NameId, NameTable};
 use crate::node::NodeKind;
 use crate::store::Store;
@@ -88,14 +93,13 @@ pub fn write_document<W: Write>(doc: &Document, w: &mut W) -> io::Result<()> {
         write_u32(w, doc.attr_range(pre).start)?;
     }
     write_u32(w, a)?;
-    // Element-name index, in name-id order for determinism (v2).
+    // Element-name index (v2): the CSR is already in ascending name-id
+    // order with document-ordered buckets.
     let index = doc.elem_index();
-    let mut ids: Vec<NameId> = index.keys().copied().collect();
-    ids.sort_by_key(|id| id.0);
-    write_u32(w, ids.len() as u32)?;
-    for id in ids {
-        let pres = &index[&id];
-        write_u32(w, id.0)?;
+    write_u32(w, index.name_count() as u32)?;
+    for k in 0..index.name_count() {
+        let (id, pres) = index.bucket(k);
+        write_u32(w, id)?;
         write_u32(w, pres.len() as u32)?;
         for &pre in pres {
             write_u32(w, pre)?;
@@ -141,7 +145,9 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
     let mut level = Vec::with_capacity(cap);
     let mut parent = Vec::with_capacity(cap);
     let mut name = Vec::with_capacity(cap);
-    let mut value: Vec<Box<str>> = Vec::with_capacity(cap);
+    let mut value_heap: Vec<u8> = Vec::new();
+    let mut value_offsets: Vec<u32> = Vec::with_capacity(capacity_hint(n + 1));
+    value_offsets.push(0);
     for _ in 0..n {
         kind.push(match read_u8(r)? {
             0 => NodeKind::Document,
@@ -158,14 +164,23 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         if name_id != NameId::NONE.0 && name_id as usize >= name_count {
             return Err(bad_data("name id out of range"));
         }
-        name.push(NameId(name_id));
-        value.push(read_string(r)?.into());
+        // Elements must carry a real name: the v1 path feeds these ids
+        // straight into `ElemIndex::build`'s counting arrays, which
+        // index by name id and (deliberately) do not re-check.
+        if name_id == NameId::NONE.0 && *kind.last().unwrap() == NodeKind::Element {
+            return Err(bad_data("element node without a name"));
+        }
+        name.push(name_id);
+        value_heap.extend_from_slice(read_string(r)?.as_bytes());
+        value_offsets.push(value_heap.len() as u32);
     }
     let a = read_u32(r)? as usize;
     let acap = capacity_hint(a);
     let mut attr_owner = Vec::with_capacity(acap);
     let mut attr_name = Vec::with_capacity(acap);
-    let mut attr_value: Vec<Box<str>> = Vec::with_capacity(acap);
+    let mut attr_heap: Vec<u8> = Vec::new();
+    let mut attr_offsets: Vec<u32> = Vec::with_capacity(capacity_hint(a + 1));
+    attr_offsets.push(0);
     for _ in 0..a {
         let owner = read_u32(r)?;
         if owner as usize >= n {
@@ -176,8 +191,9 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         if name_id as usize >= name_count {
             return Err(bad_data("attribute name out of range"));
         }
-        attr_name.push(NameId(name_id));
-        attr_value.push(read_string(r)?.into());
+        attr_name.push(name_id);
+        attr_heap.extend_from_slice(read_string(r)?.as_bytes());
+        attr_offsets.push(attr_heap.len() as u32);
     }
     let mut attr_first = Vec::with_capacity(capacity_hint(n + 1));
     for _ in 0..=n {
@@ -187,63 +203,57 @@ pub fn read_document<R: Read>(r: &mut R) -> io::Result<Document> {
         }
         attr_first.push(off);
     }
-    let doc = if version >= 2 {
-        // Deserialize the element-name index and validate it against the
-        // columns — cheaper than a rescan-and-rebuild, still safe.
-        let elements = kind.iter().filter(|&&k| k == NodeKind::Element).count();
+    let kind = KindCol::from_kinds(kind);
+    let elem = if version >= 2 {
+        // Deserialize the element-name index CSR; `from_storage` below
+        // re-validates it against the columns — cheaper than a
+        // rescan-and-rebuild, still safe.
         let indexed_names = read_u32(r)? as usize;
         if indexed_names > name_count {
             return Err(bad_data("more indexed names than interned names"));
         }
-        let mut elem_index: HashMap<NameId, Vec<u32>> =
-            HashMap::with_capacity(capacity_hint(indexed_names));
-        let mut covered = 0usize;
-        let mut prev_name: Option<u32> = None;
+        let mut elem_names = Vec::with_capacity(capacity_hint(indexed_names));
+        let mut elem_offsets = Vec::with_capacity(capacity_hint(indexed_names + 1));
+        elem_offsets.push(0u32);
+        let mut elem_pres: Vec<u32> = Vec::new();
         for _ in 0..indexed_names {
-            let name_id = read_u32(r)?;
-            if name_id as usize >= name_count {
-                return Err(bad_data("indexed name id out of range"));
-            }
-            if prev_name.is_some_and(|p| p >= name_id) {
-                return Err(bad_data("element index not in name-id order"));
-            }
-            prev_name = Some(name_id);
+            elem_names.push(read_u32(r)?);
             let count = read_u32(r)? as usize;
-            if count == 0 {
-                return Err(bad_data("empty element-index bucket"));
-            }
-            let mut pres = Vec::with_capacity(capacity_hint(count));
             for _ in 0..count {
-                let pre = read_u32(r)?;
-                if pre as usize >= n
-                    || kind[pre as usize] != NodeKind::Element
-                    || name[pre as usize].0 != name_id
-                {
-                    return Err(bad_data("element index disagrees with node columns"));
-                }
-                if pres.last().is_some_and(|&p| p >= pre) {
-                    return Err(bad_data("element index not in document order"));
-                }
-                pres.push(pre);
+                elem_pres.push(read_u32(r)?);
             }
-            covered += count;
-            elem_index.insert(NameId(name_id), pres);
+            elem_offsets.push(elem_pres.len() as u32);
         }
-        if covered != elements {
-            return Err(bad_data("element index does not cover all elements"));
+        ElemIndex {
+            names: elem_names.into(),
+            offsets: elem_offsets.into(),
+            pres: elem_pres.into(),
         }
-        Document::from_columns_with_index(
-            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
-            attr_value, elem_index,
-        )
     } else {
-        Document::from_columns(
-            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
-            attr_value,
-        )
+        // v1 files carry no index; rebuild with a counting scan (name
+        // ids were range-checked above).
+        ElemIndex::build(&kind, &name, name_count)
     };
-    doc.check_invariants().map_err(|e| bad_data(&e))?;
-    Ok(doc)
+    let values =
+        StrArena::from_parts(value_heap, value_offsets).map_err(|e| bad_data(&e.to_string()))?;
+    let attr_values =
+        StrArena::from_parts(attr_heap, attr_offsets).map_err(|e| bad_data(&e.to_string()))?;
+    Document::from_storage(DocumentParts {
+        uri,
+        names,
+        kind,
+        size: size.into(),
+        level: level.into(),
+        parent: parent.into(),
+        name: name.into(),
+        values,
+        attr_first: attr_first.into(),
+        attr_owner: attr_owner.into(),
+        attr_name: attr_name.into(),
+        attr_values,
+        elem,
+    })
+    .map_err(|e| bad_data(&e))
 }
 
 // ---- store codec ----
@@ -385,6 +395,33 @@ mod tests {
             err.to_string().contains("document order"),
             "unexpected error: {err}"
         );
+    }
+
+    /// Regression: a hostile v1 file declaring an *element* whose name
+    /// id is `NameId::NONE` must fail cleanly — the v1 path rebuilds the
+    /// element-name index with counting arrays indexed by name id, so
+    /// an unguarded sentinel would panic instead of erroring.
+    #[test]
+    fn v1_element_with_none_name_rejected() {
+        let doc = parse_document("<a/>").unwrap();
+        let mut v2 = Vec::new();
+        write_document(&doc, &mut v2).unwrap();
+        // Strip the one-bucket index section, rewrite the version.
+        let mut v1 = v2[..v2.len() - (4 + 12)].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        // Node records start after magic(4) version(4) uri-flag(1)
+        // name-count(4) name "a"(4+1) node-count(4); the document node
+        // record is 19 bytes, and the element's name field sits 11
+        // bytes into its record.
+        let name_at = 4 + 4 + 1 + 4 + 5 + 4 + 19 + 11;
+        assert_eq!(
+            &v1[name_at..name_at + 4],
+            &0u32.to_le_bytes()[..],
+            "offset sanity"
+        );
+        v1[name_at..name_at + 4].copy_from_slice(&NameId::NONE.0.to_le_bytes());
+        let err = read_document(&mut v1.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("without a name"), "{err}");
     }
 
     #[test]

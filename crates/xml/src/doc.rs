@@ -6,12 +6,237 @@
 //! the StandOff MergeJoin post-processing exploit. Attributes are shredded
 //! into a separate CSR-encoded table keyed by owner pre rank, exactly as in
 //! MonetDB/XQuery.
+//!
+//! Every column is a [`PodCol`]/[`StrArena`]: owned when the document was
+//! parsed or built in memory, a zero-copy view over a snapshot buffer when
+//! it was mounted (see `standoff-store`'s SOSN v3 format). The element-name
+//! index is a CSR over `(name id → element pre ranks)` — persisted by the
+//! codecs and mounted as-is, never rebuilt through a hash map.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::io;
+use std::ops::Range;
 
+use crate::column::{PodCol, SharedBytes, StrArena};
 use crate::name::{NameId, NameTable};
 use crate::node::{NodeId, NodeKind};
+
+/// The node-kind column: a validated `u8` column. View construction
+/// rejects any byte that is not a [`NodeKind`] discriminant, so `get`
+/// can reinterpret without a per-access check.
+#[derive(Clone, Default, Debug)]
+pub struct KindCol {
+    raw: PodCol<u8>,
+}
+
+impl KindCol {
+    /// Owned backend (parse/build path — values are valid by type).
+    pub fn from_kinds(kinds: Vec<NodeKind>) -> KindCol {
+        KindCol {
+            raw: PodCol::owned(kinds.into_iter().map(|k| k as u8).collect()),
+        }
+    }
+
+    /// Mount a kind column, validating every byte.
+    pub fn view(buf: &SharedBytes, range: Range<usize>) -> io::Result<KindCol> {
+        let raw = PodCol::view(buf, range)?;
+        if raw.iter().any(|&b| b > NodeKind::Pi as u8) {
+            return Err(crate::wire::bad_data("invalid node kind in kind column"));
+        }
+        Ok(KindCol { raw })
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> NodeKind {
+        match self.raw[i] {
+            0 => NodeKind::Document,
+            1 => NodeKind::Element,
+            2 => NodeKind::Text,
+            3 => NodeKind::Comment,
+            _ => NodeKind::Pi, // 4; >4 rejected at construction
+        }
+    }
+
+    /// The raw byte column (codec/snapshot writers).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.raw
+    }
+
+    pub fn is_view(&self) -> bool {
+        self.raw.is_view()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = NodeKind> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Element-name index in CSR form: `names` holds the distinct element
+/// name ids in ascending order, `offsets` the CSR boundaries, and `pres`
+/// the element pre ranks of each bucket in document order. This is the
+/// candidate-sequence source of the StandOff joins (paper §4.3); the
+/// query engine borrows bucket slices directly, so bucket ordering is a
+/// load-time invariant, not a per-query re-check.
+#[derive(Clone, Default, Debug)]
+pub struct ElemIndex {
+    pub names: PodCol<u32>,
+    pub offsets: PodCol<u32>,
+    pub pres: PodCol<u32>,
+}
+
+impl ElemIndex {
+    /// Build from the kind/name columns with a counting pass per name id
+    /// (no hash map: two scans plus a prefix sum).
+    pub fn build(kind: &KindCol, name: &[u32], name_count: usize) -> ElemIndex {
+        let mut counts = vec![0u32; name_count];
+        for i in 0..kind.len() {
+            if kind.get(i) == NodeKind::Element {
+                counts[name[i] as usize] += 1;
+            }
+        }
+        let mut names = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut slot_of = vec![u32::MAX; name_count];
+        let mut total = 0u32;
+        for (id, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                slot_of[id] = names.len() as u32;
+                names.push(id as u32);
+                total += c;
+                offsets.push(total);
+            }
+        }
+        // Second pass places pre ranks; per-bucket write cursors start at
+        // each bucket's CSR offset.
+        let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        let mut pres = vec![0u32; total as usize];
+        for i in 0..kind.len() {
+            if kind.get(i) == NodeKind::Element {
+                let slot = slot_of[name[i] as usize] as usize;
+                pres[cursor[slot] as usize] = i as u32;
+                cursor[slot] += 1;
+            }
+        }
+        ElemIndex {
+            names: PodCol::owned(names),
+            offsets: PodCol::owned(offsets),
+            pres: PodCol::owned(pres),
+        }
+    }
+
+    /// Element pre ranks for a name id (empty if unindexed).
+    #[inline]
+    pub fn lookup(&self, id: NameId) -> &[u32] {
+        match self.names.binary_search(&id.0) {
+            Ok(k) => &self.pres[self.offsets[k] as usize..self.offsets[k + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of distinct indexed names.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The `k`-th `(name id, bucket)` pair, in name-id order.
+    pub fn bucket(&self, k: usize) -> (u32, &[u32]) {
+        (
+            self.names[k],
+            &self.pres[self.offsets[k] as usize..self.offsets[k + 1] as usize],
+        )
+    }
+
+    /// Validate the index against the node columns — same guarantees the
+    /// eager decoders enforced: ascending distinct names in range,
+    /// non-empty strictly-ascending buckets that agree with the columns,
+    /// and full element coverage.
+    pub fn validate(&self, kind: &KindCol, name: &[u32], name_count: usize) -> Result<(), String> {
+        if self.offsets.len() != self.names.len() + 1 {
+            return Err("element index CSR length mismatch".into());
+        }
+        if self.offsets.first() != Some(&0)
+            || *self.offsets.last().unwrap() as usize != self.pres.len()
+        {
+            return Err("element index CSR does not cover its buckets".into());
+        }
+        if !self.offsets.windows(2).all(|w| w[0] < w[1]) {
+            return Err("empty element-index bucket".into());
+        }
+        if !self.names.windows(2).all(|w| w[0] < w[1]) {
+            return Err("element index not in name-id order".into());
+        }
+        if self.names.last().is_some_and(|&n| n as usize >= name_count) {
+            return Err("indexed name id out of range".into());
+        }
+        let n = kind.len();
+        for k in 0..self.names.len() {
+            let (id, pres) = self.bucket(k);
+            for &pre in pres {
+                if pre as usize >= n
+                    || kind.get(pre as usize) != NodeKind::Element
+                    || name[pre as usize] != id
+                {
+                    return Err("element index disagrees with node columns".into());
+                }
+            }
+            if !pres.windows(2).all(|w| w[0] < w[1]) {
+                return Err("element index not in document order".into());
+            }
+        }
+        let elements = kind.iter().filter(|&k| k == NodeKind::Element).count();
+        if self.pres.len() != elements {
+            return Err("element index does not cover all elements".into());
+        }
+        Ok(())
+    }
+}
+
+/// The raw column storage behind a [`Document`] — each column either
+/// owned or a zero-copy view over a mounted snapshot buffer. Assembled
+/// by codecs and the snapshot mount path, then validated as a whole by
+/// [`Document::from_storage`].
+pub struct DocumentParts {
+    pub uri: Option<String>,
+    pub names: NameTable,
+    pub kind: KindCol,
+    pub size: PodCol<u32>,
+    pub level: PodCol<u16>,
+    pub parent: PodCol<u32>,
+    /// Raw name ids (`NameId::NONE` = `u32::MAX` for unnamed kinds).
+    pub name: PodCol<u32>,
+    pub values: StrArena,
+    pub attr_first: PodCol<u32>,
+    pub attr_owner: PodCol<u32>,
+    pub attr_name: PodCol<u32>,
+    pub attr_values: StrArena,
+    pub elem: ElemIndex,
+}
+
+/// Borrowed raw columns of a [`Document`] (see [`Document::storage`]).
+pub struct DocumentStorageRef<'a> {
+    pub names: &'a NameTable,
+    pub kind_bytes: &'a [u8],
+    pub size: &'a [u32],
+    pub level: &'a [u16],
+    pub parent: &'a [u32],
+    pub name: &'a [u32],
+    pub values: &'a StrArena,
+    pub attr_first: &'a [u32],
+    pub attr_owner: &'a [u32],
+    pub attr_name: &'a [u32],
+    pub attr_values: &'a StrArena,
+    pub elem: &'a ElemIndex,
+}
 
 /// A single shredded XML document (fragment).
 ///
@@ -23,23 +248,26 @@ pub struct Document {
     uri: Option<String>,
     names: NameTable,
     // --- tree node columns, indexed by pre rank ---
-    kind: Vec<NodeKind>,
-    size: Vec<u32>,
-    level: Vec<u16>,
-    parent: Vec<u32>,
-    name: Vec<NameId>,
-    value: Vec<Box<str>>,
+    kind: KindCol,
+    size: PodCol<u32>,
+    level: PodCol<u16>,
+    parent: PodCol<u32>,
+    name: PodCol<u32>,
+    values: StrArena,
     // --- attribute table (CSR over owner pre rank) ---
-    attr_first: Vec<u32>,
-    attr_owner: Vec<u32>,
-    attr_name: Vec<NameId>,
-    attr_value: Vec<Box<str>>,
-    // --- element name index: name -> pre ranks in document order ---
-    elem_index: HashMap<NameId, Vec<u32>>,
+    attr_first: PodCol<u32>,
+    attr_owner: PodCol<u32>,
+    attr_name: PodCol<u32>,
+    attr_values: StrArena,
+    // --- element name index: CSR name -> pre ranks in document order ---
+    elem: ElemIndex,
 }
 
 impl Document {
-    /// Internal constructor used by the builder.
+    /// Internal constructor used by the builder and the legacy (v1)
+    /// document codec: owned columns, element index built by counting
+    /// scan. The caller guarantees column validity (the builder by
+    /// construction, the codec by a follow-up `check_invariants`).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_columns(
         uri: Option<String>,
@@ -49,65 +277,119 @@ impl Document {
         level: Vec<u16>,
         parent: Vec<u32>,
         name: Vec<NameId>,
-        value: Vec<Box<str>>,
+        values: StrArena,
         attr_first: Vec<u32>,
         attr_owner: Vec<u32>,
         attr_name: Vec<NameId>,
-        attr_value: Vec<Box<str>>,
-    ) -> Self {
-        let mut elem_index: HashMap<NameId, Vec<u32>> = HashMap::new();
-        for (pre, (&k, &n)) in kind.iter().zip(name.iter()).enumerate() {
-            if k == NodeKind::Element {
-                elem_index.entry(n).or_default().push(pre as u32);
-            }
-        }
-        Self::from_columns_with_index(
-            uri, names, kind, size, level, parent, name, value, attr_first, attr_owner, attr_name,
-            attr_value, elem_index,
-        )
-    }
-
-    /// Constructor with a prebuilt element-name index (the snapshot load
-    /// path — the codec deserializes the index instead of rescanning the
-    /// kind/name columns). The caller is responsible for validating that
-    /// the index matches the columns.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_columns_with_index(
-        uri: Option<String>,
-        names: NameTable,
-        kind: Vec<NodeKind>,
-        size: Vec<u32>,
-        level: Vec<u16>,
-        parent: Vec<u32>,
-        name: Vec<NameId>,
-        value: Vec<Box<str>>,
-        attr_first: Vec<u32>,
-        attr_owner: Vec<u32>,
-        attr_name: Vec<NameId>,
-        attr_value: Vec<Box<str>>,
-        elem_index: HashMap<NameId, Vec<u32>>,
+        attr_values: StrArena,
     ) -> Self {
         debug_assert_eq!(attr_first.len(), kind.len() + 1);
+        let kind = KindCol::from_kinds(kind);
+        let name: Vec<u32> = name.into_iter().map(|id| id.0).collect();
+        let elem = ElemIndex::build(&kind, &name, names.len());
         Document {
             uri,
             names,
             kind,
-            size,
-            level,
-            parent,
-            name,
-            value,
-            attr_first,
-            attr_owner,
-            attr_name,
-            attr_value,
-            elem_index,
+            size: size.into(),
+            level: level.into(),
+            parent: parent.into(),
+            name: name.into(),
+            values,
+            attr_first: attr_first.into(),
+            attr_owner: attr_owner.into(),
+            attr_name: PodCol::owned(attr_name.into_iter().map(|id| id.0).collect()),
+            attr_values,
+            elem,
         }
     }
 
-    /// The raw element-name index (codec serialization hook).
-    pub(crate) fn elem_index(&self) -> &HashMap<NameId, Vec<u32>> {
-        &self.elem_index
+    /// Assemble a document from raw (possibly buffer-backed) storage,
+    /// validating **everything**: column arity, name-id ranges, the
+    /// structural pre/size/level invariants, attribute CSR consistency,
+    /// and the element-name index's agreement with the columns. This is
+    /// the single trust boundary of the codec v2 read path and the SOSN
+    /// v3 snapshot mount — a corrupted file fails here, cleanly.
+    pub fn from_storage(parts: DocumentParts) -> Result<Document, String> {
+        let n = parts.kind.len();
+        if n == 0 {
+            return Err("document has no nodes".into());
+        }
+        if parts.size.len() != n
+            || parts.level.len() != n
+            || parts.parent.len() != n
+            || parts.name.len() != n
+            || parts.values.len() != n
+        {
+            return Err("node column lengths disagree".into());
+        }
+        if parts.attr_first.len() != n + 1 {
+            return Err("attr_first length mismatch".into());
+        }
+        let a = parts.attr_name.len();
+        if parts.attr_owner.len() != a || parts.attr_values.len() != a {
+            return Err("attribute column lengths disagree".into());
+        }
+        let name_count = parts.names.len();
+        for &id in parts.name.iter() {
+            if id != NameId::NONE.0 && id as usize >= name_count {
+                return Err("name id out of range".into());
+            }
+        }
+        for &id in parts.attr_name.iter() {
+            if id as usize >= name_count {
+                return Err("attribute name out of range".into());
+            }
+        }
+        parts.elem.validate(&parts.kind, &parts.name, name_count)?;
+        let doc = Document {
+            uri: parts.uri,
+            names: parts.names,
+            kind: parts.kind,
+            size: parts.size,
+            level: parts.level,
+            parent: parts.parent,
+            name: parts.name,
+            values: parts.values,
+            attr_first: parts.attr_first,
+            attr_owner: parts.attr_owner,
+            attr_name: parts.attr_name,
+            attr_values: parts.attr_values,
+            elem: parts.elem,
+        };
+        doc.check_invariants()?;
+        Ok(doc)
+    }
+
+    /// The element-name index (codec serialization hook).
+    pub(crate) fn elem_index(&self) -> &ElemIndex {
+        &self.elem
+    }
+
+    /// Borrow the raw column storage (the snapshot writer's hook — each
+    /// slice is dumped as one aligned section).
+    pub fn storage(&self) -> DocumentStorageRef<'_> {
+        DocumentStorageRef {
+            names: &self.names,
+            kind_bytes: self.kind.raw_bytes(),
+            size: &self.size,
+            level: &self.level,
+            parent: &self.parent,
+            name: &self.name,
+            values: &self.values,
+            attr_first: &self.attr_first,
+            attr_owner: &self.attr_owner,
+            attr_name: &self.attr_name,
+            attr_values: &self.attr_values,
+            elem: &self.elem,
+        }
+    }
+
+    /// Are the bulk node columns zero-copy views over a mounted snapshot
+    /// buffer (vs owned vectors)? Benches and tests use this to assert
+    /// the mount path actually mounted.
+    pub fn is_mounted(&self) -> bool {
+        self.kind.is_view() && self.size.is_view() && self.values.is_view()
     }
 
     /// The URI this document was registered under, if any.
@@ -146,7 +428,7 @@ impl Document {
     /// Kind of the tree node at `pre`.
     #[inline]
     pub fn kind(&self, pre: u32) -> NodeKind {
-        self.kind[pre as usize]
+        self.kind.get(pre as usize)
     }
 
     /// Subtree size (descendant count) of the tree node at `pre`.
@@ -171,24 +453,19 @@ impl Document {
     /// Name id of the tree node at `pre` (`NameId::NONE` for unnamed kinds).
     #[inline]
     pub fn name_id(&self, pre: u32) -> NameId {
-        self.name[pre as usize]
+        NameId(self.name[pre as usize])
     }
 
     /// Lexical name of a node (tree or attribute); empty for unnamed nodes.
     pub fn node_name(&self, id: NodeId) -> String {
-        match id.attr_index() {
-            Some(a) => self.names.lexical(self.attr_name[a as usize]),
-            None => self
-                .names
-                .lexical(self.name[id.pre().expect("tree id") as usize]),
-        }
+        self.names.lexical(self.node_name_id(id))
     }
 
     /// Name id of a node (tree or attribute).
     pub fn node_name_id(&self, id: NodeId) -> NameId {
         match id.attr_index() {
-            Some(a) => self.attr_name[a as usize],
-            None => self.name[id.pre().expect("tree id") as usize],
+            Some(a) => NameId(self.attr_name[a as usize]),
+            None => self.name_id(id.pre().expect("tree id")),
         }
     }
 
@@ -201,7 +478,7 @@ impl Document {
     /// Raw value column of the tree node at `pre` (text/comment/PI content).
     #[inline]
     pub fn value(&self, pre: u32) -> &str {
-        &self.value[pre as usize]
+        self.values.get(pre as usize)
     }
 
     // ----- attributes -----
@@ -226,27 +503,27 @@ impl Document {
     /// Name id of the attribute with table index `idx`.
     #[inline]
     pub fn attr_name_id(&self, idx: u32) -> NameId {
-        self.attr_name[idx as usize]
+        NameId(self.attr_name[idx as usize])
     }
 
     /// Value of the attribute with table index `idx`.
     #[inline]
     pub fn attr_value(&self, idx: u32) -> &str {
-        &self.attr_value[idx as usize]
+        self.attr_values.get(idx as usize)
     }
 
     /// Value of the attribute of element `pre` named `name`, if present.
     pub fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
         let name_id = self.names.get(name)?;
         self.attr_range(pre)
-            .find(|&a| self.attr_name[a as usize] == name_id)
-            .map(|a| &*self.attr_value[a as usize])
+            .find(|&a| self.attr_name[a as usize] == name_id.0)
+            .map(|a| self.attr_values.get(a as usize))
     }
 
     /// Attribute node id of element `pre` with name id `name_id`.
     pub fn attribute_by_id(&self, pre: u32, name_id: NameId) -> Option<NodeId> {
         self.attr_range(pre)
-            .find(|&a| self.attr_name[a as usize] == name_id)
+            .find(|&a| self.attr_name[a as usize] == name_id.0)
             .map(NodeId::attr)
     }
 
@@ -314,8 +591,7 @@ impl Document {
     pub fn elements_named(&self, name: &str) -> &[u32] {
         self.names
             .get(name)
-            .and_then(|id| self.elem_index.get(&id))
-            .map(|v| v.as_slice())
+            .map(|id| self.elem.lookup(id))
             .unwrap_or(&[])
     }
 
@@ -333,7 +609,7 @@ impl Document {
     /// text/comment/PI nodes, their content; for attributes, their value.
     pub fn string_value(&self, id: NodeId) -> String {
         match id.attr_index() {
-            Some(a) => self.attr_value[a as usize].to_string(),
+            Some(a) => self.attr_values.get(a as usize).to_string(),
             None => {
                 let pre = id.pre().expect("tree id");
                 match self.kind(pre) {
@@ -413,6 +689,9 @@ impl Document {
             return Err("attr_first does not cover attribute table".into());
         }
         for (i, &owner) in self.attr_owner.iter().enumerate() {
+            if owner as usize >= n {
+                return Err(format!("attribute {i} owner out of range"));
+            }
             let r = self.attr_range(owner);
             if !(r.start <= i as u32 && (i as u32) < r.end) {
                 return Err(format!("attribute {i} owner CSR mismatch"));
@@ -428,6 +707,7 @@ impl fmt::Debug for Document {
             .field("uri", &self.uri)
             .field("nodes", &self.node_count())
             .field("attrs", &self.attr_count())
+            .field("mounted", &self.is_mounted())
             .finish()
     }
 }
@@ -549,6 +829,19 @@ mod tests {
         assert_eq!(d.elements_named("b"), &[2]);
         assert_eq!(d.elements_named("nope"), &[] as &[u32]);
         assert_eq!(d.all_elements(), vec![1, 2, 3, 5]);
+        assert!(!d.is_mounted(), "built documents own their columns");
+    }
+
+    #[test]
+    fn elem_index_buckets_are_sorted() {
+        let d = sample();
+        let idx = d.elem_index();
+        assert!(idx.names.windows(2).all(|w| w[0] < w[1]));
+        for k in 0..idx.name_count() {
+            let (_, pres) = idx.bucket(k);
+            assert!(pres.windows(2).all(|w| w[0] < w[1]));
+        }
+        idx.validate(&d.kind, &d.name, d.names.len()).unwrap();
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod builder;
 pub mod codec;
+pub mod column;
 pub mod doc;
 pub mod error;
 pub mod name;
@@ -37,7 +38,8 @@ pub mod wire;
 
 pub use builder::DocumentBuilder;
 pub use codec::{read_document, read_store, write_document, write_store};
-pub use doc::Document;
+pub use column::{Pod, PodCol, SharedBytes, StrArena, StrArenaBuilder};
+pub use doc::{Document, DocumentParts, DocumentStorageRef, ElemIndex, KindCol};
 pub use error::{ParseError, XmlError};
 pub use name::{NameId, NameTable, QName};
 pub use node::{DocId, NodeId, NodeKind, NodeRef};

@@ -397,10 +397,13 @@ impl Engine {
         let mut members = Vec::with_capacity(layers.len());
         for (layer, doc_uri) in layers.into_iter().zip(doc_uris) {
             let (name, config, doc, index) = layer.into_parts();
-            let id = self.state.store.add(doc, Some(&doc_uri));
+            // The document and index stay shared with the layer set (and,
+            // for mounted snapshots, with the snapshot's layer cache):
+            // mounting is pointer plumbing, not a copy of column data.
+            let id = self.state.store.add_shared(doc, Some(&doc_uri));
             self.state
                 .region_cache
-                .insert((id.0, config.clone()), Arc::new(index));
+                .insert((id.0, config.clone()), index);
             self.state.layer_configs.insert(id.0, config);
             self.state.layer_lookup.insert((uri.clone(), name), id);
             self.state.doc_group.insert(id.0, group_id);
@@ -410,6 +413,22 @@ impl Engine {
         self.state.layer_groups.push(members);
         self.generation = fresh_generation();
         Ok(base)
+    }
+
+    /// Mount every layer of a [`standoff_store::Snapshot`] — the
+    /// *prefetch* form of snapshot mounting: all layers are materialized
+    /// up front (zero-copy for v3 files) and shared with the snapshot's
+    /// layer cache. To mount selectively, materialize layers through
+    /// [`standoff_store::Snapshot::layer`] and assemble a
+    /// [`standoff_store::LayerSet`] for [`Engine::mount_store`].
+    pub fn mount_snapshot(
+        &mut self,
+        snapshot: &standoff_store::Snapshot,
+    ) -> Result<DocId, QueryError> {
+        let set = snapshot
+            .to_layer_set()
+            .map_err(|e| QueryError::stat(format!("cannot mount snapshot: {e}")))?;
+        self.mount_store(set)
     }
 
     /// The underlying document store (documents, constructed results).

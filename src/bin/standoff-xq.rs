@@ -58,11 +58,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use standoff::core::{StandoffConfig, StandoffStrategy};
-use standoff::store::{load_snapshot, load_snapshot_with_info, save_snapshot, LayerSet};
+use standoff::store::{save_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
 use standoff::xquery::{Engine, Executor};
 
 const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
+                     \x20           [--legacy-format]\n\
                      standoff-xq inspect <snapshot>\n\
                      standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
@@ -107,6 +108,7 @@ fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
     let mut uri: Option<String> = None;
     let mut layers: Vec<(String, String)> = Vec::new();
     let mut config = StandoffConfig::default();
+    let mut legacy = false;
     let mut k = 0;
     while k < argv.len() {
         match argv[k].as_str() {
@@ -140,6 +142,7 @@ fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
                     Some(argv.get(k).ok_or("--standoff-region needs a name")?.clone());
             }
             "--lenient" => config.lenient = true,
+            "--legacy-format" => legacy = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -161,12 +164,22 @@ fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
         set.add_layer(name, doc, config.clone())
             .map_err(|e| format!("{path}: {e}"))?;
     }
-    save_snapshot(&set, &out).map_err(|e| format!("{out}: {e}"))?;
+    if legacy {
+        // Version-1 streaming format (compat fixtures, old readers).
+        let file = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        write_snapshot_legacy(&set, &mut w).map_err(|e| format!("{out}: {e}"))?;
+        use std::io::Write as _;
+        w.flush().map_err(|e| format!("{out}: {e}"))?;
+    } else {
+        save_snapshot(&set, &out).map_err(|e| format!("{out}: {e}"))?;
+    }
 
     let annotations: usize = set.layers().iter().map(|l| l.annotation_count()).sum();
     eprintln!(
-        "# indexed {} layer(s), {annotations} annotation(s) -> {out} (uri '{uri}')",
+        "# indexed {} layer(s), {annotations} annotation(s) -> {out} (uri '{uri}', {})",
         set.len(),
+        if legacy { "v1 legacy" } else { "v3 columnar" },
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -186,24 +199,29 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
     let [path] = argv else {
         return Err(format!("inspect takes exactly one snapshot path\n{USAGE}"));
     };
-    // One pass: full decode (which proves integrity) with the on-disk
-    // statistics gathered along the way.
-    let (set, info) = load_snapshot_with_info(path).map_err(|e| format!("{path}: {e}"))?;
+    // A pure header walk: v3 files expose uri, layer names and counts in
+    // the section table + layer headers, so no payload is read (let
+    // alone decoded); legacy files are skimmed with seeks. `query
+    // --store` is the integrity-proving path.
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let info = standoff::store::inspect_snapshot(&mut std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
     println!("snapshot {path}");
+    println!("  format:  v{}", info.version);
     println!("  uri:     {}", info.uri);
     println!("  layers:  {}", info.layers.len());
     println!("  payload: {} byte(s)", info.payload_bytes);
-    for (skim, layer) in info.layers.iter().zip(set.layers()) {
+    for layer in &info.layers {
+        let opt = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "?".to_string(), // legacy skim: counts need a decode
+        };
         println!(
-            "  - {:<12} {:>8} byte(s)  {:>7} node(s)  {:>7} annotation(s)  [{}]",
-            layer.name(),
-            skim.bytes,
-            layer.doc().node_count(),
-            layer.annotation_count(),
-            match layer.config().region_name {
-                Some(_) => "element regions",
-                None => "attribute regions",
-            }
+            "  - {:<12} {:>8} byte(s)  {:>7} node(s)  {:>7} annotation(s)",
+            layer.name,
+            layer.bytes,
+            opt(layer.nodes),
+            opt(layer.annotations),
         );
     }
     Ok(ExitCode::SUCCESS)
@@ -286,9 +304,9 @@ impl CorpusArgs {
         engine.set_auto_strategy(self.auto_strategy);
         engine.set_candidate_pushdown(self.pushdown);
         for path in &self.stores {
-            let set = load_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+            let snapshot = Snapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
             engine
-                .mount_store(set)
+                .mount_snapshot(&snapshot)
                 .map_err(|e| format!("{path}: {e}"))?;
         }
         for path in &self.load_bins {

@@ -1,0 +1,181 @@
+//! Snapshot-format integration: the legacy (version 1) and columnar
+//! (version 3) formats must be *observably identical* to the query
+//! engine, and the committed legacy fixture must never silently rot.
+
+use standoff::core::StandoffConfig;
+use standoff::store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
+use standoff::xmark::queries::XmarkQuery;
+use standoff::xmark::{generate, standoffify, XmarkConfig};
+use standoff::xquery::Engine;
+
+const SO_URI: &str = "xmark-standoff.xml";
+
+/// An XMark StandOff corpus as a two-layer set: the standoffified
+/// document as base plus a re-parsed shadow copy as a sibling layer
+/// (exercises the multi-layer sections of both formats).
+fn xmark_set(scale: f64) -> LayerSet {
+    let so = standoffify(&generate(&XmarkConfig::with_scale(scale)), 7);
+    let shadow_xml = standoff::xml::serialize_document(&so.doc, Default::default());
+    let shadow = standoff::xml::parse_document(&shadow_xml).unwrap();
+    let mut set = LayerSet::build(SO_URI, so.doc, StandoffConfig::default()).unwrap();
+    set.add_layer("shadow", shadow, StandoffConfig::default())
+        .unwrap();
+    set
+}
+
+fn queries() -> Vec<String> {
+    let mut qs: Vec<String> = [
+        XmarkQuery::Q1,
+        XmarkQuery::Q2,
+        XmarkQuery::Q6,
+        XmarkQuery::Q7,
+    ]
+    .iter()
+    .map(|q| q.standoff(SO_URI))
+    .collect();
+    qs.push(format!(
+        r#"count(doc("{SO_URI}")//open_auction/select-narrow::reserve)"#
+    ));
+    qs.push(format!(
+        r#"count(doc("{SO_URI}")//open_auction/select-wide::node())"#
+    ));
+    // Cross-layer: narrow base annotations by the shadow layer.
+    qs.push(format!(
+        r#"count(doc("{SO_URI}#shadow")//item/select-narrow::name)"#
+    ));
+    qs
+}
+
+fn answers(engine: &mut Engine) -> Vec<String> {
+    queries()
+        .iter()
+        .map(|q| engine.run(q).unwrap().as_xml())
+        .collect()
+}
+
+/// The acceptance gate: byte-identical XMark query results across a
+/// direct in-memory mount, a legacy-format round trip, and a v3
+/// round trip.
+#[test]
+fn v1_and_v3_round_trips_answer_queries_byte_identically() {
+    let set = xmark_set(0.002);
+
+    let mut legacy_bytes = Vec::new();
+    write_snapshot_legacy(&set, &mut legacy_bytes).unwrap();
+    let mut v3_bytes = Vec::new();
+    write_snapshot(&set, &mut v3_bytes).unwrap();
+
+    let mut direct = Engine::new();
+    direct.mount_store(set).unwrap();
+    let expected = answers(&mut direct);
+    assert!(expected.iter().any(|a| !a.is_empty()));
+
+    for (bytes, what) in [(legacy_bytes, "legacy v1"), (v3_bytes, "v3")] {
+        let snapshot = Snapshot::from_bytes(bytes).unwrap();
+        let mut engine = Engine::new();
+        engine.mount_snapshot(&snapshot).unwrap();
+        assert_eq!(answers(&mut engine), expected, "{what} mount diverges");
+    }
+}
+
+// ---- committed legacy fixture ----
+
+/// The sources `tests/fixtures/corpus_v1.snap` was built from (CLI:
+/// `index base.xml -o corpus_v1.snap --legacy-format --uri corpus
+/// --layer tokens=… --layer entities=…`).
+const FIXTURE_BASE: &str = "<text>Alice met Bob</text>";
+const FIXTURE_TOKENS: &str = r#"<tokens><w word="Alice" start="0" end="4"/><w word="met" start="6" end="8"/><w word="Bob" start="10" end="12"/></tokens>"#;
+const FIXTURE_ENTITIES: &str =
+    r#"<entities><person start="0" end="4"/><person start="10" end="12"/></entities>"#;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus_v1.snap")
+}
+
+fn fixture_queries() -> [&'static str; 4] {
+    [
+        r#"doc("corpus#entities")//person/select-narrow::w/@word"#,
+        r#"count(doc("corpus#tokens")//w)"#,
+        r#"doc("corpus#tokens")//w[@word = "met"]/select-wide::person"#,
+        r#"string(doc("corpus"))"#,
+    ]
+}
+
+/// The committed v1 file must keep loading through the legacy path and
+/// answering queries byte-identically to a freshly built corpus — this
+/// is the test that keeps the legacy reader from rotting.
+#[test]
+fn committed_v1_fixture_loads_and_answers_queries() {
+    let snapshot = Snapshot::open(fixture_path()).unwrap();
+    assert_eq!(
+        snapshot.version(),
+        1,
+        "fixture must exercise the legacy path"
+    );
+    assert_eq!(
+        snapshot.layer_names().collect::<Vec<_>>(),
+        ["base", "tokens", "entities"]
+    );
+
+    let mut mounted = Engine::new();
+    mounted.mount_snapshot(&snapshot).unwrap();
+
+    // Reference: the same corpus built from the embedded sources.
+    let mut set = LayerSet::build(
+        "corpus",
+        standoff::xml::parse_document(FIXTURE_BASE).unwrap(),
+        StandoffConfig::default(),
+    )
+    .unwrap();
+    for (name, xml) in [("tokens", FIXTURE_TOKENS), ("entities", FIXTURE_ENTITIES)] {
+        set.add_layer(
+            name,
+            standoff::xml::parse_document(xml).unwrap(),
+            StandoffConfig::default(),
+        )
+        .unwrap();
+    }
+    let mut fresh = Engine::new();
+    fresh.mount_store(set).unwrap();
+
+    for q in fixture_queries() {
+        let got = mounted.run(q).unwrap().as_xml();
+        let want = fresh.run(q).unwrap().as_xml();
+        assert_eq!(got, want, "fixture diverges on {q}");
+    }
+    // Pin one answer outright so a coordinated regression in both paths
+    // cannot slip through.
+    assert_eq!(
+        mounted.run(fixture_queries()[0]).unwrap().as_xml(),
+        r#"word="Alice" word="Bob""#
+    );
+}
+
+/// Re-encoding the committed fixture in v3 and mounting it must answer
+/// the same queries identically (the v2→v3 migration story).
+#[test]
+fn committed_v1_fixture_upgrades_to_v3_losslessly() {
+    let set = Snapshot::open(fixture_path())
+        .unwrap()
+        .to_layer_set()
+        .unwrap();
+    let mut v3 = Vec::new();
+    write_snapshot(&set, &mut v3).unwrap();
+
+    let mut legacy = Engine::new();
+    legacy
+        .mount_snapshot(&Snapshot::open(fixture_path()).unwrap())
+        .unwrap();
+    let upgraded_snapshot = Snapshot::from_bytes(v3).unwrap();
+    assert_eq!(upgraded_snapshot.version(), 3);
+    let mut upgraded = Engine::new();
+    upgraded.mount_snapshot(&upgraded_snapshot).unwrap();
+
+    for q in fixture_queries() {
+        assert_eq!(
+            legacy.run(q).unwrap().as_xml(),
+            upgraded.run(q).unwrap().as_xml(),
+            "v1→v3 upgrade diverges on {q}"
+        );
+    }
+}
