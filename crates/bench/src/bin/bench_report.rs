@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use standoff_core::join::merge::ll_select_narrow;
 use standoff_core::join::CtxEntry;
+use standoff_core::obs::{MetricsRegistry, MetricsSnapshot};
 use standoff_core::{
     evaluate_standoff_join, IterNode, JoinInput, RegionEntry, RegionIndex, StandoffAxis,
     StandoffStrategy,
@@ -130,6 +131,7 @@ fn synthetic_index(n: usize) -> RegionIndex {
 fn main() {
     let config = parse_args();
     let mut groups: Vec<(String, u64)> = Vec::new();
+    let metrics: MetricsSnapshot;
     let mut record = |name: &str, ns: u64| {
         println!("bench-report: {name:<44} {ns:>12} ns (median)");
         groups.push((name.to_string(), ns));
@@ -285,6 +287,13 @@ fn main() {
         exec.run_batch(&batch[..1]); // warm the plan cache
         let ns = median_ns(config.samples, || exec.run_batch(&batch));
         record("batch/q2_x16_warm_cache", ns);
+
+        // Observability snapshot for the run as a whole: the engine-side
+        // registry (queries, joins, plan cache, executor queues) merged
+        // with the process-global one (store mount/materialize timings).
+        let mut snap = exec.metrics_snapshot();
+        snap.merge(&MetricsRegistry::global().snapshot());
+        metrics = snap;
     }
 
     // ---- render ----
@@ -311,6 +320,12 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {ns}{comma}");
     }
     let _ = write!(json, "  }}");
+    {
+        // Re-indent the snapshot's own pretty-printing to nest under the
+        // report object.
+        let nested = metrics.to_json().replace('\n', "\n  ");
+        let _ = write!(json, ",\n  \"metrics\": {nested}");
+    }
     if let Some(base) = baseline {
         // Embed the previous report's groups verbatim as the baseline.
         let groups_obj = extract_groups_object(&base)

@@ -20,12 +20,15 @@
 //!   *Loop-Lifted StandOff MergeJoin* (§4.5, Listing 1), selected by
 //!   [`StandoffStrategy`];
 //! * [`trace`] — an execution-trace hook that reproduces the paper's
-//!   Figure 4 step-by-step.
+//!   Figure 4 step-by-step;
+//! * [`obs`] — a dependency-free metrics registry (named counters and
+//!   bucketed histograms) shared by the whole workspace.
 
 pub mod config;
 pub mod error;
 pub mod index;
 pub mod join;
+pub mod obs;
 pub mod region;
 pub mod trace;
 
@@ -36,5 +39,6 @@ pub use join::{
     evaluate_standoff_join, evaluate_standoff_join_with, IterNode, JoinInput, JoinScratch,
     StandoffAxis, StandoffStrategy,
 };
+pub use obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use region::{Area, Region};
 pub use trace::{NoTrace, TraceEvent, TraceSink, VecTrace};

@@ -38,5 +38,5 @@ pub use mount::Snapshot;
 pub use snapshot::{
     inspect_snapshot, load_snapshot, load_snapshot_with_info, read_snapshot,
     read_snapshot_with_info, save_snapshot, write_snapshot, write_snapshot_legacy, LayerInfo,
-    SnapshotInfo,
+    SectionInfo, SnapshotInfo,
 };

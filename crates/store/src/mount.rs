@@ -40,9 +40,11 @@ use standoff_xml::{Document, DocumentParts, ElemIndex, KindCol, NameId, NameTabl
 use crate::error::StoreError;
 use crate::layer::{Layer, LayerSet, BASE_LAYER};
 use crate::snapshot::{
-    bad, read_config, read_snapshot_legacy_with_info, write_config, LayerInfo, SnapshotInfo, MAGIC,
-    VERSION_LEGACY, VERSION_V3,
+    bad, read_config, read_snapshot_legacy_with_info, write_config, LayerInfo, SectionInfo,
+    SnapshotInfo, MAGIC, VERSION_LEGACY, VERSION_V3,
 };
+
+use standoff_core::obs::MetricsRegistry;
 
 use standoff_xml::wire::{read_string, read_u32, read_u64, read_u8, write_string, write_u32};
 
@@ -72,6 +74,37 @@ const SEC_RIDX_ENTRIES: u32 = 31;
 const SEC_RIDX_NODE_IDS: u32 = 32;
 const SEC_RIDX_NODE_OFF: u32 = 33;
 const SEC_RIDX_REGIONS: u32 = 34;
+
+/// Stable human-readable name of a section tag — what
+/// `standoff-xq inspect` prints next to per-section byte sizes.
+pub(crate) fn section_name(tag: u32) -> &'static str {
+    match tag {
+        SEC_META => "meta",
+        SEC_LAYER_HDR => "layer.header",
+        SEC_DOC_META => "doc.meta",
+        SEC_DOC_KIND => "doc.kind",
+        SEC_DOC_SIZE => "doc.size",
+        SEC_DOC_LEVEL => "doc.level",
+        SEC_DOC_PARENT => "doc.parent",
+        SEC_DOC_NAME => "doc.name",
+        SEC_DOC_VAL_HEAP => "doc.value-heap",
+        SEC_DOC_VAL_OFF => "doc.value-offsets",
+        SEC_DOC_ATTR_FIRST => "doc.attr-first",
+        SEC_DOC_ATTR_OWNER => "doc.attr-owner",
+        SEC_DOC_ATTR_NAME => "doc.attr-name",
+        SEC_DOC_ATTR_VAL_HEAP => "doc.attr-value-heap",
+        SEC_DOC_ATTR_VAL_OFF => "doc.attr-value-offsets",
+        SEC_DOC_ELEM_NAMES => "doc.elem-names",
+        SEC_DOC_ELEM_OFF => "doc.elem-offsets",
+        SEC_DOC_ELEM_PRES => "doc.elem-pres",
+        SEC_RIDX_META => "ridx.meta",
+        SEC_RIDX_ENTRIES => "ridx.entries",
+        SEC_RIDX_NODE_IDS => "ridx.node-ids",
+        SEC_RIDX_NODE_OFF => "ridx.node-offsets",
+        SEC_RIDX_REGIONS => "ridx.regions",
+        _ => "unknown",
+    }
+}
 
 /// Fixed-size prelude: magic + version + section count + reserved.
 pub(crate) const HEADER_BYTES: usize = 16;
@@ -235,6 +268,8 @@ struct MountLayer {
     /// Total payload bytes of this layer's sections.
     bytes: u64,
     sections: HashMap<u32, Range<usize>>,
+    /// Per-section byte breakdown for `info()` (v3; empty for legacy).
+    section_info: Vec<SectionInfo>,
     cell: OnceLock<Arc<Layer>>,
 }
 
@@ -267,6 +302,21 @@ impl Snapshot {
 
     /// Mount a snapshot from in-memory bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> io::Result<Snapshot> {
+        // Mount timings go to the process-global registry: the store
+        // crate has no engine to own a registry, and mounts are rare
+        // enough that the global map lookup is immaterial.
+        let started = std::time::Instant::now();
+        let snapshot = Snapshot::from_bytes_inner(bytes)?;
+        let registry = MetricsRegistry::global();
+        registry.add("store.snapshots_opened", 1);
+        registry.record(
+            "store.snapshot_open_ns",
+            started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+        Ok(snapshot)
+    }
+
+    fn from_bytes_inner(bytes: Vec<u8>) -> io::Result<Snapshot> {
         let buf: SharedBytes = Arc::new(bytes);
         if buf.len() < 8 {
             return Err(bad("truncated header"));
@@ -299,6 +349,7 @@ impl Snapshot {
                     entries: layer.index().len() as u64,
                     bytes: skim.bytes,
                     sections: HashMap::new(),
+                    section_info: Vec::new(),
                     cell: OnceLock::new(),
                 };
                 let _ = ml.cell.set(Arc::new(layer));
@@ -382,6 +433,7 @@ impl Snapshot {
             let annotations = read_u64(&mut r)?;
             let entries = read_u64(&mut r)?;
             let mut sections = HashMap::new();
+            let mut section_info = Vec::new();
             let mut bytes = 0u64;
             for &(tag, layer, off, len) in &table {
                 if layer == k && tag != SEC_META {
@@ -392,9 +444,15 @@ impl Snapshot {
                     {
                         return Err(bad(&format!("duplicate section {tag} for layer {k}")));
                     }
+                    section_info.push(SectionInfo {
+                        tag,
+                        name: section_name(tag),
+                        bytes: len,
+                    });
                     bytes += len;
                 }
             }
+            section_info.sort_by_key(|s| s.tag);
             layers.push(MountLayer {
                 name,
                 config,
@@ -404,6 +462,7 @@ impl Snapshot {
                 entries,
                 bytes,
                 sections,
+                section_info,
                 cell: OnceLock::new(),
             });
         }
@@ -478,6 +537,7 @@ impl Snapshot {
                     bytes: l.bytes,
                     nodes: Some(l.nodes),
                     annotations: Some(l.annotations),
+                    sections: l.section_info.clone(),
                 })
                 .collect(),
         }
@@ -502,7 +562,14 @@ impl Snapshot {
         if let Some(layer) = slot.cell.get() {
             return Ok(Arc::clone(layer));
         }
+        let started = std::time::Instant::now();
         let layer = Arc::new(self.materialize(slot)?);
+        let registry = MetricsRegistry::global();
+        registry.add("store.layers_materialized", 1);
+        registry.record(
+            "store.layer_materialize_ns",
+            started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
         // A racing sibling may have won; either value is equivalent.
         Ok(Arc::clone(slot.cell.get_or_init(|| layer)))
     }

@@ -284,6 +284,7 @@ pub(crate) fn read_snapshot_legacy_with_info<R: Read>(
                     bytes: len,
                     nodes: Some(layer.doc().node_count() as u64),
                     annotations: Some(layer.annotation_count() as u64),
+                    sections: Vec::new(),
                 });
                 layers.push(layer);
             }
@@ -317,6 +318,19 @@ pub(crate) fn read_snapshot_legacy_with_info<R: Read>(
 
 // ---- inspect ----
 
+/// One on-disk section of a layer: tag, human name, payload size.
+/// Available for v3 snapshots only (legacy files store one opaque
+/// section per layer); listed in ascending tag order.
+#[derive(Clone, Debug)]
+pub struct SectionInfo {
+    /// The section-table tag (see the `SEC_*` constants in `mount`).
+    pub tag: u32,
+    /// Stable human-readable name of the tag (`"doc.kind"`, …).
+    pub name: &'static str,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
 /// Summary of one layer inside a snapshot.
 #[derive(Clone, Debug)]
 pub struct LayerInfo {
@@ -329,6 +343,8 @@ pub struct LayerInfo {
     pub nodes: Option<u64>,
     /// Declared annotation count (same availability as `nodes`).
     pub annotations: Option<u64>,
+    /// Per-section byte breakdown (v3 only; empty for legacy files).
+    pub sections: Vec<SectionInfo>,
 }
 
 /// Summary of a snapshot file, cheaply skimmed: v3 is a pure header +
@@ -391,6 +407,7 @@ fn inspect_legacy<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInf
                     bytes: len,
                     nodes: None,
                     annotations: None,
+                    sections: Vec::new(),
                 });
             }
             _ => {}
@@ -456,16 +473,23 @@ fn inspect_v3<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
         let nodes = read_u64(&mut p)?;
         let _attrs = read_u64(&mut p)?;
         let annotations = read_u64(&mut p)?;
-        let bytes = table
+        let mut sections: Vec<SectionInfo> = table
             .iter()
             .filter(|&&(t, l, _, _)| l == k && t != SEC_META)
-            .map(|&(_, _, _, l)| l)
-            .sum();
+            .map(|&(tag, _, _, len)| SectionInfo {
+                tag,
+                name: crate::mount::section_name(tag),
+                bytes: len,
+            })
+            .collect();
+        sections.sort_by_key(|s| s.tag);
+        let bytes = sections.iter().map(|s| s.bytes).sum();
         layers.push(LayerInfo {
             name,
             bytes,
             nodes: Some(nodes),
             annotations: Some(annotations),
+            sections,
         });
     }
     Ok(SnapshotInfo {

@@ -18,9 +18,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use standoff_algebra::{Item, LlSeq};
 use standoff_core::join::JoinScratch;
+use standoff_core::obs::{Counter, Histogram, MetricsRegistry};
 use standoff_core::{IndexStats, RegionIndex, StandoffConfig, StandoffStrategy};
 use standoff_xml::{DocId, Document, Store};
 
@@ -30,6 +32,7 @@ use crate::error::QueryError;
 use crate::eval::Evaluator;
 use crate::parser::parse_query;
 use crate::plan::Plan;
+use crate::profile::{PlanProfile, QueryProfile};
 use crate::result::QueryResult;
 
 /// Engine-wide evaluation options.
@@ -54,6 +57,15 @@ pub struct EngineOptions {
     /// of applying `strategy` globally. Off by default so explicit
     /// strategy sweeps (the Figure 6 experiment) keep forcing.
     pub auto_strategy: bool,
+    /// Record a per-operator execution profile (wall time, cardinality,
+    /// join mechanism decisions — see [`crate::profile`]) for every
+    /// query. Off by default; when off the evaluator pays a single
+    /// branch per operator (the `TraceSink::enabled` pattern). Unlike
+    /// the other options this is a pure *run-time* switch — it never
+    /// changes the compiled plan — so it is deliberately **not** part
+    /// of [`EngineOptions::fingerprint`]: profiled and unprofiled runs
+    /// may share one cached plan.
+    pub profile: bool,
 }
 
 impl Default for EngineOptions {
@@ -63,6 +75,7 @@ impl Default for EngineOptions {
             candidate_pushdown: true,
             recursion_limit: 64,
             auto_strategy: false,
+            profile: false,
         }
     }
 }
@@ -72,7 +85,9 @@ impl EngineOptions {
     /// compilation. Plan caches key on `(query text, store generation,
     /// options fingerprint)`; omitting the fingerprint would let a plan
     /// compiled under one strategy/pushdown setting serve queries run
-    /// under another.
+    /// under another. `profile` is excluded on purpose — it only
+    /// affects execution, and toggling it must *not* fault warmed plans
+    /// out of the cache.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the option bytes — stable within a process, which
         // is all a cache key needs.
@@ -98,6 +113,20 @@ impl EngineOptions {
 /// step really skipped its trailing self-axis pass, that a single-
 /// fragment scope really skipped the result sort, and which side of the
 /// candidate-intersection cost model an operator landed on.
+///
+/// # Reset semantics
+///
+/// The counters are **cumulative per [`Engine`] / per [`Session`]**,
+/// never per query: every query run on the same engine or session adds
+/// to them. A fresh [`Session`] from [`SharedEngine::session`] starts
+/// at zero — it does *not* inherit counts accumulated before the engine
+/// was frozen. To meter a single query (or any window), either call
+/// [`Engine::reset_join_stats`] first or use
+/// [`Engine::take_join_stats`] / [`Session::take_join_stats`], which
+/// returns the counts since the last take/reset and zeroes them in one
+/// step. The same events are also mirrored into the engine's
+/// [`MetricsRegistry`] under `join.*` names, where they accumulate
+/// engine-wide across all sessions.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct JoinStats {
     /// Result merges skipped because the scope was a single fragment
@@ -126,6 +155,63 @@ impl JoinStats {
         self.candidate_node_view += other.candidate_node_view;
         self.candidate_scans += other.candidate_scans;
     }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = JoinStats::default();
+    }
+
+    /// Return the current counts and zero them — the "delta since last
+    /// take" primitive profiling runs use so they never inherit stale
+    /// counts.
+    pub fn take_delta(&mut self) -> JoinStats {
+        std::mem::take(self)
+    }
+}
+
+/// Pre-registered handles into an engine's [`MetricsRegistry`], created
+/// once per engine so hot paths never touch the registry's map lock.
+/// Cloning shares the underlying cells (sessions of one shared engine
+/// all feed the same counters).
+#[derive(Clone)]
+pub(crate) struct MetricHandles {
+    pub(crate) query_executions: Counter,
+    pub(crate) query_exec_ns: Histogram,
+    pub(crate) mounts: Counter,
+    pub(crate) mount_ns: Histogram,
+    pub(crate) join_result_sorts_elided: Counter,
+    pub(crate) join_result_sorts: Counter,
+    pub(crate) join_post_filters_elided: Counter,
+    pub(crate) join_post_filters: Counter,
+    pub(crate) join_candidate_node_view: Counter,
+    pub(crate) join_candidate_scans: Counter,
+}
+
+impl MetricHandles {
+    fn new(registry: &MetricsRegistry) -> MetricHandles {
+        MetricHandles {
+            query_executions: registry.counter("query.executions"),
+            query_exec_ns: registry.histogram("query.exec_ns"),
+            mounts: registry.counter("engine.mounts"),
+            mount_ns: registry.histogram("engine.mount_ns"),
+            join_result_sorts_elided: registry.counter("join.result_sorts_elided"),
+            join_result_sorts: registry.counter("join.result_sorts"),
+            join_post_filters_elided: registry.counter("join.post_filters_elided"),
+            join_post_filters: registry.counter("join.post_filters"),
+            join_candidate_node_view: registry.counter("join.candidate_node_view"),
+            join_candidate_scans: registry.counter("join.candidate_scans"),
+        }
+    }
+
+    /// Mirror one join's stat delta into the registry counters.
+    pub(crate) fn record_join(&self, stats: &JoinStats) {
+        self.join_result_sorts_elided.add(stats.result_sorts_elided);
+        self.join_result_sorts.add(stats.result_sorts);
+        self.join_post_filters_elided.add(stats.post_filters_elided);
+        self.join_post_filters.add(stats.post_filters);
+        self.join_candidate_node_view.add(stats.candidate_node_view);
+        self.join_candidate_scans.add(stats.candidate_scans);
+    }
 }
 
 /// Source of store-generation stamps: every corpus-shaping mutation of
@@ -136,6 +222,10 @@ static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 fn fresh_generation() -> u64 {
     NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// The mutable evaluation state behind an engine or session. Cloning
@@ -163,10 +253,21 @@ pub struct EngineState {
     pub(crate) join_scratch: JoinScratch,
     /// Fast-path decision counters (see [`JoinStats`]).
     pub(crate) join_stats: JoinStats,
+    /// The engine's metrics registry. Shared (not cloned) across every
+    /// session of a [`SharedEngine`], so counters accumulate
+    /// engine-wide while tests with private engines stay isolated.
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Pre-registered counter/histogram handles into `metrics`.
+    pub(crate) handles: MetricHandles,
+    /// The per-operator profile of the most recent profiled execution
+    /// (see [`EngineOptions::profile`]).
+    pub(crate) last_profile: Option<PlanProfile>,
 }
 
 impl EngineState {
     fn new(options: EngineOptions) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let handles = MetricHandles::new(&metrics);
         EngineState {
             store: Store::new(),
             options,
@@ -178,6 +279,9 @@ impl EngineState {
             externals: HashMap::new(),
             join_scratch: JoinScratch::default(),
             join_stats: JoinStats::default(),
+            metrics,
+            handles,
+            last_profile: None,
         }
     }
 
@@ -258,8 +362,12 @@ impl EngineState {
     }
 
     /// Evaluate a compiled plan against this state — the single
-    /// execution entry point every query path funnels through.
+    /// execution entry point every query path funnels through. Always
+    /// meters `query.executions` / `query.exec_ns` in the engine's
+    /// registry; records a per-operator [`PlanProfile`] (retrievable
+    /// via `take_last_profile`) when [`EngineOptions::profile`] is on.
     pub fn execute_plan(&mut self, plan: &Plan) -> Result<QueryResult, QueryError> {
+        let started = Instant::now();
         // External variable values are cloned out first so the evaluator
         // can borrow the state mutably.
         let mut external_values = Vec::with_capacity(plan.externals.len());
@@ -271,20 +379,40 @@ impl EngineState {
             })?;
             external_values.push((name.clone(), items));
         }
+        let profiling = self.options.profile;
         let mut evaluator = Evaluator::new(self, plan.config.clone());
+        if profiling {
+            evaluator.enable_profiling();
+        }
         evaluator.functions = plan.functions.clone();
         for (name, items) in external_values {
             evaluator.bind(&name, LlSeq::for_iter(0, items));
         }
         // Global variables evaluate in declaration order in the root
         // scope.
-        for (name, expr) in &plan.globals {
-            let value = evaluator.eval(expr)?;
-            evaluator.bind(name, value);
+        let outcome = (|| {
+            for (name, expr) in &plan.globals {
+                let value = evaluator.eval(expr)?;
+                evaluator.bind(name, value);
+            }
+            evaluator.eval(&plan.body)
+        })();
+        let profile = evaluator.take_profile();
+        if profiling {
+            self.last_profile = profile;
         }
-        let table = evaluator.eval(&plan.body)?;
-        let items = table.into_items();
+        self.handles.query_executions.inc();
+        self.handles
+            .query_exec_ns
+            .record_duration(started.elapsed());
+        let items = outcome?.into_items();
         Ok(QueryResult::new(items, &self.store))
+    }
+
+    /// The per-operator profile of the most recent profiled execution,
+    /// consuming it. `None` unless [`EngineOptions::profile`] was on.
+    pub fn take_last_profile(&mut self) -> Option<PlanProfile> {
+        self.last_profile.take()
     }
 }
 
@@ -371,6 +499,7 @@ impl Engine {
     ///   steps and the `select-narrow(..)` builtin family join across the
     ///   whole group, so `entities` can be narrowed by `tokens`.
     pub fn mount_store(&mut self, set: standoff_store::LayerSet) -> Result<DocId, QueryError> {
+        let started = Instant::now();
         let (uri, layers) = set.into_layers();
         // Check every URI the mount will claim — the bare store URI and
         // each derived `uri#layer` — before touching any state, so a
@@ -412,6 +541,11 @@ impl Engine {
         let base = members[0];
         self.state.layer_groups.push(members);
         self.generation = fresh_generation();
+        self.state.handles.mounts.inc();
+        self.state
+            .handles
+            .mount_ns
+            .record_duration(started.elapsed());
         Ok(base)
     }
 
@@ -425,9 +559,13 @@ impl Engine {
         &mut self,
         snapshot: &standoff_store::Snapshot,
     ) -> Result<DocId, QueryError> {
+        let started = Instant::now();
         let set = snapshot
             .to_layer_set()
             .map_err(|e| QueryError::stat(format!("cannot mount snapshot: {e}")))?;
+        self.state
+            .metrics
+            .record("engine.snapshot_materialize_ns", elapsed_ns(started));
         self.mount_store(set)
     }
 
@@ -442,14 +580,65 @@ impl Engine {
     }
 
     /// Counters of the join executor's fast-path decisions accumulated
-    /// by queries run on this engine (see [`JoinStats`]).
+    /// by queries run on this engine — cumulative since creation or the
+    /// last reset/take (see [`JoinStats`] for the full semantics).
     pub fn join_stats(&self) -> JoinStats {
         self.state.join_stats
     }
 
     /// Reset the [`JoinStats`] counters to zero.
     pub fn reset_join_stats(&mut self) {
-        self.state.join_stats = JoinStats::default();
+        self.state.join_stats.reset();
+    }
+
+    /// The [`JoinStats`] accumulated since the last take/reset, zeroing
+    /// the counters (see [`JoinStats::take_delta`]).
+    pub fn take_join_stats(&mut self) -> JoinStats {
+        self.state.join_stats.take_delta()
+    }
+
+    /// The engine's metrics registry: join mechanism counters, query
+    /// execution timings, mount timings. Shared with every [`Session`]
+    /// stamped out after [`Engine::into_shared`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.state.metrics
+    }
+
+    /// Enable/disable per-operator execution profiling (see
+    /// [`EngineOptions::profile`]). A pure run-time switch — compiled
+    /// and cached plans are unaffected.
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.state.options.profile = enabled;
+    }
+
+    /// The per-operator profile of the most recent profiled run,
+    /// consuming it (`None` unless profiling was on).
+    pub fn take_last_profile(&mut self) -> Option<PlanProfile> {
+        self.state.take_last_profile()
+    }
+
+    /// Run a query with per-operator profiling forced on, returning the
+    /// result together with the executed plan and its profile. The plan
+    /// is compiled with explain-grade estimates so renderings can show
+    /// estimate-vs-actual drift.
+    pub fn run_profiled(&mut self, query: &str) -> Result<(QueryResult, QueryProfile), QueryError> {
+        let plan = Arc::new(self.compile(query)?);
+        let was = self.state.options.profile;
+        self.state.options.profile = true;
+        let outcome = self.state.execute_plan(&plan);
+        self.state.options.profile = was;
+        let ops = self.state.last_profile.take().unwrap_or_default();
+        Ok((outcome?, QueryProfile { plan, ops }))
+    }
+
+    /// `explain analyze`: execute the query with profiling and render
+    /// the plan tree annotated with measured rows/time per operator
+    /// next to the optimizer's estimates (see [`crate::explain`]).
+    pub fn explain_analyze(&mut self, query: &str) -> Result<String, QueryError> {
+        let (result, profile) = self.run_profiled(query)?;
+        let mut out = profile.render();
+        out.push_str(&format!("result: {} item(s)\n", result.len()));
+        Ok(out)
     }
 
     /// Switch the StandOff evaluation strategy (Figure 6's independent
@@ -581,11 +770,16 @@ impl SharedEngine {
     ///
     /// The session clone costs a pointer copy per shared document plus
     /// the (small) URI / layer maps — no document or index data is
-    /// copied.
+    /// copied. The session's [`JoinStats`] start at zero (it does not
+    /// inherit counts accumulated before the freeze); its metrics
+    /// registry is *shared* with the engine and every sibling session.
     pub fn session(&self) -> Session {
+        let mut state = self.core.as_ref().clone();
+        state.join_stats.reset();
+        state.last_profile = None;
         Session {
             base_docs: self.core.store.len(),
-            state: self.core.as_ref().clone(),
+            state,
         }
     }
 
@@ -605,6 +799,13 @@ impl SharedEngine {
     /// The evaluation options the corpus was frozen with.
     pub fn options(&self) -> &EngineOptions {
         &self.core.options
+    }
+
+    /// The metrics registry shared by the originating engine and every
+    /// session over this corpus (including those of
+    /// [`SharedEngine::with_options`] variants).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.metrics
     }
 
     /// The same corpus under different evaluation options — strategy
@@ -676,14 +877,40 @@ impl Session {
     }
 
     /// Counters of the join executor's fast-path decisions accumulated
-    /// by queries run in this session (see [`JoinStats`]).
+    /// by queries run in this session — cumulative since session
+    /// creation or the last reset/take; a fresh session always starts
+    /// at zero (see [`JoinStats`]).
     pub fn join_stats(&self) -> JoinStats {
         self.state.join_stats
     }
 
     /// Reset the [`JoinStats`] counters to zero.
     pub fn reset_join_stats(&mut self) {
-        self.state.join_stats = JoinStats::default();
+        self.state.join_stats.reset();
+    }
+
+    /// The [`JoinStats`] accumulated since the last take/reset, zeroing
+    /// the counters (see [`JoinStats::take_delta`]).
+    pub fn take_join_stats(&mut self) -> JoinStats {
+        self.state.join_stats.take_delta()
+    }
+
+    /// The metrics registry — shared with the engine this session came
+    /// from and all of its sibling sessions.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.state.metrics
+    }
+
+    /// Enable/disable per-operator execution profiling for this session
+    /// (see [`EngineOptions::profile`]).
+    pub fn set_profile(&mut self, enabled: bool) {
+        self.state.options.profile = enabled;
+    }
+
+    /// The per-operator profile of the most recent profiled run in this
+    /// session, consuming it (`None` unless profiling was on).
+    pub fn take_last_profile(&mut self) -> Option<PlanProfile> {
+        self.state.take_last_profile()
     }
 }
 

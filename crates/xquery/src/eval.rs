@@ -36,6 +36,7 @@ use crate::engine::{EngineState, JoinStats};
 use crate::error::QueryError;
 use crate::functions;
 use crate::plan::*;
+use crate::profile::{JoinExec, PlanProfile};
 
 /// One scope of the loop-lifting frame stack.
 pub struct Frame {
@@ -65,6 +66,13 @@ pub struct Evaluator<'e> {
     /// evaluator's borrow, and function bodies are pinned by the `Arc`s
     /// in `functions`.
     name_cache: NameCache,
+    /// Per-operator measurements, present only while profiling (see
+    /// [`crate::engine::EngineOptions::profile`]). Keyed by operator
+    /// address, which is sound for the same reason as `name_cache`.
+    /// When `None` — the default — [`Evaluator::eval`] is a single
+    /// branch away from the unprofiled dispatch (the
+    /// `TraceSink::enabled` zero-cost pattern).
+    profile: Option<Box<PlanProfile>>,
 }
 
 impl<'e> Evaluator<'e> {
@@ -81,7 +89,21 @@ impl<'e> Evaluator<'e> {
             }],
             call_depth: 0,
             name_cache: NameCache::new(),
+            profile: None,
         }
+    }
+
+    /// Switch per-operator profiling on for this execution. Idempotent;
+    /// measurements accumulate into a fresh [`PlanProfile`].
+    pub(crate) fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// Detach the recorded profile, if profiling was enabled.
+    pub(crate) fn take_profile(&mut self) -> Option<PlanProfile> {
+        self.profile.take().map(|p| *p)
     }
 
     #[inline]
@@ -146,6 +168,25 @@ impl<'e> Evaluator<'e> {
     // ================= operator dispatch =================
 
     pub fn eval(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
+        if self.profile.is_none() {
+            return self.eval_inner(expr);
+        }
+        let start = std::time::Instant::now();
+        let result = self.eval_inner(expr);
+        let ns = start.elapsed().as_nanos() as u64;
+        if let Some(p) = self.profile.as_deref_mut() {
+            let m = p.op_mut(expr as *const PlanExpr as usize);
+            m.calls += 1;
+            // Inclusive of children: the renderer shows the hierarchy.
+            m.wall_ns += ns;
+            if let Ok(t) = &result {
+                m.out_rows += t.len() as u64;
+            }
+        }
+        result
+    }
+
+    fn eval_inner(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
         match expr {
             PlanExpr::Const(atom) => Ok(LlSeq::lifted_const(self.n_iters(), atom.to_item())),
             PlanExpr::Var(name) => self.lookup(name),
@@ -201,7 +242,13 @@ impl<'e> Evaluator<'e> {
                 op,
                 test,
                 predicates,
-            } => self.eval_standoff_step(input.as_deref(), op, test, predicates),
+            } => self.eval_standoff_step(
+                input.as_deref(),
+                op,
+                test,
+                predicates,
+                expr as *const PlanExpr as usize,
+            ),
             PlanExpr::PathExpr { input, step } => self.eval_path_expr(input, step),
             PlanExpr::RootPath => self.eval_root_path(),
             PlanExpr::Filter { input, predicate } => {
@@ -228,6 +275,7 @@ impl<'e> Evaluator<'e> {
                     op,
                     &NodeTest::any_element(),
                     cands.as_ref(),
+                    expr as *const PlanExpr as usize,
                 )?;
                 Ok(out.into_llseq())
             }
@@ -764,9 +812,10 @@ impl<'e> Evaluator<'e> {
         op: &StandoffOp,
         test: &NodeTest,
         predicates: &[PlanExpr],
+        prof_key: usize,
     ) -> Result<LlSeq, QueryError> {
         let ctx = self.context_nodes(input)?;
-        let result = self.eval_standoff_join(&ctx, op, test, None)?;
+        let result = self.eval_standoff_join(&ctx, op, test, None, prof_key)?;
         let mut table = result.into_llseq();
         for predicate in predicates {
             table = self.apply_predicate(table, predicate)?;
@@ -797,6 +846,7 @@ impl<'e> Evaluator<'e> {
         op: &StandoffOp,
         test: &NodeTest,
         explicit_candidates: Option<&NodeTable>,
+        prof_key: usize,
     ) -> Result<NodeTable, QueryError> {
         let axis = op.axis;
         let strategy = op.strategy;
@@ -864,8 +914,11 @@ impl<'e> Evaluator<'e> {
         let single_fragment = units.len() == 1 && units[0].0.len() == 1 && units[0].1.len() == 1;
         // Join-stat deltas are accumulated locally and folded into the
         // engine at the end — the loop below holds immutable borrows of
-        // the engine's store.
+        // the engine's store. Candidate-set sizes ride along for the
+        // per-operator profile.
         let mut stats = JoinStats::default();
+        let mut cand_rows: u64 = 0;
+        let mut cand_max: u64 = 0;
         let mut scratch = std::mem::take(&mut self.engine.join_scratch);
 
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
@@ -923,6 +976,8 @@ impl<'e> Evaluator<'e> {
                             .map(|name| Cow::Borrowed(doc.elements_named(name)))
                     };
                     if let Some(cands) = &name_candidates {
+                        cand_rows += cands.len() as u64;
+                        cand_max = cand_max.max(cands.len() as u64);
                         if target_index.prefers_node_view(cands.len()) {
                             stats.candidate_node_view += 1;
                         } else {
@@ -1014,11 +1069,26 @@ impl<'e> Evaluator<'e> {
         // the literal trailing step.
         if op.test_guaranteed {
             stats.post_filters_elided += 1;
-            self.engine.join_stats.merge(stats);
+        } else {
+            stats.post_filters += 1;
+        }
+        // Single fold point: engine counters, registry mirror, and —
+        // when profiling — the operator's JoinExec detail.
+        self.engine.handles.record_join(&stats);
+        self.engine.join_stats.merge(stats);
+        if let Some(p) = self.profile.as_deref_mut() {
+            let j = p
+                .op_mut(prof_key)
+                .join
+                .get_or_insert_with(JoinExec::default);
+            j.ctx_rows += ctx.iters().len() as u64;
+            j.cand_rows += cand_rows;
+            j.cand_max = j.cand_max.max(cand_max);
+            j.stats.merge(stats);
+        }
+        if op.test_guaranteed {
             return Ok(out);
         }
-        stats.post_filters += 1;
-        self.engine.join_stats.merge(stats);
         Ok(standoff_algebra::staircase::ll_step(
             &self.engine.store,
             &out,

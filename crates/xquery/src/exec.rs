@@ -35,10 +35,14 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use standoff_core::obs::MetricsSnapshot;
 
 use crate::engine::{Session, SharedEngine};
 use crate::error::QueryError;
 use crate::plan::Plan;
+use crate::profile::QueryProfile;
 use crate::result::QueryResult;
 
 /// Default capacity of an executor's compiled-plan cache.
@@ -62,6 +66,23 @@ pub struct QueryCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time view of a [`QueryCache`]'s counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries dropped to make room (LRU); does not count entries
+    /// *replaced* by a recompile of the same key.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Maximum number of cached plans.
+    pub capacity: usize,
 }
 
 /// Everything but the query text of a cache key.
@@ -94,6 +115,7 @@ impl QueryCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -130,6 +152,7 @@ impl QueryCache {
             .is_some_and(|m| m.contains_key(text));
         if !replacing && inner.len >= self.capacity {
             inner.evict_lru();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let entry = CacheEntry {
             plan: Arc::clone(&plan),
@@ -154,6 +177,24 @@ impl QueryCache {
     /// Cache misses since construction.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted (LRU) since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// All counters and occupancy in one consistent-enough view (the
+    /// counters are independently atomic; exactness across a racing
+    /// insert is not promised, monotonicity is).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Number of cached plans.
@@ -256,56 +297,129 @@ impl Executor {
         &self,
         queries: &[S],
     ) -> Vec<Result<QueryResult, QueryError>> {
+        self.run_batch_impl(queries, false, |exec, session, text| {
+            exec.run_one(session, text)
+        })
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err(QueryError::internal("query was not scheduled"))))
+        .collect()
+    }
+
+    /// [`Executor::run_batch`] with per-operator profiling: every
+    /// successful query also returns its [`QueryProfile`]. Scheduling,
+    /// ordering and robustness guarantees are identical; the workers'
+    /// sessions simply run with profiling on.
+    pub fn run_batch_profiled<S: AsRef<str> + Sync>(
+        &self,
+        queries: &[S],
+    ) -> Vec<Result<(QueryResult, QueryProfile), QueryError>> {
+        self.run_batch_impl(queries, true, |exec, session, text| {
+            exec.run_one_profiled(session, text)
+        })
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err(QueryError::internal("query was not scheduled"))))
+        .collect()
+    }
+
+    /// The shared batch driver: fan `queries` out over the workers,
+    /// recording queue metrics (`executor.*`) into the engine registry
+    /// per pick. Returns one slot per query in submission order; `None`
+    /// marks a query no worker reported a result for (dead worker).
+    fn run_batch_impl<S, T, F>(&self, queries: &[S], profile: bool, run_fn: F) -> Vec<Option<T>>
+    where
+        S: AsRef<str> + Sync,
+        T: Send,
+        F: Fn(&Executor, &mut Session, &str) -> T + Sync,
+    {
         if queries.is_empty() {
             return Vec::new();
         }
+        let registry = self.engine.metrics();
+        registry.counter("executor.batches").inc();
+        let queries_ctr = registry.counter("executor.queries");
+        let queue_wait = registry.histogram("executor.queue_wait_ns");
+        let queue_depth = registry.histogram("executor.queue_depth");
+        let started = Instant::now();
+        // Per-pick bookkeeping, shared by the inline and threaded paths:
+        // wait is how long the query sat in the queue before a worker
+        // picked it up, depth is how many queries were still waiting.
+        let picked = |k: usize| {
+            queries_ctr.inc();
+            queue_wait.record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            queue_depth.record((queries.len() - k - 1) as u64);
+        };
         if self.threads == 1 || queries.len() == 1 {
             let mut session = self.engine.session();
+            session.set_profile(profile);
             return queries
                 .iter()
-                .map(|q| self.run_one(&mut session, q.as_ref()))
+                .enumerate()
+                .map(|(k, q)| {
+                    picked(k);
+                    Some(run_fn(self, &mut session, q.as_ref()))
+                })
                 .collect();
         }
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(queries.len());
-        let mut slots: Vec<Vec<(usize, Result<QueryResult, QueryError>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        scope.spawn(move || {
-                            let mut session = self.engine.session();
-                            let mut local = Vec::new();
-                            loop {
-                                let k = next.fetch_add(1, Ordering::Relaxed);
-                                if k >= queries.len() {
-                                    break;
-                                }
-                                local.push((k, self.run_one(&mut session, queries[k].as_ref())));
+        let mut slots: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let picked = &picked;
+                    let run_fn = &run_fn;
+                    scope.spawn(move || {
+                        let mut session = self.engine.session();
+                        session.set_profile(profile);
+                        let mut local = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= queries.len() {
+                                break;
                             }
-                            local
-                        })
+                            picked(k);
+                            local.push((k, run_fn(self, &mut session, queries[k].as_ref())));
+                        }
+                        local
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            // Worker bodies catch per-query panics, so a
-                            // dead worker means its loop machinery
-                            // failed; its queries are reported below.
-                            Vec::new()
-                        })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        // Worker bodies catch per-query panics, so a
+                        // dead worker means its loop machinery
+                        // failed; its queries are reported below.
+                        Vec::new()
                     })
-                    .collect()
-            });
-        let mut results: Vec<Result<QueryResult, QueryError>> = (0..queries.len())
-            .map(|_| Err(QueryError::internal("query was not scheduled")))
-            .collect();
+                })
+                .collect()
+        });
+        let mut results: Vec<Option<T>> = (0..queries.len()).map(|_| None).collect();
         for (k, result) in slots.drain(..).flatten() {
-            results[k] = result;
+            results[k] = Some(result);
         }
         results
+    }
+
+    /// The engine registry's snapshot with this executor's plan-cache
+    /// counters (`plan_cache.hits/misses/evictions`) injected — the
+    /// cache belongs to the executor, not the engine, so the registry
+    /// alone cannot see it.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.engine.metrics().snapshot();
+        let stats = self.cache.stats();
+        snapshot
+            .counters
+            .insert("plan_cache.hits".to_string(), stats.hits);
+        snapshot
+            .counters
+            .insert("plan_cache.misses".to_string(), stats.misses);
+        snapshot
+            .counters
+            .insert("plan_cache.evictions".to_string(), stats.evictions);
+        snapshot
     }
 
     /// Evaluate one query in an existing session, converting any panic
@@ -322,6 +436,31 @@ impl Executor {
                 // The session may hold arbitrary partial state after an
                 // unwind; rebuild it from the shared corpus.
                 *session = self.engine.session();
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Executor::run_one`] with the session's recorded profile
+    /// attached to the result. The session is assumed to have profiling
+    /// enabled (the batch driver did it); a rebuilt-after-panic session
+    /// re-enables it.
+    fn run_one_profiled(
+        &self,
+        session: &mut Session,
+        text: &str,
+    ) -> Result<(QueryResult, QueryProfile), QueryError> {
+        let plan = self.cache.get_or_compile(text, &self.engine)?;
+        let outcome = guard_panic(|| session.execute_plan(&plan), "query evaluation");
+        match outcome {
+            Ok(result) => {
+                let ops = session.take_last_profile().unwrap_or_default();
+                session.reset();
+                result.map(|r| (r, QueryProfile { plan, ops }))
+            }
+            Err(e) => {
+                *session = self.engine.session();
+                session.set_profile(true);
                 Err(e)
             }
         }

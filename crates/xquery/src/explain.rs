@@ -12,14 +12,35 @@
 //! Because the text is generated from the plan rather than the AST, it
 //! cannot drift from execution: what explain prints *is* what runs.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use standoff_core::StandoffStrategy;
 
 use crate::plan::*;
+use crate::profile::{fmt_ns, operator_ids, PlanProfile};
 
 /// Render the optimized plan.
 pub fn explain_plan(plan: &Plan) -> String {
+    render_plan(plan, None)
+}
+
+/// Render the optimized plan annotated with one execution's measurements
+/// — the `explain analyze` text. Every operator's head line gains an
+/// `-- actual #id:` block with call count, output rows and wall time
+/// (plus join mechanism detail for StandOff joins); operators the
+/// execution never reached say so. With `redact` the times print as `~`,
+/// which keeps the output deterministic for golden tests.
+pub fn explain_analyze(plan: &Plan, profile: &PlanProfile, redact: bool) -> String {
+    let ctx = AnalyzeCtx {
+        ids: operator_ids(plan),
+        profile,
+        redact,
+    };
+    render_plan(plan, Some(&ctx))
+}
+
+fn render_plan(plan: &Plan, ctx: Option<&AnalyzeCtx>) -> String {
     let mut out = String::new();
     if !plan.passes.is_empty() {
         let _ = writeln!(out, "passes: {}", plan.passes.join(" → "));
@@ -32,15 +53,59 @@ pub fn explain_plan(plan: &Plan) -> String {
     }
     for f in &plan.functions {
         let _ = writeln!(out, "function {}({}):", f.name, f.params.join(", "));
-        explain_expr(&f.body, 1, &mut out);
+        explain_expr_in(&f.body, 1, &mut out, ctx);
     }
     for (name, expr) in &plan.globals {
         let _ = writeln!(out, "global ${name} :=");
-        explain_expr(expr, 1, &mut out);
+        explain_expr_in(expr, 1, &mut out, ctx);
     }
     out.push_str("plan:\n");
-    explain_expr(&plan.body, 1, &mut out);
+    explain_expr_in(&plan.body, 1, &mut out, ctx);
     out
+}
+
+/// The measurement side-channel of `explain analyze`: stable operator
+/// ids plus the recorded profile, threaded through the renderer.
+struct AnalyzeCtx<'a> {
+    ids: HashMap<usize, u32>,
+    profile: &'a PlanProfile,
+    redact: bool,
+}
+
+impl AnalyzeCtx<'_> {
+    /// The `-- actual` block for one operator's head line.
+    fn annotation(&self, expr: &PlanExpr) -> Option<String> {
+        let key = expr as *const PlanExpr as usize;
+        let id = self.ids.get(&key)?;
+        let Some(m) = self.profile.ops.get(&key) else {
+            return Some(format!("  -- actual #{id}: not executed"));
+        };
+        let time = if self.redact {
+            "~".to_string()
+        } else {
+            fmt_ns(m.wall_ns)
+        };
+        let mut note = format!(
+            "  -- actual #{id}: calls={} rows={} time={time}",
+            m.calls, m.out_rows
+        );
+        if let Some(j) = &m.join {
+            let _ = write!(
+                note,
+                " | join ctx={} cands={} (max {}) node-view={} scan={} sorts={} (elided {}) post={} (elided {})",
+                j.ctx_rows,
+                j.cand_rows,
+                j.cand_max,
+                j.stats.candidate_node_view,
+                j.stats.candidate_scans,
+                j.stats.result_sorts,
+                j.stats.result_sorts_elided,
+                j.stats.post_filters,
+                j.stats.post_filters_elided,
+            );
+        }
+        Some(note)
+    }
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -124,7 +189,23 @@ fn standoff_note(op: &StandoffOp, explicit_candidates: bool) -> String {
     note
 }
 
-fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
+/// Render one operator subtree, then splice the analyze annotation (if
+/// any) into the operator's head line — the first line the arm emitted.
+/// Children are already rendered (and annotated) by the time the parent
+/// splices, so the insertion point is always the parent's own newline.
+fn explain_expr_in(expr: &PlanExpr, depth: usize, out: &mut String, ctx: Option<&AnalyzeCtx>) {
+    let head_start = out.len();
+    explain_expr_body(expr, depth, out, ctx);
+    if let Some(actx) = ctx {
+        if let Some(note) = actx.annotation(expr) {
+            if let Some(pos) = out[head_start..].find('\n') {
+                out.insert_str(head_start + pos, &note);
+            }
+        }
+    }
+}
+
+fn explain_expr_body(expr: &PlanExpr, depth: usize, out: &mut String, ctx: Option<&AnalyzeCtx>) {
     match expr {
         PlanExpr::Const(atom) => {
             let text = match atom {
@@ -140,7 +221,7 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
         PlanExpr::Sequence(items) => {
             line(out, depth, &format!("sequence [{} parts]", items.len()));
             for e in items {
-                explain_expr(e, depth + 1, out);
+                explain_expr_in(e, depth + 1, out, ctx);
             }
         }
         PlanExpr::Flwor {
@@ -157,7 +238,7 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                     depth + 1,
                     &format!("hoisted ${name} :=  -- loop-invariant, once per host iteration"),
                 );
-                explain_expr(expr, depth + 2, out);
+                explain_expr_in(expr, depth + 2, out, ctx);
             }
             for clause in clauses {
                 match clause {
@@ -168,17 +249,17 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                             depth + 1,
                             &format!("for ${var}{at} in  -- opens a new iteration scope"),
                         );
-                        explain_expr(seq, depth + 2, out);
+                        explain_expr_in(seq, depth + 2, out, ctx);
                     }
                     PlanClause::Let { var, value } => {
                         line(out, depth + 1, &format!("let ${var} :="));
-                        explain_expr(value, depth + 2, out);
+                        explain_expr_in(value, depth + 2, out, ctx);
                     }
                 }
             }
             if let Some(w) = where_clause {
                 line(out, depth + 1, "where  -- restricts the loop relation");
-                explain_expr(w, depth + 2, out);
+                explain_expr_in(w, depth + 2, out, ctx);
             }
             for key in order_by {
                 line(
@@ -190,10 +271,10 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                         "order by"
                     },
                 );
-                explain_expr(&key.expr, depth + 2, out);
+                explain_expr_in(&key.expr, depth + 2, out, ctx);
             }
             line(out, depth + 1, "return");
-            explain_expr(return_clause, depth + 2, out);
+            explain_expr_in(return_clause, depth + 2, out, ctx);
         }
         PlanExpr::Quantified {
             every,
@@ -203,10 +284,10 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
             line(out, depth, if *every { "every" } else { "some" });
             for (var, seq) in bindings {
                 line(out, depth + 1, &format!("${var} in"));
-                explain_expr(seq, depth + 2, out);
+                explain_expr_in(seq, depth + 2, out, ctx);
             }
             line(out, depth + 1, "satisfies");
-            explain_expr(satisfies, depth + 2, out);
+            explain_expr_in(satisfies, depth + 2, out, ctx);
         }
         PlanExpr::IfThenElse {
             cond,
@@ -218,11 +299,11 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                 depth,
                 "if  -- branches evaluated on split loop relations",
             );
-            explain_expr(cond, depth + 1, out);
+            explain_expr_in(cond, depth + 1, out, ctx);
             line(out, depth, "then");
-            explain_expr(then_branch, depth + 1, out);
+            explain_expr_in(then_branch, depth + 1, out, ctx);
             line(out, depth, "else");
-            explain_expr(else_branch, depth + 1, out);
+            explain_expr_in(else_branch, depth + 1, out, ctx);
         }
         PlanExpr::Or(a, b) | PlanExpr::And(a, b) => {
             line(
@@ -234,42 +315,42 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                     "and"
                 },
             );
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Comparison(op, a, b) => {
             line(out, depth, &format!("compare {op:?}"));
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Arith(op, a, b) => {
             line(out, depth, &format!("arith {op:?}"));
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Range(a, b) => {
             line(out, depth, "range to");
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Neg(e) => {
             line(out, depth, "negate");
-            explain_expr(e, depth + 1, out);
+            explain_expr_in(e, depth + 1, out, ctx);
         }
         PlanExpr::Union(a, b) => {
             line(out, depth, "union (doc-order dedup)");
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Intersect(a, b) => {
             line(out, depth, "intersect (node identity)");
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::Except(a, b) => {
             line(out, depth, "except (node identity)");
-            explain_expr(a, depth + 1, out);
-            explain_expr(b, depth + 1, out);
+            explain_expr_in(a, depth + 1, out, ctx);
+            explain_expr_in(b, depth + 1, out, ctx);
         }
         PlanExpr::TreeStep {
             input,
@@ -285,7 +366,7 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                     axis.as_str()
                 ),
             );
-            explain_step_tail(input.as_deref(), predicates, depth, out);
+            explain_step_tail(input.as_deref(), predicates, depth, out, ctx);
         }
         PlanExpr::StandoffStep {
             input,
@@ -302,29 +383,29 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                     standoff_note(op, false)
                 ),
             );
-            explain_step_tail(input.as_deref(), predicates, depth, out);
+            explain_step_tail(input.as_deref(), predicates, depth, out, ctx);
         }
         PlanExpr::PathExpr { input, step } => {
             line(out, depth, "path  -- maps rhs over lhs items");
-            explain_expr(input, depth + 1, out);
-            explain_expr(step, depth + 1, out);
+            explain_expr_in(input, depth + 1, out, ctx);
+            explain_expr_in(step, depth + 1, out, ctx);
         }
         PlanExpr::RootPath => line(out, depth, "root()"),
         PlanExpr::Filter { input, predicate } => {
             line(out, depth, "filter");
-            explain_expr(input, depth + 1, out);
+            explain_expr_in(input, depth + 1, out, ctx);
             line(out, depth + 1, "predicate");
-            explain_expr(predicate, depth + 2, out);
+            explain_expr_in(predicate, depth + 2, out, ctx);
         }
         PlanExpr::UdfCall { name, args, .. } => {
             line(out, depth, &format!("call {name}({} args)", args.len()));
             for a in args {
-                explain_expr(a, depth + 1, out);
+                explain_expr_in(a, depth + 1, out, ctx);
             }
         }
         PlanExpr::StandoffFn {
             op,
-            ctx,
+            ctx: join_ctx,
             candidates,
         } => {
             line(
@@ -337,16 +418,16 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                 ),
             );
             line(out, depth + 1, "context");
-            explain_expr(ctx, depth + 2, out);
+            explain_expr_in(join_ctx, depth + 2, out, ctx);
             if let Some(c) = candidates {
                 line(out, depth + 1, "candidates");
-                explain_expr(c, depth + 2, out);
+                explain_expr_in(c, depth + 2, out, ctx);
             }
         }
         PlanExpr::BuiltinCall { name, args } => {
             line(out, depth, &format!("call {name}({} args)", args.len()));
             for a in args {
-                explain_expr(a, depth + 1, out);
+                explain_expr_in(a, depth + 1, out, ctx);
             }
         }
         PlanExpr::Constructor(c) => {
@@ -363,7 +444,7 @@ fn explain_expr(expr: &PlanExpr, depth: usize, out: &mut String) {
                     PlanContent::Text(t) => line(out, depth + 1, &format!("text {t:?}")),
                     PlanContent::Enclosed(e) => {
                         line(out, depth + 1, "enclosed");
-                        explain_expr(e, depth + 2, out);
+                        explain_expr_in(e, depth + 2, out, ctx);
                     }
                     PlanContent::Element(child) => {
                         line(out, depth + 1, &format!("child <{}>", child.name));
@@ -379,15 +460,16 @@ fn explain_step_tail(
     predicates: &[PlanExpr],
     depth: usize,
     out: &mut String,
+    ctx: Option<&AnalyzeCtx>,
 ) {
     if let Some(input) = input {
-        explain_expr(input, depth + 1, out);
+        explain_expr_in(input, depth + 1, out, ctx);
     } else {
         line(out, depth + 1, "context-item");
     }
     for p in predicates {
         line(out, depth + 1, "predicate");
-        explain_expr(p, depth + 2, out);
+        explain_expr_in(p, depth + 2, out, ctx);
     }
 }
 

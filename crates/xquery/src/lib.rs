@@ -58,10 +58,12 @@ pub mod lexer;
 pub mod optimize;
 pub mod parser;
 pub mod plan;
+pub mod profile;
 pub mod result;
 
 pub use engine::{Engine, EngineOptions, JoinStats, Session, SharedEngine};
 pub use error::QueryError;
-pub use exec::{Executor, QueryCache};
+pub use exec::{CacheStats, Executor, QueryCache};
 pub use plan::Plan;
+pub use profile::{JoinExec, OpMetrics, PlanProfile, QueryProfile};
 pub use result::QueryResult;

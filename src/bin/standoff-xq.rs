@@ -64,16 +64,18 @@ use standoff::xquery::{Engine, Executor};
 const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
                      \x20           [--legacy-format]\n\
-                     standoff-xq inspect <snapshot>\n\
+                     standoff-xq inspect <snapshot> [--sections]\n\
                      standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
                      \x20           [--strategy naive|naive-candidates|basic|loop-lifted|auto]\n\
-                     \x20           [--no-pushdown] [--explain] [--time]\n\
+                     \x20           [--no-pushdown] [--explain] [--time] [--profile] [--profile-json]\n\
                      standoff-xq explain [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
-                     \x20           (--query Q | --query-file F) [--strategy ...] [--no-pushdown]\n\
+                     \x20           (--query Q | --query-file F) [--strategy ...] [--no-pushdown] [--analyze]\n\
                      standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           [--strategy ...] [--no-pushdown] [--threads N] [--time]\n\
-                     \x20           <queries.txt | ->\n\
+                     \x20           [--profile] [--profile-json] <queries.txt | ->\n\
+                     standoff-xq stats [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
+                     \x20           [--strategy ...] [--no-pushdown] [--threads N] [queries.txt | -]\n\
                      exit codes: 0 success, 1 query failure, 2 usage/corpus error";
 
 fn main() -> ExitCode {
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&argv[1..]),
         Some("explain") => cmd_explain(&argv[1..]),
         Some("batch") => cmd_batch(&argv[1..]),
+        Some("stats") => cmd_stats(&argv[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -196,7 +199,9 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
         println!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
     }
-    let [path] = argv else {
+    let sections = argv.iter().any(|a| a == "--sections");
+    let paths: Vec<&String> = argv.iter().filter(|a| *a != "--sections").collect();
+    let [path] = paths[..] else {
         return Err(format!("inspect takes exactly one snapshot path\n{USAGE}"));
     };
     // A pure header walk: v3 files expose uri, layer names and counts in
@@ -223,6 +228,13 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
             opt(layer.nodes),
             opt(layer.annotations),
         );
+        // Per-section byte breakdown — v3 section tables only; legacy
+        // files store one opaque payload per layer.
+        if sections {
+            for s in &layer.sections {
+                println!("      {:<22} {:>8} byte(s)", s.name, s.bytes);
+            }
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -337,6 +349,9 @@ struct QueryArgs {
     query: String,
     explain: bool,
     time: bool,
+    profile: bool,
+    profile_json: bool,
+    analyze: bool,
 }
 
 fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
@@ -344,6 +359,9 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     let mut query: Option<String> = None;
     let mut explain = false;
     let mut time = false;
+    let mut profile = false;
+    let mut profile_json = false;
+    let mut analyze = false;
     let mut k = 0;
     while k < argv.len() {
         if corpus.try_consume(argv, &mut k)? {
@@ -365,6 +383,9 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
             }
             "--explain" => explain = true,
             "--time" => time = true,
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = true,
+            "--analyze" => analyze = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -379,6 +400,9 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
         query,
         explain,
         time,
+        profile,
+        profile_json,
+        analyze,
     })
 }
 
@@ -392,6 +416,35 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
             "{}",
             engine.explain(&args.query).map_err(|e| e.to_string())?
         );
+    }
+    // Profiled runs share the execution: one query, result on stdout,
+    // measurements on stderr (stdout stays result-clean for pipelines).
+    if args.profile || args.profile_json {
+        let start = Instant::now();
+        return match engine.run_profiled(&args.query) {
+            Ok((result, profile)) => {
+                if args.profile {
+                    eprint!("{}", profile.render());
+                }
+                if args.profile_json {
+                    eprintln!("{}", profile.to_json());
+                }
+                if args.time {
+                    eprintln!(
+                        "# {} item(s) in {:?} (load {:?})",
+                        result.len(),
+                        start.elapsed(),
+                        load_elapsed
+                    );
+                }
+                println!("{}", result.as_xml());
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                eprintln!("standoff-xq: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
     }
     let start = Instant::now();
     match engine.run(&args.query) {
@@ -422,8 +475,16 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
 /// run.)
 fn cmd_explain(argv: &[String]) -> Result<ExitCode, String> {
     let args = parse_query_args(argv)?;
-    let engine = args.corpus.build_engine()?;
-    match engine.explain(&args.query) {
+    let mut engine = args.corpus.build_engine()?;
+    // `--analyze` is explain's *executing* mode: run the query with
+    // per-operator profiling and print the plan tree with measured
+    // calls/rows/time next to the optimizer's estimates.
+    let rendered = if args.analyze {
+        engine.explain_analyze(&args.query)
+    } else {
+        engine.explain(&args.query)
+    };
+    match rendered {
         Ok(plan) => {
             print!("{plan}");
             Ok(ExitCode::SUCCESS)
@@ -441,6 +502,8 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     let mut corpus = CorpusArgs::new();
     let mut threads = 1usize;
     let mut time = false;
+    let mut profile = false;
+    let mut profile_json = false;
     let mut queries_path: Option<String> = None;
     let mut k = 0;
     while k < argv.len() {
@@ -458,6 +521,8 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
                     })?;
             }
             "--time" => time = true,
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -495,7 +560,30 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     let executor = Executor::new(engine.into_shared(), threads);
 
     let start = Instant::now();
-    let results = executor.run_batch(&queries);
+    // Profiled batches run the same scheduler; results print to stdout
+    // as usual, per-query profiles to stderr keyed by submission index.
+    let results = if profile || profile_json {
+        let profiled = executor.run_batch_profiled(&queries);
+        let mut results = Vec::with_capacity(profiled.len());
+        for (k, r) in profiled.into_iter().enumerate() {
+            match r {
+                Ok((result, prof)) => {
+                    if profile {
+                        eprintln!("# query {k}");
+                        eprint!("{}", prof.render());
+                    }
+                    if profile_json {
+                        eprintln!("{}", prof.to_json());
+                    }
+                    results.push(Ok(result));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        results
+    } else {
+        executor.run_batch(&queries)
+    };
     let elapsed = start.elapsed();
 
     let mut failures = 0usize;
@@ -522,6 +610,78 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
             load_elapsed,
         );
     }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+// ---- stats ----
+
+/// Mount the corpus, optionally run a batch of queries against it, then
+/// dump the merged metrics registry as JSON on stdout: the engine's own
+/// registry (query/join/executor/plan-cache counters) merged with the
+/// process-global one (store mount/materialization timings). Query
+/// results are discarded — this subcommand exists to read the meters.
+fn cmd_stats(argv: &[String]) -> Result<ExitCode, String> {
+    let mut corpus = CorpusArgs::new();
+    let mut threads = 1usize;
+    let mut queries_path: Option<String> = None;
+    let mut k = 0;
+    while k < argv.len() {
+        if corpus.try_consume(argv, &mut k)? {
+            k += 1;
+            continue;
+        }
+        match argv[k].as_str() {
+            "--threads" | "-j" => {
+                k += 1;
+                let n = argv.get(k).ok_or("--threads needs a count")?;
+                threads =
+                    n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad --threads '{n}', expected a positive integer")
+                    })?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') || other == "-" => {
+                if queries_path.is_some() {
+                    return Err(format!("stats takes at most one queries file\n{USAGE}"));
+                }
+                queries_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let engine = corpus.build_engine()?;
+    let executor = Executor::new(engine.into_shared(), threads);
+    let mut failures = 0usize;
+    if let Some(path) = &queries_path {
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        let queries = split_queries(&text);
+        for (k, result) in executor.run_batch(&queries).iter().enumerate() {
+            if let Err(e) = result {
+                failures += 1;
+                eprintln!("# query {k} failed: {e}");
+            }
+        }
+    }
+    let mut snapshot = executor.metrics_snapshot();
+    snapshot.merge(&standoff::core::MetricsRegistry::global().snapshot());
+    println!("{}", snapshot.to_json());
     Ok(if failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -133,6 +133,142 @@ fn index_with_layers_cross_layer_query_and_inspect() {
     }
 }
 
+/// Build the two-layer snapshot once for the observability smoke tests.
+fn obs_snapshot(tag: &str) -> (PathBuf, String) {
+    let dir = tmp_dir(tag);
+    let base = write(&dir, "base.xml", "<text>Alice met Bob</text>");
+    let tokens = write(
+        &dir,
+        "tokens.xml",
+        r#"<tokens>
+             <w word="Alice" start="0" end="4"/>
+             <w word="met" start="6" end="8"/>
+             <w word="Bob" start="10" end="12"/>
+           </tokens>"#,
+    );
+    let snap = dir.join("corpus.snap").to_string_lossy().into_owned();
+    let out = bin()
+        .args([
+            "index",
+            &base,
+            "-o",
+            &snap,
+            "--uri",
+            "corpus",
+            "--layer",
+            &format!("tokens={tokens}"),
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "index");
+    (dir, snap)
+}
+
+#[test]
+fn query_profile_json_and_analyze() {
+    let (_dir, snap) = obs_snapshot("profile");
+    let query = r#"doc("corpus#tokens")//w[@word = "Bob"]"#;
+
+    // --profile renders the annotated tree on stderr, result on stdout.
+    let out = bin()
+        .args(["query", "--store", &snap, "--profile", "--query", query])
+        .output()
+        .unwrap();
+    assert_success(&out, "query --profile");
+    assert!(String::from_utf8_lossy(&out.stdout).contains(r#"word="Bob""#));
+    let profile = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        profile.contains("-- actual #"),
+        "no operator annotations:\n{profile}"
+    );
+
+    // --profile-json emits one JSON object on stderr.
+    let out = bin()
+        .args([
+            "query",
+            "--store",
+            &snap,
+            "--profile-json",
+            "--query",
+            query,
+        ])
+        .output()
+        .unwrap();
+    assert_success(&out, "query --profile-json");
+    let json = String::from_utf8_lossy(&out.stderr).into_owned();
+    for needle in [
+        "\"operators\"",
+        "\"passes\"",
+        "\"wall_ns\"",
+        "\"rows\"",
+        "\"kind\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle}:\n{json}");
+    }
+
+    // explain --analyze executes and annotates each operator.
+    let out = bin()
+        .args(["explain", "--store", &snap, "--analyze", "--query", query])
+        .output()
+        .unwrap();
+    assert_success(&out, "explain --analyze");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("-- actual #"), "{text}");
+    assert!(text.contains("result: 1 item(s)"), "{text}");
+}
+
+#[test]
+fn stats_dumps_metrics_registry() {
+    let (dir, snap) = obs_snapshot("stats");
+    let queries = write(
+        &dir,
+        "queries.xq",
+        "count(doc(\"corpus#tokens\")//w)\ndoc(\"corpus#tokens\")//w[@word = \"met\"]\n",
+    );
+    let out = bin()
+        .args(["stats", "--store", &snap, &queries])
+        .output()
+        .unwrap();
+    assert_success(&out, "stats");
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    for needle in [
+        "\"counters\"",
+        "\"histograms\"",
+        "\"query.executions\": 2",
+        "\"executor.batches\": 1",
+        "\"plan_cache.misses\"",
+        "\"engine.mounts\": 1",
+        "\"store.snapshots_opened\": 1",
+        "\"query.exec_ns\"",
+    ] {
+        assert!(
+            json.contains(needle),
+            "stats output missing {needle}:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn inspect_sections_prints_per_section_sizes() {
+    let (_dir, snap) = obs_snapshot("sections");
+    let out = bin()
+        .args(["inspect", &snap, "--sections"])
+        .output()
+        .unwrap();
+    assert_success(&out, "inspect --sections");
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    for needle in ["layer.header", "doc.kind", "doc.name", "byte(s)"] {
+        assert!(
+            report.contains(needle),
+            "inspect --sections missing {needle}:\n{report}"
+        );
+    }
+    // Without the flag the section lines stay hidden.
+    let out = bin().args(["inspect", &snap]).output().unwrap();
+    assert_success(&out, "inspect");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("doc.kind"));
+}
+
 #[test]
 fn legacy_flag_form_still_works() {
     let dir = tmp_dir("legacy");

@@ -1,0 +1,391 @@
+//! The observability subsystem, end to end: per-operator profiling and
+//! `explain analyze`, the metrics registry counters the engine/executor/
+//! store feed, `JoinStats` reset semantics, plan-cache statistics, and
+//! snapshot section introspection.
+//!
+//! The golden cases use `QueryProfile::render_redacted()` (times print
+//! as `~`) so the snapshots are deterministic; regenerate intentional
+//! changes with `BLESS=1 cargo test --test observability`.
+
+use standoff::core::obs::MetricsRegistry;
+use standoff::core::StandoffConfig;
+use standoff::xmark::queries::XmarkQuery;
+use standoff::xmark::{generate, standoffify, XmarkConfig};
+use standoff::xquery::{Engine, Executor, JoinStats, QueryCache};
+
+/// The deterministic corpus of the `explain` goldens, plus the crate's
+/// video sample so joins have same-document annotations to hit (the
+/// token/entity pair live in *separate* documents, so StandOff steps
+/// across them are legal but empty).
+fn corpus() -> Engine {
+    let mut engine = Engine::new();
+    let sample = engine
+        .load_document(
+            "sample.xml",
+            r#"<sample>
+                 <shot id="Intro" start="0" end="8"/>
+                 <shot id="Interview" start="8" end="64"/>
+                 <shot id="Outro" start="64" end="94"/>
+                 <music artist="U2" start="0" end="31"/>
+                 <music artist="Bach" start="52" end="94"/>
+               </sample>"#,
+        )
+        .unwrap();
+    engine
+        .prebuild_region_index(sample, &StandoffConfig::default())
+        .unwrap();
+    let tokens = engine
+        .load_document(
+            "tokens.xml",
+            r#"<tokens><w start="0" end="5"/><w start="6" end="11"/><w start="12" end="22"/><w start="23" end="29"/></tokens>"#,
+        )
+        .unwrap();
+    let entities = engine
+        .load_document(
+            "entities.xml",
+            r#"<entities><place start="6" end="11"/><thing start="12" end="29"/></entities>"#,
+        )
+        .unwrap();
+    engine
+        .prebuild_region_index(tokens, &StandoffConfig::default())
+        .unwrap();
+    engine
+        .prebuild_region_index(entities, &StandoffConfig::default())
+        .unwrap();
+    engine
+}
+
+fn check_analyze(name: &str, engine: &mut Engine, query: &str) {
+    let (_, profile) = engine
+        .run_profiled(query)
+        .unwrap_or_else(|e| panic!("{name}: profiled run failed: {e}"));
+    let actual = profile.render_redacted();
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name}: cannot read {path}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "\n{name}: explain-analyze text changed. If intentional, regenerate \
+         with `BLESS=1 cargo test --test observability` and review the diff.\n"
+    );
+}
+
+// ---- explain analyze goldens -------------------------------------------
+
+#[test]
+fn analyze_standoff_step_with_pushdown() {
+    let mut engine = corpus();
+    check_analyze(
+        "analyze_step_pushdown",
+        &mut engine,
+        r#"doc("sample.xml")//music[@artist = "U2"]/select-wide::shot"#,
+    );
+}
+
+#[test]
+fn analyze_flwor_with_hoisted_invariant() {
+    let mut engine = corpus();
+    check_analyze(
+        "analyze_flwor_hoisted",
+        &mut engine,
+        r#"for $m in doc("sample.xml")//music
+           where count(doc("sample.xml")//shot) > 2
+           order by $m/@start
+           return ($m/select-wide::shot, count(doc("sample.xml")//shot))"#,
+    );
+}
+
+/// A branch the evaluator never takes renders `not executed` instead of
+/// fabricated measurements.
+#[test]
+fn analyze_marks_unexecuted_operators() {
+    let mut engine = corpus();
+    // Non-constant condition, so const-folding can't drop the dead arm.
+    let (_, profile) = engine
+        .run_profiled(
+            r#"if (count(doc("tokens.xml")//w) = 0) then doc("entities.xml")//place else 42"#,
+        )
+        .unwrap();
+    let text = profile.render_redacted();
+    assert!(
+        text.contains("not executed"),
+        "dead branch not marked:\n{text}"
+    );
+}
+
+// ---- profiled execution is observation-only ----------------------------
+
+/// Profiling must not change a single output byte: the XMark workload
+/// (standard + StandOff forms) serialized under `--profile` semantics is
+/// identical to the unprofiled run.
+#[test]
+fn profiled_run_is_byte_identical_across_xmark() {
+    let src = generate(&XmarkConfig::with_scale(0.002));
+    let so = standoffify(&src, 7);
+    let mut engine = Engine::new();
+    engine.add_document(src, Some("xmark.xml"));
+    let so_xml = standoff::xml::serialize_document(&so.doc, Default::default());
+    engine.load_document("xmark-standoff.xml", &so_xml).unwrap();
+
+    for q in [
+        XmarkQuery::Q1,
+        XmarkQuery::Q2,
+        XmarkQuery::Q6,
+        XmarkQuery::Q7,
+    ] {
+        for query in [q.standard("xmark.xml"), q.standoff("xmark-standoff.xml")] {
+            let plain = engine.run(&query).unwrap();
+            let (profiled, profile) = engine.run_profiled(&query).unwrap();
+            assert_eq!(
+                plain.as_serialized(),
+                profiled.as_serialized(),
+                "{q}: profiling changed the result of {query}"
+            );
+            assert!(!profile.ops.is_empty(), "{q}: empty profile");
+        }
+    }
+}
+
+/// The profile actually measured the join: context/candidate
+/// cardinalities and the per-operator `JoinStats` are populated.
+#[test]
+fn profile_captures_join_cardinalities() {
+    let mut engine = corpus();
+    let (result, profile) = engine
+        .run_profiled(r#"doc("sample.xml")//music[@artist = "U2"]/select-wide::shot"#)
+        .unwrap();
+    assert_eq!(result.len(), 2, "U2 overlaps Intro and Interview");
+    let mut join = None;
+    profile.plan.visit_exprs(&mut |expr| {
+        if join.is_none() {
+            join = profile.ops.get(expr).and_then(|m| m.join.clone());
+        }
+    });
+    let join = join.expect("a join operator was profiled");
+    assert_eq!(join.ctx_rows, 1, "one U2 context row");
+    assert!(join.cand_rows > 0, "candidates were gathered");
+    assert!(
+        join.stats.result_sorts + join.stats.result_sorts_elided > 0,
+        "join stats recorded"
+    );
+}
+
+// ---- JoinStats reset semantics -----------------------------------------
+
+#[test]
+fn join_stats_accumulate_and_reset() {
+    let mut engine = corpus();
+    let query = r#"doc("entities.xml")//place/select-narrow::w"#;
+
+    engine.run(query).unwrap();
+    let after_one = engine.join_stats();
+    assert_ne!(after_one, JoinStats::default(), "join ran");
+
+    // Cumulative: a second run doubles every counter.
+    engine.run(query).unwrap();
+    let after_two = engine.join_stats();
+    assert_eq!(after_two.result_sorts, 2 * after_one.result_sorts);
+    assert_eq!(
+        after_two.post_filters_elided,
+        2 * after_one.post_filters_elided
+    );
+
+    // take_delta: returns the accumulation and zeroes the counters.
+    let taken = engine.take_join_stats();
+    assert_eq!(taken, after_two);
+    assert_eq!(engine.join_stats(), JoinStats::default());
+
+    // reset: back to zero regardless of accumulated state.
+    engine.run(query).unwrap();
+    engine.reset_join_stats();
+    assert_eq!(engine.join_stats(), JoinStats::default());
+}
+
+/// A fresh `Session` starts with zeroed stats even when the engine had
+/// accumulated some before `into_shared()`.
+#[test]
+fn fresh_session_starts_with_zero_join_stats() {
+    let mut engine = corpus();
+    engine
+        .run(r#"doc("entities.xml")//place/select-narrow::w"#)
+        .unwrap();
+    assert_ne!(engine.join_stats(), JoinStats::default());
+
+    let shared = engine.into_shared();
+    let mut session = shared.session();
+    assert_eq!(session.join_stats(), JoinStats::default());
+
+    session
+        .run(r#"doc("entities.xml")//place/select-narrow::w"#)
+        .unwrap();
+    assert_ne!(session.join_stats(), JoinStats::default());
+    // ...and its sibling session is unaffected.
+    assert_eq!(shared.session().join_stats(), JoinStats::default());
+}
+
+// ---- registry counters -------------------------------------------------
+
+#[test]
+fn engine_metrics_count_query_executions() {
+    let mut engine = corpus();
+    engine.run("1 + 1").unwrap();
+    engine.run("2 + 2").unwrap();
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counters["query.executions"], 2);
+    let exec_ns = &snap.histograms["query.exec_ns"];
+    assert_eq!(exec_ns.count, 2);
+    assert!(exec_ns.sum > 0, "wall time was recorded");
+}
+
+#[test]
+fn join_metrics_mirror_join_stats() {
+    let mut engine = corpus();
+    engine
+        .run(r#"doc("entities.xml")//place/select-narrow::w"#)
+        .unwrap();
+    let stats = engine.join_stats();
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counters["join.result_sorts"], stats.result_sorts);
+    assert_eq!(
+        snap.counters["join.post_filters_elided"],
+        stats.post_filters_elided
+    );
+    assert_eq!(
+        snap.counters["join.candidate_node_view"] + snap.counters["join.candidate_scans"],
+        stats.candidate_node_view + stats.candidate_scans
+    );
+}
+
+#[test]
+fn executor_metrics_and_plan_cache_counters() {
+    // Single worker: the hit/miss counts below stay deterministic (two
+    // racing workers could both miss on the repeated query).
+    let engine = corpus().into_shared();
+    let executor = Executor::new(engine, 1);
+    let queries = [
+        r#"count(doc("tokens.xml")//w)"#,
+        r#"count(doc("entities.xml")//place)"#,
+        r#"count(doc("tokens.xml")//w)"#, // repeat: a cache hit
+    ];
+    let results = executor.run_batch(&queries);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    let snap = executor.metrics_snapshot();
+    assert_eq!(snap.counters["executor.batches"], 1);
+    assert_eq!(snap.counters["executor.queries"], 3);
+    assert_eq!(snap.histograms["executor.queue_depth"].count, 3);
+    assert_eq!(snap.histograms["executor.queue_wait_ns"].count, 3);
+    // Plan-cache counters are folded into the same snapshot.
+    assert_eq!(snap.counters["plan_cache.misses"], 2);
+    assert_eq!(snap.counters["plan_cache.hits"], 1);
+    assert_eq!(snap.counters["plan_cache.evictions"], 0);
+}
+
+#[test]
+fn plan_cache_eviction_counter() {
+    let engine = corpus().into_shared();
+    let cache = std::sync::Arc::new(QueryCache::new(2));
+    let executor = Executor::with_cache(engine, 1, cache);
+    // Three distinct queries through a two-entry cache: one eviction.
+    let queries = ["1", "2", "3"];
+    executor.run_batch(&queries);
+    let stats = executor.cache().stats();
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.capacity, 2);
+    // The LRU survivor is still a hit.
+    executor.run_batch(&["3"]);
+    assert_eq!(executor.cache().stats().hits, 1);
+}
+
+// ---- store instrumentation and snapshot sections -----------------------
+
+#[test]
+fn snapshot_info_reports_v3_sections() {
+    use standoff::store::{write_snapshot, LayerSet, Snapshot};
+    let cfg = StandoffConfig::default();
+    let base = standoff::xml::parse_document("<text>Alice met Bob</text>").unwrap();
+    let tokens = standoff::xml::parse_document(
+        r#"<tokens><w start="0" end="4"/><w start="10" end="12"/></tokens>"#,
+    )
+    .unwrap();
+    let mut set = LayerSet::build("corpus", base, cfg.clone()).unwrap();
+    set.add_layer("tokens", tokens, cfg).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("obs-sections-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.snap");
+    let mut buf = Vec::new();
+    write_snapshot(&set, &mut buf).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+
+    let before = MetricsRegistry::global().snapshot();
+    let snapshot = Snapshot::open(&path).unwrap();
+    let info = snapshot.info();
+    assert_eq!(info.layers.len(), 2);
+    for layer in &info.layers {
+        assert!(
+            !layer.sections.is_empty(),
+            "v3 layer {} has no section info",
+            layer.name
+        );
+        // Per-section bytes add up to the layer total, and the catalog
+        // resolved every tag to a name.
+        let sum: u64 = layer.sections.iter().map(|s| s.bytes).sum();
+        assert_eq!(sum, layer.bytes, "{}: section sizes disagree", layer.name);
+        for section in &layer.sections {
+            assert_ne!(section.name, "unknown", "tag {} unnamed", section.tag);
+        }
+        let names: Vec<_> = layer.sections.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"doc.kind"), "{names:?}");
+    }
+
+    // Opening + materializing fed the process-global registry. Other
+    // tests share it, so check the delta, not absolute values.
+    let _ = snapshot.layer("tokens").unwrap();
+    let after = MetricsRegistry::global().snapshot();
+    let delta = after.delta(&before);
+    assert!(delta.counters["store.snapshots_opened"] >= 1);
+    assert!(delta.counters["store.layers_materialized"] >= 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_snapshot_has_no_section_info() {
+    use standoff::store::{inspect_snapshot, write_snapshot_legacy, LayerSet};
+    let base = standoff::xml::parse_document("<d><a start='0' end='3'/></d>").unwrap();
+    let set = LayerSet::build("corpus", base, StandoffConfig::default()).unwrap();
+    let mut buf = Vec::new();
+    write_snapshot_legacy(&set, &mut buf).unwrap();
+    let info = inspect_snapshot(&mut std::io::Cursor::new(&buf)).unwrap();
+    assert!(info.layers.iter().all(|l| l.sections.is_empty()));
+}
+
+// ---- snapshot JSON -----------------------------------------------------
+
+#[test]
+fn metrics_snapshot_json_is_parseable_shape() {
+    let mut engine = corpus();
+    engine
+        .run(r#"doc("entities.xml")//place/select-narrow::w"#)
+        .unwrap();
+    let json = engine.metrics().snapshot().to_json();
+    // Hand-rolled writer, so sanity-check the envelope and a couple of
+    // required keys rather than fully parsing.
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    for key in [
+        "\"counters\"",
+        "\"histograms\"",
+        "\"query.executions\"",
+        "\"query.exec_ns\"",
+    ] {
+        assert!(json.contains(key), "snapshot JSON missing {key}:\n{json}");
+    }
+    assert_eq!(json.matches("\"counters\"").count(), 1);
+}
