@@ -113,7 +113,7 @@ fn mergejoin(c: &mut Criterion) {
         let iter_domain: Vec<u32> = (0..32).collect();
         let input = standoff_core::JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &context,
             candidates: Some(&cands),

@@ -78,7 +78,7 @@ fn region_index(c: &mut Criterion) {
         b.iter(|| {
             let input = JoinInput {
                 doc: &so.doc,
-                index: &index,
+                index: (&index).into(),
                 ctx_index: None,
                 context: &context,
                 candidates: Some(&increases),
@@ -96,7 +96,7 @@ fn region_index(c: &mut Criterion) {
         b.iter(|| {
             let input = JoinInput {
                 doc: &so.doc,
-                index: &index,
+                index: (&index).into(),
                 ctx_index: None,
                 context: &context,
                 candidates: None,

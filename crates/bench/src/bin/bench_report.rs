@@ -175,7 +175,7 @@ fn main() {
         let ns = median_ns(config.samples, || {
             let input = JoinInput {
                 doc: &doc,
-                index: &index,
+                index: (&index).into(),
                 ctx_index: None,
                 context: &context,
                 candidates: Some(&sparse),
@@ -244,6 +244,79 @@ fn main() {
         });
         record("snapshot/mount_lazy_first_query", ns);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- writable overlay: merge-on-read overhead and compaction ----
+    {
+        use standoff_store::{DeltaOp, DeltaSet, LayerSet};
+        // A base text plus one annotation layer, sized with the corpus
+        // scale; the delta mutates 1/16 of it (inserts + retracts).
+        let n = ((400_000.0 * config.scale) as usize).max(500);
+        let cfg = standoff_core::StandoffConfig::default();
+        let mut xml = String::from("<tokens>");
+        for k in 0..n {
+            let s = k as i64 * 10;
+            let _ = write!(xml, r#"<w n="{k}" start="{s}" end="{}"/>"#, s + 8);
+        }
+        xml.push_str("</tokens>");
+        let mut set = LayerSet::build(
+            "bench://overlay",
+            standoff_xml::parse_document("<text>overlay bench corpus</text>").unwrap(),
+            cfg.clone(),
+        )
+        .unwrap();
+        set.add_layer("tokens", standoff_xml::parse_document(&xml).unwrap(), cfg)
+            .unwrap();
+        let ops: Vec<DeltaOp> = (0..n / 16)
+            .flat_map(|k| {
+                let s = (k as i64 * 160) + 3;
+                [
+                    DeltaOp::Insert {
+                        layer: "tokens".into(),
+                        name: "w".into(),
+                        start: s,
+                        end: s + 4,
+                        attrs: vec![("d".into(), k.to_string())],
+                    },
+                    DeltaOp::Retract {
+                        layer: "tokens".into(),
+                        name: "w".into(),
+                        start: k as i64 * 160,
+                        end: k as i64 * 160 + 8,
+                    },
+                ]
+            })
+            .collect();
+        let mut delta = DeltaSet::new();
+        delta.apply_all(ops.clone(), &set).unwrap();
+
+        let probe = r#"count(doc("bench://overlay#tokens")//w/select-wide::w)"#;
+        // Pure snapshot: the no-delta regression guard — this path must
+        // not pay for the overlay machinery it isn't using.
+        let mut pure = standoff_xquery::Engine::new();
+        pure.mount_store(set.clone()).unwrap();
+        let ns = median_ns(config.samples, || pure.run_and_discard(probe).unwrap());
+        record("delta_overlay/join_pure_snapshot", ns);
+        // Merge-on-read: same query through base + delta.
+        let mut overlay = standoff_xquery::Engine::new();
+        overlay.mount_overlay(set.clone(), &delta).unwrap();
+        let ns = median_ns(config.samples, || overlay.run_and_discard(probe).unwrap());
+        record("delta_overlay/join_merge_on_read", ns);
+        // Writer-side costs: one apply batch (validate + remount +
+        // generation swap) and one compaction fold.
+        let ns = median_ns(config.samples, || {
+            let mut w = standoff_xquery::WritableEngine::mount(
+                set.clone(),
+                standoff_xquery::EngineOptions::default(),
+            )
+            .unwrap();
+            w.apply(ops.clone()).unwrap()
+        });
+        record("delta_overlay/apply_batch", ns);
+        let ns = median_ns(config.samples, || {
+            standoff_store::compact(&set, &delta).unwrap()
+        });
+        record("delta_overlay/compact", ns);
     }
 
     // ---- end-to-end engine measurements over an XMark corpus ----

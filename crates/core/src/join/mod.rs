@@ -27,7 +27,8 @@ pub mod post;
 
 use standoff_xml::Document;
 
-use crate::index::{RegionEntry, RegionIndex};
+use crate::index::RegionEntry;
+use crate::source::RegionSource;
 use crate::trace::TraceSink;
 
 /// The four StandOff joins, proposed as XPath axis steps (§3.3).
@@ -206,16 +207,19 @@ pub struct JoinInput<'a> {
     /// The *candidate-side* document: StandOff steps emit nodes of this
     /// fragment.
     pub doc: &'a Document,
-    /// The candidate-side region index.
-    pub index: &'a RegionIndex,
-    /// Region index the *context* nodes' areas are looked up in. `None`
+    /// The candidate-side region source (a [`RegionIndex`]
+    /// plus any overlay retractions, presented as one merged stream).
+    ///
+    /// [`RegionIndex`]: crate::index::RegionIndex
+    pub index: RegionSource<'a>,
+    /// Region source the *context* nodes' areas are looked up in. `None`
     /// means the context lives in the same fragment as the candidates
     /// (the classic single-document join). `Some` is the multi-layer
     /// case of `standoff-store`: context annotations from one layer
     /// joined against the candidate annotations of a sibling layer over
     /// the same BLOB — regions share the coordinate space, so the merge
     /// joins run unchanged.
-    pub ctx_index: Option<&'a RegionIndex>,
+    pub ctx_index: Option<RegionSource<'a>>,
     /// Context `(iter, node)` pairs, grouped by ascending iter, document
     /// order within each iteration. Node ids refer to the context
     /// fragment (which is `doc` unless `ctx_index` is set).
@@ -231,10 +235,10 @@ pub struct JoinInput<'a> {
 }
 
 impl<'a> JoinInput<'a> {
-    /// The index context-node areas are fetched from (see
+    /// The source context-node areas are fetched from (see
     /// [`JoinInput::ctx_index`]).
     #[inline]
-    pub fn context_index(&self) -> &'a RegionIndex {
+    pub fn context_index(&self) -> RegionSource<'a> {
         self.ctx_index.unwrap_or(self.index)
     }
 
@@ -266,19 +270,22 @@ impl<'a> JoinInput<'a> {
         out.sort_by_key(|c| (c.start, c.end, c.iter, c.node));
     }
 
-    /// The candidate region entries in start order: the full index, or
-    /// its intersection with the candidate node sequence (§4.3).
+    /// The candidate region entries in start order: the full visible
+    /// stream, or its intersection with the candidate node sequence
+    /// (§4.3).
     pub fn candidate_entries(&self) -> Vec<RegionEntry> {
+        let mut out = Vec::new();
         match self.candidates {
-            None => self.index.entries().to_vec(),
-            Some(nodes) => self.index.candidates_for(nodes),
+            None => out.extend_from_slice(self.index.entries_in(&mut Vec::new())),
+            Some(nodes) => self.index.candidates_into(nodes, &mut out),
         }
+        out
     }
 
     /// Borrowing form of [`JoinInput::candidate_entries`]: without a
-    /// candidate restriction the index's own entry table is returned
-    /// as-is — no copy of the full index per operator — and with one the
-    /// intersection is materialized into `scratch`.
+    /// candidate restriction a pure source's own entry table is returned
+    /// as-is — no copy of the full index per operator — and otherwise the
+    /// visible stream is materialized into `scratch`.
     pub fn candidate_entries_in<'s>(
         &'s self,
         scratch: &'s mut Vec<RegionEntry>,
@@ -287,7 +294,7 @@ impl<'a> JoinInput<'a> {
         'a: 's,
     {
         match self.candidates {
-            None => self.index.entries(),
+            None => self.index.entries_in(scratch),
             Some(nodes) => {
                 self.index.candidates_into(nodes, scratch);
                 scratch
@@ -298,24 +305,19 @@ impl<'a> JoinInput<'a> {
     /// The distinct candidate *annotation* nodes, ascending — the universe
     /// the reject axes complement against.
     pub fn candidate_universe(&self) -> Vec<u32> {
-        match self.candidates {
-            None => self.index.annotated_nodes().to_vec(),
-            Some(nodes) => nodes
-                .iter()
-                .copied()
-                .filter(|&n| self.index.region_count(n) > 0)
-                .collect(),
-        }
+        let mut out = Vec::new();
+        out.extend_from_slice(self.candidate_universe_in(&mut Vec::new()));
+        out
     }
 
     /// Borrowing form of [`JoinInput::candidate_universe`]: no candidate
-    /// restriction returns the index's annotated-node column directly.
+    /// restriction returns a pure source's annotated-node column directly.
     pub fn candidate_universe_in<'s>(&'s self, scratch: &'s mut Vec<u32>) -> &'s [u32]
     where
         'a: 's,
     {
         match self.candidates {
-            None => self.index.annotated_nodes(),
+            None => self.index.annotated_nodes_in(scratch),
             Some(nodes) => {
                 scratch.clear();
                 scratch.extend(

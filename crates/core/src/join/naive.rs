@@ -64,8 +64,8 @@ pub fn naive_select(
     out
 }
 
-fn area_of(index: &crate::index::RegionIndex, pre: u32) -> Option<Area> {
-    let regions = index.regions_of(pre);
+fn area_of(source: crate::source::RegionSource<'_>, pre: u32) -> Option<Area> {
+    let regions = source.regions_of(pre);
     if regions.is_empty() {
         None
     } else {
@@ -114,7 +114,7 @@ mod tests {
         let ctx = [IterNode { iter: 0, node: u2 }];
         let input = JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &ctx,
             candidates: Some(shots),
@@ -133,7 +133,7 @@ mod tests {
         let ctx = [IterNode { iter: 0, node: u2 }];
         let input = JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &ctx,
             candidates: None,
@@ -155,7 +155,7 @@ mod tests {
         }];
         let input = JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &ctx,
             candidates: None,

@@ -13,16 +13,21 @@
 //! * The reject axes are complements of their select counterparts over
 //!   the candidate universe, computed per iteration of the scope.
 
-use crate::index::{RegionEntry, RegionIndex};
+use crate::index::RegionEntry;
 use crate::join::{Emission, IterNode, StandoffAxis};
+use crate::source::RegionSource;
 
 /// Turn raw emissions into the select-join result: `(iter, node)` pairs,
 /// sorted and duplicate-free (document order per iteration).
+///
+/// `index` is the candidate-side region source; the candidate entries
+/// were drawn from its visible stream, so every referenced annotation is
+/// un-retracted and its full region set is available for the ∀∃ check.
 pub fn finalize_select(
     axis: StandoffAxis,
     emissions: &[Emission],
     candidates: &[RegionEntry],
-    index: &RegionIndex,
+    index: RegionSource<'_>,
 ) -> Vec<IterNode> {
     debug_assert!(axis.is_select());
     // Fast path: every annotation is a single region (always true in the
@@ -110,6 +115,7 @@ pub fn complement(selected: &[IterNode], universe: &[u32], iter_domain: &[u32]) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::RegionIndex;
     use crate::region::Area;
 
     fn entry(start: i64, end: i64, id: u32) -> RegionEntry {
@@ -140,7 +146,12 @@ mod tests {
                 cand_idx: 0,
             }, // duplicate via other ctx
         ];
-        let out = finalize_select(StandoffAxis::SelectNarrow, &emissions, &cands, &index);
+        let out = finalize_select(
+            StandoffAxis::SelectNarrow,
+            &emissions,
+            &cands,
+            (&index).into(),
+        );
         assert_eq!(
             out,
             vec![IterNode { iter: 0, node: 5 }, IterNode { iter: 1, node: 9 }]
@@ -174,7 +185,7 @@ mod tests {
             },
         ];
         assert_eq!(
-            finalize_select(StandoffAxis::SelectNarrow, &both, &cands, &index),
+            finalize_select(StandoffAxis::SelectNarrow, &both, &cands, (&index).into()),
             vec![IterNode { iter: 0, node: 7 }]
         );
 
@@ -192,7 +203,9 @@ mod tests {
                 cand_idx: 1,
             },
         ];
-        assert!(finalize_select(StandoffAxis::SelectNarrow, &split, &cands, &index).is_empty());
+        assert!(
+            finalize_select(StandoffAxis::SelectNarrow, &split, &cands, (&index).into()).is_empty()
+        );
 
         // Wide stays ∃∃: one region match suffices.
         let one = vec![Emission {
@@ -201,7 +214,7 @@ mod tests {
             cand_idx: 1,
         }];
         assert_eq!(
-            finalize_select(StandoffAxis::SelectWide, &one, &cands, &index),
+            finalize_select(StandoffAxis::SelectWide, &one, &cands, (&index).into()),
             vec![IterNode { iter: 0, node: 7 }]
         );
     }

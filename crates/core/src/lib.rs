@@ -30,6 +30,7 @@ pub mod index;
 pub mod join;
 pub mod obs;
 pub mod region;
+pub mod source;
 pub mod trace;
 
 pub use config::{RegionRepr, StandoffConfig};
@@ -41,4 +42,5 @@ pub use join::{
 };
 pub use obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use region::{Area, Region};
+pub use source::RegionSource;
 pub use trace::{NoTrace, TraceEvent, TraceSink, VecTrace};

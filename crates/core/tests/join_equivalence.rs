@@ -112,7 +112,7 @@ fn run_all_strategies(
     let iter_domain = [0, 1, 2];
     let input = JoinInput {
         doc: &doc,
-        index: &index,
+        index: (&index).into(),
         ctx_index: None,
         context: &context,
         candidates: candidates.as_deref(),
@@ -186,7 +186,7 @@ proptest! {
         let iter_domain = [0, 1];
         let input = JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &context,
             candidates: None,
@@ -281,7 +281,7 @@ proptest! {
         let iter_domain = [0, 1];
         let input = JoinInput {
             doc: &doc,
-            index: &index,
+            index: (&index).into(),
             ctx_index: None,
             context: &context,
             candidates: None,
@@ -332,7 +332,7 @@ proptest! {
                 for with_cands in [true, false] {
                     let input = JoinInput {
                         doc: &doc,
-                        index: &index,
+                        index: (&index).into(),
                         ctx_index: None,
                         context: &context,
                         candidates: if with_cands { candidates.as_deref() } else { None },

@@ -14,6 +14,9 @@ pub enum StoreError {
     Index(standoff_core::StandoffError),
     /// Snapshot I/O or format error.
     Io(std::io::Error),
+    /// An overlay mutation was rejected (unknown layer, region out of
+    /// order, retract matching nothing, malformed op line, ...).
+    Delta(String),
 }
 
 impl fmt::Display for StoreError {
@@ -23,6 +26,7 @@ impl fmt::Display for StoreError {
             StoreError::DuplicateLayer(name) => write!(f, "duplicate layer {name:?}"),
             StoreError::Index(e) => write!(f, "layer index: {e}"),
             StoreError::Io(e) => write!(f, "snapshot: {e}"),
+            StoreError::Delta(msg) => write!(f, "delta: {msg}"),
         }
     }
 }

@@ -129,7 +129,9 @@ fn validate_name(name: &str) -> Result<(), StoreError> {
 }
 
 /// A base layer plus named sibling annotation layers over one BLOB,
-/// addressed by a store URI.
+/// addressed by a store URI. Cloning is cheap: layers share their
+/// documents and indexes through `Arc`.
+#[derive(Clone)]
 pub struct LayerSet {
     uri: String,
     /// `layers[0]` is always the base layer.

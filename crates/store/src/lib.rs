@@ -27,11 +27,13 @@
 //! `layer("uri", "name")` resolve to the stored layers, with all region
 //! indices pre-installed (shared, not copied).
 
+pub mod delta;
 pub mod error;
 pub mod layer;
 pub mod mount;
 pub mod snapshot;
 
+pub use delta::{compact, ops_to_text, parse_ops, DeltaAnnotation, DeltaOp, DeltaSet, LayerDelta};
 pub use error::StoreError;
 pub use layer::{Layer, LayerSet, BASE_LAYER};
 pub use mount::Snapshot;

@@ -56,6 +56,13 @@ pub struct PlanContext<'a> {
     /// Off on execution paths — estimates are only ever read by
     /// explain, and computing them scans the corpus per operator.
     pub estimates: bool,
+    /// Per-document retracted node sets of the mounted overlay (doc id →
+    /// ascending pres), so name-candidate counts exclude hidden nodes.
+    /// `None` when every mounted layer is pure snapshot.
+    pub retracted: Option<&'a HashMap<u32, Arc<Vec<u32>>>>,
+    /// Doc ids of delta insert documents, so estimates can report how
+    /// many candidates the overlay (vs the base snapshot) contributes.
+    pub delta_docs: Option<&'a std::collections::HashSet<u32>>,
 }
 
 impl<'a> PlanContext<'a> {
@@ -67,6 +74,8 @@ impl<'a> PlanContext<'a> {
             store: None,
             index_stats: IndexStats::default(),
             estimates: false,
+            retracted: None,
+            delta_docs: None,
         }
     }
 }

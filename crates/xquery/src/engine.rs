@@ -185,6 +185,7 @@ pub(crate) struct MetricHandles {
     pub(crate) join_post_filters: Counter,
     pub(crate) join_candidate_node_view: Counter,
     pub(crate) join_candidate_scans: Counter,
+    pub(crate) delta_merge_reads: Counter,
 }
 
 impl MetricHandles {
@@ -200,6 +201,7 @@ impl MetricHandles {
             join_post_filters: registry.counter("join.post_filters"),
             join_candidate_node_view: registry.counter("join.candidate_node_view"),
             join_candidate_scans: registry.counter("join.candidate_scans"),
+            delta_merge_reads: registry.counter("store.delta.merge_reads"),
         }
     }
 
@@ -245,6 +247,15 @@ pub struct EngineState {
     layer_configs: HashMap<u32, StandoffConfig>,
     /// `(store uri, layer name)` → document, for the `layer()` builtin.
     layer_lookup: HashMap<(String, String), DocId>,
+    /// Overlay retractions: document id → strictly ascending,
+    /// subtree-expanded pre ranks hidden by a mounted delta. Empty on
+    /// pure corpora — the zero-cost common case.
+    retracted: HashMap<u32, Arc<Vec<u32>>>,
+    /// Parent layer document → the delta document carrying its pending
+    /// inserts (mounted as an extra member of the same layer group).
+    delta_of: HashMap<u32, DocId>,
+    /// Document ids that *are* delta documents.
+    delta_docs: std::collections::HashSet<u32>,
     /// Values for `declare variable $x external` declarations.
     externals: HashMap<String, Vec<Item>>,
     /// Reusable buffers for the StandOff join hot path; lives on the
@@ -276,6 +287,9 @@ impl EngineState {
             doc_group: HashMap::new(),
             layer_configs: HashMap::new(),
             layer_lookup: HashMap::new(),
+            retracted: HashMap::new(),
+            delta_of: HashMap::new(),
+            delta_docs: std::collections::HashSet::new(),
             externals: HashMap::new(),
             join_scratch: JoinScratch::default(),
             join_stats: JoinStats::default(),
@@ -330,6 +344,47 @@ impl EngineState {
             .copied()
     }
 
+    /// Overlay retractions of a document: strictly ascending,
+    /// subtree-expanded pre ranks hidden until the next compaction.
+    /// Empty for pure (non-overlay) documents.
+    pub(crate) fn retractions_of(&self, doc: DocId) -> &[u32] {
+        self.retracted.get(&doc.0).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Does any mounted document carry retractions? A single branch that
+    /// keeps the pure read path free of per-node retraction checks.
+    #[inline]
+    pub(crate) fn has_retractions(&self) -> bool {
+        !self.retracted.is_empty()
+    }
+
+    /// Is `doc` a mounted delta document (pending overlay inserts)?
+    pub(crate) fn is_delta_doc(&self, doc: DocId) -> bool {
+        self.delta_docs.contains(&doc.0)
+    }
+
+    /// The delta document mounted over a layer document, if any.
+    pub(crate) fn delta_doc_of(&self, doc: DocId) -> Option<DocId> {
+        self.delta_of.get(&doc.0).copied()
+    }
+
+    /// Does any mounted document carry a delta companion? The pure-mount
+    /// fast-path branch for tree-step context expansion.
+    #[inline]
+    pub(crate) fn has_delta_docs(&self) -> bool {
+        !self.delta_docs.is_empty()
+    }
+
+    /// The layer document a delta document overlays (inverse of
+    /// [`Self::delta_doc_of`]). Linear in the number of overlaid layers,
+    /// which is small and only walked on overlay mounts.
+    pub(crate) fn base_doc_of(&self, delta: DocId) -> Option<DocId> {
+        self.delta_of
+            .iter()
+            .find(|(_, d)| **d == delta)
+            .map(|(base, _)| DocId(*base))
+    }
+
     /// The compilation context this state offers the query compiler:
     /// current options plus statistics of every region index available
     /// right now (mounted snapshot indexes and lazily built ones).
@@ -338,14 +393,27 @@ impl EngineState {
     /// [`PlanContext::estimates`] on.
     pub fn plan_context(&self) -> PlanContext<'_> {
         let mut stats = IndexStats::default();
-        for index in self.region_cache.values() {
-            stats.merge(index.stats());
+        for ((doc, _), index) in self.region_cache.iter() {
+            // Overlay retractions are subtracted per index, so the
+            // optimizer costs the *visible* corpus, not the raw columns.
+            let retracted = self.retracted.get(doc).map_or(&[][..], |v| v.as_slice());
+            stats.merge(standoff_core::RegionSource::with_retractions(index, retracted).stats());
         }
         PlanContext {
             options: &self.options,
             store: Some(&self.store),
             index_stats: stats,
             estimates: false,
+            retracted: if self.retracted.is_empty() {
+                None
+            } else {
+                Some(&self.retracted)
+            },
+            delta_docs: if self.delta_docs.is_empty() {
+                None
+            } else {
+                Some(&self.delta_docs)
+            },
         }
     }
 
@@ -567,6 +635,109 @@ impl Engine {
             .metrics
             .record("engine.snapshot_materialize_ns", elapsed_ns(started));
         self.mount_store(set)
+    }
+
+    /// Mount a layer set together with a pending [`DeltaSet`] overlay —
+    /// the merge-on-read mount behind [`crate::WritableEngine`].
+    ///
+    /// The base and annotation layers register exactly as in
+    /// [`Engine::mount_store`]. On top of that, per mutated layer:
+    ///
+    /// * pending **inserts** materialize as a small sibling document
+    ///   (`uri#layer#delta`) mounted into the same layer group,
+    ///   *immediately after* its parent layer — document ids drive
+    ///   cross-document order, and compaction appends inserts at the end
+    ///   of the parent's root, so adjacency keeps the merged stream and
+    ///   the compacted snapshot in the same document order;
+    /// * pending **retracts** become the layer's hidden-pre set, which
+    ///   joins, tree steps and the optimizer's statistics subtract via
+    ///   [`standoff_core::RegionSource`].
+    ///
+    /// With an empty delta this *is* `mount_store` — same registrations,
+    /// same zero-copy index sharing, no overlay bookkeeping at all.
+    pub fn mount_overlay(
+        &mut self,
+        set: standoff_store::LayerSet,
+        delta: &standoff_store::DeltaSet,
+    ) -> Result<DocId, QueryError> {
+        if delta.is_empty() {
+            return self.mount_store(set);
+        }
+        let started = Instant::now();
+        let (uri, layers) = set.into_layers();
+        let overlay_err =
+            |e: standoff_store::StoreError| QueryError::stat(format!("cannot mount overlay: {e}"));
+        // Per layer: registration URI, hidden pres, and the materialized
+        // insert document (if any) with its derived URI. Prepared fully
+        // before any state is touched so a failed mount changes nothing.
+        let mut prepared = Vec::with_capacity(layers.len());
+        for (k, layer) in layers.iter().enumerate() {
+            let doc_uri = if k == 0 {
+                uri.clone()
+            } else {
+                format!("{uri}#{}", layer.name())
+            };
+            let (retracted, insert_doc) = match delta.layer_delta(layer.name()) {
+                Some(d) => (
+                    d.retracted_pres(layer),
+                    d.insert_doc(layer).map_err(overlay_err)?,
+                ),
+                None => (Vec::new(), None),
+            };
+            let delta_uri = insert_doc.as_ref().map(|_| format!("{doc_uri}#delta"));
+            prepared.push((doc_uri, retracted, insert_doc, delta_uri));
+        }
+        for (doc_uri, _, _, delta_uri) in &prepared {
+            for u in std::iter::once(doc_uri).chain(delta_uri.as_ref()) {
+                if self.state.store.by_uri(u).is_some() {
+                    return Err(QueryError::stat(format!(
+                        "cannot mount store: a document is already registered at '{u}'"
+                    )));
+                }
+            }
+        }
+        let group_id = self.state.layer_groups.len() as u32;
+        let mut members = Vec::with_capacity(layers.len());
+        for (layer, (doc_uri, retracted, insert_doc, delta_uri)) in layers.into_iter().zip(prepared)
+        {
+            let (name, config, doc, index) = layer.into_parts();
+            let id = self.state.store.add_shared(doc, Some(&doc_uri));
+            self.state
+                .region_cache
+                .insert((id.0, config.clone()), index);
+            self.state.layer_configs.insert(id.0, config.clone());
+            self.state.layer_lookup.insert((uri.clone(), name), id);
+            self.state.doc_group.insert(id.0, group_id);
+            members.push(id);
+            if !retracted.is_empty() {
+                self.state.retracted.insert(id.0, Arc::new(retracted));
+            }
+            if let Some(ddoc) = insert_doc {
+                let dindex = standoff_core::RegionIndex::build(&ddoc, &config)
+                    .map_err(|e| QueryError::stat(format!("cannot mount overlay: {e}")))?;
+                let did = self
+                    .state
+                    .store
+                    .add_shared(Arc::new(ddoc), delta_uri.as_deref());
+                self.state
+                    .region_cache
+                    .insert((did.0, config.clone()), Arc::new(dindex));
+                self.state.layer_configs.insert(did.0, config);
+                self.state.doc_group.insert(did.0, group_id);
+                self.state.delta_of.insert(id.0, did);
+                self.state.delta_docs.insert(did.0);
+                members.push(did);
+            }
+        }
+        let base = members[0];
+        self.state.layer_groups.push(members);
+        self.generation = fresh_generation();
+        self.state.handles.mounts.inc();
+        self.state
+            .handles
+            .mount_ns
+            .record_duration(started.elapsed());
+        Ok(base)
     }
 
     /// The underlying document store (documents, constructed results).

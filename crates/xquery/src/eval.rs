@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use standoff_algebra::{Item, LlSeq, NameCache, NodeTable, NodeTest, TreeAxis};
 use standoff_core::join::evaluate_standoff_join_with;
-use standoff_core::{IterNode, JoinInput, RegionIndex, StandoffConfig};
+use standoff_core::{IterNode, JoinInput, RegionIndex, RegionSource, StandoffConfig};
 use standoff_xml::{DocId, DocumentBuilder, NodeKind, NodeRef};
 
 use crate::ast::{ArithOp, CompOp};
@@ -37,6 +37,19 @@ use crate::error::QueryError;
 use crate::functions;
 use crate::plan::*;
 use crate::profile::{JoinExec, PlanProfile};
+
+/// Pre rank of a document's root *element* (skipping any leading
+/// comments or processing instructions at document level).
+fn root_element_pre(doc: &standoff_xml::Document) -> u32 {
+    let mut pre = 1u32;
+    while (pre as usize) < doc.node_count() {
+        if doc.kind(pre) == NodeKind::Element && doc.parent(pre) == 0 {
+            return pre;
+        }
+        pre += doc.size(pre) + 1;
+    }
+    0
+}
 
 /// One scope of the loop-lifting frame stack.
 pub struct Frame {
@@ -790,6 +803,7 @@ impl<'e> Evaluator<'e> {
         predicates: &[PlanExpr],
     ) -> Result<LlSeq, QueryError> {
         let ctx = self.context_nodes(input)?;
+        let (ctx, expanded) = self.expand_delta_contexts(ctx, axis);
         // `test` is plan memory (see `name_cache`), so resolution is
         // memoized per document across re-executions of this step.
         let result = standoff_algebra::staircase::ll_step_cached(
@@ -799,11 +813,143 @@ impl<'e> Evaluator<'e> {
             test,
             &mut self.name_cache,
         );
+        let result = self.filter_retracted(result);
+        let result = self.fold_delta_scaffolding(result, axis, expanded);
         let mut table = result.into_llseq();
         for predicate in predicates {
             table = self.apply_predicate(table, predicate)?;
         }
         Ok(table)
+    }
+
+    /// Merge-on-read, navigation half: a mounted overlay keeps a layer's
+    /// pending inserts in a sibling *delta document* whose root mirrors
+    /// the layer root (see [`crate::Engine::mount_overlay`]). For the
+    /// downward axes, every context row sitting at a position the delta
+    /// document mirrors — the document node and the root element — gains
+    /// a companion row at the mirrored position, so one `ll_step` scan
+    /// walks base and delta as a single logical tree. Documents without
+    /// a delta (and upward/sibling axes, where the companion could only
+    /// produce scaffolding) pass through untouched; the whole expansion
+    /// is one branch on pure mounts.
+    fn expand_delta_contexts(&self, ctx: NodeTable, axis: TreeAxis) -> (NodeTable, bool) {
+        use TreeAxis as A;
+        if !self.engine.has_delta_docs()
+            || !matches!(
+                axis,
+                A::Child | A::Descendant | A::DescendantOrSelf | A::Attribute
+            )
+        {
+            return (ctx, false);
+        }
+        let mut out = NodeTable::with_capacity(ctx.len());
+        let mut expanded = false;
+        for (&iter, &node) in ctx.iters().iter().zip(ctx.nodes()) {
+            out.push(iter, node);
+            let (Some(pre), Some(delta)) = (node.id.pre(), self.engine.delta_doc_of(node.doc))
+            else {
+                continue;
+            };
+            let doc = self.engine.store.doc(node.doc);
+            // Document node mirrors pre 0; the root element mirrors the
+            // delta root (always pre 1 — delta documents are built with
+            // no leading comments or PIs).
+            let mirrored = if pre == 0 {
+                Some(0)
+            } else if doc.parent(pre) == 0 && doc.kind(pre) == NodeKind::Element {
+                Some(1)
+            } else {
+                None
+            };
+            if let Some(dpre) = mirrored {
+                out.push(iter, NodeRef::tree(delta, dpre));
+                expanded = true;
+            }
+        }
+        (out, expanded)
+    }
+
+    /// Merge-on-read, navigation half (result side): the delta document's
+    /// document node and root element are scaffolding — the *logical*
+    /// document has exactly one root, the base layer's. Upward axes remap
+    /// them to their base originals (the parent of a pending insert is
+    /// the layer root, exactly as after compaction); every other axis
+    /// drops them. When anything changed, one `normalize` pass restores
+    /// per-iteration document order and collapses remap duplicates —
+    /// delta documents mount id-adjacent after their base, so the merged
+    /// order equals the compacted snapshot's. No-op on pure mounts.
+    fn fold_delta_scaffolding(
+        &self,
+        table: NodeTable,
+        axis: TreeAxis,
+        expanded: bool,
+    ) -> NodeTable {
+        use TreeAxis as A;
+        if !self.engine.has_delta_docs() {
+            return table;
+        }
+        let upward = matches!(axis, A::Parent | A::Ancestor | A::AncestorOrSelf);
+        let mut out = NodeTable::with_capacity(table.len());
+        let mut changed = expanded;
+        for (&iter, &node) in table.iters().iter().zip(table.nodes()) {
+            let scaffold = node
+                .id
+                .pre()
+                .is_some_and(|pre| pre <= 1 && self.engine.is_delta_doc(node.doc));
+            if !scaffold {
+                out.push(iter, node);
+                continue;
+            }
+            changed = true;
+            if upward {
+                let base = self
+                    .engine
+                    .base_doc_of(node.doc)
+                    .expect("delta documents always overlay a base layer");
+                let pre = node.id.pre().unwrap();
+                let mapped = if pre == 0 {
+                    0
+                } else {
+                    root_element_pre(self.engine.store.doc(base))
+                };
+                out.push(iter, NodeRef::tree(base, mapped));
+            }
+        }
+        if changed {
+            out.normalize(&self.engine.store);
+        }
+        out
+    }
+
+    /// Drop rows the mounted overlay has retracted: any node inside a
+    /// retracted annotation subtree, and any attribute whose owner is.
+    /// Every tree-navigation axis funnels through [`eval_tree_step`], so
+    /// this one filter makes `//name`, `count(..)` and predicate steps
+    /// agree with the merge-on-read joins. Free on pure mounts — a
+    /// single branch when no retraction exists anywhere.
+    fn filter_retracted(&self, table: NodeTable) -> NodeTable {
+        if !self.engine.has_retractions() {
+            return table;
+        }
+        let mut out = NodeTable::with_capacity(table.len());
+        for (&iter, &node) in table.iters().iter().zip(table.nodes()) {
+            let hidden = {
+                let hidden_pres = self.engine.retractions_of(node.doc);
+                if hidden_pres.is_empty() {
+                    false
+                } else {
+                    let pre = node.id.pre().unwrap_or_else(|| {
+                        let a = node.id.attr_index().expect("tree node or attribute");
+                        self.engine.store.doc(node.doc).attr_owner(a)
+                    });
+                    hidden_pres.binary_search(&pre).is_ok()
+                }
+            };
+            if !hidden {
+                out.push(iter, node);
+            }
+        }
+        out
     }
 
     fn eval_standoff_step(
@@ -919,6 +1065,11 @@ impl<'e> Evaluator<'e> {
         let mut stats = JoinStats::default();
         let mut cand_rows: u64 = 0;
         let mut cand_max: u64 = 0;
+        // Overlay accounting: candidate rows contributed by delta insert
+        // documents, and join calls that read through a merged (non-pure)
+        // region stream or a delta document.
+        let mut delta_cand_rows: u64 = 0;
+        let mut merge_reads: u64 = 0;
         let mut scratch = std::mem::take(&mut self.engine.join_scratch);
 
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
@@ -978,22 +1129,45 @@ impl<'e> Evaluator<'e> {
                     if let Some(cands) = &name_candidates {
                         cand_rows += cands.len() as u64;
                         cand_max = cand_max.max(cands.len() as u64);
+                        if self.engine.is_delta_doc(target) {
+                            delta_cand_rows += cands.len() as u64;
+                        }
                         if target_index.prefers_node_view(cands.len()) {
                             stats.candidate_node_view += 1;
                         } else {
                             stats.candidate_scans += 1;
                         }
                     }
+                    // Merge-on-read view over the target layer: the raw
+                    // index columns minus the overlay's retracted nodes.
+                    // Pure snapshots keep the zero-copy borrow.
+                    let target_source = RegionSource::with_retractions(
+                        &target_index,
+                        self.engine.retractions_of(target),
+                    );
                     // A reject over several context layers must complement the
                     // *union* of their selections, not union their complements.
                     let multi_ctx_reject = !axis.is_select() && contexts.len() > 1;
                     let mut selected: Vec<IterNode> = Vec::new();
                     let mut universe: Option<Vec<u32>> = None;
-                    for ((_, context), ctx_index) in contexts.iter().zip(&ctx_indexes) {
+                    for ((ctx_doc, context), ctx_index) in contexts.iter().zip(&ctx_indexes) {
+                        let ctx_source = ctx_index.as_deref().map(|idx| {
+                            RegionSource::with_retractions(
+                                idx,
+                                self.engine.retractions_of(*ctx_doc),
+                            )
+                        });
+                        if !target_source.is_pure()
+                            || ctx_source.is_some_and(|s| !s.is_pure())
+                            || self.engine.is_delta_doc(target)
+                            || self.engine.is_delta_doc(*ctx_doc)
+                        {
+                            merge_reads += 1;
+                        }
                         let input = JoinInput {
                             doc,
-                            index: &target_index,
-                            ctx_index: ctx_index.as_deref(),
+                            index: target_source,
+                            ctx_index: ctx_source,
                             context,
                             candidates: name_candidates.as_deref(),
                             iter_domain: &iter_domain,
@@ -1075,6 +1249,9 @@ impl<'e> Evaluator<'e> {
         // Single fold point: engine counters, registry mirror, and —
         // when profiling — the operator's JoinExec detail.
         self.engine.handles.record_join(&stats);
+        if merge_reads > 0 {
+            self.engine.handles.delta_merge_reads.add(merge_reads);
+        }
         self.engine.join_stats.merge(stats);
         if let Some(p) = self.profile.as_deref_mut() {
             let j = p
@@ -1084,6 +1261,8 @@ impl<'e> Evaluator<'e> {
             j.ctx_rows += ctx.iters().len() as u64;
             j.cand_rows += cand_rows;
             j.cand_max = j.cand_max.max(cand_max);
+            j.delta_cand_rows += delta_cand_rows;
+            j.merge_reads += merge_reads;
             j.stats.merge(stats);
         }
         if op.test_guaranteed {

@@ -617,6 +617,59 @@ mod tests {
         );
     }
 
+    /// Regression (writable overlays): applying a delta through
+    /// [`crate::WritableEngine`] swaps in a fresh store generation, so a
+    /// shared [`QueryCache`] must treat the post-mutation engine as a
+    /// new epoch — replaying a plan compiled against the pre-mutation
+    /// corpus would silently serve stale candidate estimates and stats.
+    #[test]
+    fn cache_invalidates_on_writable_mutation() {
+        use crate::WritableEngine;
+        use standoff_core::StandoffConfig;
+        use standoff_store::{DeltaOp, LayerSet};
+        use standoff_xml::parse_document;
+
+        let base = parse_document("<text>hello stand-off world</text>").unwrap();
+        let mut set = LayerSet::build("mem://w", base, StandoffConfig::default()).unwrap();
+        let tokens = parse_document(
+            r#"<tokens><w start="0" end="4"/><w start="6" end="14"/><w start="16" end="20"/></tokens>"#,
+        )
+        .unwrap();
+        set.add_layer("tokens", tokens, StandoffConfig::default())
+            .unwrap();
+        let mut writable = WritableEngine::mount(set, EngineOptions::default()).unwrap();
+
+        let cache = Arc::new(QueryCache::new(8));
+        let query = r#"count(layer("mem://w", "tokens")//w)"#;
+
+        let before = Executor::with_cache(writable.shared(), 1, Arc::clone(&cache));
+        let r = before.run_batch(&[query, query]);
+        assert_eq!(r[0].as_ref().unwrap().as_xml(), "3");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+
+        writable
+            .apply([DeltaOp::Insert {
+                layer: "tokens".into(),
+                name: "w".into(),
+                start: 5,
+                end: 5,
+                attrs: vec![],
+            }])
+            .unwrap();
+
+        // Same query text, same cache — but the mutated engine carries a
+        // new generation, so this is a fresh compile, not a stale hit,
+        // and the result reflects the insert.
+        let after = Executor::with_cache(writable.shared(), 1, Arc::clone(&cache));
+        let r = after.run_batch(&[query]);
+        assert_eq!(r[0].as_ref().unwrap().as_xml(), "4");
+        assert_eq!(
+            (cache.misses(), cache.hits()),
+            (2, 1),
+            "post-mutation lookup must miss the pre-mutation entry"
+        );
+    }
+
     #[test]
     fn compile_errors_are_not_cached() {
         let cache = QueryCache::new(8);

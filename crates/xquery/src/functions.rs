@@ -415,6 +415,10 @@ fn fn_doc(ev: &mut Evaluator<'_>, uris: &LlSeq) -> Result<LlSeq, QueryError> {
             .by_uri(&uri)
             .ok_or_else(|| QueryError::dynamic(format!("document '{uri}' not found")))?;
         out.push(iter, Item::Node(NodeRef::tree(doc_id, 0)));
+        // Overlay mount: the layer's pending inserts live in a sibling
+        // delta document, but it is *not* a second root — tree steps
+        // expand into it on the fly (see `Evaluator::eval_tree_step`),
+        // so the caller sees exactly one document, as after compaction.
     }
     Ok(out)
 }
@@ -437,6 +441,10 @@ fn fn_layer(ev: &mut Evaluator<'_>, uris: &LlSeq, names: &LlSeq) -> Result<LlSeq
             QueryError::dynamic(format!("no layer '{name}' mounted under '{uri}'"))
         })?;
         out.push(iter, Item::Node(NodeRef::tree(doc_id, 0)));
+        // Merge-on-read: a mutated layer's inserts ride in its sibling
+        // delta document (see `Engine::mount_overlay`). Tree steps merge
+        // it in on the fly; returning only the base root keeps `/site`
+        // style child steps from binding the same logical root twice.
     }
     Ok(out)
 }

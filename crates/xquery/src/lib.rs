@@ -56,6 +56,7 @@ pub mod explain;
 pub mod functions;
 pub mod lexer;
 pub mod optimize;
+pub mod overlay;
 pub mod parser;
 pub mod plan;
 pub mod profile;
@@ -64,6 +65,7 @@ pub mod result;
 pub use engine::{Engine, EngineOptions, JoinStats, Session, SharedEngine};
 pub use error::QueryError;
 pub use exec::{CacheStats, Executor, QueryCache};
+pub use overlay::WritableEngine;
 pub use plan::Plan;
 pub use profile::{JoinExec, OpMetrics, PlanProfile, QueryProfile};
 pub use result::QueryResult;

@@ -689,12 +689,51 @@ fn for_each_standoff_op(
 }
 
 /// Total occurrences of an element name across the corpus — the size
-/// of the candidate sequence a pushdown of `name` would produce.
+/// of the candidate sequence a pushdown of `name` would produce. Under
+/// an overlay mount this is the *visible* count: retracted nodes are
+/// subtracted (both columns are ascending, so a merge-intersection),
+/// while delta insert documents count like any other document.
 fn corpus_name_count(ctx: &PlanContext<'_>, name: &str) -> Option<u64> {
     let store = ctx.store?;
+    let mut total: u64 = 0;
+    for id in store.doc_ids() {
+        let named = store.doc(id).elements_named(name);
+        let mut count = named.len() as u64;
+        if let Some(hidden) = ctx.retracted.and_then(|m| m.get(&id.0)) {
+            count -= sorted_intersection_count(named, hidden) as u64;
+        }
+        total += count;
+    }
+    Some(total)
+}
+
+/// `|a ∩ b|` for two ascending slices.
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Occurrences of `name` contributed by overlay delta documents alone —
+/// the merge-on-read share of a pushdown's candidate sequence. `None`
+/// when the mount has no delta documents at all.
+fn delta_name_count(ctx: &PlanContext<'_>, name: &str) -> Option<u64> {
+    let store = ctx.store?;
+    let deltas = ctx.delta_docs?;
     Some(
         store
             .doc_ids()
+            .filter(|id| deltas.contains(&id.0))
             .map(|id| store.doc(id).elements_named(name).len() as u64)
             .sum(),
     )
@@ -784,9 +823,14 @@ fn estimate(plan: &mut Plan, ctx: &PlanContext<'_>) {
             .pushdown
             .as_ref()
             .and_then(|name| corpus_name_count(ctx, name));
+        let delta_candidates = op
+            .pushdown
+            .as_ref()
+            .and_then(|name| delta_name_count(ctx, name));
         op.estimate = Some(JoinEstimate {
             index: stats,
             candidates,
+            delta_candidates,
         });
     });
 }

@@ -1,0 +1,262 @@
+//! The writer handle over a mounted corpus.
+//!
+//! [`WritableEngine`] pairs an immutable [`LayerSet`] with its pending
+//! [`DeltaSet`] and the [`SharedEngine`] currently serving readers.
+//! Mutation is copy-on-write at corpus granularity:
+//!
+//! * [`WritableEngine::apply`] validates a whole op batch against the
+//!   mounted set, then remounts base + delta behind a **fresh store
+//!   generation** and swaps the shared handle — either every op of the
+//!   batch lands or none does;
+//! * readers never block and never see a half-applied batch: a
+//!   [`Session`] stamped out before the swap keeps its `Arc`'d corpus
+//!   alive and consistent until dropped, while new sessions (and plan
+//!   caches keyed by [`SharedEngine::generation`]) pick up the new view;
+//! * [`WritableEngine::compact`] folds the delta into a fresh, delta-free
+//!   layer set (`standoff_store::compact`) and remounts it — the point
+//!   where merge-on-read overhead drops back to the pure zero-copy path,
+//!   and the set worth writing out as the next snapshot.
+//!
+//! Remounting is cheap in the way that matters: documents and region
+//! indexes are `Arc`-shared with the layer set, so a remount re-plumbs
+//! pointers and rebuilds only the per-layer delta documents (usually a
+//! few dozen annotations).
+
+use standoff_store::{DeltaOp, DeltaSet, LayerSet};
+
+use crate::engine::{Engine, EngineOptions, Session, SharedEngine};
+use crate::error::QueryError;
+
+/// A mounted corpus that accepts annotation-layer mutations.
+pub struct WritableEngine {
+    set: LayerSet,
+    delta: DeltaSet,
+    options: EngineOptions,
+    shared: SharedEngine,
+}
+
+impl WritableEngine {
+    /// Mount `set` writable, with an empty delta, under `options`.
+    pub fn mount(set: LayerSet, options: EngineOptions) -> Result<WritableEngine, QueryError> {
+        let delta = DeltaSet::new();
+        let shared = remount(&set, &delta, &options)?;
+        Ok(WritableEngine {
+            set,
+            delta,
+            options,
+            shared,
+        })
+    }
+
+    /// Mount `set` with mutations already pending (e.g. a delta sidecar
+    /// replayed from disk).
+    pub fn mount_with_delta(
+        set: LayerSet,
+        delta: DeltaSet,
+        options: EngineOptions,
+    ) -> Result<WritableEngine, QueryError> {
+        let shared = remount(&set, &delta, &options)?;
+        Ok(WritableEngine {
+            set,
+            delta,
+            options,
+            shared,
+        })
+    }
+
+    /// The shared read handle over the current corpus view. Clone it
+    /// freely; it stays valid (and consistent) across later mutations.
+    pub fn shared(&self) -> SharedEngine {
+        self.shared.clone()
+    }
+
+    /// A fresh session over the current view.
+    pub fn session(&self) -> Session {
+        self.shared.session()
+    }
+
+    /// The current store-generation stamp; bumps on every successful
+    /// [`WritableEngine::apply`] and [`WritableEngine::compact`].
+    pub fn generation(&self) -> u64 {
+        self.shared.generation()
+    }
+
+    /// The mounted (immutable) layer set.
+    pub fn layer_set(&self) -> &LayerSet {
+        &self.set
+    }
+
+    /// The pending mutations; empty right after mount or compaction.
+    pub fn delta(&self) -> &DeltaSet {
+        &self.delta
+    }
+
+    /// Apply a batch of mutations atomically.
+    ///
+    /// The batch validates against a copy of the pending delta first;
+    /// any rejected op (unknown layer, base-layer write, retract that
+    /// matches nothing, ...) fails the whole call and leaves the mounted
+    /// view — and the pending delta — untouched. On success the corpus
+    /// remounts under a fresh generation and `apply` returns the number
+    /// of ops recorded.
+    pub fn apply(&mut self, ops: impl IntoIterator<Item = DeltaOp>) -> Result<usize, QueryError> {
+        let mut next = self.delta.clone();
+        let n = next
+            .apply_all(ops, &self.set)
+            .map_err(|e| QueryError::stat(e.to_string()))?;
+        if n == 0 {
+            return Ok(0);
+        }
+        self.shared = remount(&self.set, &next, &self.options)?;
+        self.delta = next;
+        Ok(n)
+    }
+
+    /// Fold the pending delta into a fresh, delta-free layer set and
+    /// remount it (fresh generation). Returns the compacted set —
+    /// typically handed to `standoff_store::write_snapshot_v3` next. A
+    /// no-op returning the current set when nothing is pending.
+    pub fn compact(&mut self) -> Result<LayerSet, QueryError> {
+        if self.delta.is_empty() {
+            return Ok(self.set.clone());
+        }
+        let folded = standoff_store::compact(&self.set, &self.delta)
+            .map_err(|e| QueryError::stat(e.to_string()))?;
+        self.shared = remount(&folded, &DeltaSet::new(), &self.options)?;
+        self.set = folded.clone();
+        self.delta = DeltaSet::new();
+        Ok(folded)
+    }
+}
+
+fn remount(
+    set: &LayerSet,
+    delta: &DeltaSet,
+    options: &EngineOptions,
+) -> Result<SharedEngine, QueryError> {
+    let mut engine = Engine::with_options(options.clone());
+    engine.mount_overlay(set.clone(), delta)?;
+    Ok(engine.into_shared())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use standoff_core::StandoffConfig;
+    use standoff_xml::parse_document;
+
+    fn writable() -> WritableEngine {
+        let base = parse_document(r#"<text>hello stand-off world</text>"#).unwrap();
+        let mut set = LayerSet::build("mem://w", base, StandoffConfig::default()).unwrap();
+        let tokens = parse_document(
+            r#"<tokens>
+                 <w start="0" end="4"/>
+                 <w start="6" end="14"/>
+                 <w start="16" end="20"/>
+               </tokens>"#,
+        )
+        .unwrap();
+        set.add_layer("tokens", tokens, StandoffConfig::default())
+            .unwrap();
+        WritableEngine::mount(set, EngineOptions::default()).unwrap()
+    }
+
+    fn count(engine: &WritableEngine, query: &str) -> usize {
+        engine.session().run(query).unwrap().len()
+    }
+
+    const ALL_W: &str = r#"count(layer("mem://w", "tokens")//w)"#;
+
+    #[test]
+    fn apply_bumps_generation_and_changes_results() {
+        let mut w = writable();
+        let g0 = w.generation();
+        assert_eq!(w.session().run(ALL_W).unwrap().as_xml(), "3");
+        let n = w
+            .apply([DeltaOp::Insert {
+                layer: "tokens".into(),
+                name: "w".into(),
+                start: 5,
+                end: 5,
+                attrs: vec![],
+            }])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(w.generation(), g0);
+        assert_eq!(w.session().run(ALL_W).unwrap().as_xml(), "4");
+    }
+
+    #[test]
+    fn failed_batch_leaves_view_untouched() {
+        let mut w = writable();
+        let g0 = w.generation();
+        let err = w.apply([
+            DeltaOp::Insert {
+                layer: "tokens".into(),
+                name: "w".into(),
+                start: 5,
+                end: 5,
+                attrs: vec![],
+            },
+            DeltaOp::Retract {
+                layer: "tokens".into(),
+                name: "w".into(),
+                start: 99,
+                end: 100,
+            },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(w.generation(), g0, "failed batch must not swap the view");
+        assert!(w.delta().is_empty());
+        assert_eq!(w.session().run(ALL_W).unwrap().as_xml(), "3");
+    }
+
+    #[test]
+    fn old_sessions_survive_mutation() {
+        let mut w = writable();
+        let mut old = w.session();
+        w.apply([DeltaOp::Retract {
+            layer: "tokens".into(),
+            name: "w".into(),
+            start: 0,
+            end: 4,
+        }])
+        .unwrap();
+        // The pre-mutation session still sees the pre-mutation corpus.
+        assert_eq!(old.run(ALL_W).unwrap().as_xml(), "3");
+        assert_eq!(w.session().run(ALL_W).unwrap().as_xml(), "2");
+    }
+
+    #[test]
+    fn compact_clears_delta_and_preserves_results() {
+        let mut w = writable();
+        w.apply([
+            DeltaOp::Insert {
+                layer: "tokens".into(),
+                name: "ner".into(),
+                start: 6,
+                end: 14,
+                attrs: vec![("class".into(), "MISC".into())],
+            },
+            DeltaOp::Retract {
+                layer: "tokens".into(),
+                name: "w".into(),
+                start: 0,
+                end: 4,
+            },
+        ])
+        .unwrap();
+        let before_w = count(&w, r#"layer("mem://w", "tokens")//w"#);
+        let before_ner = count(&w, r#"layer("mem://w", "tokens")//ner"#);
+        let g = w.generation();
+        let folded = w.compact().unwrap();
+        assert_ne!(w.generation(), g);
+        assert!(w.delta().is_empty());
+        assert_eq!(folded.layer("tokens").unwrap().annotation_count(), 3);
+        assert_eq!(count(&w, r#"layer("mem://w", "tokens")//w"#), before_w);
+        assert_eq!(count(&w, r#"layer("mem://w", "tokens")//ner"#), before_ner);
+        // Compacting again is a no-op.
+        let again = w.compact().unwrap();
+        assert_eq!(again.layer("tokens").unwrap().annotation_count(), 3);
+    }
+}

@@ -149,8 +149,12 @@ pub struct JoinEstimate {
     /// against.
     pub index: IndexStats,
     /// Estimated candidate count after name-test pushdown (total
-    /// occurrences of the pushed element name across the corpus).
+    /// occurrences of the pushed element name across the *visible*
+    /// corpus — overlay retractions already subtracted).
     pub candidates: Option<u64>,
+    /// Share of `candidates` contributed by overlay delta documents
+    /// (pending inserts). `None` on a pure-snapshot mount.
+    pub delta_candidates: Option<u64>,
 }
 
 /// One `for`/`let` binding of a compiled FLWOR.

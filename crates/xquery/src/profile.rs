@@ -51,6 +51,12 @@ pub struct JoinExec {
     pub cand_rows: u64,
     /// Largest single candidate set seen.
     pub cand_max: u64,
+    /// Candidate rows contributed by overlay delta documents (subset of
+    /// `cand_rows`); zero on a pure-snapshot mount.
+    pub delta_cand_rows: u64,
+    /// Join calls that read through a merged base+delta region stream
+    /// or a delta document — merge-on-read work, vs pure zero-copy.
+    pub merge_reads: u64,
     /// The join's fast-path decision counters (same meaning as the
     /// engine-wide [`JoinStats`], restricted to this operator).
     pub stats: JoinStats,
@@ -137,11 +143,14 @@ impl QueryProfile {
             if let Some(j) = &m.join {
                 out.push_str(&format!(
                     ", \"join\": {{\"ctx_rows\": {}, \"cand_rows\": {}, \"cand_max\": {}, \
+                     \"delta_cand_rows\": {}, \"merge_reads\": {}, \
                      \"node_view\": {}, \"scans\": {}, \"result_sorts\": {}, \
                      \"result_sorts_elided\": {}, \"post_filters\": {}, \"post_filters_elided\": {}}}",
                     j.ctx_rows,
                     j.cand_rows,
                     j.cand_max,
+                    j.delta_cand_rows,
+                    j.merge_reads,
                     j.stats.candidate_node_view,
                     j.stats.candidate_scans,
                     j.stats.result_sorts,

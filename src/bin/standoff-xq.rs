@@ -58,14 +58,18 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use standoff::core::{StandoffConfig, StandoffStrategy};
-use standoff::store::{save_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
+use standoff::store::{
+    ops_to_text, parse_ops, save_snapshot, write_snapshot_legacy, DeltaSet, LayerSet, Snapshot,
+};
 use standoff::xquery::{Engine, Executor};
 
 const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
                      \x20           [--legacy-format]\n\
                      standoff-xq inspect <snapshot> [--sections]\n\
-                     standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
+                     standoff-xq annotate --store SNAPSHOT --delta SIDECAR <ops.txt | ->\n\
+                     standoff-xq compact --store SNAPSHOT [--delta SIDECAR]... -o <snapshot>\n\
+                     standoff-xq query [--store SNAPSHOT [--delta SIDECAR]...]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
                      \x20           [--strategy naive|naive-candidates|basic|loop-lifted|auto]\n\
                      \x20           [--no-pushdown] [--explain] [--time] [--profile] [--profile-json]\n\
@@ -83,6 +87,8 @@ fn main() -> ExitCode {
     let result = match argv.first().map(String::as_str) {
         Some("index") => cmd_index(&argv[1..]),
         Some("inspect") => cmd_inspect(&argv[1..]),
+        Some("annotate") => cmd_annotate(&argv[1..]),
+        Some("compact") => cmd_compact(&argv[1..]),
         Some("query") => cmd_query(&argv[1..]),
         Some("explain") => cmd_explain(&argv[1..]),
         Some("batch") => cmd_batch(&argv[1..]),
@@ -239,12 +245,166 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+// ---- annotate / compact ----
+
+/// Replay delta sidecar files against a layer set, in order.
+fn load_delta(sidecars: &[&String], set: &LayerSet) -> Result<DeltaSet, String> {
+    let mut delta = DeltaSet::new();
+    for path in sidecars {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let ops = parse_ops(&text).map_err(|e| format!("{path}: {e}"))?;
+        delta
+            .apply_all(ops, set)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(delta)
+}
+
+/// `annotate`: apply a batch of insert/retract ops to a snapshot's
+/// delta sidecar. The snapshot file itself is never touched — the ops
+/// append to the sidecar, which `query`/`stats`/`compact` replay via
+/// `--delta`. The whole batch validates against the snapshot (and the
+/// overlay is proven mountable) before the sidecar is rewritten, so a
+/// bad op leaves it exactly as it was.
+fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
+    let mut store: Option<String> = None;
+    let mut sidecar: Option<String> = None;
+    let mut ops_path: Option<String> = None;
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--store" => {
+                k += 1;
+                store = Some(argv.get(k).ok_or("--store needs a path")?.clone());
+            }
+            "--delta" => {
+                k += 1;
+                sidecar = Some(argv.get(k).ok_or("--delta needs a path")?.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') || other == "-" => {
+                if ops_path.is_some() {
+                    return Err(format!("annotate takes exactly one ops file\n{USAGE}"));
+                }
+                ops_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let store = store.ok_or("annotate: no snapshot given (--store)")?;
+    let sidecar = sidecar.ok_or("annotate: no delta sidecar given (--delta)")?;
+    let ops_path = ops_path.ok_or("annotate: no ops file given ('-' for stdin)")?;
+
+    let snapshot = Snapshot::open(&store).map_err(|e| format!("{store}: {e}"))?;
+    let set = snapshot
+        .to_layer_set()
+        .map_err(|e| format!("{store}: {e}"))?;
+    // Pending state first (the sidecar may not exist yet), new ops after.
+    let mut delta = if std::path::Path::new(&sidecar).exists() {
+        load_delta(&[&sidecar], &set)?
+    } else {
+        DeltaSet::new()
+    };
+    let text = if ops_path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&ops_path).map_err(|e| format!("cannot read {ops_path}: {e}"))?
+    };
+    let ops = parse_ops(&text).map_err(|e| format!("{ops_path}: {e}"))?;
+    let applied = delta
+        .apply_all(ops, &set)
+        .map_err(|e| format!("{ops_path}: {e}"))?;
+    // Prove the overlay mounts — the same validation every later
+    // `--delta` reader will run — before persisting anything.
+    let mut engine = Engine::new();
+    engine
+        .mount_overlay(set, &delta)
+        .map_err(|e| format!("{store}: {e}"))?;
+    std::fs::write(&sidecar, ops_to_text(&delta.to_ops()))
+        .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
+    eprintln!(
+        "# applied {applied} op(s); pending {} insert(s), {} retract(s) -> {sidecar}",
+        delta.insert_count(),
+        delta.retract_count(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `compact`: fold a snapshot plus its delta sidecar(s) into a fresh,
+/// delta-free v3 snapshot. The sidecars are left on disk but no longer
+/// apply to the compacted output (their annotations are baked in).
+fn cmd_compact(argv: &[String]) -> Result<ExitCode, String> {
+    let mut store: Option<String> = None;
+    let mut sidecars: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--store" => {
+                k += 1;
+                store = Some(argv.get(k).ok_or("--store needs a path")?.clone());
+            }
+            "--delta" => {
+                k += 1;
+                sidecars.push(argv.get(k).ok_or("--delta needs a path")?.clone());
+            }
+            "-o" | "--out" => {
+                k += 1;
+                out = Some(argv.get(k).ok_or("-o needs a path")?.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let store = store.ok_or("compact: no snapshot given (--store)")?;
+    let out = out.ok_or("compact: no output path (-o)")?;
+
+    let snapshot = Snapshot::open(&store).map_err(|e| format!("{store}: {e}"))?;
+    let set = snapshot
+        .to_layer_set()
+        .map_err(|e| format!("{store}: {e}"))?;
+    let refs: Vec<&String> = sidecars.iter().collect();
+    let delta = load_delta(&refs, &set)?;
+    let folded = standoff::store::compact(&set, &delta).map_err(|e| format!("{store}: {e}"))?;
+    save_snapshot(&folded, &out).map_err(|e| format!("{out}: {e}"))?;
+    let annotations: usize = folded.layers().iter().map(|l| l.annotation_count()).sum();
+    let compact_ns = standoff::core::MetricsRegistry::global()
+        .histogram("store.compact_ns")
+        .snapshot()
+        .mean();
+    eprintln!(
+        "# compacted {} insert(s), {} retract(s) into {} layer(s), {annotations} annotation(s) \
+         in {:.2}ms -> {out}",
+        delta.insert_count(),
+        delta.retract_count(),
+        folded.len(),
+        compact_ns as f64 / 1e6,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 // ---- shared corpus flags (query + batch) ----
 
 /// The corpus-shaping flags `query` and `batch` have in common.
 #[derive(Default)]
 struct CorpusArgs {
     stores: Vec<String>,
+    /// `--delta SIDECAR` overlays, keyed by the index of the `--store`
+    /// they follow (a sidecar addresses layers of one snapshot).
+    deltas: Vec<(usize, String)>,
     loads: Vec<(String, String)>,
     load_bins: Vec<String>,
     strategy: Option<StandoffStrategy>,
@@ -270,6 +430,14 @@ impl CorpusArgs {
                 *k += 1;
                 self.stores
                     .push(argv.get(*k).ok_or("--store needs a path")?.clone());
+            }
+            "--delta" => {
+                *k += 1;
+                let path = argv.get(*k).ok_or("--delta needs a path")?.clone();
+                if self.stores.is_empty() {
+                    return Err("--delta must follow the --store it overlays".to_string());
+                }
+                self.deltas.push((self.stores.len() - 1, path));
             }
             "--load" => {
                 *k += 1;
@@ -315,11 +483,29 @@ impl CorpusArgs {
         }
         engine.set_auto_strategy(self.auto_strategy);
         engine.set_candidate_pushdown(self.pushdown);
-        for path in &self.stores {
+        for (i, path) in self.stores.iter().enumerate() {
             let snapshot = Snapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
-            engine
-                .mount_snapshot(&snapshot)
-                .map_err(|e| format!("{path}: {e}"))?;
+            let sidecars: Vec<&String> = self
+                .deltas
+                .iter()
+                .filter(|(store, _)| *store == i)
+                .map(|(_, p)| p)
+                .collect();
+            if sidecars.is_empty() {
+                engine
+                    .mount_snapshot(&snapshot)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            } else {
+                // Overlay mount: replay the sidecar op log over the
+                // snapshot's layer set and mount base + delta merged.
+                let set = snapshot
+                    .to_layer_set()
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let delta = load_delta(&sidecars, &set)?;
+                engine
+                    .mount_overlay(set, &delta)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
         }
         for path in &self.load_bins {
             let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;

@@ -1,0 +1,247 @@
+//! Merge-on-read equivalence: a corpus mounted as *base + delta
+//! overlay* must answer every query **byte-identically** to the same
+//! corpus after [`standoff::store::compact`] folded the delta into a
+//! fresh snapshot. This is the contract that makes compaction a pure
+//! space/speed optimization — callers can compact (or not) without any
+//! observable change.
+//!
+//! Coverage: randomized cross-layer corpora and delta batches
+//! (proptest), the XMark §4.6 workload with a hand-built delta, and all
+//! four join strategies on both sides of every comparison.
+
+use proptest::prelude::*;
+
+use standoff::core::{StandoffConfig, StandoffStrategy};
+use standoff::store::{DeltaOp, DeltaSet, LayerSet};
+use standoff::xml::parse_document;
+use standoff::xquery::{Engine, EngineOptions};
+
+const STRATEGIES: [StandoffStrategy; 4] = [
+    StandoffStrategy::NaiveNoCandidates,
+    StandoffStrategy::NaiveWithCandidates,
+    StandoffStrategy::BasicMergeJoin,
+    StandoffStrategy::LoopLiftedMergeJoin,
+];
+
+fn engine_with(strategy: StandoffStrategy) -> Engine {
+    Engine::with_options(EngineOptions {
+        strategy,
+        ..EngineOptions::default()
+    })
+}
+
+/// Run `queries` against (set + delta, merge-on-read) and against
+/// compact(set, delta), under every strategy, and demand byte-identical
+/// serialized answers.
+fn assert_overlay_equals_compacted(set: &LayerSet, delta: &DeltaSet, queries: &[String]) {
+    let folded = standoff::store::compact(set, delta).expect("compaction succeeds");
+    for strategy in STRATEGIES {
+        let mut overlay = engine_with(strategy);
+        overlay
+            .mount_overlay(set.clone(), delta)
+            .expect("overlay mounts");
+        let mut compacted = engine_with(strategy);
+        compacted
+            .mount_store(folded.clone())
+            .expect("compacted snapshot mounts");
+        for query in queries {
+            let a = overlay.run(query).expect("overlay query runs").as_xml();
+            let b = compacted.run(query).expect("compacted query runs").as_xml();
+            assert_eq!(a, b, "overlay != compacted for {strategy:?}: {query}");
+        }
+    }
+}
+
+// ---- randomized cross-layer corpora ----
+
+/// Random annotation spans (start, end), sorted by start.
+fn spans_strategy(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..120, 1i64..25), 1..max).prop_map(|raw| {
+        let mut spans: Vec<(i64, i64)> = raw.into_iter().map(|(s, l)| (s, s + l)).collect();
+        spans.sort_unstable();
+        spans
+    })
+}
+
+fn layer_doc(root: &str, elem: &str, spans: &[(i64, i64)]) -> standoff::xml::Document {
+    let mut xml = format!("<{root}>");
+    for (k, (s, e)) in spans.iter().enumerate() {
+        xml.push_str(&format!(r#"<{elem} n="{k}" start="{s}" end="{e}"/>"#));
+    }
+    xml.push_str(&format!("</{root}>"));
+    parse_document(&xml).unwrap()
+}
+
+const URI: &str = "mem://prop";
+
+/// Tree navigation, attribute reads, and every join axis across the two
+/// annotation layers (context layer != target layer, so merge-on-read
+/// has to interleave base and delta regions of *both* sides).
+fn cross_layer_queries() -> Vec<String> {
+    let mut q = vec![
+        format!(r#"layer("{URI}", "tokens")//w"#),
+        format!(r#"count(layer("{URI}", "entities")//person)"#),
+        format!(r#"for $w in layer("{URI}", "tokens")//w return string($w/@start)"#),
+    ];
+    for axis in [
+        "select-narrow",
+        "select-wide",
+        "reject-narrow",
+        "reject-wide",
+    ] {
+        q.push(format!(
+            r#"for $p in layer("{URI}", "entities")//person return $p/{axis}::w"#
+        ));
+        q.push(format!(
+            r#"count(layer("{URI}", "tokens")//w/{axis}::person)"#
+        ));
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary two-layer corpora with arbitrary (valid) insert and
+    /// retract batches: querying through the overlay is byte-identical
+    /// to querying the compacted snapshot.
+    #[test]
+    fn overlay_matches_compaction(
+        token_spans in spans_strategy(14),
+        entity_spans in spans_strategy(8),
+        inserts in prop::collection::vec((0i64..120, 1i64..25, 0usize..2), 0..6),
+        retract_picks in prop::collection::vec(0usize..64, 0..6),
+    ) {
+        let base = parse_document(
+            "<text>the quick brown fox jumps over the lazy dog again and again</text>",
+        )
+        .unwrap();
+        let mut set = LayerSet::build(URI, base, StandoffConfig::default()).unwrap();
+        set.add_layer("tokens", layer_doc("tokens", "w", &token_spans), StandoffConfig::default())
+            .unwrap();
+        set.add_layer(
+            "entities",
+            layer_doc("entities", "person", &entity_spans),
+            StandoffConfig::default(),
+        )
+        .unwrap();
+
+        // Valid-by-construction delta: inserts go to alternating layers;
+        // retracts pick from the spans we just indexed. Duplicate picks
+        // double-retract, which `apply` rejects — skip those.
+        let mut delta = DeltaSet::new();
+        for (k, (s, l, layer_pick)) in inserts.iter().enumerate() {
+            let (layer, name) = if *layer_pick == 0 { ("tokens", "w") } else { ("entities", "person") };
+            delta.apply(
+                DeltaOp::Insert {
+                    layer: layer.into(),
+                    name: name.into(),
+                    start: *s,
+                    end: s + l,
+                    attrs: vec![("k".into(), k.to_string())],
+                },
+                &set,
+            )
+            .unwrap();
+        }
+        for pick in &retract_picks {
+            let (layer, name, spans): (&str, &str, &[(i64, i64)]) = if pick % 2 == 0 {
+                ("tokens", "w", &token_spans)
+            } else {
+                ("entities", "person", &entity_spans)
+            };
+            let (s, e) = spans[(pick / 2) % spans.len()];
+            let _ = delta.apply(
+                DeltaOp::Retract { layer: layer.into(), name: name.into(), start: s, end: e },
+                &set,
+            );
+        }
+
+        assert_overlay_equals_compacted(&set, &delta, &cross_layer_queries());
+    }
+}
+
+// ---- the XMark workload ----
+
+/// XMark Q1/Q2/Q6/Q7 (the paper's §4.6 rewrites) over a standoffified
+/// XMark corpus mounted as an annotation layer, with a delta that
+/// retracts real annotations and inserts new ones: overlay and
+/// compacted snapshot agree byte-for-byte under all four strategies.
+#[test]
+fn xmark_overlay_matches_compaction() {
+    use standoff::xmark::queries::XmarkQuery;
+    use standoff::xmark::{generate, standoffify, XmarkConfig};
+
+    let src = generate(&XmarkConfig::with_scale(0.002));
+    let so = standoffify(&src, 7);
+    let mut set = LayerSet::build("xmark", src, StandoffConfig::default()).unwrap();
+    set.add_layer("anno", so.doc.clone(), StandoffConfig::default())
+        .unwrap();
+
+    // Retract some real annotations (regions read straight off the
+    // layer document) and insert fresh ones next to them.
+    let doc = set.layer("anno").unwrap().doc().clone();
+    let region_of = |pre: u32| -> (i64, i64) {
+        let mut start = None;
+        let mut end = None;
+        for attr in doc.attributes(pre) {
+            let a = attr.attr_index().unwrap();
+            match doc.names().lexical(doc.attr_name_id(a)).as_str() {
+                "start" => start = doc.attr_value(a).parse().ok(),
+                "end" => end = doc.attr_value(a).parse().ok(),
+                _ => {}
+            }
+        }
+        (start.unwrap(), end.unwrap())
+    };
+    let mut delta = DeltaSet::new();
+    for (name, take) in [("bold", 2usize), ("emph", 2), ("increase", 1)] {
+        for &pre in doc.elements_named(name).iter().take(take) {
+            let (s, e) = region_of(pre);
+            delta
+                .apply(
+                    DeltaOp::Retract {
+                        layer: "anno".into(),
+                        name: name.into(),
+                        start: s,
+                        end: e,
+                    },
+                    &set,
+                )
+                .unwrap();
+        }
+    }
+    for (k, &pre) in doc.elements_named("name").iter().take(3).enumerate() {
+        let (s, e) = region_of(pre);
+        delta
+            .apply(
+                DeltaOp::Insert {
+                    layer: "anno".into(),
+                    name: "highlight".into(),
+                    start: s,
+                    end: e,
+                    attrs: vec![("n".into(), k.to_string())],
+                },
+                &set,
+            )
+            .unwrap();
+    }
+    assert!(delta.insert_count() > 0 && delta.retract_count() > 0);
+
+    // The standoff rewrites address the annotation layer by its mounted
+    // URI (`base-uri#layer`); add overlay-sensitive probes on top.
+    let mut queries: Vec<String> = [
+        XmarkQuery::Q1,
+        XmarkQuery::Q2,
+        XmarkQuery::Q6,
+        XmarkQuery::Q7,
+    ]
+    .iter()
+    .map(|q| q.standoff("xmark#anno"))
+    .collect();
+    queries.push(r#"count(doc("xmark#anno")//bold)"#.into());
+    queries.push(r#"doc("xmark#anno")//highlight"#.into());
+    queries.push(r#"for $h in doc("xmark#anno")//highlight return $h/select-wide::item"#.into());
+
+    assert_overlay_equals_compacted(&set, &delta, &queries);
+}
