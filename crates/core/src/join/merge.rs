@@ -66,6 +66,16 @@ struct WideActive {
 pub struct MergeScratch {
     narrow_active: Vec<ActiveItem>,
     wide_active: Vec<WideActive>,
+    /// 64-candidate blocks processed by the branch-free single-active
+    /// emission run (accumulated until [`MergeScratch::take_blocks`]).
+    blocks: u64,
+}
+
+impl MergeScratch {
+    /// Take the accumulated branch-free block count, leaving zero.
+    pub fn take_blocks(&mut self) -> u64 {
+        std::mem::take(&mut self.blocks)
+    }
 }
 
 /// Loop-lifted `select-narrow` merge join — Listing 1.
@@ -186,6 +196,49 @@ fn ll_select_narrow_impl<T: TraceSink>(
         // lines 26-36: analyze candidates until the next context item
         // must enter the list (or the active list drains).
         while j < candidates.len() && candidates[j].start < next_start {
+            // Branch-free fast path for the dominant shape (flat layouts
+            // keep exactly one item active): the run of candidates this
+            // item survives is bounded by two monotone conditions —
+            // `start < next_start` (loop bound) and `start ≤ active.end`
+            // (the line 28-31 trim) — so one partition point delimits it,
+            // and within the run the only per-candidate decision is the
+            // emission test `cand.end ≤ active.end`, evaluated as 64-wide
+            // match masks with no data-dependent branches. Equivalent to
+            // the general loop below: no trim fires inside the run, the
+            // descending-ends emission scan degenerates to the single
+            // test, and a candidate past the run that still precedes
+            // `next_start` is exactly the list-drain break (clarif. 2).
+            if active.len() == 1 && !trace.enabled() {
+                let a = active[0];
+                let bound = next_start.min(a.end.saturating_add(1));
+                if candidates[j].start >= bound {
+                    // Empty run: the loop bound admits this candidate but
+                    // the sole active item ended before it starts — the
+                    // line 28-31 trim kills the item and the list drains.
+                    // One comparison, same as the general loop's trim.
+                    active.clear();
+                    break;
+                }
+                // Gallop, not bisect: the run is usually much shorter
+                // than the candidate tail, so the doubling search costs
+                // O(log run), not O(log remaining).
+                let hi = gallop_starts(candidates, j, bound);
+                emit_contained_run(
+                    &candidates[j..hi],
+                    j as u32,
+                    &a,
+                    result,
+                    &mut scratch.blocks,
+                );
+                j = hi;
+                if j < candidates.len() && candidates[j].start < next_start {
+                    // The sole active item ended before this candidate
+                    // starts: trim kills it and the list drains.
+                    active.clear();
+                    break;
+                }
+                continue;
+            }
             let cand = &candidates[j];
             // lines 28-31: trim active items that ended before this
             // candidate starts (list is sorted descending on end, so they
@@ -259,6 +312,37 @@ fn gallop_starts(candidates: &[RegionEntry], from: usize, target: i64) -> usize 
     let lo = hi - step / 2; // last probe known `< target` (or `from`)
     let hi = hi.min(candidates.len());
     lo + candidates[lo..hi].partition_point(|c| c.start < target)
+}
+
+/// The branch-free emission kernel of the single-active fast path: for
+/// each 64-candidate block, build a match bitmask from the containment
+/// test (`cand.end ≤ active.end`; `start ≥ active.start` holds by merge
+/// order) with a data-independent inner loop, then pop set bits in order.
+#[inline]
+fn emit_contained_run(
+    run: &[RegionEntry],
+    base_idx: u32,
+    a: &ActiveItem,
+    result: &mut Vec<Emission>,
+    blocks: &mut u64,
+) {
+    let mut idx = base_idx;
+    for chunk in run.chunks(64) {
+        *blocks += 1;
+        let mut mask = 0u64;
+        for (k, c) in chunk.iter().enumerate() {
+            mask |= ((c.end <= a.end) as u64) << k;
+        }
+        while mask != 0 {
+            result.push(Emission {
+                iter: a.iter,
+                ctx_node: a.node,
+                cand_idx: idx + mask.trailing_zeros(),
+            });
+            mask &= mask - 1;
+        }
+        idx += chunk.len() as u32;
+    }
 }
 
 /// `replace_active_items_with` (Listing 1 line 41 / line 8): remove

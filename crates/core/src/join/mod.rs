@@ -252,19 +252,35 @@ impl<'a> JoinInput<'a> {
     }
 
     /// [`JoinInput::context_entries`] into a reusable buffer (cleared
-    /// first).
+    /// first). The overlay retraction check is hoisted out of the
+    /// per-node loop: the pure-snapshot branch fetches regions straight
+    /// off the index, so it compiles to the pre-overlay code.
     pub fn context_entries_into(&self, out: &mut Vec<CtxEntry>) {
         out.clear();
         out.reserve(self.context.len());
         let ctx_index = self.context_index();
-        for &IterNode { iter, node } in self.context {
-            for r in ctx_index.regions_of(node) {
-                out.push(CtxEntry {
-                    iter,
-                    node,
-                    start: r.start,
-                    end: r.end,
-                });
+        if ctx_index.is_pure() {
+            let index = ctx_index.index();
+            for &IterNode { iter, node } in self.context {
+                for r in index.regions_of(node) {
+                    out.push(CtxEntry {
+                        iter,
+                        node,
+                        start: r.start,
+                        end: r.end,
+                    });
+                }
+            }
+        } else {
+            for &IterNode { iter, node } in self.context {
+                for r in ctx_index.regions_of(node) {
+                    out.push(CtxEntry {
+                        iter,
+                        node,
+                        start: r.start,
+                        end: r.end,
+                    });
+                }
             }
         }
         out.sort_by_key(|c| (c.start, c.end, c.iter, c.node));
@@ -298,6 +314,27 @@ impl<'a> JoinInput<'a> {
             Some(nodes) => {
                 self.index.candidates_into(nodes, scratch);
                 scratch
+            }
+        }
+    }
+
+    /// [`JoinInput::candidate_entries_in`] through caller-owned kernel
+    /// scratch: the representation-adaptive (sparse list vs dense
+    /// bitset), morsel-parallel scan path with persistent counters — the
+    /// form the executor's hot path uses.
+    pub fn candidate_entries_with<'s>(
+        &'s self,
+        kernel: &mut crate::index::CandidateScratch,
+        buf: &'s mut Vec<RegionEntry>,
+    ) -> &'s [RegionEntry]
+    where
+        'a: 's,
+    {
+        match self.candidates {
+            None => self.index.entries_in(buf),
+            Some(nodes) => {
+                self.index.candidates_into_with(nodes, kernel, buf);
+                buf
             }
         }
     }
@@ -346,14 +383,35 @@ pub struct JoinScratch {
     single: Vec<CtxEntry>,
     universe: Vec<u32>,
     merge: merge::MergeScratch,
+    /// Candidate-kernel state: dense bitset, morsel policy, counters.
+    kernel: crate::index::CandidateScratch,
+}
+
+impl JoinScratch {
+    /// Set the intra-query parallelism budget for candidate scans (the
+    /// executor threads this through from its engine options; 1 keeps
+    /// every scan sequential).
+    pub fn set_morsel_threads(&mut self, threads: usize) {
+        self.kernel.policy.threads = threads.max(1);
+    }
+
+    /// Take the kernel counters accumulated since the last take
+    /// (representation choices, dense blocks, morsels dispatched),
+    /// leaving zeros behind.
+    pub fn take_kernel_stats(&mut self) -> crate::index::KernelStats {
+        self.kernel.stats.take()
+    }
 }
 
 impl Clone for JoinScratch {
     /// Scratch state is semantically empty between joins; cloning (e.g.
     /// when a session is stamped out from a shared engine) starts the
-    /// clone cold instead of copying dead buffer contents.
+    /// clone cold instead of copying dead buffer contents — except the
+    /// morsel policy, which is configuration, not scratch.
     fn clone(&self) -> Self {
-        JoinScratch::default()
+        let mut fresh = JoinScratch::default();
+        fresh.kernel.policy = self.kernel.policy;
+        fresh
     }
 }
 
@@ -399,7 +457,7 @@ pub fn evaluate_standoff_join_with(
             scratch.emissions.clear();
             for &iter in &scratch.iters {
                 // Re-derived per iteration — the strategy's modeled cost.
-                let cands = input.candidate_entries_in(&mut scratch.cands);
+                let cands = input.candidate_entries_with(&mut scratch.kernel, &mut scratch.cands);
                 scratch.single.clear();
                 scratch.single.extend(
                     scratch
@@ -429,12 +487,12 @@ pub fn evaluate_standoff_join_with(
                     e.iter = iter;
                 }
             }
-            let cands = input.candidate_entries_in(&mut scratch.cands);
+            let cands = input.candidate_entries_with(&mut scratch.kernel, &mut scratch.cands);
             post::finalize_select(select_axis, &scratch.emissions, cands, input.index)
         }
         StandoffStrategy::LoopLiftedMergeJoin => {
             input.context_entries_into(&mut scratch.ctx);
-            let cands = input.candidate_entries_in(&mut scratch.cands);
+            let cands = input.candidate_entries_with(&mut scratch.kernel, &mut scratch.cands);
             // Multi-region containment (∀∃) must attribute every match to
             // a specific context annotation; see merge.rs.
             let per_annotation = select_axis.is_narrow() && input.index.max_regions() > 1;
@@ -458,6 +516,10 @@ pub fn evaluate_standoff_join_with(
             post::finalize_select(select_axis, &scratch.emissions, cands, input.index)
         }
     };
+    // The merge kernels count their branch-free emission blocks in the
+    // merge scratch; fold them into the per-join kernel counters so
+    // `join_stats()` reports one `candidate_dense_blocks` total.
+    scratch.kernel.stats.dense_blocks += scratch.merge.take_blocks();
     if axis.is_select() {
         selected
     } else {

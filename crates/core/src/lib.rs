@@ -29,13 +29,17 @@ pub mod error;
 pub mod index;
 pub mod join;
 pub mod obs;
+pub mod par;
 pub mod region;
 pub mod source;
 pub mod trace;
 
 pub use config::{RegionRepr, StandoffConfig};
 pub use error::StandoffError;
-pub use index::{IndexStats, RegionEntry, RegionIndex};
+pub use index::{
+    CandidateRepr, CandidateScratch, CandidateSet, DenseCandidates, IndexStats, KernelStats,
+    MorselPolicy, RegionEntry, RegionIndex,
+};
 pub use join::{
     evaluate_standoff_join, evaluate_standoff_join_with, IterNode, JoinInput, JoinScratch,
     StandoffAxis, StandoffStrategy,

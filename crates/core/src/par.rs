@@ -1,0 +1,104 @@
+//! Order-preserving worker-pool fan-out.
+//!
+//! One small primitive, [`scatter`], shared by the two places the engine
+//! goes parallel: inter-query batch execution (the executor's worker
+//! pool) and intra-query morsel dispatch (dense candidate scans split
+//! into fixed-size pre-range morsels). Workers pull task indexes from a
+//! shared atomic counter — classic work stealing without queues — and
+//! results are re-assembled *by task index*, so the output order is
+//! deterministic and independent of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `tasks` work items over up to `threads` workers, preserving task
+/// order in the result vector.
+///
+/// * `init` runs once per worker and produces its private state (a
+///   session, a scratch buffer, …). On the inline path (one thread or
+///   one task) it runs exactly once on the calling thread.
+/// * `work` maps `(worker state, task index)` to the task's result.
+///
+/// Result slot `k` holds `Some(result of task k)`; a slot is `None` only
+/// if the worker that claimed it panicked — callers either `expect` (a
+/// worker panic is a bug) or recompute the slot inline (morsel dispatch
+/// does the latter so results stay deterministic no matter what).
+pub fn scatter<S, T, I, W>(tasks: usize, threads: usize, init: I, work: W) -> Vec<Option<T>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        let mut state = init();
+        return (0..tasks).map(|k| Some(work(&mut state, k))).collect();
+    }
+    let workers = threads.min(tasks);
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(tasks);
+    results.resize_with(tasks, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let init = &init;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= tasks {
+                            break;
+                        }
+                        local.push((k, work(&mut state, k)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // A panicked worker loses only its own slots; the caller
+            // decides whether that is fatal or recomputed inline.
+            if let Ok(local) = h.join() {
+                for (k, v) in local {
+                    results[k] = Some(v);
+                }
+            }
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let got = scatter(37, threads, || 0u32, |_, k| k * k);
+            let want: Vec<Option<usize>> = (0..37).map(|k| Some(k * k)).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_inline() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let got = scatter(
+            5,
+            1,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |state, k| (*state, k),
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert!(got.iter().all(|r| r.as_ref().unwrap().0 == 0));
+    }
+
+    #[test]
+    fn empty_and_single_task() {
+        assert!(scatter(0, 4, || (), |_, k| k).is_empty());
+        assert_eq!(scatter(1, 4, || (), |_, k| k), vec![Some(0)]);
+    }
+}

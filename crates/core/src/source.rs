@@ -131,9 +131,26 @@ impl<'a> RegionSource<'a> {
 
     /// Entries of the candidate nodes (strictly ascending pre ranks),
     /// in entry order, into `out` (cleared first) — the candidate-driven
-    /// access path of §4.3, minus anything retracted.
+    /// access path of §4.3, minus anything retracted. The retraction
+    /// filter is a single post-pass gated on `is_pure()`, never a
+    /// per-entry check inside the scan kernel, so the pure-snapshot path
+    /// runs the exact index kernel.
     pub fn candidates_into(&self, candidates: &[u32], out: &mut Vec<RegionEntry>) {
         self.index.candidates_into(candidates, out);
+        if !self.is_pure() {
+            out.retain(|e| !self.is_retracted(e.id));
+        }
+    }
+
+    /// [`RegionSource::candidates_into`] with caller-owned kernel scratch
+    /// (dense bitset, morsel policy, counters) — the join hot path.
+    pub fn candidates_into_with(
+        &self,
+        candidates: &[u32],
+        scratch: &mut crate::index::CandidateScratch,
+        out: &mut Vec<RegionEntry>,
+    ) {
+        self.index.candidates_into_with(candidates, scratch, out);
         if !self.is_pure() {
             out.retain(|e| !self.is_retracted(e.id));
         }

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use standoff_core::{Area, Region, RegionEntry, RegionIndex, StandoffConfig};
+use standoff_core::{
+    Area, CandidateScratch, MorselPolicy, Region, RegionEntry, RegionIndex, StandoffConfig,
+};
 use standoff_xml::DocumentBuilder;
 
 /// Random single/multi-region annotations with controlled geometry.
@@ -104,6 +106,40 @@ proptest! {
         prop_assert_eq!(index.max_regions() as usize, max);
     }
 
+    /// Every candidate representation — the adaptive entry point, the
+    /// forced sparse scan, the forced dense-bitset scan, and the forced
+    /// node-view gather — returns byte-identical entry sequences, and
+    /// the threaded (morsel-policy) path agrees with the sequential one
+    /// regardless of thread count.
+    #[test]
+    fn candidate_representations_agree(
+        annotations in annotations_strategy(),
+        picks in prop::collection::vec(any::<u8>(), 0..64),
+        threads in 1usize..8,
+    ) {
+        let (pres, index) = build_index(&annotations);
+        if pres.is_empty() {
+            return Ok(());
+        }
+        let mut candidates: Vec<u32> = picks
+            .iter()
+            .map(|&p| pres[p as usize % pres.len()])
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let adaptive = index.candidates_for(&candidates);
+        prop_assert_eq!(&adaptive, &index.candidates_for_scan(&candidates));
+        prop_assert_eq!(&adaptive, &index.candidates_for_dense_scan(&candidates));
+        prop_assert_eq!(&adaptive, &index.candidates_for_gather(&candidates));
+
+        let mut scratch = CandidateScratch::default();
+        scratch.policy = MorselPolicy { threads };
+        let mut threaded = Vec::new();
+        index.candidates_into_with(&candidates, &mut scratch, &mut threaded);
+        prop_assert_eq!(&adaptive, &threaded);
+    }
+
     /// Unknown nodes have no regions; annotated nodes are reported in
     /// document order.
     #[test]
@@ -146,4 +182,48 @@ fn both_paths_execute() {
     // Broad: everything → scan path; equals the full index.
     let got = index.candidates_for(all);
     assert_eq!(got, index.entries());
+}
+
+/// Deterministic check that the morsel pool actually engages on a table
+/// big enough to split, and that its document-order merge is
+/// byte-identical to the sequential scan for every thread count.
+#[test]
+fn morsel_split_is_bytewise_identical() {
+    let mut b = DocumentBuilder::new();
+    b.start_element("d");
+    for k in 0..20_000i64 {
+        b.start_element("a");
+        b.attribute("start", &(k * 2).to_string());
+        b.attribute("end", &(k * 2 + 1).to_string());
+        b.end_element();
+    }
+    b.end_element();
+    let doc = b.finish().unwrap();
+    let index = RegionIndex::build(&doc, &StandoffConfig::default()).unwrap();
+    // Every other element: dense enough for the bitset, selective enough
+    // that the result is not just the whole table.
+    let candidates: Vec<u32> = doc.elements_named("a").iter().step_by(2).copied().collect();
+
+    let sequential = index.candidates_for_scan(&candidates);
+    for threads in [2usize, 4, 8] {
+        let mut scratch = CandidateScratch::default();
+        scratch.policy = MorselPolicy { threads };
+        let mut got = Vec::new();
+        index.candidates_into_with(&candidates, &mut scratch, &mut got);
+        assert_eq!(got, sequential, "threads={threads}");
+        assert_eq!(scratch.stats.repr_dense, 1, "threads={threads}");
+        assert!(
+            scratch.stats.morsels_dispatched >= 2,
+            "threads={threads}: expected a real split, got {:?}",
+            scratch.stats
+        );
+        assert!(scratch.stats.dense_blocks > 0);
+    }
+
+    // threads == 1 must not spawn or split at all.
+    let mut scratch = CandidateScratch::default();
+    let mut got = Vec::new();
+    index.candidates_into_with(&candidates, &mut scratch, &mut got);
+    assert_eq!(got, sequential);
+    assert_eq!(scratch.stats.morsels_dispatched, 0);
 }

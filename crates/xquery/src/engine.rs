@@ -66,6 +66,12 @@ pub struct EngineOptions {
     /// of [`EngineOptions::fingerprint`]: profiled and unprofiled runs
     /// may share one cached plan.
     pub profile: bool,
+    /// Worker threads a single query may fan a dense candidate scan out
+    /// over (morsel-driven intra-query parallelism; 1 = sequential).
+    /// Like `profile` this is a pure *run-time* switch — the plan and
+    /// the results are identical at any thread count — so it is **not**
+    /// part of [`EngineOptions::fingerprint`] either.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -76,6 +82,7 @@ impl Default for EngineOptions {
             recursion_limit: 64,
             auto_strategy: false,
             profile: false,
+            threads: 1,
         }
     }
 }
@@ -143,6 +150,18 @@ pub struct JoinStats {
     pub candidate_node_view: u64,
     /// Candidate intersections taken as full index scans.
     pub candidate_scans: u64,
+    /// Scan-path intersections that ran with the dense bitset
+    /// representation ([`standoff_core::CandidateRepr::Dense`]).
+    pub candidate_repr_dense: u64,
+    /// Scan-path intersections that ran with the sparse list
+    /// representation.
+    pub candidate_repr_sparse: u64,
+    /// 64-entry blocks processed by the branch-free kernels (dense
+    /// candidate scans + the merge join's single-active emission runs).
+    pub candidate_dense_blocks: u64,
+    /// Morsels dispatched to the intra-query worker pool (0 ⇒ every
+    /// scan ran sequentially — the default at `threads = 1`).
+    pub morsels_dispatched: u64,
 }
 
 impl JoinStats {
@@ -154,6 +173,18 @@ impl JoinStats {
         self.post_filters += other.post_filters;
         self.candidate_node_view += other.candidate_node_view;
         self.candidate_scans += other.candidate_scans;
+        self.candidate_repr_dense += other.candidate_repr_dense;
+        self.candidate_repr_sparse += other.candidate_repr_sparse;
+        self.candidate_dense_blocks += other.candidate_dense_blocks;
+        self.morsels_dispatched += other.morsels_dispatched;
+    }
+
+    /// Absorb the core scan-kernel counters into the engine-level set.
+    pub fn merge_kernel(&mut self, kernel: standoff_core::KernelStats) {
+        self.candidate_repr_dense += kernel.repr_dense;
+        self.candidate_repr_sparse += kernel.repr_sparse;
+        self.candidate_dense_blocks += kernel.dense_blocks;
+        self.morsels_dispatched += kernel.morsels_dispatched;
     }
 
     /// Zero every counter.
@@ -185,6 +216,10 @@ pub(crate) struct MetricHandles {
     pub(crate) join_post_filters: Counter,
     pub(crate) join_candidate_node_view: Counter,
     pub(crate) join_candidate_scans: Counter,
+    pub(crate) join_candidate_repr_dense: Counter,
+    pub(crate) join_candidate_repr_sparse: Counter,
+    pub(crate) join_candidate_dense_blocks: Counter,
+    pub(crate) join_morsels_dispatched: Counter,
     pub(crate) delta_merge_reads: Counter,
 }
 
@@ -201,6 +236,10 @@ impl MetricHandles {
             join_post_filters: registry.counter("join.post_filters"),
             join_candidate_node_view: registry.counter("join.candidate_node_view"),
             join_candidate_scans: registry.counter("join.candidate_scans"),
+            join_candidate_repr_dense: registry.counter("join.candidate_repr_dense"),
+            join_candidate_repr_sparse: registry.counter("join.candidate_repr_sparse"),
+            join_candidate_dense_blocks: registry.counter("join.candidate_dense_blocks"),
+            join_morsels_dispatched: registry.counter("join.morsels_dispatched"),
             delta_merge_reads: registry.counter("store.delta.merge_reads"),
         }
     }
@@ -213,6 +252,13 @@ impl MetricHandles {
         self.join_post_filters.add(stats.post_filters);
         self.join_candidate_node_view.add(stats.candidate_node_view);
         self.join_candidate_scans.add(stats.candidate_scans);
+        self.join_candidate_repr_dense
+            .add(stats.candidate_repr_dense);
+        self.join_candidate_repr_sparse
+            .add(stats.candidate_repr_sparse);
+        self.join_candidate_dense_blocks
+            .add(stats.candidate_dense_blocks);
+        self.join_morsels_dispatched.add(stats.morsels_dispatched);
     }
 }
 
@@ -833,6 +879,13 @@ impl Engine {
         self.state.options.auto_strategy = enabled;
     }
 
+    /// Set the intra-query morsel parallelism budget (see
+    /// [`EngineOptions::threads`]). A run-time switch: results and plans
+    /// are identical at any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.state.options.threads = threads.max(1);
+    }
+
     /// Pre-build the region index for a document under a configuration
     /// (otherwise built lazily on the first StandOff step). Useful to
     /// exclude index construction from benchmark timings, mirroring the
@@ -1076,6 +1129,12 @@ impl Session {
     /// (see [`EngineOptions::profile`]).
     pub fn set_profile(&mut self, enabled: bool) {
         self.state.options.profile = enabled;
+    }
+
+    /// Set this session's intra-query morsel parallelism budget (see
+    /// [`EngineOptions::threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.state.options.threads = threads.max(1);
     }
 
     /// The per-operator profile of the most recent profiled run in this

@@ -1071,6 +1071,9 @@ impl<'e> Evaluator<'e> {
         let mut delta_cand_rows: u64 = 0;
         let mut merge_reads: u64 = 0;
         let mut scratch = std::mem::take(&mut self.engine.join_scratch);
+        // Morsel budget for candidate scans, from the session's runtime
+        // options (1 = sequential; results are thread-count invariant).
+        scratch.set_morsel_threads(self.engine.options.threads);
 
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
         // The unit loop runs inside a closure so the taken scratch is
@@ -1213,6 +1216,10 @@ impl<'e> Evaluator<'e> {
             }
             Ok(())
         })();
+        // Fold the scan-kernel counters (representation choices, dense
+        // blocks, morsels) accumulated inside the join calls into this
+        // operator's stat delta before the scratch goes back.
+        stats.merge_kernel(scratch.take_kernel_stats());
         self.engine.join_scratch = scratch;
         joined?;
         // Merge per-document results: sort by (iter, doc order) with the

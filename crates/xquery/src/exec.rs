@@ -33,7 +33,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -321,10 +321,14 @@ impl Executor {
         .collect()
     }
 
-    /// The shared batch driver: fan `queries` out over the workers,
-    /// recording queue metrics (`executor.*`) into the engine registry
-    /// per pick. Returns one slot per query in submission order; `None`
-    /// marks a query no worker reported a result for (dead worker).
+    /// The shared batch driver: fan `queries` out over the workers via
+    /// [`standoff_core::par::scatter`] — the same pull-based,
+    /// order-preserving pool the join morsel kernels use — recording
+    /// queue metrics (`executor.*`) into the engine registry per pick.
+    /// Returns one slot per query in submission order; `None` marks a
+    /// query no worker reported a result for (dead worker — the
+    /// per-query bodies catch panics, so only pool machinery failures
+    /// lose slots).
     fn run_batch_impl<S, T, F>(&self, queries: &[S], profile: bool, run_fn: F) -> Vec<Option<T>>
     where
         S: AsRef<str> + Sync,
@@ -340,67 +344,27 @@ impl Executor {
         let queue_wait = registry.histogram("executor.queue_wait_ns");
         let queue_depth = registry.histogram("executor.queue_depth");
         let started = Instant::now();
-        // Per-pick bookkeeping, shared by the inline and threaded paths:
-        // wait is how long the query sat in the queue before a worker
-        // picked it up, depth is how many queries were still waiting.
+        // Per-pick bookkeeping, identical inline and threaded: wait is
+        // how long the query sat in the queue before a worker picked it
+        // up, depth is how many queries were still waiting.
         let picked = |k: usize| {
             queries_ctr.inc();
             queue_wait.record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             queue_depth.record((queries.len() - k - 1) as u64);
         };
-        if self.threads == 1 || queries.len() == 1 {
-            let mut session = self.engine.session();
-            session.set_profile(profile);
-            return queries
-                .iter()
-                .enumerate()
-                .map(|(k, q)| {
-                    picked(k);
-                    Some(run_fn(self, &mut session, q.as_ref()))
-                })
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(queries.len());
-        let mut slots: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let picked = &picked;
-                    let run_fn = &run_fn;
-                    scope.spawn(move || {
-                        let mut session = self.engine.session();
-                        session.set_profile(profile);
-                        let mut local = Vec::new();
-                        loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            if k >= queries.len() {
-                                break;
-                            }
-                            picked(k);
-                            local.push((k, run_fn(self, &mut session, queries[k].as_ref())));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        // Worker bodies catch per-query panics, so a
-                        // dead worker means its loop machinery
-                        // failed; its queries are reported below.
-                        Vec::new()
-                    })
-                })
-                .collect()
-        });
-        let mut results: Vec<Option<T>> = (0..queries.len()).map(|_| None).collect();
-        for (k, result) in slots.drain(..).flatten() {
-            results[k] = Some(result);
-        }
-        results
+        standoff_core::par::scatter(
+            queries.len(),
+            self.threads,
+            || {
+                let mut session = self.engine.session();
+                session.set_profile(profile);
+                session
+            },
+            |session, k| {
+                picked(k);
+                run_fn(self, session, queries[k].as_ref())
+            },
+        )
     }
 
     /// The engine registry's snapshot with this executor's plan-cache

@@ -103,6 +103,24 @@ impl AnalyzeCtx<'_> {
                 j.stats.post_filters,
                 j.stats.post_filters_elided,
             );
+            // Scan-kernel detail: which candidate representation the
+            // scans ran with, branch-free blocks, and morsel dispatch.
+            // Gated on nonzero so gather-only lines render unchanged.
+            if j.stats.candidate_repr_dense
+                + j.stats.candidate_repr_sparse
+                + j.stats.candidate_dense_blocks
+                + j.stats.morsels_dispatched
+                > 0
+            {
+                let _ = write!(
+                    note,
+                    " repr dense={} sparse={} blocks={} morsels={}",
+                    j.stats.candidate_repr_dense,
+                    j.stats.candidate_repr_sparse,
+                    j.stats.candidate_dense_blocks,
+                    j.stats.morsels_dispatched,
+                );
+            }
             // Only an overlay mount can make these nonzero; pure
             // snapshots keep the historical analyze line untouched.
             if j.merge_reads > 0 || j.delta_cand_rows > 0 {
@@ -145,16 +163,26 @@ fn standoff_note(op: &StandoffOp, explicit_candidates: bool) -> String {
     // The candidate-intersection access path: when the estimate pass
     // left cardinalities, the gather-vs-scan decision the index will
     // make at run time ([`standoff_core::index::node_view_preferred`])
-    // is reported here from the same cost rule.
+    // is reported here from the same cost rule; on the scan branch, the
+    // candidate representation ([`standoff_core::index::dense_repr_preferred`]
+    // on the estimated count/span) is tagged alongside. The span
+    // estimate ignores retractions, so a borderline overlay query may
+    // print the other tag than the runtime `repr` counters report —
+    // results are identical either way.
     let access = |count: Option<u64>| match (count, &op.estimate) {
         (Some(c), Some(est)) if est.index.entries > 0 => {
             if standoff_core::index::node_view_preferred(c as usize, est.index.entries) {
-                " [node-view]"
+                " [node-view]".to_string()
             } else {
-                " [scan]"
+                let span = est.candidate_span.unwrap_or(c);
+                if standoff_core::index::dense_repr_preferred(c as usize, span, est.index.entries) {
+                    " [scan] [dense-bitset]".to_string()
+                } else {
+                    " [scan] [sparse-list]".to_string()
+                }
             }
         }
-        _ => "",
+        _ => String::new(),
     };
     let cand = if explicit_candidates {
         "candidates: explicit node sequence ∩ region index".to_string()

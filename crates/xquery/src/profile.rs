@@ -144,7 +144,9 @@ impl QueryProfile {
                 out.push_str(&format!(
                     ", \"join\": {{\"ctx_rows\": {}, \"cand_rows\": {}, \"cand_max\": {}, \
                      \"delta_cand_rows\": {}, \"merge_reads\": {}, \
-                     \"node_view\": {}, \"scans\": {}, \"result_sorts\": {}, \
+                     \"node_view\": {}, \"scans\": {}, \
+                     \"repr_dense\": {}, \"repr_sparse\": {}, \
+                     \"dense_blocks\": {}, \"morsels\": {}, \"result_sorts\": {}, \
                      \"result_sorts_elided\": {}, \"post_filters\": {}, \"post_filters_elided\": {}}}",
                     j.ctx_rows,
                     j.cand_rows,
@@ -153,6 +155,10 @@ impl QueryProfile {
                     j.merge_reads,
                     j.stats.candidate_node_view,
                     j.stats.candidate_scans,
+                    j.stats.candidate_repr_dense,
+                    j.stats.candidate_repr_sparse,
+                    j.stats.candidate_dense_blocks,
+                    j.stats.morsels_dispatched,
                     j.stats.result_sorts,
                     j.stats.result_sorts_elided,
                     j.stats.post_filters,

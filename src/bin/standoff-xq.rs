@@ -8,7 +8,7 @@
 //! standoff-xq query [--store SNAPSHOT]... [--load URI=FILE]...
 //!             [--load-bin FILE] (--query Q | --query-file F)
 //!             [--strategy naive|naive-candidates|basic|loop-lifted|auto]
-//!             [--no-pushdown] [--explain] [--time]
+//!             [--no-pushdown] [--threads N] [--explain] [--time]
 //! standoff-xq explain [--store SNAPSHOT]... [--load URI=FILE]...
 //!             [--load-bin FILE] (--query Q | --query-file F)
 //!             [--strategy ...] [--no-pushdown]
@@ -33,7 +33,13 @@
 //! `batch` evaluates many queries against one shared corpus: the engine
 //! is frozen after loading, worker threads each get a session over it,
 //! and results print to stdout in submission order (so output is
-//! byte-identical across `--threads` settings). In the queries file,
+//! byte-identical across `--threads` settings). For `query` (one query,
+//! one session) `--threads N` instead enables **intra-query** morsel
+//! parallelism: dense candidate scans split into pre-range morsels over
+//! N workers, merged back in document order — again byte-identical to
+//! the single-threaded run. `batch`/`stats` pass the same N down to
+//! their worker sessions, so large dense scans inside a batch morsel
+//! too. In the queries file,
 //! lines containing only `%%` separate multi-line queries; without any
 //! `%%` line, every non-empty line that does not start with `#` is one
 //! query. In `%%` mode, `#` comment lines are honored at the start of
@@ -72,7 +78,7 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      standoff-xq query [--store SNAPSHOT [--delta SIDECAR]...]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
                      \x20           [--strategy naive|naive-candidates|basic|loop-lifted|auto]\n\
-                     \x20           [--no-pushdown] [--explain] [--time] [--profile] [--profile-json]\n\
+                     \x20           [--no-pushdown] [--threads N] [--explain] [--time] [--profile] [--profile-json]\n\
                      standoff-xq explain [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F) [--strategy ...] [--no-pushdown] [--analyze]\n\
                      standoff-xq batch [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
@@ -533,6 +539,7 @@ impl CorpusArgs {
 struct QueryArgs {
     corpus: CorpusArgs,
     query: String,
+    threads: usize,
     explain: bool,
     time: bool,
     profile: bool,
@@ -543,6 +550,7 @@ struct QueryArgs {
 fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     let mut corpus = CorpusArgs::new();
     let mut query: Option<String> = None;
+    let mut threads = 1usize;
     let mut explain = false;
     let mut time = false;
     let mut profile = false;
@@ -558,6 +566,14 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
             "--query" | "-q" => {
                 k += 1;
                 query = Some(argv.get(k).ok_or("--query needs an argument")?.clone());
+            }
+            "--threads" | "-j" => {
+                k += 1;
+                let n = argv.get(k).ok_or("--threads needs a count")?;
+                threads =
+                    n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad --threads '{n}', expected a positive integer")
+                    })?;
             }
             "--query-file" => {
                 k += 1;
@@ -584,6 +600,7 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     Ok(QueryArgs {
         corpus,
         query,
+        threads,
         explain,
         time,
         profile,
@@ -596,6 +613,7 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
     let args = parse_query_args(argv)?;
     let load_start = Instant::now();
     let mut engine = args.corpus.build_engine()?;
+    engine.set_threads(args.threads);
     let load_elapsed = load_start.elapsed();
     if args.explain {
         eprintln!(
@@ -662,6 +680,7 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
 fn cmd_explain(argv: &[String]) -> Result<ExitCode, String> {
     let args = parse_query_args(argv)?;
     let mut engine = args.corpus.build_engine()?;
+    engine.set_threads(args.threads);
     // `--analyze` is explain's *executing* mode: run the query with
     // per-operator profiling and print the plan tree with measured
     // calls/rows/time next to the optimizer's estimates.
@@ -741,7 +760,11 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     }
 
     let load_start = Instant::now();
-    let engine = corpus.build_engine()?;
+    let mut engine = corpus.build_engine()?;
+    // Worker sessions inherit the thread count for intra-query morsel
+    // scans; `threads` is a runtime-only option, so this does not fork
+    // the plan-cache epoch.
+    engine.set_threads(threads);
     let load_elapsed = load_start.elapsed();
     let executor = Executor::new(engine.into_shared(), threads);
 
@@ -843,7 +866,8 @@ fn cmd_stats(argv: &[String]) -> Result<ExitCode, String> {
         }
         k += 1;
     }
-    let engine = corpus.build_engine()?;
+    let mut engine = corpus.build_engine()?;
+    engine.set_threads(threads);
     let executor = Executor::new(engine.into_shared(), threads);
     let mut failures = 0usize;
     if let Some(path) = &queries_path {

@@ -260,6 +260,92 @@ fn join_metrics_mirror_join_stats() {
     );
 }
 
+/// A corpus dense enough that the scan kernel picks the bitset
+/// representation and (at `threads > 1`) splits into morsels: one
+/// document holding a few wide `big` spans over 10k adjacent `w`
+/// tokens.
+fn dense_corpus() -> Engine {
+    let mut xml = String::from("<d>");
+    for k in 0..4 {
+        let lo = k * 5_000;
+        xml.push_str(&format!("<big start=\"{}\" end=\"{}\"/>", lo, lo + 4_999));
+    }
+    for k in 0..10_000 {
+        let lo = k * 2;
+        xml.push_str(&format!("<w start=\"{}\" end=\"{}\"/>", lo, lo + 1));
+    }
+    xml.push_str("</d>");
+    let mut engine = Engine::new();
+    let doc = engine.load_document("dense.xml", &xml).unwrap();
+    engine
+        .prebuild_region_index(doc, &StandoffConfig::default())
+        .unwrap();
+    engine
+}
+
+/// The dense-kernel counters fire on a dense pushdown, mirror into the
+/// metrics registry, and the morsel pool engages — byte-identically —
+/// once the engine runs with `threads > 1`.
+#[test]
+fn dense_kernel_and_morsel_counters_fire() {
+    let query = r#"count(doc("dense.xml")//big/select-narrow::w)"#;
+
+    let mut engine = dense_corpus();
+    let sequential = engine.run(query).unwrap();
+    assert_eq!(sequential.as_strings(), ["10000"]);
+    let stats = engine.join_stats();
+    assert!(
+        stats.candidate_repr_dense > 0,
+        "dense repr chosen: {stats:?}"
+    );
+    assert!(
+        stats.candidate_dense_blocks > 0,
+        "blocks counted: {stats:?}"
+    );
+    assert_eq!(
+        stats.morsels_dispatched, 0,
+        "threads=1 must stay sequential: {stats:?}"
+    );
+    let snap = engine.metrics().snapshot();
+    assert_eq!(
+        snap.counters["join.candidate_repr_dense"],
+        stats.candidate_repr_dense
+    );
+    assert_eq!(
+        snap.counters["join.candidate_dense_blocks"],
+        stats.candidate_dense_blocks
+    );
+    assert_eq!(
+        snap.counters["join.morsels_dispatched"],
+        stats.morsels_dispatched
+    );
+
+    engine.set_threads(4);
+    engine.reset_join_stats();
+    let parallel = engine.run(query).unwrap();
+    assert_eq!(sequential.as_serialized(), parallel.as_serialized());
+    let stats = engine.join_stats();
+    assert!(
+        stats.morsels_dispatched >= 2,
+        "10k entries at threads=4 must split: {stats:?}"
+    );
+    assert!(stats.candidate_repr_dense > 0);
+}
+
+/// A sparse (selective) pushdown must keep taking the sparse/gather
+/// paths: the dense counters stay at zero.
+#[test]
+fn sparse_pushdown_leaves_dense_counters_at_zero() {
+    let mut engine = dense_corpus();
+    engine
+        .run(r#"doc("dense.xml")//w[@start = 0]/select-wide::big"#)
+        .unwrap();
+    let stats = engine.join_stats();
+    assert_eq!(stats.candidate_repr_dense, 0, "{stats:?}");
+    assert_eq!(stats.candidate_dense_blocks, 0, "{stats:?}");
+    assert_eq!(stats.morsels_dispatched, 0, "{stats:?}");
+}
+
 #[test]
 fn executor_metrics_and_plan_cache_counters() {
     // Single worker: the hit/miss counts below stay deterministic (two
