@@ -32,7 +32,7 @@ use standoff_core::{
     RegionIndex, StandoffAxis, StandoffStrategy,
 };
 use standoff_xmark::queries::XmarkQuery;
-use standoff_xquery::Executor;
+use standoff_xquery::{Executor, Governance, QueryError};
 
 struct Config {
     out: String,
@@ -401,10 +401,85 @@ fn main() {
 
         // Batch executor, warm plan cache (single CPU: throughput only).
         let batch: Vec<String> = (0..16).map(|_| q2.clone()).collect();
-        let exec = Executor::new(w.engine.into_shared(), 2);
+        let shared = w.engine.into_shared();
+        let exec = Executor::new(shared.clone(), 2);
         exec.run_batch(&batch[..1]); // warm the plan cache
         let ns = median_ns(config.samples, || exec.run_batch(&batch));
         record("batch/q2_x16_warm_cache", ns);
+
+        // ---- serve: governed executor under concurrent clients ----
+        // The service path minus the sockets: 4 client threads driving
+        // `run_governed` against a governed executor, swept across
+        // admission queue caps. A narrow cap trades completed work for
+        // sheds (shed requests are counted, not timed); the sustained
+        // figure is wall-clock per *successful* query, and p50/p99 are
+        // the successful requests' queue-wait + evaluation latency.
+        {
+            const CLIENTS: usize = 4;
+            const REQUESTS_PER_CLIENT: usize = 64;
+            for cap in [1usize, 16, 64] {
+                let exec = std::sync::Arc::new(Executor::governed(
+                    shared.clone(),
+                    2,
+                    Governance {
+                        queue_cap: Some(cap),
+                        ..Governance::default()
+                    },
+                ));
+                exec.run_governed(&sparse).unwrap(); // warm the plan cache
+                let started = Instant::now();
+                let mut latencies: Vec<u64> = Vec::new();
+                let mut sheds = 0u64;
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..CLIENTS)
+                        .map(|_| {
+                            let exec = std::sync::Arc::clone(&exec);
+                            let sparse = &sparse;
+                            scope.spawn(move || {
+                                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                                let mut sheds = 0u64;
+                                for _ in 0..REQUESTS_PER_CLIENT {
+                                    let t = Instant::now();
+                                    match exec.run_governed(sparse) {
+                                        Ok(_) => latencies.push(t.elapsed().as_nanos() as u64),
+                                        Err(QueryError::Overloaded(_)) => sheds += 1,
+                                        Err(e) => panic!("serve bench query failed: {e}"),
+                                    }
+                                }
+                                (latencies, sheds)
+                            })
+                        })
+                        .collect();
+                    for worker in workers {
+                        let (l, s) = worker.join().unwrap();
+                        latencies.extend(l);
+                        sheds += s;
+                    }
+                });
+                let total_ns = started.elapsed().as_nanos() as u64;
+                latencies.sort_unstable();
+                let ok = latencies.len().max(1) as u64;
+                println!(
+                    "bench-report: serve qcap={cap}: {} ok / {sheds} shed",
+                    latencies.len()
+                );
+                record(
+                    &format!("serve/qcap_{cap}_sustained_ns_per_query"),
+                    total_ns / ok,
+                );
+                record(
+                    &format!("serve/qcap_{cap}_p50"),
+                    latencies.get(latencies.len() / 2).copied().unwrap_or(0),
+                );
+                record(
+                    &format!("serve/qcap_{cap}_p99"),
+                    latencies
+                        .get(latencies.len() * 99 / 100)
+                        .copied()
+                        .unwrap_or(0),
+                );
+            }
+        }
 
         // Observability snapshot for the run as a whole: the engine-side
         // registry (queries, joins, plan cache, executor queues) merged

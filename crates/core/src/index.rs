@@ -358,7 +358,7 @@ impl RegionIndex {
         }
         let mut dense = DenseCandidates::default();
         dense.fill(sorted_node_pres);
-        dense_scan_chunks(&self.entries, &dense, &mut out);
+        dense_scan_chunks(&self.entries, &dense, None, &mut out);
         out
     }
 
@@ -746,6 +746,10 @@ pub const MORSEL_ENTRIES: usize = 4096;
 pub struct CandidateScratch {
     pub policy: MorselPolicy,
     pub stats: KernelStats,
+    /// Cooperative evaluation budget, polled once per 64-entry kernel
+    /// chunk and checked per morsel. `None` (the default) keeps the
+    /// kernels budget-free apart from one hoisted `Option` test.
+    pub budget: Option<crate::budget::Budget>,
     dense: DenseCandidates,
 }
 
@@ -790,32 +794,35 @@ fn scan_filter_into(
         return;
     }
     let policy = scratch.policy;
+    let budget = scratch.budget.clone();
     let set = scratch.prepare(sorted_node_pres, entries.len() as u64);
     let mut blocks = 0u64;
     let mut morsels = 0u64;
     if policy.threads > 1 && entries.len() >= 2 * MORSEL_ENTRIES {
         let morsel_count = entries.len().div_ceil(MORSEL_ENTRIES);
         morsels = morsel_count as u64;
+        let budget = budget.as_ref();
         let parts = crate::par::scatter(
             morsel_count,
             policy.threads,
             Vec::new,
             |buf: &mut Vec<RegionEntry>, m| {
+                crate::fault::point("index.morsel");
                 buf.clear();
-                scan_chunks(morsel(entries, m), &set, buf);
+                // A tripped budget makes remaining morsels no-ops; the
+                // whole (partial) result is discarded by the evaluator
+                // when it observes the trip reason.
+                if budget.is_none_or(|b| b.check().is_ok()) {
+                    scan_chunks(morsel(entries, m), &set, budget, buf);
+                }
                 std::mem::take(buf)
             },
         );
-        for (m, part) in parts.into_iter().enumerate() {
-            match part {
-                Some(part) => out.extend_from_slice(&part),
-                // A lost worker slot (worker panic) is recomputed inline
-                // so the result stays deterministic.
-                None => scan_chunks(morsel(entries, m), &set, out),
-            }
+        for part in parts {
+            out.extend_from_slice(&part);
         }
     } else {
-        scan_chunks(entries, &set, out);
+        scan_chunks(entries, &set, budget.as_ref(), out);
     }
     if set.repr() == CandidateRepr::Dense {
         // The dense kernel visits every 64-entry block exactly once, so
@@ -843,22 +850,43 @@ const SCAN_CHUNK: usize = 64;
 /// so the block compiles to straight-line autovectorizable code), then
 /// materializes: an all-ones mask copies the whole block with
 /// `extend_from_slice`, otherwise set bits are popped in order.
-fn scan_chunks(entries: &[RegionEntry], set: &CandidateSet<'_>, out: &mut Vec<RegionEntry>) {
+fn scan_chunks(
+    entries: &[RegionEntry],
+    set: &CandidateSet<'_>,
+    budget: Option<&crate::budget::Budget>,
+    out: &mut Vec<RegionEntry>,
+) {
     match set {
-        CandidateSet::Dense(bits) => dense_scan_chunks(entries, bits, out),
+        CandidateSet::Dense(bits) => dense_scan_chunks(entries, bits, budget, out),
         CandidateSet::Sparse(ids) => {
-            out.extend(
-                entries
-                    .iter()
-                    .filter(|e| ids.binary_search(&e.id).is_ok())
-                    .copied(),
-            );
+            for chunk in entries.chunks(SCAN_CHUNK) {
+                if budget.is_some_and(|b| b.poll().is_some()) {
+                    return;
+                }
+                out.extend(
+                    chunk
+                        .iter()
+                        .filter(|e| ids.binary_search(&e.id).is_ok())
+                        .copied(),
+                );
+            }
         }
     }
 }
 
-fn dense_scan_chunks(entries: &[RegionEntry], bits: &DenseCandidates, out: &mut Vec<RegionEntry>) {
+fn dense_scan_chunks(
+    entries: &[RegionEntry],
+    bits: &DenseCandidates,
+    budget: Option<&crate::budget::Budget>,
+    out: &mut Vec<RegionEntry>,
+) {
     for chunk in entries.chunks(SCAN_CHUNK) {
+        // One predictable branch per 64-entry block; the block body
+        // below stays branch-free. A tripped budget abandons the scan —
+        // partial output is discarded with the query.
+        if budget.is_some_and(|b| b.poll().is_some()) {
+            return;
+        }
         let mut mask = 0u64;
         for (k, e) in chunk.iter().enumerate() {
             mask |= (bits.contains(e.id) as u64) << k;

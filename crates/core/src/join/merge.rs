@@ -69,6 +69,11 @@ pub struct MergeScratch {
     /// 64-candidate blocks processed by the branch-free single-active
     /// emission run (accumulated until [`MergeScratch::take_blocks`]).
     blocks: u64,
+    /// Governance handle polled inside the merge loops so a deadline or
+    /// cancellation interrupts a long scan mid-kernel, not only at
+    /// operator boundaries. `None` (the default) costs one hoisted
+    /// null test per loop round.
+    pub(crate) budget: Option<crate::budget::Budget>,
 }
 
 impl MergeScratch {
@@ -76,6 +81,14 @@ impl MergeScratch {
     pub fn take_blocks(&mut self) -> u64 {
         std::mem::take(&mut self.blocks)
     }
+}
+
+/// Poll the optional budget; `true` means the query tripped and the
+/// kernel must bail out (partial emissions are discarded with the query —
+/// the evaluator re-checks the budget and surfaces the recorded reason).
+#[inline]
+fn tripped(budget: &Option<crate::budget::Budget>) -> bool {
+    budget.as_ref().is_some_and(|b| b.poll().is_some())
 }
 
 /// Loop-lifted `select-narrow` merge join — Listing 1.
@@ -144,6 +157,7 @@ fn ll_select_narrow_impl<T: TraceSink>(
         return;
     }
 
+    let budget = scratch.budget.clone();
     let active: &mut Vec<ActiveItem> = &mut scratch.narrow_active;
     active.clear();
     let mut i = 0usize; // iterates over context
@@ -153,6 +167,9 @@ fn ll_select_narrow_impl<T: TraceSink>(
     insert_active(active, &context[0], 0, per_annotation, &mut trace, 8);
 
     while i < context.len() {
+        if tripped(&budget) {
+            return;
+        }
         // lines 11-18: skip context items covered by an active item of
         // the same iteration — they cannot yield additional results.
         let mut next_i = i + 1;
@@ -194,8 +211,14 @@ fn ll_select_narrow_impl<T: TraceSink>(
             j = gallop_starts(candidates, j, context[i].start);
         }
         // lines 26-36: analyze candidates until the next context item
-        // must enter the list (or the active list drains).
+        // must enter the list (or the active list drains). Each round is
+        // one candidate (general path) or one galloped emission run (fast
+        // path), so the budget poll below bounds ungoverned work without
+        // adding a data-dependent branch inside the 64-wide match masks.
         while j < candidates.len() && candidates[j].start < next_start {
+            if tripped(&budget) {
+                return;
+            }
             // Branch-free fast path for the dominant shape (flat layouts
             // keep exactly one item active): the run of candidates this
             // item survives is bounded by two monotone conditions —
@@ -411,11 +434,15 @@ pub(crate) fn ll_select_wide_into(
         return;
     }
 
+    let budget = scratch.budget.clone();
     let active: &mut Vec<WideActive> = &mut scratch.wide_active;
     active.clear();
     let mut i = 0usize;
 
     for (j, cand) in candidates.iter().enumerate() {
+        if tripped(&budget) {
+            return;
+        }
         // Add every context item that starts at or before this
         // candidate's end: it may overlap this or a later candidate.
         while i < context.len() && context[i].start <= cand.end {

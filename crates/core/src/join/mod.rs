@@ -395,6 +395,26 @@ impl JoinScratch {
         self.kernel.policy.threads = threads.max(1);
     }
 
+    /// Install (or clear) the governance handle polled by the scan and
+    /// merge kernels. The engine sets this per query; `None` restores
+    /// the ungoverned fast path (a hoisted null test per loop round).
+    pub fn set_budget(&mut self, budget: Option<crate::budget::Budget>) {
+        self.kernel.budget = budget.clone();
+        self.merge.budget = budget;
+    }
+
+    /// Approximate bytes pinned by the join buffers — the number charged
+    /// against a query's scratch-memory cap after each join. Capacities,
+    /// not lengths: what the allocator actually holds.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.ctx.capacity() * std::mem::size_of::<CtxEntry>()
+            + self.cands.capacity() * std::mem::size_of::<RegionEntry>()
+            + self.emissions.capacity() * std::mem::size_of::<Emission>()
+            + self.single.capacity() * std::mem::size_of::<CtxEntry>()
+            + (self.iters.capacity() + self.universe.capacity()) * std::mem::size_of::<u32>())
+            as u64
+    }
+
     /// Take the kernel counters accumulated since the last take
     /// (representation choices, dense blocks, morsels dispatched),
     /// leaving zeros behind.
@@ -440,9 +460,14 @@ pub fn evaluate_standoff_join_with(
 ) -> Vec<IterNode> {
     // All four axes share one selection core; rejects complement it.
     let select_axis = axis.select_counterpart();
+    let budget = scratch.kernel.budget.clone();
     let selected: Vec<IterNode> = match strategy {
-        StandoffStrategy::NaiveNoCandidates => naive::naive_select(select_axis, input, false),
-        StandoffStrategy::NaiveWithCandidates => naive::naive_select(select_axis, input, true),
+        StandoffStrategy::NaiveNoCandidates => {
+            naive::naive_select(select_axis, input, false, budget.as_ref())
+        }
+        StandoffStrategy::NaiveWithCandidates => {
+            naive::naive_select(select_axis, input, true, budget.as_ref())
+        }
         StandoffStrategy::BasicMergeJoin => {
             // §4.4/§4.6: the basic algorithm is invoked once per
             // iteration, and every invocation re-derives its candidate
@@ -456,6 +481,12 @@ pub fn evaluate_standoff_join_with(
             scratch.iters.dedup();
             scratch.emissions.clear();
             for &iter in &scratch.iters {
+                // Per-iteration chokepoint: the basic strategy's repeated
+                // scans are exactly where a deadline must be able to cut
+                // in between kernel invocations.
+                if budget.as_ref().is_some_and(|b| b.check().is_err()) {
+                    break;
+                }
                 // Re-derived per iteration — the strategy's modeled cost.
                 let cands = input.candidate_entries_with(&mut scratch.kernel, &mut scratch.cands);
                 scratch.single.clear();
@@ -520,6 +551,12 @@ pub fn evaluate_standoff_join_with(
     // merge scratch; fold them into the per-join kernel counters so
     // `join_stats()` reports one `candidate_dense_blocks` total.
     scratch.kernel.stats.dense_blocks += scratch.merge.take_blocks();
+    // Charge what the join buffers now pin against any scratch-memory
+    // cap. A trip is recorded in the budget flag; the evaluator's next
+    // check surfaces it, so the partial result below is never emitted.
+    if let Some(b) = &budget {
+        let _ = b.note_scratch(scratch.approx_bytes());
+    }
     if axis.is_select() {
         selected
     } else {

@@ -20,10 +20,16 @@ use crate::region::Area;
 /// for region markup, regardless of any candidate restriction. With
 /// `true` it models Figure 3: the inner loop visits the candidate
 /// sequence only.
+///
+/// The quadratic inner loop polls `budget` per candidate: these baselines
+/// are exactly the strategies a deadline must be able to interrupt (the
+/// paper's Figure 6 DNF bars), so a governed query bails out mid-product
+/// and the evaluator surfaces the recorded trip reason.
 pub fn naive_select(
     axis: StandoffAxis,
     input: &JoinInput<'_>,
     with_candidates: bool,
+    budget: Option<&crate::budget::Budget>,
 ) -> Vec<IterNode> {
     debug_assert!(axis.is_select());
     let narrow = axis.is_narrow();
@@ -46,6 +52,9 @@ pub fn naive_select(
             continue; // context node is not an area-annotation
         };
         for &cand in &inner {
+            if budget.is_some_and(|b| b.poll().is_some()) {
+                return out; // discarded by the evaluator's budget check
+            }
             let Some(a2) = area_of(input.index, cand) else {
                 continue;
             };
@@ -120,9 +129,9 @@ mod tests {
             candidates: Some(shots),
             iter_domain: &[0],
         };
-        let narrow = naive_select(StandoffAxis::SelectNarrow, &input, true);
+        let narrow = naive_select(StandoffAxis::SelectNarrow, &input, true, None);
         assert_eq!(shot_ids(&doc, &narrow), vec!["Intro"]);
-        let wide = naive_select(StandoffAxis::SelectWide, &input, true);
+        let wide = naive_select(StandoffAxis::SelectWide, &input, true, None);
         assert_eq!(shot_ids(&doc, &wide), vec!["Intro", "Interview"]);
     }
 
@@ -139,7 +148,7 @@ mod tests {
             candidates: None,
             iter_domain: &[0],
         };
-        let wide = naive_select(StandoffAxis::SelectWide, &input, false);
+        let wide = naive_select(StandoffAxis::SelectWide, &input, false, None);
         // U2 [0,31] overlaps Intro, Interview and itself; <video>/<audio>
         // have no regions and never match.
         assert_eq!(wide.len(), 3);
@@ -161,6 +170,6 @@ mod tests {
             candidates: None,
             iter_domain: &[0],
         };
-        assert!(naive_select(StandoffAxis::SelectWide, &input, false).is_empty());
+        assert!(naive_select(StandoffAxis::SelectWide, &input, false, None).is_empty());
     }
 }

@@ -24,6 +24,7 @@
 //! * [`obs`] — a dependency-free metrics registry (named counters and
 //!   bucketed histograms) shared by the whole workspace.
 
+pub mod budget;
 pub mod config;
 pub mod error;
 pub mod index;
@@ -34,6 +35,19 @@ pub mod region;
 pub mod source;
 pub mod trace;
 
+/// Named fault points for chaos testing (see [`fault::point`]).
+/// Compiled in only for tests and `--features fault-inject` builds;
+/// release builds get the empty stand-in below.
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
+#[cfg(not(any(test, feature = "fault-inject")))]
+pub mod fault {
+    //! Disarmed stand-in: fault points vanish from release builds.
+    #[inline(always)]
+    pub fn point(_name: &str) {}
+}
+
+pub use budget::{Budget, BudgetExceeded, BudgetLimits};
 pub use config::{RegionRepr, StandoffConfig};
 pub use error::StandoffError;
 pub use index::{

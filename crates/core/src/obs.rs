@@ -72,6 +72,14 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if it is currently below — for
+    /// high-water-mark gauges (e.g. `executor.queue_depth_hwm`)
+    /// published through the counter namespace.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {

@@ -18,11 +18,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///   one task) it runs exactly once on the calling thread.
 /// * `work` maps `(worker state, task index)` to the task's result.
 ///
-/// Result slot `k` holds `Some(result of task k)`; a slot is `None` only
-/// if the worker that claimed it panicked — callers either `expect` (a
-/// worker panic is a bug) or recompute the slot inline (morsel dispatch
-/// does the latter so results stay deterministic no matter what).
-pub fn scatter<S, T, I, W>(tasks: usize, threads: usize, init: I, work: W) -> Vec<Option<T>>
+/// # Panics
+///
+/// A panic inside any worker is re-raised on the calling thread once
+/// every worker has stopped — the pool never returns a silently
+/// incomplete result. Callers that must not unwind (the batch executor)
+/// catch it with their existing per-query panic guard and surface it as
+/// an internal error; everyone else propagates it like the sequential
+/// path always did.
+pub fn scatter<S, T, I, W>(tasks: usize, threads: usize, init: I, work: W) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
@@ -30,7 +34,12 @@ where
 {
     if threads <= 1 || tasks <= 1 {
         let mut state = init();
-        return (0..tasks).map(|k| Some(work(&mut state, k))).collect();
+        return (0..tasks)
+            .map(|k| {
+                crate::fault::point("par.worker");
+                work(&mut state, k)
+            })
+            .collect();
     }
     let workers = threads.min(tasks);
     let next = AtomicUsize::new(0);
@@ -50,23 +59,39 @@ where
                         if k >= tasks {
                             break;
                         }
+                        crate::fault::point("par.worker");
                         local.push((k, work(&mut state, k)));
                     }
                     local
                 })
             })
             .collect();
+        // Join every worker before re-raising any panic: the scope must
+        // not tear down while siblings still run, and the first panic
+        // payload (by worker index) is the one reported.
+        let mut first_panic = None;
         for h in handles {
-            // A panicked worker loses only its own slots; the caller
-            // decides whether that is fatal or recomputed inline.
-            if let Ok(local) = h.join() {
-                for (k, v) in local {
-                    results[k] = Some(v);
+            match h.join() {
+                Ok(local) => {
+                    for (k, v) in local {
+                        results[k] = Some(v);
+                    }
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
                 }
             }
         }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
     });
     results
+        .into_iter()
+        .map(|slot| slot.expect("non-panicked scatter fills every slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -77,7 +102,7 @@ mod tests {
     fn preserves_task_order() {
         for threads in [1, 2, 4, 8] {
             let got = scatter(37, threads, || 0u32, |_, k| k * k);
-            let want: Vec<Option<usize>> = (0..37).map(|k| Some(k * k)).collect();
+            let want: Vec<usize> = (0..37).map(|k| k * k).collect();
             assert_eq!(got, want, "threads={threads}");
         }
     }
@@ -93,12 +118,47 @@ mod tests {
             |state, k| (*state, k),
         );
         assert_eq!(inits.load(Ordering::Relaxed), 1);
-        assert!(got.iter().all(|r| r.as_ref().unwrap().0 == 0));
+        assert!(got.iter().all(|r| r.0 == 0));
     }
 
     #[test]
     fn empty_and_single_task() {
         assert!(scatter(0, 4, || (), |_, k| k).is_empty());
-        assert_eq!(scatter(1, 4, || (), |_, k| k), vec![Some(0)]);
+        assert_eq!(scatter(1, 4, || (), |_, k| k), vec![0]);
+    }
+
+    /// Regression: a panicked worker used to lose only its own slots,
+    /// letting callers observe a silently incomplete result. The panic
+    /// must now surface on the calling thread.
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        for threads in [1, 4] {
+            let outcome = std::panic::catch_unwind(|| {
+                scatter(
+                    64,
+                    threads,
+                    || (),
+                    |_, k| {
+                        if k == 17 {
+                            panic!("worker down");
+                        }
+                        k
+                    },
+                )
+            });
+            let payload = outcome.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "worker down", "threads={threads}");
+        }
+    }
+
+    /// Same regression via the fault-injection registry: one injected
+    /// worker panic anywhere in the pool fails the whole scatter.
+    #[test]
+    fn injected_worker_fault_propagates() {
+        crate::fault::inject_times("par.worker", crate::fault::FaultAction::Panic, 1);
+        let outcome = std::panic::catch_unwind(|| scatter(32, 4, || (), |_, k| k));
+        crate::fault::clear("par.worker");
+        assert!(outcome.is_err(), "injected fault must fail the scatter");
     }
 }

@@ -23,7 +23,7 @@ use std::time::Instant;
 use standoff_algebra::{Item, LlSeq};
 use standoff_core::join::JoinScratch;
 use standoff_core::obs::{Counter, Histogram, MetricsRegistry};
-use standoff_core::{IndexStats, RegionIndex, StandoffConfig, StandoffStrategy};
+use standoff_core::{Budget, IndexStats, RegionIndex, StandoffConfig, StandoffStrategy};
 use standoff_xml::{DocId, Document, Store};
 
 use crate::ast::Query;
@@ -319,6 +319,12 @@ pub struct EngineState {
     /// The per-operator profile of the most recent profiled execution
     /// (see [`EngineOptions::profile`]).
     pub(crate) last_profile: Option<PlanProfile>,
+    /// Governance handle for the *next* executions on this state:
+    /// deadline, result-cardinality and scratch caps, cooperative
+    /// cancellation. Runtime-only — never part of the options
+    /// fingerprint (a governed and an ungoverned run share compiled
+    /// plans), and cleared when a session is stamped out.
+    pub(crate) budget: Option<Budget>,
 }
 
 impl EngineState {
@@ -342,6 +348,7 @@ impl EngineState {
             metrics,
             handles,
             last_profile: None,
+            budget: None,
         }
     }
 
@@ -482,6 +489,11 @@ impl EngineState {
     /// via `take_last_profile`) when [`EngineOptions::profile`] is on.
     pub fn execute_plan(&mut self, plan: &Plan) -> Result<QueryResult, QueryError> {
         let started = Instant::now();
+        // A budget that tripped before we even start (deadline already
+        // past, request cancelled in the queue) refuses cleanly here.
+        if let Some(b) = &self.budget {
+            b.check()?;
+        }
         // External variable values are cloned out first so the evaluator
         // can borrow the state mutably.
         let mut external_values = Vec::with_capacity(plan.externals.len());
@@ -886,6 +898,16 @@ impl Engine {
         self.state.options.threads = threads.max(1);
     }
 
+    /// Install (or clear, with `None`) the governance budget for
+    /// subsequent runs on this engine: deadline, result-cardinality and
+    /// scratch-memory caps, and cooperative cancellation via
+    /// [`Budget::cancel`]. A run-time switch like profiling — compiled
+    /// and cached plans are unaffected, and an exhausted budget must be
+    /// replaced (budgets do not reset between queries).
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.state.budget = budget;
+    }
+
     /// Pre-build the region index for a document under a configuration
     /// (otherwise built lazily on the first StandOff step). Useful to
     /// exclude index construction from benchmark timings, mirroring the
@@ -1001,6 +1023,10 @@ impl SharedEngine {
         let mut state = self.core.as_ref().clone();
         state.join_stats.reset();
         state.last_profile = None;
+        // Governance is per request, never inherited: a budget frozen
+        // into the shared core must not govern (or cancel) every
+        // future session.
+        state.budget = None;
         Session {
             base_docs: self.core.store.len(),
             state,
@@ -1135,6 +1161,14 @@ impl Session {
     /// [`EngineOptions::threads`]).
     pub fn set_threads(&mut self, threads: usize) {
         self.state.options.threads = threads.max(1);
+    }
+
+    /// Install (or clear) the governance budget for subsequent queries
+    /// in this session (see [`Engine::set_budget`]). The governed
+    /// executor sets a fresh budget per request; keep a clone to
+    /// [`Budget::cancel`] from another thread.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.state.budget = budget;
     }
 
     /// The per-operator profile of the most recent profiled run in this

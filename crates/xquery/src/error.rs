@@ -19,6 +19,19 @@ pub enum QueryError {
     /// batch executor converts a panic inside one query's evaluation
     /// into this, so a worker thread never takes down the pool.
     Internal(String),
+    /// The query's deadline elapsed before evaluation finished. The
+    /// partial result is discarded; the engine state stays reusable.
+    Timeout,
+    /// A resource cap tripped — result cardinality or scratch memory;
+    /// the message names which. Like [`QueryError::Timeout`], a clean
+    /// refusal: no partial output escapes.
+    ResultLimit(String),
+    /// The query was cancelled cooperatively (client gone, server
+    /// draining) before evaluation finished.
+    Cancelled,
+    /// The server's admission queue was full and the request was shed
+    /// instead of queued — back off and retry, the query itself is fine.
+    Overloaded(String),
 }
 
 impl QueryError {
@@ -65,11 +78,31 @@ impl fmt::Display for QueryError {
             QueryError::Static(m) => write!(f, "static error: {m}"),
             QueryError::Dynamic(m) => write!(f, "dynamic error: {m}"),
             QueryError::Internal(m) => write!(f, "internal error: {m}"),
+            QueryError::Timeout => write!(f, "query deadline exceeded"),
+            QueryError::ResultLimit(m) => write!(f, "resource limit: {m}"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<standoff_core::BudgetExceeded> for QueryError {
+    /// Map a tripped budget to the error the client sees. The recorded
+    /// trip *reason* (not the observation site) decides the variant, so
+    /// the same over-budget query fails identically across join
+    /// strategies and thread counts.
+    fn from(e: standoff_core::BudgetExceeded) -> Self {
+        use standoff_core::BudgetExceeded::*;
+        match e {
+            Timeout => QueryError::Timeout,
+            ResultLimit => QueryError::ResultLimit("result cardinality cap exceeded".into()),
+            ScratchLimit => QueryError::ResultLimit("scratch memory cap exceeded".into()),
+            Cancelled => QueryError::Cancelled,
+        }
+    }
+}
 
 impl From<standoff_xml::ParseError> for QueryError {
     fn from(e: standoff_xml::ParseError) -> Self {

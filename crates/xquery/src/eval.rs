@@ -181,11 +181,20 @@ impl<'e> Evaluator<'e> {
     // ================= operator dispatch =================
 
     pub fn eval(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
-        if self.profile.is_none() {
+        if self.profile.is_none() && self.engine.budget.is_none() {
+            // Ungoverned, unprofiled: the zero-overhead path every
+            // benchmark and plain run takes.
             return self.eval_inner(expr);
         }
+        if self.profile.is_none() {
+            return self.eval_governed(expr);
+        }
         let start = std::time::Instant::now();
-        let result = self.eval_inner(expr);
+        let result = if self.engine.budget.is_none() {
+            self.eval_inner(expr)
+        } else {
+            self.eval_governed(expr)
+        };
         let ns = start.elapsed().as_nanos() as u64;
         if let Some(p) = self.profile.as_deref_mut() {
             let m = p.op_mut(expr as *const PlanExpr as usize);
@@ -197,6 +206,24 @@ impl<'e> Evaluator<'e> {
             }
         }
         result
+    }
+
+    /// [`Evaluator::eval_inner`] under a governance budget: check the
+    /// deadline/cancellation flag before descending into the operator,
+    /// and charge its output cardinality afterwards. Operator outputs
+    /// are plan-shaped — identical across join strategies and thread
+    /// counts — so a result-cardinality cap trips deterministically no
+    /// matter how the join was evaluated.
+    fn eval_governed(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
+        let budget = self
+            .engine
+            .budget
+            .clone()
+            .expect("eval_governed requires an installed budget");
+        budget.check()?;
+        let result = self.eval_inner(expr)?;
+        budget.charge_results(result.len() as u64)?;
+        Ok(result)
     }
 
     fn eval_inner(&mut self, expr: &PlanExpr) -> Result<LlSeq, QueryError> {
@@ -1074,6 +1101,9 @@ impl<'e> Evaluator<'e> {
         // Morsel budget for candidate scans, from the session's runtime
         // options (1 = sequential; results are thread-count invariant).
         scratch.set_morsel_threads(self.engine.options.threads);
+        // Governance handle for the scan/merge kernels, so a deadline
+        // or cancellation interrupts the join mid-kernel.
+        scratch.set_budget(self.engine.budget.clone());
 
         let mut rows: Vec<(u32, NodeRef)> = Vec::new();
         // The unit loop runs inside a closure so the taken scratch is
@@ -1082,6 +1112,11 @@ impl<'e> Evaluator<'e> {
         // buffer set.
         let joined = (|| -> Result<(), QueryError> {
             for (ctx_docs, targets) in units {
+                // Per-unit chokepoint: between fragments is the coarse
+                // place a governed join re-reads the clock eagerly.
+                if let Some(b) = &self.engine.budget {
+                    b.check()?;
+                }
                 // Sorted, deduplicated context per context document, and the
                 // unit-wide iteration domain (rejects complement over it).
                 let mut contexts: Vec<(DocId, Vec<IterNode>)> = Vec::with_capacity(ctx_docs.len());

@@ -33,11 +33,12 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use standoff_core::obs::MetricsSnapshot;
+use standoff_core::obs::{Counter, MetricsSnapshot};
+use standoff_core::{Budget, BudgetLimits};
 
 use crate::engine::{Session, SharedEngine};
 use crate::error::QueryError;
@@ -233,6 +234,60 @@ impl CacheInner {
     }
 }
 
+/// Resource-governance policy for an [`Executor`]: what each admitted
+/// request may consume, and how many requests may be in flight at once.
+/// The default is fully ungoverned — every field open — so existing
+/// batch users see no behavior change.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Governance {
+    /// Maximum concurrently admitted requests. A request arriving with
+    /// the queue full is *shed* with [`QueryError::Overloaded`] —
+    /// explicit backpressure, never silent blocking.
+    pub queue_cap: Option<usize>,
+    /// Per-request wall-clock deadline, anchored at admission.
+    pub deadline: Option<Duration>,
+    /// Per-request cap on cumulative operator output cardinality.
+    pub max_results: Option<u64>,
+    /// Per-request cap on the join-scratch high-water mark, in bytes.
+    pub max_scratch_bytes: Option<u64>,
+}
+
+impl Governance {
+    /// The per-request budget caps (admission control excluded).
+    fn limits(&self) -> BudgetLimits {
+        BudgetLimits {
+            deadline: self.deadline,
+            max_results: self.max_results,
+            max_scratch_bytes: self.max_scratch_bytes,
+        }
+    }
+
+    /// A fresh budget enforcing this policy's per-request caps, with
+    /// the deadline clock starting now. `None` when no cap is set —
+    /// hosts that still need a cancel handle (a draining server) pass
+    /// their own [`Budget::cancel_token`] instead.
+    pub fn fresh_budget(&self) -> Option<Budget> {
+        let limits = self.limits();
+        if limits.is_unlimited() {
+            None
+        } else {
+            Some(Budget::new(limits))
+        }
+    }
+}
+
+/// Pre-registered governance counters (see [`Executor::governed`]).
+struct GovHandles {
+    /// Requests shed at admission (`executor.sheds`).
+    sheds: Counter,
+    /// Governed requests that ended in [`QueryError::Timeout`]
+    /// (`executor.timeouts`).
+    timeouts: Counter,
+    /// High-water mark of concurrently admitted requests
+    /// (`executor.queue_depth_hwm`).
+    queue_depth_hwm: Counter,
+}
+
 /// A concurrent batch query executor over a [`SharedEngine`].
 ///
 /// ```
@@ -244,10 +299,21 @@ impl CacheInner {
 /// assert_eq!(results[0].as_ref().unwrap().as_strings(), ["2"]);
 /// assert_eq!(results[1].as_ref().unwrap().as_strings(), ["2"]);
 /// ```
+///
+/// With [`Executor::governed`] the same executor also serves the
+/// request-at-a-time path ([`Executor::run_governed`]): admission
+/// control with shed-on-full, a per-request [`Budget`] (deadline,
+/// result and scratch caps), and `executor.*` governance counters.
 pub struct Executor {
     engine: SharedEngine,
     threads: usize,
     cache: Arc<QueryCache>,
+    governance: Governance,
+    /// Requests currently admitted (the "queue depth" of the bounded
+    /// submission queue; admission is all-or-nothing, so depth counts
+    /// running requests).
+    active: AtomicUsize,
+    gov: GovHandles,
 }
 
 impl Executor {
@@ -265,10 +331,42 @@ impl Executor {
     /// serving different thread counts — or different evaluation
     /// options — over the same corpus).
     pub fn with_cache(engine: SharedEngine, threads: usize, cache: Arc<QueryCache>) -> Executor {
+        Self::governed_with_cache(engine, threads, Governance::default(), cache)
+    }
+
+    /// An executor enforcing `governance` on every request (batch
+    /// queries get per-query budgets; [`Executor::run_governed`] adds
+    /// admission control), with a private plan cache.
+    pub fn governed(engine: SharedEngine, threads: usize, governance: Governance) -> Executor {
+        Self::governed_with_cache(
+            engine,
+            threads,
+            governance,
+            Arc::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+        )
+    }
+
+    /// [`Executor::governed`] sharing an existing plan cache — the
+    /// serve path's constructor: mounts swap executors, plans survive.
+    pub fn governed_with_cache(
+        engine: SharedEngine,
+        threads: usize,
+        governance: Governance,
+        cache: Arc<QueryCache>,
+    ) -> Executor {
+        let registry = engine.metrics();
+        let gov = GovHandles {
+            sheds: registry.counter("executor.sheds"),
+            timeouts: registry.counter("executor.timeouts"),
+            queue_depth_hwm: registry.counter("executor.queue_depth_hwm"),
+        };
         Executor {
             engine,
             threads: threads.max(1),
             cache,
+            governance,
+            active: AtomicUsize::new(0),
+            gov,
         }
     }
 
@@ -287,6 +385,16 @@ impl Executor {
         &self.cache
     }
 
+    /// The governance policy requests run under.
+    pub fn governance(&self) -> &Governance {
+        &self.governance
+    }
+
+    /// Requests currently admitted via [`Executor::run_governed`].
+    pub fn queue_depth(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
     /// Evaluate a batch of queries, returning one result per query **in
     /// submission order**, regardless of which worker evaluated what.
     ///
@@ -297,12 +405,20 @@ impl Executor {
         &self,
         queries: &[S],
     ) -> Vec<Result<QueryResult, QueryError>> {
-        self.run_batch_impl(queries, false, |exec, session, text| {
-            exec.run_one(session, text)
-        })
-        .into_iter()
-        .map(|slot| slot.unwrap_or_else(|| Err(QueryError::internal("query was not scheduled"))))
-        .collect()
+        match guard_panic(
+            || {
+                self.run_batch_impl(queries, false, |exec, session, text| {
+                    exec.run_one(session, text)
+                })
+            },
+            "batch worker pool",
+        ) {
+            Ok(results) => results,
+            // Pool machinery died (per-query panics are already caught
+            // inside run_one): fail the whole batch explicitly rather
+            // than return anything incomplete.
+            Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
+        }
     }
 
     /// [`Executor::run_batch`] with per-operator profiling: every
@@ -313,23 +429,28 @@ impl Executor {
         &self,
         queries: &[S],
     ) -> Vec<Result<(QueryResult, QueryProfile), QueryError>> {
-        self.run_batch_impl(queries, true, |exec, session, text| {
-            exec.run_one_profiled(session, text)
-        })
-        .into_iter()
-        .map(|slot| slot.unwrap_or_else(|| Err(QueryError::internal("query was not scheduled"))))
-        .collect()
+        match guard_panic(
+            || {
+                self.run_batch_impl(queries, true, |exec, session, text| {
+                    exec.run_one_profiled(session, text)
+                })
+            },
+            "batch worker pool",
+        ) {
+            Ok(results) => results,
+            Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
+        }
     }
 
     /// The shared batch driver: fan `queries` out over the workers via
     /// [`standoff_core::par::scatter`] — the same pull-based,
     /// order-preserving pool the join morsel kernels use — recording
     /// queue metrics (`executor.*`) into the engine registry per pick.
-    /// Returns one slot per query in submission order; `None` marks a
-    /// query no worker reported a result for (dead worker — the
-    /// per-query bodies catch panics, so only pool machinery failures
-    /// lose slots).
-    fn run_batch_impl<S, T, F>(&self, queries: &[S], profile: bool, run_fn: F) -> Vec<Option<T>>
+    /// Returns one result per query in submission order: a panicked
+    /// pool worker re-raises on this thread (the callers above convert
+    /// it), so an incomplete result vector can never be observed. Under
+    /// a governing policy every query runs with its own fresh budget.
+    fn run_batch_impl<S, T, F>(&self, queries: &[S], profile: bool, run_fn: F) -> Vec<T>
     where
         S: AsRef<str> + Sync,
         T: Send,
@@ -362,9 +483,52 @@ impl Executor {
             },
             |session, k| {
                 picked(k);
+                // Per-query budget under governance: the deadline clock
+                // starts when a worker picks the query up, mirroring the
+                // admission-anchored clock of the serve path.
+                session.set_budget(self.governance.fresh_budget());
                 run_fn(self, session, queries[k].as_ref())
             },
         )
+    }
+
+    /// Evaluate one request under this executor's [`Governance`]: admit
+    /// it against the bounded queue (shedding with
+    /// [`QueryError::Overloaded`] when full), run it with a fresh
+    /// per-request budget, and record shed/timeout/depth counters.
+    pub fn run_governed(&self, text: &str) -> Result<QueryResult, QueryError> {
+        self.run_governed_with(text, self.governance.fresh_budget())
+    }
+
+    /// [`Executor::run_governed`] with a caller-supplied budget — the
+    /// serve path passes one it keeps a clone of, so it can
+    /// [`Budget::cancel`] in-flight requests on drain or client
+    /// disconnect. `None` runs ungoverned (admission still applies).
+    pub fn run_governed_with(
+        &self,
+        text: &str,
+        budget: Option<Budget>,
+    ) -> Result<QueryResult, QueryError> {
+        let _permit = self.admit()?;
+        let mut session = self.engine.session();
+        session.set_budget(budget);
+        self.run_one(&mut session, text)
+    }
+
+    /// Reserve an admission slot, shedding on a full queue. The permit
+    /// releases the slot on drop — error paths included.
+    fn admit(&self) -> Result<AdmissionPermit<'_>, QueryError> {
+        let cap = self.governance.queue_cap.unwrap_or(usize::MAX);
+        let depth = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        if depth > cap {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+            self.gov.sheds.inc();
+            return Err(QueryError::Overloaded(format!(
+                "admission queue full ({cap} request(s) in flight); retry later"
+            )));
+        }
+        self.gov.queue_depth_hwm.record_max(depth as u64);
+        Ok(AdmissionPermit { exec: self })
     }
 
     /// The engine registry's snapshot with this executor's plan-cache
@@ -389,9 +553,13 @@ impl Executor {
     /// Evaluate one query in an existing session, converting any panic
     /// into [`QueryError::Internal`] and leaving the session clean.
     fn run_one(&self, session: &mut Session, text: &str) -> Result<QueryResult, QueryError> {
+        // Chaos hook, post-admission: a Delay here holds the request's
+        // queue slot open so tests can race sheds, unmounts and drains
+        // into the window deterministically.
+        standoff_core::fault::point("executor.query");
         let plan = self.cache.get_or_compile(text, &self.engine)?;
         let outcome = guard_panic(|| session.execute_plan(&plan), "query evaluation");
-        match outcome {
+        let result = match outcome {
             Ok(result) => {
                 session.reset();
                 result
@@ -402,7 +570,11 @@ impl Executor {
                 *session = self.engine.session();
                 Err(e)
             }
+        };
+        if matches!(result, Err(QueryError::Timeout)) {
+            self.gov.timeouts.inc();
         }
+        result
     }
 
     /// [`Executor::run_one`] with the session's recorded profile
@@ -416,7 +588,7 @@ impl Executor {
     ) -> Result<(QueryResult, QueryProfile), QueryError> {
         let plan = self.cache.get_or_compile(text, &self.engine)?;
         let outcome = guard_panic(|| session.execute_plan(&plan), "query evaluation");
-        match outcome {
+        let result = match outcome {
             Ok(result) => {
                 let ops = session.take_last_profile().unwrap_or_default();
                 session.reset();
@@ -427,7 +599,23 @@ impl Executor {
                 session.set_profile(true);
                 Err(e)
             }
+        };
+        if matches!(result, Err(QueryError::Timeout)) {
+            self.gov.timeouts.inc();
         }
+        result
+    }
+}
+
+/// An admitted request's slot in the bounded submission queue; dropping
+/// it (normally or during unwind) frees the slot.
+struct AdmissionPermit<'a> {
+    exec: &'a Executor,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.exec.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

@@ -64,7 +64,7 @@ pub mod result;
 
 pub use engine::{Engine, EngineOptions, JoinStats, Session, SharedEngine};
 pub use error::QueryError;
-pub use exec::{CacheStats, Executor, QueryCache};
+pub use exec::{CacheStats, Executor, Governance, QueryCache};
 pub use overlay::WritableEngine;
 pub use plan::Plan;
 pub use profile::{JoinExec, OpMetrics, PlanProfile, QueryProfile};

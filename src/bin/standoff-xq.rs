@@ -61,13 +61,15 @@
 //! unreadable snapshots).
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use standoff::core::{StandoffConfig, StandoffStrategy};
+use standoff::serve::{self, ServeMount, ServeOptions, Server};
 use standoff::store::{
     ops_to_text, parse_ops, save_snapshot, write_snapshot_legacy, DeltaSet, LayerSet, Snapshot,
 };
-use standoff::xquery::{Engine, Executor};
+use standoff::xquery::{Engine, EngineOptions, Executor, Governance};
 
 const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FILE]... [--uri URI]\n\
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
@@ -86,6 +88,12 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      \x20           [--profile] [--profile-json] <queries.txt | ->\n\
                      standoff-xq stats [--store SNAPSHOT]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           [--strategy ...] [--no-pushdown] [--threads N] [queries.txt | -]\n\
+                     standoff-xq serve [--listen ADDR] [--store SNAPSHOT]... [--strategy ...] [--no-pushdown]\n\
+                     \x20           [--threads N] [--deadline-ms N] [--max-results N] [--max-scratch-mb N]\n\
+                     \x20           [--queue-cap N] [--read-timeout-ms N]\n\
+                     standoff-xq call ADDR VERB [ARG...]   (verbs: ping, query Q, stats, mount PATH,\n\
+                     \x20           unmount URI, mounts, shutdown)\n\
+                     governance (query/batch too): --deadline-ms N --max-results N --max-scratch-mb N\n\
                      exit codes: 0 success, 1 query failure, 2 usage/corpus error";
 
 fn main() -> ExitCode {
@@ -99,6 +107,8 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&argv[1..]),
         Some("batch") => cmd_batch(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("call") => cmd_call(&argv[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -534,10 +544,54 @@ impl CorpusArgs {
     }
 }
 
+// ---- resource-governance flags (query + batch + serve) ----
+
+/// Per-request resource caps, shared by `query`, `batch` and `serve`.
+#[derive(Clone, Copy, Default)]
+struct GovFlags {
+    deadline_ms: Option<u64>,
+    max_results: Option<u64>,
+    max_scratch_mb: Option<u64>,
+    queue_cap: Option<usize>,
+}
+
+impl GovFlags {
+    /// Try to consume the flag at `argv[*k]` (and its value), like
+    /// [`CorpusArgs::try_consume`].
+    fn try_consume(&mut self, argv: &[String], k: &mut usize) -> Result<bool, String> {
+        fn value(argv: &[String], k: &mut usize, flag: &str) -> Result<u64, String> {
+            *k += 1;
+            let v = argv
+                .get(*k)
+                .ok_or_else(|| format!("{flag} needs a number"))?;
+            v.parse::<u64>()
+                .map_err(|_| format!("bad {flag} '{v}', expected a non-negative integer"))
+        }
+        match argv[*k].as_str() {
+            "--deadline-ms" => self.deadline_ms = Some(value(argv, k, "--deadline-ms")?),
+            "--max-results" => self.max_results = Some(value(argv, k, "--max-results")?),
+            "--max-scratch-mb" => self.max_scratch_mb = Some(value(argv, k, "--max-scratch-mb")?),
+            "--queue-cap" => self.queue_cap = Some(value(argv, k, "--queue-cap")? as usize),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn governance(&self) -> Governance {
+        Governance {
+            queue_cap: self.queue_cap,
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            max_results: self.max_results,
+            max_scratch_bytes: self.max_scratch_mb.map(|mb| mb * 1024 * 1024),
+        }
+    }
+}
+
 // ---- query ----
 
 struct QueryArgs {
     corpus: CorpusArgs,
+    gov: GovFlags,
     query: String,
     threads: usize,
     explain: bool,
@@ -549,6 +603,7 @@ struct QueryArgs {
 
 fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     let mut corpus = CorpusArgs::new();
+    let mut gov = GovFlags::default();
     let mut query: Option<String> = None;
     let mut threads = 1usize;
     let mut explain = false;
@@ -558,7 +613,7 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     let mut analyze = false;
     let mut k = 0;
     while k < argv.len() {
-        if corpus.try_consume(argv, &mut k)? {
+        if corpus.try_consume(argv, &mut k)? || gov.try_consume(argv, &mut k)? {
             k += 1;
             continue;
         }
@@ -599,6 +654,7 @@ fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
     let query = query.ok_or("no query given (--query or --query-file)")?;
     Ok(QueryArgs {
         corpus,
+        gov,
         query,
         threads,
         explain,
@@ -614,6 +670,10 @@ fn cmd_query(argv: &[String]) -> Result<ExitCode, String> {
     let load_start = Instant::now();
     let mut engine = args.corpus.build_engine()?;
     engine.set_threads(args.threads);
+    // Under `--deadline-ms`/`--max-results`/`--max-scratch-mb` the one
+    // query runs on a budget; over-budget it fails with a clean
+    // timeout/limit error and exit code 1, never partial output.
+    engine.set_budget(args.gov.governance().fresh_budget());
     let load_elapsed = load_start.elapsed();
     if args.explain {
         eprintln!(
@@ -705,6 +765,7 @@ fn cmd_explain(argv: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     let mut corpus = CorpusArgs::new();
+    let mut gov = GovFlags::default();
     let mut threads = 1usize;
     let mut time = false;
     let mut profile = false;
@@ -712,7 +773,7 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     let mut queries_path: Option<String> = None;
     let mut k = 0;
     while k < argv.len() {
-        if corpus.try_consume(argv, &mut k)? {
+        if corpus.try_consume(argv, &mut k)? || gov.try_consume(argv, &mut k)? {
             k += 1;
             continue;
         }
@@ -766,7 +827,9 @@ fn cmd_batch(argv: &[String]) -> Result<ExitCode, String> {
     // the plan-cache epoch.
     engine.set_threads(threads);
     let load_elapsed = load_start.elapsed();
-    let executor = Executor::new(engine.into_shared(), threads);
+    // Governed batches give every query its own fresh budget; without
+    // governance flags this is exactly `Executor::new`.
+    let executor = Executor::governed(engine.into_shared(), threads, gov.governance());
 
     let start = Instant::now();
     // Profiled batches run the same scheduler; results print to stdout
@@ -897,6 +960,154 @@ fn cmd_stats(argv: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+// ---- serve ----
+
+/// Set by the SIGTERM/SIGINT handler; the serve accept loop polls it
+/// and drains when it flips.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers that set [`STOP`]. Raw libc
+/// `signal(2)` binding — storing to an atomic is async-signal-safe,
+/// and the workspace stays dependency-free.
+#[cfg(unix)]
+fn install_stop_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_handlers() {}
+
+fn cmd_serve(argv: &[String]) -> Result<ExitCode, String> {
+    let mut corpus = CorpusArgs::new();
+    let mut gov = GovFlags::default();
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut threads = 1usize;
+    let mut read_timeout_ms = 10_000u64;
+    let mut k = 0;
+    while k < argv.len() {
+        if corpus.try_consume(argv, &mut k)? || gov.try_consume(argv, &mut k)? {
+            k += 1;
+            continue;
+        }
+        match argv[k].as_str() {
+            "--listen" => {
+                k += 1;
+                listen = argv.get(k).ok_or("--listen needs HOST:PORT")?.clone();
+            }
+            "--threads" | "-j" => {
+                k += 1;
+                let n = argv.get(k).ok_or("--threads needs a count")?;
+                threads =
+                    n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad --threads '{n}', expected a positive integer")
+                    })?;
+            }
+            "--read-timeout-ms" => {
+                k += 1;
+                let n = argv.get(k).ok_or("--read-timeout-ms needs a number")?;
+                read_timeout_ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --read-timeout-ms '{n}'"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    // Hot mount/unmount rebuilds engines from retained snapshots, so
+    // serving is snapshot-only: loose documents and delta sidecars
+    // have no re-mountable identity.
+    if !corpus.loads.is_empty() || !corpus.load_bins.is_empty() || !corpus.deltas.is_empty() {
+        return Err("serve supports --store snapshots only (no --load/--load-bin/--delta)".into());
+    }
+    let mut mounts = Vec::with_capacity(corpus.stores.len());
+    for path in &corpus.stores {
+        mounts.push(ServeMount::open(path).map_err(|e| e.to_string())?);
+    }
+    let engine_options = EngineOptions {
+        strategy: corpus.strategy.unwrap_or(EngineOptions::default().strategy),
+        auto_strategy: corpus.auto_strategy,
+        candidate_pushdown: corpus.pushdown,
+        threads,
+        ..EngineOptions::default()
+    };
+    let opts = ServeOptions {
+        threads,
+        engine: engine_options,
+        governance: gov.governance(),
+        read_timeout: Duration::from_millis(read_timeout_ms.max(1)),
+    };
+    let server = Server::bind(&listen, mounts, opts).map_err(|e| format!("{listen}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    install_stop_handlers();
+    // The ready line goes to stdout so wrappers can wait for it; all
+    // later diagnostics stay on stderr.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run_until(&STOP).map_err(|e| e.to_string())?;
+    eprintln!("standoff-xq: drained, shutting down");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---- call ----
+
+/// One-shot protocol client: `standoff-xq call ADDR VERB [ARG...]`.
+/// Prints an `ok` reply's payload to stdout (exit 0); an `err` reply's
+/// category and message go to stderr (exit 1); connection failures are
+/// usage errors (exit 2).
+fn cmd_call(argv: &[String]) -> Result<ExitCode, String> {
+    if argv.first().map(String::as_str) == Some("--help") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let addr = argv
+        .first()
+        .ok_or_else(|| format!("call needs ADDR\n{USAGE}"))?;
+    let verb = argv
+        .get(1)
+        .ok_or_else(|| format!("call needs a VERB\n{USAGE}"))?;
+    let rest = argv[2..].join(" ");
+    // `query` carries its text in the body; every other verb is a
+    // single `verb arg` line.
+    let payload = match (verb.as_str(), rest.is_empty()) {
+        ("query", true) => return Err("call ... query needs the query text".into()),
+        ("query", false) => format!("query\n{rest}"),
+        (_, true) => verb.clone(),
+        (_, false) => format!("{verb} {rest}"),
+    };
+    let reply =
+        serve::call(addr.as_str(), &payload).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if reply.ok {
+        // Tolerate a closed pipe (`call ... stats | head`): losing the
+        // tail of the payload is the downstream's choice, not a crash.
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), "{}", reply.body);
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "standoff-xq: {}: {}",
+            reply.error_category().unwrap_or("error"),
+            reply.message()
+        );
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// Split a batch file into queries: `%%`-only lines separate multi-line

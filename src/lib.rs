@@ -59,6 +59,10 @@ pub use standoff_xquery as xquery;
 /// Fixture documents used by examples, tests and the paper-table harness.
 pub mod fixtures;
 
+/// The `standoff-xq serve` TCP query service: length-prefixed frames,
+/// governed executors, hot mount/unmount, graceful drain.
+pub mod serve;
+
 /// Common imports for applications.
 pub mod prelude {
     pub use standoff_core::{

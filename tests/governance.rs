@@ -1,0 +1,279 @@
+//! Resource-governance determinism and admission control.
+//!
+//! The contract under test: a query that trips its [`Budget`] fails
+//! with a **clean, deterministic error** — the recorded trip reason,
+//! not the observation site, picks the [`QueryError`] variant, so the
+//! same over-budget query fails identically across all four StandOff
+//! strategies and any thread count — and a query that finishes under
+//! budget is byte-identical to an ungoverned run (governance must
+//! never change results, only refuse them). The executor half: a full
+//! admission queue sheds with [`QueryError::Overloaded`] and the
+//! `executor.*` counters make overload visible in `stats` output.
+
+use std::time::Duration;
+
+use standoff::core::{Budget, BudgetLimits, StandoffStrategy};
+use standoff::xmark::queries::XmarkQuery;
+use standoff::xmark::{generate, standoffify, XmarkConfig};
+use standoff::xquery::{Engine, Executor, Governance, QueryError};
+
+const SO_URI: &str = "xmark-standoff.xml";
+
+fn engine_with(strategy: StandoffStrategy, threads: usize) -> Engine {
+    let src = generate(&XmarkConfig::with_scale(0.002));
+    let so = standoffify(&src, 7);
+    let so_xml = standoff::xml::serialize_document(&so.doc, Default::default());
+    let mut engine = Engine::new();
+    engine.load_document(SO_URI, &so_xml).unwrap();
+    engine.set_strategy(strategy);
+    engine.set_threads(threads);
+    engine
+}
+
+fn budget(limits: BudgetLimits) -> Option<Budget> {
+    Some(Budget::new(limits))
+}
+
+/// A join-heavy query whose StandOff steps run under every strategy.
+fn join_query() -> String {
+    format!(r#"count(select-narrow(doc("{SO_URI}")//open_auction, doc("{SO_URI}")//bidder))"#)
+}
+
+/// The same join repeated enough that a short mid-flight deadline is
+/// guaranteed to trip while kernels are still working.
+fn heavy_query() -> String {
+    format!(
+        r#"for $i in 1 to 1000
+           return count(select-narrow(doc("{SO_URI}")//open_auction, doc("{SO_URI}")//bidder))"#
+    )
+}
+
+const MATRIX_THREADS: [usize; 2] = [1, 4];
+
+#[test]
+fn expired_deadline_is_timeout_across_all_strategies_and_threads() {
+    for strategy in StandoffStrategy::ALL {
+        for threads in MATRIX_THREADS {
+            let mut engine = engine_with(strategy, threads);
+            engine.set_budget(budget(BudgetLimits {
+                deadline: Some(Duration::ZERO),
+                ..BudgetLimits::default()
+            }));
+            let err = engine.run(&join_query()).unwrap_err();
+            assert_eq!(
+                err,
+                QueryError::Timeout,
+                "[{strategy}/threads={threads}] expired deadline must be a clean Timeout"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_flight_deadline_is_timeout_across_all_strategies_and_threads() {
+    for strategy in StandoffStrategy::ALL {
+        for threads in MATRIX_THREADS {
+            let mut engine = engine_with(strategy, threads);
+            engine.set_budget(budget(BudgetLimits {
+                deadline: Some(Duration::from_millis(1)),
+                ..BudgetLimits::default()
+            }));
+            // Wherever the trip is *observed* — a kernel poll deep in a
+            // merge loop, an operator-boundary check, a morsel worker —
+            // the reported error is the recorded reason: Timeout.
+            let err = engine.run(&heavy_query()).unwrap_err();
+            assert_eq!(
+                err,
+                QueryError::Timeout,
+                "[{strategy}/threads={threads}] mid-flight deadline must be a clean Timeout"
+            );
+        }
+    }
+}
+
+#[test]
+fn result_cap_error_is_identical_across_all_strategies_and_threads() {
+    let mut seen: Option<QueryError> = None;
+    for strategy in StandoffStrategy::ALL {
+        for threads in MATRIX_THREADS {
+            let mut engine = engine_with(strategy, threads);
+            engine.set_budget(budget(BudgetLimits {
+                max_results: Some(8),
+                ..BudgetLimits::default()
+            }));
+            let err = engine.run(&join_query()).unwrap_err();
+            assert!(
+                matches!(err, QueryError::ResultLimit(_)),
+                "[{strategy}/threads={threads}] expected ResultLimit, got {err:?}"
+            );
+            // Cardinality is charged at operator boundaries, which are
+            // plan-shaped — so not just the variant but the *message*
+            // agrees across the whole matrix.
+            match &seen {
+                None => seen = Some(err),
+                Some(first) => assert_eq!(
+                    &err, first,
+                    "[{strategy}/threads={threads}] result-cap error diverged"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_is_clean_across_all_strategies_and_threads() {
+    for strategy in StandoffStrategy::ALL {
+        for threads in MATRIX_THREADS {
+            let mut engine = engine_with(strategy, threads);
+            let handle = Budget::cancel_token();
+            handle.cancel();
+            engine.set_budget(Some(handle));
+            let err = engine.run(&join_query()).unwrap_err();
+            assert_eq!(
+                err,
+                QueryError::Cancelled,
+                "[{strategy}/threads={threads}] cancelled budget must report Cancelled"
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_cap_refuses_cleanly() {
+    // Scratch is what the join *buffers* pin, which depends on the
+    // algorithm — so this cap is exercised per strategy, not asserted
+    // identical across them.
+    let mut engine = engine_with(StandoffStrategy::LoopLiftedMergeJoin, 1);
+    engine.set_budget(budget(BudgetLimits {
+        max_scratch_bytes: Some(1),
+        ..BudgetLimits::default()
+    }));
+    let err = engine.run(&join_query()).unwrap_err();
+    assert_eq!(
+        err,
+        QueryError::ResultLimit("scratch memory cap exceeded".into())
+    );
+}
+
+#[test]
+fn under_budget_runs_are_byte_identical_to_ungoverned() {
+    let generous = BudgetLimits {
+        deadline: Some(Duration::from_secs(120)),
+        max_results: Some(u64::MAX / 2),
+        max_scratch_bytes: Some(u64::MAX / 2),
+    };
+    let queries: Vec<String> = XmarkQuery::ALL
+        .iter()
+        .map(|q| q.standoff(SO_URI))
+        .chain([join_query()])
+        .collect();
+    for strategy in StandoffStrategy::ALL {
+        for threads in MATRIX_THREADS {
+            let mut governed = engine_with(strategy, threads);
+            governed.set_budget(budget(generous));
+            let mut plain = engine_with(strategy, threads);
+            for text in &queries {
+                // A fresh budget per query: the caps are per-request.
+                governed.set_budget(budget(generous));
+                let g = governed
+                    .run(text)
+                    .unwrap_or_else(|e| panic!("[{strategy}/threads={threads}] {text}: {e}"));
+                let p = plain.run(text).unwrap();
+                assert_eq!(
+                    g.as_serialized(),
+                    p.as_serialized(),
+                    "[{strategy}/threads={threads}] governed result diverged: {text}"
+                );
+                assert_eq!(g.as_strings(), p.as_strings());
+            }
+        }
+    }
+}
+
+// ---- executor admission control ----
+
+fn shared_fixture() -> standoff::xquery::SharedEngine {
+    let mut engine = Engine::new();
+    engine
+        .load_document(
+            "d.xml",
+            r#"<a><w start="0" end="9"/><w start="3" end="5"/><w start="12" end="14"/></a>"#,
+        )
+        .unwrap();
+    engine.into_shared()
+}
+
+#[test]
+fn zero_capacity_queue_sheds_with_overloaded() {
+    let exec = Executor::governed(
+        shared_fixture(),
+        1,
+        Governance {
+            queue_cap: Some(0),
+            ..Governance::default()
+        },
+    );
+    let err = exec.run_governed("1 + 1").unwrap_err();
+    assert!(
+        matches!(err, QueryError::Overloaded(_)),
+        "expected Overloaded, got {err:?}"
+    );
+    let snapshot = exec.metrics_snapshot();
+    assert_eq!(snapshot.counters.get("executor.sheds"), Some(&1));
+    // Shed requests never occupy the queue, so no high-water mark.
+    assert_eq!(snapshot.counters.get("executor.queue_depth_hwm"), Some(&0));
+    assert_eq!(exec.queue_depth(), 0, "shed request must release its slot");
+}
+
+#[test]
+fn admission_counters_show_up_in_stats() {
+    let exec = Executor::governed(
+        shared_fixture(),
+        1,
+        Governance {
+            queue_cap: Some(4),
+            deadline: Some(Duration::ZERO),
+            ..Governance::default()
+        },
+    );
+    let err = exec.run_governed("1 + 1").unwrap_err();
+    assert_eq!(err, QueryError::Timeout);
+    let snapshot = exec.metrics_snapshot();
+    assert_eq!(snapshot.counters.get("executor.timeouts"), Some(&1));
+    assert_eq!(snapshot.counters.get("executor.queue_depth_hwm"), Some(&1));
+    assert_eq!(snapshot.counters.get("executor.sheds"), Some(&0));
+}
+
+#[test]
+fn governed_batch_times_out_every_query_and_stays_complete() {
+    let exec = Executor::governed(
+        shared_fixture(),
+        2,
+        Governance {
+            deadline: Some(Duration::ZERO),
+            ..Governance::default()
+        },
+    );
+    let queries = vec!["1 + 1"; 8];
+    let results = exec.run_batch(&queries);
+    assert_eq!(results.len(), queries.len(), "batch must stay complete");
+    for result in &results {
+        assert_eq!(result.as_ref().unwrap_err(), &QueryError::Timeout);
+    }
+    let snapshot = exec.metrics_snapshot();
+    assert_eq!(
+        snapshot.counters.get("executor.timeouts"),
+        Some(&(queries.len() as u64))
+    );
+}
+
+#[test]
+fn ungoverned_executor_still_runs_requests() {
+    // `run_governed` without any policy: admission always succeeds,
+    // queries run without a budget.
+    let exec = Executor::new(shared_fixture(), 1);
+    let result = exec.run_governed(r#"count(doc("d.xml")//w)"#).unwrap();
+    assert_eq!(result.as_strings(), ["3"]);
+    let snapshot = exec.metrics_snapshot();
+    assert_eq!(snapshot.counters.get("executor.sheds"), Some(&0));
+}
