@@ -2,7 +2,8 @@
 //!
 //! Runs a fixed set of representative measurements (merge-join kernel,
 //! candidate intersection at sparse/dense selectivity, end-to-end
-//! pushdown joins, batch execution) with quick criterion-style settings
+//! pushdown joins, batch execution, durability costs — WAL appends and
+//! the v4 checksum tax) with quick criterion-style settings
 //! and writes a `group → median ns` JSON report, so successive PRs leave
 //! a comparable perf trail at the repo root (`BENCH_pr4.json`, …).
 //!
@@ -362,6 +363,88 @@ fn main() {
             standoff_store::compact(&set, &delta).unwrap()
         });
         record("delta_overlay/compact", ns);
+    }
+
+    // ---- durability: WAL appends and the v4 checksum tax ----
+    // The fsync per committed batch is the price of SIGKILL-safe deltas;
+    // the nosync row isolates it from the encode-and-write cost. The
+    // mount rows bound the checksum tax: a lazy open only CRCs the small
+    // header sections, full materialization pays per column, and
+    // `verify` is the eager fsck sweep over every section.
+    {
+        use standoff_store::{
+            ops_to_text, write_snapshot, write_snapshot_unchecksummed, DeltaOp, DeltaWal, LayerSet,
+            Snapshot,
+        };
+        let dir = std::env::temp_dir().join(format!("bench-durability-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A representative 32-op batch, journaled whole per append.
+        let ops: Vec<DeltaOp> = (0..16)
+            .flat_map(|k| {
+                let s = k as i64 * 40;
+                [
+                    DeltaOp::Insert {
+                        layer: "tokens".into(),
+                        name: "w".into(),
+                        start: s,
+                        end: s + 8,
+                        attrs: vec![("d".into(), k.to_string())],
+                    },
+                    DeltaOp::Retract {
+                        layer: "tokens".into(),
+                        name: "w".into(),
+                        start: s + 10,
+                        end: s + 18,
+                    },
+                ]
+            })
+            .collect();
+        let batch = ops_to_text(&ops);
+        for (sync, name) in [
+            (true, "durability/wal_append_fsync"),
+            (false, "durability/wal_append_nosync"),
+        ] {
+            let path = dir.join(if sync { "sync.wal" } else { "nosync.wal" });
+            let (mut wal, _) = DeltaWal::open(&path).unwrap();
+            wal.set_sync(sync);
+            let ns = median_ns(config.samples, || wal.append(&batch).unwrap());
+            record(name, ns);
+        }
+
+        let so = standoff_xmark::standoffify(
+            &standoff_xmark::generate(&standoff_xmark::XmarkConfig::with_scale(config.scale)),
+            7,
+        );
+        let cfg = standoff_core::StandoffConfig::default();
+        let set = LayerSet::build("xmark-standoff.xml", so.doc, cfg).unwrap();
+        let checked = dir.join("checked.snap");
+        let unchecked = dir.join("unchecked.snap");
+        let mut buf = Vec::new();
+        write_snapshot(&set, &mut buf).unwrap();
+        std::fs::write(&checked, &buf).unwrap();
+        buf.clear();
+        write_snapshot_unchecksummed(&set, &mut buf).unwrap();
+        std::fs::write(&unchecked, &buf).unwrap();
+
+        let ns = median_ns(config.samples, || {
+            Snapshot::open(&checked).unwrap().to_layer_set().unwrap()
+        });
+        record("durability/mount_checksummed", ns);
+        let ns = median_ns(config.samples, || {
+            Snapshot::open(&unchecked).unwrap().to_layer_set().unwrap()
+        });
+        record("durability/mount_unchecksummed", ns);
+        let ns = median_ns(config.samples, || Snapshot::open(&checked).unwrap());
+        record("durability/open_lazy_checksummed", ns);
+        let ns = median_ns(config.samples, || {
+            Snapshot::open_verified(&checked)
+                .unwrap()
+                .1
+                .sections_checked
+        });
+        record("durability/verify", ns);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // ---- end-to-end engine measurements over an XMark corpus ----

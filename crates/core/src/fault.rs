@@ -37,6 +37,11 @@ pub enum FaultAction {
     Panic,
     /// Sleep for the given duration, then continue normally.
     Delay(Duration),
+    /// Abort the whole process (`std::process::abort`) — no unwinding,
+    /// no destructors, no atexit handlers. As close to `kill -9` as a
+    /// process can do to itself; the crash-recovery harness uses this
+    /// to kill writers at exact byte-offset seams.
+    Abort,
 }
 
 struct Armed {
@@ -112,6 +117,45 @@ pub fn point(name: &str) {
     match action {
         FaultAction::Panic => panic!("injected fault: {name}"),
         FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Abort => std::process::abort(),
+    }
+}
+
+/// Arm fault points from the `STANDOFF_FAULT` environment variable, so
+/// external harnesses (the CI crash-recovery smoke) can kill a
+/// `--features fault-inject` binary at a named seam without test code.
+///
+/// Syntax: comma-separated `point=action` entries, where action is
+/// `abort`, `panic`, or `delay:<millis>`. An optional `:<times>` suffix
+/// on the action bounds the hits (`point=delay:50:1`). Malformed
+/// entries are ignored (a harness typo must not change the behavior of
+/// the binary under test beyond not arming the point).
+pub fn arm_from_env() {
+    let Ok(spec) = std::env::var("STANDOFF_FAULT") else {
+        return;
+    };
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let Some((name, action_spec)) = entry.split_once('=') else {
+            continue;
+        };
+        let mut parts = action_spec.split(':');
+        let action = match parts.next() {
+            Some("abort") => FaultAction::Abort,
+            Some("panic") => FaultAction::Panic,
+            Some("delay") => {
+                let Some(ms) = parts.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    continue;
+                };
+                FaultAction::Delay(Duration::from_millis(ms))
+            }
+            _ => continue,
+        };
+        // A trailing numeric field bounds the hits; for `delay` it is
+        // the field after the millis.
+        match parts.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(times) => inject_times(name, action, times),
+            None => inject(name, action),
+        }
     }
 }
 

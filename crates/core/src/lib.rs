@@ -26,6 +26,7 @@
 
 pub mod budget;
 pub mod config;
+pub mod crc;
 pub mod error;
 pub mod index;
 pub mod join;
@@ -45,10 +46,14 @@ pub mod fault {
     //! Disarmed stand-in: fault points vanish from release builds.
     #[inline(always)]
     pub fn point(_name: &str) {}
+    /// Disarmed stand-in for [`arm_from_env`]: release builds ignore
+    /// `STANDOFF_FAULT` entirely.
+    pub fn arm_from_env() {}
 }
 
 pub use budget::{Budget, BudgetExceeded, BudgetLimits};
 pub use config::{RegionRepr, StandoffConfig};
+pub use crc::{crc32, Crc32};
 pub use error::StandoffError;
 pub use index::{
     CandidateRepr, CandidateScratch, CandidateSet, DenseCandidates, IndexStats, KernelStats,

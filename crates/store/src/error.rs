@@ -17,6 +17,29 @@ pub enum StoreError {
     /// An overlay mutation was rejected (unknown layer, region out of
     /// order, retract matching nothing, malformed op line, ...).
     Delta(String),
+    /// Stored bytes failed an integrity check: a section payload whose
+    /// CRC32 does not match the recorded checksum, a WAL record broken
+    /// mid-file, a checksum table that does not cover the section list.
+    /// Corruption is always reported through this categorized variant —
+    /// never a panic — so callers can distinguish "the file is damaged"
+    /// from "the file is from the future" or plain I/O failure.
+    Corrupt {
+        /// What failed the check, e.g. `"section doc.text (layer tokens)"`
+        /// or `"wal record 3"`.
+        section: String,
+        /// Why, e.g. `"checksum mismatch: stored 0x1234, computed 0x5678"`.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Shorthand constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            section: section.into(),
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -27,6 +50,9 @@ impl fmt::Display for StoreError {
             StoreError::Index(e) => write!(f, "layer index: {e}"),
             StoreError::Io(e) => write!(f, "snapshot: {e}"),
             StoreError::Delta(msg) => write!(f, "delta: {msg}"),
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
         }
     }
 }

@@ -20,25 +20,37 @@
 //!   zero-copy column views, and `inspect` is a pure header walk. No
 //!   XML parsing, no `RegionIndex::build`, no per-node allocation — the
 //!   cold-start path the ROADMAP asks for. Legacy (version 1) files
-//!   keep loading through the same entry points.
+//!   keep loading through the same entry points. The current v4 files
+//!   add a CRC32 per section, verified lazily at materialization.
+//! * [`atomic`] / [`wal`] — the durability layer: every in-place
+//!   rewrite goes through write-temp → fsync → rename → fsync(dir), and
+//!   delta batches are journaled to an append-only, per-record
+//!   checksummed `<sidecar>.wal` *before* they become visible, so a
+//!   committed batch survives SIGKILL and recovery replays exactly the
+//!   committed prefix (torn tails are truncated; damaged committed
+//!   records are categorized [`StoreError::Corrupt`]).
 //!
 //! `standoff_xquery::Engine::mount_snapshot` / `mount_store` mounts the
 //! layers so that `doc("uri")`, `doc("uri#layer")` and
 //! `layer("uri", "name")` resolve to the stored layers, with all region
 //! indices pre-installed (shared, not copied).
 
+pub mod atomic;
 pub mod delta;
 pub mod error;
 pub mod layer;
 pub mod mount;
 pub mod snapshot;
+pub mod wal;
 
+pub use atomic::{atomic_replace, atomic_write};
 pub use delta::{compact, ops_to_text, parse_ops, DeltaAnnotation, DeltaOp, DeltaSet, LayerDelta};
 pub use error::StoreError;
 pub use layer::{Layer, LayerSet, BASE_LAYER};
-pub use mount::Snapshot;
+pub use mount::{Snapshot, VerifyReport};
 pub use snapshot::{
     inspect_snapshot, load_snapshot, load_snapshot_with_info, read_snapshot,
-    read_snapshot_with_info, save_snapshot, write_snapshot, write_snapshot_legacy, LayerInfo,
-    SectionInfo, SnapshotInfo,
+    read_snapshot_with_info, save_snapshot, write_snapshot, write_snapshot_legacy,
+    write_snapshot_unchecksummed, LayerInfo, SectionInfo, SnapshotInfo,
 };
+pub use wal::{checkpoint_marker, checkpointed_seq, wal_path, DeltaWal, WalRecord, WalScan};

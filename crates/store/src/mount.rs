@@ -1,13 +1,24 @@
-//! SOSN v3: the sectioned, offset-indexed columnar snapshot format that
-//! is *mounted*, not decoded.
+//! SOSN v3/v4: the sectioned, offset-indexed columnar snapshot format
+//! that is *mounted*, not decoded.
 //!
 //! Layout (little-endian):
 //!
 //! ```text
-//! 0   magic "SOSN" | u32 version = 3 | u32 section-count | u32 reserved
+//! 0   magic "SOSN" | u32 version = 3 or 4 | u32 section-count | u32 reserved
 //! 16  section table: section-count × (u32 tag | u32 layer | u64 offset | u64 length)
 //! …   payloads, each padded to 8-byte alignment, in table order
 //! ```
+//!
+//! Version 4 files additionally carry a CHECKSUMS section (tag 40, the
+//! last section): `(u32 tag | u32 layer | u32 crc32)` per *other*
+//! section, covering that section's exact payload bytes. Opening a v4
+//! file verifies only the tiny eagerly-decoded sections (META, layer
+//! headers) plus the checksum table's structure — the lazy-mount hot
+//! path never hashes bulk columns. A layer's column checksums are
+//! verified the first time the layer is materialized; a mismatch is a
+//! categorized [`StoreError::Corrupt`], never a panic. Unchecksummed
+//! v3 files remain fully readable (and writable, for comparison
+//! benchmarks) — they simply skip verification.
 //!
 //! Offsets are absolute file positions. Per-layer payloads are one
 //! section per *column* — the document's `kind`/`size`/`level`/`parent`/
@@ -41,8 +52,10 @@ use crate::error::StoreError;
 use crate::layer::{Layer, LayerSet, BASE_LAYER};
 use crate::snapshot::{
     bad, read_config, read_snapshot_legacy_with_info, write_config, LayerInfo, SectionInfo,
-    SnapshotInfo, MAGIC, VERSION_LEGACY, VERSION_V3,
+    SnapshotInfo, MAGIC, VERSION_LEGACY, VERSION_V3, VERSION_V4,
 };
+
+use standoff_core::crc::{crc32, Crc32};
 
 use standoff_core::obs::MetricsRegistry;
 
@@ -74,6 +87,10 @@ const SEC_RIDX_ENTRIES: u32 = 31;
 const SEC_RIDX_NODE_IDS: u32 = 32;
 const SEC_RIDX_NODE_OFF: u32 = 33;
 const SEC_RIDX_REGIONS: u32 = 34;
+/// v4 only: `(u32 tag | u32 layer | u32 crc32)` per other section.
+pub(crate) const SEC_CHECKSUMS: u32 = 40;
+/// Bytes per checksum-table entry.
+const CHECKSUM_ENTRY_BYTES: usize = 12;
 
 /// Stable human-readable name of a section tag — what
 /// `standoff-xq inspect` prints next to per-section byte sizes.
@@ -102,6 +119,7 @@ pub(crate) fn section_name(tag: u32) -> &'static str {
         SEC_RIDX_NODE_IDS => "ridx.node-ids",
         SEC_RIDX_NODE_OFF => "ridx.node-offsets",
         SEC_RIDX_REGIONS => "ridx.regions",
+        SEC_CHECKSUMS => "checksums",
         _ => "unknown",
     }
 }
@@ -152,10 +170,69 @@ impl Body<'_> {
             Body::Regions(s) => write_slice_le(s, w),
         }
     }
+
+    /// CRC32 of the exact bytes [`Body::write_to`] would emit, computed
+    /// by streaming the body into a hashing sink (no buffering).
+    fn crc(&self) -> u32 {
+        let mut sink = CrcSink(Crc32::new());
+        self.write_to(&mut sink).expect("hashing sink cannot fail");
+        sink.0.finish()
+    }
 }
 
-/// Serialize a layer set in the v3 columnar format.
+/// Recompute one section's CRC32 and compare against the recorded
+/// value. `layer_label` is a layer ordinal or name for the error text.
+fn check_crc(
+    buf: &[u8],
+    range: Range<usize>,
+    expected: u32,
+    section: &str,
+    layer_label: Option<&str>,
+) -> Result<(), StoreError> {
+    let computed = crc32(&buf[range]);
+    let registry = MetricsRegistry::global();
+    if computed != expected {
+        registry.add("store.verify.failures", 1);
+        let what = match layer_label {
+            Some(layer) => format!("section {section} (layer {layer})"),
+            None => format!("section {section}"),
+        };
+        return Err(StoreError::corrupt(
+            what,
+            format!("checksum mismatch: stored {expected:#010x}, computed {computed:#010x}"),
+        ));
+    }
+    registry.add("store.verify.sections_checked", 1);
+    Ok(())
+}
+
+/// `Write` adapter that hashes instead of storing.
+struct CrcSink(Crc32);
+
+impl Write for CrcSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.update(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serialize a layer set in the v3 columnar format *without* section
+/// checksums — kept for compatibility fixtures and for benchmarking the
+/// checksummed format against its baseline.
 pub fn write_snapshot_v3<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    write_columnar(set, w, false)
+}
+
+/// Serialize a layer set in the current (v4) columnar format: v3's
+/// layout plus a trailing CHECKSUMS section with a CRC32 per payload.
+pub fn write_snapshot_v4<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    write_columnar(set, w, true)
+}
+
+fn write_columnar<W: Write>(set: &LayerSet, w: &mut W, checksums: bool) -> io::Result<()> {
     let mut sections: Vec<(u32, u32, Body<'_>)> = Vec::new();
 
     let mut meta = Vec::new();
@@ -224,9 +301,21 @@ pub fn write_snapshot_v3<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> 
         sections.push((SEC_RIDX_REGIONS, k, Body::Regions(ridx.node_regions)));
     }
 
+    if checksums {
+        // One CRC32 per section, covering its exact payload bytes; the
+        // checksum section itself is last and not self-covered.
+        let mut payload = Vec::with_capacity(CHECKSUM_ENTRY_BYTES * sections.len());
+        for (tag, layer, body) in &sections {
+            payload.extend_from_slice(&tag.to_le_bytes());
+            payload.extend_from_slice(&layer.to_le_bytes());
+            payload.extend_from_slice(&body.crc().to_le_bytes());
+        }
+        sections.push((SEC_CHECKSUMS, 0, Body::Rendered(payload)));
+    }
+
     // Lay out: header, table, 8-aligned payloads.
     w.write_all(MAGIC)?;
-    write_u32(w, VERSION_V3)?;
+    write_u32(w, if checksums { VERSION_V4 } else { VERSION_V3 })?;
     write_u32(w, sections.len() as u32)?;
     write_u32(w, 0)?; // reserved (keeps the table 8-aligned)
     let mut cur = (HEADER_BYTES + TABLE_ENTRY_BYTES * sections.len()) as u64;
@@ -270,7 +359,34 @@ struct MountLayer {
     sections: HashMap<u32, Range<usize>>,
     /// Per-section byte breakdown for `info()` (v3; empty for legacy).
     section_info: Vec<SectionInfo>,
+    /// v4 only: `(tag, payload range, expected crc)` for every section
+    /// of this layer still unverified at open — checked (once) when the
+    /// layer is materialized.
+    checks: Vec<(u32, Range<usize>, u32)>,
     cell: OnceLock<Arc<Layer>>,
+}
+
+/// A pending checksum verification: section identity, payload range,
+/// recorded CRC32.
+#[derive(Clone, Debug)]
+struct SectionCheck {
+    tag: u32,
+    layer: u32,
+    range: Range<usize>,
+    crc: u32,
+}
+
+/// What [`Snapshot::verify`] / [`Snapshot::open_verified`] report back.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// On-disk format version.
+    pub version: u32,
+    /// Whether the file carries section checksums (v4).
+    pub checksummed: bool,
+    /// Layers materialized and revalidated.
+    pub layers: usize,
+    /// Section payloads whose CRC32 was recomputed and matched.
+    pub sections_checked: usize,
 }
 
 /// A mounted snapshot file: one shared buffer, a parsed section table,
@@ -291,17 +407,40 @@ pub struct Snapshot {
     uri: String,
     payload_bytes: u64,
     layers: Vec<MountLayer>,
+    /// v4 only: every section's pending/recorded checksum, for
+    /// [`Snapshot::verify`]. Empty for v3/legacy files.
+    checks: Vec<SectionCheck>,
 }
 
 impl Snapshot {
     /// Mount a snapshot file.
     pub fn open(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
         let bytes = std::fs::read(path)?;
-        Ok(Snapshot::from_bytes(bytes)?)
+        Snapshot::mount_bytes(bytes)
+    }
+
+    /// Mount a snapshot file and eagerly verify everything — every
+    /// section checksum, every layer materialized and revalidated —
+    /// before returning. The `verify_all` open mode behind
+    /// `standoff-xq verify`.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<(Snapshot, VerifyReport), StoreError> {
+        let snapshot = Snapshot::open(path)?;
+        let report = snapshot.verify()?;
+        Ok((snapshot, report))
     }
 
     /// Mount a snapshot from in-memory bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> io::Result<Snapshot> {
+        Snapshot::mount_bytes(bytes).map_err(|e| match e {
+            StoreError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
+    }
+
+    /// [`Snapshot::from_bytes`] with categorized errors — corruption
+    /// surfaces as [`StoreError::Corrupt`] rather than flattened into
+    /// `io::Error`.
+    pub fn mount_bytes(bytes: Vec<u8>) -> Result<Snapshot, StoreError> {
         // Mount timings go to the process-global registry: the store
         // crate has no engine to own a registry, and mounts are rare
         // enough that the global map lookup is immaterial.
@@ -316,19 +455,19 @@ impl Snapshot {
         Ok(snapshot)
     }
 
-    fn from_bytes_inner(bytes: Vec<u8>) -> io::Result<Snapshot> {
+    fn from_bytes_inner(bytes: Vec<u8>) -> Result<Snapshot, StoreError> {
         let buf: SharedBytes = Arc::new(bytes);
         if buf.len() < 8 {
-            return Err(bad("truncated header"));
+            return Err(bad("truncated header").into());
         }
         if &buf[0..4] != MAGIC {
-            return Err(bad("not a standoff snapshot (bad magic)"));
+            return Err(bad("not a standoff snapshot (bad magic)").into());
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
         match version {
-            VERSION_LEGACY => Snapshot::from_legacy(&buf),
-            VERSION_V3 => Snapshot::from_v3(buf),
-            _ => Err(bad("unsupported snapshot version")),
+            VERSION_LEGACY => Ok(Snapshot::from_legacy(&buf)?),
+            VERSION_V3 | VERSION_V4 => Snapshot::from_columnar(buf, version),
+            _ => Err(bad("unsupported snapshot version").into()),
         }
     }
 
@@ -350,6 +489,7 @@ impl Snapshot {
                     bytes: skim.bytes,
                     sections: HashMap::new(),
                     section_info: Vec::new(),
+                    checks: Vec::new(),
                     cell: OnceLock::new(),
                 };
                 let _ = ml.cell.set(Arc::new(layer));
@@ -362,19 +502,23 @@ impl Snapshot {
             uri,
             payload_bytes: info.payload_bytes,
             layers,
+            checks: Vec::new(),
         })
     }
 
-    /// v3 files: parse and validate the section table, decode only the
-    /// META and LAYER_HDR payloads.
-    fn from_v3(buf: SharedBytes) -> io::Result<Snapshot> {
+    /// v3/v4 files: parse and validate the section table, decode only
+    /// the META and LAYER_HDR payloads. For v4, parse the checksum
+    /// table, verify the eagerly-decoded sections now, and stash the
+    /// rest for lazy verification at materialization — bulk columns are
+    /// never hashed on this path.
+    fn from_columnar(buf: SharedBytes, version: u32) -> Result<Snapshot, StoreError> {
         if buf.len() < HEADER_BYTES {
-            return Err(bad("truncated header"));
+            return Err(bad("truncated header").into());
         }
         let count = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
         let table_end = HEADER_BYTES as u64 + TABLE_ENTRY_BYTES as u64 * count as u64;
         if table_end > buf.len() as u64 {
-            return Err(bad("truncated section table"));
+            return Err(bad("truncated section table").into());
         }
         // Parse the table; bounds-check every section.
         let mut table: Vec<(u32, u32, u64, u64)> = Vec::with_capacity(count.min(1 << 16));
@@ -389,7 +533,7 @@ impl Snapshot {
                 .checked_add(len)
                 .ok_or_else(|| bad("section length overflows"))?;
             if off < table_end || end > buf.len() as u64 {
-                return Err(bad("section outside the file"));
+                return Err(bad("section outside the file").into());
             }
             table.push((tag, layer, off, len));
         }
@@ -400,31 +544,59 @@ impl Snapshot {
         spans.sort_unstable();
         for w in spans.windows(2) {
             if w[0].0 + w[0].1 > w[1].0 {
-                return Err(bad("overlapping sections"));
+                return Err(bad("overlapping sections").into());
             }
         }
         let payload_bytes: u64 = table.iter().map(|&(_, _, _, l)| l).sum();
+
+        // v4: the checksum table must exist, parse, and cover exactly
+        // the other sections — structural failures here are corruption,
+        // not format drift.
+        let checks = if version >= VERSION_V4 {
+            Snapshot::parse_checksums(&buf, &table)?
+        } else {
+            Vec::new()
+        };
+        let expected_crc = |tag: u32, layer: u32| -> Option<u32> {
+            checks
+                .iter()
+                .find(|c| c.tag == tag && c.layer == layer)
+                .map(|c| c.crc)
+        };
 
         let section = |tag: u32, layer: u32| -> Option<Range<usize>> {
             table.iter().find_map(|&(t, l, off, len)| {
                 (t == tag && l == layer).then_some(off as usize..(off + len) as usize)
             })
         };
-        // META.
+        // META (verified now for v4 — it is decoded now).
         let meta = section(SEC_META, 0).ok_or_else(|| bad("missing META section"))?;
         if table.iter().filter(|&&(t, _, _, _)| t == SEC_META).count() > 1 {
-            return Err(bad("duplicate META section"));
+            return Err(bad("duplicate META section").into());
+        }
+        if let Some(crc) = expected_crc(SEC_META, 0) {
+            check_crc(&buf, meta.clone(), crc, "meta", None)?;
         }
         let meta_bytes = &buf[meta];
         let mut r = meta_bytes;
         let uri = read_string(&mut r)?;
         let layer_count = read_u32(&mut r)? as usize;
 
-        // One LAYER_HDR per layer ordinal, decoded now (tiny).
+        // One LAYER_HDR per layer ordinal, decoded (and, for v4,
+        // verified) now — tiny.
         let mut layers = Vec::with_capacity(layer_count.min(1 << 16));
         for k in 0..layer_count as u32 {
             let hdr = section(SEC_LAYER_HDR, k)
                 .ok_or_else(|| bad(&format!("missing header for layer {k}")))?;
+            if let Some(crc) = expected_crc(SEC_LAYER_HDR, k) {
+                check_crc(
+                    &buf,
+                    hdr.clone(),
+                    crc,
+                    "layer.header",
+                    Some(&format!("{k}")),
+                )?;
+            }
             let mut r = &buf[hdr];
             let name = read_string(&mut r)?;
             let config = read_config(&mut r)?;
@@ -434,15 +606,22 @@ impl Snapshot {
             let entries = read_u64(&mut r)?;
             let mut sections = HashMap::new();
             let mut section_info = Vec::new();
+            let mut lazy_checks = Vec::new();
             let mut bytes = 0u64;
             for &(tag, layer, off, len) in &table {
-                if layer == k && tag != SEC_META {
-                    if tag != SEC_LAYER_HDR
-                        && sections
-                            .insert(tag, off as usize..(off + len) as usize)
-                            .is_some()
-                    {
-                        return Err(bad(&format!("duplicate section {tag} for layer {k}")));
+                if layer == k && tag != SEC_META && tag != SEC_CHECKSUMS {
+                    let range = off as usize..(off + len) as usize;
+                    if tag != SEC_LAYER_HDR {
+                        if sections.insert(tag, range.clone()).is_some() {
+                            return Err(
+                                bad(&format!("duplicate section {tag} for layer {k}")).into()
+                            );
+                        }
+                        // LAYER_HDR was verified above; everything else
+                        // is deferred to materialization.
+                        if let Some(crc) = expected_crc(tag, k) {
+                            lazy_checks.push((tag, range, crc));
+                        }
                     }
                     section_info.push(SectionInfo {
                         tag,
@@ -463,18 +642,101 @@ impl Snapshot {
                 bytes,
                 sections,
                 section_info,
+                checks: lazy_checks,
                 cell: OnceLock::new(),
             });
         }
         let snapshot = Snapshot {
             buf,
-            version: VERSION_V3,
+            version,
             uri,
             payload_bytes,
             layers,
+            checks,
         };
         snapshot.validate_names()?;
         Ok(snapshot)
+    }
+
+    /// Parse and structurally validate a v4 checksum section against
+    /// the section table: one entry per non-checksum section, no
+    /// duplicates, no strays.
+    fn parse_checksums(
+        buf: &SharedBytes,
+        table: &[(u32, u32, u64, u64)],
+    ) -> Result<Vec<SectionCheck>, StoreError> {
+        let mut found: Option<Range<usize>> = None;
+        for &(tag, layer, off, len) in table {
+            if tag == SEC_CHECKSUMS {
+                if found.is_some() || layer != 0 {
+                    return Err(StoreError::corrupt(
+                        "section checksums",
+                        "duplicate or mis-addressed checksum section",
+                    ));
+                }
+                found = Some(off as usize..(off + len) as usize);
+            }
+        }
+        let range = found.ok_or_else(|| {
+            StoreError::corrupt("section checksums", "v4 file has no checksum section")
+        })?;
+        let payload = &buf[range];
+        if !payload.len().is_multiple_of(CHECKSUM_ENTRY_BYTES) {
+            return Err(StoreError::corrupt(
+                "section checksums",
+                "checksum table length is not a multiple of the entry size",
+            ));
+        }
+        let mut checks = Vec::with_capacity(payload.len() / CHECKSUM_ENTRY_BYTES);
+        for entry in payload.chunks_exact(CHECKSUM_ENTRY_BYTES) {
+            let tag = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let layer = u32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(entry[8..12].try_into().expect("4 bytes"));
+            let covered = table
+                .iter()
+                .find(|&&(t, l, _, _)| t == tag && l == layer && t != SEC_CHECKSUMS)
+                .ok_or_else(|| {
+                    StoreError::corrupt(
+                        "section checksums",
+                        format!(
+                            "checksum entry for nonexistent section (tag {tag}, layer {layer})"
+                        ),
+                    )
+                })?;
+            if checks
+                .iter()
+                .any(|c: &SectionCheck| c.tag == tag && c.layer == layer)
+            {
+                return Err(StoreError::corrupt(
+                    "section checksums",
+                    format!("duplicate checksum entry (tag {tag}, layer {layer})"),
+                ));
+            }
+            let (_, _, off, len) = *covered;
+            checks.push(SectionCheck {
+                tag,
+                layer,
+                range: off as usize..(off + len) as usize,
+                crc,
+            });
+        }
+        // Every non-checksum section must be covered, or corruption
+        // could hide in an uncovered section.
+        let covered_count = table
+            .iter()
+            .filter(|&&(t, _, _, _)| t != SEC_CHECKSUMS)
+            .count();
+        if checks.len() != covered_count {
+            return Err(StoreError::corrupt(
+                "section checksums",
+                format!(
+                    "checksum table covers {} of {} sections",
+                    checks.len(),
+                    covered_count
+                ),
+            ));
+        }
+        Ok(checks)
     }
 
     fn validate_names(&self) -> io::Result<()> {
@@ -497,9 +759,52 @@ impl Snapshot {
         &self.uri
     }
 
-    /// On-disk format version (1 = legacy sectioned, 3 = columnar).
+    /// On-disk format version (1 = legacy sectioned, 3 = columnar,
+    /// 4 = columnar + section checksums).
     pub fn version(&self) -> u32 {
         self.version
+    }
+
+    /// Whether this file carries section checksums (v4).
+    pub fn checksummed(&self) -> bool {
+        !self.checks.is_empty()
+    }
+
+    /// Deep integrity check: recompute every recorded section checksum
+    /// (v4), then materialize every layer, which re-runs the full
+    /// structural revalidation the lazy mount path applies. Corruption
+    /// is a categorized [`StoreError::Corrupt`]; v3/legacy files verify
+    /// structure only (they carry no checksums).
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut sections_checked = 0;
+        for c in &self.checks {
+            let layer_name = usize::try_from(c.layer)
+                .ok()
+                .and_then(|k| self.layers.get(k))
+                .map(|l| l.name.as_str());
+            let label = match (c.tag, layer_name) {
+                (SEC_META, _) => None,
+                (_, Some(name)) => Some(name.to_string()),
+                (_, None) => Some(c.layer.to_string()),
+            };
+            check_crc(
+                &self.buf,
+                c.range.clone(),
+                c.crc,
+                section_name(c.tag),
+                label.as_deref(),
+            )?;
+            sections_checked += 1;
+        }
+        for k in 0..self.layers.len() {
+            self.layer_at(k)?;
+        }
+        Ok(VerifyReport {
+            version: self.version,
+            checksummed: !self.checks.is_empty(),
+            layers: self.layers.len(),
+            sections_checked,
+        })
     }
 
     /// Number of layers (including the base).
@@ -587,6 +892,19 @@ impl Snapshot {
 
     /// Decode + validate one layer from its sections.
     fn materialize(&self, slot: &MountLayer) -> Result<Layer, StoreError> {
+        // v4: the columns are about to become live views — this is the
+        // moment their checksums are verified (once; the materialized
+        // layer is cached). A flipped payload byte stops here as
+        // `StoreError::Corrupt`, before any view is built.
+        for (tag, range, expected) in &slot.checks {
+            check_crc(
+                &self.buf,
+                range.clone(),
+                *expected,
+                section_name(*tag),
+                Some(&slot.name),
+            )?;
+        }
         let sect = |tag: u32| -> io::Result<Range<usize>> {
             slot.sections
                 .get(&tag)

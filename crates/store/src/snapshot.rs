@@ -1,10 +1,14 @@
 //! The versioned binary snapshot format.
 //!
 //! A snapshot persists a whole [`LayerSet`] — every layer's shredded
-//! document, element-name table and prebuilt region index. Two on-disk
-//! versions exist:
+//! document, element-name table and prebuilt region index. Three
+//! on-disk versions exist:
 //!
-//! * **Version 3** (current, written by [`write_snapshot`]): the
+//! * **Version 4** (current, written by [`write_snapshot`]): the
+//!   columnar layout of version 3 plus a trailing checksum section — a
+//!   CRC32 per section payload, verified lazily at layer
+//!   materialization (see [`crate::mount`]).
+//! * **Version 3** (written by [`write_snapshot_unchecksummed`]): the
 //!   columnar, offset-indexed format of [`crate::mount`]. Files are
 //!   *mounted* — one shared buffer, zero-copy column views, lazily
 //!   materialized layers — rather than decoded.
@@ -45,7 +49,9 @@ use standoff_xml::wire::{
 
 use crate::error::StoreError;
 use crate::layer::{Layer, LayerSet};
-use crate::mount::{Snapshot, HEADER_BYTES, SEC_LAYER_HDR, SEC_META, TABLE_ENTRY_BYTES};
+use crate::mount::{
+    Snapshot, HEADER_BYTES, SEC_CHECKSUMS, SEC_LAYER_HDR, SEC_META, TABLE_ENTRY_BYTES,
+};
 
 pub(crate) const MAGIC: &[u8; 4] = b"SOSN";
 /// The legacy streaming format.
@@ -53,6 +59,8 @@ pub(crate) const VERSION_LEGACY: u32 = 1;
 /// The columnar mounted format. (2 is skipped: snapshot generations
 /// align with the embedded document codec's, whose current version is 2.)
 pub(crate) const VERSION_V3: u32 = 3;
+/// The columnar format plus per-section CRC32 checksums.
+pub(crate) const VERSION_V4: u32 = 4;
 
 const SECTION_META: u32 = 1;
 const SECTION_LAYER: u32 = 2;
@@ -113,8 +121,16 @@ pub(crate) fn read_config<R: Read>(r: &mut R) -> io::Result<StandoffConfig> {
 
 // ---- write ----
 
-/// Serialize a layer set into `w` in the current (v3 columnar) format.
+/// Serialize a layer set into `w` in the current (v4, columnar +
+/// checksummed) format.
 pub fn write_snapshot<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
+    crate::mount::write_snapshot_v4(set, w)
+}
+
+/// Serialize a layer set into `w` in the v3 columnar format, without
+/// section checksums — for compatibility fixtures and for benchmarking
+/// checksummed mounts against their baseline.
+pub fn write_snapshot_unchecksummed<W: Write>(set: &LayerSet, w: &mut W) -> io::Result<()> {
     crate::mount::write_snapshot_v3(set, w)
 }
 
@@ -148,13 +164,12 @@ fn write_section<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()
     w.write_all(payload)
 }
 
-/// Serialize a layer set to a file (v3 format).
+/// Serialize a layer set to a file (current format), atomically: the
+/// bytes are written to a temp file in the same directory, fsynced,
+/// renamed over `path`, and the directory is fsynced. A crash at any
+/// point leaves either the previous file or the complete new one.
 pub fn save_snapshot(set: &LayerSet, path: impl AsRef<Path>) -> Result<(), StoreError> {
-    let file = std::fs::File::create(path)?;
-    let mut w = io::BufWriter::new(file);
-    write_snapshot(set, &mut w)?;
-    use std::io::Write as _;
-    w.flush()?;
+    crate::atomic::atomic_replace(path.as_ref(), |w| write_snapshot(set, w))?;
     Ok(())
 }
 
@@ -352,7 +367,8 @@ pub struct LayerInfo {
 /// name prefix and seeks over the rest.
 #[derive(Clone, Debug)]
 pub struct SnapshotInfo {
-    /// On-disk format version (1 = legacy, 3 = columnar).
+    /// On-disk format version (1 = legacy, 3 = columnar,
+    /// 4 = columnar + checksums).
     pub version: u32,
     pub uri: String,
     pub layers: Vec<LayerInfo>,
@@ -375,7 +391,7 @@ pub fn inspect_snapshot<R: Read + Seek>(r: &mut R) -> io::Result<SnapshotInfo> {
     }
     match read_u32(r)? {
         VERSION_LEGACY => inspect_legacy(r, end),
-        VERSION_V3 => inspect_v3(r, end),
+        v @ (VERSION_V3 | VERSION_V4) => inspect_columnar(r, end, v),
         _ => Err(bad("unsupported snapshot version")),
     }
 }
@@ -424,7 +440,7 @@ fn inspect_legacy<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInf
     })
 }
 
-fn inspect_v3<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
+fn inspect_columnar<R: Read + Seek>(r: &mut R, end: u64, version: u32) -> io::Result<SnapshotInfo> {
     let count = read_u32(r)? as usize;
     let _reserved = read_u32(r)?;
     let table_end = (HEADER_BYTES + TABLE_ENTRY_BYTES * count) as u64;
@@ -475,7 +491,7 @@ fn inspect_v3<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
         let annotations = read_u64(&mut p)?;
         let mut sections: Vec<SectionInfo> = table
             .iter()
-            .filter(|&&(t, l, _, _)| l == k && t != SEC_META)
+            .filter(|&&(t, l, _, _)| l == k && t != SEC_META && t != SEC_CHECKSUMS)
             .map(|&(tag, _, _, len)| SectionInfo {
                 tag,
                 name: crate::mount::section_name(tag),
@@ -493,7 +509,7 @@ fn inspect_v3<R: Read + Seek>(r: &mut R, end: u64) -> io::Result<SnapshotInfo> {
         });
     }
     Ok(SnapshotInfo {
-        version: VERSION_V3,
+        version,
         uri,
         layers,
         payload_bytes,
@@ -568,6 +584,29 @@ mod tests {
         assert_eq!(buf, buf2);
     }
 
+    /// Unchecksummed v3 files remain first-class: the v4 reader must
+    /// keep mounting them (no verification, same contents).
+    #[test]
+    fn unchecksummed_v3_round_trip_still_reads() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_snapshot_unchecksummed(&set, &mut buf).unwrap();
+        let snapshot = Snapshot::from_bytes(buf.clone()).unwrap();
+        assert_eq!(snapshot.version(), VERSION_V3);
+        assert!(!snapshot.checksummed());
+        let loaded = snapshot.to_layer_set().unwrap();
+        assert_eq!(loaded.uri(), "corpus.xml");
+        assert_eq!(loaded.layer("tokens").unwrap().annotation_count(), 3);
+        // And the current writer really is a superset: same bytes up
+        // to the version field, table and checksum section aside.
+        let mut v4 = Vec::new();
+        write_snapshot(&set, &mut v4).unwrap();
+        let mounted = Snapshot::from_bytes(v4).unwrap();
+        assert_eq!(mounted.version(), VERSION_V4);
+        assert!(mounted.checksummed());
+        assert!(mounted.verify().is_ok());
+    }
+
     /// The post-filter elision in the query optimizer assumes every
     /// node a mounted region index annotates is an element; a snapshot
     /// whose index points at any other node kind must be rejected at
@@ -606,7 +645,8 @@ mod tests {
                 write_snapshot_legacy as fn(&LayerSet, &mut Vec<u8>) -> io::Result<()>,
                 VERSION_LEGACY,
             ),
-            (write_snapshot, VERSION_V3),
+            (write_snapshot_unchecksummed, VERSION_V3),
+            (write_snapshot, VERSION_V4),
         ] {
             let mut buf = Vec::new();
             write(&set, &mut buf).unwrap();
@@ -621,7 +661,7 @@ mod tests {
                 ["base", "tokens"]
             );
             assert!(info.payload_bytes > 0);
-            if version == VERSION_V3 {
+            if version >= VERSION_V3 {
                 // v3 headers carry counts — no payload decode needed.
                 assert_eq!(info.layers[1].annotations, Some(3));
                 assert_eq!(

@@ -1,9 +1,12 @@
-//! SOSN v3 mount semantics: lazy layer materialization, zero-copy
+//! SOSN columnar mount semantics: lazy layer materialization, zero-copy
 //! column views, and a corrupted-snapshot sweep (hard errors, no
-//! panics, no silent misreads).
+//! panics, no silent misreads). The current writer emits v4 (the v3
+//! layout plus a per-section CRC32 table), so the sweep here also
+//! proves the detection guarantee: a flipped payload byte cannot
+//! survive materialization.
 
 use standoff_core::StandoffConfig;
-use standoff_store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
+use standoff_store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot, StoreError};
 use standoff_xml::parse_document;
 
 fn sample_set() -> LayerSet {
@@ -62,7 +65,7 @@ fn assert_rejected(bytes: Vec<u8>, what: &str) {
 #[test]
 fn open_is_lazy_and_layer_access_materializes_one() {
     let snapshot = Snapshot::from_bytes(v3_bytes()).unwrap();
-    assert_eq!(snapshot.version(), 3);
+    assert_eq!(snapshot.version(), 4);
     assert_eq!(snapshot.uri(), "corpus.xml");
     assert_eq!(
         snapshot.layer_names().collect::<Vec<_>>(),
@@ -230,19 +233,78 @@ fn out_of_range_string_slots_rejected() {
 }
 
 #[test]
-fn single_byte_corruption_never_panics() {
+fn single_byte_corruption_never_panics_and_is_always_detected() {
     let buf = v3_bytes();
-    // Every single-byte flip either fails cleanly or yields a snapshot
-    // whose layers still materialize/validate — never a panic. (Flips in
-    // string payloads may legitimately survive; structure may not lie.)
+    // Classify every byte: semantic (header fields, table entries,
+    // section payloads — a flip there MUST be detected) vs inert (the
+    // reserved header word and alignment padding — a flip there must at
+    // worst be harmless; the checksums do not cover gap bytes).
+    let mut semantic = vec![false; buf.len()];
+    for b in semantic.iter_mut().take(12) {
+        *b = true; // magic, version, section count
+    }
+    let table = table_of(&buf);
+    for &(_, _, at, off, len) in &table {
+        for b in semantic.iter_mut().skip(at).take(24) {
+            *b = true; // the table entry itself
+        }
+        if len == 0 {
+            // The offset of an empty section is meaningless (its CRC is
+            // the empty CRC wherever it points): a flip there that
+            // stays in-bounds is undetectable and harmless.
+            for b in semantic.iter_mut().skip(at + 8).take(8) {
+                *b = false;
+            }
+        }
+        for b in semantic.iter_mut().skip(off as usize).take(len as usize) {
+            *b = true; // the section payload
+        }
+    }
     for k in 0..buf.len() {
         let mut mutated = buf.clone();
         mutated[k] ^= 0xff;
-        if let Ok(snapshot) = Snapshot::from_bytes(mutated) {
-            for layer in 0..snapshot.len() {
-                let _ = snapshot.layer_at(layer);
+        // Detection: open fails, or the deep verify (checksums + full
+        // materialization) fails. Never a panic either way.
+        let detected = match Snapshot::mount_bytes(mutated) {
+            Err(_) => true,
+            Ok(snapshot) => {
+                let failed = snapshot.verify().is_err();
+                let _ = snapshot.info();
+                failed
             }
-            let _ = snapshot.info();
+        };
+        if semantic[k] {
+            assert!(detected, "flip of semantic byte {k} must be detected");
         }
+    }
+}
+
+#[test]
+fn payload_flip_is_corrupt_at_materialization_open_stays_lazy() {
+    let buf = v3_bytes();
+    // Flip one byte inside the tokens layer's kind column: a bulk
+    // payload the open path must not hash.
+    const SEC_DOC_KIND: u32 = 11;
+    let (_, _, _, off, len) = *table_of(&buf)
+        .iter()
+        .find(|&&(tag, layer, ..)| tag == SEC_DOC_KIND && layer == 1)
+        .unwrap();
+    assert!(len > 0);
+    let mut mutated = buf.clone();
+    mutated[off as usize] ^= 0xff;
+    // Opening succeeds — checksums of untouched-at-open sections are
+    // deferred — and nothing is materialized.
+    let snapshot = Snapshot::mount_bytes(mutated).expect("lazy open must not hash bulk columns");
+    assert!(!snapshot.is_materialized(1));
+    // Sibling layers are unaffected.
+    snapshot.layer("base").expect("clean sibling materializes");
+    // The damaged layer is a categorized corruption error, not a panic.
+    match snapshot.layer("tokens") {
+        Err(StoreError::Corrupt { section, detail }) => {
+            assert!(section.contains("doc.kind"), "section: {section}");
+            assert!(detail.contains("checksum mismatch"), "detail: {detail}");
+        }
+        Err(other) => panic!("expected StoreError::Corrupt, got {other}"),
+        Ok(_) => panic!("corrupted layer must not materialize"),
     }
 }

@@ -21,8 +21,17 @@
 //! indexes are `Arc`-shared with the layer set, so a remount re-plumbs
 //! pointers and rebuilds only the per-layer delta documents (usually a
 //! few dozen annotations).
+//!
+//! With a [`DeltaWal`] attached ([`WritableEngine::set_wal`]), `apply`
+//! journals the validated batch to the write-ahead log — fsync'd —
+//! *before* the swap makes it visible, so a batch that `apply` reported
+//! as committed survives SIGKILL: mount-time recovery replays the WAL
+//! on top of the sidecar checkpoint. [`WritableEngine::truncate_wal`]
+//! resets the journal once the pending delta has been checkpointed
+//! durably elsewhere (sidecar rewrite or compacted snapshot).
 
-use standoff_store::{DeltaOp, DeltaSet, LayerSet};
+use standoff_core::fault;
+use standoff_store::{ops_to_text, DeltaOp, DeltaSet, DeltaWal, LayerSet};
 
 use crate::engine::{Engine, EngineOptions, Session, SharedEngine};
 use crate::error::QueryError;
@@ -33,6 +42,7 @@ pub struct WritableEngine {
     delta: DeltaSet,
     options: EngineOptions,
     shared: SharedEngine,
+    wal: Option<DeltaWal>,
 }
 
 impl WritableEngine {
@@ -45,6 +55,7 @@ impl WritableEngine {
             delta,
             options,
             shared,
+            wal: None,
         })
     }
 
@@ -61,7 +72,35 @@ impl WritableEngine {
             delta,
             options,
             shared,
+            wal: None,
         })
+    }
+
+    /// Attach (or detach, with `None`) a delta write-ahead log. Returns
+    /// the previously attached handle. Once attached, every successful
+    /// [`WritableEngine::apply`] journals its batch durably before the
+    /// swap; the caller is responsible for having replayed the WAL into
+    /// the mounted delta first (see `DeltaWal::open`).
+    pub fn set_wal(&mut self, wal: Option<DeltaWal>) -> Option<DeltaWal> {
+        std::mem::replace(&mut self.wal, wal)
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&DeltaWal> {
+        self.wal.as_ref()
+    }
+
+    /// Reset the attached WAL to its empty (header-only) state. Call
+    /// only after the pending delta has been made durable elsewhere —
+    /// an atomic sidecar rewrite or a compacted snapshot — otherwise
+    /// committed batches are lost on the next crash. A no-op without an
+    /// attached WAL.
+    pub fn truncate_wal(&mut self) -> Result<(), QueryError> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.truncate()
+                .map_err(|e| QueryError::stat(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The shared read handle over the current corpus view. Clone it
@@ -99,14 +138,25 @@ impl WritableEngine {
     /// view — and the pending delta — untouched. On success the corpus
     /// remounts under a fresh generation and `apply` returns the number
     /// of ops recorded.
+    ///
+    /// With a WAL attached, the validated batch is appended and fsync'd
+    /// *before* the swap: if `apply` returns `Ok`, the batch survives a
+    /// crash; if the process dies between journal and swap, recovery
+    /// replays the batch and converges on the same state.
     pub fn apply(&mut self, ops: impl IntoIterator<Item = DeltaOp>) -> Result<usize, QueryError> {
+        let batch: Vec<DeltaOp> = ops.into_iter().collect();
         let mut next = self.delta.clone();
         let n = next
-            .apply_all(ops, &self.set)
+            .apply_all(batch.iter().cloned(), &self.set)
             .map_err(|e| QueryError::stat(e.to_string()))?;
         if n == 0 {
             return Ok(0);
         }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&ops_to_text(&batch))
+                .map_err(|e| QueryError::stat(e.to_string()))?;
+        }
+        fault::point("engine.apply.before_swap");
         self.shared = remount(&self.set, &next, &self.options)?;
         self.delta = next;
         Ok(n)
@@ -114,8 +164,12 @@ impl WritableEngine {
 
     /// Fold the pending delta into a fresh, delta-free layer set and
     /// remount it (fresh generation). Returns the compacted set —
-    /// typically handed to `standoff_store::write_snapshot_v3` next. A
+    /// typically handed to `standoff_store::save_snapshot` next. A
     /// no-op returning the current set when nothing is pending.
+    ///
+    /// Compaction does **not** touch an attached WAL: truncate it with
+    /// [`WritableEngine::truncate_wal`] once the compacted state has
+    /// been written out durably.
     pub fn compact(&mut self) -> Result<LayerSet, QueryError> {
         if self.delta.is_empty() {
             return Ok(self.set.clone());
@@ -258,5 +312,47 @@ mod tests {
         // Compacting again is a no-op.
         let again = w.compact().unwrap();
         assert_eq!(again.layer("tokens").unwrap().annotation_count(), 3);
+    }
+
+    #[test]
+    fn wal_attached_apply_journals_before_swap_and_replays() {
+        let dir = std::env::temp_dir().join(format!("standoff-overlay-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_file = dir.join("delta.ops.wal");
+
+        let mut w = writable();
+        let (wal, replayed) = DeltaWal::open(&wal_file).unwrap();
+        assert!(replayed.is_empty());
+        w.set_wal(Some(wal));
+        w.apply([DeltaOp::Insert {
+            layer: "tokens".into(),
+            name: "w".into(),
+            start: 5,
+            end: 5,
+            attrs: vec![],
+        }])
+        .unwrap();
+        assert_eq!(w.session().run(ALL_W).unwrap().as_xml(), "4");
+        drop(w);
+
+        // A fresh process (simulated: fresh mount) replays the journal
+        // and converges on the committed state.
+        let (wal, replayed) = DeltaWal::open(&wal_file).unwrap();
+        assert_eq!(replayed.len(), 1);
+        let mut w2 = writable();
+        for record in &replayed {
+            let ops = standoff_store::parse_ops(&record.ops).unwrap();
+            w2.apply(ops).unwrap();
+        }
+        w2.set_wal(Some(wal));
+        assert_eq!(w2.session().run(ALL_W).unwrap().as_xml(), "4");
+
+        // Checkpoint elsewhere, then truncate: the journal is empty on
+        // the next open.
+        w2.truncate_wal().unwrap();
+        let (_, replayed) = DeltaWal::open(&wal_file).unwrap();
+        assert!(replayed.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

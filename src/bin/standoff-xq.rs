@@ -67,7 +67,8 @@ use std::time::{Duration, Instant};
 use standoff::core::{StandoffConfig, StandoffStrategy};
 use standoff::serve::{self, ServeMount, ServeOptions, Server};
 use standoff::store::{
-    ops_to_text, parse_ops, save_snapshot, write_snapshot_legacy, DeltaSet, LayerSet, Snapshot,
+    atomic_write, ops_to_text, parse_ops, save_snapshot, wal_path, write_snapshot_legacy, DeltaSet,
+    DeltaWal, LayerSet, Snapshot,
 };
 use standoff::xquery::{Engine, EngineOptions, Executor, Governance};
 
@@ -75,8 +76,9 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      \x20           [--standoff-start N] [--standoff-end N] [--standoff-region N] [--lenient]\n\
                      \x20           [--legacy-format]\n\
                      standoff-xq inspect <snapshot> [--sections]\n\
-                     standoff-xq annotate --store SNAPSHOT --delta SIDECAR <ops.txt | ->\n\
+                     standoff-xq annotate --store SNAPSHOT --delta SIDECAR [--journal] <ops.txt | ->\n\
                      standoff-xq compact --store SNAPSHOT [--delta SIDECAR]... -o <snapshot>\n\
+                     standoff-xq verify <snapshot> [--delta SIDECAR]... [--json]\n\
                      standoff-xq query [--store SNAPSHOT [--delta SIDECAR]...]... [--load URI=FILE]... [--load-bin FILE]\n\
                      \x20           (--query Q | --query-file F)\n\
                      \x20           [--strategy naive|naive-candidates|basic|loop-lifted|auto]\n\
@@ -91,18 +93,23 @@ const USAGE: &str = "standoff-xq index <base.xml> -o <snapshot> [--layer NAME=FI
                      standoff-xq serve [--listen ADDR] [--store SNAPSHOT]... [--strategy ...] [--no-pushdown]\n\
                      \x20           [--threads N] [--deadline-ms N] [--max-results N] [--max-scratch-mb N]\n\
                      \x20           [--queue-cap N] [--read-timeout-ms N]\n\
-                     standoff-xq call ADDR VERB [ARG...]   (verbs: ping, query Q, stats, mount PATH,\n\
-                     \x20           unmount URI, mounts, shutdown)\n\
+                     standoff-xq call ADDR VERB [ARG...] [--retries N]   (verbs: ping, query Q, stats,\n\
+                     \x20           mount PATH, unmount URI, mounts, shutdown)\n\
                      governance (query/batch too): --deadline-ms N --max-results N --max-scratch-mb N\n\
-                     exit codes: 0 success, 1 query failure, 2 usage/corpus error";
+                     exit codes: 0 success, 1 query failure (verify: corruption), 2 usage/corpus error";
 
 fn main() -> ExitCode {
+    // Crash-recovery harnesses arm fault points through the
+    // environment (STANDOFF_FAULT=point=abort,...); a no-op unless the
+    // binary was built with the `fault-inject` feature.
+    standoff::core::fault::arm_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("index") => cmd_index(&argv[1..]),
         Some("inspect") => cmd_inspect(&argv[1..]),
         Some("annotate") => cmd_annotate(&argv[1..]),
         Some("compact") => cmd_compact(&argv[1..]),
+        Some("verify") => cmd_verify(&argv[1..]),
         Some("query") => cmd_query(&argv[1..]),
         Some("explain") => cmd_explain(&argv[1..]),
         Some("batch") => cmd_batch(&argv[1..]),
@@ -190,12 +197,13 @@ fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("{path}: {e}"))?;
     }
     if legacy {
-        // Version-1 streaming format (compat fixtures, old readers).
-        let file = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
-        let mut w = std::io::BufWriter::new(file);
-        write_snapshot_legacy(&set, &mut w).map_err(|e| format!("{out}: {e}"))?;
-        use std::io::Write as _;
-        w.flush().map_err(|e| format!("{out}: {e}"))?;
+        // Version-1 streaming format (compat fixtures, old readers) —
+        // written through the same atomic temp-fsync-rename path as the
+        // current format, so a crash never leaves a torn snapshot.
+        standoff::store::atomic_replace(std::path::Path::new(&out), |w| {
+            write_snapshot_legacy(&set, w)
+        })
+        .map_err(|e| format!("{out}: {e}"))?;
     } else {
         save_snapshot(&set, &out).map_err(|e| format!("{out}: {e}"))?;
     }
@@ -204,7 +212,7 @@ fn cmd_index(argv: &[String]) -> Result<ExitCode, String> {
     eprintln!(
         "# indexed {} layer(s), {annotations} annotation(s) -> {out} (uri '{uri}', {})",
         set.len(),
-        if legacy { "v1 legacy" } else { "v3 columnar" },
+        if legacy { "v1 legacy" } else { "v4 columnar" },
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -263,29 +271,67 @@ fn cmd_inspect(argv: &[String]) -> Result<ExitCode, String> {
 
 // ---- annotate / compact ----
 
-/// Replay delta sidecar files against a layer set, in order.
+/// Replay delta sidecar files against a layer set, in order. Each
+/// sidecar is a checkpoint; batches journaled after it live in
+/// `<sidecar>.wal` and replay on top (read-only scan: the committed
+/// prefix applies, a torn tail from a crashed writer is ignored —
+/// the next writer-mode open truncates it). A sidecar path may name a
+/// not-yet-checkpointed delta (journal-only so far) as long as its WAL
+/// exists.
 fn load_delta(sidecars: &[&String], set: &LayerSet) -> Result<DeltaSet, String> {
     let mut delta = DeltaSet::new();
     for path in sidecars {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let ops = parse_ops(&text).map_err(|e| format!("{path}: {e}"))?;
-        delta
-            .apply_all(ops, set)
-            .map_err(|e| format!("{path}: {e}"))?;
+        let wal_file = wal_path(std::path::Path::new(path));
+        let have_wal = wal_file.exists();
+        let mut checkpointed = 0;
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                checkpointed = standoff::store::checkpointed_seq(&text);
+                let ops = parse_ops(&text).map_err(|e| format!("{path}: {e}"))?;
+                delta
+                    .apply_all(ops, set)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && have_wal => {}
+            Err(e) => return Err(format!("cannot read {path}: {e}")),
+        }
+        if have_wal {
+            let scan =
+                DeltaWal::scan(&wal_file).map_err(|e| format!("{}: {e}", wal_file.display()))?;
+            // Records at or below the checkpoint mark are already part
+            // of the sidecar text (a checkpoint landed but its journal
+            // truncation didn't): replaying them would double-apply.
+            for record in scan.records.iter().filter(|r| r.seq > checkpointed) {
+                let ops = parse_ops(&record.ops)
+                    .map_err(|e| format!("{} record {}: {e}", wal_file.display(), record.seq))?;
+                delta
+                    .apply_all(ops, set)
+                    .map_err(|e| format!("{} record {}: {e}", wal_file.display(), record.seq))?;
+            }
+        }
     }
     Ok(delta)
 }
 
 /// `annotate`: apply a batch of insert/retract ops to a snapshot's
 /// delta sidecar. The snapshot file itself is never touched — the ops
-/// append to the sidecar, which `query`/`stats`/`compact` replay via
-/// `--delta`. The whole batch validates against the snapshot (and the
-/// overlay is proven mountable) before the sidecar is rewritten, so a
-/// bad op leaves it exactly as it was.
+/// land in the sidecar (and its WAL), which `query`/`stats`/`compact`
+/// replay via `--delta`. The whole batch validates against the snapshot
+/// (and the overlay is proven mountable) before anything is persisted,
+/// so a bad op leaves the sidecar exactly as it was.
+///
+/// Durability: the default mode recovers any journaled batches from
+/// `<sidecar>.wal`, folds them plus the new batch into a fresh
+/// checkpoint, rewrites the sidecar atomically (temp + fsync + rename),
+/// and truncates the WAL. `--journal` instead appends the validated
+/// batch to the WAL only — one fsync'd append, no sidecar rewrite —
+/// which is the fast path for high-frequency writers; the batch is
+/// durable the moment the command exits 0 and survives SIGKILL.
 fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
     let mut store: Option<String> = None;
     let mut sidecar: Option<String> = None;
     let mut ops_path: Option<String> = None;
+    let mut journal = false;
     let mut k = 0;
     while k < argv.len() {
         match argv[k].as_str() {
@@ -297,6 +343,7 @@ fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
                 k += 1;
                 sidecar = Some(argv.get(k).ok_or("--delta needs a path")?.clone());
             }
+            "--journal" => journal = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -319,12 +366,31 @@ fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
     let set = snapshot
         .to_layer_set()
         .map_err(|e| format!("{store}: {e}"))?;
-    // Pending state first (the sidecar may not exist yet), new ops after.
-    let mut delta = if std::path::Path::new(&sidecar).exists() {
-        load_delta(&[&sidecar], &set)?
-    } else {
-        DeltaSet::new()
-    };
+    // Recover pending state: sidecar checkpoint first (it may not exist
+    // yet), then committed WAL batches on top. Writer-mode open also
+    // truncates any torn tail a crashed writer left behind.
+    let mut delta = DeltaSet::new();
+    let mut checkpointed = 0;
+    if std::path::Path::new(&sidecar).exists() {
+        let text =
+            std::fs::read_to_string(&sidecar).map_err(|e| format!("cannot read {sidecar}: {e}"))?;
+        checkpointed = standoff::store::checkpointed_seq(&text);
+        let ops = parse_ops(&text).map_err(|e| format!("{sidecar}: {e}"))?;
+        delta
+            .apply_all(ops, &set)
+            .map_err(|e| format!("{sidecar}: {e}"))?;
+    }
+    let wal_file = wal_path(std::path::Path::new(&sidecar));
+    let (mut wal, replayed) =
+        DeltaWal::open(&wal_file).map_err(|e| format!("{}: {e}", wal_file.display()))?;
+    wal.ensure_seq_above(checkpointed);
+    for record in replayed.iter().filter(|r| r.seq > checkpointed) {
+        let ops = parse_ops(&record.ops)
+            .map_err(|e| format!("{} record {}: {e}", wal_file.display(), record.seq))?;
+        delta
+            .apply_all(ops, &set)
+            .map_err(|e| format!("{} record {}: {e}", wal_file.display(), record.seq))?;
+    }
     let text = if ops_path == "-" {
         use std::io::Read;
         let mut buf = String::new();
@@ -337,7 +403,7 @@ fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
     };
     let ops = parse_ops(&text).map_err(|e| format!("{ops_path}: {e}"))?;
     let applied = delta
-        .apply_all(ops, &set)
+        .apply_all(ops.iter().cloned(), &set)
         .map_err(|e| format!("{ops_path}: {e}"))?;
     // Prove the overlay mounts — the same validation every later
     // `--delta` reader will run — before persisting anything.
@@ -345,13 +411,37 @@ fn cmd_annotate(argv: &[String]) -> Result<ExitCode, String> {
     engine
         .mount_overlay(set, &delta)
         .map_err(|e| format!("{store}: {e}"))?;
-    std::fs::write(&sidecar, ops_to_text(&delta.to_ops()))
-        .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
-    eprintln!(
-        "# applied {applied} op(s); pending {} insert(s), {} retract(s) -> {sidecar}",
-        delta.insert_count(),
-        delta.retract_count(),
-    );
+    if journal {
+        // Fast path: one fsync'd append; the sidecar checkpoint is
+        // rewritten on the next default-mode annotate or compact.
+        if applied > 0 {
+            wal.append(&ops_to_text(&ops))
+                .map_err(|e| format!("{}: {e}", wal_file.display()))?;
+        }
+        eprintln!(
+            "# journaled {applied} op(s); pending {} insert(s), {} retract(s) -> {}",
+            delta.insert_count(),
+            delta.retract_count(),
+            wal_file.display(),
+        );
+    } else {
+        // Checkpoint: atomically rewrite the sidecar with the full
+        // pending state (stamped with the journal high-water mark),
+        // then truncate the journal it subsumes. A crash between the
+        // two is safe: the mark tells recovery the surviving journal
+        // records are already folded in.
+        let mut text = standoff::store::checkpoint_marker(wal.last_seq());
+        text.push_str(&ops_to_text(&delta.to_ops()));
+        atomic_write(std::path::Path::new(&sidecar), text.as_bytes())
+            .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
+        wal.truncate()
+            .map_err(|e| format!("{}: {e}", wal_file.display()))?;
+        eprintln!(
+            "# applied {applied} op(s); pending {} insert(s), {} retract(s) -> {sidecar}",
+            delta.insert_count(),
+            delta.retract_count(),
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -410,6 +500,264 @@ fn cmd_compact(argv: &[String]) -> Result<ExitCode, String> {
         compact_ns as f64 / 1e6,
     );
     Ok(ExitCode::SUCCESS)
+}
+
+// ---- verify ----
+
+/// Minimal JSON string escape for the `verify --json` report (paths
+/// and error messages may carry quotes or backslashes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-sidecar facts gathered by `verify`.
+struct DeltaCheck {
+    path: String,
+    ops: usize,
+    checkpoint_seq: u64,
+    wal_records: usize,
+    wal_skipped: usize,
+    wal_torn_tail: bool,
+}
+
+/// `verify`: fsck for a snapshot and its delta sidecar(s).
+///
+/// Deep-checks everything the lazy read path defers: every section
+/// CRC32 (v4), full structural revalidation of every layer, sidecar
+/// ops parse + replay, WAL scan (per-record CRCs, sequence
+/// monotonicity), checkpoint/WAL consistency, and an overlay mount
+/// proof when sidecars are given. A torn WAL tail is *reported* but
+/// clean — it is an uncommitted append, not data loss.
+///
+/// Exit codes: **0** everything verifiable is intact; **1** corruption
+/// or invariant violations (each finding listed); **2** usage errors
+/// or unreadable paths.
+fn cmd_verify(argv: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut path: Option<String> = None;
+    let mut sidecars: Vec<String> = Vec::new();
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--json" => json = true,
+            "--delta" => {
+                k += 1;
+                sidecars.push(argv.get(k).ok_or("--delta needs a path")?.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with('-') => {
+                if path.is_some() {
+                    return Err(format!("verify takes exactly one snapshot path\n{USAGE}"));
+                }
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        k += 1;
+    }
+    let path = path.ok_or("verify: no snapshot given")?;
+
+    let mut findings: Vec<String> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    let (mut version, mut checksummed, mut layers, mut sections_checked) = (0u32, false, 0, 0);
+    let set = match standoff::store::Snapshot::open_verified(&path) {
+        Ok((snapshot, report)) => {
+            version = report.version;
+            checksummed = report.checksummed;
+            layers = report.layers;
+            sections_checked = report.sections_checked;
+            match snapshot.to_layer_set() {
+                Ok(set) => Some(set),
+                Err(e) => {
+                    findings.push(format!("{path}: {e}"));
+                    None
+                }
+            }
+        }
+        // Unreadable is a usage error (wrong path, permissions);
+        // readable-but-damaged is a finding.
+        Err(standoff::store::StoreError::Io(e)) => return Err(format!("{path}: {e}")),
+        Err(e) => {
+            findings.push(format!("{path}: {e}"));
+            None
+        }
+    };
+
+    let mut delta_checks: Vec<DeltaCheck> = Vec::new();
+    let mut delta = DeltaSet::new();
+    for sidecar in &sidecars {
+        let wal_file = wal_path(std::path::Path::new(sidecar));
+        let have_wal = wal_file.exists();
+        let mut check = DeltaCheck {
+            path: sidecar.clone(),
+            ops: 0,
+            checkpoint_seq: 0,
+            wal_records: 0,
+            wal_skipped: 0,
+            wal_torn_tail: false,
+        };
+        match std::fs::read_to_string(sidecar) {
+            Ok(text) => {
+                check.checkpoint_seq = standoff::store::checkpointed_seq(&text);
+                match parse_ops(&text) {
+                    Ok(ops) => {
+                        check.ops = ops.len();
+                        if let Some(set) = &set {
+                            if let Err(e) = delta.apply_all(ops, set) {
+                                findings.push(format!("{sidecar}: {e}"));
+                            }
+                        }
+                    }
+                    Err(e) => findings.push(format!("{sidecar}: {e}")),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && have_wal => {
+                notes.push(format!("{sidecar}: no checkpoint yet (journal-only delta)"));
+            }
+            Err(e) => return Err(format!("cannot read {sidecar}: {e}")),
+        }
+        if have_wal {
+            match DeltaWal::scan(&wal_file) {
+                Ok(scan) => {
+                    check.wal_torn_tail = scan.torn_tail;
+                    if scan.torn_tail {
+                        notes.push(format!(
+                            "{}: torn tail after {} committed record(s) — an append \
+                             died mid-write; the batch was never committed and the \
+                             next writer truncates it",
+                            wal_file.display(),
+                            scan.records.len(),
+                        ));
+                    }
+                    for record in &scan.records {
+                        if record.seq <= check.checkpoint_seq {
+                            // Already folded into the checkpoint (the
+                            // checkpoint landed, its truncation didn't).
+                            check.wal_skipped += 1;
+                            continue;
+                        }
+                        check.wal_records += 1;
+                        match parse_ops(&record.ops) {
+                            Ok(ops) => {
+                                if let Some(set) = &set {
+                                    if let Err(e) = delta.apply_all(ops, set) {
+                                        findings.push(format!(
+                                            "{} record {}: {e}",
+                                            wal_file.display(),
+                                            record.seq
+                                        ));
+                                    }
+                                }
+                            }
+                            Err(e) => findings.push(format!(
+                                "{} record {}: {e}",
+                                wal_file.display(),
+                                record.seq
+                            )),
+                        }
+                    }
+                }
+                Err(e) => findings.push(format!("{}: {e}", wal_file.display())),
+            }
+        }
+        delta_checks.push(check);
+    }
+    // Overlay mount proof: the merged view every `--delta` reader
+    // would build must itself validate.
+    if let Some(set) = set {
+        if !sidecars.is_empty() && findings.is_empty() {
+            let mut engine = Engine::new();
+            if let Err(e) = engine.mount_overlay(set, &delta) {
+                findings.push(format!("overlay mount: {e}"));
+            }
+        }
+    }
+
+    let clean = findings.is_empty();
+    if json {
+        let deltas = delta_checks
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"path\":\"{}\",\"ops\":{},\"checkpoint_seq\":{},\"wal_records\":{},\
+                     \"wal_skipped\":{},\"wal_torn_tail\":{}}}",
+                    json_escape(&d.path),
+                    d.ops,
+                    d.checkpoint_seq,
+                    d.wal_records,
+                    d.wal_skipped,
+                    d.wal_torn_tail,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let list = |items: &[String]| {
+            items
+                .iter()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "{{\"snapshot\":\"{}\",\"version\":{version},\"checksummed\":{checksummed},\
+             \"layers\":{layers},\"sections_checked\":{sections_checked},\"deltas\":[{deltas}],\
+             \"notes\":[{}],\"findings\":[{}],\"status\":\"{}\"}}",
+            json_escape(&path),
+            list(&notes),
+            list(&findings),
+            if clean { "clean" } else { "corrupt" },
+        );
+    } else {
+        println!(
+            "# {path}: v{version}, {}, {layers} layer(s), {sections_checked} section checksum(s)",
+            if checksummed {
+                "checksummed"
+            } else {
+                "no checksums (pre-v4)"
+            },
+        );
+        for d in &delta_checks {
+            println!(
+                "# {}: {} checkpoint op(s), {} wal record(s), {} already checkpointed{}",
+                d.path,
+                d.ops,
+                d.wal_records,
+                d.wal_skipped,
+                if d.wal_torn_tail { ", torn tail" } else { "" },
+            );
+        }
+        for n in &notes {
+            println!("note: {n}");
+        }
+        for f in &findings {
+            println!("finding: {f}");
+        }
+        if clean {
+            println!("{path}: ok");
+        } else {
+            println!("{path}: CORRUPT ({} finding(s))", findings.len());
+        }
+    }
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 // ---- shared corpus flags (query + batch) ----
@@ -974,7 +1322,15 @@ static STOP: AtomicBool = AtomicBool::new(false);
 #[cfg(unix)]
 fn install_stop_handlers() {
     extern "C" fn on_signal(_signum: i32) {
-        STOP.store(true, Ordering::Relaxed);
+        if STOP.swap(true, Ordering::Relaxed) {
+            // Second signal: the operator wants out *now*, not after
+            // the drain. `_exit` is async-signal-safe (`exit` is not);
+            // 130 = 128 + SIGINT, the conventional interrupt status.
+            extern "C" {
+                fn _exit(status: i32) -> !;
+            }
+            unsafe { _exit(130) }
+        }
     }
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
@@ -1068,32 +1424,84 @@ fn cmd_serve(argv: &[String]) -> Result<ExitCode, String> {
 
 // ---- call ----
 
+/// Connection-level failures worth a retry: the server side closed or
+/// refused the socket, which self-heals once it finishes binding or a
+/// fresh accept slot opens.
+fn is_transient_connect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
 /// One-shot protocol client: `standoff-xq call ADDR VERB [ARG...]`.
 /// Prints an `ok` reply's payload to stdout (exit 0); an `err` reply's
 /// category and message go to stderr (exit 1); connection failures are
 /// usage errors (exit 2).
+///
+/// Transient connection failures (refused/reset/aborted — a server
+/// still binding, or drained mid-handshake) retry with capped
+/// exponential backoff, `--retries` times (default 3; 0 disables).
+/// Other failures (timeouts, protocol errors) surface immediately.
 fn cmd_call(argv: &[String]) -> Result<ExitCode, String> {
-    if argv.first().map(String::as_str) == Some("--help") {
+    if argv.iter().any(|a| a == "--help") {
         println!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
     }
-    let addr = argv
+    let mut retries = 3u32;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut k = 0;
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "--retries" => {
+                k += 1;
+                let v = argv.get(k).ok_or("--retries needs a count")?;
+                retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad --retries '{v}', expected a non-negative integer"))?;
+            }
+            _ => positional.push(&argv[k]),
+        }
+        k += 1;
+    }
+    let addr = positional
         .first()
         .ok_or_else(|| format!("call needs ADDR\n{USAGE}"))?;
-    let verb = argv
+    let verb = positional
         .get(1)
         .ok_or_else(|| format!("call needs a VERB\n{USAGE}"))?;
-    let rest = argv[2..].join(" ");
+    let rest = positional[2..]
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
     // `query` carries its text in the body; every other verb is a
     // single `verb arg` line.
     let payload = match (verb.as_str(), rest.is_empty()) {
         ("query", true) => return Err("call ... query needs the query text".into()),
         ("query", false) => format!("query\n{rest}"),
-        (_, true) => verb.clone(),
+        (_, true) => (*verb).clone(),
         (_, false) => format!("{verb} {rest}"),
     };
-    let reply =
-        serve::call(addr.as_str(), &payload).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut attempt = 0;
+    let reply = loop {
+        match serve::call(addr.as_str(), &payload) {
+            Ok(reply) => break reply,
+            Err(e) if attempt < retries && is_transient_connect_error(&e) => {
+                // 100ms, 200ms, 400ms, ... capped at 2s.
+                let backoff = Duration::from_millis(100 << attempt.min(4));
+                eprintln!(
+                    "standoff-xq: {addr}: {e}; retrying in {backoff:?} ({} left)",
+                    retries - attempt,
+                );
+                std::thread::sleep(backoff);
+                attempt += 1;
+            }
+            Err(e) => return Err(format!("cannot reach {addr}: {e}")),
+        }
+    };
     if reply.ok {
         // Tolerate a closed pipe (`call ... stats | head`): losing the
         // tail of the payload is the downstream's choice, not a crash.

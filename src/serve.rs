@@ -579,7 +579,9 @@ fn handle_query(shared: &Arc<Shared>, exec: &Executor, text: &str) -> (bool, Str
 }
 
 /// The cumulative metrics snapshot: retired executors' registries plus
-/// the current one (with plan-cache counters), plus serve gauges.
+/// the current one (with plan-cache counters), the process-global
+/// registry (store durability counters — `store.wal.*`,
+/// `store.verify.*`, compaction timings), plus serve gauges.
 fn stats_json(shared: &Shared, exec: &Executor) -> String {
     let mut snapshot = shared
         .retired
@@ -587,6 +589,7 @@ fn stats_json(shared: &Shared, exec: &Executor) -> String {
         .unwrap_or_else(|e| e.into_inner())
         .clone();
     snapshot.merge(&exec.metrics_snapshot());
+    snapshot.merge(&crate::core::MetricsRegistry::global().snapshot());
     snapshot.counters.insert(
         "serve.active_connections".to_string(),
         shared.active_conns.load(Ordering::Acquire) as u64,

@@ -1,0 +1,372 @@
+//! Crash-recovery torn-write harness: kill the process (simulated via
+//! armed fault points and byte-level file surgery) at every seam of
+//! the durability path and prove the invariant the README states —
+//! recovery yields **exactly the committed prefix** (byte-identical
+//! query results after remount) or a clean categorized error. Never a
+//! panic, never silent loss of a committed batch, never a resurrected
+//! uncommitted one.
+//!
+//! Fault points are process-global, so every test that arms one takes
+//! [`crash_lock`] (shared pattern with `tests/chaos.rs`).
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use standoff::core::fault::{self, FaultAction};
+use standoff::core::StandoffConfig;
+use standoff::store::{
+    checkpoint_marker, checkpointed_seq, ops_to_text, parse_ops, save_snapshot, wal_path, DeltaSet,
+    DeltaWal, LayerSet, Snapshot, StoreError,
+};
+use standoff::xml::parse_document;
+use standoff::xquery::{Engine, EngineOptions, WritableEngine};
+
+fn crash_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    fault::clear_all();
+    guard
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("standoff-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const URI: &str = "mem://crash";
+
+fn corpus() -> LayerSet {
+    let base = parse_document("<text>Alice met Bob in Aachen</text>").unwrap();
+    let mut set = LayerSet::build(URI, base, StandoffConfig::default()).unwrap();
+    let tokens = parse_document(
+        r#"<tokens>
+             <w start="0" end="4"/>
+             <w start="6" end="8"/>
+             <w start="10" end="12"/>
+             <w start="14" end="15"/>
+             <w start="17" end="22"/>
+           </tokens>"#,
+    )
+    .unwrap();
+    set.add_layer("tokens", tokens, StandoffConfig::default())
+        .unwrap();
+    set
+}
+
+/// The batches a writer commits, in order, as sidecar ops text.
+const BATCHES: [&str; 3] = [
+    "insert tokens ner 0 4 class=PER\n",
+    "insert tokens ner 10 12 class=PER\nretract tokens w 6 8\n",
+    "insert tokens ner 17 22 class=LOC\n",
+];
+
+const PROBES: [&str; 3] = [
+    r#"count(layer("mem://crash", "tokens")//w)"#,
+    r#"count(layer("mem://crash", "tokens")//ner)"#,
+    r#"layer("mem://crash", "tokens")//ner/@class"#,
+];
+
+/// Reference answers after committing `BATCHES[..n]`.
+fn answers_after(n: usize) -> Vec<String> {
+    let set = corpus();
+    let mut delta = DeltaSet::new();
+    for batch in &BATCHES[..n] {
+        delta.apply_all(parse_ops(batch).unwrap(), &set).unwrap();
+    }
+    let mut engine = Engine::new();
+    engine.mount_overlay(set, &delta).unwrap();
+    PROBES
+        .iter()
+        .map(|q| engine.run(q).unwrap().as_xml())
+        .collect()
+}
+
+/// Recover sidecar + WAL the way `standoff-xq` readers do and answer
+/// the probes.
+fn recovered_answers(set: &LayerSet, sidecar: &Path) -> Result<Vec<String>, String> {
+    let mut delta = DeltaSet::new();
+    let mut checkpointed = 0;
+    if sidecar.exists() {
+        let text = std::fs::read_to_string(sidecar).map_err(|e| e.to_string())?;
+        checkpointed = checkpointed_seq(&text);
+        delta
+            .apply_all(parse_ops(&text).map_err(|e| e.to_string())?, set)
+            .map_err(|e| e.to_string())?;
+    }
+    let scan = DeltaWal::scan(&wal_path(sidecar)).map_err(|e| e.to_string())?;
+    for record in scan.records.iter().filter(|r| r.seq > checkpointed) {
+        delta
+            .apply_all(parse_ops(&record.ops).map_err(|e| e.to_string())?, set)
+            .map_err(|e| e.to_string())?;
+    }
+    let mut engine = Engine::new();
+    engine
+        .mount_overlay(set.clone(), &delta)
+        .map_err(|e| e.to_string())?;
+    Ok(PROBES
+        .iter()
+        .map(|q| engine.run(q).unwrap().as_xml())
+        .collect())
+}
+
+/// Truncate the journal at every byte offset: recovery must yield the
+/// answers of exactly the batches whose append frames survived whole —
+/// byte-identical query results, never an error, never a partial batch.
+#[test]
+fn wal_truncation_sweep_recovers_exactly_the_committed_prefix() {
+    let _guard = crash_lock();
+    let dir = temp_dir("wal-sweep");
+    let sidecar = dir.join("corpus.delta");
+    let wal_file = wal_path(&sidecar);
+    let set = corpus();
+
+    let (mut wal, _) = DeltaWal::open(&wal_file).unwrap();
+    let mut frame_ends = vec![std::fs::metadata(&wal_file).unwrap().len()];
+    for batch in &BATCHES {
+        wal.append(batch).unwrap();
+        frame_ends.push(std::fs::metadata(&wal_file).unwrap().len());
+    }
+    drop(wal);
+    let full = std::fs::read(&wal_file).unwrap();
+    let expected: Vec<Vec<String>> = (0..=BATCHES.len()).map(answers_after).collect();
+
+    for cut in 0..=full.len() {
+        std::fs::write(&wal_file, &full[..cut]).unwrap();
+        let committed = frame_ends
+            .iter()
+            .filter(|&&e| e <= cut as u64)
+            .count()
+            .saturating_sub(1);
+        let got = recovered_answers(&set, &sidecar)
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery failed: {e}"));
+        assert_eq!(
+            got, expected[committed],
+            "cut at {cut}: results diverge from the {committed}-batch prefix"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Single-byte flips inside committed journal records must surface as
+/// categorized corruption through the reader path — not as silently
+/// different query results.
+#[test]
+fn wal_bit_flip_is_categorized_never_silent() {
+    let _guard = crash_lock();
+    let dir = temp_dir("wal-flip");
+    let sidecar = dir.join("corpus.delta");
+    let wal_file = wal_path(&sidecar);
+    let set = corpus();
+    let (mut wal, _) = DeltaWal::open(&wal_file).unwrap();
+    for batch in &BATCHES {
+        wal.append(batch).unwrap();
+    }
+    drop(wal);
+    let full = std::fs::read(&wal_file).unwrap();
+    let committed = answers_after(BATCHES.len());
+    // Every byte past the 8-byte file header participates in a record.
+    for at in 8..full.len() {
+        let mut bytes = full.clone();
+        bytes[at] ^= 0x01;
+        std::fs::write(&wal_file, &bytes).unwrap();
+        match recovered_answers(&set, &sidecar) {
+            Err(_) => {}
+            Ok(got) => assert_eq!(
+                got, committed,
+                "flip at {at}: accepted with *different* results — silent corruption"
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A writer crash *after* the WAL append fsync but *before* the
+/// visibility swap: the batch reported nothing to the caller, but it
+/// is durable — recovery must replay it (this is the "committed
+/// batches survive SIGKILL" contract of `WritableEngine::apply`).
+#[test]
+fn crash_between_journal_and_swap_preserves_the_batch() {
+    let _guard = crash_lock();
+    let dir = temp_dir("mid-apply");
+    let sidecar = dir.join("corpus.delta");
+    let set = corpus();
+
+    let mut w = WritableEngine::mount(set.clone(), EngineOptions::default()).unwrap();
+    let (wal, _) = DeltaWal::open(&wal_path(&sidecar)).unwrap();
+    w.set_wal(Some(wal));
+    w.apply(parse_ops(BATCHES[0]).unwrap()).unwrap();
+
+    fault::inject_times("engine.apply.before_swap", FaultAction::Panic, 1);
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.apply(parse_ops(BATCHES[1]).unwrap())
+    }));
+    fault::clear_all();
+    assert!(crashed.is_err(), "armed fault point must fire");
+    drop(w);
+
+    // The crashed writer never swapped batch 2 in — but it journaled
+    // it first, so recovery sees both batches.
+    let got = recovered_answers(&set, &sidecar).unwrap();
+    assert_eq!(got, answers_after(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A writer crash *inside* the append (before the fsync): the batch
+/// was never committed, recovery must yield only the prior prefix.
+#[test]
+fn crash_inside_append_loses_only_the_uncommitted_batch() {
+    let _guard = crash_lock();
+    let dir = temp_dir("mid-append");
+    let sidecar = dir.join("corpus.delta");
+    let set = corpus();
+
+    let (mut wal, _) = DeltaWal::open(&wal_path(&sidecar)).unwrap();
+    wal.append(BATCHES[0]).unwrap();
+    fault::inject_times("store.wal.append.start", FaultAction::Panic, 1);
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wal.append(BATCHES[1])));
+    fault::clear_all();
+    assert!(crashed.is_err());
+    drop(wal);
+
+    let got = recovered_answers(&set, &sidecar).unwrap();
+    assert_eq!(got, answers_after(1), "uncommitted batch must not surface");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash between the checkpoint rewrite landing and the journal
+/// truncation: the checkpoint's high-water mark keeps the surviving
+/// journal records from double-applying.
+#[test]
+fn crash_between_checkpoint_and_truncation_does_not_double_apply() {
+    let _guard = crash_lock();
+    let dir = temp_dir("checkpoint-window");
+    let sidecar = dir.join("corpus.delta");
+    let set = corpus();
+
+    let (mut wal, _) = DeltaWal::open(&wal_path(&sidecar)).unwrap();
+    let mut delta = DeltaSet::new();
+    for batch in &BATCHES[..2] {
+        delta.apply_all(parse_ops(batch).unwrap(), &set).unwrap();
+        wal.append(batch).unwrap();
+    }
+    // Checkpoint lands (marker stamped), truncation never happens —
+    // the crash window. Both journal records survive on disk.
+    let mut text = checkpoint_marker(wal.last_seq());
+    text.push_str(&ops_to_text(&delta.to_ops()));
+    std::fs::write(&sidecar, &text).unwrap();
+    drop(wal);
+
+    let got = recovered_answers(&set, &sidecar).unwrap();
+    assert_eq!(got, answers_after(2), "marker must suppress the replay");
+
+    // And a post-crash writer sequences above the mark, so its fresh
+    // batch replays while the folded ones stay suppressed.
+    let (mut wal, _) = DeltaWal::open(&wal_path(&sidecar)).unwrap();
+    wal.ensure_seq_above(checkpointed_seq(&text));
+    wal.append(BATCHES[2]).unwrap();
+    drop(wal);
+    let got = recovered_answers(&set, &sidecar).unwrap();
+    assert_eq!(got, answers_after(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `save_snapshot` dies before the rename: the previous snapshot must
+/// still mount and verify, byte-for-byte untouched.
+#[test]
+fn snapshot_rewrite_crash_leaves_the_old_snapshot_intact() {
+    let _guard = crash_lock();
+    let dir = temp_dir("snap-replace");
+    let path = dir.join("corpus.snap");
+    let set = corpus();
+    save_snapshot(&set, &path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+
+    let bigger = {
+        let mut delta = DeltaSet::new();
+        delta
+            .apply_all(parse_ops(BATCHES[0]).unwrap(), &set)
+            .unwrap();
+        standoff::store::compact(&set, &delta).unwrap()
+    };
+    for point in ["store.atomic.before_sync", "store.atomic.before_rename"] {
+        fault::inject_times(point, FaultAction::Panic, 1);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            save_snapshot(&bigger, &path)
+        }));
+        fault::clear_all();
+        assert!(crashed.is_err(), "{point} must fire");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "{point}: old snapshot bytes changed"
+        );
+        let (_snap, report) = Snapshot::open_verified(&path).unwrap();
+        assert!(report.checksummed);
+    }
+    // Without a fault the replace goes through and verifies.
+    save_snapshot(&bigger, &path).unwrap();
+    let (snapshot, _report) = Snapshot::open_verified(&path).unwrap();
+    assert_eq!(
+        snapshot
+            .to_layer_set()
+            .unwrap()
+            .layer("tokens")
+            .unwrap()
+            .annotation_count(),
+        6
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The committed, never-applied tail of a torn WAL stays invisible
+/// even when the *same* delta is later re-journaled: sequence numbers
+/// in a file are strictly increasing, so a forged duplicate seq is
+/// categorized corruption.
+#[test]
+fn duplicate_sequence_numbers_are_corruption() {
+    let _guard = crash_lock();
+    let dir = temp_dir("dup-seq");
+    let wal_file = dir.join("corpus.delta.wal");
+    let (mut wal, _) = DeltaWal::open(&wal_file).unwrap();
+    wal.append(BATCHES[0]).unwrap();
+    drop(wal);
+    // Forge: duplicate the (valid) first record after itself.
+    let bytes = std::fs::read(&wal_file).unwrap();
+    let mut forged = bytes.clone();
+    forged.extend_from_slice(&bytes[8..]);
+    std::fs::write(&wal_file, &forged).unwrap();
+    match DeltaWal::scan(&wal_file) {
+        Err(StoreError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("non-monotonic"), "detail: {detail}")
+        }
+        other => panic!("forged duplicate seq accepted: {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end: a v4 snapshot with a flipped payload byte fails at
+/// layer access with a categorized error, and `verify` (the library
+/// call the CLI subcommand wraps) reports it eagerly.
+#[test]
+fn flipped_snapshot_payload_fails_verification_not_queries() {
+    let _guard = crash_lock();
+    let dir = temp_dir("snap-flip");
+    let path = dir.join("corpus.snap");
+    save_snapshot(&corpus(), &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one byte deep in the payload region (past header + table).
+    let at = bytes.len() - 9;
+    bytes[at] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    match Snapshot::open_verified(&path) {
+        Err(StoreError::Corrupt { .. }) => {}
+        Err(other) => panic!("wrong category: {other}"),
+        Ok(_) => panic!("flipped payload verified clean"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

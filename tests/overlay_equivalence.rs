@@ -339,3 +339,73 @@ fn dense_kernel_matches_through_overlay() {
         "retractions visible through the dense path"
     );
 }
+
+// ---- documented divergence pin ----
+
+/// Pins the divergence documented since the overlay work landed (see
+/// README "Writable layers" and "Durability"): pending inserts are
+/// *query-visible* through the merge-on-read overlay, but serializing
+/// a whole overlaid document **root** omits them — the inserts live in
+/// sibling delta documents, and root serialization walks only the base
+/// tree. Compaction folds them in, so `compact` first for
+/// full-document output.
+///
+/// If this test fails because the overlay serialization started
+/// *including* the insert, the divergence has been fixed: delete this
+/// pin and the README caveat together.
+#[test]
+fn overlaid_root_serialization_omits_pending_inserts_divergence_pin() {
+    let base = parse_document("<text>Alice met Bob</text>").unwrap();
+    let mut set = LayerSet::build("mem://pin", base, StandoffConfig::default()).unwrap();
+    let tokens = parse_document(
+        r#"<tokens><w start="0" end="4"/><w start="6" end="8"/><w start="10" end="12"/></tokens>"#,
+    )
+    .unwrap();
+    set.add_layer("tokens", tokens, StandoffConfig::default())
+        .unwrap();
+    let mut delta = DeltaSet::new();
+    delta
+        .apply(
+            DeltaOp::Insert {
+                layer: "tokens".into(),
+                name: "ner".into(),
+                start: 0,
+                end: 4,
+                attrs: vec![("class".into(), "PER".into())],
+            },
+            &set,
+        )
+        .unwrap();
+
+    let mut overlay = Engine::new();
+    overlay.mount_overlay(set.clone(), &delta).unwrap();
+    // The insert is fully query-visible through the overlay...
+    assert_eq!(
+        overlay
+            .run(r#"count(layer("mem://pin", "tokens")//ner)"#)
+            .unwrap()
+            .as_xml(),
+        "1"
+    );
+    // ...but the serialized document root omits it (the divergence).
+    let overlaid_root = overlay
+        .run(r#"layer("mem://pin", "tokens")"#)
+        .unwrap()
+        .as_xml();
+    assert!(
+        !overlaid_root.contains("<ner"),
+        "divergence fixed? overlaid root now serializes pending inserts: {overlaid_root}"
+    );
+    // Compaction is the documented way to get full-document output.
+    let folded = standoff::store::compact(&set, &delta).unwrap();
+    let mut compacted = Engine::new();
+    compacted.mount_store(folded).unwrap();
+    let compacted_root = compacted
+        .run(r#"layer("mem://pin", "tokens")"#)
+        .unwrap()
+        .as_xml();
+    assert!(
+        compacted_root.contains("<ner"),
+        "compacted root must include the folded insert: {compacted_root}"
+    );
+}

@@ -1,6 +1,7 @@
 //! Snapshot-format integration: the legacy (version 1) and columnar
-//! (version 3) formats must be *observably identical* to the query
-//! engine, and the committed legacy fixture must never silently rot.
+//! (version 3/4) formats must be *observably identical* to the query
+//! engine, and the committed legacy fixture must never silently rot —
+//! nor may a damaged copy of it panic the reader.
 
 use standoff::core::StandoffConfig;
 use standoff::store::{write_snapshot, write_snapshot_legacy, LayerSet, Snapshot};
@@ -151,23 +152,25 @@ fn committed_v1_fixture_loads_and_answers_queries() {
     );
 }
 
-/// Re-encoding the committed fixture in v3 and mounting it must answer
-/// the same queries identically (the v2→v3 migration story).
+/// Re-encoding the committed fixture in the current format and
+/// mounting it must answer the same queries identically (the legacy
+/// migration story; the writer now emits v4, checksummed).
 #[test]
-fn committed_v1_fixture_upgrades_to_v3_losslessly() {
+fn committed_v1_fixture_upgrades_to_current_format_losslessly() {
     let set = Snapshot::open(fixture_path())
         .unwrap()
         .to_layer_set()
         .unwrap();
-    let mut v3 = Vec::new();
-    write_snapshot(&set, &mut v3).unwrap();
+    let mut current = Vec::new();
+    write_snapshot(&set, &mut current).unwrap();
 
     let mut legacy = Engine::new();
     legacy
         .mount_snapshot(&Snapshot::open(fixture_path()).unwrap())
         .unwrap();
-    let upgraded_snapshot = Snapshot::from_bytes(v3).unwrap();
-    assert_eq!(upgraded_snapshot.version(), 3);
+    let upgraded_snapshot = Snapshot::from_bytes(current).unwrap();
+    assert_eq!(upgraded_snapshot.version(), 4);
+    assert!(upgraded_snapshot.checksummed());
     let mut upgraded = Engine::new();
     upgraded.mount_snapshot(&upgraded_snapshot).unwrap();
 
@@ -175,7 +178,30 @@ fn committed_v1_fixture_upgrades_to_v3_losslessly() {
         assert_eq!(
             legacy.run(q).unwrap().as_xml(),
             upgraded.run(q).unwrap().as_xml(),
-            "v1→v3 upgrade diverges on {q}"
+            "v1→v4 upgrade diverges on {q}"
         );
+    }
+}
+
+/// Truncating the committed v1 fixture at *every* byte offset must
+/// produce a clean categorized error from the legacy reader — never a
+/// panic, never a silently short corpus. (The legacy format predates
+/// checksums, so detection is structural: length prefixes, section
+/// bounds, decode validation.)
+#[test]
+fn committed_v1_fixture_truncation_at_every_byte_errors_cleanly() {
+    let full = std::fs::read(fixture_path()).unwrap();
+    for cut in 0..full.len() {
+        let result = std::panic::catch_unwind(|| Snapshot::from_bytes(full[..cut].to_vec()));
+        let mounted = result.unwrap_or_else(|_| panic!("truncation at {cut} panicked the reader"));
+        // A prefix is never a valid snapshot: either the mount fails,
+        // or (headers intact, payload cut) the lazy layer access does.
+        let ok = match mounted {
+            Err(_) => true,
+            Ok(snapshot) => std::panic::catch_unwind(|| snapshot.to_layer_set())
+                .unwrap_or_else(|_| panic!("truncation at {cut} panicked materialization"))
+                .is_err(),
+        };
+        assert!(ok, "truncation at {cut} was silently accepted");
     }
 }
